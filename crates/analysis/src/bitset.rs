@@ -1,0 +1,132 @@
+//! Compact bit sets for dataflow analysis.
+
+/// A fixed-capacity bit set over `u64` words.
+#[derive(Clone, PartialEq, Eq, Debug)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    pub fn capacity(&self) -> usize {
+        self.len
+    }
+
+    #[inline]
+    pub fn set(&mut self, i: usize) {
+        debug_assert!(i < self.len);
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    #[inline]
+    pub fn clear(&mut self, i: usize) {
+        self.words[i / 64] &= !(1 << (i % 64));
+    }
+
+    #[inline]
+    pub fn get(&self, i: usize) -> bool {
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// `self |= other`; returns true if `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// `self &= !other` (set difference).
+    pub fn subtract(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !b;
+        }
+    }
+
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    pub fn clear_all(&mut self) {
+        self.words.iter_mut().for_each(|w| *w = 0);
+    }
+
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut w = w;
+            std::iter::from_fn(move || {
+                if w == 0 {
+                    None
+                } else {
+                    let b = w.trailing_zeros() as usize;
+                    w &= w - 1;
+                    Some(wi * 64 + b)
+                }
+            })
+        })
+    }
+
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_clear() {
+        let mut b = BitSet::new(130);
+        b.set(0);
+        b.set(64);
+        b.set(129);
+        assert!(b.get(0) && b.get(64) && b.get(129));
+        assert!(!b.get(1));
+        b.clear(64);
+        assert!(!b.get(64));
+        assert_eq!(b.count_ones(), 2);
+    }
+
+    #[test]
+    fn union_reports_changes() {
+        let mut a = BitSet::new(70);
+        let mut b = BitSet::new(70);
+        b.set(69);
+        assert!(a.union_with(&b));
+        assert!(!a.union_with(&b), "second union is a no-op");
+        assert!(a.get(69));
+    }
+
+    #[test]
+    fn subtract_and_intersects() {
+        let mut a = BitSet::new(10);
+        let mut b = BitSet::new(10);
+        a.set(1);
+        a.set(2);
+        b.set(2);
+        assert!(a.intersects(&b));
+        a.subtract(&b);
+        assert!(!a.intersects(&b));
+        assert!(a.get(1) && !a.get(2));
+    }
+
+    #[test]
+    fn iter_ones_in_order() {
+        let mut a = BitSet::new(200);
+        for i in [3, 64, 65, 199] {
+            a.set(i);
+        }
+        assert_eq!(a.iter_ones().collect::<Vec<_>>(), vec![3, 64, 65, 199]);
+    }
+}

@@ -1,0 +1,310 @@
+//! Per-method control-flow graphs over normalized IR.
+//!
+//! The CFG has synthetic `Entry` and `Exit` nodes plus one node per
+//! statement. Structured control flow maps as:
+//!
+//! * `If` — the `If` statement node is the branch; then/else chains merge
+//!   after it.
+//! * `While` — condition-prefix statements re-execute on the back edge; the
+//!   `While` node is the test with a true edge into the body and a false
+//!   edge to the loop exit.
+//! * `Return` — edges to `Exit`; following statements become unreachable.
+
+use pyx_lang::{MethodId, NStmt, NStmtKind, NirMethod, StmtId};
+use std::collections::HashMap;
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfgNode {
+    Entry,
+    Exit,
+    Stmt(StmtId),
+}
+
+#[derive(Debug, Clone)]
+pub struct Cfg {
+    pub method: MethodId,
+    pub nodes: Vec<CfgNode>,
+    pub succ: Vec<Vec<usize>>,
+    pub pred: Vec<Vec<usize>>,
+    pub stmt_node: HashMap<StmtId, usize>,
+}
+
+pub const ENTRY: usize = 0;
+pub const EXIT: usize = 1;
+
+impl Cfg {
+    pub fn build(method: &NirMethod) -> Cfg {
+        let mut b = Builder {
+            cfg: Cfg {
+                method: method.id,
+                nodes: vec![CfgNode::Entry, CfgNode::Exit],
+                succ: vec![Vec::new(), Vec::new()],
+                pred: vec![Vec::new(), Vec::new()],
+                stmt_node: HashMap::new(),
+            },
+        };
+        let dangling = b.seq(&method.body, vec![ENTRY]);
+        for d in dangling {
+            b.edge(d, EXIT);
+        }
+        b.cfg
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len()
+    }
+
+    pub fn stmt_of(&self, node: usize) -> Option<StmtId> {
+        match self.nodes[node] {
+            CfgNode::Stmt(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Nodes reachable from `Entry` (unreachable code after `return` is
+    /// excluded from dataflow).
+    pub fn reachable(&self) -> Vec<bool> {
+        let mut seen = vec![false; self.nodes.len()];
+        let mut stack = vec![ENTRY];
+        seen[ENTRY] = true;
+        while let Some(u) = stack.pop() {
+            for &v in &self.succ[u] {
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push(v);
+                }
+            }
+        }
+        seen
+    }
+
+    /// Reverse postorder of reachable nodes from Entry.
+    pub fn rpo(&self) -> Vec<usize> {
+        let mut order = Vec::with_capacity(self.nodes.len());
+        let mut seen = vec![false; self.nodes.len()];
+        // Iterative postorder DFS.
+        let mut stack: Vec<(usize, usize)> = vec![(ENTRY, 0)];
+        seen[ENTRY] = true;
+        while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+            if *i < self.succ[u].len() {
+                let v = self.succ[u][*i];
+                *i += 1;
+                if !seen[v] {
+                    seen[v] = true;
+                    stack.push((v, 0));
+                }
+            } else {
+                order.push(u);
+                stack.pop();
+            }
+        }
+        order.reverse();
+        order
+    }
+}
+
+struct Builder {
+    cfg: Cfg,
+}
+
+impl Builder {
+    fn node(&mut self, s: StmtId) -> usize {
+        let n = self.cfg.nodes.len();
+        self.cfg.nodes.push(CfgNode::Stmt(s));
+        self.cfg.succ.push(Vec::new());
+        self.cfg.pred.push(Vec::new());
+        self.cfg.stmt_node.insert(s, n);
+        n
+    }
+
+    fn edge(&mut self, u: usize, v: usize) {
+        if !self.cfg.succ[u].contains(&v) {
+            self.cfg.succ[u].push(v);
+            self.cfg.pred[v].push(u);
+        }
+    }
+
+    /// Wire a statement sequence after `preds`; returns the dangling exits.
+    fn seq(&mut self, stmts: &[NStmt], mut preds: Vec<usize>) -> Vec<usize> {
+        for s in stmts {
+            preds = self.stmt(s, preds);
+        }
+        preds
+    }
+
+    fn stmt(&mut self, s: &NStmt, preds: Vec<usize>) -> Vec<usize> {
+        match &s.kind {
+            NStmtKind::Assign { .. } | NStmtKind::Call { .. } | NStmtKind::Builtin { .. } => {
+                let n = self.node(s.id);
+                for p in preds {
+                    self.edge(p, n);
+                }
+                vec![n]
+            }
+            NStmtKind::Return(_) => {
+                let n = self.node(s.id);
+                for p in preds {
+                    self.edge(p, n);
+                }
+                self.edge(n, EXIT);
+                Vec::new()
+            }
+            NStmtKind::If {
+                then_b, else_b, ..
+            } => {
+                let c = self.node(s.id);
+                for p in preds {
+                    self.edge(p, c);
+                }
+                let mut out = self.seq(then_b, vec![c]);
+                if else_b.is_empty() {
+                    out.push(c);
+                } else {
+                    out.extend(self.seq(else_b, vec![c]));
+                }
+                out
+            }
+            NStmtKind::While {
+                cond_pre, body, ..
+            } => {
+                // Remember where the condition prefix begins so the back
+                // edge can target it.
+                let first_new = self.cfg.nodes.len();
+                let pre_end = self.seq(cond_pre, preds);
+                let w = self.node(s.id);
+                for p in pre_end {
+                    self.edge(p, w);
+                }
+                let loop_head = if cond_pre.is_empty() { w } else { first_new };
+                let body_end = self.seq(body, vec![w]);
+                for b in body_end {
+                    self.edge(b, loop_head);
+                }
+                vec![w]
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyx_lang::compile;
+
+    fn cfg_for(src: &str, method: &str) -> (pyx_lang::NirProgram, Cfg) {
+        let p = compile(src).expect("compile");
+        let mid = p
+            .methods
+            .iter()
+            .find(|m| m.name == method)
+            .expect("method")
+            .id;
+        let cfg = Cfg::build(p.method(mid));
+        (p, cfg)
+    }
+
+    #[test]
+    fn straight_line() {
+        let (_, cfg) = cfg_for("class C { void f() { int x = 1; x = 2; } }", "f");
+        // Entry → s0 → s1 → Exit
+        assert_eq!(cfg.num_nodes(), 4);
+        assert_eq!(cfg.succ[ENTRY], vec![2]);
+        assert_eq!(cfg.succ[2], vec![3]);
+        assert_eq!(cfg.succ[3], vec![EXIT]);
+    }
+
+    #[test]
+    fn if_with_merge() {
+        let (_, cfg) = cfg_for(
+            "class C { int f(int x) { int y = 0; if (x > 0) { y = 1; } else { y = 2; } return y; } }",
+            "f",
+        );
+        // Find the If node: it must have two successors.
+        let branch = (0..cfg.num_nodes())
+            .find(|&n| cfg.succ[n].len() == 2 && matches!(cfg.nodes[n], CfgNode::Stmt(_)))
+            .expect("branch node");
+        // Both successors converge on the return node.
+        let (a, b) = (cfg.succ[branch][0], cfg.succ[branch][1]);
+        assert_eq!(cfg.succ[a], cfg.succ[b]);
+    }
+
+    #[test]
+    fn if_without_else_falls_through() {
+        let (_, cfg) = cfg_for(
+            "class C { void f(int x) { if (x > 0) { x = 1; } x = 2; } }",
+            "f",
+        );
+        let branch = (0..cfg.num_nodes())
+            .find(|&n| cfg.succ[n].len() == 2)
+            .expect("branch node");
+        // One successor is the then-stmt; both paths reach the final stmt.
+        let reach = cfg.reachable();
+        assert!(reach.iter().all(|&r| r));
+        let _ = branch;
+    }
+
+    #[test]
+    fn while_loop_has_back_edge() {
+        let (_, cfg) = cfg_for(
+            "class C { void f(int n) { int i = 0; while (i < n) { i = i + 1; } } }",
+            "f",
+        );
+        // The While test node has 2 successors (body, exit) and the body
+        // eventually loops back to the condition prefix.
+        let test = (0..cfg.num_nodes())
+            .find(|&n| cfg.succ[n].len() == 2)
+            .expect("test node");
+        // There must be a cycle through `test`.
+        let mut seen = vec![false; cfg.num_nodes()];
+        let mut stack = cfg.succ[test].clone();
+        let mut cycle = false;
+        while let Some(u) = stack.pop() {
+            if u == test {
+                cycle = true;
+                break;
+            }
+            if !seen[u] {
+                seen[u] = true;
+                stack.extend(cfg.succ[u].iter().copied());
+            }
+        }
+        assert!(cycle, "loop must contain a back edge to its test");
+    }
+
+    #[test]
+    fn return_makes_following_code_unreachable() {
+        let (_, cfg) = cfg_for(
+            "class C { int f(int x) { if (x > 0) { return 1; } return 0; } }",
+            "f",
+        );
+        let reach = cfg.reachable();
+        assert!(reach.iter().all(|&r| r), "all code here is reachable");
+
+        let (_, cfg) = cfg_for("class C { int f() { return 1; } }", "f");
+        assert_eq!(cfg.succ[ENTRY].len(), 1);
+    }
+
+    #[test]
+    fn rpo_starts_at_entry() {
+        let (_, cfg) = cfg_for(
+            "class C { void f(int n) { int i = 0; while (i < n) { i = i + 1; } } }",
+            "f",
+        );
+        let rpo = cfg.rpo();
+        assert_eq!(rpo[0], ENTRY);
+        assert!(rpo.contains(&EXIT));
+    }
+
+    #[test]
+    fn foreach_loop_structure() {
+        let (_, cfg) = cfg_for(
+            "class C { int sum(int[] xs) { int s = 0; for (int x : xs) { s = s + x; } return s; } }",
+            "sum",
+        );
+        // One branch node (the While test).
+        let branches = (0..cfg.num_nodes())
+            .filter(|&n| cfg.succ[n].len() == 2)
+            .count();
+        assert_eq!(branches, 1);
+    }
+}

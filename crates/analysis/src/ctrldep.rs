@@ -1,0 +1,154 @@
+//! Control dependence (Ferrante, Ottenstein & Warren — the paper's [3]).
+//!
+//! Statement `x` is control dependent on branch `y` iff `y` has successors
+//! `s1, s2` such that `x` postdominates `s1` but not `y` itself. Computed
+//! with the classic edge-walk: for each CFG edge `(u, v)` where `v` does
+//! not postdominate `u`, every node on the postdominator-tree path from `v`
+//! up to (excluding) `ipdom(u)` is control dependent on `u`.
+//!
+//! This captures loop-body-on-loop-test and branch-arm-on-condition
+//! dependencies, and also the subtler case of code following a conditional
+//! `return` (which the purely structural nesting view would miss).
+
+use crate::cfg::{Cfg, CfgNode};
+use crate::dom::DomTree;
+use pyx_lang::StmtId;
+
+/// Control-dependence edges `(branch stmt, dependent stmt)` for one method.
+pub fn control_deps(cfg: &Cfg) -> Vec<(StmtId, StmtId)> {
+    let pdom = DomTree::postdominators(cfg);
+    let mut out = Vec::new();
+    for u in 0..cfg.num_nodes() {
+        if cfg.succ[u].len() < 2 {
+            continue; // only branch nodes generate control dependence
+        }
+        let Some(u_stmt) = cfg.stmt_of(u) else {
+            continue;
+        };
+        let stop = pdom.idom[u];
+        for &v in &cfg.succ[u] {
+            // Walk v up the postdominator tree until ipdom(u).
+            let mut cur = Some(v);
+            while let Some(c) = cur {
+                if Some(c) == stop || c == u {
+                    break;
+                }
+                if let CfgNode::Stmt(dep) = cfg.nodes[c] {
+                    out.push((u_stmt, dep));
+                }
+                cur = pdom.idom[c];
+            }
+        }
+    }
+    out.sort();
+    out.dedup();
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyx_lang::{compile, NStmtKind, NirProgram};
+
+    fn deps_for(src: &str, method: &str) -> (NirProgram, Vec<(StmtId, StmtId)>) {
+        let p = compile(src).expect("compile");
+        let m = p.methods.iter().find(|m| m.name == method).unwrap();
+        let cfg = Cfg::build(m);
+        let deps = control_deps(&cfg);
+        (p, deps)
+    }
+
+    /// Find the statement ids of If/While statements in a method.
+    fn branch_stmts(p: &NirProgram, method: &str) -> Vec<StmtId> {
+        let mut out = Vec::new();
+        p.for_each_stmt(|m, s| {
+            if p.method(m).name == method
+                && matches!(s.kind, NStmtKind::If { .. } | NStmtKind::While { .. })
+            {
+                out.push(s.id);
+            }
+        });
+        out
+    }
+
+    #[test]
+    fn then_branch_depends_on_if() {
+        let (p, deps) = deps_for(
+            "class C { void f(int x) { int y = 0; if (x > 0) { y = 1; } y = 2; } }",
+            "f",
+        );
+        let branches = branch_stmts(&p, "f");
+        assert_eq!(branches.len(), 1);
+        let if_id = branches[0];
+        // Exactly the then-assignment depends on the If; the trailing
+        // statement does not.
+        let dependents: Vec<StmtId> = deps
+            .iter()
+            .filter(|(b, _)| *b == if_id)
+            .map(|&(_, d)| d)
+            .collect();
+        assert_eq!(dependents.len(), 1);
+    }
+
+    #[test]
+    fn loop_body_and_condition_depend_on_test() {
+        let (p, deps) = deps_for(
+            "class C { void f(int n) { int i = 0; while (i < n) { i = i + 1; } } }",
+            "f",
+        );
+        let w = branch_stmts(&p, "f")[0];
+        let dependents: Vec<StmtId> = deps
+            .iter()
+            .filter(|(b, _)| *b == w)
+            .map(|&(_, d)| d)
+            .collect();
+        // Body assignment + the condition-prefix statement(s) + the test
+        // itself re-executing: at least the body stmt and cond-prefix stmt.
+        assert!(
+            dependents.len() >= 2,
+            "loop should control body and condition prefix, got {dependents:?}"
+        );
+    }
+
+    #[test]
+    fn code_after_conditional_return_depends_on_branch() {
+        let (p, deps) = deps_for(
+            "class C { int f(int x) { if (x > 0) { return 1; } int y = 5; return y; } }",
+            "f",
+        );
+        let if_id = branch_stmts(&p, "f")[0];
+        let dependents: Vec<StmtId> = deps
+            .iter()
+            .filter(|(b, _)| *b == if_id)
+            .map(|&(_, d)| d)
+            .collect();
+        // `int y = 5` and `return y` only execute when the branch is not
+        // taken → they are control dependent on the If. (The purely
+        // structural view would miss this.)
+        assert!(
+            dependents.len() >= 3,
+            "expected return-arm + fall-through deps, got {dependents:?}"
+        );
+    }
+
+    #[test]
+    fn straight_line_has_no_control_deps() {
+        let (_, deps) = deps_for("class C { void f() { int x = 1; x = 2; x = 3; } }", "f");
+        assert!(deps.is_empty());
+    }
+
+    #[test]
+    fn nested_ifs_chain() {
+        let (p, deps) = deps_for(
+            "class C { void f(int x) { if (x > 0) { if (x > 1) { x = 2; } } } }",
+            "f",
+        );
+        let branches = branch_stmts(&p, "f");
+        assert_eq!(branches.len(), 2);
+        let (outer, inner) = (branches[0], branches[1]);
+        assert!(deps.contains(&(outer, inner)), "inner if depends on outer");
+        // The innermost assignment depends on the inner if.
+        let inner_deps: Vec<_> = deps.iter().filter(|(b, _)| *b == inner).collect();
+        assert_eq!(inner_deps.len(), 1);
+    }
+}

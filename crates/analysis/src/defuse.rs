@@ -1,0 +1,541 @@
+//! Interprocedural def/use analysis.
+//!
+//! Three families of data dependencies (paper §4.2):
+//!
+//! * **Local** — classic reaching definitions over each method's CFG,
+//!   linking a definition of a local to every use it may reach.
+//! * **Heap** — alias-aware, flow-insensitive: a store to `(objs, field)`
+//!   may reach any load whose base may point into the same allocation
+//!   sites (per the points-to analysis). Sound for the distributed-heap
+//!   synchronization the partitioner must generate.
+//! * **Interprocedural** — call-site arguments reach parameter uses in the
+//!   callee; `return` statements reach the call sites that consume the
+//!   value.
+//!
+//! The analysis also reports which class fields each statement updates and
+//! uses, which become the partition graph's *update edges* (field
+//! declaration nodes ↔ updating/reading statements, Fig. 4).
+
+use crate::bitset::BitSet;
+use crate::cfg::{Cfg, CfgNode, ENTRY};
+use crate::pointsto::{FieldKey, PointsTo};
+use pyx_lang::{
+    FieldId, LocalId, MethodId, NStmt, NStmtKind, NirProgram, Operand, Place, Rvalue, StmtId,
+};
+use std::collections::HashMap;
+
+/// All def/use facts for a program.
+#[derive(Debug, Default)]
+pub struct DefUse {
+    /// Local-variable def → use (within a method).
+    pub local_edges: Vec<(StmtId, StmtId)>,
+    /// Heap store → may-observing load (across methods).
+    pub heap_edges: Vec<(StmtId, StmtId)>,
+    /// Call site → statement using the received parameter value.
+    pub param_edges: Vec<(StmtId, StmtId)>,
+    /// `return` statement → call site consuming the value.
+    pub ret_edges: Vec<(StmtId, StmtId)>,
+    /// Statement updates a class field (partition-graph update edges).
+    pub field_updates: Vec<(StmtId, FieldId)>,
+    /// Statement reads a class field.
+    pub field_uses: Vec<(FieldId, StmtId)>,
+}
+
+/// Locals read by one normalized statement (its node in the CFG).
+pub fn stmt_uses(kind: &NStmtKind) -> Vec<LocalId> {
+    let mut out = Vec::new();
+    let mut op = |o: &Operand| {
+        if let Some(l) = o.as_local() {
+            out.push(l);
+        }
+    };
+    match kind {
+        NStmtKind::Assign { dst, rv } => {
+            match dst {
+                Place::Local(_) => {}
+                Place::Field { base, .. } => op(base),
+                Place::Elem { arr, idx } => {
+                    op(arr);
+                    op(idx);
+                }
+            }
+            match rv {
+                Rvalue::Use(a) | Rvalue::Unary(_, a) | Rvalue::Len(a) => op(a),
+                Rvalue::Binary(_, a, b) => {
+                    op(a);
+                    op(b);
+                }
+                Rvalue::ReadField { base, .. } => op(base),
+                Rvalue::ReadElem { arr, idx } => {
+                    op(arr);
+                    op(idx);
+                }
+                Rvalue::NewArray { len, .. } => op(len),
+                Rvalue::NewObject { .. } => {}
+                Rvalue::RowGet { row, idx, .. } => {
+                    op(row);
+                    op(idx);
+                }
+            }
+        }
+        NStmtKind::Call { args, .. } | NStmtKind::Builtin { args, .. } => {
+            for a in args {
+                op(a);
+            }
+        }
+        NStmtKind::If { cond, .. } | NStmtKind::While { cond, .. } => op(cond),
+        NStmtKind::Return(Some(a)) => op(a),
+        NStmtKind::Return(None) => {}
+    }
+    out
+}
+
+/// The local (if any) a statement defines.
+pub fn stmt_def(kind: &NStmtKind) -> Option<LocalId> {
+    match kind {
+        NStmtKind::Assign {
+            dst: Place::Local(l),
+            ..
+        } => Some(*l),
+        NStmtKind::Call { dst, .. } | NStmtKind::Builtin { dst, .. } => *dst,
+        _ => None,
+    }
+}
+
+/// Run the analysis. `cfgs` must be indexed by method.
+pub fn def_use(prog: &NirProgram, cfgs: &[Cfg], pts: &PointsTo) -> DefUse {
+    let mut out = DefUse::default();
+
+    // Call sites per callee, and whether each consumes the return value.
+    let mut call_sites: HashMap<MethodId, Vec<(StmtId, bool)>> = HashMap::new();
+    prog.for_each_stmt(|_, s| {
+        if let NStmtKind::Call { dst, method, .. } = &s.kind {
+            call_sites
+                .entry(*method)
+                .or_default()
+                .push((s.id, dst.is_some()));
+        }
+    });
+
+    for method in &prog.methods {
+        local_reaching_defs(prog, &cfgs[method.id.index()], method.id, &call_sites, &mut out);
+    }
+    heap_def_use(prog, pts, &mut out);
+
+    // return → call-site edges.
+    prog.for_each_stmt(|m, s| {
+        if let NStmtKind::Return(Some(_)) = &s.kind {
+            if let Some(sites) = call_sites.get(&m) {
+                for &(cs, consumes) in sites {
+                    if consumes {
+                        out.ret_edges.push((s.id, cs));
+                    }
+                }
+            }
+        }
+    });
+
+    dedup(&mut out.local_edges);
+    dedup(&mut out.heap_edges);
+    dedup(&mut out.param_edges);
+    dedup(&mut out.ret_edges);
+    dedup(&mut out.field_updates);
+    dedup(&mut out.field_uses);
+    out
+}
+
+fn dedup<T: Ord>(v: &mut Vec<T>) {
+    v.sort();
+    v.dedup();
+}
+
+/// A definition site: either a parameter (defined at method entry by each
+/// caller) or a defining statement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum DefSite {
+    Param(LocalId),
+    Stmt(StmtId, LocalId),
+}
+
+fn local_reaching_defs(
+    prog: &NirProgram,
+    cfg: &Cfg,
+    mid: MethodId,
+    call_sites: &HashMap<MethodId, Vec<(StmtId, bool)>>,
+    out: &mut DefUse,
+) {
+    let method = prog.method(mid);
+
+    // Enumerate def sites.
+    let mut defs: Vec<DefSite> = (0..method.num_params)
+        .map(|i| DefSite::Param(LocalId(i as u32)))
+        .collect();
+    let mut stmt_kind: HashMap<StmtId, &NStmtKind> = HashMap::new();
+    prog.for_each_stmt(|m, s| {
+        if m == mid {
+            stmt_kind.insert(s.id, &s.kind);
+        }
+    });
+    for (&sid, kind) in &stmt_kind {
+        if let Some(l) = stmt_def(kind) {
+            defs.push(DefSite::Stmt(sid, l));
+        }
+    }
+    let ndefs = defs.len();
+    let mut defs_of_local: HashMap<LocalId, Vec<usize>> = HashMap::new();
+    for (i, d) in defs.iter().enumerate() {
+        let l = match d {
+            DefSite::Param(l) => *l,
+            DefSite::Stmt(_, l) => *l,
+        };
+        defs_of_local.entry(l).or_default().push(i);
+    }
+
+    // GEN/KILL per CFG node.
+    let n = cfg.num_nodes();
+    let mut gen_ = vec![BitSet::new(ndefs); n];
+    let mut kill = vec![BitSet::new(ndefs); n];
+    for node in 0..n {
+        match &cfg.nodes[node] {
+            CfgNode::Entry => {
+                for i in 0..method.num_params {
+                    gen_[node].set(i);
+                }
+            }
+            CfgNode::Stmt(sid) => {
+                if let Some(l) = stmt_def(stmt_kind[sid]) {
+                    let di = defs
+                        .iter()
+                        .position(|d| *d == DefSite::Stmt(*sid, l))
+                        .expect("def enumerated");
+                    gen_[node].set(di);
+                    for &other in &defs_of_local[&l] {
+                        if other != di {
+                            kill[node].set(other);
+                        }
+                    }
+                }
+            }
+            CfgNode::Exit => {}
+        }
+    }
+
+    // Forward may dataflow to fixpoint (iterate in RPO).
+    let rpo = cfg.rpo();
+    let mut in_sets = vec![BitSet::new(ndefs); n];
+    let mut out_sets = vec![BitSet::new(ndefs); n];
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &node in &rpo {
+            let mut inb = BitSet::new(ndefs);
+            for &p in &cfg.pred[node] {
+                inb.union_with(&out_sets[p]);
+            }
+            let mut ob = inb.clone();
+            ob.subtract(&kill[node]);
+            ob.union_with(&gen_[node]);
+            if ob != out_sets[node] {
+                out_sets[node] = ob;
+                changed = true;
+            }
+            in_sets[node] = inb;
+        }
+    }
+
+    // Link defs to uses.
+    let empty = Vec::new();
+    let sites = call_sites.get(&mid).unwrap_or(&empty);
+    for node in 0..n {
+        let CfgNode::Stmt(sid) = cfg.nodes[node] else {
+            continue;
+        };
+        for used in stmt_uses(stmt_kind[&sid]) {
+            let Some(cand) = defs_of_local.get(&used) else {
+                continue;
+            };
+            for &di in cand {
+                if in_sets[node].get(di) {
+                    match defs[di] {
+                        DefSite::Stmt(def_stmt, _) => {
+                            if def_stmt != sid {
+                                out.local_edges.push((def_stmt, sid));
+                            }
+                        }
+                        DefSite::Param(_) => {
+                            for &(cs, _) in sites {
+                                out.param_edges.push((cs, sid));
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+    let _ = ENTRY;
+}
+
+/// Heap (field / array element) def-use via points-to aliasing, plus the
+/// field update/use lists.
+fn heap_def_use(prog: &NirProgram, pts: &PointsTo, out: &mut DefUse) {
+    struct Access {
+        stmt: StmtId,
+        method: MethodId,
+        base: Operand,
+        key: FieldKey,
+    }
+    let mut writes: Vec<Access> = Vec::new();
+    let mut reads: Vec<Access> = Vec::new();
+
+    prog.for_each_stmt(|m, s: &NStmt| {
+        match &s.kind {
+            NStmtKind::Assign { dst, rv } => {
+                match dst {
+                    Place::Field { base, field } => {
+                        writes.push(Access {
+                            stmt: s.id,
+                            method: m,
+                            base: base.clone(),
+                            key: FieldKey::Field(*field),
+                        });
+                        out.field_updates.push((s.id, *field));
+                    }
+                    Place::Elem { arr, .. } => writes.push(Access {
+                        stmt: s.id,
+                        method: m,
+                        base: arr.clone(),
+                        key: FieldKey::Elem,
+                    }),
+                    Place::Local(_) => {}
+                }
+                match rv {
+                    Rvalue::ReadField { base, field } => {
+                        reads.push(Access {
+                            stmt: s.id,
+                            method: m,
+                            base: base.clone(),
+                            key: FieldKey::Field(*field),
+                        });
+                        out.field_uses.push((*field, s.id));
+                    }
+                    Rvalue::ReadElem { arr, .. } => reads.push(Access {
+                        stmt: s.id,
+                        method: m,
+                        base: arr.clone(),
+                        key: FieldKey::Elem,
+                    }),
+                    // `a.length` reads the array's metadata, which for a
+                    // dbQuery result array exists only where the query ran
+                    // — treat it as a contents read.
+                    Rvalue::Len(arr) => reads.push(Access {
+                        stmt: s.id,
+                        method: m,
+                        base: arr.clone(),
+                        key: FieldKey::Elem,
+                    }),
+                    _ => {}
+                }
+            }
+            // A dbQuery materializes the result rows *into* its destination
+            // array: it is a bulk write of the array contents (on the
+            // executing host only), so remote readers depend on it.
+            NStmtKind::Builtin {
+                dst: Some(d),
+                f: pyx_lang::Builtin::DbQuery,
+                ..
+            } => {
+                writes.push(Access {
+                    stmt: s.id,
+                    method: m,
+                    base: Operand::Local(*d),
+                    key: FieldKey::Elem,
+                });
+            }
+            _ => {}
+        }
+    });
+
+    for w in &writes {
+        let wp = pts.pts_of_operand(w.method, &w.base);
+        if wp.is_empty() {
+            continue;
+        }
+        for r in &reads {
+            if pts.may_alias(w.method, &w.base, w.key, r.method, &r.base, r.key)
+                && w.stmt != r.stmt
+            {
+                out.heap_edges.push((w.stmt, r.stmt));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pointsto::PointsToConfig;
+    use pyx_lang::compile;
+
+    fn run(src: &str) -> (NirProgram, DefUse) {
+        let p = compile(src).expect("compile");
+        let cfgs: Vec<Cfg> = p.methods.iter().map(Cfg::build).collect();
+        let pts = PointsTo::analyze(&p, PointsToConfig::default());
+        let du = def_use(&p, &cfgs, &pts);
+        (p, du)
+    }
+
+    #[test]
+    fn straight_line_def_use() {
+        let (_, du) = run("class C { int f() { int x = 1; int y = x + 2; return y; } }");
+        // x-def → y-assign, y-def → return.
+        assert_eq!(du.local_edges.len(), 2);
+    }
+
+    #[test]
+    fn kill_removes_stale_defs() {
+        let (_, du) = run("class C { int f() { int x = 1; x = 2; return x; } }");
+        // Only `x = 2` reaches the return.
+        assert_eq!(du.local_edges.len(), 1);
+    }
+
+    #[test]
+    fn branch_merges_both_defs() {
+        let (_, du) = run(
+            "class C { int f(bool b) { int x = 0; if (b) { x = 1; } else { x = 2; } return x; } }",
+        );
+        // Both branch defs reach the return; the initial def is killed on
+        // both paths. Plus the param use by the If.
+        let ret_uses = du.local_edges.len();
+        assert_eq!(ret_uses, 2, "{:?}", du.local_edges);
+    }
+
+    #[test]
+    fn loop_carried_dependency() {
+        let (_, du) = run(
+            "class C { int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; } }",
+        );
+        // `i = i + 1` must have a def-use edge to itself (via the back
+        // edge) and to the loop test and return.
+        let self_edge = du
+            .local_edges
+            .iter()
+            .any(|&(d, u)| d == u);
+        assert!(
+            !self_edge,
+            "self edges are filtered; the increment reads IN (pre-state)"
+        );
+        // increment reaches the While test.
+        assert!(du.local_edges.len() >= 3, "{:?}", du.local_edges);
+    }
+
+    #[test]
+    fn param_uses_link_to_call_sites() {
+        let (p, du) = run(
+            r#"class C {
+                int g(int v) { return v + 1; }
+                int f() { return g(41); }
+            }"#,
+        );
+        // The `v + 1` statement uses param v; its def site is the call in f.
+        let call_stmt = {
+            let mut found = None;
+            p.for_each_stmt(|_, s| {
+                if matches!(s.kind, NStmtKind::Call { .. }) {
+                    found = Some(s.id);
+                }
+            });
+            found.unwrap()
+        };
+        assert!(
+            du.param_edges.iter().any(|&(cs, _)| cs == call_stmt),
+            "param edge from call site expected: {:?}",
+            du.param_edges
+        );
+        // And g's return feeds the call site.
+        assert!(du.ret_edges.iter().any(|&(_, cs)| cs == call_stmt));
+    }
+
+    #[test]
+    fn heap_def_use_via_aliases() {
+        let (_, du) = run(
+            r#"class Box { int v; }
+               class C {
+                 int f() {
+                   Box a = new Box();
+                   Box b = a;
+                   a.v = 7;
+                   return b.v;
+                 }
+               }"#,
+        );
+        assert_eq!(du.heap_edges.len(), 1, "{:?}", du.heap_edges);
+        assert_eq!(du.field_updates.len(), 1);
+        assert_eq!(du.field_uses.len(), 1);
+    }
+
+    #[test]
+    fn no_heap_edge_between_distinct_objects() {
+        let (_, du) = run(
+            r#"class Box { int v; }
+               class C {
+                 int f() {
+                   Box a = new Box();
+                   Box b = new Box();
+                   a.v = 7;
+                   return b.v;
+                 }
+               }"#,
+        );
+        assert!(du.heap_edges.is_empty(), "{:?}", du.heap_edges);
+    }
+
+    #[test]
+    fn array_element_def_use() {
+        let (_, du) = run(
+            r#"class C {
+                 int f() {
+                   int[] xs = new int[2];
+                   xs[0] = 5;
+                   return xs[1];
+                 }
+               }"#,
+        );
+        assert_eq!(du.heap_edges.len(), 1);
+    }
+
+    #[test]
+    fn interprocedural_heap_edge() {
+        let (_, du) = run(
+            r#"class Box { int v; }
+               class C {
+                 void set(Box b) { b.v = 1; }
+                 int get(Box b) { return b.v; }
+                 int f() {
+                   Box x = new Box();
+                   set(x);
+                   return get(x);
+                 }
+               }"#,
+        );
+        assert_eq!(
+            du.heap_edges.len(),
+            1,
+            "store in set() reaches load in get(): {:?}",
+            du.heap_edges
+        );
+    }
+
+    #[test]
+    fn field_update_lists_running_example() {
+        let (p, du) = run(
+            r#"class Order {
+                 double totalCost;
+                 void add(double c) { totalCost += c; }
+                 double get() { return totalCost; }
+               }"#,
+        );
+        let fid = p.fields[0].id;
+        assert!(du.field_updates.iter().any(|&(_, f)| f == fid));
+        assert!(du.field_uses.iter().any(|&(f, _)| f == fid));
+    }
+}

@@ -1,0 +1,187 @@
+//! Dominator and postdominator trees.
+//!
+//! Implementation of Cooper, Harvey & Kennedy, "A Simple, Fast Dominance
+//! Algorithm": iterative idom computation over reverse postorder.
+//! Postdominators run the same algorithm on the reversed CFG rooted at
+//! `Exit`.
+
+use crate::cfg::{Cfg, ENTRY, EXIT};
+
+/// A dominator tree: `idom[n]` is the immediate dominator of node `n`
+/// (`None` for the root and unreachable nodes).
+#[derive(Debug, Clone)]
+pub struct DomTree {
+    pub root: usize,
+    pub idom: Vec<Option<usize>>,
+}
+
+impl DomTree {
+    /// Dominators of a CFG (root = Entry).
+    pub fn dominators(cfg: &Cfg) -> DomTree {
+        compute(cfg.num_nodes(), ENTRY, &cfg.succ, &cfg.pred)
+    }
+
+    /// Postdominators (root = Exit; edges reversed).
+    pub fn postdominators(cfg: &Cfg) -> DomTree {
+        compute(cfg.num_nodes(), EXIT, &cfg.pred, &cfg.succ)
+    }
+
+    /// Does `a` dominate `b` (reflexive)?
+    pub fn dominates(&self, a: usize, b: usize) -> bool {
+        let mut cur = b;
+        loop {
+            if cur == a {
+                return true;
+            }
+            match self.idom[cur] {
+                Some(p) if p != cur => cur = p,
+                _ => return false,
+            }
+        }
+    }
+}
+
+fn compute(n: usize, root: usize, succ: &[Vec<usize>], pred: &[Vec<usize>]) -> DomTree {
+    // Reverse postorder from `root` following `succ`.
+    let mut order = Vec::with_capacity(n);
+    let mut seen = vec![false; n];
+    let mut stack: Vec<(usize, usize)> = vec![(root, 0)];
+    seen[root] = true;
+    while let Some(&mut (u, ref mut i)) = stack.last_mut() {
+        if *i < succ[u].len() {
+            let v = succ[u][*i];
+            *i += 1;
+            if !seen[v] {
+                seen[v] = true;
+                stack.push((v, 0));
+            }
+        } else {
+            order.push(u);
+            stack.pop();
+        }
+    }
+    order.reverse();
+
+    let mut rpo_num = vec![usize::MAX; n];
+    for (i, &u) in order.iter().enumerate() {
+        rpo_num[u] = i;
+    }
+
+    let mut idom: Vec<Option<usize>> = vec![None; n];
+    idom[root] = Some(root);
+
+    let intersect = |idom: &[Option<usize>], rpo_num: &[usize], mut a: usize, mut b: usize| {
+        while a != b {
+            while rpo_num[a] > rpo_num[b] {
+                a = idom[a].expect("processed node");
+            }
+            while rpo_num[b] > rpo_num[a] {
+                b = idom[b].expect("processed node");
+            }
+        }
+        a
+    };
+
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &u in order.iter().skip(1) {
+            // First processed predecessor.
+            let mut new_idom = None;
+            for &p in &pred[u] {
+                if idom[p].is_some() {
+                    new_idom = Some(match new_idom {
+                        None => p,
+                        Some(cur) => intersect(&idom, &rpo_num, p, cur),
+                    });
+                }
+            }
+            if let Some(ni) = new_idom {
+                if idom[u] != Some(ni) {
+                    idom[u] = Some(ni);
+                    changed = true;
+                }
+            }
+        }
+    }
+
+    // Root's idom is conventionally None for callers.
+    idom[root] = None;
+    DomTree { root, idom }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cfg::Cfg;
+    use pyx_lang::compile;
+
+    fn cfg_for(src: &str, method: &str) -> Cfg {
+        let p = compile(src).expect("compile");
+        let m = p.methods.iter().find(|m| m.name == method).unwrap();
+        Cfg::build(m)
+    }
+
+    #[test]
+    fn straight_line_chain() {
+        let cfg = cfg_for("class C { void f() { int x = 1; x = 2; } }", "f");
+        let dom = DomTree::dominators(&cfg);
+        // Entry dominates everything; each stmt dominates the next.
+        for n in 0..cfg.num_nodes() {
+            assert!(dom.dominates(ENTRY, n));
+        }
+        assert!(dom.dominates(2, 3));
+        assert!(!dom.dominates(3, 2));
+    }
+
+    #[test]
+    fn branch_neither_side_dominates_merge() {
+        let cfg = cfg_for(
+            "class C { int f(int x) { int y = 0; if (x > 0) { y = 1; } else { y = 2; } return y; } }",
+            "f",
+        );
+        let dom = DomTree::dominators(&cfg);
+        let branch = (0..cfg.num_nodes())
+            .find(|&n| cfg.succ[n].len() == 2)
+            .unwrap();
+        let a = cfg.succ[branch][0];
+        let b = cfg.succ[branch][1];
+        let merge = cfg.succ[a][0];
+        assert!(dom.dominates(branch, merge));
+        assert!(!dom.dominates(a, merge));
+        assert!(!dom.dominates(b, merge));
+    }
+
+    #[test]
+    fn postdominators_merge_postdominates_branch() {
+        let cfg = cfg_for(
+            "class C { int f(int x) { int y = 0; if (x > 0) { y = 1; } else { y = 2; } return y; } }",
+            "f",
+        );
+        let pdom = DomTree::postdominators(&cfg);
+        let branch = (0..cfg.num_nodes())
+            .find(|&n| cfg.succ[n].len() == 2)
+            .unwrap();
+        let a = cfg.succ[branch][0];
+        let merge = cfg.succ[a][0];
+        assert!(pdom.dominates(merge, branch));
+        assert!(pdom.dominates(EXIT, ENTRY));
+        // The then-branch stmt does not postdominate the branch.
+        assert!(!pdom.dominates(a, branch));
+    }
+
+    #[test]
+    fn loop_test_dominates_body() {
+        let cfg = cfg_for(
+            "class C { void f(int n) { int i = 0; while (i < n) { i = i + 1; } } }",
+            "f",
+        );
+        let dom = DomTree::dominators(&cfg);
+        let test = (0..cfg.num_nodes())
+            .find(|&n| cfg.succ[n].len() == 2)
+            .unwrap();
+        for &s in &cfg.succ[test] {
+            assert!(dom.dominates(test, s));
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! # pyx-analysis — static dependency analyses (Accrue substitute)
+//!
+//! The paper's partitioner runs an object-sensitive points-to analysis, an
+//! interprocedural def/use analysis, and a control dependency analysis over
+//! the normalized Java source (§4.2), using the Accrue/Polyglot frameworks.
+//! This crate implements the same analyses over PyxLang NIR:
+//!
+//! * [`cfg`] — per-method control-flow graphs,
+//! * [`dom`] — dominator / postdominator trees (Cooper–Harvey–Kennedy),
+//! * [`ctrldep`] — control dependence via postdominators (Ferrante et al.,
+//!   the paper's [3]),
+//! * [`pointsto`] — Andersen-style allocation-site points-to analysis,
+//!   field-sensitive by default (the precision ablation toggles this),
+//! * [`defuse`] — interprocedural def/use chains: local reaching
+//!   definitions over the CFG, alias-aware heap def/use via points-to,
+//!   parameter/return linkage across calls,
+//! * [`sdg`] — assembly into a system-dependence-graph-like summary
+//!   ([`ProgramAnalysis`]) that the partitioner turns into the weighted
+//!   partition graph.
+//!
+//! All analyses are conservative (sound over-approximations): extra edges
+//! cost performance, missing edges would break the partitioned program —
+//! matching the paper's soundness stance (§4.2).
+
+pub mod bitset;
+pub mod cfg;
+pub mod ctrldep;
+pub mod defuse;
+pub mod dom;
+pub mod pointsto;
+pub mod sdg;
+
+pub use cfg::{Cfg, CfgNode};
+pub use pointsto::{PointsTo, PointsToConfig};
+pub use sdg::{analyze, AnalysisConfig, DataDep, DataDepKind, ProgramAnalysis};

@@ -1,0 +1,262 @@
+//! System-dependence-graph assembly: the combined analysis result handed to
+//! the partitioner.
+//!
+//! `ProgramAnalysis` gathers per-method CFGs, points-to results, control
+//! dependence, all data-dependence families, and interprocedural call
+//! structure. The partitioner (pyx-partition) adds profile weights to turn
+//! this into the paper's *partition graph* (§4.2).
+
+use crate::cfg::Cfg;
+use crate::ctrldep;
+use crate::defuse::{self, DefUse};
+use crate::pointsto::{PointsTo, PointsToConfig};
+use pyx_lang::{FieldId, MethodId, NStmtKind, NirProgram, StmtId};
+use std::collections::HashMap;
+
+/// Configuration for the whole analysis pipeline.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AnalysisConfig {
+    pub points_to: PointsToConfig,
+}
+
+/// Why a data dependency exists (used for edge weighting and diagnostics).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DataDepKind {
+    Local,
+    Heap,
+    Param,
+    Return,
+}
+
+/// A data dependency: the value produced at `def` may be observed at `use_`.
+#[derive(Debug, Clone, Copy)]
+pub struct DataDep {
+    pub def: StmtId,
+    pub use_: StmtId,
+    pub kind: DataDepKind,
+}
+
+/// Combined analysis results for a program.
+pub struct ProgramAnalysis {
+    pub cfgs: Vec<Cfg>,
+    pub points_to: PointsTo,
+    /// Intra-method control dependence (branch → dependent).
+    pub control: Vec<(StmtId, StmtId)>,
+    /// Interprocedural control: call site → top-level statements of callee.
+    pub call_control: Vec<(StmtId, StmtId)>,
+    pub data: Vec<DataDep>,
+    /// Statement updates field (partition-graph update edges).
+    pub field_updates: Vec<(StmtId, FieldId)>,
+    /// Statement reads field.
+    pub field_uses: Vec<(FieldId, StmtId)>,
+    /// Call sites per callee method.
+    pub call_sites: HashMap<MethodId, Vec<StmtId>>,
+}
+
+/// Run every analysis over a program.
+pub fn analyze(prog: &NirProgram, cfg: AnalysisConfig) -> ProgramAnalysis {
+    let cfgs: Vec<Cfg> = prog.methods.iter().map(Cfg::build).collect();
+    let points_to = PointsTo::analyze(prog, cfg.points_to);
+
+    let mut control = Vec::new();
+    for c in &cfgs {
+        control.extend(ctrldep::control_deps(c));
+    }
+
+    let du: DefUse = defuse::def_use(prog, &cfgs, &points_to);
+    let mut data = Vec::new();
+    for &(d, u) in &du.local_edges {
+        data.push(DataDep {
+            def: d,
+            use_: u,
+            kind: DataDepKind::Local,
+        });
+    }
+    for &(d, u) in &du.heap_edges {
+        data.push(DataDep {
+            def: d,
+            use_: u,
+            kind: DataDepKind::Heap,
+        });
+    }
+    for &(d, u) in &du.param_edges {
+        data.push(DataDep {
+            def: d,
+            use_: u,
+            kind: DataDepKind::Param,
+        });
+    }
+    for &(d, u) in &du.ret_edges {
+        data.push(DataDep {
+            def: d,
+            use_: u,
+            kind: DataDepKind::Return,
+        });
+    }
+
+    // Call sites and interprocedural control edges: every top-level
+    // statement of a callee is control dependent on each of its call sites
+    // (the callee executes iff some caller reaches the call).
+    let mut call_sites: HashMap<MethodId, Vec<StmtId>> = HashMap::new();
+    prog.for_each_stmt(|_, s| {
+        if let NStmtKind::Call { method, .. } = &s.kind {
+            call_sites.entry(*method).or_default().push(s.id);
+        }
+    });
+    let mut call_control = Vec::new();
+    for (mid, sites) in &call_sites {
+        let callee = prog.method(*mid);
+        for s in &callee.body {
+            for &cs in sites {
+                call_control.push((cs, s.id));
+            }
+        }
+    }
+    call_control.sort();
+    call_control.dedup();
+
+    ProgramAnalysis {
+        cfgs,
+        points_to,
+        control,
+        call_control,
+        data,
+        field_updates: du.field_updates,
+        field_uses: du.field_uses,
+        call_sites,
+    }
+}
+
+impl ProgramAnalysis {
+    /// All dependence edge endpoints touching a statement (diagnostics).
+    pub fn degree(&self, s: StmtId) -> usize {
+        self.control
+            .iter()
+            .chain(&self.call_control)
+            .filter(|&&(a, b)| a == s || b == s)
+            .count()
+            + self
+                .data
+                .iter()
+                .filter(|d| d.def == s || d.use_ == s)
+                .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyx_lang::compile;
+
+    /// The paper's running example (Fig. 2), adapted to PyxLang.
+    const RUNNING_EXAMPLE: &str = r#"
+        class Order {
+            int id;
+            double[] realCosts;
+            double totalCost;
+            Order(int id) { this.id = id; }
+            void placeOrder(int cid, double dct) {
+                totalCost = 0.0;
+                computeTotalCost(dct);
+                updateAccount(cid, totalCost);
+            }
+            void computeTotalCost(double dct) {
+                int i = 0;
+                double[] costs = getCosts();
+                realCosts = new double[costs.length];
+                for (double itemCost : costs) {
+                    double realCost;
+                    realCost = itemCost * dct;
+                    totalCost += realCost;
+                    realCosts[i++] = realCost;
+                    insertNewLineItem(id, realCost);
+                }
+            }
+            double[] getCosts() {
+                row[] rs = dbQuery("SELECT cost FROM items WHERE oid = ?", id);
+                double[] o = new double[rs.length];
+                for (int k = 0; k < rs.length; k++) { o[k] = rs[k].getDouble(0); }
+                return o;
+            }
+            void updateAccount(int cid, double total) {
+                dbUpdate("UPDATE accounts SET bal = bal - ? WHERE cid = ?", total, cid);
+            }
+            void insertNewLineItem(int oid, double c) {
+                dbUpdate("INSERT INTO line_items VALUES (?, ?)", oid, c);
+            }
+        }
+    "#;
+
+    #[test]
+    fn running_example_analyzes() {
+        let p = compile(RUNNING_EXAMPLE).expect("compile");
+        let a = analyze(&p, AnalysisConfig::default());
+        assert_eq!(a.cfgs.len(), p.methods.len());
+        assert!(!a.control.is_empty(), "loops create control deps");
+        assert!(!a.data.is_empty());
+        assert!(
+            a.data.iter().any(|d| d.kind == DataDepKind::Heap),
+            "totalCost and realCosts flow through the heap"
+        );
+        assert!(
+            !a.field_updates.is_empty(),
+            "totalCost/realCosts/id updates"
+        );
+        // insertNewLineItem is called from the loop: its body statements are
+        // control dependent on the call site.
+        let insert = p.find_method("Order", "insertNewLineItem").unwrap();
+        let sites = &a.call_sites[&insert];
+        assert_eq!(sites.len(), 1);
+        assert!(a
+            .call_control
+            .iter()
+            .any(|&(cs, _)| cs == sites[0]));
+    }
+
+    #[test]
+    fn paper_fig4_independent_statements_have_no_mutual_deps() {
+        // Paper §4.2 on Fig. 4: "lines 20–22 … can be safely executed in
+        // any order, as long as they follow line 19". In our NIR:
+        // totalCost += realCost; realCosts[i++] = realCost; and the
+        // insertNewLineItem call all depend on realCost's definition but
+        // not on each other (modulo the i++ counter, which is separate).
+        let p = compile(RUNNING_EXAMPLE).expect("compile");
+        let a = analyze(&p, AnalysisConfig::default());
+
+        // Find the def stmt of realCost (binary multiply).
+        let compute = p.find_method("Order", "computeTotalCost").unwrap();
+        let mut realcost_def = None;
+        p.for_each_stmt(|m, s| {
+            if m == compute {
+                if let NStmtKind::Assign {
+                    rv: pyx_lang::Rvalue::Binary(pyx_lang::ast::BinOp::Mul, _, _),
+                    ..
+                } = &s.kind
+                {
+                    realcost_def = Some(s.id);
+                }
+            }
+        });
+        let realcost_def = realcost_def.expect("realCost = itemCost * dct");
+        // It must have at least 3 uses (totalCost update, array store, call).
+        let uses = a
+            .data
+            .iter()
+            .filter(|d| d.def == realcost_def)
+            .count();
+        assert!(uses >= 3, "realCost feeds 3 consumers, got {uses}");
+    }
+
+    #[test]
+    fn degree_reports_connectivity() {
+        let p = compile("class C { int f() { int x = 1; return x; } }").unwrap();
+        let a = analyze(&p, AnalysisConfig::default());
+        let mut first = None;
+        p.for_each_stmt(|_, s| {
+            if first.is_none() {
+                first = Some(s.id);
+            }
+        });
+        assert!(a.degree(first.unwrap()) >= 1);
+    }
+}

@@ -1,0 +1,55 @@
+//! Criterion bench for the pipeline stages themselves: parsing + analysis,
+//! graph construction, and PyxIL + block compilation for the TPC-C
+//! program. (The paper's partitioner runs offline; these numbers show the
+//! whole pipeline is interactive-speed.)
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pyx_core::{Pyxis, PyxisConfig};
+use pyx_partition::Placement;
+use pyx_pyxil::CompiledPartition;
+use pyx_workloads::tpcc;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let scale = tpcc::TpccScale::default();
+    let (pyxis, mut scratch, entry) = tpcc::setup(scale, 7);
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 7);
+    let profile = pyxis
+        .profile(
+            &mut scratch,
+            (0..100).map(|i| {
+                let r = pyx_sim::Workload::next_txn(&mut gen, i);
+                (r.entry, r.args)
+            }),
+        )
+        .unwrap();
+
+    let mut g = c.benchmark_group("pipeline");
+    g.bench_function("compile_and_analyze", |b| {
+        b.iter(|| Pyxis::compile(tpcc::SRC, PyxisConfig::default()).unwrap())
+    });
+    g.bench_function("build_graph", |b| b.iter(|| pyxis.graph(&profile)));
+    let graph = pyxis.graph(&profile);
+    g.bench_function("solve_budgeted", |b| {
+        b.iter(|| pyxis.partition(&graph, 0.5))
+    });
+    let placement = pyxis.partition(&graph, 0.5);
+    g.bench_function("pyxil_and_blocks", |b| {
+        b.iter(|| {
+            CompiledPartition::build(&pyxis.prog, &pyxis.analysis, placement.clone(), true)
+        })
+    });
+    g.bench_function("reference_deployments", |b| {
+        b.iter(|| {
+            let _ = CompiledPartition::build(
+                &pyxis.prog,
+                &pyxis.analysis,
+                Placement::all_app(&pyxis.prog),
+                false,
+            );
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_pipeline);
+criterion_main!(benches);

@@ -1,0 +1,62 @@
+//! Criterion bench comparing the two partition solvers: the Lagrangian
+//! min-cut on the full TPC-C graph (where exact B&B over a dense simplex
+//! tableau is intractable — the reason the paper used Gurobi/lpsolve),
+//! and both solvers head-to-head on micro2's small graph.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pyx_partition::{solve, SolverKind};
+use pyx_runtime::ArgVal;
+use pyx_workloads::{micro, tpcc};
+
+fn bench_solvers(c: &mut Criterion) {
+    let scale = tpcc::TpccScale::default();
+    let (pyxis, mut scratch, entry) = tpcc::setup(scale, 7);
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 7);
+    let profile = pyxis
+        .profile(
+            &mut scratch,
+            (0..100).map(|i| {
+                let r = pyx_sim::Workload::next_txn(&mut gen, i);
+                (r.entry, r.args)
+            }),
+        )
+        .unwrap();
+    let graph = pyxis.graph(&profile);
+    let budget = graph.total_load() * 0.5;
+
+    let (m2, mut m2db, m2entry) = micro::micro2_setup();
+    let m2profile = m2
+        .profile(
+            &mut m2db,
+            vec![(
+                m2entry,
+                vec![ArgVal::Int(40), ArgVal::Int(200), ArgVal::Int(40)],
+            )],
+        )
+        .unwrap();
+    let m2graph = m2.graph(&m2profile);
+    let m2budget = m2graph.total_load() * 0.45;
+
+    let mut g = c.benchmark_group("solver");
+    g.sample_size(10);
+    g.bench_function("lagrangian_tpcc", |b| {
+        b.iter(|| solve(&pyxis.prog, &graph, budget, SolverKind::Budgeted))
+    });
+    g.bench_function("lagrangian_micro2", |b| {
+        b.iter(|| solve(&m2.prog, &m2graph, m2budget, SolverKind::Budgeted))
+    });
+    g.bench_function("bnb_micro2", |b| {
+        b.iter(|| {
+            solve(
+                &m2.prog,
+                &m2graph,
+                m2budget,
+                SolverKind::Exact { node_limit: 500 },
+            )
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_solvers);
+criterion_main!(benches);

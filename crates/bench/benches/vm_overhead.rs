@@ -1,0 +1,56 @@
+//! Criterion bench for microbenchmark 1 (§7.3): wall-clock cost of the
+//! Pyxis execution-block VM versus the direct interpreter versus native
+//! Rust on the linked-list program, single-host placement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pyx_db::Engine;
+use pyx_lang::Value;
+use pyx_profile::{Interp, NullTracer};
+use pyx_runtime::cost::RtCosts;
+use pyx_runtime::session::{run_to_completion, Session};
+use pyx_runtime::ArgVal;
+use pyx_workloads::micro;
+use std::hint::black_box;
+
+const N: i64 = 2_000;
+
+fn bench_vm_overhead(c: &mut Criterion) {
+    let (pyxis, entry) = micro::micro1_setup();
+    let jdbc = pyxis.deploy_jdbc();
+    let expect = micro::micro1_native(N);
+
+    let mut g = c.benchmark_group("micro1");
+    g.bench_function("native_rust", |b| {
+        b.iter(|| black_box(micro::micro1_native(black_box(N))))
+    });
+    g.bench_function("interpreter", |b| {
+        b.iter(|| {
+            let mut db = Engine::new();
+            let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+            let r = it
+                .call_entry(entry, vec![Value::Int(N)])
+                .unwrap()
+                .unwrap();
+            assert_eq!(r, Value::Int(expect));
+        })
+    });
+    g.bench_function("pyxis_vm", |b| {
+        b.iter(|| {
+            let mut db = Engine::new();
+            let mut sess = Session::new(
+                &jdbc.il,
+                &jdbc.bp,
+                entry,
+                &[ArgVal::Int(N)],
+                RtCosts::default(),
+            )
+            .unwrap();
+            run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
+            assert_eq!(sess.result, Some(Value::Int(expect)));
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_vm_overhead);
+criterion_main!(benches);

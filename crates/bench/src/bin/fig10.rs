@@ -1,0 +1,102 @@
+//! Figure 10 — TPC-C on a 3-core database server (limited CPU): latency,
+//! DB CPU, and network versus throughput.
+//!
+//! Expected shape (paper): Manual wins at low load but saturates the
+//! 3-core DB and falls behind at high load; Pyxis, given a small budget,
+//! produces a JDBC-like partition and tracks JDBC's superior high-load
+//! behaviour.
+
+use pyx_bench::scenarios::TpccEnv;
+use pyx_bench::{print_table, sweep};
+
+fn main() {
+    // Small CPU budget: Pyxis should produce a JDBC-like partition.
+    let env = TpccEnv::build(0.02);
+    let (_, placement, _) = &env.set.pyxis[0];
+    println!(
+        "# Pyxis partition (budget 0.02): {}",
+        env.pyxis.describe_placement(placement)
+    );
+
+    let targets = [50.0, 100.0, 200.0, 300.0, 450.0, 600.0, 800.0];
+    let points = sweep(
+        &env.set,
+        &targets,
+        &env.cfg(3),
+        || env.fresh_engine(),
+        || Box::new(env.fresh_workload(4321)),
+    );
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.x),
+                format!("{:.0}\t{:.2}", p.jdbc.throughput_tps, p.jdbc.avg_latency_ms),
+                format!(
+                    "{:.0}\t{:.2}",
+                    p.manual.throughput_tps, p.manual.avg_latency_ms
+                ),
+                format!(
+                    "{:.0}\t{:.2}",
+                    p.pyxis.throughput_tps, p.pyxis.avg_latency_ms
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 10(a) TPC-C 3-core: latency vs throughput",
+        &[
+            "target_tps",
+            "jdbc_tput\tjdbc_ms",
+            "manual_tput\tmanual_ms",
+            "pyxis_tput\tpyxis_ms",
+        ],
+        &rows,
+    );
+
+    let cpu: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.x),
+                format!("{:.1}", p.jdbc.db_cpu_pct),
+                format!("{:.1}", p.manual.db_cpu_pct),
+                format!("{:.1}", p.pyxis.db_cpu_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 10(b) TPC-C 3-core: DB CPU %",
+        &["target_tps", "jdbc_cpu", "manual_cpu", "pyxis_cpu"],
+        &cpu,
+    );
+
+    let net: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.x),
+                format!("{:.0}\t{:.0}", p.jdbc.db_recv_kbs, p.jdbc.db_sent_kbs),
+                format!("{:.0}\t{:.0}", p.manual.db_recv_kbs, p.manual.db_sent_kbs),
+                format!("{:.0}\t{:.0}", p.pyxis.db_recv_kbs, p.pyxis.db_sent_kbs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 10(c) TPC-C 3-core: network KB/s at DB (recv/sent)",
+        &[
+            "target_tps",
+            "jdbc_recv\tjdbc_sent",
+            "manual_recv\tmanual_sent",
+            "pyxis_recv\tpyxis_sent",
+        ],
+        &net,
+    );
+
+    let hi = points.last().expect("points");
+    println!(
+        "\n# headline: at highest offered load, throughput — jdbc {:.0}, manual {:.0}, pyxis {:.0} (pyxis should track jdbc, beat manual)",
+        hi.jdbc.throughput_tps, hi.manual.throughput_tps, hi.pyxis.throughput_tps
+    );
+}

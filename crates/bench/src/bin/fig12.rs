@@ -1,0 +1,46 @@
+//! Figure 12 — TPC-W browsing mix, 16-core DB server: average latency
+//! versus WIPS (web interactions per second) for JDBC / Manual / Pyxis
+//! (high budget).
+//!
+//! Expected shape (paper): same trend as TPC-C with a smaller gap (more
+//! app logic per interaction), Pyxis ≈ Manual with slight overhead.
+
+use pyx_bench::scenarios::TpcwEnv;
+use pyx_bench::{print_table, sweep};
+
+fn main() {
+    let env = TpcwEnv::build(2.0);
+    let (_, placement, _) = &env.set.pyxis[0];
+    println!(
+        "# Pyxis partition (budget 2.0): {}",
+        env.pyxis.describe_placement(placement)
+    );
+
+    // Scaled WIPS axis (see fig13's note); 16 cores stay unsaturated
+    // across the sweep, as in the paper.
+    let wips = [100.0, 300.0, 500.0, 650.0, 800.0, 950.0];
+    let points = sweep(
+        &env.set,
+        &wips,
+        &env.cfg(16),
+        || env.fresh_engine(),
+        || Box::new(env.fresh_workload(777)),
+    );
+
+    let rows: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.x),
+                format!("{:.2}", p.jdbc.avg_latency_ms),
+                format!("{:.2}", p.manual.avg_latency_ms),
+                format!("{:.2}", p.pyxis.avg_latency_ms),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 12 TPC-W 16-core: avg latency (ms) vs WIPS",
+        &["wips", "jdbc_ms", "manual_ms", "pyxis_ms"],
+        &rows,
+    );
+}

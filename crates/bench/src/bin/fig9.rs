@@ -1,0 +1,111 @@
+//! Figure 9 — TPC-C on a 16-core database server: (a) average latency,
+//! (b) DB CPU utilization, (c) network traffic at the DB server, each
+//! versus achieved throughput, for JDBC / Manual / Pyxis (high budget).
+//!
+//! Expected shape (paper): Pyxis ≈ Manual; both well below JDBC's latency
+//! and above its maximum throughput (~1.7×).
+
+use pyx_bench::scenarios::TpccEnv;
+use pyx_bench::{print_table, sweep};
+
+fn main() {
+    // High CPU budget: Pyxis should produce a Manual-like partition.
+    let env = TpccEnv::build(2.0);
+    let (_, placement, _) = &env.set.pyxis[0];
+    println!(
+        "# Pyxis partition (budget 2.0): {}",
+        env.pyxis.describe_placement(placement)
+    );
+
+    let targets = [100.0, 200.0, 400.0, 600.0, 800.0, 1000.0, 1300.0, 1600.0];
+    let points = sweep(
+        &env.set,
+        &targets,
+        &env.cfg(16),
+        || env.fresh_engine(),
+        || Box::new(env.fresh_workload(1234)),
+    );
+
+    let lat: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.x),
+                format!("{:.0}\t{:.2}", p.jdbc.throughput_tps, p.jdbc.avg_latency_ms),
+                format!(
+                    "{:.0}\t{:.2}",
+                    p.manual.throughput_tps, p.manual.avg_latency_ms
+                ),
+                format!(
+                    "{:.0}\t{:.2}",
+                    p.pyxis.throughput_tps, p.pyxis.avg_latency_ms
+                ),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 9(a) TPC-C 16-core: latency vs throughput",
+        &[
+            "target_tps",
+            "jdbc_tput\tjdbc_ms",
+            "manual_tput\tmanual_ms",
+            "pyxis_tput\tpyxis_ms",
+        ],
+        &lat,
+    );
+
+    let cpu: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.x),
+                format!("{:.1}", p.jdbc.db_cpu_pct),
+                format!("{:.1}", p.manual.db_cpu_pct),
+                format!("{:.1}", p.pyxis.db_cpu_pct),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 9(b) TPC-C 16-core: DB CPU % vs target throughput",
+        &["target_tps", "jdbc_cpu", "manual_cpu", "pyxis_cpu"],
+        &cpu,
+    );
+
+    let net: Vec<Vec<String>> = points
+        .iter()
+        .map(|p| {
+            vec![
+                format!("{:.0}", p.x),
+                format!("{:.0}\t{:.0}", p.jdbc.db_recv_kbs, p.jdbc.db_sent_kbs),
+                format!("{:.0}\t{:.0}", p.manual.db_recv_kbs, p.manual.db_sent_kbs),
+                format!("{:.0}\t{:.0}", p.pyxis.db_recv_kbs, p.pyxis.db_sent_kbs),
+            ]
+        })
+        .collect();
+    print_table(
+        "Fig 9(c) TPC-C 16-core: network KB/s at DB (recv/sent)",
+        &[
+            "target_tps",
+            "jdbc_recv\tjdbc_sent",
+            "manual_recv\tmanual_sent",
+            "pyxis_recv\tpyxis_sent",
+        ],
+        &net,
+    );
+
+    // Headline check: latency ratio and max-throughput ratio.
+    let low = &points[0];
+    let jdbc_max = points
+        .iter()
+        .map(|p| p.jdbc.throughput_tps)
+        .fold(0.0, f64::max);
+    let pyxis_max = points
+        .iter()
+        .map(|p| p.pyxis.throughput_tps)
+        .fold(0.0, f64::max);
+    println!(
+        "\n# headline: latency(JDBC)/latency(Pyxis) at low load = {:.2}x; max-tput(Pyxis)/max-tput(JDBC) = {:.2}x",
+        low.jdbc.avg_latency_ms / low.pyxis.avg_latency_ms,
+        pyxis_max / jdbc_max
+    );
+}

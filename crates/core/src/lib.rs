@@ -1,0 +1,196 @@
+//! # pyx-core — the Pyxis pipeline (paper Fig. 1)
+//!
+//! Ties every stage together behind one API:
+//!
+//! ```text
+//! source ──parse/normalize──▶ NIR ──instrument+run──▶ profile
+//!    │                          │
+//!    └──static analysis─────────┴──▶ partition graph ──ILP──▶ placement
+//!                                                              │
+//!                    PyxIL (reorder + sync) ◀──────────────────┘
+//!                        │
+//!                        └──▶ execution blocks ──▶ deployable partitions
+//! ```
+//!
+//! [`Pyxis`] owns the compiled program and analysis; [`Pyxis::profile`]
+//! runs the instrumented interpreter over a caller-supplied workload;
+//! [`Pyxis::partition`] solves for a CPU budget; [`Pyxis::deploy`] emits a
+//! runnable [`CompiledPartition`]. [`Pyxis::generate`] produces the full
+//! deployment set the paper evaluates — JDBC-like, Manual-like, and Pyxis
+//! partitions for a list of budgets — ready for `pyx-sim`.
+
+use pyx_analysis::{analyze, AnalysisConfig, ProgramAnalysis};
+use pyx_db::Engine;
+use pyx_lang::{Diag, MethodId, NirProgram, Value};
+use pyx_partition::{
+    solve, CostParams, PartitionGraph, Placement, Side, SolverKind,
+};
+use pyx_profile::{Interp, Profile, Profiler};
+use pyx_pyxil::CompiledPartition;
+use pyx_runtime::ArgVal;
+
+/// Pipeline configuration.
+#[derive(Debug, Clone)]
+pub struct PyxisConfig {
+    pub analysis: AnalysisConfig,
+    pub cost: CostParams,
+    pub solver: SolverKind,
+    /// Apply the §4.4 statement-reordering optimization.
+    pub reorder: bool,
+}
+
+impl Default for PyxisConfig {
+    fn default() -> Self {
+        PyxisConfig {
+            analysis: AnalysisConfig::default(),
+            cost: CostParams::default(),
+            solver: SolverKind::Budgeted,
+            reorder: true,
+        }
+    }
+}
+
+/// A compiled and analyzed application, ready for profiling and
+/// partitioning.
+pub struct Pyxis {
+    pub prog: NirProgram,
+    pub analysis: ProgramAnalysis,
+    pub config: PyxisConfig,
+}
+
+/// The deployment set used throughout the evaluation (§7): the two manual
+/// reference implementations plus Pyxis partitions at the requested
+/// budgets.
+pub struct DeploymentSet {
+    /// All statements on the application server (per-statement JDBC).
+    pub jdbc: CompiledPartition,
+    /// All statements on the database server (hand-written stored
+    /// procedures).
+    pub manual: CompiledPartition,
+    /// Pyxis partitions, one per requested budget fraction, with the
+    /// placement each was solved for.
+    pub pyxis: Vec<(f64, Placement, CompiledPartition)>,
+}
+
+impl Pyxis {
+    /// Compile PyxLang source and run all static analyses.
+    pub fn compile(src: &str, config: PyxisConfig) -> Result<Pyxis, Vec<Diag>> {
+        let prog = pyx_lang::compile(src)?;
+        let analysis = analyze(&prog, config.analysis);
+        Ok(Pyxis {
+            prog,
+            analysis,
+            config,
+        })
+    }
+
+    /// Look up an entry point by class and method name.
+    pub fn entry(&self, class: &str, method: &str) -> Option<MethodId> {
+        self.prog.find_method(class, method)
+    }
+
+    /// Profile the application: run `invocations` through the
+    /// instrumented interpreter against `db` (§4.1). Each invocation is an
+    /// `(entry, args)` pair executed as one transaction. Array arguments
+    /// are materialized in the interpreter heap.
+    pub fn profile(
+        &self,
+        db: &mut Engine,
+        invocations: impl IntoIterator<Item = (MethodId, Vec<ArgVal>)>,
+    ) -> Result<Profile, pyx_lang::RtError> {
+        let mut it = Interp::new(&self.prog, db, Profiler::new(&self.prog));
+        for (entry, args) in invocations {
+            let args: Vec<Value> = args
+                .iter()
+                .map(|a| match a {
+                    ArgVal::Int(v) => Value::Int(*v),
+                    ArgVal::Double(v) => Value::Double(*v),
+                    ArgVal::Bool(v) => Value::Bool(*v),
+                    ArgVal::Str(s) => Value::Str(s.as_str().into()),
+                    ArgVal::IntArray(xs) => {
+                        it.alloc_array(xs.iter().map(|&v| Value::Int(v)).collect())
+                    }
+                    ArgVal::DoubleArray(xs) => {
+                        it.alloc_array(xs.iter().map(|&v| Value::Double(v)).collect())
+                    }
+                })
+                .collect();
+            it.call_entry(entry, args)?;
+        }
+        Ok(it.tracer.profile)
+    }
+
+    /// Build the weighted partition graph from a profile (§4.2).
+    pub fn graph(&self, profile: &Profile) -> PartitionGraph {
+        PartitionGraph::build(&self.prog, &self.analysis, profile, &self.config.cost)
+    }
+
+    /// Solve for a placement. `budget_fraction` scales the DB instruction
+    /// budget relative to the program's total profiled load (0 ⇒ JDBC-like,
+    /// ≥ 1 ⇒ unconstrained).
+    pub fn partition(&self, graph: &PartitionGraph, budget_fraction: f64) -> Placement {
+        let budget = graph.total_load() * budget_fraction;
+        solve(&self.prog, graph, budget, self.config.solver)
+    }
+
+    /// Compile a placement into a deployable partition (PyxIL → blocks).
+    pub fn deploy(&self, placement: Placement) -> CompiledPartition {
+        CompiledPartition::build(&self.prog, &self.analysis, placement, self.config.reorder)
+    }
+
+    /// The all-APP reference deployment.
+    pub fn deploy_jdbc(&self) -> CompiledPartition {
+        CompiledPartition::build(
+            &self.prog,
+            &self.analysis,
+            Placement::all_app(&self.prog),
+            false,
+        )
+    }
+
+    /// The all-DB reference deployment.
+    pub fn deploy_manual(&self) -> CompiledPartition {
+        CompiledPartition::build(
+            &self.prog,
+            &self.analysis,
+            Placement::all_db(&self.prog),
+            false,
+        )
+    }
+
+    /// Produce the full evaluation deployment set: JDBC, Manual, and one
+    /// Pyxis partition per budget fraction.
+    pub fn generate(&self, profile: &Profile, budget_fractions: &[f64]) -> DeploymentSet {
+        let graph = self.graph(profile);
+        let pyxis = budget_fractions
+            .iter()
+            .map(|&f| {
+                let placement = self.partition(&graph, f);
+                let compiled = self.deploy(placement.clone());
+                (f, placement, compiled)
+            })
+            .collect();
+        DeploymentSet {
+            jdbc: self.deploy_jdbc(),
+            manual: self.deploy_manual(),
+            pyxis,
+        }
+    }
+
+    /// Statement statistics (diagnostics).
+    pub fn describe_placement(&self, p: &Placement) -> String {
+        let db = p
+            .stmt_side
+            .iter()
+            .filter(|&&s| s == Side::Db)
+            .count();
+        format!(
+            "{db}/{} statements on DB ({:.0}%), predicted cost {:.0} µs, db load {:.0}/{:.0}",
+            p.stmt_side.len(),
+            100.0 * p.db_fraction(),
+            p.predicted_cost,
+            p.db_load,
+            p.budget
+        )
+    }
+}

@@ -1,0 +1,696 @@
+//! The database engine: SQL execution over locked tables.
+//!
+//! Execution is two-phase per statement: first plan and *lock*, then
+//! mutate. A statement that hits a lock conflict returns
+//! [`DbError::WouldBlock`] (older requester — safe to retry the same
+//! statement after a wake-up) or [`DbError::Deadlock`] (wait-die victim —
+//! the whole transaction must abort and restart) before any mutation, so
+//! retries are idempotent.
+//!
+//! Every result carries a virtual CPU `cost` (see [`crate::cost`]) that the
+//! simulator charges to the database server's cores.
+
+use crate::cost;
+use crate::index::RowId;
+use crate::lock::{Acquire, LockMode, LockTable};
+use crate::schema::TableDef;
+use crate::sqlparse::{self, AggFn, CmpOp, Projection, SetExpr, SqlStmt, Term};
+use crate::table::Table;
+use crate::txn::{Txn, TxnId, UndoOp};
+use pyx_lang::Scalar;
+use std::collections::HashMap;
+use std::rc::Rc;
+
+/// Errors surfaced to the runtime / simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DbError {
+    /// SQL syntax error or unsupported construct.
+    Parse(String),
+    /// Unknown table/column, arity or type mismatch, duplicate key.
+    Schema(String),
+    /// Lock conflict; the transaction may wait and retry this statement.
+    WouldBlock,
+    /// Wait-die victim; the transaction must abort and restart.
+    Deadlock,
+    /// Operation on an unknown or finished transaction.
+    UnknownTxn,
+}
+
+impl std::fmt::Display for DbError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            DbError::Parse(m) => write!(f, "SQL parse error: {m}"),
+            DbError::Schema(m) => write!(f, "schema error: {m}"),
+            DbError::WouldBlock => write!(f, "lock conflict (would block)"),
+            DbError::Deadlock => write!(f, "wait-die deadlock victim"),
+            DbError::UnknownTxn => write!(f, "unknown transaction"),
+        }
+    }
+}
+
+impl std::error::Error for DbError {}
+
+/// Result of one statement.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Result rows (empty for writes).
+    pub rows: Vec<Rc<Vec<Scalar>>>,
+    /// Rows affected by a write.
+    pub affected: u64,
+    /// Virtual CPU cost consumed by this statement.
+    pub cost: u64,
+}
+
+impl QueryResult {
+    /// Total serialized size of the result rows in bytes (for the network
+    /// model).
+    pub fn wire_size(&self) -> u64 {
+        self.rows
+            .iter()
+            .map(|r| 4 + r.iter().map(Scalar::wire_size).sum::<u64>())
+            .sum::<u64>()
+            + 16
+    }
+}
+
+/// Aggregate engine statistics (diagnostics and tests).
+#[derive(Debug, Default, Clone)]
+pub struct EngineStats {
+    pub statements: u64,
+    pub commits: u64,
+    pub aborts: u64,
+    pub would_blocks: u64,
+    pub deadlocks: u64,
+}
+
+/// The in-memory database engine.
+pub struct Engine {
+    tables: Vec<Table>,
+    by_name: HashMap<String, usize>,
+    locks: LockTable,
+    txns: HashMap<TxnId, Txn>,
+    next_txn: u64,
+    parse_cache: HashMap<String, SqlStmt>,
+    pub stats: EngineStats,
+}
+
+impl Default for Engine {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Access path chosen by the planner.
+#[derive(Debug)]
+enum Path {
+    PkPoint(Vec<Scalar>),
+    PkPrefix(Vec<Scalar>),
+    Secondary(usize, Scalar),
+    Full,
+}
+
+impl Engine {
+    pub fn new() -> Self {
+        Engine {
+            tables: Vec::new(),
+            by_name: HashMap::new(),
+            locks: LockTable::new(),
+            txns: HashMap::new(),
+            next_txn: 1,
+            parse_cache: HashMap::new(),
+            stats: EngineStats::default(),
+        }
+    }
+
+    pub fn create_table(&mut self, def: TableDef) {
+        assert!(
+            !self.by_name.contains_key(&def.name),
+            "duplicate table `{}`",
+            def.name
+        );
+        self.by_name.insert(def.name.clone(), self.tables.len());
+        self.tables.push(Table::new(def));
+    }
+
+    /// Bulk-load a row outside any transaction (no locking, no undo).
+    pub fn load_row(&mut self, table: &str, row: Vec<Scalar>) {
+        let ti = *self
+            .by_name
+            .get(table)
+            .unwrap_or_else(|| panic!("unknown table `{table}`"));
+        self.tables[ti]
+            .insert(row)
+            .unwrap_or_else(|e| panic!("bulk load failed: {e}"));
+    }
+
+    pub fn table_len(&self, table: &str) -> usize {
+        self.by_name
+            .get(table)
+            .map(|&t| self.tables[t].len())
+            .unwrap_or(0)
+    }
+
+    /// Snapshot a table's full contents in primary-key order (testing and
+    /// diagnostics — not a transactional read).
+    pub fn dump_table(&self, table: &str) -> Vec<Vec<Scalar>> {
+        let Some(&ti) = self.by_name.get(table) else {
+            return Vec::new();
+        };
+        let t = &self.tables[ti];
+        t.full_scan()
+            .into_iter()
+            .map(|rid| t.get(rid).expect("live row").to_vec())
+            .collect()
+    }
+
+    /// Names of all tables (testing and diagnostics).
+    pub fn table_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.by_name.keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    pub fn begin(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        self.txns.insert(id, Txn::default());
+        id
+    }
+
+    /// Commit: release locks, return (cost, woken waiters).
+    pub fn commit(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
+        let woken = self.locks.release_all(txn);
+        self.stats.commits += 1;
+        Ok((cost::TXN_END, woken))
+    }
+
+    /// Abort: apply the undo log in reverse, release locks.
+    pub fn abort(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        let t = self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
+        let mut c = cost::TXN_END;
+        for op in t.undo.into_iter().rev() {
+            c += cost::ROW_WRITE;
+            match op {
+                UndoOp::Insert { table, key } => {
+                    if let Some(rid) = self.tables[table].pk_lookup(&key) {
+                        self.tables[table]
+                            .delete(rid)
+                            .expect("undo insert: row must exist");
+                    }
+                }
+                UndoOp::Delete { table, row } => {
+                    self.tables[table]
+                        .insert(row)
+                        .expect("undo delete: reinsert must succeed");
+                }
+                UndoOp::Update { table, rid, old } => {
+                    self.tables[table]
+                        .update(rid, old)
+                        .expect("undo update: restore must succeed");
+                }
+            }
+        }
+        let woken = self.locks.release_all(txn);
+        self.stats.aborts += 1;
+        Ok((c, woken))
+    }
+
+    /// Execute one SQL statement inside `txn`.
+    pub fn execute(
+        &mut self,
+        txn: TxnId,
+        sql: &str,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        if !self.txns.contains_key(&txn) {
+            return Err(DbError::UnknownTxn);
+        }
+        self.stats.statements += 1;
+        let stmt = match self.parse_cache.get(sql) {
+            Some(s) => s.clone(),
+            None => {
+                let s = sqlparse::parse(sql).map_err(DbError::Parse)?;
+                self.parse_cache.insert(sql.to_string(), s.clone());
+                s
+            }
+        };
+        let needed = sqlparse::param_count(&stmt);
+        if params.len() < needed {
+            return Err(DbError::Schema(format!(
+                "statement needs {needed} parameters, got {}",
+                params.len()
+            )));
+        }
+        let res = match stmt {
+            SqlStmt::Select(s) => self.exec_select(txn, &s, params),
+            SqlStmt::Insert(i) => self.exec_insert(txn, &i, params),
+            SqlStmt::Update(u) => self.exec_update(txn, &u, params),
+            SqlStmt::Delete(d) => self.exec_delete(txn, &d, params),
+        };
+        match &res {
+            Err(DbError::WouldBlock) => self.stats.would_blocks += 1,
+            Err(DbError::Deadlock) => self.stats.deadlocks += 1,
+            Ok(r) => {
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.cost += r.cost;
+                }
+            }
+            _ => {}
+        }
+        res
+    }
+
+    /// One-shot autocommit helper (tests, loaders).
+    pub fn exec_auto(&mut self, sql: &str, params: &[Scalar]) -> Result<QueryResult, DbError> {
+        let t = self.begin();
+        match self.execute(t, sql, params) {
+            Ok(r) => {
+                self.commit(t)?;
+                Ok(r)
+            }
+            Err(e) => {
+                let _ = self.abort(t);
+                Err(e)
+            }
+        }
+    }
+
+    // ---- helpers ----
+
+    fn table_id(&self, name: &str) -> Result<usize, DbError> {
+        self.by_name
+            .get(name)
+            .copied()
+            .ok_or_else(|| DbError::Schema(format!("unknown table `{name}`")))
+    }
+
+    fn resolve_term(term: &Term, params: &[Scalar]) -> Scalar {
+        match term {
+            Term::Param(i) => params[*i].clone(),
+            Term::Lit(s) => s.clone(),
+        }
+    }
+
+    /// Resolve WHERE columns and parameters; returns (col index, op, value).
+    fn resolve_where(
+        t: &Table,
+        where_: &[sqlparse::Cmp],
+        params: &[Scalar],
+    ) -> Result<Vec<(usize, CmpOp, Scalar)>, DbError> {
+        where_
+            .iter()
+            .map(|c| {
+                let col = t.def.col_index(&c.col).ok_or_else(|| {
+                    DbError::Schema(format!("unknown column `{}` in `{}`", c.col, t.def.name))
+                })?;
+                Ok((col, c.op, Self::resolve_term(&c.term, params)))
+            })
+            .collect()
+    }
+
+    fn plan(t: &Table, preds: &[(usize, CmpOp, Scalar)]) -> Path {
+        let eq: HashMap<usize, &Scalar> = preds
+            .iter()
+            .filter(|(_, op, _)| *op == CmpOp::Eq)
+            .map(|(c, _, v)| (*c, v))
+            .collect();
+        // Longest primary-key prefix covered by equality predicates.
+        let mut prefix = Vec::new();
+        for &pc in &t.def.pkey {
+            match eq.get(&pc) {
+                Some(v) => prefix.push((*v).clone()),
+                None => break,
+            }
+        }
+        if prefix.len() == t.def.pkey.len() && !prefix.is_empty() {
+            return Path::PkPoint(prefix);
+        }
+        if !prefix.is_empty() {
+            return Path::PkPrefix(prefix);
+        }
+        for (&col, v) in &eq {
+            if let Some(slot) = t.secondary_slot(col) {
+                return Path::Secondary(slot, (*v).clone());
+            }
+        }
+        Path::Full
+    }
+
+    /// Find matching rows: returns (row ids, rows examined).
+    fn find_matches(t: &Table, preds: &[(usize, CmpOp, Scalar)]) -> (Vec<RowId>, usize) {
+        let candidates = match Self::plan(t, preds) {
+            Path::PkPoint(k) => t.pk_lookup(&k).into_iter().collect(),
+            Path::PkPrefix(p) => t.pk_prefix_scan(&p),
+            Path::Secondary(slot, v) => t.index_lookup(slot, &v),
+            Path::Full => t.full_scan(),
+        };
+        let examined = candidates.len();
+        let matched = candidates
+            .into_iter()
+            .filter(|&rid| {
+                let row = t.get(rid).expect("candidate row exists");
+                preds
+                    .iter()
+                    .all(|(c, op, v)| op.eval(row[*c].total_cmp(v)))
+            })
+            .collect();
+        (matched, examined)
+    }
+
+    /// Lock each matched row. Returns the lock cost, or the appropriate
+    /// error before any mutation.
+    fn lock_rows(
+        &mut self,
+        txn: TxnId,
+        ti: usize,
+        rids: &[RowId],
+        mode: LockMode,
+    ) -> Result<u64, DbError> {
+        let keys: Vec<Vec<Scalar>> = {
+            let t = &self.tables[ti];
+            rids.iter()
+                .map(|&r| t.def.key_of(t.get(r).expect("row exists")))
+                .collect()
+        };
+        for key in &keys {
+            match self.locks.acquire(txn, ti, key, mode) {
+                Acquire::Granted => {}
+                Acquire::Wait => return Err(DbError::WouldBlock),
+                Acquire::Die => return Err(DbError::Deadlock),
+            }
+        }
+        Ok(cost::LOCK_OP * keys.len() as u64)
+    }
+
+    fn exec_select(
+        &mut self,
+        txn: TxnId,
+        s: &sqlparse::Select,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        let ti = self.table_id(&s.table)?;
+        let preds = Self::resolve_where(&self.tables[ti], &s.where_, params)?;
+        let (matched, examined) = Self::find_matches(&self.tables[ti], &preds);
+
+        let mut c = cost::STMT_BASE
+            + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
+            + cost::ROW_READ * matched.len() as u64
+            + cost::ROW_SCAN * (examined - matched.len()) as u64;
+        c += self.lock_rows(txn, ti, &matched, LockMode::Shared)?;
+
+        let t = &self.tables[ti];
+        let mut rows: Vec<&[Scalar]> = matched
+            .iter()
+            .map(|&r| t.get(r).expect("locked row exists"))
+            .collect();
+
+        // ORDER BY before projection (sort key need not be projected).
+        if let Some((col, desc)) = &s.order_by {
+            let ci = t
+                .def
+                .col_index(col)
+                .ok_or_else(|| DbError::Schema(format!("unknown ORDER BY column `{col}`")))?;
+            rows.sort_by(|a, b| a[ci].total_cmp(&b[ci]));
+            if *desc {
+                rows.reverse();
+            }
+            let n = rows.len().max(1) as u64;
+            c += cost::ROW_SORT * n * (64 - n.leading_zeros() as u64).max(1);
+        }
+        if let Some(limit) = s.limit {
+            rows.truncate(limit);
+        }
+
+        let out: Vec<Rc<Vec<Scalar>>> = match &s.proj {
+            Projection::All => rows.iter().map(|r| Rc::new(r.to_vec())).collect(),
+            Projection::Cols(cols) => {
+                let idxs: Vec<usize> = cols
+                    .iter()
+                    .map(|n| {
+                        t.def.col_index(n).ok_or_else(|| {
+                            DbError::Schema(format!("unknown column `{n}` in `{}`", s.table))
+                        })
+                    })
+                    .collect::<Result<_, _>>()?;
+                rows.iter()
+                    .map(|r| Rc::new(idxs.iter().map(|&i| r[i].clone()).collect()))
+                    .collect()
+            }
+            Projection::Agg(f, col) => {
+                let v = Self::aggregate(t, *f, col.as_deref(), &rows)?;
+                vec![Rc::new(vec![v])]
+            }
+        };
+
+        Ok(QueryResult {
+            rows: out,
+            affected: 0,
+            cost: c,
+        })
+    }
+
+    fn aggregate(
+        t: &Table,
+        f: AggFn,
+        col: Option<&str>,
+        rows: &[&[Scalar]],
+    ) -> Result<Scalar, DbError> {
+        if f == AggFn::Count {
+            return Ok(Scalar::Int(rows.len() as i64));
+        }
+        let col = col.expect("parser enforces column for non-COUNT aggregates");
+        let ci = t
+            .def
+            .col_index(col)
+            .ok_or_else(|| DbError::Schema(format!("unknown aggregate column `{col}`")))?;
+        let vals: Vec<&Scalar> = rows
+            .iter()
+            .map(|r| &r[ci])
+            .filter(|v| !matches!(v, Scalar::Null))
+            .collect();
+        if vals.is_empty() {
+            return Ok(Scalar::Null);
+        }
+        Ok(match f {
+            AggFn::Count => unreachable!(),
+            AggFn::Min => (*vals
+                .iter()
+                .min_by(|a, b| a.total_cmp(b))
+                .expect("nonempty"))
+            .clone(),
+            AggFn::Max => (*vals
+                .iter()
+                .max_by(|a, b| a.total_cmp(b))
+                .expect("nonempty"))
+            .clone(),
+            AggFn::Sum | AggFn::Avg => {
+                let all_int = vals.iter().all(|v| matches!(v, Scalar::Int(_)));
+                if all_int && f == AggFn::Sum {
+                    Scalar::Int(vals.iter().map(|v| v.as_int().expect("int")).sum())
+                } else {
+                    let sum: f64 = vals
+                        .iter()
+                        .map(|v| {
+                            v.as_double().ok_or_else(|| {
+                                DbError::Schema(format!("cannot aggregate {v:?}"))
+                            })
+                        })
+                        .sum::<Result<f64, _>>()?;
+                    if f == AggFn::Sum {
+                        Scalar::Double(sum)
+                    } else {
+                        Scalar::Double(sum / vals.len() as f64)
+                    }
+                }
+            }
+        })
+    }
+
+    fn exec_insert(
+        &mut self,
+        txn: TxnId,
+        ins: &sqlparse::Insert,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        let ti = self.table_id(&ins.table)?;
+        let ncols = self.tables[ti].def.cols.len();
+        let values: Vec<Scalar> = ins
+            .values
+            .iter()
+            .map(|t| Self::resolve_term(t, params))
+            .collect();
+        let row: Vec<Scalar> = match &ins.cols {
+            None => {
+                if values.len() != ncols {
+                    return Err(DbError::Schema(format!(
+                        "INSERT into `{}` needs {ncols} values, got {}",
+                        ins.table,
+                        values.len()
+                    )));
+                }
+                values
+            }
+            Some(cols) => {
+                if cols.len() != values.len() {
+                    return Err(DbError::Schema("INSERT column/value count mismatch".into()));
+                }
+                let mut row = vec![Scalar::Null; ncols];
+                for (name, v) in cols.iter().zip(values) {
+                    let ci = self.tables[ti].def.col_index(name).ok_or_else(|| {
+                        DbError::Schema(format!("unknown column `{name}` in `{}`", ins.table))
+                    })?;
+                    row[ci] = v;
+                }
+                row
+            }
+        };
+        self.tables[ti]
+            .validate(&row)
+            .map_err(DbError::Schema)?;
+        let key = self.tables[ti].def.key_of(&row);
+        match self.locks.acquire(txn, ti, &key, LockMode::Exclusive) {
+            Acquire::Granted => {}
+            Acquire::Wait => return Err(DbError::WouldBlock),
+            Acquire::Die => return Err(DbError::Deadlock),
+        }
+        self.tables[ti].insert(row).map_err(DbError::Schema)?;
+        self.txns
+            .get_mut(&txn)
+            .expect("txn checked in execute")
+            .undo
+            .push(UndoOp::Insert { table: ti, key });
+        Ok(QueryResult {
+            rows: Vec::new(),
+            affected: 1,
+            cost: cost::STMT_BASE
+                + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
+                + cost::ROW_WRITE
+                + cost::LOCK_OP,
+        })
+    }
+
+    fn exec_update(
+        &mut self,
+        txn: TxnId,
+        u: &sqlparse::Update,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        let ti = self.table_id(&u.table)?;
+        let preds = Self::resolve_where(&self.tables[ti], &u.where_, params)?;
+        let (matched, examined) = Self::find_matches(&self.tables[ti], &preds);
+
+        let mut c = cost::STMT_BASE
+            + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
+            + cost::ROW_SCAN * (examined - matched.len()) as u64;
+        c += self.lock_rows(txn, ti, &matched, LockMode::Exclusive)?;
+
+        // Resolve SET expressions.
+        let sets: Vec<(usize, &SetExpr)> = u
+            .sets
+            .iter()
+            .map(|(name, se)| {
+                self.tables[ti]
+                    .def
+                    .col_index(name)
+                    .map(|ci| (ci, se))
+                    .ok_or_else(|| {
+                        DbError::Schema(format!("unknown column `{name}` in `{}`", u.table))
+                    })
+            })
+            .collect::<Result<_, _>>()?;
+
+        let mut affected = 0u64;
+        for rid in matched {
+            let old = self.tables[ti].get(rid).expect("locked row").to_vec();
+            let mut new_row = old.clone();
+            for (ci, se) in &sets {
+                new_row[*ci] = Self::eval_set(se, &old, &self.tables[ti].def, params)?;
+            }
+            let old = self.tables[ti]
+                .update(rid, new_row)
+                .map_err(DbError::Schema)?;
+            self.txns
+                .get_mut(&txn)
+                .expect("txn checked")
+                .undo
+                .push(UndoOp::Update {
+                    table: ti,
+                    rid,
+                    old,
+                });
+            affected += 1;
+            c += cost::ROW_WRITE;
+        }
+        Ok(QueryResult {
+            rows: Vec::new(),
+            affected,
+            cost: c,
+        })
+    }
+
+    fn eval_set(
+        se: &SetExpr,
+        old: &[Scalar],
+        def: &TableDef,
+        params: &[Scalar],
+    ) -> Result<Scalar, DbError> {
+        let arith = |col: &str, t: &Term, sign: f64| -> Result<Scalar, DbError> {
+            let ci = def
+                .col_index(col)
+                .ok_or_else(|| DbError::Schema(format!("unknown column `{col}` in SET")))?;
+            let base = &old[ci];
+            let delta = Self::resolve_term(t, params);
+            match (base, &delta) {
+                (Scalar::Int(a), Scalar::Int(b)) => Ok(Scalar::Int(a + (sign as i64) * b)),
+                _ => {
+                    let a = base.as_double().ok_or_else(|| {
+                        DbError::Schema(format!("non-numeric SET arithmetic on {base:?}"))
+                    })?;
+                    let b = delta.as_double().ok_or_else(|| {
+                        DbError::Schema(format!("non-numeric SET delta {delta:?}"))
+                    })?;
+                    Ok(Scalar::Double(a + sign * b))
+                }
+            }
+        };
+        match se {
+            SetExpr::Term(t) => Ok(Self::resolve_term(t, params)),
+            SetExpr::SelfPlus(col, t) => arith(col, t, 1.0),
+            SetExpr::SelfMinus(col, t) => arith(col, t, -1.0),
+        }
+    }
+
+    fn exec_delete(
+        &mut self,
+        txn: TxnId,
+        d: &sqlparse::Delete,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        let ti = self.table_id(&d.table)?;
+        let preds = Self::resolve_where(&self.tables[ti], &d.where_, params)?;
+        let (matched, examined) = Self::find_matches(&self.tables[ti], &preds);
+
+        let mut c = cost::STMT_BASE
+            + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
+            + cost::ROW_SCAN * (examined - matched.len()) as u64;
+        c += self.lock_rows(txn, ti, &matched, LockMode::Exclusive)?;
+
+        let mut affected = 0u64;
+        for rid in matched {
+            let row = self.tables[ti].delete(rid).map_err(DbError::Schema)?;
+            self.txns
+                .get_mut(&txn)
+                .expect("txn checked")
+                .undo
+                .push(UndoOp::Delete { table: ti, row });
+            affected += 1;
+            c += cost::ROW_WRITE;
+        }
+        Ok(QueryResult {
+            rows: Vec::new(),
+            affected,
+            cost: c,
+        })
+    }
+}

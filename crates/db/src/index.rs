@@ -1,0 +1,225 @@
+//! Ordered index structures keyed by scalar tuples.
+//!
+//! [`Key`] wraps a `Vec<Scalar>` with the total order from
+//! [`Scalar::total_cmp`], making it usable as a `BTreeMap` key. Prefix range
+//! scans (equality on a primary-key prefix) iterate from the prefix padded
+//! with `Null` (which sorts first) until the prefix no longer matches.
+
+use pyx_lang::Scalar;
+use std::collections::BTreeMap;
+use std::ops::Bound;
+
+/// An index key: a tuple of scalars with a total order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Key(pub Vec<Scalar>);
+
+impl Eq for Key {}
+
+impl PartialOrd for Key {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Key {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        for (a, b) in self.0.iter().zip(other.0.iter()) {
+            let o = a.total_cmp(b);
+            if o != std::cmp::Ordering::Equal {
+                return o;
+            }
+        }
+        self.0.len().cmp(&other.0.len())
+    }
+}
+
+impl std::hash::Hash for Key {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        for s in &self.0 {
+            match s {
+                Scalar::Null => 0u8.hash(state),
+                Scalar::Int(v) => {
+                    1u8.hash(state);
+                    v.hash(state);
+                }
+                Scalar::Double(v) => {
+                    2u8.hash(state);
+                    v.to_bits().hash(state);
+                }
+                Scalar::Bool(v) => {
+                    3u8.hash(state);
+                    v.hash(state);
+                }
+                Scalar::Str(v) => {
+                    4u8.hash(state);
+                    v.hash(state);
+                }
+            }
+        }
+    }
+}
+
+impl Key {
+    pub fn starts_with(&self, prefix: &[Scalar]) -> bool {
+        self.0.len() >= prefix.len()
+            && self
+                .0
+                .iter()
+                .zip(prefix)
+                .all(|(a, b)| a.total_cmp(b) == std::cmp::Ordering::Equal)
+    }
+}
+
+/// Internal row handle within a table slab.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RowId(pub u32);
+
+/// Unique (primary) index: key → row.
+#[derive(Debug, Default, Clone)]
+pub struct UniqueIndex {
+    map: BTreeMap<Key, RowId>,
+}
+
+impl UniqueIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    pub fn get(&self, key: &[Scalar]) -> Option<RowId> {
+        self.map.get(&Key(key.to_vec())).copied()
+    }
+
+    /// Insert; returns `false` if the key already exists.
+    pub fn insert(&mut self, key: Vec<Scalar>, row: RowId) -> bool {
+        use std::collections::btree_map::Entry;
+        match self.map.entry(Key(key)) {
+            Entry::Occupied(_) => false,
+            Entry::Vacant(v) => {
+                v.insert(row);
+                true
+            }
+        }
+    }
+
+    pub fn remove(&mut self, key: &[Scalar]) -> Option<RowId> {
+        self.map.remove(&Key(key.to_vec()))
+    }
+
+    /// All rows whose key starts with `prefix`, in key order.
+    pub fn prefix_scan(&self, prefix: &[Scalar]) -> Vec<RowId> {
+        let lo = Key(prefix.to_vec());
+        self.map
+            .range((Bound::Included(lo), Bound::Unbounded))
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(_, &r)| r)
+            .collect()
+    }
+
+    pub fn iter(&self) -> impl Iterator<Item = (&Key, RowId)> {
+        self.map.iter().map(|(k, &r)| (k, r))
+    }
+}
+
+/// Non-unique secondary index: key → set of rows.
+#[derive(Debug, Default, Clone)]
+pub struct MultiIndex {
+    map: BTreeMap<Key, Vec<RowId>>,
+}
+
+impl MultiIndex {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn insert(&mut self, key: Scalar, row: RowId) {
+        self.map.entry(Key(vec![key])).or_default().push(row);
+    }
+
+    pub fn remove(&mut self, key: &Scalar, row: RowId) {
+        if let Some(v) = self.map.get_mut(&Key(vec![key.clone()])) {
+            v.retain(|&r| r != row);
+            if v.is_empty() {
+                self.map.remove(&Key(vec![key.clone()]));
+            }
+        }
+    }
+
+    pub fn get(&self, key: &Scalar) -> &[RowId] {
+        self.map
+            .get(&Key(vec![key.clone()]))
+            .map(|v| v.as_slice())
+            .unwrap_or(&[])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn k(vals: &[i64]) -> Vec<Scalar> {
+        vals.iter().map(|&v| Scalar::Int(v)).collect()
+    }
+
+    #[test]
+    fn unique_index_basic() {
+        let mut idx = UniqueIndex::new();
+        assert!(idx.insert(k(&[1, 2]), RowId(0)));
+        assert!(!idx.insert(k(&[1, 2]), RowId(1)), "duplicate must fail");
+        assert_eq!(idx.get(&k(&[1, 2])), Some(RowId(0)));
+        assert_eq!(idx.remove(&k(&[1, 2])), Some(RowId(0)));
+        assert_eq!(idx.get(&k(&[1, 2])), None);
+    }
+
+    #[test]
+    fn prefix_scan_returns_matching_range_in_order() {
+        let mut idx = UniqueIndex::new();
+        for w in 1..=3i64 {
+            for d in 1..=4i64 {
+                idx.insert(k(&[w, d]), RowId((w * 10 + d) as u32));
+            }
+        }
+        let rows = idx.prefix_scan(&k(&[2]));
+        assert_eq!(
+            rows,
+            vec![RowId(21), RowId(22), RowId(23), RowId(24)]
+        );
+        assert_eq!(idx.prefix_scan(&k(&[9])), Vec::<RowId>::new());
+        // Full-key prefix behaves like point lookup.
+        assert_eq!(idx.prefix_scan(&k(&[3, 4])), vec![RowId(34)]);
+    }
+
+    #[test]
+    fn prefix_scan_empty_prefix_is_full_scan() {
+        let mut idx = UniqueIndex::new();
+        idx.insert(k(&[1]), RowId(1));
+        idx.insert(k(&[2]), RowId(2));
+        assert_eq!(idx.prefix_scan(&[]).len(), 2);
+    }
+
+    #[test]
+    fn multi_index_tracks_duplicates() {
+        let mut idx = MultiIndex::new();
+        idx.insert(Scalar::Str("sf".into()), RowId(1));
+        idx.insert(Scalar::Str("sf".into()), RowId(2));
+        assert_eq!(idx.get(&Scalar::Str("sf".into())), &[RowId(1), RowId(2)]);
+        idx.remove(&Scalar::Str("sf".into()), RowId(1));
+        assert_eq!(idx.get(&Scalar::Str("sf".into())), &[RowId(2)]);
+        idx.remove(&Scalar::Str("sf".into()), RowId(2));
+        assert!(idx.get(&Scalar::Str("sf".into())).is_empty());
+    }
+
+    #[test]
+    fn key_ordering_mixed_lengths() {
+        let a = Key(k(&[1]));
+        let b = Key(k(&[1, 0]));
+        assert!(a < b, "shorter key sorts before its extensions");
+    }
+}

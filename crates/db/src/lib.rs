@@ -1,0 +1,36 @@
+//! # pyx-db — in-memory relational engine (MySQL/JDBC substitute)
+//!
+//! The Pyxis paper evaluates against MySQL 5.5 accessed over JDBC. This crate
+//! is the reproduction's database substrate: an in-memory relational engine
+//! with
+//!
+//! * a SQL subset parser ([`sqlparse`]) covering the statement shapes TPC-C
+//!   and TPC-W need (point/range selects, aggregates, ORDER BY/LIMIT,
+//!   parameterized INSERT/UPDATE/DELETE, arithmetic SET expressions),
+//! * B-tree primary-key and secondary indexes ([`index`]),
+//! * **strict two-phase row locking** with wait-die deadlock avoidance
+//!   ([`lock`]) — essential because the paper's throughput improvements come
+//!   from shorter lock hold times (§1), and
+//! * a virtual **cost model** ([`cost`]): every operation reports how many
+//!   abstract CPU instructions it consumed, which the discrete-event
+//!   simulator charges to the database server's cores.
+//!
+//! The engine never blocks a thread: a lock conflict surfaces as
+//! [`DbError::WouldBlock`], and the caller (the simulator's session driver)
+//! suspends the transaction until [`Engine::commit`]/[`Engine::abort`]
+//! report which waiters may retry.
+
+pub mod cost;
+pub mod engine;
+pub mod index;
+pub mod lock;
+pub mod schema;
+pub mod sqlparse;
+pub mod table;
+pub mod txn;
+
+pub use engine::{DbError, Engine, QueryResult};
+pub use lock::LockMode;
+pub use pyx_lang::Scalar;
+pub use schema::{ColTy, ColumnDef, TableDef};
+pub use txn::TxnId;

@@ -1,0 +1,146 @@
+//! Table schemas: column definitions, primary keys, secondary indexes.
+
+use pyx_lang::Scalar;
+
+/// Column value type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ColTy {
+    Int,
+    Double,
+    Bool,
+    Str,
+}
+
+impl ColTy {
+    /// Does `v` fit this column (NULL fits everything)?
+    pub fn admits(self, v: &Scalar) -> bool {
+        matches!(
+            (self, v),
+            (_, Scalar::Null)
+                | (ColTy::Int, Scalar::Int(_))
+                | (ColTy::Double, Scalar::Double(_))
+                | (ColTy::Double, Scalar::Int(_)) // widening on insert
+                | (ColTy::Bool, Scalar::Bool(_))
+                | (ColTy::Str, Scalar::Str(_))
+        )
+    }
+}
+
+#[derive(Debug, Clone)]
+pub struct ColumnDef {
+    pub name: String,
+    pub ty: ColTy,
+}
+
+impl ColumnDef {
+    pub fn new(name: &str, ty: ColTy) -> Self {
+        ColumnDef {
+            name: name.to_string(),
+            ty,
+        }
+    }
+}
+
+/// A table definition. `pkey` lists column positions forming the primary
+/// key (order matters — prefix range scans use it). `secondary` lists
+/// single-column non-unique index definitions.
+#[derive(Debug, Clone)]
+pub struct TableDef {
+    pub name: String,
+    pub cols: Vec<ColumnDef>,
+    pub pkey: Vec<usize>,
+    pub secondary: Vec<usize>,
+}
+
+impl TableDef {
+    /// Builder-style constructor; panics on unknown column names (schema
+    /// definitions are static program data, so this is a programmer error).
+    pub fn new(name: &str, cols: Vec<ColumnDef>, pkey_names: &[&str]) -> Self {
+        let pkey = pkey_names
+            .iter()
+            .map(|n| {
+                cols.iter()
+                    .position(|c| c.name == *n)
+                    .unwrap_or_else(|| panic!("unknown pkey column `{n}` in table `{name}`"))
+            })
+            .collect();
+        TableDef {
+            name: name.to_string(),
+            cols,
+            pkey,
+            secondary: Vec::new(),
+        }
+    }
+
+    /// Add a single-column secondary index.
+    pub fn with_index(mut self, col: &str) -> Self {
+        let idx = self
+            .cols
+            .iter()
+            .position(|c| c.name == col)
+            .unwrap_or_else(|| panic!("unknown index column `{col}` in `{}`", self.name));
+        self.secondary.push(idx);
+        self
+    }
+
+    pub fn col_index(&self, name: &str) -> Option<usize> {
+        self.cols.iter().position(|c| c.name == name)
+    }
+
+    /// Extract the primary key of a full row.
+    pub fn key_of(&self, row: &[Scalar]) -> Vec<Scalar> {
+        self.pkey.iter().map(|&i| row[i].clone()).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TableDef {
+        TableDef::new(
+            "district",
+            vec![
+                ColumnDef::new("d_w_id", ColTy::Int),
+                ColumnDef::new("d_id", ColTy::Int),
+                ColumnDef::new("d_tax", ColTy::Double),
+                ColumnDef::new("d_name", ColTy::Str),
+            ],
+            &["d_w_id", "d_id"],
+        )
+        .with_index("d_name")
+    }
+
+    #[test]
+    fn composite_pkey_positions() {
+        let t = sample();
+        assert_eq!(t.pkey, vec![0, 1]);
+        assert_eq!(t.secondary, vec![3]);
+    }
+
+    #[test]
+    fn key_extraction() {
+        let t = sample();
+        let row = vec![
+            Scalar::Int(1),
+            Scalar::Int(7),
+            Scalar::Double(0.1),
+            Scalar::Str("d7".into()),
+        ];
+        assert_eq!(t.key_of(&row), vec![Scalar::Int(1), Scalar::Int(7)]);
+    }
+
+    #[test]
+    fn colty_admits() {
+        assert!(ColTy::Int.admits(&Scalar::Int(3)));
+        assert!(ColTy::Double.admits(&Scalar::Int(3)));
+        assert!(!ColTy::Int.admits(&Scalar::Double(3.0)));
+        assert!(ColTy::Str.admits(&Scalar::Null));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown pkey column")]
+    fn unknown_pkey_panics() {
+        TableDef::new("t", vec![ColumnDef::new("a", ColTy::Int)], &["b"]);
+    }
+}

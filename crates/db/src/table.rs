@@ -1,0 +1,255 @@
+//! Row storage: slab of rows + primary and secondary indexes.
+//!
+//! Tables validate types on insert, enforce primary-key uniqueness, and keep
+//! secondary indexes in sync. Locking is *not* done here — the engine
+//! acquires locks before calling into the table so that a lock conflict can
+//! surface before any mutation happens.
+
+use crate::index::{MultiIndex, RowId, UniqueIndex};
+use crate::schema::TableDef;
+use pyx_lang::Scalar;
+
+#[derive(Debug, Clone)]
+pub struct Table {
+    pub def: TableDef,
+    rows: Vec<Option<Vec<Scalar>>>,
+    free: Vec<RowId>,
+    primary: UniqueIndex,
+    secondary: Vec<MultiIndex>,
+    live: usize,
+}
+
+impl Table {
+    pub fn new(def: TableDef) -> Self {
+        let secondary = def.secondary.iter().map(|_| MultiIndex::new()).collect();
+        Table {
+            def,
+            rows: Vec::new(),
+            free: Vec::new(),
+            primary: UniqueIndex::new(),
+            secondary,
+            live: 0,
+        }
+    }
+
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Validate a full row against the schema.
+    pub fn validate(&self, row: &[Scalar]) -> Result<(), String> {
+        if row.len() != self.def.cols.len() {
+            return Err(format!(
+                "table `{}` expects {} columns, got {}",
+                self.def.name,
+                self.def.cols.len(),
+                row.len()
+            ));
+        }
+        for (v, c) in row.iter().zip(&self.def.cols) {
+            if !c.ty.admits(v) {
+                return Err(format!(
+                    "column `{}` of `{}` cannot hold {v:?}",
+                    c.name, self.def.name
+                ));
+            }
+        }
+        Ok(())
+    }
+
+    /// Insert a validated row. Fails on duplicate primary key.
+    pub fn insert(&mut self, row: Vec<Scalar>) -> Result<RowId, String> {
+        self.validate(&row)?;
+        let key = self.def.key_of(&row);
+        let rid = match self.free.pop() {
+            Some(r) => r,
+            None => {
+                self.rows.push(None);
+                RowId((self.rows.len() - 1) as u32)
+            }
+        };
+        if !self.primary.insert(key.clone(), rid) {
+            self.free.push(rid);
+            return Err(format!(
+                "duplicate primary key {key:?} in `{}`",
+                self.def.name
+            ));
+        }
+        for (slot, &col) in self.def.secondary.iter().enumerate() {
+            self.secondary[slot].insert(row[col].clone(), rid);
+        }
+        self.rows[rid.0 as usize] = Some(row);
+        self.live += 1;
+        Ok(rid)
+    }
+
+    pub fn get(&self, rid: RowId) -> Option<&[Scalar]> {
+        self.rows
+            .get(rid.0 as usize)
+            .and_then(|r| r.as_deref())
+    }
+
+    /// Overwrite non-key columns of a row. Returns the old row.
+    /// Primary-key columns must not change (enforced).
+    pub fn update(&mut self, rid: RowId, new_row: Vec<Scalar>) -> Result<Vec<Scalar>, String> {
+        self.validate(&new_row)?;
+        let old = self.rows[rid.0 as usize]
+            .as_ref()
+            .ok_or_else(|| "update of deleted row".to_string())?
+            .clone();
+        if self.def.key_of(&old) != self.def.key_of(&new_row) {
+            return Err(format!(
+                "primary-key update not supported in `{}`",
+                self.def.name
+            ));
+        }
+        for (slot, &col) in self.def.secondary.iter().enumerate() {
+            if old[col] != new_row[col] {
+                self.secondary[slot].remove(&old[col], rid);
+                self.secondary[slot].insert(new_row[col].clone(), rid);
+            }
+        }
+        self.rows[rid.0 as usize] = Some(new_row);
+        Ok(old)
+    }
+
+    /// Delete a row, returning its contents (for undo logging).
+    pub fn delete(&mut self, rid: RowId) -> Result<Vec<Scalar>, String> {
+        let row = self.rows[rid.0 as usize]
+            .take()
+            .ok_or_else(|| "delete of missing row".to_string())?;
+        let key = self.def.key_of(&row);
+        self.primary.remove(&key);
+        for (slot, &col) in self.def.secondary.iter().enumerate() {
+            self.secondary[slot].remove(&row[col], rid);
+        }
+        self.free.push(rid);
+        self.live -= 1;
+        Ok(row)
+    }
+
+    // ---- access paths (all return row ids; the engine locks then reads) ----
+
+    /// Point lookup by full primary key.
+    pub fn pk_lookup(&self, key: &[Scalar]) -> Option<RowId> {
+        self.primary.get(key)
+    }
+
+    /// Range scan on a primary-key prefix.
+    pub fn pk_prefix_scan(&self, prefix: &[Scalar]) -> Vec<RowId> {
+        self.primary.prefix_scan(prefix)
+    }
+
+    /// Secondary-index equality lookup. `slot` indexes `def.secondary`.
+    pub fn index_lookup(&self, slot: usize, key: &Scalar) -> Vec<RowId> {
+        self.secondary[slot].get(key).to_vec()
+    }
+
+    /// Full scan in primary-key order.
+    pub fn full_scan(&self) -> Vec<RowId> {
+        self.primary.iter().map(|(_, r)| r).collect()
+    }
+
+    /// Which secondary-index slot (if any) covers `col`?
+    pub fn secondary_slot(&self, col: usize) -> Option<usize> {
+        self.def.secondary.iter().position(|&c| c == col)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::schema::{ColTy, ColumnDef};
+
+    fn items() -> Table {
+        Table::new(
+            TableDef::new(
+                "item",
+                vec![
+                    ColumnDef::new("i_id", ColTy::Int),
+                    ColumnDef::new("i_name", ColTy::Str),
+                    ColumnDef::new("i_price", ColTy::Double),
+                ],
+                &["i_id"],
+            )
+            .with_index("i_name"),
+        )
+    }
+
+    fn row(id: i64, name: &str, price: f64) -> Vec<Scalar> {
+        vec![
+            Scalar::Int(id),
+            Scalar::Str(name.into()),
+            Scalar::Double(price),
+        ]
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut t = items();
+        let r = t.insert(row(1, "widget", 9.99)).unwrap();
+        assert_eq!(t.get(r).unwrap()[1], Scalar::Str("widget".into()));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn duplicate_pkey_rejected() {
+        let mut t = items();
+        t.insert(row(1, "a", 1.0)).unwrap();
+        assert!(t.insert(row(1, "b", 2.0)).is_err());
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn type_mismatch_rejected() {
+        let mut t = items();
+        let bad = vec![Scalar::Str("x".into()), Scalar::Str("y".into()), Scalar::Int(1)];
+        assert!(t.insert(bad).is_err());
+    }
+
+    #[test]
+    fn update_maintains_secondary_index() {
+        let mut t = items();
+        let r = t.insert(row(1, "old", 1.0)).unwrap();
+        t.update(r, row(1, "new", 2.0)).unwrap();
+        assert!(t.index_lookup(0, &Scalar::Str("old".into())).is_empty());
+        assert_eq!(t.index_lookup(0, &Scalar::Str("new".into())), vec![r]);
+    }
+
+    #[test]
+    fn pkey_update_rejected() {
+        let mut t = items();
+        let r = t.insert(row(1, "a", 1.0)).unwrap();
+        assert!(t.update(r, row(2, "a", 1.0)).is_err());
+    }
+
+    #[test]
+    fn delete_then_reinsert_reuses_slot() {
+        let mut t = items();
+        let r = t.insert(row(1, "a", 1.0)).unwrap();
+        let old = t.delete(r).unwrap();
+        assert_eq!(old[0], Scalar::Int(1));
+        assert_eq!(t.len(), 0);
+        assert!(t.pk_lookup(&[Scalar::Int(1)]).is_none());
+        let r2 = t.insert(row(1, "a2", 1.5)).unwrap();
+        assert_eq!(r, r2, "freed slot should be reused");
+    }
+
+    #[test]
+    fn full_scan_in_pk_order() {
+        let mut t = items();
+        t.insert(row(3, "c", 1.0)).unwrap();
+        t.insert(row(1, "a", 1.0)).unwrap();
+        t.insert(row(2, "b", 1.0)).unwrap();
+        let ids: Vec<i64> = t
+            .full_scan()
+            .iter()
+            .map(|&r| t.get(r).unwrap()[0].as_int().unwrap())
+            .collect();
+        assert_eq!(ids, vec![1, 2, 3]);
+    }
+}

@@ -1,0 +1,47 @@
+//! Transaction bookkeeping: ids, undo logs.
+//!
+//! Transactions follow strict two-phase locking: all locks are held until
+//! [`crate::Engine::commit`] or [`crate::Engine::abort`]. The undo log
+//! records inverse operations so an abort (including TPC-C's 10% programmed
+//! rollbacks, and wait-die victims) restores the pre-transaction state.
+
+use crate::index::RowId;
+use pyx_lang::Scalar;
+
+/// Transaction identifier. Ids are assigned monotonically; a smaller id
+/// means an *older* transaction, which wait-die lets wait rather than die.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TxnId(pub u64);
+
+/// One inverse operation in the undo log.
+#[derive(Debug, Clone)]
+pub enum UndoOp {
+    /// Undo an insert: delete the row with this primary key.
+    Insert { table: usize, key: Vec<Scalar> },
+    /// Undo a delete: re-insert the full row.
+    Delete { table: usize, row: Vec<Scalar> },
+    /// Undo an update: restore the old image.
+    Update {
+        table: usize,
+        rid: RowId,
+        old: Vec<Scalar>,
+    },
+}
+
+/// Per-transaction state held by the engine.
+#[derive(Debug, Default)]
+pub struct Txn {
+    pub undo: Vec<UndoOp>,
+    /// Total virtual CPU cost charged so far (for reporting).
+    pub cost: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_id_ordering_is_age() {
+        assert!(TxnId(1) < TxnId(2));
+    }
+}

@@ -1,0 +1,284 @@
+//! Interleaved-transaction tests: serializability under strict 2PL,
+//! wait-die progress, and bank-transfer invariants under a randomized
+//! scheduler. These model the hot-row contention the TPC-C experiments
+//! depend on.
+
+use pyx_db::{ColTy, ColumnDef, DbError, Engine, Scalar, TableDef, TxnId};
+
+fn bank(n: i64) -> Engine {
+    let mut e = Engine::new();
+    e.create_table(TableDef::new(
+        "acct",
+        vec![
+            ColumnDef::new("id", ColTy::Int),
+            ColumnDef::new("bal", ColTy::Int),
+        ],
+        &["id"],
+    ));
+    for i in 0..n {
+        e.load_row("acct", vec![Scalar::Int(i), Scalar::Int(100)]);
+    }
+    e
+}
+
+fn total(e: &mut Engine) -> i64 {
+    e.exec_auto("SELECT SUM(bal) FROM acct", &[])
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap()
+}
+
+/// One step of a transfer transaction: returns Ok(done) or the blocking
+/// error.
+struct Transfer {
+    txn: TxnId,
+    from: i64,
+    to: i64,
+    step: usize,
+}
+
+impl Transfer {
+    /// Advance one statement; Ok(true) = committed.
+    fn step(&mut self, e: &mut Engine) -> Result<bool, DbError> {
+        match self.step {
+            0 => {
+                e.execute(
+                    self.txn,
+                    "UPDATE acct SET bal = bal - ? WHERE id = ?",
+                    &[Scalar::Int(10), Scalar::Int(self.from)],
+                )?;
+                self.step = 1;
+                Ok(false)
+            }
+            1 => {
+                e.execute(
+                    self.txn,
+                    "UPDATE acct SET bal = bal + ? WHERE id = ?",
+                    &[Scalar::Int(10), Scalar::Int(self.to)],
+                )?;
+                self.step = 2;
+                Ok(false)
+            }
+            _ => {
+                e.commit(self.txn)?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+/// Randomly interleave transfer transactions; wait-die may abort some,
+/// the scheduler restarts them; money must be conserved and every
+/// transfer must eventually commit.
+#[test]
+fn interleaved_transfers_conserve_money() {
+    let mut e = bank(8);
+    let before = total(&mut e);
+
+    // (from, to) pairs with deliberate overlap.
+    let specs: Vec<(i64, i64)> = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 6), (6, 7), (7, 5)];
+    let mut pending: Vec<Transfer> = specs
+        .iter()
+        .map(|&(f, t)| Transfer {
+            txn: e.begin(),
+            from: f,
+            to: t,
+            step: 0,
+        })
+        .collect();
+    let mut committed = 0usize;
+    let mut rng: u64 = 0xDEADBEEF;
+    let mut guard = 0;
+    while committed < specs.len() {
+        guard += 1;
+        assert!(guard < 100_000, "scheduler stuck");
+        if pending.is_empty() {
+            break;
+        }
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let idx = (rng >> 33) as usize % pending.len();
+        let t = &mut pending[idx];
+        match t.step(&mut e) {
+            Ok(true) => {
+                committed += 1;
+                pending.remove(idx);
+            }
+            Ok(false) => {}
+            Err(DbError::WouldBlock) => { /* retry later */ }
+            Err(DbError::Deadlock) => {
+                // Wait-die victim: abort and restart with a fresh txn.
+                let (f, to) = (t.from, t.to);
+                e.abort(t.txn).unwrap();
+                pending[idx] = Transfer {
+                    txn: e.begin(),
+                    from: f,
+                    to,
+                    step: 0,
+                };
+            }
+            Err(other) => panic!("unexpected: {other}"),
+        }
+    }
+    assert_eq!(committed, specs.len(), "all transfers eventually commit");
+    assert_eq!(total(&mut e), before, "money conserved");
+}
+
+/// Two transactions updating the same hot row serialize: the final value
+/// reflects both updates (no lost update).
+#[test]
+fn no_lost_updates_on_hot_row() {
+    let mut e = bank(1);
+    let t1 = e.begin();
+    let t2 = e.begin();
+
+    e.execute(
+        t1,
+        "UPDATE acct SET bal = bal + ? WHERE id = ?",
+        &[Scalar::Int(5), Scalar::Int(0)],
+    )
+    .unwrap();
+    // t2 is younger and conflicts → dies under wait-die.
+    let err = e
+        .execute(
+            t2,
+            "UPDATE acct SET bal = bal + ? WHERE id = ?",
+            &[Scalar::Int(7), Scalar::Int(0)],
+        )
+        .unwrap_err();
+    assert_eq!(err, DbError::Deadlock);
+    e.abort(t2).unwrap();
+    e.commit(t1).unwrap();
+
+    let t3 = e.begin();
+    e.execute(
+        t3,
+        "UPDATE acct SET bal = bal + ? WHERE id = ?",
+        &[Scalar::Int(7), Scalar::Int(0)],
+    )
+    .unwrap();
+    e.commit(t3).unwrap();
+    let r = e
+        .exec_auto("SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Scalar::Int(112));
+}
+
+/// A reader waiting on a writer observes the committed value, never the
+/// uncommitted one (no dirty reads under strict 2PL).
+#[test]
+fn no_dirty_reads() {
+    let mut e = bank(1);
+    let writer = e.begin();
+    let reader = e.begin(); // younger
+
+    e.execute(
+        writer,
+        "UPDATE acct SET bal = ? WHERE id = ?",
+        &[Scalar::Int(999), Scalar::Int(0)],
+    )
+    .unwrap();
+    // Younger reader conflicts with the exclusive lock → dies.
+    let err = e
+        .execute(reader, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .unwrap_err();
+    assert_eq!(err, DbError::Deadlock);
+    e.abort(reader).unwrap();
+
+    // Writer rolls back: its write must never become visible.
+    e.abort(writer).unwrap();
+    let r = e
+        .exec_auto("SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Scalar::Int(100));
+}
+
+/// An older reader waits for a younger writer and then sees the committed
+/// value.
+#[test]
+fn older_reader_waits_and_sees_commit() {
+    let mut e = bank(1);
+    let older = e.begin();
+    let younger = e.begin();
+    e.execute(
+        younger,
+        "UPDATE acct SET bal = ? WHERE id = ?",
+        &[Scalar::Int(55), Scalar::Int(0)],
+    )
+    .unwrap();
+    assert_eq!(
+        e.execute(older, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+            .unwrap_err(),
+        DbError::WouldBlock
+    );
+    let (_, woken) = e.commit(younger).unwrap();
+    assert_eq!(woken, vec![older]);
+    let r = e
+        .execute(older, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Scalar::Int(55));
+    e.commit(older).unwrap();
+}
+
+/// District-counter pattern from TPC-C: update-then-read inside each txn
+/// allocates unique, gap-free ids under contention.
+#[test]
+fn district_counter_allocates_unique_ids() {
+    let mut e = Engine::new();
+    e.create_table(TableDef::new(
+        "district",
+        vec![
+            ColumnDef::new("d_id", ColTy::Int),
+            ColumnDef::new("next_id", ColTy::Int),
+        ],
+        &["d_id"],
+    ));
+    e.load_row("district", vec![Scalar::Int(1), Scalar::Int(100)]);
+
+    let mut ids = Vec::new();
+    let mut backlog: Vec<Option<TxnId>> = vec![None; 10];
+    let mut i = 0usize;
+    let mut guard = 0;
+    while ids.len() < 10 {
+        guard += 1;
+        assert!(guard < 10_000);
+        let slot = i % backlog.len();
+        i += 1;
+        let txn = match backlog[slot] {
+            Some(t) => t,
+            None => {
+                let t = e.begin();
+                backlog[slot] = Some(t);
+                t
+            }
+        };
+        let step = e.execute(
+            txn,
+            "UPDATE district SET next_id = next_id + 1 WHERE d_id = ?",
+            &[Scalar::Int(1)],
+        );
+        match step {
+            Ok(_) => {
+                let r = e
+                    .execute(
+                        txn,
+                        "SELECT next_id FROM district WHERE d_id = ?",
+                        &[Scalar::Int(1)],
+                    )
+                    .unwrap();
+                ids.push(r.rows[0][0].as_int().unwrap() - 1);
+                e.commit(txn).unwrap();
+                backlog[slot] = None;
+            }
+            Err(DbError::WouldBlock) => {}
+            Err(DbError::Deadlock) => {
+                e.abort(txn).unwrap();
+                backlog[slot] = None;
+            }
+            Err(other) => panic!("{other}"),
+        }
+    }
+    ids.sort_unstable();
+    let expect: Vec<i64> = (100..110).collect();
+    assert_eq!(ids, expect, "unique gap-free order ids");
+}

@@ -1,0 +1,202 @@
+//! Exact 0/1 integer programming via branch & bound on LP relaxations.
+//!
+//! This is the reproduction's stand-in for lpsolve/Gurobi on the paper's
+//! Fig. 5 problem. Depth-first search, branching on the most fractional
+//! variable, pruning on the LP bound against the incumbent. Suitable for
+//! instances up to a few hundred variables (the dense simplex dominates
+//! runtime); the benchmark programs use [`crate::budgeted`] instead.
+
+use crate::model::{Constraint, Lp, LpStatus};
+use crate::simplex::solve_lp;
+
+/// Result of a binary ILP solve.
+#[derive(Debug, Clone)]
+pub struct BnbResult {
+    /// Best integral solution found (values are exactly 0.0 or 1.0).
+    pub x: Vec<f64>,
+    pub obj: f64,
+    /// True if the search completed (solution proven optimal).
+    pub proven_optimal: bool,
+    /// Branch & bound nodes explored.
+    pub nodes: usize,
+}
+
+const INT_TOL: f64 = 1e-6;
+
+/// Solve `min c·x, x ∈ {0,1}^n` subject to `lp.constraints`.
+///
+/// `binary_vars` lists the variables that must be integral (all of them for
+/// the partitioning problem). `node_limit` bounds the search; if hit, the
+/// best incumbent is returned with `proven_optimal = false`.
+pub fn solve_binary(lp: &Lp, binary_vars: &[usize], node_limit: usize) -> Option<BnbResult> {
+    // Unit bounds for every binary variable.
+    let mut base = lp.clone();
+    for &v in binary_vars {
+        base.add(Constraint::le(vec![(v, 1.0)], 1.0));
+    }
+
+    let mut best: Option<(Vec<f64>, f64)> = None;
+    let mut nodes = 0usize;
+    // Stack of (fixed assignments).
+    let mut stack: Vec<Vec<(usize, f64)>> = vec![Vec::new()];
+    let mut exhausted = true;
+
+    while let Some(fixed) = stack.pop() {
+        if nodes >= node_limit {
+            exhausted = false;
+            break;
+        }
+        nodes += 1;
+
+        let mut sub = base.clone();
+        for &(v, val) in &fixed {
+            sub.add(Constraint::eq(vec![(v, 1.0)], val));
+        }
+        let sol = solve_lp(&sub);
+        match sol.status {
+            LpStatus::Infeasible => continue,
+            LpStatus::Unbounded => continue, // cannot happen with unit bounds
+            LpStatus::Optimal | LpStatus::IterLimit => {}
+        }
+        // Prune on bound.
+        if let Some((_, incumbent)) = &best {
+            if sol.obj >= *incumbent - 1e-9 {
+                continue;
+            }
+        }
+        // Most fractional binary variable.
+        let frac = binary_vars
+            .iter()
+            .map(|&v| (v, (sol.x[v] - sol.x[v].round()).abs()))
+            .filter(|&(_, f)| f > INT_TOL)
+            .max_by(|a, b| a.1.partial_cmp(&b.1).expect("no NaN"));
+        match frac {
+            None => {
+                // Integral: round exactly and record.
+                let mut x = sol.x.clone();
+                for &v in binary_vars {
+                    x[v] = x[v].round();
+                }
+                let obj = lp.objective_at(&x);
+                let better = match &best {
+                    None => true,
+                    Some((_, b)) => obj < *b - 1e-12,
+                };
+                if better {
+                    best = Some((x, obj));
+                }
+            }
+            Some((v, _)) => {
+                // Branch: explore the rounding-preferred side last so it is
+                // popped first (DFS), improving early incumbents.
+                let preferred = sol.x[v].round();
+                let other = 1.0 - preferred;
+                let mut a = fixed.clone();
+                a.push((v, other));
+                stack.push(a);
+                let mut b = fixed;
+                b.push((v, preferred));
+                stack.push(b);
+            }
+        }
+    }
+
+    best.map(|(x, obj)| BnbResult {
+        x,
+        obj,
+        proven_optimal: exhausted,
+        nodes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn knapsack() {
+        // max 5a + 4b + 3c  s.t. 2a + 3b + c <= 4  →  min -(...)
+        // Optimal: a=1, c=1 → value 8 (b would exceed capacity with a).
+        let mut lp = Lp::new(3);
+        lp.objective = vec![-5.0, -4.0, -3.0];
+        lp.add(Constraint::le(vec![(0, 2.0), (1, 3.0), (2, 1.0)], 4.0));
+        let r = solve_binary(&lp, &[0, 1, 2], 1000).expect("feasible");
+        assert!(r.proven_optimal);
+        assert_eq!(r.x, vec![1.0, 0.0, 1.0]);
+        assert!((r.obj + 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn infeasible_binary() {
+        // a + b >= 3 with binaries is infeasible.
+        let mut lp = Lp::new(2);
+        lp.objective = vec![1.0, 1.0];
+        lp.add(Constraint::ge(vec![(0, 1.0), (1, 1.0)], 3.0));
+        assert!(solve_binary(&lp, &[0, 1], 1000).is_none());
+    }
+
+    #[test]
+    fn equality_pins() {
+        let mut lp = Lp::new(2);
+        lp.objective = vec![1.0, -1.0];
+        lp.add(Constraint::eq(vec![(0, 1.0)], 1.0));
+        let r = solve_binary(&lp, &[0, 1], 1000).unwrap();
+        assert_eq!(r.x, vec![1.0, 1.0]);
+    }
+
+    #[test]
+    fn tiny_partition_problem_matches_paper_shape() {
+        // Fig. 5 mini-instance: nodes n0 (pinned APP), n1, n2 (pinned DB).
+        // Edges: (n0,n1) w=10, (n1,n2) w=1. Budget allows n1 on DB.
+        // Expect n1 = DB (cut the cheap edge... cut (n0,n1) w=10? No:
+        // cutting (n0,n1) costs 10, cutting (n1,n2) costs 1 → put n1 with
+        // n0 (APP): cut (n1,n2) = 1. Unless the budget forces otherwise.
+        let n = 3; // node vars 0..3, edge vars 3..5
+        let mut lp = Lp::new(5);
+        lp.objective = vec![0.0, 0.0, 0.0, 10.0, 1.0];
+        lp.add(Constraint::eq(vec![(0, 1.0)], 0.0)); // n0 = APP
+        lp.add(Constraint::eq(vec![(2, 1.0)], 1.0)); // n2 = DB
+        // e0 = |n0 - n1|
+        lp.add(Constraint::le(vec![(0, 1.0), (1, -1.0), (3, -1.0)], 0.0));
+        lp.add(Constraint::le(vec![(1, 1.0), (0, -1.0), (3, -1.0)], 0.0));
+        // e1 = |n1 - n2|
+        lp.add(Constraint::le(vec![(1, 1.0), (2, -1.0), (4, -1.0)], 0.0));
+        lp.add(Constraint::le(vec![(2, 1.0), (1, -1.0), (4, -1.0)], 0.0));
+        // Budget: node weights 1 each, budget 2 (not binding).
+        lp.add(Constraint::le(
+            (0..n).map(|i| (i, 1.0)).collect::<Vec<_>>(),
+            2.0,
+        ));
+        let r = solve_binary(&lp, &[0, 1, 2, 3, 4], 10_000).unwrap();
+        assert!(r.proven_optimal);
+        assert_eq!(r.x[1], 0.0, "n1 should stay on APP");
+        assert!((r.obj - 1.0).abs() < 1e-9);
+
+        // Tighten budget to 1 → n1 must still be APP (same solution).
+        // Now pin n1's load high: weight 5 on n1 if on DB, budget 1 →
+        // unchanged. Instead force n1 to DB by making edge (n1,n2) heavy.
+        let mut lp2 = lp.clone();
+        lp2.objective = vec![0.0, 0.0, 0.0, 1.0, 10.0];
+        let r2 = solve_binary(&lp2, &[0, 1, 2, 3, 4], 10_000).unwrap();
+        assert_eq!(r2.x[1], 1.0, "n1 should move to DB");
+        assert!((r2.obj - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn node_limit_returns_incumbent() {
+        let mut lp = Lp::new(6);
+        lp.objective = vec![-1.0, -2.0, -3.0, -4.0, -5.0, -6.0];
+        lp.add(Constraint::le(
+            vec![(0, 1.0), (1, 2.0), (2, 3.0), (3, 4.0), (4, 5.0), (5, 6.0)],
+            7.0,
+        ));
+        let r = solve_binary(&lp, &[0, 1, 2, 3, 4, 5], 2);
+        if let Some(r) = r {
+            assert!(!r.proven_optimal || r.nodes <= 2);
+        }
+        // With a generous limit the same instance is solved optimally.
+        let r = solve_binary(&lp, &[0, 1, 2, 3, 4, 5], 100_000).unwrap();
+        assert!(r.proven_optimal);
+        assert!((r.obj + 7.0).abs() < 1e-9, "obj {}", r.obj);
+    }
+}

@@ -1,0 +1,373 @@
+//! Budgeted min-cut via Lagrangian relaxation — the scalable solver for the
+//! partitioning problem.
+//!
+//! The Fig. 5 BIP is "minimize the weight of cut edges subject to a DB-side
+//! node-load budget". Dualizing the budget constraint with multiplier λ
+//! gives `min cut(x) + λ·(load_DB(x) − B)`, and for each fixed λ the inner
+//! problem is a plain s-t min-cut: every node gets an arc from the APP
+//! source with capacity `λ·load`, so placing it on the DB side pays its
+//! (scaled) load. Bisection on λ finds the cheapest cut that satisfies the
+//! budget. This exploits exactly the structure commercial ILP solvers
+//! discover on these instances, and scales to the benchmark programs where
+//! a dense-tableau B&B would not.
+
+use crate::maxflow::FlowNetwork;
+
+/// Placement side. `App` is the flow source side, `Db` the sink side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Side {
+    App,
+    Db,
+}
+
+/// A budgeted-cut problem instance.
+#[derive(Debug, Clone)]
+pub struct BudgetedCut {
+    n: usize,
+    edges: Vec<(usize, usize, f64)>,
+    loads: Vec<f64>,
+    pins: Vec<Option<Side>>,
+    budget: f64,
+}
+
+/// Solution: a side per node plus diagnostics.
+#[derive(Debug, Clone)]
+pub struct CutAssignment {
+    pub side: Vec<Side>,
+    /// Total weight of cut edges (the paper's network-latency objective).
+    pub cut_cost: f64,
+    /// Total load of nodes assigned to the DB.
+    pub db_load: f64,
+    /// The multiplier at which this assignment was found (0 = unconstrained).
+    pub lambda: f64,
+    /// False if even the all-APP assignment exceeds the budget (only
+    /// possible when DB-pinned nodes alone exceed it).
+    pub within_budget: bool,
+}
+
+const INF: f64 = 1e18;
+
+impl BudgetedCut {
+    /// `loads[i]` is the CPU load node `i` adds to the database server if
+    /// placed there; `budget` caps the sum over DB-side nodes.
+    pub fn new(n: usize, budget: f64) -> Self {
+        BudgetedCut {
+            n,
+            edges: Vec::new(),
+            loads: vec![0.0; n],
+            pins: vec![None; n],
+            budget,
+        }
+    }
+
+    /// Add an undirected dependency edge: weight is paid iff `u` and `v`
+    /// land on different sides.
+    pub fn add_edge(&mut self, u: usize, v: usize, w: f64) {
+        debug_assert!(w >= 0.0);
+        if u != v && w > 0.0 {
+            self.edges.push((u, v, w));
+        }
+    }
+
+    pub fn set_load(&mut self, node: usize, load: f64) {
+        self.loads[node] = load;
+    }
+
+    pub fn pin(&mut self, node: usize, side: Side) {
+        self.pins[node] = Some(side);
+    }
+
+    fn solve_lambda(&self, lambda: f64) -> CutAssignment {
+        let s = self.n;
+        let t = self.n + 1;
+        let mut g = FlowNetwork::new(self.n + 2);
+        for &(u, v, w) in &self.edges {
+            g.add_undirected(u, v, w);
+        }
+        for i in 0..self.n {
+            match self.pins[i] {
+                Some(Side::App) => g.add_edge(s, i, INF),
+                Some(Side::Db) => g.add_edge(i, t, INF),
+                None => {}
+            }
+            // Pinned nodes don't get a λ·load arc: an App pin makes it
+            // pointless, and for a Db pin the load is unavoidable (and a
+            // large λ·load arc would overwhelm the pin's capacity).
+            if lambda > 0.0 && self.loads[i] > 0.0 && self.pins[i].is_none() {
+                g.add_edge(s, i, (lambda * self.loads[i]).min(INF / 1e3));
+            }
+        }
+        g.max_flow(s, t);
+        let src_side = g.min_cut_source_side(s);
+        let side: Vec<Side> = (0..self.n)
+            .map(|i| if src_side[i] { Side::App } else { Side::Db })
+            .collect();
+        self.evaluate(side, lambda)
+    }
+
+    fn evaluate(&self, side: Vec<Side>, lambda: f64) -> CutAssignment {
+        let cut_cost = self
+            .edges
+            .iter()
+            .filter(|&&(u, v, _)| side[u] != side[v])
+            .map(|&(_, _, w)| w)
+            .sum();
+        let db_load = (0..self.n)
+            .filter(|&i| side[i] == Side::Db)
+            .map(|i| self.loads[i])
+            .sum::<f64>();
+        let within = db_load <= self.budget + 1e-9;
+        CutAssignment {
+            side,
+            cut_cost,
+            db_load,
+            lambda,
+            within_budget: within,
+        }
+    }
+
+    /// Solve: cheapest cut whose DB-side load fits the budget.
+    pub fn solve(&self) -> CutAssignment {
+        // If the DB-pinned nodes alone exceed the budget, no assignment is
+        // feasible; report the best-effort layout immediately.
+        let pinned_db_load: f64 = (0..self.n)
+            .filter(|&i| self.pins[i] == Some(Side::Db))
+            .map(|i| self.loads[i])
+            .sum();
+        if pinned_db_load > self.budget + 1e-9 {
+            let side: Vec<Side> = (0..self.n)
+                .map(|i| match self.pins[i] {
+                    Some(Side::Db) => Side::Db,
+                    _ => Side::App,
+                })
+                .collect();
+            return self.evaluate(side, f64::INFINITY);
+        }
+
+        // λ = 0: unconstrained minimum cut.
+        let free = self.solve_lambda(0.0);
+        if free.within_budget {
+            return free;
+        }
+
+        // Find a feasible λ by doubling.
+        let mut lo = 0.0f64;
+        let mut hi = 1e-9f64;
+        let mut best: Option<CutAssignment> = None;
+        for _ in 0..80 {
+            let a = self.solve_lambda(hi);
+            if a.within_budget {
+                best = Some(a);
+                break;
+            }
+            lo = hi;
+            hi *= 4.0;
+        }
+        let Some(mut best) = best else {
+            // Even λ→∞ (everything unpinned on APP) violates the budget:
+            // DB pins alone exceed it. Return the all-APP-possible layout.
+            let side: Vec<Side> = (0..self.n)
+                .map(|i| match self.pins[i] {
+                    Some(Side::Db) => Side::Db,
+                    _ => Side::App,
+                })
+                .collect();
+            return self.evaluate(side, f64::INFINITY);
+        };
+
+        // Bisect to the cheapest feasible assignment.
+        for _ in 0..60 {
+            let mid = 0.5 * (lo + hi);
+            let a = self.solve_lambda(mid);
+            if a.within_budget {
+                if a.cut_cost <= best.cut_cost {
+                    best = a;
+                }
+                hi = mid;
+            } else {
+                lo = mid;
+            }
+            if hi - lo < 1e-12 * hi.max(1.0) {
+                break;
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unconstrained_puts_everything_with_heavier_neighbourhood() {
+        // n0 pinned APP — n1 — n2 pinned DB, edge weights 10 / 1.
+        let mut p = BudgetedCut::new(3, f64::INFINITY);
+        p.pin(0, Side::App);
+        p.pin(2, Side::Db);
+        p.add_edge(0, 1, 10.0);
+        p.add_edge(1, 2, 1.0);
+        let a = p.solve();
+        assert_eq!(a.side[1], Side::App);
+        assert!((a.cut_cost - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_forces_node_off_the_db() {
+        // n1 prefers DB (heavy edge to the DB pin) but its load exceeds
+        // the budget → must stay on APP, paying the expensive edge.
+        let mut p = BudgetedCut::new(3, 5.0);
+        p.pin(0, Side::App);
+        p.pin(2, Side::Db);
+        p.add_edge(0, 1, 1.0);
+        p.add_edge(1, 2, 10.0);
+        p.set_load(1, 6.0); // > budget
+        let a = p.solve();
+        assert_eq!(a.side[1], Side::App);
+        assert!(a.within_budget);
+        assert!((a.cut_cost - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn generous_budget_keeps_node_on_db() {
+        let mut p = BudgetedCut::new(3, 10.0);
+        p.pin(0, Side::App);
+        p.pin(2, Side::Db);
+        p.add_edge(0, 1, 1.0);
+        p.add_edge(1, 2, 10.0);
+        p.set_load(1, 6.0);
+        let a = p.solve();
+        assert_eq!(a.side[1], Side::Db);
+        assert!((a.cut_cost - 1.0).abs() < 1e-9);
+        assert!((a.db_load - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn budget_selects_cheapest_subset() {
+        // Two independent chains to the DB pin; budget fits only one node.
+        // Chain A: app—a(10)—db with load 5; chain B: app—b(3)—db load 5.
+        // Budget 5: put `a` (saves 10-1=9... ) Let's check: placing a on DB
+        // cuts (app,a)=1 instead of (a,db)=10; placing b on DB cuts 1
+        // instead of 3. Only one fits: choose a.
+        let mut p = BudgetedCut::new(4, 5.0);
+        p.pin(0, Side::App);
+        p.pin(3, Side::Db);
+        p.add_edge(0, 1, 1.0);
+        p.add_edge(1, 3, 10.0);
+        p.add_edge(0, 2, 1.0);
+        p.add_edge(2, 3, 3.0);
+        p.set_load(1, 5.0);
+        p.set_load(2, 5.0);
+        let a = p.solve();
+        assert!(a.within_budget);
+        assert_eq!(a.side[1], Side::Db, "high-benefit node goes to DB");
+        assert_eq!(a.side[2], Side::App, "low-benefit node stays on APP");
+        assert!((a.cut_cost - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_budget_pushes_everything_to_app() {
+        let mut p = BudgetedCut::new(4, 0.0);
+        p.pin(3, Side::Db); // the "database code" node has zero load
+        for i in 0..3 {
+            p.add_edge(i, 3, 5.0);
+            p.set_load(i, 1.0);
+        }
+        p.add_edge(0, 1, 2.0);
+        let a = p.solve();
+        assert!(a.within_budget);
+        for i in 0..3 {
+            assert_eq!(a.side[i], Side::App);
+        }
+        assert!((a.db_load - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn impossible_budget_flagged() {
+        let mut p = BudgetedCut::new(2, 1.0);
+        p.pin(1, Side::Db);
+        p.set_load(1, 10.0); // pinned load alone exceeds budget
+        p.add_edge(0, 1, 1.0);
+        let a = p.solve();
+        assert!(!a.within_budget);
+        assert_eq!(a.side[0], Side::App);
+    }
+
+    #[test]
+    fn matches_bnb_on_random_small_instances() {
+        // Cross-validate the Lagrangian solver against exact B&B on small
+        // random instances. The Lagrangian solution may be suboptimal (its
+        // duality gap), but must be feasible and within a small factor.
+        let mut state = 99u64;
+        let mut rnd = move || {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            (state >> 33) as f64 / (u32::MAX as f64 / 2.0)
+        };
+        for trial in 0..10 {
+            let n = 6;
+            let mut p = BudgetedCut::new(n, 3.0);
+            p.pin(0, Side::App);
+            p.pin(n - 1, Side::Db);
+            let mut edges = Vec::new();
+            for u in 0..n {
+                for v in (u + 1)..n {
+                    if rnd() < 0.6 {
+                        let w = 1.0 + (rnd() * 5.0).floor();
+                        p.add_edge(u, v, w);
+                        edges.push((u, v, w));
+                    }
+                }
+            }
+            for i in 1..n - 1 {
+                p.set_load(i, (rnd() * 3.0).floor());
+            }
+            let lag = p.solve();
+            assert!(lag.within_budget, "trial {trial}: infeasible result");
+
+            // Exact reference via B&B.
+            let loads: Vec<f64> = (0..n)
+                .map(|i| if i == 0 || i == n - 1 { 0.0 } else { 0.0 })
+                .collect();
+            let _ = loads;
+            let ne = edges.len();
+            let mut lp = crate::model::Lp::new(n + ne);
+            lp.add(crate::model::Constraint::eq(vec![(0, 1.0)], 0.0));
+            lp.add(crate::model::Constraint::eq(vec![(n - 1, 1.0)], 1.0));
+            for (k, &(u, v, w)) in edges.iter().enumerate() {
+                let ev = n + k;
+                lp.objective[ev] = w;
+                lp.add(crate::model::Constraint::le(
+                    vec![(u, 1.0), (v, -1.0), (ev, -1.0)],
+                    0.0,
+                ));
+                lp.add(crate::model::Constraint::le(
+                    vec![(v, 1.0), (u, -1.0), (ev, -1.0)],
+                    0.0,
+                ));
+            }
+            // Budget constraint over interior nodes (loads captured above
+            // via p.set_load; rebuild the same values).
+            // Note: we re-derive loads from the instance for the LP.
+            let mut coeffs = Vec::new();
+            for i in 1..n - 1 {
+                coeffs.push((i, p.loads[i]));
+            }
+            lp.add(crate::model::Constraint::le(coeffs, 3.0));
+            let vars: Vec<usize> = (0..n + ne).collect();
+            let exact = crate::bnb::solve_binary(&lp, &vars, 50_000).expect("feasible");
+            assert!(
+                lag.cut_cost <= exact.obj * 1.5 + 2.0 + 1e-9,
+                "trial {trial}: lagrangian {} vs exact {}",
+                lag.cut_cost,
+                exact.obj
+            );
+            assert!(
+                lag.cut_cost >= exact.obj - 1e-9,
+                "trial {trial}: lagrangian beat the proven optimum?!"
+            );
+        }
+    }
+
+}

@@ -1,0 +1,30 @@
+//! # pyx-ilp — optimization substrate (Gurobi / lpsolve substitute)
+//!
+//! The Pyxis partitioner (paper §4.3, Fig. 5) formulates statement placement
+//! as a binary integer program: minimize the weighted sum of cut dependency
+//! edges subject to a database-server instruction budget. The paper solves
+//! it with lpsolve or Gurobi; this crate implements the solving machinery
+//! from scratch:
+//!
+//! * [`model`] — LP/ILP problem description,
+//! * [`simplex`] — dense two-phase primal simplex (Bland's rule),
+//! * [`bnb`] — exact 0/1 branch & bound over LP relaxations,
+//! * [`maxflow`] — Dinic max-flow / min-cut,
+//! * [`budgeted`] — a scalable Lagrangian solver for the specific
+//!   "minimum cut under a node-weight budget" structure of the partitioning
+//!   problem: bisection over the Lagrange multiplier λ, each evaluation an
+//!   s-t min-cut. This is how the large benchmark programs are partitioned;
+//!   B&B provides ground truth on small instances (see the
+//!   `ablation_solver` bench).
+
+pub mod bnb;
+pub mod budgeted;
+pub mod maxflow;
+pub mod model;
+pub mod simplex;
+
+pub use bnb::{solve_binary, BnbResult};
+pub use budgeted::{BudgetedCut, CutAssignment, Side};
+pub use maxflow::FlowNetwork;
+pub use model::{ConstrOp, Constraint, Lp, LpStatus};
+pub use simplex::solve_lp;

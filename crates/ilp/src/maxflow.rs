@@ -1,0 +1,220 @@
+//! Dinic's max-flow algorithm with min-cut extraction.
+//!
+//! Used by the Lagrangian budgeted-cut solver ([`crate::budgeted`]): each
+//! evaluation of the Lagrangian is an s-t min-cut on the partition graph.
+
+/// A flow network with `f64` capacities.
+#[derive(Debug, Clone)]
+pub struct FlowNetwork {
+    /// Adjacency: node → list of edge indices.
+    adj: Vec<Vec<usize>>,
+    /// Edges stored as (to, capacity remaining); reverse edge at `i ^ 1`.
+    to: Vec<usize>,
+    cap: Vec<f64>,
+    n: usize,
+}
+
+const EPS: f64 = 1e-9;
+
+impl FlowNetwork {
+    pub fn new(n: usize) -> Self {
+        FlowNetwork {
+            adj: vec![Vec::new(); n],
+            to: Vec::new(),
+            cap: Vec::new(),
+            n,
+        }
+    }
+
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Add a directed edge `u → v` with capacity `c` (and a zero-capacity
+    /// reverse edge).
+    pub fn add_edge(&mut self, u: usize, v: usize, c: f64) {
+        debug_assert!(c >= 0.0, "negative capacity");
+        let e = self.to.len();
+        self.to.push(v);
+        self.cap.push(c);
+        self.adj[u].push(e);
+        self.to.push(u);
+        self.cap.push(0.0);
+        self.adj[v].push(e + 1);
+    }
+
+    /// Add an undirected edge (capacity `c` in both directions).
+    pub fn add_undirected(&mut self, u: usize, v: usize, c: f64) {
+        let e = self.to.len();
+        self.to.push(v);
+        self.cap.push(c);
+        self.adj[u].push(e);
+        self.to.push(u);
+        self.cap.push(c);
+        self.adj[v].push(e + 1);
+    }
+
+    /// Compute the max flow from `s` to `t`, consuming capacities.
+    pub fn max_flow(&mut self, s: usize, t: usize) -> f64 {
+        let mut flow = 0.0;
+        let mut level = vec![-1i32; self.n];
+        let mut it = vec![0usize; self.n];
+        loop {
+            if !self.bfs(s, t, &mut level) {
+                return flow;
+            }
+            it.iter_mut().for_each(|v| *v = 0);
+            loop {
+                let f = self.dfs(s, t, f64::INFINITY, &level, &mut it);
+                if f < EPS {
+                    break;
+                }
+                flow += f;
+            }
+        }
+    }
+
+    fn bfs(&self, s: usize, t: usize, level: &mut [i32]) -> bool {
+        level.iter_mut().for_each(|v| *v = -1);
+        let mut q = std::collections::VecDeque::new();
+        level[s] = 0;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if self.cap[e] > EPS && level[v] < 0 {
+                    level[v] = level[u] + 1;
+                    q.push_back(v);
+                }
+            }
+        }
+        level[t] >= 0
+    }
+
+    fn dfs(&mut self, u: usize, t: usize, f: f64, level: &[i32], it: &mut [usize]) -> f64 {
+        if u == t {
+            return f;
+        }
+        while it[u] < self.adj[u].len() {
+            let e = self.adj[u][it[u]];
+            let v = self.to[e];
+            if self.cap[e] > EPS && level[v] == level[u] + 1 {
+                let d = self.dfs(v, t, f.min(self.cap[e]), level, it);
+                if d > EPS {
+                    self.cap[e] -= d;
+                    self.cap[e ^ 1] += d;
+                    return d;
+                }
+            }
+            it[u] += 1;
+        }
+        0.0
+    }
+
+    /// After `max_flow`, return the source-side set of the min cut:
+    /// `true` for nodes reachable from `s` in the residual network.
+    pub fn min_cut_source_side(&self, s: usize) -> Vec<bool> {
+        let mut seen = vec![false; self.n];
+        let mut q = std::collections::VecDeque::new();
+        seen[s] = true;
+        q.push_back(s);
+        while let Some(u) = q.pop_front() {
+            for &e in &self.adj[u] {
+                let v = self.to[e];
+                if self.cap[e] > EPS && !seen[v] {
+                    seen[v] = true;
+                    q.push_back(v);
+                }
+            }
+        }
+        seen
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn simple_path() {
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(1, 2, 3.0);
+        assert!((g.max_flow(0, 2) - 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn classic_diamond() {
+        // s=0, t=3; two paths with a cross edge.
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 10.0);
+        g.add_edge(0, 2, 10.0);
+        g.add_edge(1, 3, 10.0);
+        g.add_edge(2, 3, 10.0);
+        g.add_edge(1, 2, 1.0);
+        assert!((g.max_flow(0, 3) - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn min_cut_identifies_bottleneck() {
+        // s → a (1.0) → t (100.0): cut separates {s} from {a, t}.
+        let mut g = FlowNetwork::new(3);
+        g.add_edge(0, 1, 1.0);
+        g.add_edge(1, 2, 100.0);
+        let f = g.max_flow(0, 2);
+        assert!((f - 1.0).abs() < 1e-9);
+        let side = g.min_cut_source_side(0);
+        assert_eq!(side, vec![true, false, false]);
+    }
+
+    #[test]
+    fn undirected_edges() {
+        let mut g = FlowNetwork::new(3);
+        g.add_undirected(0, 1, 4.0);
+        g.add_undirected(1, 2, 4.0);
+        assert!((g.max_flow(0, 2) - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disconnected_is_zero_flow() {
+        let mut g = FlowNetwork::new(4);
+        g.add_edge(0, 1, 5.0);
+        g.add_edge(2, 3, 5.0);
+        assert_eq!(g.max_flow(0, 3), 0.0);
+        let side = g.min_cut_source_side(0);
+        assert!(side[0] && side[1] && !side[2] && !side[3]);
+    }
+
+    #[test]
+    fn larger_random_network_flow_leq_trivial_cuts() {
+        // Deterministic pseudo-random network; max flow must be ≤ both the
+        // source out-capacity and the sink in-capacity.
+        let n = 50;
+        let mut g = FlowNetwork::new(n);
+        let mut state = 12345u64;
+        let mut rnd = || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) % 1000) as f64 / 100.0
+        };
+        let mut src_out = 0.0;
+        let mut sink_in = 0.0;
+        for u in 0..n {
+            for v in 0..n {
+                if u != v && (u * 31 + v * 17) % 7 == 0 {
+                    let c = rnd();
+                    g.add_edge(u, v, c);
+                    if u == 0 {
+                        src_out += c;
+                    }
+                    if v == n - 1 {
+                        sink_in += c;
+                    }
+                }
+            }
+        }
+        let f = g.max_flow(0, n - 1);
+        assert!(f <= src_out + 1e-6);
+        assert!(f <= sink_in + 1e-6);
+        assert!(f > 0.0);
+    }
+}

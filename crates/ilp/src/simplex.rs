@@ -1,0 +1,377 @@
+//! Dense two-phase primal simplex.
+//!
+//! Solves `min c·x  s.t.  Ax {≤,≥,=} b, x ≥ 0`. Phase 1 minimizes the sum
+//! of artificial variables to find a basic feasible solution; phase 2
+//! optimizes the real objective. Bland's rule guarantees termination
+//! (no cycling) at the cost of some speed — fine for the partition-graph
+//! LPs this repository solves (hundreds of variables).
+
+use crate::model::{ConstrOp, Lp, LpStatus};
+
+/// Result of an LP solve.
+#[derive(Debug, Clone)]
+pub struct LpSolution {
+    pub status: LpStatus,
+    /// Variable values (meaningful for `Optimal` / `IterLimit`).
+    pub x: Vec<f64>,
+    /// Objective value at `x`.
+    pub obj: f64,
+}
+
+const EPS: f64 = 1e-9;
+
+/// Solve an LP with the two-phase simplex method.
+pub fn solve_lp(lp: &Lp) -> LpSolution {
+    Tableau::build(lp).solve(lp)
+}
+
+struct Tableau {
+    /// `rows × cols` matrix; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Basic variable of each row.
+    basis: Vec<usize>,
+    #[allow(dead_code)]
+    n_real: usize,
+    n_total: usize,
+    artificials: Vec<usize>,
+}
+
+impl Tableau {
+    fn build(lp: &Lp) -> Tableau {
+        let m = lp.constraints.len();
+        let n = lp.num_vars;
+
+        // Count slack/surplus and artificial columns.
+        let mut n_slack = 0;
+        let mut n_art = 0;
+        for c in &lp.constraints {
+            // After normalizing b ≥ 0:
+            let flip = c.rhs < 0.0;
+            let op = if flip {
+                match c.op {
+                    ConstrOp::Le => ConstrOp::Ge,
+                    ConstrOp::Ge => ConstrOp::Le,
+                    ConstrOp::Eq => ConstrOp::Eq,
+                }
+            } else {
+                c.op
+            };
+            match op {
+                ConstrOp::Le => n_slack += 1,
+                ConstrOp::Ge => {
+                    n_slack += 1;
+                    n_art += 1;
+                }
+                ConstrOp::Eq => n_art += 1,
+            }
+        }
+
+        let n_total = n + n_slack + n_art;
+        let mut a = vec![vec![0.0; n_total + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut artificials = Vec::with_capacity(n_art);
+
+        let mut slack_col = n;
+        let mut art_col = n + n_slack;
+        for (r, c) in lp.constraints.iter().enumerate() {
+            let flip = c.rhs < 0.0;
+            let sign = if flip { -1.0 } else { 1.0 };
+            for &(i, v) in &c.coeffs {
+                a[r][i] += sign * v;
+            }
+            a[r][n_total] = sign * c.rhs;
+            let op = if flip {
+                match c.op {
+                    ConstrOp::Le => ConstrOp::Ge,
+                    ConstrOp::Ge => ConstrOp::Le,
+                    ConstrOp::Eq => ConstrOp::Eq,
+                }
+            } else {
+                c.op
+            };
+            match op {
+                ConstrOp::Le => {
+                    a[r][slack_col] = 1.0;
+                    basis[r] = slack_col;
+                    slack_col += 1;
+                }
+                ConstrOp::Ge => {
+                    a[r][slack_col] = -1.0; // surplus
+                    slack_col += 1;
+                    a[r][art_col] = 1.0;
+                    basis[r] = art_col;
+                    artificials.push(art_col);
+                    art_col += 1;
+                }
+                ConstrOp::Eq => {
+                    a[r][art_col] = 1.0;
+                    basis[r] = art_col;
+                    artificials.push(art_col);
+                    art_col += 1;
+                }
+            }
+        }
+
+        Tableau {
+            a,
+            basis,
+            n_real: n,
+            n_total,
+            artificials,
+        }
+    }
+
+    fn solve(mut self, lp: &Lp) -> LpSolution {
+        let m = self.a.len();
+        let iter_limit = 50 * (m + self.n_total).max(100);
+
+        // ---- Phase 1 ----
+        if !self.artificials.is_empty() {
+            let mut cost = vec![0.0; self.n_total + 1];
+            for &ac in &self.artificials {
+                cost[ac] = 1.0;
+            }
+            // Price out artificial basics.
+            let mut z = vec![0.0; self.n_total + 1];
+            for r in 0..m {
+                if cost[self.basis[r]] != 0.0 {
+                    for j in 0..=self.n_total {
+                        z[j] += self.a[r][j];
+                    }
+                }
+            }
+            let status = self.optimize(&cost, &mut z, self.n_total, iter_limit);
+            if status == LpStatus::IterLimit {
+                return self.extract(lp, LpStatus::IterLimit);
+            }
+            let phase1_obj = z[self.n_total];
+            if phase1_obj.abs() > 1e-6 {
+                return LpSolution {
+                    status: LpStatus::Infeasible,
+                    x: vec![0.0; lp.num_vars],
+                    obj: f64::INFINITY,
+                };
+            }
+            // Drive any remaining artificial out of the basis. Artificial
+            // columns are the contiguous tail, so non-artificials are
+            // 0..first_artificial.
+            let first_art = self.n_total - self.artificials.len();
+            for r in 0..m {
+                if self.basis[r] >= first_art {
+                    if let Some(j) = (0..first_art).find(|&j| self.a[r][j].abs() > EPS) {
+                        self.pivot(r, j);
+                    }
+                    // else: redundant row, harmless.
+                }
+            }
+        }
+
+        // ---- Phase 2: artificial columns may not re-enter ----
+        let first_art = self.n_total - self.artificials.len();
+        let mut cost = vec![0.0; self.n_total + 1];
+        cost[..lp.num_vars].copy_from_slice(&lp.objective);
+        let mut z = vec![0.0; self.n_total + 1];
+        for r in 0..m {
+            let cb = cost[self.basis[r]];
+            if cb != 0.0 {
+                for j in 0..=self.n_total {
+                    z[j] += cb * self.a[r][j];
+                }
+            }
+        }
+        let status = self.optimize(&cost, &mut z, first_art, iter_limit);
+        self.extract(lp, status)
+    }
+
+    /// Run simplex iterations minimizing `cost`. `z` is the running
+    /// cost-row (z_j values with RHS at the end), updated in place. Only
+    /// columns `< allowed_cols` may enter the basis.
+    fn optimize(
+        &mut self,
+        cost: &[f64],
+        z: &mut Vec<f64>,
+        allowed_cols: usize,
+        iter_limit: usize,
+    ) -> LpStatus {
+        let m = self.a.len();
+        for _ in 0..iter_limit {
+            // Bland's rule: entering variable = smallest index with
+            // negative reduced cost (for minimization: c_j - z_j < 0).
+            let mut enter = None;
+            for j in 0..allowed_cols {
+                let reduced = cost[j] - z[j];
+                if reduced < -EPS {
+                    enter = Some(j);
+                    break;
+                }
+            }
+            let Some(j) = enter else {
+                return LpStatus::Optimal;
+            };
+            // Ratio test (Bland: smallest basis index on ties).
+            let mut leave: Option<(usize, f64)> = None;
+            for r in 0..m {
+                if self.a[r][j] > EPS {
+                    let ratio = self.a[r][self.n_total] / self.a[r][j];
+                    match leave {
+                        None => leave = Some((r, ratio)),
+                        Some((lr, lratio)) => {
+                            if ratio < lratio - EPS
+                                || (ratio < lratio + EPS && self.basis[r] < self.basis[lr])
+                            {
+                                leave = Some((r, ratio));
+                            }
+                        }
+                    }
+                }
+            }
+            let Some((r, _)) = leave else {
+                return LpStatus::Unbounded;
+            };
+            self.pivot(r, j);
+            // Rebuild the cost row after the pivot.
+            for v in z.iter_mut() {
+                *v = 0.0;
+            }
+            for row in 0..m {
+                let cb = cost[self.basis[row]];
+                if cb != 0.0 {
+                    for col in 0..=self.n_total {
+                        z[col] += cb * self.a[row][col];
+                    }
+                }
+            }
+        }
+        LpStatus::IterLimit
+    }
+
+    fn pivot(&mut self, r: usize, j: usize) {
+        let m = self.a.len();
+        let p = self.a[r][j];
+        for v in self.a[r].iter_mut() {
+            *v /= p;
+        }
+        for row in 0..m {
+            if row != r {
+                let f = self.a[row][j];
+                if f.abs() > EPS {
+                    for col in 0..=self.n_total {
+                        self.a[row][col] -= f * self.a[r][col];
+                    }
+                }
+            }
+        }
+        self.basis[r] = j;
+    }
+
+    fn extract(&self, lp: &Lp, status: LpStatus) -> LpSolution {
+        let mut x = vec![0.0; lp.num_vars];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < lp.num_vars {
+                x[b] = self.a[r][self.n_total];
+            }
+        }
+        let obj = lp.objective_at(&x);
+        LpSolution { status, x, obj }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::Constraint;
+
+    fn assert_close(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-6, "{a} != {b}");
+    }
+
+    #[test]
+    fn simple_minimization() {
+        // min -x - 2y  s.t.  x + y <= 4, x <= 2  →  x=2, y=2, obj=-6
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, -1.0);
+        lp.set_objective(1, -2.0);
+        lp.add(Constraint::le(vec![(0, 1.0), (1, 1.0)], 4.0));
+        lp.add(Constraint::le(vec![(0, 1.0)], 2.0));
+        let s = solve_lp(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.obj, -8.0); // x=0, y=4 is better: -8
+        assert_close(s.x[1], 4.0);
+    }
+
+    #[test]
+    fn with_ge_and_eq_constraints() {
+        // min x + y  s.t.  x + y >= 3, x = 1  →  x=1, y=2, obj=3
+        let mut lp = Lp::new(2);
+        lp.set_objective(0, 1.0);
+        lp.set_objective(1, 1.0);
+        lp.add(Constraint::ge(vec![(0, 1.0), (1, 1.0)], 3.0));
+        lp.add(Constraint::eq(vec![(0, 1.0)], 1.0));
+        let s = solve_lp(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 1.0);
+        assert_close(s.x[1], 2.0);
+        assert_close(s.obj, 3.0);
+    }
+
+    #[test]
+    fn infeasible_detected() {
+        // x <= 1 and x >= 2
+        let mut lp = Lp::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add(Constraint::le(vec![(0, 1.0)], 1.0));
+        lp.add(Constraint::ge(vec![(0, 1.0)], 2.0));
+        let s = solve_lp(&lp);
+        assert_eq!(s.status, LpStatus::Infeasible);
+    }
+
+    #[test]
+    fn unbounded_detected() {
+        // min -x, x >= 0 unbounded
+        let mut lp = Lp::new(1);
+        lp.set_objective(0, -1.0);
+        lp.add(Constraint::ge(vec![(0, 1.0)], 0.0));
+        let s = solve_lp(&lp);
+        assert_eq!(s.status, LpStatus::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // min x  s.t.  -x <= -3  (i.e. x >= 3)
+        let mut lp = Lp::new(1);
+        lp.set_objective(0, 1.0);
+        lp.add(Constraint::le(vec![(0, -1.0)], -3.0));
+        let s = solve_lp(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[0], 3.0);
+    }
+
+    #[test]
+    fn degenerate_does_not_cycle() {
+        // A classic degenerate LP; Bland's rule must terminate.
+        let mut lp = Lp::new(4);
+        lp.objective = vec![-0.75, 150.0, -0.02, 6.0];
+        lp.add(Constraint::le(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0));
+        lp.add(Constraint::le(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0));
+        lp.add(Constraint::le(vec![(2, 1.0)], 1.0));
+        let s = solve_lp(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.obj, -0.05);
+    }
+
+    #[test]
+    fn cut_edge_lp_relaxation_integral_without_budget() {
+        // Two nodes (n0 pinned APP=0, n1 pinned DB=1), one edge variable e
+        // with constraints e >= n1 - n0, e >= n0 - n1: min e → e = 1.
+        let mut lp = Lp::new(3); // n0, n1, e
+        lp.set_objective(2, 5.0);
+        lp.add(Constraint::eq(vec![(0, 1.0)], 0.0));
+        lp.add(Constraint::eq(vec![(1, 1.0)], 1.0));
+        lp.add(Constraint::le(vec![(0, 1.0), (1, -1.0), (2, -1.0)], 0.0));
+        lp.add(Constraint::le(vec![(1, 1.0), (0, -1.0), (2, -1.0)], 0.0));
+        let s = solve_lp(&lp);
+        assert_eq!(s.status, LpStatus::Optimal);
+        assert_close(s.x[2], 1.0);
+        assert_close(s.obj, 5.0);
+    }
+}

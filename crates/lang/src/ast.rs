@@ -1,0 +1,185 @@
+//! Abstract syntax tree produced by the parser.
+//!
+//! The AST is deliberately close to the surface syntax; all resolution, type
+//! checking, and normalization happen in [`crate::lower`], which converts it
+//! to the normalized IR.
+
+/// A whole translation unit: a set of classes (paper Fig. 2 shows one).
+#[derive(Debug, Clone)]
+pub struct Program {
+    pub classes: Vec<ClassDecl>,
+}
+
+#[derive(Debug, Clone)]
+pub struct ClassDecl {
+    pub name: String,
+    pub fields: Vec<FieldDecl>,
+    pub methods: Vec<MethodDecl>,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct FieldDecl {
+    pub name: String,
+    pub ty: TypeAst,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub struct MethodDecl {
+    pub name: String,
+    /// `None` return type means `void`.
+    pub ret: Option<TypeAst>,
+    pub params: Vec<(TypeAst, String)>,
+    pub body: Vec<Stmt>,
+    pub is_static: bool,
+    /// Constructors are methods whose name equals the class name and have no
+    /// declared return type.
+    pub is_ctor: bool,
+    pub line: u32,
+}
+
+/// Surface types.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TypeAst {
+    Int,
+    Double,
+    Bool,
+    Str,
+    Row,
+    Named(String),
+    Array(Box<TypeAst>),
+}
+
+#[derive(Debug, Clone)]
+pub struct Stmt {
+    pub kind: StmtKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub enum StmtKind {
+    /// `type name = init;` or `type name;`
+    LocalDecl {
+        ty: TypeAst,
+        name: String,
+        init: Option<Expr>,
+    },
+    /// `lvalue = expr;` and compound forms `+=`, `-=`, `*=`.
+    Assign {
+        target: Expr,
+        op: AssignOp,
+        value: Expr,
+    },
+    /// `expr;` — must be a call.
+    ExprStmt(Expr),
+    If {
+        cond: Expr,
+        then_b: Vec<Stmt>,
+        else_b: Vec<Stmt>,
+    },
+    While {
+        cond: Expr,
+        body: Vec<Stmt>,
+    },
+    /// `for (type x : arrayExpr) { ... }`
+    ForEach {
+        ty: TypeAst,
+        var: String,
+        iter: Expr,
+        body: Vec<Stmt>,
+    },
+    /// `for (init; cond; step) { ... }`
+    For {
+        init: Option<Box<Stmt>>,
+        cond: Expr,
+        step: Option<Box<Stmt>>,
+        body: Vec<Stmt>,
+    },
+    Return(Option<Expr>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AssignOp {
+    Set,
+    Add,
+    Sub,
+    Mul,
+}
+
+#[derive(Debug, Clone)]
+pub struct Expr {
+    pub kind: ExprKind,
+    pub line: u32,
+}
+
+#[derive(Debug, Clone)]
+pub enum ExprKind {
+    IntLit(i64),
+    DoubleLit(f64),
+    BoolLit(bool),
+    StrLit(String),
+    Null,
+    This,
+    Var(String),
+    /// `base.field` (also `array.length`).
+    Field(Box<Expr>, String),
+    /// `array[index]`
+    Index(Box<Expr>, Box<Expr>),
+    Unary(UnOp, Box<Expr>),
+    Binary(BinOp, Box<Expr>, Box<Expr>),
+    /// `recv.name(args)`; `recv == None` means a same-class or builtin call.
+    Call {
+        recv: Option<Box<Expr>>,
+        name: String,
+        args: Vec<Expr>,
+    },
+    /// `new C(args)`
+    NewObject { class: String, args: Vec<Expr> },
+    /// `new T[len]`
+    NewArray { elem: TypeAst, len: Box<Expr> },
+    /// `i++` / `i--` in expression position (only allowed as array index or
+    /// statement, mirroring the paper's `realCosts[i++]`).
+    PostIncr(String, bool),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnOp {
+    Neg,
+    Not,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    And,
+    Or,
+}
+
+impl BinOp {
+    /// True for `<`, `<=`, `>`, `>=`, `==`, `!=`.
+    pub fn is_comparison(self) -> bool {
+        matches!(
+            self,
+            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge
+        )
+    }
+
+    /// True for `+ - * / %`.
+    pub fn is_arith(self) -> bool {
+        matches!(
+            self,
+            BinOp::Add | BinOp::Sub | BinOp::Mul | BinOp::Div | BinOp::Rem
+        )
+    }
+}

@@ -1,0 +1,55 @@
+//! Strongly-typed identifiers used across the pipeline.
+//!
+//! Every statement in the normalized IR gets a globally unique [`StmtId`];
+//! the partition graph (paper §4.2) has one node per `StmtId` and one per
+//! [`FieldId`]. Keeping these as newtypes prevents mixing up the many index
+//! spaces involved (classes, methods, locals, statements, fields).
+
+macro_rules! id_type {
+    ($(#[$doc:meta])* $name:ident) => {
+        $(#[$doc])*
+        #[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Index form, for vector lookups.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+        }
+
+        impl std::fmt::Debug for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, concat!(stringify!($name), "({})"), self.0)
+            }
+        }
+
+        impl std::fmt::Display for $name {
+            fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+                write!(f, "{}", self.0)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// A class declaration.
+    ClassId
+);
+id_type!(
+    /// A method, globally numbered across all classes.
+    MethodId
+);
+id_type!(
+    /// A field, globally numbered across all classes. Partition-graph node.
+    FieldId
+);
+id_type!(
+    /// A local variable slot within one method's frame (param or temp).
+    LocalId
+);
+id_type!(
+    /// A normalized statement, globally numbered. Partition-graph node.
+    StmtId
+);

@@ -1,0 +1,358 @@
+//! Hand-written lexer for PyxLang.
+//!
+//! Supports `//` line comments and `/* ... */` block comments, decimal
+//! integer and floating literals, and double-quoted strings with `\n`, `\t`,
+//! `\"`, and `\\` escapes.
+
+use crate::token::{TokKind, Token};
+
+/// A lexical error with the offending line.
+#[derive(Debug, Clone)]
+pub struct LexError {
+    pub line: u32,
+    pub msg: String,
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    out: Vec<Token>,
+}
+
+/// Tokenize `src`, appending a trailing [`TokKind::Eof`].
+pub fn lex(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut lx = Lexer {
+        src: src.as_bytes(),
+        pos: 0,
+        line: 1,
+        out: Vec::with_capacity(src.len() / 4),
+    };
+    lx.run()?;
+    Ok(lx.out)
+}
+
+impl<'a> Lexer<'a> {
+    fn err(&self, msg: impl Into<String>) -> LexError {
+        LexError {
+            line: self.line,
+            msg: msg.into(),
+        }
+    }
+
+    fn peek(&self) -> u8 {
+        *self.src.get(self.pos).unwrap_or(&0)
+    }
+
+    fn peek2(&self) -> u8 {
+        *self.src.get(self.pos + 1).unwrap_or(&0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        if c == b'\n' {
+            self.line += 1;
+        }
+        c
+    }
+
+    fn push(&mut self, kind: TokKind) {
+        self.out.push(Token {
+            kind,
+            line: self.line,
+        });
+    }
+
+    fn run(&mut self) -> Result<(), LexError> {
+        loop {
+            self.skip_trivia()?;
+            if self.pos >= self.src.len() {
+                self.push(TokKind::Eof);
+                return Ok(());
+            }
+            let c = self.peek();
+            match c {
+                b'0'..=b'9' => self.number()?,
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => self.ident(),
+                b'"' => self.string()?,
+                _ => self.punct()?,
+            }
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), LexError> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.bump();
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.bump();
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    self.bump();
+                    self.bump();
+                    loop {
+                        if self.pos >= self.src.len() {
+                            return Err(self.err("unterminated block comment"));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.bump();
+                            self.bump();
+                            break;
+                        }
+                        self.bump();
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<(), LexError> {
+        let start = self.pos;
+        while self.peek().is_ascii_digit() {
+            self.bump();
+        }
+        let is_double = self.peek() == b'.' && self.peek2().is_ascii_digit();
+        if is_double {
+            self.bump();
+            while self.peek().is_ascii_digit() {
+                self.bump();
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        if is_double {
+            let v: f64 = text
+                .parse()
+                .map_err(|_| self.err(format!("bad double literal `{text}`")))?;
+            self.push(TokKind::DoubleLit(v));
+        } else {
+            let v: i64 = text
+                .parse()
+                .map_err(|_| self.err(format!("integer literal out of range `{text}`")))?;
+            self.push(TokKind::IntLit(v));
+        }
+        Ok(())
+    }
+
+    fn ident(&mut self) {
+        let start = self.pos;
+        while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+            self.bump();
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos]).unwrap();
+        let kind = match text {
+            "class" => TokKind::Class,
+            "void" => TokKind::Void,
+            "int" => TokKind::Int,
+            "double" => TokKind::Double,
+            "bool" | "boolean" => TokKind::Bool,
+            "string" | "String" => TokKind::Str,
+            "row" | "Row" => TokKind::Row,
+            "if" => TokKind::If,
+            "else" => TokKind::Else,
+            "while" => TokKind::While,
+            "for" => TokKind::For,
+            "return" => TokKind::Return,
+            "new" => TokKind::New,
+            "true" => TokKind::True,
+            "false" => TokKind::False,
+            "null" => TokKind::Null,
+            "this" => TokKind::This,
+            "static" => TokKind::Static,
+            _ => TokKind::Ident(text.to_string()),
+        };
+        self.push(kind);
+    }
+
+    fn string(&mut self) -> Result<(), LexError> {
+        self.bump(); // opening quote
+        let mut s = String::new();
+        loop {
+            if self.pos >= self.src.len() {
+                return Err(self.err("unterminated string literal"));
+            }
+            match self.bump() {
+                b'"' => break,
+                b'\\' => match self.bump() {
+                    b'n' => s.push('\n'),
+                    b't' => s.push('\t'),
+                    b'"' => s.push('"'),
+                    b'\\' => s.push('\\'),
+                    other => {
+                        return Err(self.err(format!("unknown escape `\\{}`", other as char)))
+                    }
+                },
+                c => s.push(c as char),
+            }
+        }
+        self.push(TokKind::StrLit(s));
+        Ok(())
+    }
+
+    fn punct(&mut self) -> Result<(), LexError> {
+        let c = self.bump();
+        let two = |lx: &mut Self, second: u8, yes: TokKind, no: TokKind| {
+            if lx.peek() == second {
+                lx.bump();
+                lx.push(yes);
+            } else {
+                lx.push(no);
+            }
+        };
+        match c {
+            b'(' => self.push(TokKind::LParen),
+            b')' => self.push(TokKind::RParen),
+            b'{' => self.push(TokKind::LBrace),
+            b'}' => self.push(TokKind::RBrace),
+            b'[' => self.push(TokKind::LBracket),
+            b']' => self.push(TokKind::RBracket),
+            b';' => self.push(TokKind::Semi),
+            b',' => self.push(TokKind::Comma),
+            b'.' => self.push(TokKind::Dot),
+            b':' => self.push(TokKind::Colon),
+            b'%' => self.push(TokKind::Percent),
+            b'/' => self.push(TokKind::Slash),
+            b'*' => two(self, b'=', TokKind::StarEq, TokKind::Star),
+            b'+' => {
+                if self.peek() == b'+' {
+                    self.bump();
+                    self.push(TokKind::PlusPlus);
+                } else {
+                    two(self, b'=', TokKind::PlusEq, TokKind::Plus)
+                }
+            }
+            b'-' => {
+                if self.peek() == b'-' {
+                    self.bump();
+                    self.push(TokKind::MinusMinus);
+                } else {
+                    two(self, b'=', TokKind::MinusEq, TokKind::Minus)
+                }
+            }
+            b'=' => two(self, b'=', TokKind::EqEq, TokKind::Assign),
+            b'!' => two(self, b'=', TokKind::NotEq, TokKind::Not),
+            b'<' => two(self, b'=', TokKind::Le, TokKind::Lt),
+            b'>' => two(self, b'=', TokKind::Ge, TokKind::Gt),
+            b'&' => {
+                if self.bump() != b'&' {
+                    return Err(self.err("expected `&&`"));
+                }
+                self.push(TokKind::AndAnd);
+            }
+            b'|' => {
+                if self.bump() != b'|' {
+                    return Err(self.err("expected `||`"));
+                }
+                self.push(TokKind::OrOr);
+            }
+            other => return Err(self.err(format!("unexpected character `{}`", other as char))),
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokKind::*;
+
+    fn kinds(src: &str) -> Vec<TokKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("class Foo { int x; }"),
+            vec![
+                Class,
+                Ident("Foo".into()),
+                LBrace,
+                Int,
+                Ident("x".into()),
+                Semi,
+                RBrace,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_numbers() {
+        assert_eq!(kinds("42 3.5"), vec![IntLit(42), DoubleLit(3.5), Eof]);
+    }
+
+    #[test]
+    fn dot_after_number_is_member_access_when_no_digit() {
+        // `costs.length` style: `5.length` lexes as IntLit Dot Ident.
+        assert_eq!(
+            kinds("5.x"),
+            vec![IntLit(5), Dot, Ident("x".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn lexes_operators() {
+        assert_eq!(
+            kinds("a += b == c && d <= e"),
+            vec![
+                Ident("a".into()),
+                PlusEq,
+                Ident("b".into()),
+                EqEq,
+                Ident("c".into()),
+                AndAnd,
+                Ident("d".into()),
+                Le,
+                Ident("e".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_strings_with_escapes() {
+        assert_eq!(
+            kinds(r#""a\n\"b\\""#),
+            vec![StrLit("a\n\"b\\".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn skips_comments() {
+        assert_eq!(
+            kinds("a // comment\n /* block\n comment */ b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn tracks_lines() {
+        let toks = lex("a\nb\n\nc").unwrap();
+        let lines: Vec<u32> = toks.iter().map(|t| t.line).collect();
+        assert_eq!(lines, vec![1, 2, 4, 4]);
+    }
+
+    #[test]
+    fn rejects_unterminated_string() {
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn rejects_stray_ampersand() {
+        assert!(lex("a & b").is_err());
+    }
+
+    #[test]
+    fn lexes_increment_decrement() {
+        assert_eq!(
+            kinds("i++ j--"),
+            vec![Ident("i".into()), PlusPlus, Ident("j".into()), MinusMinus, Eof]
+        );
+    }
+}

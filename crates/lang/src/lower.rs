@@ -1,0 +1,1260 @@
+//! Resolution, type checking, and normalization: AST → NIR.
+//!
+//! This pass mirrors the "source → normalized source" step of the Pyxis
+//! pipeline (Fig. 1). It flattens nested expressions into temporaries so
+//! every normalized statement performs at most one call or heap access,
+//! desugars `for` loops and compound assignments, lowers short-circuit
+//! boolean operators into `if` statements, and resolves every name to a
+//! typed id.
+
+use crate::ast::{self, AssignOp, BinOp, Expr, ExprKind, Stmt, StmtKind, TypeAst, UnOp};
+use crate::ids::{ClassId, FieldId, LocalId, MethodId, StmtId};
+use crate::nir::*;
+use std::collections::HashMap;
+
+/// A diagnostic (parse or type error) with a 1-based source line.
+#[derive(Debug, Clone)]
+pub struct Diag {
+    pub line: u32,
+    pub msg: String,
+}
+
+impl std::fmt::Display for Diag {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// Lower a parsed program to NIR, reporting all type errors found.
+pub fn lower_program(prog: &ast::Program) -> Result<NirProgram, Vec<Diag>> {
+    let mut errs = Vec::new();
+
+    // Pass 1: collect classes, fields, and method signatures.
+    let mut classes = Vec::new();
+    let mut fields = Vec::new();
+    let mut sigs: Vec<MethodSig> = Vec::new();
+    let mut class_ids: HashMap<String, ClassId> = HashMap::new();
+
+    for (ci, c) in prog.classes.iter().enumerate() {
+        let cid = ClassId(ci as u32);
+        if class_ids.insert(c.name.clone(), cid).is_some() {
+            errs.push(Diag {
+                line: c.line,
+                msg: format!("duplicate class `{}`", c.name),
+            });
+        }
+    }
+
+    for (ci, c) in prog.classes.iter().enumerate() {
+        let cid = ClassId(ci as u32);
+        let mut field_ids = Vec::new();
+        for f in &c.fields {
+            let fid = FieldId(fields.len() as u32);
+            let ty = match resolve_type(&f.ty, &class_ids) {
+                Ok(t) => t,
+                Err(msg) => {
+                    errs.push(Diag { line: f.line, msg });
+                    Ty::Int
+                }
+            };
+            fields.push(NirField {
+                id: fid,
+                class: cid,
+                name: f.name.clone(),
+                ty,
+            });
+            field_ids.push(fid);
+        }
+        let mut method_ids = Vec::new();
+        let mut ctor = None;
+        for m in &c.methods {
+            let mid = MethodId(sigs.len() as u32);
+            let ret = match &m.ret {
+                None => Ty::Void,
+                Some(t) => match resolve_type(t, &class_ids) {
+                    Ok(t) => t,
+                    Err(msg) => {
+                        errs.push(Diag { line: m.line, msg });
+                        Ty::Void
+                    }
+                },
+            };
+            let mut params = Vec::new();
+            for (pt, pn) in &m.params {
+                match resolve_type(pt, &class_ids) {
+                    Ok(t) => params.push((pn.clone(), t)),
+                    Err(msg) => {
+                        errs.push(Diag { line: m.line, msg });
+                        params.push((pn.clone(), Ty::Int));
+                    }
+                }
+            }
+            if m.is_ctor {
+                if ctor.is_some() {
+                    errs.push(Diag {
+                        line: m.line,
+                        msg: format!("class `{}` has multiple constructors", c.name),
+                    });
+                }
+                ctor = Some(mid);
+            }
+            sigs.push(MethodSig {
+                id: mid,
+                class: cid,
+                name: m.name.clone(),
+                is_static: m.is_static,
+                is_ctor: m.is_ctor,
+                params,
+                ret,
+            });
+            method_ids.push(mid);
+        }
+        classes.push(NirClass {
+            id: cid,
+            name: c.name.clone(),
+            fields: field_ids,
+            methods: method_ids,
+            ctor,
+        });
+    }
+
+    // Pass 2: lower method bodies.
+    let env = GlobalEnv {
+        classes: &classes,
+        fields: &fields,
+        sigs: &sigs,
+        class_ids: &class_ids,
+    };
+    let mut methods = Vec::new();
+    let mut stmt_info = Vec::new();
+    let mut mi = 0usize;
+    for c in &prog.classes {
+        for m in &c.methods {
+            let sig = &sigs[mi];
+            mi += 1;
+            let mut lw = FnLowerer::new(&env, sig, &mut stmt_info);
+            match lw.lower_body(&m.body) {
+                Ok(body) => methods.push(NirMethod {
+                    id: sig.id,
+                    class: sig.class,
+                    name: sig.name.clone(),
+                    is_static: sig.is_static,
+                    is_ctor: sig.is_ctor,
+                    ret: sig.ret.clone(),
+                    locals: lw.locals,
+                    num_params: lw.num_params,
+                    body,
+                }),
+                Err(d) => {
+                    errs.push(d);
+                    // keep an empty body so method ids stay aligned
+                    methods.push(NirMethod {
+                        id: sig.id,
+                        class: sig.class,
+                        name: sig.name.clone(),
+                        is_static: sig.is_static,
+                        is_ctor: sig.is_ctor,
+                        ret: sig.ret.clone(),
+                        locals: lw.locals,
+                        num_params: lw.num_params,
+                        body: Vec::new(),
+                    })
+                }
+            }
+        }
+    }
+
+    if errs.is_empty() {
+        Ok(NirProgram {
+            classes,
+            methods,
+            fields,
+            stmt_info,
+        })
+    } else {
+        Err(errs)
+    }
+}
+
+struct MethodSig {
+    id: MethodId,
+    class: ClassId,
+    name: String,
+    is_static: bool,
+    is_ctor: bool,
+    params: Vec<(String, Ty)>,
+    ret: Ty,
+}
+
+struct GlobalEnv<'a> {
+    classes: &'a [NirClass],
+    fields: &'a [NirField],
+    sigs: &'a [MethodSig],
+    class_ids: &'a HashMap<String, ClassId>,
+}
+
+impl<'a> GlobalEnv<'a> {
+    fn find_field(&self, class: ClassId, name: &str) -> Option<&NirField> {
+        self.classes[class.index()]
+            .fields
+            .iter()
+            .map(|&f| &self.fields[f.index()])
+            .find(|f| f.name == name)
+    }
+
+    fn find_method(&self, class: ClassId, name: &str) -> Option<&MethodSig> {
+        self.classes[class.index()]
+            .methods
+            .iter()
+            .map(|&m| &self.sigs[m.index()])
+            .find(|m| m.name == name && !m.is_ctor)
+    }
+}
+
+fn resolve_type(t: &TypeAst, class_ids: &HashMap<String, ClassId>) -> Result<Ty, String> {
+    Ok(match t {
+        TypeAst::Int => Ty::Int,
+        TypeAst::Double => Ty::Double,
+        TypeAst::Bool => Ty::Bool,
+        TypeAst::Str => Ty::Str,
+        TypeAst::Row => Ty::Row,
+        TypeAst::Named(n) => Ty::Class(
+            *class_ids
+                .get(n)
+                .ok_or_else(|| format!("unknown class `{n}`"))?,
+        ),
+        TypeAst::Array(e) => Ty::Array(Box::new(resolve_type(e, class_ids)?)),
+    })
+}
+
+struct FnLowerer<'a> {
+    env: &'a GlobalEnv<'a>,
+    sig: &'a MethodSig,
+    locals: Vec<LocalDecl>,
+    num_params: usize,
+    scopes: Vec<HashMap<String, LocalId>>,
+    stmt_info: &'a mut Vec<StmtInfo>,
+    cur_line: u32,
+}
+
+type LResult<T> = Result<T, Diag>;
+
+impl<'a> FnLowerer<'a> {
+    fn new(env: &'a GlobalEnv<'a>, sig: &'a MethodSig, stmt_info: &'a mut Vec<StmtInfo>) -> Self {
+        let mut locals = Vec::new();
+        let mut top = HashMap::new();
+        if !sig.is_static {
+            locals.push(LocalDecl {
+                name: "this".to_string(),
+                ty: Ty::Class(sig.class),
+            });
+            top.insert("this".to_string(), LocalId(0));
+        }
+        for (name, ty) in &sig.params {
+            let id = LocalId(locals.len() as u32);
+            locals.push(LocalDecl {
+                name: name.clone(),
+                ty: ty.clone(),
+            });
+            top.insert(name.clone(), id);
+        }
+        let num_params = locals.len();
+        FnLowerer {
+            env,
+            sig,
+            locals,
+            num_params,
+            scopes: vec![top],
+            stmt_info,
+            cur_line: 0,
+        }
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> LResult<T> {
+        Err(Diag {
+            line: self.cur_line,
+            msg: msg.into(),
+        })
+    }
+
+    fn fresh(&mut self, ty: Ty) -> LocalId {
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(LocalDecl {
+            name: format!("$t{}", id.0),
+            ty,
+        });
+        id
+    }
+
+    fn declare(&mut self, name: &str, ty: Ty) -> LResult<LocalId> {
+        if self.scopes.last().unwrap().contains_key(name) {
+            return self.err(format!("duplicate local `{name}`"));
+        }
+        let id = LocalId(self.locals.len() as u32);
+        self.locals.push(LocalDecl {
+            name: name.to_string(),
+            ty,
+        });
+        self.scopes
+            .last_mut()
+            .unwrap()
+            .insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    fn lookup_local(&self, name: &str) -> Option<LocalId> {
+        self.scopes.iter().rev().find_map(|s| s.get(name).copied())
+    }
+
+    fn local_ty(&self, l: LocalId) -> Ty {
+        self.locals[l.index()].ty.clone()
+    }
+
+    fn mk_stmt(&mut self, kind: NStmtKind) -> NStmt {
+        let id = StmtId(self.stmt_info.len() as u32);
+        self.stmt_info.push(StmtInfo {
+            method: self.sig.id,
+            line: self.cur_line,
+        });
+        NStmt { id, kind }
+    }
+
+    fn lower_body(&mut self, body: &[Stmt]) -> LResult<Vec<NStmt>> {
+        let mut out = Vec::new();
+        self.scopes.push(HashMap::new());
+        for s in body {
+            self.lower_stmt(s, &mut out)?;
+        }
+        self.scopes.pop();
+        Ok(out)
+    }
+
+    fn lower_block(&mut self, body: &[Stmt]) -> LResult<Vec<NStmt>> {
+        self.scopes.push(HashMap::new());
+        let mut out = Vec::new();
+        for s in body {
+            self.lower_stmt(s, &mut out)?;
+        }
+        self.scopes.pop();
+        Ok(out)
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt, out: &mut Vec<NStmt>) -> LResult<()> {
+        self.cur_line = s.line;
+        match &s.kind {
+            StmtKind::LocalDecl { ty, name, init } => {
+                let ty = resolve_type(ty, self.env.class_ids)
+                    .map_err(|msg| Diag { line: s.line, msg })?;
+                // Evaluate the initializer before the name is in scope.
+                let init_rv = match init {
+                    Some(e) => Some(self.lower_to_rvalue(e, Some(&ty), out)?),
+                    None => None,
+                };
+                let id = self.declare(name, ty)?;
+                if let Some((rv, _)) = init_rv {
+                    let st = self.mk_stmt(NStmtKind::Assign {
+                        dst: Place::Local(id),
+                        rv,
+                    });
+                    out.push(st);
+                }
+                Ok(())
+            }
+            StmtKind::Assign { target, op, value } => self.lower_assign(target, *op, value, out),
+            StmtKind::ExprStmt(e) => {
+                match &e.kind {
+                    ExprKind::Call { .. } | ExprKind::NewObject { .. } => {
+                        self.lower_call_like(e, None, out)?;
+                        Ok(())
+                    }
+                    _ => self.err("only calls may be used as statements"),
+                }
+            }
+            StmtKind::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let (c, cty) = self.lower_expr(cond, out)?;
+                if cty != Ty::Bool {
+                    return self.err(format!("if condition must be bool, got {cty}"));
+                }
+                let t = self.lower_block(then_b)?;
+                let e = self.lower_block(else_b)?;
+                let st = self.mk_stmt(NStmtKind::If {
+                    cond: c,
+                    then_b: t,
+                    else_b: e,
+                });
+                out.push(st);
+                Ok(())
+            }
+            StmtKind::While { cond, body } => {
+                let mut pre = Vec::new();
+                let (c, cty) = self.lower_expr(cond, &mut pre)?;
+                if cty != Ty::Bool {
+                    return self.err(format!("while condition must be bool, got {cty}"));
+                }
+                let b = self.lower_block(body)?;
+                let st = self.mk_stmt(NStmtKind::While {
+                    cond_pre: pre,
+                    cond: c,
+                    body: b,
+                });
+                out.push(st);
+                Ok(())
+            }
+            StmtKind::ForEach {
+                ty,
+                var,
+                iter,
+                body,
+            } => self.lower_foreach(s.line, ty, var, iter, body, out),
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                self.scopes.push(HashMap::new());
+                if let Some(init) = init {
+                    self.lower_stmt(init, out)?;
+                }
+                let mut pre = Vec::new();
+                let (c, cty) = self.lower_expr(cond, &mut pre)?;
+                if cty != Ty::Bool {
+                    return self.err(format!("for condition must be bool, got {cty}"));
+                }
+                let mut b = self.lower_block(body)?;
+                if let Some(step) = step {
+                    self.lower_stmt(step, &mut b)?;
+                }
+                self.scopes.pop();
+                let st = self.mk_stmt(NStmtKind::While {
+                    cond_pre: pre,
+                    cond: c,
+                    body: b,
+                });
+                out.push(st);
+                Ok(())
+            }
+            StmtKind::Return(v) => {
+                let op = match v {
+                    None => {
+                        if self.sig.ret != Ty::Void && !self.sig.is_ctor {
+                            return self.err("missing return value");
+                        }
+                        None
+                    }
+                    Some(e) => {
+                        let (op, ty) = self.lower_expr(e, out)?;
+                        if !self.sig.ret.accepts(&ty) {
+                            return self.err(format!(
+                                "return type mismatch: expected {}, got {ty}",
+                                self.sig.ret
+                            ));
+                        }
+                        Some(op)
+                    }
+                };
+                let st = self.mk_stmt(NStmtKind::Return(op));
+                out.push(st);
+                Ok(())
+            }
+        }
+    }
+
+    /// Desugar `for (T x : arr) body` into an index-based while loop.
+    fn lower_foreach(
+        &mut self,
+        line: u32,
+        ty: &TypeAst,
+        var: &str,
+        iter: &Expr,
+        body: &[Stmt],
+        out: &mut Vec<NStmt>,
+    ) -> LResult<()> {
+        self.cur_line = line;
+        let elem_ty = resolve_type(ty, self.env.class_ids).map_err(|msg| Diag { line, msg })?;
+        let (arr, arr_ty) = self.lower_expr(iter, out)?;
+        let actual_elem = match &arr_ty {
+            Ty::Array(e) => e.as_ref().clone(),
+            other => return self.err(format!("for-each requires an array, got {other}")),
+        };
+        if !elem_ty.accepts(&actual_elem) {
+            return self.err(format!(
+                "for-each element type mismatch: declared {elem_ty}, array has {actual_elem}"
+            ));
+        }
+
+        let arr_l = self.fresh(arr_ty.clone());
+        let idx = self.fresh(Ty::Int);
+        let len = self.fresh(Ty::Int);
+        let st = self.mk_stmt(NStmtKind::Assign {
+            dst: Place::Local(arr_l),
+            rv: Rvalue::Use(arr),
+        });
+        out.push(st);
+        let st = self.mk_stmt(NStmtKind::Assign {
+            dst: Place::Local(idx),
+            rv: Rvalue::Use(Operand::CInt(0)),
+        });
+        out.push(st);
+        let st = self.mk_stmt(NStmtKind::Assign {
+            dst: Place::Local(len),
+            rv: Rvalue::Len(Operand::Local(arr_l)),
+        });
+        out.push(st);
+
+        // condition: $c = idx < len
+        let c = self.fresh(Ty::Bool);
+        let cond_stmt = self.mk_stmt(NStmtKind::Assign {
+            dst: Place::Local(c),
+            rv: Rvalue::Binary(BinOp::Lt, Operand::Local(idx), Operand::Local(len)),
+        });
+
+        self.scopes.push(HashMap::new());
+        let var_l = self.declare(var, elem_ty)?;
+        let mut b = Vec::new();
+        let st = self.mk_stmt(NStmtKind::Assign {
+            dst: Place::Local(var_l),
+            rv: Rvalue::ReadElem {
+                arr: Operand::Local(arr_l),
+                idx: Operand::Local(idx),
+            },
+        });
+        b.push(st);
+        for s in body {
+            self.lower_stmt(s, &mut b)?;
+        }
+        self.scopes.pop();
+        let st = self.mk_stmt(NStmtKind::Assign {
+            dst: Place::Local(idx),
+            rv: Rvalue::Binary(BinOp::Add, Operand::Local(idx), Operand::CInt(1)),
+        });
+        b.push(st);
+
+        let st = self.mk_stmt(NStmtKind::While {
+            cond_pre: vec![cond_stmt],
+            cond: Operand::Local(c),
+            body: b,
+        });
+        out.push(st);
+        Ok(())
+    }
+
+    fn lower_assign(
+        &mut self,
+        target: &Expr,
+        op: AssignOp,
+        value: &Expr,
+        out: &mut Vec<NStmt>,
+    ) -> LResult<()> {
+        let (place, place_ty) = self.lower_place(target, out)?;
+
+        // Compound assignment reads the place first.
+        let rv = if op == AssignOp::Set {
+            let (rv, vty) = self.lower_to_rvalue(value, Some(&place_ty), out)?;
+            if !place_ty.accepts(&vty) {
+                return self.err(format!(
+                    "cannot assign {vty} to {place_ty}"
+                ));
+            }
+            rv
+        } else {
+            let cur = self.read_place(&place, &place_ty, out)?;
+            let (v, vty) = self.lower_expr(value, out)?;
+            if !place_ty.is_numeric() || !vty.is_numeric() {
+                return self.err("compound assignment requires numeric operands");
+            }
+            let bop = match op {
+                AssignOp::Add => BinOp::Add,
+                AssignOp::Sub => BinOp::Sub,
+                AssignOp::Mul => BinOp::Mul,
+                AssignOp::Set => unreachable!(),
+            };
+            Rvalue::Binary(bop, cur, v)
+        };
+        let st = self.mk_stmt(NStmtKind::Assign { dst: place, rv });
+        out.push(st);
+        Ok(())
+    }
+
+    /// Lower an lvalue expression into a `Place` plus its type.
+    fn lower_place(&mut self, e: &Expr, out: &mut Vec<NStmt>) -> LResult<(Place, Ty)> {
+        self.cur_line = e.line;
+        match &e.kind {
+            ExprKind::Var(name) => {
+                if let Some(l) = self.lookup_local(name) {
+                    return Ok((Place::Local(l), self.local_ty(l)));
+                }
+                // Unqualified field of the current class.
+                if !self.sig.is_static {
+                    if let Some(f) = self.env.find_field(self.sig.class, name) {
+                        return Ok((
+                            Place::Field {
+                                base: Operand::Local(LocalId(0)),
+                                field: f.id,
+                            },
+                            f.ty.clone(),
+                        ));
+                    }
+                }
+                self.err(format!("unknown variable `{name}`"))
+            }
+            ExprKind::Field(base, name) => {
+                let (b, bty) = self.lower_expr(base, out)?;
+                match bty {
+                    Ty::Class(cid) => {
+                        let f = self
+                            .env
+                            .find_field(cid, name)
+                            .ok_or_else(|| Diag {
+                                line: e.line,
+                                msg: format!(
+                                    "class `{}` has no field `{name}`",
+                                    self.env.classes[cid.index()].name
+                                ),
+                            })?;
+                        Ok((
+                            Place::Field {
+                                base: b,
+                                field: f.id,
+                            },
+                            f.ty.clone(),
+                        ))
+                    }
+                    other => self.err(format!("cannot assign to field of {other}")),
+                }
+            }
+            ExprKind::Index(arr, idx) => {
+                let (a, aty) = self.lower_expr(arr, out)?;
+                let elem = match aty {
+                    Ty::Array(e) => e.as_ref().clone(),
+                    other => return self.err(format!("cannot index into {other}")),
+                };
+                let (i, ity) = self.lower_expr(idx, out)?;
+                if ity != Ty::Int {
+                    return self.err(format!("array index must be int, got {ity}"));
+                }
+                Ok((Place::Elem { arr: a, idx: i }, elem))
+            }
+            _ => self.err("invalid assignment target"),
+        }
+    }
+
+    fn read_place(&mut self, p: &Place, ty: &Ty, out: &mut Vec<NStmt>) -> LResult<Operand> {
+        let rv = match p {
+            Place::Local(l) => return Ok(Operand::Local(*l)),
+            Place::Field { base, field } => Rvalue::ReadField {
+                base: base.clone(),
+                field: *field,
+            },
+            Place::Elem { arr, idx } => Rvalue::ReadElem {
+                arr: arr.clone(),
+                idx: idx.clone(),
+            },
+        };
+        let t = self.fresh(ty.clone());
+        let st = self.mk_stmt(NStmtKind::Assign {
+            dst: Place::Local(t),
+            rv,
+        });
+        out.push(st);
+        Ok(Operand::Local(t))
+    }
+
+    /// Lower an expression to an `Rvalue` without forcing a temporary for
+    /// the outermost operation (used on the RHS of assignments).
+    fn lower_to_rvalue(
+        &mut self,
+        e: &Expr,
+        expect: Option<&Ty>,
+        out: &mut Vec<NStmt>,
+    ) -> LResult<(Rvalue, Ty)> {
+        self.cur_line = e.line;
+        match &e.kind {
+            ExprKind::Binary(op, a, b) if *op != BinOp::And && *op != BinOp::Or => {
+                let (ra, ta) = self.lower_expr(a, out)?;
+                let (rb, tb) = self.lower_expr(b, out)?;
+                let ty = self.binop_ty(*op, &ta, &tb)?;
+                Ok((Rvalue::Binary(*op, ra, rb), ty))
+            }
+            ExprKind::Unary(op, a) => {
+                let (ra, ta) = self.lower_expr(a, out)?;
+                let ty = self.unop_ty(*op, &ta)?;
+                Ok((Rvalue::Unary(*op, ra), ty))
+            }
+            ExprKind::Field(base, name) => self.lower_field_read(e.line, base, name, out),
+            ExprKind::Index(arr, idx) => {
+                let (a, aty) = self.lower_expr(arr, out)?;
+                let elem = match aty {
+                    Ty::Array(t) => t.as_ref().clone(),
+                    other => return self.err(format!("cannot index into {other}")),
+                };
+                let (i, ity) = self.lower_expr(idx, out)?;
+                if ity != Ty::Int {
+                    return self.err(format!("array index must be int, got {ity}"));
+                }
+                Ok((Rvalue::ReadElem { arr: a, idx: i }, elem))
+            }
+            ExprKind::NewArray { elem, len } => {
+                let ety = resolve_type(elem, self.env.class_ids)
+                    .map_err(|msg| Diag { line: e.line, msg })?;
+                let (l, lty) = self.lower_expr(len, out)?;
+                if lty != Ty::Int {
+                    return self.err(format!("array length must be int, got {lty}"));
+                }
+                Ok((
+                    Rvalue::NewArray {
+                        elem: ety.clone(),
+                        len: l,
+                    },
+                    Ty::Array(Box::new(ety)),
+                ))
+            }
+            _ => {
+                let (op, ty) = self.lower_expr_expect(e, expect, out)?;
+                Ok((Rvalue::Use(op), ty))
+            }
+        }
+    }
+
+    fn lower_expr(&mut self, e: &Expr, out: &mut Vec<NStmt>) -> LResult<(Operand, Ty)> {
+        self.lower_expr_expect(e, None, out)
+    }
+
+    /// Lower an expression to an atomic operand, emitting temporaries.
+    fn lower_expr_expect(
+        &mut self,
+        e: &Expr,
+        expect: Option<&Ty>,
+        out: &mut Vec<NStmt>,
+    ) -> LResult<(Operand, Ty)> {
+        self.cur_line = e.line;
+        match &e.kind {
+            ExprKind::IntLit(v) => Ok((Operand::CInt(*v), Ty::Int)),
+            ExprKind::DoubleLit(v) => Ok((Operand::CDouble(*v), Ty::Double)),
+            ExprKind::BoolLit(v) => Ok((Operand::CBool(*v), Ty::Bool)),
+            ExprKind::StrLit(s) => Ok((Operand::CStr(s.as_str().into()), Ty::Str)),
+            ExprKind::Null => Ok((
+                Operand::Null,
+                expect.cloned().unwrap_or(Ty::Null),
+            )),
+            ExprKind::This => {
+                if self.sig.is_static {
+                    return self.err("`this` in a static method");
+                }
+                Ok((Operand::Local(LocalId(0)), Ty::Class(self.sig.class)))
+            }
+            ExprKind::Var(name) => {
+                if let Some(l) = self.lookup_local(name) {
+                    return Ok((Operand::Local(l), self.local_ty(l)));
+                }
+                if !self.sig.is_static {
+                    if let Some(f) = self.env.find_field(self.sig.class, name) {
+                        let (fid, fty) = (f.id, f.ty.clone());
+                        let t = self.fresh(fty.clone());
+                        let st = self.mk_stmt(NStmtKind::Assign {
+                            dst: Place::Local(t),
+                            rv: Rvalue::ReadField {
+                                base: Operand::Local(LocalId(0)),
+                                field: fid,
+                            },
+                        });
+                        out.push(st);
+                        return Ok((Operand::Local(t), fty));
+                    }
+                }
+                self.err(format!("unknown variable `{name}`"))
+            }
+            ExprKind::PostIncr(name, incr) => {
+                // value is the *pre* value: t = x; x = x + 1; → t
+                let l = self
+                    .lookup_local(name)
+                    .ok_or_else(|| Diag {
+                        line: e.line,
+                        msg: format!("unknown variable `{name}`"),
+                    })?;
+                if self.local_ty(l) != Ty::Int {
+                    return self.err("++/-- requires an int variable");
+                }
+                let t = self.fresh(Ty::Int);
+                let st = self.mk_stmt(NStmtKind::Assign {
+                    dst: Place::Local(t),
+                    rv: Rvalue::Use(Operand::Local(l)),
+                });
+                out.push(st);
+                let op = if *incr { BinOp::Add } else { BinOp::Sub };
+                let st = self.mk_stmt(NStmtKind::Assign {
+                    dst: Place::Local(l),
+                    rv: Rvalue::Binary(op, Operand::Local(l), Operand::CInt(1)),
+                });
+                out.push(st);
+                Ok((Operand::Local(t), Ty::Int))
+            }
+            ExprKind::Binary(op, a, b) if *op == BinOp::And || *op == BinOp::Or => {
+                // Short-circuit lowering into an if statement.
+                let (ra, ta) = self.lower_expr(a, out)?;
+                if ta != Ty::Bool {
+                    return self.err(format!("`&&`/`||` requires bool, got {ta}"));
+                }
+                let t = self.fresh(Ty::Bool);
+                let st = self.mk_stmt(NStmtKind::Assign {
+                    dst: Place::Local(t),
+                    rv: Rvalue::Use(ra),
+                });
+                out.push(st);
+                let mut inner = Vec::new();
+                let (rb, tb) = self.lower_expr(b, &mut inner)?;
+                if tb != Ty::Bool {
+                    return self.err(format!("`&&`/`||` requires bool, got {tb}"));
+                }
+                let st = self.mk_stmt(NStmtKind::Assign {
+                    dst: Place::Local(t),
+                    rv: Rvalue::Use(rb),
+                });
+                inner.push(st);
+                let (then_b, else_b) = if *op == BinOp::And {
+                    (inner, Vec::new())
+                } else {
+                    (Vec::new(), inner)
+                };
+                let st = self.mk_stmt(NStmtKind::If {
+                    cond: Operand::Local(t),
+                    then_b,
+                    else_b,
+                });
+                out.push(st);
+                Ok((Operand::Local(t), Ty::Bool))
+            }
+            ExprKind::Binary(..)
+            | ExprKind::Unary(..)
+            | ExprKind::Field(..)
+            | ExprKind::Index(..)
+            | ExprKind::NewArray { .. } => {
+                let (rv, ty) = self.lower_to_rvalue(e, expect, out)?;
+                let t = self.fresh(ty.clone());
+                let st = self.mk_stmt(NStmtKind::Assign {
+                    dst: Place::Local(t),
+                    rv,
+                });
+                out.push(st);
+                Ok((Operand::Local(t), ty))
+            }
+            ExprKind::Call { .. } | ExprKind::NewObject { .. } => {
+                let (op, ty) = self.lower_call_like(e, expect, out)?;
+                match op {
+                    Some(o) => Ok((o, ty)),
+                    None => self.err("void call used as a value"),
+                }
+            }
+        }
+    }
+
+    /// Field read as an rvalue, including `arr.length` and row getters.
+    fn lower_field_read(
+        &mut self,
+        line: u32,
+        base: &Expr,
+        name: &str,
+        out: &mut Vec<NStmt>,
+    ) -> LResult<(Rvalue, Ty)> {
+        let (b, bty) = self.lower_expr(base, out)?;
+        self.cur_line = line;
+        match &bty {
+            Ty::Array(_) if name == "length" => Ok((Rvalue::Len(b), Ty::Int)),
+            Ty::Class(cid) => {
+                let f = self.env.find_field(*cid, name).ok_or_else(|| Diag {
+                    line,
+                    msg: format!(
+                        "class `{}` has no field `{name}`",
+                        self.env.classes[cid.index()].name
+                    ),
+                })?;
+                Ok((
+                    Rvalue::ReadField {
+                        base: b,
+                        field: f.id,
+                    },
+                    f.ty.clone(),
+                ))
+            }
+            other => self.err(format!("no field `{name}` on {other}")),
+        }
+    }
+
+    /// Lower calls, `new C(...)`, builtins, and row getters. Returns the
+    /// result operand (None for void).
+    fn lower_call_like(
+        &mut self,
+        e: &Expr,
+        expect: Option<&Ty>,
+        out: &mut Vec<NStmt>,
+    ) -> LResult<(Option<Operand>, Ty)> {
+        self.cur_line = e.line;
+        match &e.kind {
+            ExprKind::NewObject { class, args } => {
+                let cid = *self.env.class_ids.get(class).ok_or_else(|| Diag {
+                    line: e.line,
+                    msg: format!("unknown class `{class}`"),
+                })?;
+                let obj = self.fresh(Ty::Class(cid));
+                let st = self.mk_stmt(NStmtKind::Assign {
+                    dst: Place::Local(obj),
+                    rv: Rvalue::NewObject { class: cid },
+                });
+                out.push(st);
+                let ctor = self.env.classes[cid.index()].ctor;
+                match ctor {
+                    Some(mid) => {
+                        let mut ops = vec![Operand::Local(obj)];
+                        let sig_params: Vec<Ty> = self.env.sigs[mid.index()]
+                            .params
+                            .iter()
+                            .map(|(_, t)| t.clone())
+                            .collect();
+                        if sig_params.len() != args.len() {
+                            return self.err(format!(
+                                "constructor of `{class}` expects {} args, got {}",
+                                sig_params.len(),
+                                args.len()
+                            ));
+                        }
+                        for (a, pt) in args.iter().zip(&sig_params) {
+                            let (op, ty) = self.lower_expr_expect(a, Some(pt), out)?;
+                            if !pt.accepts(&ty) {
+                                return self.err(format!(
+                                    "constructor argument type mismatch: expected {pt}, got {ty}"
+                                ));
+                            }
+                            ops.push(op);
+                        }
+                        let st = self.mk_stmt(NStmtKind::Call {
+                            dst: None,
+                            method: mid,
+                            args: ops,
+                        });
+                        out.push(st);
+                    }
+                    None => {
+                        if !args.is_empty() {
+                            return self.err(format!("class `{class}` has no constructor"));
+                        }
+                    }
+                }
+                Ok((Some(Operand::Local(obj)), Ty::Class(cid)))
+            }
+            ExprKind::Call { recv, name, args } => {
+                // Row getters.
+                if let Some(r) = recv {
+                    let kind = match name.as_str() {
+                        "getInt" => Some((RowGetKind::Int, Ty::Int)),
+                        "getDouble" => Some((RowGetKind::Double, Ty::Double)),
+                        "getBool" => Some((RowGetKind::Bool, Ty::Bool)),
+                        "getStr" | "getString" => Some((RowGetKind::Str, Ty::Str)),
+                        _ => None,
+                    };
+                    if let Some((kind, rty)) = kind {
+                        let (rb, rbty) = self.lower_expr(r, out)?;
+                        if rbty == Ty::Row {
+                            if args.len() != 1 {
+                                return self.err("row getters take one index argument");
+                            }
+                            let (idx, ity) = self.lower_expr(&args[0], out)?;
+                            if ity != Ty::Int {
+                                return self.err("row getter index must be int");
+                            }
+                            let t = self.fresh(rty.clone());
+                            let st = self.mk_stmt(NStmtKind::Assign {
+                                dst: Place::Local(t),
+                                rv: Rvalue::RowGet {
+                                    row: rb,
+                                    idx,
+                                    kind,
+                                },
+                            });
+                            out.push(st);
+                            return Ok((Some(Operand::Local(t)), rty));
+                        }
+                        // Not a row: fall through to method dispatch on the
+                        // already-lowered receiver.
+                        return self.lower_method_call(e.line, rb, rbty, name, args, out);
+                    }
+                }
+
+                match recv {
+                    None => {
+                        // Builtin?
+                        if let Some(b) = Builtin::from_name(name) {
+                            return self.lower_builtin(e.line, b, args, expect, out);
+                        }
+                        // Same-class method.
+                        let sig = self
+                            .env
+                            .find_method(self.sig.class, name)
+                            .ok_or_else(|| Diag {
+                                line: e.line,
+                                msg: format!("unknown method `{name}`"),
+                            })?;
+                        let (mid, is_static) = (sig.id, sig.is_static);
+                        if !is_static && self.sig.is_static {
+                            return self.err(format!(
+                                "cannot call instance method `{name}` from a static method"
+                            ));
+                        }
+                        let recv_op = if is_static {
+                            None
+                        } else {
+                            Some(Operand::Local(LocalId(0)))
+                        };
+                        self.finish_call(e.line, mid, recv_op, args, out)
+                    }
+                    Some(r) => {
+                        // Static call `ClassName.m(...)`?
+                        if let ExprKind::Var(cn) = &r.kind {
+                            if self.lookup_local(cn).is_none() {
+                                if let Some(&cid) = self.env.class_ids.get(cn) {
+                                    let sig =
+                                        self.env.find_method(cid, name).ok_or_else(|| Diag {
+                                            line: e.line,
+                                            msg: format!("class `{cn}` has no method `{name}`"),
+                                        })?;
+                                    if !sig.is_static {
+                                        return self.err(format!(
+                                            "`{name}` is not static"
+                                        ));
+                                    }
+                                    let mid = sig.id;
+                                    return self.finish_call(e.line, mid, None, args, out);
+                                }
+                            }
+                        }
+                        let (rb, rbty) = self.lower_expr(r, out)?;
+                        self.lower_method_call(e.line, rb, rbty, name, args, out)
+                    }
+                }
+            }
+            _ => unreachable!("lower_call_like on non-call"),
+        }
+    }
+
+    fn lower_method_call(
+        &mut self,
+        line: u32,
+        recv: Operand,
+        recv_ty: Ty,
+        name: &str,
+        args: &[Expr],
+        out: &mut Vec<NStmt>,
+    ) -> LResult<(Option<Operand>, Ty)> {
+        self.cur_line = line;
+        let cid = match recv_ty {
+            Ty::Class(c) => c,
+            other => return self.err(format!("cannot call method `{name}` on {other}")),
+        };
+        let sig = self.env.find_method(cid, name).ok_or_else(|| Diag {
+            line,
+            msg: format!(
+                "class `{}` has no method `{name}`",
+                self.env.classes[cid.index()].name
+            ),
+        })?;
+        if sig.is_static {
+            return self.err(format!("`{name}` is static; call it on the class"));
+        }
+        let mid = sig.id;
+        self.finish_call(line, mid, Some(recv), args, out)
+    }
+
+    fn finish_call(
+        &mut self,
+        line: u32,
+        mid: MethodId,
+        recv: Option<Operand>,
+        args: &[Expr],
+        out: &mut Vec<NStmt>,
+    ) -> LResult<(Option<Operand>, Ty)> {
+        let (param_tys, ret): (Vec<Ty>, Ty) = {
+            let sig = &self.env.sigs[mid.index()];
+            (
+                sig.params.iter().map(|(_, t)| t.clone()).collect(),
+                sig.ret.clone(),
+            )
+        };
+        if param_tys.len() != args.len() {
+            self.cur_line = line;
+            return self.err(format!(
+                "method expects {} args, got {}",
+                param_tys.len(),
+                args.len()
+            ));
+        }
+        let mut ops = Vec::with_capacity(args.len() + 1);
+        if let Some(r) = recv {
+            ops.push(r);
+        }
+        for (a, pt) in args.iter().zip(&param_tys) {
+            let (op, ty) = self.lower_expr_expect(a, Some(pt), out)?;
+            if !pt.accepts(&ty) {
+                return self.err(format!(
+                    "argument type mismatch: expected {pt}, got {ty}"
+                ));
+            }
+            ops.push(op);
+        }
+        self.cur_line = line;
+        let (dst, result) = if ret == Ty::Void {
+            (None, None)
+        } else {
+            let t = self.fresh(ret.clone());
+            (Some(t), Some(Operand::Local(t)))
+        };
+        let st = self.mk_stmt(NStmtKind::Call {
+            dst,
+            method: mid,
+            args: ops,
+        });
+        out.push(st);
+        Ok((result, ret))
+    }
+
+    fn lower_builtin(
+        &mut self,
+        line: u32,
+        b: Builtin,
+        args: &[Expr],
+        _expect: Option<&Ty>,
+        out: &mut Vec<NStmt>,
+    ) -> LResult<(Option<Operand>, Ty)> {
+        self.cur_line = line;
+        let mut ops = Vec::new();
+        let mut tys = Vec::new();
+        for a in args {
+            let (op, ty) = self.lower_expr(a, out)?;
+            ops.push(op);
+            tys.push(ty);
+        }
+        let ret = match b {
+            Builtin::DbQuery | Builtin::DbUpdate => {
+                if tys.is_empty() || tys[0] != Ty::Str {
+                    return self.err(format!(
+                        "`{}` requires a SQL string as its first argument",
+                        b.name()
+                    ));
+                }
+                for (i, t) in tys.iter().enumerate().skip(1) {
+                    if !matches!(t, Ty::Int | Ty::Double | Ty::Bool | Ty::Str | Ty::Null) {
+                        return self.err(format!(
+                            "`{}` parameter {i} must be a scalar, got {t}",
+                            b.name()
+                        ));
+                    }
+                }
+                if b == Builtin::DbQuery {
+                    Ty::Array(Box::new(Ty::Row))
+                } else {
+                    Ty::Int
+                }
+            }
+            Builtin::Print => {
+                if tys.len() != 1 {
+                    return self.err("`print` takes one argument");
+                }
+                Ty::Void
+            }
+            Builtin::Sha1 => {
+                if tys != [Ty::Int] {
+                    return self.err("`sha1` takes one int");
+                }
+                Ty::Int
+            }
+            Builtin::Rollback => {
+                if !tys.is_empty() {
+                    return self.err("`rollback` takes no arguments");
+                }
+                Ty::Void
+            }
+            Builtin::IntToStr => {
+                if tys != [Ty::Int] {
+                    return self.err("`intToStr` takes one int");
+                }
+                Ty::Str
+            }
+            Builtin::StrToInt => {
+                if tys != [Ty::Str] {
+                    return self.err("`strToInt` takes one string");
+                }
+                Ty::Int
+            }
+            Builtin::ToDouble => {
+                if tys != [Ty::Int] {
+                    return self.err("`toDouble` takes one int");
+                }
+                Ty::Double
+            }
+            Builtin::ToInt => {
+                if tys != [Ty::Double] {
+                    return self.err("`toInt` takes one double");
+                }
+                Ty::Int
+            }
+            Builtin::StrLen => {
+                if tys != [Ty::Str] {
+                    return self.err("`strLen` takes one string");
+                }
+                Ty::Int
+            }
+        };
+        let (dst, result) = if ret == Ty::Void {
+            (None, None)
+        } else {
+            let t = self.fresh(ret.clone());
+            (Some(t), Some(Operand::Local(t)))
+        };
+        let st = self.mk_stmt(NStmtKind::Builtin { dst, f: b, args: ops });
+        out.push(st);
+        Ok((result, ret))
+    }
+
+    fn binop_ty(&self, op: BinOp, a: &Ty, b: &Ty) -> LResult<Ty> {
+        if op.is_comparison() {
+            let compatible = (a.is_numeric() && b.is_numeric())
+                || a == b
+                || a.accepts(b)
+                || b.accepts(a);
+            if !compatible {
+                return self.err(format!("cannot compare {a} and {b}"));
+            }
+            return Ok(Ty::Bool);
+        }
+        if op == BinOp::Add && (*a == Ty::Str || *b == Ty::Str) {
+            return Ok(Ty::Str);
+        }
+        if op.is_arith() {
+            if !a.is_numeric() || !b.is_numeric() {
+                return self.err(format!("arithmetic on {a} and {b}"));
+            }
+            return Ok(if *a == Ty::Double || *b == Ty::Double {
+                Ty::Double
+            } else {
+                Ty::Int
+            });
+        }
+        // And/Or handled by short-circuit path.
+        if *a == Ty::Bool && *b == Ty::Bool {
+            return Ok(Ty::Bool);
+        }
+        self.err(format!("invalid operands {a}, {b}"))
+    }
+
+    fn unop_ty(&self, op: UnOp, a: &Ty) -> LResult<Ty> {
+        match op {
+            UnOp::Neg if a.is_numeric() => Ok(a.clone()),
+            UnOp::Not if *a == Ty::Bool => Ok(Ty::Bool),
+            _ => self.err(format!("invalid operand {a} for {op:?}")),
+        }
+    }
+}

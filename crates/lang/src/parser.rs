@@ -1,0 +1,821 @@
+//! Recursive-descent parser for PyxLang.
+//!
+//! Precedence (low → high): `||`, `&&`, comparisons, `+ -`, `* / %`, unary,
+//! postfix (`.field`, `.method(...)`, `[index]`).
+
+use crate::ast::*;
+use crate::lower::Diag;
+use crate::token::{TokKind, Token};
+
+pub struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+type PResult<T> = Result<T, Diag>;
+
+impl Parser {
+    pub fn new(toks: Vec<Token>) -> Self {
+        Parser { toks, pos: 0 }
+    }
+
+    fn peek(&self) -> &TokKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn line(&self) -> u32 {
+        self.toks[self.pos].line
+    }
+
+    fn bump(&mut self) -> TokKind {
+        let k = self.toks[self.pos].kind.clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        k
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> PResult<T> {
+        Err(Diag {
+            line: self.line(),
+            msg: msg.into(),
+        })
+    }
+
+    fn expect(&mut self, kind: TokKind) -> PResult<()> {
+        if *self.peek() == kind {
+            self.bump();
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().describe()
+            ))
+        }
+    }
+
+    fn eat(&mut self, kind: TokKind) -> bool {
+        if *self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn ident(&mut self) -> PResult<String> {
+        match self.peek().clone() {
+            TokKind::Ident(s) => {
+                self.bump();
+                Ok(s)
+            }
+            other => self.err(format!("expected identifier, found {}", other.describe())),
+        }
+    }
+
+    pub fn parse_program(&mut self) -> PResult<Program> {
+        let mut classes = Vec::new();
+        while *self.peek() != TokKind::Eof {
+            classes.push(self.class_decl()?);
+        }
+        Ok(Program { classes })
+    }
+
+    fn class_decl(&mut self) -> PResult<ClassDecl> {
+        let line = self.line();
+        self.expect(TokKind::Class)?;
+        let name = self.ident()?;
+        self.expect(TokKind::LBrace)?;
+        let mut fields = Vec::new();
+        let mut methods = Vec::new();
+        while !self.eat(TokKind::RBrace) {
+            self.member(&name, &mut fields, &mut methods)?;
+        }
+        Ok(ClassDecl {
+            name,
+            fields,
+            methods,
+            line,
+        })
+    }
+
+    /// Distinguish fields from methods: both start with a type (or the class
+    /// name for constructors); a `(` after the name means method.
+    fn member(
+        &mut self,
+        class_name: &str,
+        fields: &mut Vec<FieldDecl>,
+        methods: &mut Vec<MethodDecl>,
+    ) -> PResult<()> {
+        let line = self.line();
+        let is_static = self.eat(TokKind::Static);
+
+        // Constructor: `ClassName ( ... )`
+        if let TokKind::Ident(name) = self.peek() {
+            if name == class_name && *self.peek2() == TokKind::LParen {
+                let name = self.ident()?;
+                let (params, body) = self.method_rest()?;
+                methods.push(MethodDecl {
+                    name,
+                    ret: None,
+                    params,
+                    body,
+                    is_static: false,
+                    is_ctor: true,
+                    line,
+                });
+                return Ok(());
+            }
+        }
+
+        if self.eat(TokKind::Void) {
+            let name = self.ident()?;
+            let (params, body) = self.method_rest()?;
+            methods.push(MethodDecl {
+                name,
+                ret: None,
+                params,
+                body,
+                is_static,
+                is_ctor: false,
+                line,
+            });
+            return Ok(());
+        }
+
+        let ty = self.type_ast()?;
+        let name = self.ident()?;
+        if *self.peek() == TokKind::LParen {
+            let (params, body) = self.method_rest()?;
+            methods.push(MethodDecl {
+                name,
+                ret: Some(ty),
+                params,
+                body,
+                is_static,
+                is_ctor: false,
+                line,
+            });
+        } else {
+            if is_static {
+                return self.err("static fields are not supported");
+            }
+            self.expect(TokKind::Semi)?;
+            fields.push(FieldDecl { name, ty, line });
+        }
+        Ok(())
+    }
+
+    fn method_rest(&mut self) -> PResult<(Vec<(TypeAst, String)>, Vec<Stmt>)> {
+        self.expect(TokKind::LParen)?;
+        let mut params = Vec::new();
+        if !self.eat(TokKind::RParen) {
+            loop {
+                let ty = self.type_ast()?;
+                let name = self.ident()?;
+                params.push((ty, name));
+                if self.eat(TokKind::RParen) {
+                    break;
+                }
+                self.expect(TokKind::Comma)?;
+            }
+        }
+        let body = self.block()?;
+        Ok((params, body))
+    }
+
+    fn type_ast(&mut self) -> PResult<TypeAst> {
+        let mut ty = match self.bump() {
+            TokKind::Int => TypeAst::Int,
+            TokKind::Double => TypeAst::Double,
+            TokKind::Bool => TypeAst::Bool,
+            TokKind::Str => TypeAst::Str,
+            TokKind::Row => TypeAst::Row,
+            TokKind::Ident(name) => TypeAst::Named(name),
+            other => return self.err(format!("expected a type, found {}", other.describe())),
+        };
+        while *self.peek() == TokKind::LBracket && *self.peek2() == TokKind::RBracket {
+            self.bump();
+            self.bump();
+            ty = TypeAst::Array(Box::new(ty));
+        }
+        Ok(ty)
+    }
+
+    fn block(&mut self) -> PResult<Vec<Stmt>> {
+        self.expect(TokKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while !self.eat(TokKind::RBrace) {
+            stmts.push(self.stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    /// Either a `{ ... }` block or a single statement (for `if`/loop bodies).
+    fn block_or_stmt(&mut self) -> PResult<Vec<Stmt>> {
+        if *self.peek() == TokKind::LBrace {
+            self.block()
+        } else {
+            Ok(vec![self.stmt()?])
+        }
+    }
+
+    fn stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+        match self.peek().clone() {
+            TokKind::If => {
+                self.bump();
+                self.expect(TokKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                let then_b = self.block_or_stmt()?;
+                let else_b = if self.eat(TokKind::Else) {
+                    if *self.peek() == TokKind::If {
+                        vec![self.stmt()?]
+                    } else {
+                        self.block_or_stmt()?
+                    }
+                } else {
+                    Vec::new()
+                };
+                Ok(Stmt {
+                    kind: StmtKind::If {
+                        cond,
+                        then_b,
+                        else_b,
+                    },
+                    line,
+                })
+            }
+            TokKind::While => {
+                self.bump();
+                self.expect(TokKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                let body = self.block_or_stmt()?;
+                Ok(Stmt {
+                    kind: StmtKind::While { cond, body },
+                    line,
+                })
+            }
+            TokKind::For => self.for_stmt(line),
+            TokKind::Return => {
+                self.bump();
+                let value = if *self.peek() == TokKind::Semi {
+                    None
+                } else {
+                    Some(self.expr()?)
+                };
+                self.expect(TokKind::Semi)?;
+                Ok(Stmt {
+                    kind: StmtKind::Return(value),
+                    line,
+                })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(TokKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    /// `for (T x : arr) body` or `for (init; cond; step) body`.
+    fn for_stmt(&mut self, line: u32) -> PResult<Stmt> {
+        self.bump(); // `for`
+        self.expect(TokKind::LParen)?;
+
+        // Try for-each: `type ident :`
+        let checkpoint = self.pos;
+        if let Ok(ty) = self.type_ast() {
+            if let TokKind::Ident(_) = self.peek() {
+                let var = self.ident()?;
+                if self.eat(TokKind::Colon) {
+                    let iter = self.expr()?;
+                    self.expect(TokKind::RParen)?;
+                    let body = self.block_or_stmt()?;
+                    return Ok(Stmt {
+                        kind: StmtKind::ForEach {
+                            ty,
+                            var,
+                            iter,
+                            body,
+                        },
+                        line,
+                    });
+                }
+            }
+        }
+        self.pos = checkpoint;
+
+        let init = if *self.peek() == TokKind::Semi {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(TokKind::Semi)?;
+        let cond = self.expr()?;
+        self.expect(TokKind::Semi)?;
+        let step = if *self.peek() == TokKind::RParen {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(TokKind::RParen)?;
+        let body = self.block_or_stmt()?;
+        Ok(Stmt {
+            kind: StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            },
+            line,
+        })
+    }
+
+    /// A statement without its trailing `;`: local decl, assignment,
+    /// increment, or expression (call) statement.
+    fn simple_stmt(&mut self) -> PResult<Stmt> {
+        let line = self.line();
+
+        // Local declaration: `type ident (= expr)?` — lookahead for a type
+        // followed by an identifier.
+        if self.starts_type_decl() {
+            let ty = self.type_ast()?;
+            let name = self.ident()?;
+            let init = if self.eat(TokKind::Assign) {
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            return Ok(Stmt {
+                kind: StmtKind::LocalDecl { ty, name, init },
+                line,
+            });
+        }
+
+        let target = self.expr()?;
+        let op = match self.peek() {
+            TokKind::Assign => Some(AssignOp::Set),
+            TokKind::PlusEq => Some(AssignOp::Add),
+            TokKind::MinusEq => Some(AssignOp::Sub),
+            TokKind::StarEq => Some(AssignOp::Mul),
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let value = self.expr()?;
+            return Ok(Stmt {
+                kind: StmtKind::Assign { target, op, value },
+                line,
+            });
+        }
+        // `i++;` / `i--;` desugar to `i = i +/- 1`.
+        if let ExprKind::PostIncr(name, incr) = &target.kind {
+            let one = Expr {
+                kind: ExprKind::IntLit(1),
+                line,
+            };
+            let var = Expr {
+                kind: ExprKind::Var(name.clone()),
+                line,
+            };
+            return Ok(Stmt {
+                kind: StmtKind::Assign {
+                    target: var,
+                    op: if *incr { AssignOp::Add } else { AssignOp::Sub },
+                    value: one,
+                },
+                line,
+            });
+        }
+        Ok(Stmt {
+            kind: StmtKind::ExprStmt(target),
+            line,
+        })
+    }
+
+    /// Lookahead: does the token stream start `Type ident` (a declaration)?
+    fn starts_type_decl(&self) -> bool {
+        let is_prim = matches!(
+            self.peek(),
+            TokKind::Int | TokKind::Double | TokKind::Bool | TokKind::Str | TokKind::Row
+        );
+        if is_prim {
+            return true;
+        }
+        if let TokKind::Ident(_) = self.peek() {
+            // `Name ident` or `Name[] ident`
+            match self.peek2() {
+                TokKind::Ident(_) => return true,
+                TokKind::LBracket => {
+                    // distinguish `T[] x` from `a[i] = ...`
+                    let k3 = self
+                        .toks
+                        .get(self.pos + 2)
+                        .map(|t| &t.kind)
+                        .unwrap_or(&TokKind::Eof);
+                    return *k3 == TokKind::RBracket;
+                }
+                _ => return false,
+            }
+        }
+        false
+    }
+
+    // ---- expressions ----
+
+    pub fn expr(&mut self) -> PResult<Expr> {
+        self.or_expr()
+    }
+
+    fn or_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.and_expr()?;
+        while *self.peek() == TokKind::OrOr {
+            let line = self.line();
+            self.bump();
+            let rhs = self.and_expr()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::Or, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn and_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.cmp_expr()?;
+        while *self.peek() == TokKind::AndAnd {
+            let line = self.line();
+            self.bump();
+            let rhs = self.cmp_expr()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(BinOp::And, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn cmp_expr(&mut self) -> PResult<Expr> {
+        let lhs = self.add_expr()?;
+        let op = match self.peek() {
+            TokKind::EqEq => BinOp::Eq,
+            TokKind::NotEq => BinOp::Ne,
+            TokKind::Lt => BinOp::Lt,
+            TokKind::Le => BinOp::Le,
+            TokKind::Gt => BinOp::Gt,
+            TokKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        let line = self.line();
+        self.bump();
+        let rhs = self.add_expr()?;
+        Ok(Expr {
+            kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+            line,
+        })
+    }
+
+    fn add_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.mul_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Plus => BinOp::Add,
+                TokKind::Minus => BinOp::Sub,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.mul_expr()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn mul_expr(&mut self) -> PResult<Expr> {
+        let mut lhs = self.unary_expr()?;
+        loop {
+            let op = match self.peek() {
+                TokKind::Star => BinOp::Mul,
+                TokKind::Slash => BinOp::Div,
+                TokKind::Percent => BinOp::Rem,
+                _ => break,
+            };
+            let line = self.line();
+            self.bump();
+            let rhs = self.unary_expr()?;
+            lhs = Expr {
+                kind: ExprKind::Binary(op, Box::new(lhs), Box::new(rhs)),
+                line,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary_expr(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.peek() {
+            TokKind::Minus => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Neg, Box::new(e)),
+                    line,
+                })
+            }
+            TokKind::Not => {
+                self.bump();
+                let e = self.unary_expr()?;
+                Ok(Expr {
+                    kind: ExprKind::Unary(UnOp::Not, Box::new(e)),
+                    line,
+                })
+            }
+            _ => self.postfix_expr(),
+        }
+    }
+
+    fn postfix_expr(&mut self) -> PResult<Expr> {
+        let mut e = self.primary_expr()?;
+        loop {
+            match self.peek() {
+                TokKind::Dot => {
+                    let line = self.line();
+                    self.bump();
+                    let name = self.ident()?;
+                    if *self.peek() == TokKind::LParen {
+                        let args = self.call_args()?;
+                        e = Expr {
+                            kind: ExprKind::Call {
+                                recv: Some(Box::new(e)),
+                                name,
+                                args,
+                            },
+                            line,
+                        };
+                    } else {
+                        e = Expr {
+                            kind: ExprKind::Field(Box::new(e), name),
+                            line,
+                        };
+                    }
+                }
+                TokKind::LBracket => {
+                    let line = self.line();
+                    self.bump();
+                    let idx = self.expr()?;
+                    self.expect(TokKind::RBracket)?;
+                    e = Expr {
+                        kind: ExprKind::Index(Box::new(e), Box::new(idx)),
+                        line,
+                    };
+                }
+                _ => break,
+            }
+        }
+        Ok(e)
+    }
+
+    fn call_args(&mut self) -> PResult<Vec<Expr>> {
+        self.expect(TokKind::LParen)?;
+        let mut args = Vec::new();
+        if !self.eat(TokKind::RParen) {
+            loop {
+                args.push(self.expr()?);
+                if self.eat(TokKind::RParen) {
+                    break;
+                }
+                self.expect(TokKind::Comma)?;
+            }
+        }
+        Ok(args)
+    }
+
+    fn primary_expr(&mut self) -> PResult<Expr> {
+        let line = self.line();
+        match self.bump() {
+            TokKind::IntLit(v) => Ok(Expr {
+                kind: ExprKind::IntLit(v),
+                line,
+            }),
+            TokKind::DoubleLit(v) => Ok(Expr {
+                kind: ExprKind::DoubleLit(v),
+                line,
+            }),
+            TokKind::StrLit(s) => Ok(Expr {
+                kind: ExprKind::StrLit(s),
+                line,
+            }),
+            TokKind::True => Ok(Expr {
+                kind: ExprKind::BoolLit(true),
+                line,
+            }),
+            TokKind::False => Ok(Expr {
+                kind: ExprKind::BoolLit(false),
+                line,
+            }),
+            TokKind::Null => Ok(Expr {
+                kind: ExprKind::Null,
+                line,
+            }),
+            TokKind::This => Ok(Expr {
+                kind: ExprKind::This,
+                line,
+            }),
+            TokKind::LParen => {
+                let e = self.expr()?;
+                self.expect(TokKind::RParen)?;
+                Ok(e)
+            }
+            TokKind::New => {
+                // `new C(args)` or `new T[len]`
+                let base = match self.bump() {
+                    TokKind::Int => TypeAst::Int,
+                    TokKind::Double => TypeAst::Double,
+                    TokKind::Bool => TypeAst::Bool,
+                    TokKind::Str => TypeAst::Str,
+                    TokKind::Row => TypeAst::Row,
+                    TokKind::Ident(name) => TypeAst::Named(name),
+                    other => {
+                        return self
+                            .err(format!("expected type after `new`, found {}", other.describe()))
+                    }
+                };
+                if *self.peek() == TokKind::LBracket {
+                    self.bump();
+                    let len = self.expr()?;
+                    self.expect(TokKind::RBracket)?;
+                    return Ok(Expr {
+                        kind: ExprKind::NewArray {
+                            elem: base,
+                            len: Box::new(len),
+                        },
+                        line,
+                    });
+                }
+                match base {
+                    TypeAst::Named(class) => {
+                        let args = self.call_args()?;
+                        Ok(Expr {
+                            kind: ExprKind::NewObject { class, args },
+                            line,
+                        })
+                    }
+                    _ => self.err("`new` on a primitive type requires `[len]`"),
+                }
+            }
+            TokKind::Ident(name) => {
+                if *self.peek() == TokKind::LParen {
+                    let args = self.call_args()?;
+                    Ok(Expr {
+                        kind: ExprKind::Call {
+                            recv: None,
+                            name,
+                            args,
+                        },
+                        line,
+                    })
+                } else if *self.peek() == TokKind::PlusPlus {
+                    self.bump();
+                    Ok(Expr {
+                        kind: ExprKind::PostIncr(name, true),
+                        line,
+                    })
+                } else if *self.peek() == TokKind::MinusMinus {
+                    self.bump();
+                    Ok(Expr {
+                        kind: ExprKind::PostIncr(name, false),
+                        line,
+                    })
+                } else {
+                    Ok(Expr {
+                        kind: ExprKind::Var(name),
+                        line,
+                    })
+                }
+            }
+            other => self.err(format!("unexpected {} in expression", other.describe())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::ast::*;
+    use crate::parse_program;
+
+    #[test]
+    fn parses_running_example() {
+        // The paper's Fig. 2 running example, adapted to PyxLang builtins.
+        let src = r#"
+            class Order {
+                int id;
+                double[] realCosts;
+                double totalCost;
+                Order(int id) { this.id = id; }
+                void placeOrder(int cid, double dct) {
+                    totalCost = 0.0;
+                    computeTotalCost(dct);
+                    updateAccount(cid, totalCost);
+                }
+                void computeTotalCost(double dct) {
+                    int i = 0;
+                    double[] costs = getCosts();
+                    realCosts = new double[costs.length];
+                    for (double itemCost : costs) {
+                        double realCost;
+                        realCost = itemCost * dct;
+                        totalCost += realCost;
+                        realCosts[i++] = realCost;
+                        insertNewLineItem(id, realCost);
+                    }
+                }
+                double[] getCosts() { return new double[0]; }
+                void updateAccount(int cid, double total) { }
+                void insertNewLineItem(int oid, double c) { }
+            }
+        "#;
+        let prog = parse_program(src).expect("parse");
+        assert_eq!(prog.classes.len(), 1);
+        let order = &prog.classes[0];
+        assert_eq!(order.fields.len(), 3);
+        assert_eq!(order.methods.len(), 6);
+        assert!(order.methods[0].is_ctor);
+    }
+
+    #[test]
+    fn parses_if_else_chain() {
+        let src = "class C { int f(int x) { if (x < 0) { return 0 - 1; } else if (x == 0) { return 0; } else { return 1; } } }";
+        let prog = parse_program(src).unwrap();
+        let m = &prog.classes[0].methods[0];
+        assert!(matches!(m.body[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn parses_c_style_for() {
+        let src = "class C { void f() { for (int i = 0; i < 10; i++) { g(i); } } void g(int x) {} }";
+        let prog = parse_program(src).unwrap();
+        assert!(matches!(
+            prog.classes[0].methods[0].body[0].kind,
+            StmtKind::For { .. }
+        ));
+    }
+
+    #[test]
+    fn parses_db_builtin_calls() {
+        let src = r#"class C { void f(int id) { row[] rs = dbQuery("SELECT a FROM t WHERE id = ?", id); } }"#;
+        let prog = parse_program(src).unwrap();
+        match &prog.classes[0].methods[0].body[0].kind {
+            StmtKind::LocalDecl { init: Some(e), .. } => {
+                assert!(matches!(&e.kind, ExprKind::Call { recv: None, name, .. } if name == "dbQuery"));
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_program("class C { int ; }").is_err());
+        assert!(parse_program("class C { void f() { x = ; } }").is_err());
+        assert!(parse_program("class {").is_err());
+    }
+
+    #[test]
+    fn postincrement_as_index() {
+        let src = "class C { void f(double[] a) { int i = 0; a[i++] = 1.0; } }";
+        let prog = parse_program(src).unwrap();
+        match &prog.classes[0].methods[0].body[1].kind {
+            StmtKind::Assign { target, .. } => match &target.kind {
+                ExprKind::Index(_, idx) => {
+                    assert!(matches!(idx.kind, ExprKind::PostIncr(_, true)))
+                }
+                other => panic!("unexpected {other:?}"),
+            },
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn parses_array_types_and_new() {
+        let src = "class C { int[] xs; void f() { xs = new int[3]; } }";
+        let prog = parse_program(src).unwrap();
+        assert_eq!(prog.classes[0].fields.len(), 1);
+        assert!(matches!(prog.classes[0].fields[0].ty, TypeAst::Array(_)));
+    }
+
+    #[test]
+    fn parses_string_concat_and_compare() {
+        let src = r#"class C { bool f(string a) { string b = a + "x"; return b == "yx"; } }"#;
+        assert!(parse_program(src).is_ok());
+    }
+}

@@ -1,0 +1,83 @@
+//! Token definitions for the PyxLang lexer.
+
+/// A lexical token with its source line (1-based) for diagnostics.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Token {
+    pub kind: TokKind,
+    pub line: u32,
+}
+
+/// Token kinds. Keywords are distinguished from identifiers during lexing.
+#[derive(Clone, Debug, PartialEq)]
+pub enum TokKind {
+    // literals and names
+    Ident(String),
+    IntLit(i64),
+    DoubleLit(f64),
+    StrLit(String),
+    // keywords
+    Class,
+    Void,
+    Int,
+    Double,
+    Bool,
+    Str,
+    Row,
+    If,
+    Else,
+    While,
+    For,
+    Return,
+    New,
+    True,
+    False,
+    Null,
+    This,
+    Static,
+    // punctuation
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Semi,
+    Comma,
+    Dot,
+    Colon,
+    // operators
+    Assign,     // =
+    PlusEq,     // +=
+    MinusEq,    // -=
+    StarEq,     // *=
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    AndAnd,
+    OrOr,
+    Not,
+    PlusPlus,   // ++
+    MinusMinus, // --
+    Eof,
+}
+
+impl TokKind {
+    /// Short human-readable form used in parse-error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokKind::Ident(s) => format!("identifier `{s}`"),
+            TokKind::IntLit(v) => format!("integer `{v}`"),
+            TokKind::DoubleLit(v) => format!("double `{v}`"),
+            TokKind::StrLit(_) => "string literal".to_string(),
+            other => format!("`{other:?}`"),
+        }
+    }
+}

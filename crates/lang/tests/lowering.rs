@@ -1,0 +1,284 @@
+//! Integration tests for AST → NIR lowering: resolution, type checking, and
+//! normalization invariants.
+
+use pyx_lang::{compile, NStmtKind, Operand, Place, Rvalue, Ty};
+
+fn compile_ok(src: &str) -> pyx_lang::NirProgram {
+    match compile(src) {
+        Ok(p) => p,
+        Err(errs) => panic!("unexpected errors: {errs:?}"),
+    }
+}
+
+fn compile_err(src: &str) -> String {
+    match compile(src) {
+        Ok(_) => panic!("expected a type error"),
+        Err(errs) => errs
+            .iter()
+            .map(|e| e.to_string())
+            .collect::<Vec<_>>()
+            .join("; "),
+    }
+}
+
+#[test]
+fn lowers_running_example() {
+    let src = r#"
+        class Order {
+            int id;
+            double[] realCosts;
+            double totalCost;
+            Order(int id) { this.id = id; }
+            void placeOrder(int cid, double dct) {
+                totalCost = 0.0;
+                computeTotalCost(dct);
+                updateAccount(cid, totalCost);
+            }
+            void computeTotalCost(double dct) {
+                int i = 0;
+                double[] costs = getCosts();
+                realCosts = new double[costs.length];
+                for (double itemCost : costs) {
+                    double realCost;
+                    realCost = itemCost * dct;
+                    totalCost += realCost;
+                    realCosts[i++] = realCost;
+                    insertNewLineItem(id, realCost);
+                }
+            }
+            double[] getCosts() {
+                row[] rs = dbQuery("SELECT cost FROM items WHERE oid = ?", id);
+                double[] out = new double[rs.length];
+                for (int k = 0; k < rs.length; k++) {
+                    out[k] = rs[k].getDouble(0);
+                }
+                return out;
+            }
+            void updateAccount(int cid, double total) {
+                dbUpdate("UPDATE accounts SET bal = bal - ? WHERE cid = ?", total, cid);
+            }
+            void insertNewLineItem(int oid, double c) {
+                dbUpdate("INSERT INTO line_items VALUES (?, ?)", oid, c);
+            }
+        }
+    "#;
+    let p = compile_ok(src);
+    assert_eq!(p.classes.len(), 1);
+    assert_eq!(p.fields.len(), 3);
+    assert_eq!(p.methods.len(), 6);
+    assert!(p.stmt_count() > 20);
+
+    // Every statement id is unique and within range.
+    let mut seen = vec![false; p.stmt_count()];
+    p.for_each_stmt(|_, s| {
+        assert!(!seen[s.id.index()], "duplicate stmt id {:?}", s.id);
+        seen[s.id.index()] = true;
+    });
+    assert!(seen.iter().all(|&b| b), "gaps in stmt numbering");
+}
+
+#[test]
+fn unqualified_field_access_resolves_to_this() {
+    let src = "class C { int x; void f() { x = 1; } }";
+    let p = compile_ok(src);
+    let m = p.find_method("C", "f").unwrap();
+    let body = &p.method(m).body;
+    match &body[0].kind {
+        NStmtKind::Assign {
+            dst: Place::Field { base, field },
+            rv: Rvalue::Use(Operand::CInt(1)),
+        } => {
+            assert_eq!(*base, Operand::Local(pyx_lang::LocalId(0)));
+            assert_eq!(p.field(*field).name, "x");
+        }
+        other => panic!("unexpected lowering: {other:?}"),
+    }
+}
+
+#[test]
+fn normalization_flattens_nested_expressions() {
+    // `y = a.f + g(b[i]) * 2` must be decomposed into single-operation stmts.
+    let src = r#"
+        class C {
+            int f;
+            int g(int v) { return v + 1; }
+            int h(C a, int[] b, int i) { return a.f + g(b[i]) * 2; }
+        }
+    "#;
+    let p = compile_ok(src);
+    let m = p.method(p.find_method("C", "h").unwrap());
+    // Expect: t0 = a.f; t1 = b[i]; t2 = g(t1); t3 = t2 * 2; t4 = t0 + t3; return t4
+    let mut calls = 0;
+    let mut heap_reads = 0;
+    for s in &m.body {
+        match &s.kind {
+            NStmtKind::Call { .. } => calls += 1,
+            NStmtKind::Assign { rv, .. } => match rv {
+                Rvalue::ReadField { .. } | Rvalue::ReadElem { .. } => heap_reads += 1,
+                _ => {}
+            },
+            _ => {}
+        }
+    }
+    assert_eq!(calls, 1);
+    assert_eq!(heap_reads, 2);
+}
+
+#[test]
+fn foreach_desugars_to_while() {
+    let src = "class C { int sum(int[] xs) { int s = 0; for (int x : xs) { s = s + x; } return s; } }";
+    let p = compile_ok(src);
+    let m = p.method(p.find_method("C", "sum").unwrap());
+    assert!(m
+        .body
+        .iter()
+        .any(|s| matches!(s.kind, NStmtKind::While { .. })));
+}
+
+#[test]
+fn short_circuit_becomes_if() {
+    let src = "class C { bool f(int a, int b) { return a > 0 && b > 0; } }";
+    let p = compile_ok(src);
+    let m = p.method(p.find_method("C", "f").unwrap());
+    assert!(m
+        .body
+        .iter()
+        .any(|s| matches!(s.kind, NStmtKind::If { .. })));
+}
+
+#[test]
+fn int_widens_to_double() {
+    compile_ok("class C { double d; void f() { d = 1; } }");
+}
+
+#[test]
+fn rejects_double_to_int() {
+    let msg = compile_err("class C { int i; void f() { i = 1.5; } }");
+    assert!(msg.contains("cannot assign"), "{msg}");
+}
+
+#[test]
+fn rejects_unknown_variable() {
+    let msg = compile_err("class C { void f() { x = 1; } }");
+    assert!(msg.contains("unknown variable"), "{msg}");
+}
+
+#[test]
+fn rejects_unknown_method() {
+    let msg = compile_err("class C { void f() { g(); } }");
+    assert!(msg.contains("unknown method"), "{msg}");
+}
+
+#[test]
+fn rejects_bad_arg_count() {
+    let msg = compile_err("class C { void g(int x) {} void f() { g(); } }");
+    assert!(msg.contains("expects 1 args"), "{msg}");
+}
+
+#[test]
+fn rejects_non_bool_condition() {
+    let msg = compile_err("class C { void f(int x) { if (x) { } } }");
+    assert!(msg.contains("must be bool"), "{msg}");
+}
+
+#[test]
+fn rejects_this_in_static() {
+    let msg = compile_err("class C { int x; static void f() { this.x = 1; } }");
+    assert!(msg.contains("`this`"), "{msg}");
+}
+
+#[test]
+fn rejects_db_call_with_nonscalar_arg() {
+    let msg = compile_err(
+        "class C { void f() { int[] a = new int[1]; dbQuery(\"SELECT x FROM t WHERE y = ?\", a); } }",
+    );
+    assert!(msg.contains("must be a scalar"), "{msg}");
+}
+
+#[test]
+fn static_method_call_via_class_name() {
+    let src = r#"
+        class Util { static int twice(int x) { return x * 2; } }
+        class C { int f() { return Util.twice(21); } }
+    "#;
+    let p = compile_ok(src);
+    let m = p.method(p.find_method("C", "f").unwrap());
+    assert!(m
+        .body
+        .iter()
+        .any(|s| matches!(s.kind, NStmtKind::Call { .. })));
+}
+
+#[test]
+fn new_object_emits_alloc_then_ctor_call() {
+    let src = r#"
+        class P { int v; P(int v) { this.v = v; } }
+        class C { P mk() { return new P(7); } }
+    "#;
+    let p = compile_ok(src);
+    let m = p.method(p.find_method("C", "mk").unwrap());
+    let kinds: Vec<&NStmtKind> = m.body.iter().map(|s| &s.kind).collect();
+    assert!(matches!(
+        kinds[0],
+        NStmtKind::Assign {
+            rv: Rvalue::NewObject { .. },
+            ..
+        }
+    ));
+    assert!(matches!(kinds[1], NStmtKind::Call { dst: None, .. }));
+}
+
+#[test]
+fn row_getters_lower_to_rowget() {
+    let src = r#"
+        class C {
+            int f() {
+                row[] rs = dbQuery("SELECT a FROM t WHERE k = ?", 1);
+                return rs[0].getInt(0);
+            }
+        }
+    "#;
+    let p = compile_ok(src);
+    let m = p.method(p.find_method("C", "f").unwrap());
+    let has_rowget = m
+        .body
+        .iter()
+        .any(|s| matches!(&s.kind, NStmtKind::Assign { rv: Rvalue::RowGet { .. }, .. }));
+    assert!(has_rowget);
+}
+
+#[test]
+fn duplicate_class_rejected() {
+    let msg = compile_err("class A { } class A { }");
+    assert!(msg.contains("duplicate class"), "{msg}");
+}
+
+#[test]
+fn duplicate_local_rejected() {
+    let msg = compile_err("class C { void f() { int x = 1; int x = 2; } }");
+    assert!(msg.contains("duplicate local"), "{msg}");
+}
+
+#[test]
+fn stmt_info_lines_are_plausible() {
+    let src = "class C { void f() {\n int x = 1;\n x = 2;\n } }";
+    let p = compile_ok(src);
+    for info in &p.stmt_info {
+        assert!(info.line >= 1 && info.line <= 5);
+    }
+}
+
+#[test]
+fn void_call_as_value_rejected() {
+    let msg = compile_err("class C { void g() {} int f() { return g(); } }");
+    assert!(msg.contains("void"), "{msg}");
+}
+
+#[test]
+fn ty_accepts_rules() {
+    assert!(Ty::Double.accepts(&Ty::Int));
+    assert!(!Ty::Int.accepts(&Ty::Double));
+    assert!(Ty::Str.accepts(&Ty::Null));
+    assert!(!Ty::Int.accepts(&Ty::Null));
+    assert!(Ty::Array(Box::new(Ty::Int)).accepts(&Ty::Null));
+}

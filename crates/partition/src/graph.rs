@@ -1,0 +1,380 @@
+//! Partition-graph construction (§4.2–4.3).
+//!
+//! Nodes: one per statement, one per field, plus two synthetic pinned
+//! nodes — **database code** (the DBMS itself, always on the DB server)
+//! and **console** (user-visible output, always on the application
+//! server). Edges carry the weights from [`crate::weights`]; statement
+//! nodes carry their profiled execution count as CPU load.
+//!
+//! Placement constraints (§4.3):
+//! * every `dbQuery`/`dbUpdate` statement gets a control edge to the
+//!   database-code node (cut ⇔ the call pays a round trip),
+//! * all JDBC call statements share one placement variable (the driver's
+//!   connection state is unserializable) — modelled as a co-location
+//!   group,
+//! * `print` statements are pinned to the application server.
+
+use crate::weights::CostParams;
+use pyx_analysis::{DataDepKind, ProgramAnalysis};
+use pyx_ilp::Side;
+use pyx_lang::{FieldId, NStmtKind, NirProgram, StmtId};
+use pyx_profile::Profile;
+use std::collections::HashMap;
+
+/// Partition-graph node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PNode {
+    Stmt(StmtId),
+    Field(FieldId),
+    /// The DBMS — pinned to the database server.
+    DbCode,
+    /// The user console — pinned to the application server.
+    Console,
+}
+
+/// Edge kinds, mirroring Fig. 4.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PEdgeKind {
+    Control,
+    Data,
+    Update,
+}
+
+#[derive(Debug, Clone)]
+pub struct PEdge {
+    pub src: usize,
+    pub dst: usize,
+    pub kind: PEdgeKind,
+    pub weight: f64,
+}
+
+/// The weighted partition graph.
+#[derive(Debug)]
+pub struct PartitionGraph {
+    pub nodes: Vec<PNode>,
+    pub edges: Vec<PEdge>,
+    /// CPU load per node (statement execution counts; 0 for fields).
+    pub load: Vec<f64>,
+    /// Placement pins.
+    pub pins: Vec<Option<Side>>,
+    /// Node groups that must share one placement (JDBC calls).
+    pub colocate: Vec<Vec<usize>>,
+    node_of_stmt: HashMap<StmtId, usize>,
+    node_of_field: HashMap<FieldId, usize>,
+    pub db_code_node: usize,
+    pub console_node: usize,
+}
+
+impl PartitionGraph {
+    /// Build the graph from analysis results and a profile.
+    pub fn build(
+        prog: &NirProgram,
+        analysis: &ProgramAnalysis,
+        profile: &Profile,
+        params: &CostParams,
+    ) -> PartitionGraph {
+        let mut nodes = Vec::new();
+        let mut node_of_stmt = HashMap::new();
+        let mut node_of_field = HashMap::new();
+
+        for sid in 0..prog.stmt_count() {
+            let id = StmtId(sid as u32);
+            node_of_stmt.insert(id, nodes.len());
+            nodes.push(PNode::Stmt(id));
+        }
+        for f in &prog.fields {
+            node_of_field.insert(f.id, nodes.len());
+            nodes.push(PNode::Field(f.id));
+        }
+        let db_code_node = nodes.len();
+        nodes.push(PNode::DbCode);
+        let console_node = nodes.len();
+        nodes.push(PNode::Console);
+
+        let mut load = vec![0.0; nodes.len()];
+        for sid in 0..prog.stmt_count() {
+            load[node_of_stmt[&StmtId(sid as u32)]] = profile.exec_count[sid] as f64;
+        }
+
+        let mut pins: Vec<Option<Side>> = vec![None; nodes.len()];
+        pins[db_code_node] = Some(Side::Db);
+        pins[console_node] = Some(Side::App);
+
+        let mut g = PartitionGraph {
+            nodes,
+            edges: Vec::new(),
+            load,
+            pins,
+            colocate: Vec::new(),
+            node_of_stmt,
+            node_of_field,
+            db_code_node,
+            console_node,
+        };
+
+        let cnt = |s: StmtId| profile.cnt(s);
+
+        // Control edges (intra-method + interprocedural call edges).
+        for &(src, dst) in analysis.control.iter().chain(&analysis.call_control) {
+            let c = CostParams::edge_cnt(cnt(src), cnt(dst));
+            g.add_edge(
+                g.stmt_node(src),
+                g.stmt_node(dst),
+                PEdgeKind::Control,
+                params.control_weight(c),
+            );
+        }
+
+        // Data edges. `size(src)` comes from the profiled average assigned
+        // size at the def statement.
+        for d in &analysis.data {
+            let c = CostParams::edge_cnt(cnt(d.def), cnt(d.use_));
+            let size = profile.avg_size(d.def);
+            let w = params.data_weight(size, c);
+            let _ = matches!(d.kind, DataDepKind::Heap); // kind informs diagnostics only
+            g.add_edge(g.stmt_node(d.def), g.stmt_node(d.use_), PEdgeKind::Data, w);
+        }
+
+        // Update edges: field declaration ↔ updating statement, weighted by
+        // size(src)/BW · cnt(dst) where dst is the updating statement.
+        for &(s, f) in &analysis.field_updates {
+            let size = profile.avg_size(s);
+            let w = params.data_weight(size, cnt(s));
+            g.add_edge(g.stmt_node(s), g.field_node(f), PEdgeKind::Update, w);
+        }
+        // Field reads: data edges field → use, so placing a field away from
+        // its readers also costs bandwidth.
+        for &(f, s) in &analysis.field_uses {
+            let size = 16.0; // reads price the reference + scalar payload
+            let w = params.data_weight(size, cnt(s));
+            g.add_edge(g.field_node(f), g.stmt_node(s), PEdgeKind::Data, w);
+        }
+
+        // Entry points (methods with no static call sites) are invoked from
+        // the application server: the invocation and its reply are control
+        // transfers if the entry's first statement or returns live on the
+        // DB. Modelled as control edges from the console node. This is what
+        // keeps DB-free interactions (TPC-W's order inquiry, §7.2) on the
+        // application server even under a generous budget.
+        for m in &prog.methods {
+            let called = analysis.call_sites.contains_key(&m.id);
+            if called || m.body.is_empty() {
+                continue;
+            }
+            let first = m.body[0].id;
+            g.add_edge(
+                g.console_node,
+                g.stmt_node(first),
+                PEdgeKind::Control,
+                params.control_weight(cnt(first)),
+            );
+            let mid = m.id;
+            let mut returns = Vec::new();
+            prog.for_each_stmt(|mm, s| {
+                if mm == mid && matches!(s.kind, NStmtKind::Return(_)) {
+                    returns.push(s.id);
+                }
+            });
+            for r in returns {
+                let w = params.control_weight(cnt(r));
+                g.add_edge(g.stmt_node(r), g.console_node, PEdgeKind::Control, w);
+            }
+        }
+
+        // JDBC calls: control edge to the database-code node + co-location
+        // group; `print`: pinned to the console side.
+        let mut jdbc_group = Vec::new();
+        prog.for_each_stmt(|_, s| {
+            if let NStmtKind::Builtin { f, .. } = &s.kind {
+                let n = g.stmt_node(s.id);
+                if f.is_db_call() {
+                    let w = params.control_weight(cnt(s.id));
+                    g.add_edge(n, g.db_code_node, PEdgeKind::Control, w);
+                    jdbc_group.push(n);
+                } else if f.pinned_to_app() {
+                    g.pins[n] = Some(Side::App);
+                }
+            }
+        });
+        if jdbc_group.len() > 1 {
+            g.colocate.push(jdbc_group);
+        }
+
+        g
+    }
+
+    fn add_edge(&mut self, src: usize, dst: usize, kind: PEdgeKind, weight: f64) {
+        if src != dst && weight > 0.0 {
+            self.edges.push(PEdge {
+                src,
+                dst,
+                kind,
+                weight,
+            });
+        }
+    }
+
+    pub fn stmt_node(&self, s: StmtId) -> usize {
+        self.node_of_stmt[&s]
+    }
+
+    pub fn field_node(&self, f: FieldId) -> usize {
+        self.node_of_field[&f]
+    }
+
+    /// Total CPU load of all statement nodes (for budget scaling:
+    /// `budget = fraction × total_load`).
+    pub fn total_load(&self) -> f64 {
+        self.load.iter().sum()
+    }
+
+    /// Cost of a placement under the model: sum of cut edge weights.
+    pub fn cut_cost(&self, side: &[Side]) -> f64 {
+        self.edges
+            .iter()
+            .filter(|e| side[e.src] != side[e.dst])
+            .map(|e| e.weight)
+            .sum()
+    }
+
+    /// DB-side CPU load of a placement.
+    pub fn db_load(&self, side: &[Side]) -> f64 {
+        (0..self.nodes.len())
+            .filter(|&i| side[i] == Side::Db)
+            .map(|i| self.load[i])
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyx_analysis::{analyze, AnalysisConfig};
+    use pyx_lang::{compile, Builtin};
+    use pyx_profile::{Interp, Profiler};
+
+    const SRC: &str = r#"
+        class C {
+            int cached;
+            int hot(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    row[] rs = dbQuery("SELECT v FROM t WHERE k = ?", i);
+                    acc = acc + rs[0].getInt(0);
+                }
+                cached = acc;
+                print(acc);
+                return acc;
+            }
+        }
+    "#;
+
+    fn build_graph() -> (pyx_lang::NirProgram, PartitionGraph) {
+        let prog = compile(SRC).expect("compile");
+        let analysis = analyze(&prog, AnalysisConfig::default());
+        let mut db = pyx_db::Engine::new();
+        db.create_table(pyx_db::TableDef::new(
+            "t",
+            vec![
+                pyx_db::ColumnDef::new("k", pyx_db::ColTy::Int),
+                pyx_db::ColumnDef::new("v", pyx_db::ColTy::Int),
+            ],
+            &["k"],
+        ));
+        for i in 0..10 {
+            db.load_row("t", vec![pyx_lang::Scalar::Int(i), pyx_lang::Scalar::Int(i * 2)]);
+        }
+        let mut it = Interp::new(&prog, &mut db, Profiler::new(&prog));
+        let m = prog.find_method("C", "hot").unwrap();
+        it.call_entry(m, vec![pyx_lang::Value::Int(10)]).unwrap();
+        let profile = it.tracer.profile;
+        let g = PartitionGraph::build(&prog, &analysis, &profile, &CostParams::default());
+        (prog, g)
+    }
+
+    #[test]
+    fn graph_has_expected_structure() {
+        let (prog, g) = build_graph();
+        assert_eq!(
+            g.nodes.len(),
+            prog.stmt_count() + prog.fields.len() + 2
+        );
+        assert_eq!(g.pins[g.db_code_node], Some(Side::Db));
+        assert_eq!(g.pins[g.console_node], Some(Side::App));
+        assert!(g.edges.iter().any(|e| e.kind == PEdgeKind::Control));
+        assert!(g.edges.iter().any(|e| e.kind == PEdgeKind::Data));
+        assert!(g.edges.iter().any(|e| e.kind == PEdgeKind::Update));
+    }
+
+    #[test]
+    fn db_call_connects_to_db_code_with_hot_weight() {
+        let (prog, g) = build_graph();
+        let mut q = None;
+        prog.for_each_stmt(|_, s| {
+            if matches!(
+                s.kind,
+                NStmtKind::Builtin {
+                    f: Builtin::DbQuery,
+                    ..
+                }
+            ) {
+                q = Some(s.id);
+            }
+        });
+        let qn = g.stmt_node(q.unwrap());
+        let e = g
+            .edges
+            .iter()
+            .find(|e| (e.src == qn && e.dst == g.db_code_node))
+            .expect("edge to database code");
+        // Executed 10 times at 1000 µs latency.
+        assert_eq!(e.weight, 10_000.0);
+    }
+
+    #[test]
+    fn print_is_pinned_to_app() {
+        let (prog, g) = build_graph();
+        let mut p = None;
+        prog.for_each_stmt(|_, s| {
+            if matches!(
+                s.kind,
+                NStmtKind::Builtin {
+                    f: Builtin::Print,
+                    ..
+                }
+            ) {
+                p = Some(s.id);
+            }
+        });
+        assert_eq!(g.pins[g.stmt_node(p.unwrap())], Some(Side::App));
+    }
+
+    #[test]
+    fn loads_reflect_execution_counts() {
+        let (_, g) = build_graph();
+        // Loop-body nodes executed 10×; loads present.
+        assert!(g.load.iter().any(|&l| l == 10.0));
+        assert!(g.total_load() > 50.0);
+    }
+
+    #[test]
+    fn cut_cost_and_db_load_eval() {
+        let (_, g) = build_graph();
+        let all_app: Vec<Side> = g
+            .pins
+            .iter()
+            .map(|p| p.unwrap_or(Side::App))
+            .collect();
+        // Only edges to the pinned DbCode node are cut.
+        let cost_app = g.cut_cost(&all_app);
+        assert!(cost_app > 0.0);
+        assert_eq!(g.db_load(&all_app), 0.0);
+
+        let all_db: Vec<Side> = g
+            .pins
+            .iter()
+            .map(|p| p.unwrap_or(Side::Db))
+            .collect();
+        assert!(g.db_load(&all_db) > 0.0);
+    }
+}

@@ -1,0 +1,25 @@
+//! # pyx-partition — the partition graph and placement solver
+//!
+//! The heart of the paper (§4): combine the static dependency analysis with
+//! the dynamic profile to build the **partition graph** — a PDG-like graph
+//! whose nodes are statements and fields and whose weighted edges price the
+//! cost of satisfying each dependency across the network — then solve a
+//! binary integer program (Fig. 5) assigning every node to the application
+//! server or the database server, subject to a DB instruction budget.
+//!
+//! * [`weights`] — the cost model: control edges pay latency, data/update
+//!   edges pay bandwidth, statement nodes carry CPU load (§4.2).
+//! * [`graph`] — partition-graph construction, including the pinned
+//!   "database code" and console nodes and the JDBC co-location group
+//!   (§4.3).
+//! * [`solve`] — placement solving, via the exact branch & bound encoding
+//!   of Fig. 5 or the scalable Lagrangian budgeted-cut solver.
+
+pub mod graph;
+pub mod solve;
+pub mod weights;
+
+pub use graph::{PEdgeKind, PNode, PartitionGraph};
+pub use pyx_ilp::Side;
+pub use solve::{solve, Placement, SolverKind};
+pub use weights::CostParams;

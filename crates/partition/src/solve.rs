@@ -1,0 +1,427 @@
+//! Placement solving (§4.3).
+//!
+//! Two interchangeable solvers over the partition graph:
+//!
+//! * [`SolverKind::Exact`] — the literal Fig. 5 binary integer program:
+//!   one 0/1 variable per node, one per edge, two constraints forcing
+//!   `e = |n_src − n_dst|`, a budget row, equality pins, and shared
+//!   variables for co-location groups. Solved with `pyx_ilp::solve_binary`.
+//!   Exponential in the worst case — used for small programs and as
+//!   ground truth in the solver ablation.
+//! * [`SolverKind::Budgeted`] — the Lagrangian budgeted min-cut
+//!   (`pyx_ilp::BudgetedCut`), scaling to the benchmark programs.
+//!
+//! Co-location groups (all JDBC calls share a variable) are handled by
+//! contracting each group to a super-node before solving.
+
+use crate::graph::PartitionGraph;
+use pyx_ilp::{solve_binary, BudgetedCut, Constraint, Lp, Side};
+use pyx_lang::{FieldId, NirProgram, StmtId};
+
+/// Which solver to run.
+#[derive(Debug, Clone, Copy)]
+pub enum SolverKind {
+    Budgeted,
+    /// Exact B&B with a node-exploration limit.
+    Exact { node_limit: usize },
+}
+
+/// A placement: a side per statement and per field.
+#[derive(Debug, Clone)]
+pub struct Placement {
+    pub stmt_side: Vec<Side>,
+    pub field_side: Vec<Side>,
+    /// Model-predicted cut cost (µs of network time over the profile).
+    pub predicted_cost: f64,
+    /// DB-side CPU load consumed out of the budget.
+    pub db_load: f64,
+    /// Budget this placement was solved for.
+    pub budget: f64,
+}
+
+impl Placement {
+    pub fn side_of_stmt(&self, s: StmtId) -> Side {
+        self.stmt_side[s.index()]
+    }
+
+    pub fn side_of_field(&self, f: FieldId) -> Side {
+        self.field_side[f.index()]
+    }
+
+    /// An all-APP placement (the JDBC baseline deployment).
+    pub fn all_app(prog: &NirProgram) -> Placement {
+        Placement {
+            stmt_side: vec![Side::App; prog.stmt_count()],
+            field_side: vec![Side::App; prog.fields.len()],
+            predicted_cost: 0.0,
+            db_load: 0.0,
+            budget: 0.0,
+        }
+    }
+
+    /// An all-DB placement (the Manual stored-procedure deployment). Print
+    /// statements stay on the APP side (console pin).
+    pub fn all_db(prog: &NirProgram) -> Placement {
+        let mut p = Placement {
+            stmt_side: vec![Side::Db; prog.stmt_count()],
+            field_side: vec![Side::Db; prog.fields.len()],
+            predicted_cost: 0.0,
+            db_load: f64::INFINITY,
+            budget: f64::INFINITY,
+        };
+        prog.for_each_stmt(|_, s| {
+            if let pyx_lang::NStmtKind::Builtin { f, .. } = &s.kind {
+                if f.pinned_to_app() {
+                    p.stmt_side[s.id.index()] = Side::App;
+                }
+            }
+        });
+        p
+    }
+
+    /// Fraction of statements on the DB side (diagnostics).
+    pub fn db_fraction(&self) -> f64 {
+        if self.stmt_side.is_empty() {
+            return 0.0;
+        }
+        self.stmt_side.iter().filter(|&&s| s == Side::Db).count() as f64
+            / self.stmt_side.len() as f64
+    }
+}
+
+/// Solve the partition graph for a given DB CPU budget (in node-load
+/// units; compare with [`PartitionGraph::total_load`]).
+pub fn solve(
+    prog: &NirProgram,
+    g: &PartitionGraph,
+    budget: f64,
+    kind: SolverKind,
+) -> Placement {
+    // Contract co-location groups.
+    let n = g.nodes.len();
+    let mut rep: Vec<usize> = (0..n).collect();
+    for group in &g.colocate {
+        let r = group[0];
+        for &m in &group[1..] {
+            rep[m] = r;
+        }
+    }
+    // Compress to dense super-node ids.
+    let mut super_id = vec![usize::MAX; n];
+    let mut supers = 0usize;
+    for i in 0..n {
+        if rep[i] == i {
+            super_id[i] = supers;
+            supers += 1;
+        }
+    }
+    for i in 0..n {
+        if rep[i] != i {
+            super_id[i] = super_id[rep[i]];
+        }
+    }
+
+    // Merged loads and pins.
+    let mut load = vec![0.0; supers];
+    let mut pins: Vec<Option<Side>> = vec![None; supers];
+    for i in 0..n {
+        let s = super_id[i];
+        load[s] += g.load[i];
+        if let Some(p) = g.pins[i] {
+            match pins[s] {
+                None => pins[s] = Some(p),
+                Some(q) => assert_eq!(p, q, "conflicting pins inside co-location group"),
+            }
+        }
+    }
+    // Edges between supers (self-edges vanish — co-located by definition).
+    let mut edges: Vec<(usize, usize, f64)> = Vec::new();
+    for e in &g.edges {
+        let (u, v) = (super_id[e.src], super_id[e.dst]);
+        if u != v {
+            edges.push((u.min(v), u.max(v), e.weight));
+        }
+    }
+    // Merge parallel edges.
+    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    let mut merged: Vec<(usize, usize, f64)> = Vec::new();
+    for (u, v, w) in edges {
+        match merged.last_mut() {
+            Some(last) if last.0 == u && last.1 == v => last.2 += w,
+            _ => merged.push((u, v, w)),
+        }
+    }
+
+    let side_super = match kind {
+        SolverKind::Budgeted => {
+            let mut p = BudgetedCut::new(supers, budget);
+            for &(u, v, w) in &merged {
+                p.add_edge(u, v, w);
+            }
+            for (i, &l) in load.iter().enumerate() {
+                p.set_load(i, l);
+            }
+            for (i, pin) in pins.iter().enumerate() {
+                if let Some(s) = pin {
+                    p.pin(i, *s);
+                }
+            }
+            p.solve().side
+        }
+        SolverKind::Exact { node_limit } => {
+            solve_exact(supers, &merged, &load, &pins, budget, node_limit)
+        }
+    };
+
+    // Expand back to full nodes.
+    let side: Vec<Side> = (0..n).map(|i| side_super[super_id[i]]).collect();
+
+    let mut stmt_side = vec![Side::App; prog.stmt_count()];
+    let mut field_side = vec![Side::App; prog.fields.len()];
+    for (i, node) in g.nodes.iter().enumerate() {
+        match node {
+            crate::graph::PNode::Stmt(s) => stmt_side[s.index()] = side[i],
+            crate::graph::PNode::Field(f) => field_side[f.index()] = side[i],
+            _ => {}
+        }
+    }
+    let predicted_cost = g.cut_cost(&side);
+    let db_load = g.db_load(&side);
+    Placement {
+        stmt_side,
+        field_side,
+        predicted_cost,
+        db_load,
+        budget,
+    }
+}
+
+/// The literal Fig. 5 encoding.
+fn solve_exact(
+    n: usize,
+    edges: &[(usize, usize, f64)],
+    load: &[f64],
+    pins: &[Option<Side>],
+    budget: f64,
+    node_limit: usize,
+) -> Vec<Side> {
+    let ne = edges.len();
+    let mut lp = Lp::new(n + ne);
+    for (k, &(u, v, w)) in edges.iter().enumerate() {
+        let ev = n + k;
+        lp.objective[ev] = w;
+        // n_u − n_v − e ≤ 0  and  n_v − n_u − e ≤ 0
+        lp.add(Constraint::le(vec![(u, 1.0), (v, -1.0), (ev, -1.0)], 0.0));
+        lp.add(Constraint::le(vec![(v, 1.0), (u, -1.0), (ev, -1.0)], 0.0));
+    }
+    // Budget row: Σ load_i · n_i ≤ budget.
+    let coeffs: Vec<(usize, f64)> = (0..n)
+        .filter(|&i| load[i] > 0.0)
+        .map(|i| (i, load[i]))
+        .collect();
+    if !coeffs.is_empty() && budget.is_finite() {
+        lp.add(Constraint::le(coeffs, budget));
+    }
+    for (i, pin) in pins.iter().enumerate() {
+        match pin {
+            Some(Side::App) => lp.add(Constraint::eq(vec![(i, 1.0)], 0.0)),
+            Some(Side::Db) => lp.add(Constraint::eq(vec![(i, 1.0)], 1.0)),
+            None => {}
+        }
+    }
+    let vars: Vec<usize> = (0..n + ne).collect();
+    match solve_binary(&lp, &vars, node_limit) {
+        Some(r) => (0..n)
+            .map(|i| if r.x[i] > 0.5 { Side::Db } else { Side::App })
+            .collect(),
+        None => {
+            // Infeasible budget: fall back to pins-only (all-APP).
+            (0..n)
+                .map(|i| pins[i].unwrap_or(Side::App))
+                .collect()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::PartitionGraph;
+    use crate::weights::CostParams;
+    use pyx_analysis::{analyze, AnalysisConfig};
+    use pyx_db::{ColTy, ColumnDef, Engine, TableDef};
+    use pyx_lang::{compile, Scalar, Value};
+    use pyx_profile::{Interp, Profiler};
+
+    /// A program with a hot DB loop and a console print: high budget should
+    /// push the loop to the DB; zero budget must keep everything on APP.
+    const SRC: &str = r#"
+        class C {
+            int total;
+            int hot(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) {
+                    row[] rs = dbQuery("SELECT v FROM t WHERE k = ?", i);
+                    acc = acc + rs[0].getInt(0);
+                }
+                total = acc;
+                print(acc);
+                return acc;
+            }
+        }
+    "#;
+
+    fn setup() -> (pyx_lang::NirProgram, PartitionGraph) {
+        let prog = compile(SRC).unwrap();
+        let analysis = analyze(&prog, AnalysisConfig::default());
+        let mut db = Engine::new();
+        db.create_table(TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("k", ColTy::Int),
+                ColumnDef::new("v", ColTy::Int),
+            ],
+            &["k"],
+        ));
+        for i in 0..50 {
+            db.load_row("t", vec![Scalar::Int(i), Scalar::Int(i)]);
+        }
+        let mut it = Interp::new(&prog, &mut db, Profiler::new(&prog));
+        let m = prog.find_method("C", "hot").unwrap();
+        it.call_entry(m, vec![Value::Int(50)]).unwrap();
+        let profile = it.tracer.profile;
+        let g = PartitionGraph::build(&prog, &analysis, &profile, &CostParams::default());
+        (prog, g)
+    }
+
+    #[test]
+    fn zero_budget_yields_jdbc_like_placement() {
+        let (prog, g) = setup();
+        let p = solve(&prog, &g, 0.0, SolverKind::Budgeted);
+        assert!(
+            p.stmt_side.iter().all(|&s| s == Side::App),
+            "zero budget: everything on APP (JDBC-like)"
+        );
+        assert_eq!(p.db_load, 0.0);
+    }
+
+    #[test]
+    fn generous_budget_moves_hot_loop_to_db() {
+        let (prog, g) = setup();
+        let p = solve(&prog, &g, g.total_load() * 2.0, SolverKind::Budgeted);
+        assert!(
+            p.db_fraction() > 0.3,
+            "hot DB loop should move to the DB, db_fraction = {}",
+            p.db_fraction()
+        );
+        // The print statement must stay on APP regardless.
+        let mut print_id = None;
+        prog.for_each_stmt(|_, s| {
+            if matches!(
+                s.kind,
+                pyx_lang::NStmtKind::Builtin {
+                    f: pyx_lang::Builtin::Print,
+                    ..
+                }
+            ) {
+                print_id = Some(s.id);
+            }
+        });
+        assert_eq!(p.side_of_stmt(print_id.unwrap()), Side::App);
+        // And the generous-budget cost must beat the zero-budget cost.
+        let p0 = solve(&prog, &g, 0.0, SolverKind::Budgeted);
+        assert!(p.predicted_cost < p0.predicted_cost);
+    }
+
+    #[test]
+    fn jdbc_calls_are_colocated() {
+        let src = r#"
+            class C {
+                void f(int k) {
+                    dbUpdate("INSERT INTO t VALUES (?, ?)", k, k);
+                    int x = k * 2;
+                    row[] rs = dbQuery("SELECT v FROM t WHERE k = ?", x);
+                }
+            }
+        "#;
+        let prog = compile(src).unwrap();
+        let analysis = analyze(&prog, AnalysisConfig::default());
+        let mut db = Engine::new();
+        db.create_table(TableDef::new(
+            "t",
+            vec![
+                ColumnDef::new("k", ColTy::Int),
+                ColumnDef::new("v", ColTy::Int),
+            ],
+            &["k"],
+        ));
+        let mut it = Interp::new(&prog, &mut db, Profiler::new(&prog));
+        let m = prog.find_method("C", "f").unwrap();
+        it.call_entry(m, vec![Value::Int(1)]).unwrap();
+        let profile = it.tracer.profile;
+        let g = PartitionGraph::build(&prog, &analysis, &profile, &CostParams::default());
+        assert_eq!(g.colocate.len(), 1);
+        assert_eq!(g.colocate[0].len(), 2);
+
+        for budget in [0.0, 5.0, 1e9] {
+            let p = solve(&prog, &g, budget, SolverKind::Budgeted);
+            let mut db_sides = Vec::new();
+            prog.for_each_stmt(|_, s| {
+                if let pyx_lang::NStmtKind::Builtin { f, .. } = &s.kind {
+                    if f.is_db_call() {
+                        db_sides.push(p.side_of_stmt(s.id));
+                    }
+                }
+            });
+            assert!(
+                db_sides.windows(2).all(|w| w[0] == w[1]),
+                "JDBC calls must share a placement at budget {budget}"
+            );
+        }
+    }
+
+    #[test]
+    fn exact_solver_agrees_with_budgeted_on_small_program() {
+        let (prog, g) = setup();
+        let budget = g.total_load();
+        let lag = solve(&prog, &g, budget, SolverKind::Budgeted);
+        let exact = solve(&prog, &g, budget, SolverKind::Exact { node_limit: 20_000 });
+        // The Lagrangian result can't beat the optimum; allow a gap.
+        assert!(
+            lag.predicted_cost >= exact.predicted_cost - 1e-6,
+            "lagrangian {} < exact {}?",
+            lag.predicted_cost,
+            exact.predicted_cost
+        );
+        assert!(
+            lag.predicted_cost <= exact.predicted_cost * 1.5 + 1e-6,
+            "lagrangian {} way off exact {}",
+            lag.predicted_cost,
+            exact.predicted_cost
+        );
+        assert!(exact.db_load <= budget + 1e-6);
+    }
+
+    #[test]
+    fn reference_placements() {
+        let (prog, _) = setup();
+        let jdbc = Placement::all_app(&prog);
+        assert_eq!(jdbc.db_fraction(), 0.0);
+        let manual = Placement::all_db(&prog);
+        assert!(manual.db_fraction() > 0.9);
+        // print stays on APP even in Manual.
+        let mut print_id = None;
+        prog.for_each_stmt(|_, s| {
+            if matches!(
+                s.kind,
+                pyx_lang::NStmtKind::Builtin {
+                    f: pyx_lang::Builtin::Print,
+                    ..
+                }
+            ) {
+                print_id = Some(s.id);
+            }
+        });
+        assert_eq!(manual.side_of_stmt(print_id.unwrap()), Side::App);
+    }
+}

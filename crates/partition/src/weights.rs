@@ -1,0 +1,71 @@
+//! The paper's cost model (§4.2).
+//!
+//! Edge weights (times, in microseconds):
+//!
+//! * control edge `e`: `LAT · cnt(e)`
+//! * data edge `e`: `size(src)/BW · cnt(e)`
+//! * update edge `e`: `size(src)/BW · cnt(dst)`
+//!
+//! with `cnt(e) = min(cnt(src), cnt(dst))`. Statement nodes weigh `cnt(s)`
+//! (CPU load units against the budget); field nodes weigh 0.
+//!
+//! Because bandwidth delay is far smaller than propagation delay for all
+//! but huge values, data edges end up much cheaper than control edges —
+//! deliberately biasing the solver toward cutting data dependencies (which
+//! piggy-back on control transfers) rather than control dependencies
+//! (which force round trips).
+
+/// Network cost parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct CostParams {
+    /// One-way network latency in microseconds (paper's LAT; their testbed
+    /// had a 2 ms ping ⇒ 1000 µs one-way).
+    pub lat_us: f64,
+    /// Bandwidth in bytes per microsecond (paper's BW; 1 Gb/s = 125 B/µs).
+    pub bw_bytes_per_us: f64,
+}
+
+impl Default for CostParams {
+    fn default() -> Self {
+        CostParams {
+            lat_us: 1000.0,
+            bw_bytes_per_us: 125.0,
+        }
+    }
+}
+
+impl CostParams {
+    /// Weight of a control edge traversed `cnt` times.
+    pub fn control_weight(&self, cnt: u64) -> f64 {
+        self.lat_us * cnt as f64
+    }
+
+    /// Weight of a data edge carrying `size` bytes `cnt` times.
+    pub fn data_weight(&self, size: f64, cnt: u64) -> f64 {
+        size / self.bw_bytes_per_us * cnt as f64
+    }
+
+    /// `cnt(e) = min(cnt(src), cnt(dst))` (§4.2).
+    pub fn edge_cnt(src_cnt: u64, dst_cnt: u64) -> u64 {
+        src_cnt.min(dst_cnt)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn control_edges_dominate_data_edges() {
+        let p = CostParams::default();
+        // A 1 kB value moved once costs 8 µs; a control transfer costs
+        // 1000 µs — the paper's central bias.
+        assert!(p.data_weight(1024.0, 1) < p.control_weight(1) / 100.0);
+    }
+
+    #[test]
+    fn edge_count_is_min() {
+        assert_eq!(CostParams::edge_cnt(10, 3), 3);
+        assert_eq!(CostParams::edge_cnt(0, 3), 0);
+    }
+}

@@ -1,0 +1,23 @@
+//! # pyx-profile — reference interpreter and instrumenting profiler
+//!
+//! The Pyxis pipeline (Fig. 1) instruments the normalized source, runs it on
+//! a representative workload, and records per-statement execution counts and
+//! average assigned-value sizes (§4.1). Those weights parameterize the
+//! partition graph.
+//!
+//! This crate provides:
+//!
+//! * [`interp`] — a direct NIR interpreter executing against a `pyx-db`
+//!   engine. It is both the profiler's vehicle and the "native Java"
+//!   baseline for microbenchmark 1 (§7.3), where the paper compares the
+//!   Pyxis execution-block runtime against direct execution.
+//! * [`profiler`] — a [`Tracer`](interp::Tracer) that records the paper's
+//!   profile: `cnt(s)` per statement and `size(def)` per assignment.
+
+pub mod heap;
+pub mod interp;
+pub mod profiler;
+
+pub use heap::{Heap, HeapObj};
+pub use interp::{Interp, NullTracer, Tracer};
+pub use profiler::{Profile, Profiler};

@@ -1,0 +1,127 @@
+//! The instrumenting profiler: collects the weights for the partition graph.
+//!
+//! Per the paper (§4.1): "statements are instrumented to collect the number
+//! of times they are executed, and assignment expressions are instrumented
+//! to measure the average size of the assigned objects."
+
+use crate::interp::Tracer;
+use pyx_lang::{NirProgram, StmtId};
+
+/// Collected profile for one workload.
+#[derive(Debug, Clone)]
+pub struct Profile {
+    /// `cnt(s)` — execution count per statement.
+    pub exec_count: Vec<u64>,
+    /// Sum of assigned-value sizes per statement.
+    assign_bytes: Vec<u64>,
+    /// Number of assignments observed per statement.
+    assign_events: Vec<u64>,
+    /// Database result bytes per statement (JDBC call sites).
+    pub db_bytes: Vec<u64>,
+}
+
+impl Profile {
+    pub fn new(stmt_count: usize) -> Self {
+        Profile {
+            exec_count: vec![0; stmt_count],
+            assign_bytes: vec![0; stmt_count],
+            assign_events: vec![0; stmt_count],
+            db_bytes: vec![0; stmt_count],
+        }
+    }
+
+    pub fn for_program(prog: &NirProgram) -> Self {
+        Self::new(prog.stmt_count())
+    }
+
+    pub fn cnt(&self, s: StmtId) -> u64 {
+        self.exec_count[s.index()]
+    }
+
+    /// `size(def)` — average size of values assigned at `s` (bytes).
+    /// Defaults to a small constant when never observed (cold code).
+    pub fn avg_size(&self, s: StmtId) -> f64 {
+        let n = self.assign_events[s.index()];
+        if n == 0 {
+            16.0
+        } else {
+            self.assign_bytes[s.index()] as f64 / n as f64
+        }
+    }
+
+    /// Merge another profile (e.g. from a second workload run).
+    pub fn merge(&mut self, other: &Profile) {
+        for i in 0..self.exec_count.len() {
+            self.exec_count[i] += other.exec_count[i];
+            self.assign_bytes[i] += other.assign_bytes[i];
+            self.assign_events[i] += other.assign_events[i];
+            self.db_bytes[i] += other.db_bytes[i];
+        }
+    }
+
+    /// Scale counts to a different workload intensity (the paper profiles
+    /// at one target throughput and partitions for others).
+    pub fn scaled(&self, factor: f64) -> Profile {
+        let mut p = self.clone();
+        for c in &mut p.exec_count {
+            *c = (*c as f64 * factor).round() as u64;
+        }
+        p
+    }
+
+    pub fn total_statements_executed(&self) -> u64 {
+        self.exec_count.iter().sum()
+    }
+}
+
+/// Tracer implementation feeding a [`Profile`].
+pub struct Profiler {
+    pub profile: Profile,
+}
+
+impl Profiler {
+    pub fn new(prog: &NirProgram) -> Self {
+        Profiler {
+            profile: Profile::for_program(prog),
+        }
+    }
+}
+
+impl Tracer for Profiler {
+    fn on_stmt(&mut self, s: StmtId) {
+        self.profile.exec_count[s.index()] += 1;
+    }
+
+    fn on_assign(&mut self, s: StmtId, size: u64) {
+        self.profile.assign_bytes[s.index()] += size;
+        self.profile.assign_events[s.index()] += 1;
+    }
+
+    fn on_db(&mut self, s: StmtId, bytes: u64) {
+        self.profile.db_bytes[s.index()] += bytes;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn avg_size_defaults_when_unobserved() {
+        let p = Profile::new(3);
+        assert_eq!(p.avg_size(StmtId(0)), 16.0);
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = Profile::new(2);
+        a.exec_count = vec![10, 0];
+        let mut b = Profile::new(2);
+        b.exec_count = vec![5, 5];
+        a.merge(&b);
+        assert_eq!(a.exec_count, vec![15, 5]);
+        let s = a.scaled(2.0);
+        assert_eq!(s.exec_count, vec![30, 10]);
+        assert_eq!(a.total_statements_executed(), 20);
+    }
+}

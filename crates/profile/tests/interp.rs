@@ -1,0 +1,370 @@
+//! Interpreter integration tests: PyxLang semantics end-to-end against the
+//! database engine, plus profiler output checks.
+
+use pyx_db::{ColTy, ColumnDef, Engine, Scalar, TableDef};
+use pyx_lang::{compile, Value};
+use pyx_profile::{Interp, NullTracer, Profiler};
+
+fn run_int(src: &str, class: &str, method: &str, args: Vec<Value>) -> Value {
+    let prog = compile(src).expect("compile");
+    let mut db = Engine::new();
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    let m = prog.find_method(class, method).expect("entry");
+    it.call_entry(m, args).expect("run").expect("value")
+}
+
+#[test]
+fn arithmetic_and_control_flow() {
+    let src = r#"
+        class C {
+            int fib(int n) {
+                if (n < 2) { return n; }
+                return fib(n - 1) + fib(n - 2);
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "C", "fib", vec![Value::Int(10)]), Value::Int(55));
+}
+
+#[test]
+fn loops_and_arrays() {
+    let src = r#"
+        class C {
+            int sumSquares(int n) {
+                int[] xs = new int[n];
+                for (int i = 0; i < n; i++) { xs[i] = i * i; }
+                int s = 0;
+                for (int x : xs) { s = s + x; }
+                return s;
+            }
+        }
+    "#;
+    assert_eq!(
+        run_int(src, "C", "sumSquares", vec![Value::Int(5)]),
+        Value::Int(30)
+    );
+}
+
+#[test]
+fn objects_and_fields() {
+    let src = r#"
+        class Counter {
+            int n;
+            Counter(int start) { this.n = start; }
+            void bump() { n += 1; }
+            int get() { return n; }
+        }
+        class C {
+            int f() {
+                Counter c = new Counter(40);
+                c.bump();
+                c.bump();
+                return c.get();
+            }
+        }
+    "#;
+    assert_eq!(run_int(src, "C", "f", vec![]), Value::Int(42));
+}
+
+#[test]
+fn string_ops() {
+    let src = r#"
+        class C {
+            string f(int n) {
+                string s = "n=" + intToStr(n);
+                if (strLen(s) > 3) { return s + "!"; }
+                return s;
+            }
+        }
+    "#;
+    assert_eq!(
+        run_int(src, "C", "f", vec![Value::Int(123)]),
+        Value::Str("n=123!".into())
+    );
+}
+
+#[test]
+fn short_circuit_semantics() {
+    // The second operand must not be evaluated when the first decides:
+    // x != 0 guards the division.
+    let src = r#"
+        class C {
+            bool safe(int x) { return x != 0 && 10 / x > 1; }
+        }
+    "#;
+    assert_eq!(
+        run_int(src, "C", "safe", vec![Value::Int(0)]),
+        Value::Bool(false)
+    );
+    assert_eq!(
+        run_int(src, "C", "safe", vec![Value::Int(4)]),
+        Value::Bool(true)
+    );
+}
+
+#[test]
+fn runtime_errors_are_reported() {
+    let src = "class C { int f(int x) { return 1 / x; } }";
+    let prog = compile(src).unwrap();
+    let mut db = Engine::new();
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    let m = prog.find_method("C", "f").unwrap();
+    let err = it.call_entry(m, vec![Value::Int(0)]).unwrap_err();
+    assert!(err.msg.contains("division"), "{err}");
+
+    let src = "class C { int f(int[] a) { return a[3]; } }";
+    let prog = compile(src).unwrap();
+    let mut db = Engine::new();
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    let arr = it.alloc_array(vec![Value::Int(1)]);
+    let m = prog.find_method("C", "f").unwrap();
+    let err = it.call_entry(m, vec![arr]).unwrap_err();
+    assert!(err.msg.contains("out of bounds"), "{err}");
+}
+
+#[test]
+fn null_dereference_detected() {
+    let src = r#"
+        class P { int v; }
+        class C { int f() { P p = null; return p.v; } }
+    "#;
+    let prog = compile(src).unwrap();
+    let mut db = Engine::new();
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    let m = prog.find_method("C", "f").unwrap();
+    let err = it.call_entry(m, vec![]).unwrap_err();
+    assert!(err.msg.contains("null"), "{err}");
+}
+
+fn order_db() -> Engine {
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "items",
+        vec![
+            ColumnDef::new("oid", ColTy::Int),
+            ColumnDef::new("seq", ColTy::Int),
+            ColumnDef::new("cost", ColTy::Double),
+        ],
+        &["oid", "seq"],
+    ));
+    db.create_table(TableDef::new(
+        "accounts",
+        vec![
+            ColumnDef::new("cid", ColTy::Int),
+            ColumnDef::new("bal", ColTy::Double),
+        ],
+        &["cid"],
+    ));
+    db.create_table(TableDef::new(
+        "line_items",
+        vec![
+            ColumnDef::new("oid", ColTy::Int),
+            ColumnDef::new("seq", ColTy::Int),
+            ColumnDef::new("cost", ColTy::Double),
+        ],
+        &["oid", "seq"],
+    ));
+    for s in 0..4 {
+        db.load_row(
+            "items",
+            vec![
+                Scalar::Int(7),
+                Scalar::Int(s),
+                Scalar::Double(10.0 + s as f64),
+            ],
+        );
+    }
+    db.load_row("accounts", vec![Scalar::Int(1), Scalar::Double(1000.0)]);
+    db
+}
+
+/// The paper's running example (Fig. 2), complete with database calls.
+const ORDER_SRC: &str = r#"
+    class Order {
+        int id;
+        double[] realCosts;
+        double totalCost;
+        Order(int id) { this.id = id; }
+        void placeOrder(int cid, double dct) {
+            totalCost = 0.0;
+            computeTotalCost(dct);
+            updateAccount(cid, totalCost);
+        }
+        void computeTotalCost(double dct) {
+            int i = 0;
+            double[] costs = getCosts();
+            realCosts = new double[costs.length];
+            for (double itemCost : costs) {
+                double realCost;
+                realCost = itemCost * dct;
+                totalCost += realCost;
+                realCosts[i++] = realCost;
+                insertNewLineItem(id, realCost);
+            }
+        }
+        double[] getCosts() {
+            row[] rs = dbQuery("SELECT seq, cost FROM items WHERE oid = ?", id);
+            double[] o = new double[rs.length];
+            for (int k = 0; k < rs.length; k++) { o[k] = rs[k].getDouble(1); }
+            return o;
+        }
+        void updateAccount(int cid, double total) {
+            dbUpdate("UPDATE accounts SET bal = bal - ? WHERE cid = ?", total, cid);
+        }
+        void insertNewLineItem(int oid, double c) {
+            int n = dbQuery("SELECT COUNT(*) FROM line_items WHERE oid = ?", oid)[0].getInt(0);
+            dbUpdate("INSERT INTO line_items VALUES (?, ?, ?)", oid, n, c);
+        }
+        double total() { return totalCost; }
+    }
+    class Main {
+        double run(int oid, int cid, double dct) {
+            Order o = new Order(oid);
+            o.placeOrder(cid, dct);
+            return o.total();
+        }
+    }
+"#;
+
+#[test]
+fn running_example_executes_against_db() {
+    let prog = compile(ORDER_SRC).expect("compile");
+    let mut db = order_db();
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    let m = prog.find_method("Main", "run").unwrap();
+    let total = it
+        .call_entry(
+            m,
+            vec![Value::Int(7), Value::Int(1), Value::Double(0.9)],
+        )
+        .unwrap()
+        .unwrap();
+    // costs = 10+11+12+13 = 46; discounted ×0.9 = 41.4
+    match total {
+        Value::Double(v) => assert!((v - 41.4).abs() < 1e-9, "{v}"),
+        other => panic!("{other:?}"),
+    }
+    // Account debited; line items inserted.
+    let r = db
+        .exec_auto("SELECT bal FROM accounts WHERE cid = ?", &[Scalar::Int(1)])
+        .unwrap();
+    match &r.rows[0][0] {
+        Scalar::Double(v) => assert!((v - 958.6).abs() < 1e-9),
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(db.table_len("line_items"), 4);
+}
+
+#[test]
+fn rollback_undoes_db_work() {
+    let src = r#"
+        class C {
+            void f(int k) {
+                dbUpdate("INSERT INTO t VALUES (?)", k);
+                rollback();
+            }
+        }
+    "#;
+    let prog = compile(src).unwrap();
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "t",
+        vec![ColumnDef::new("k", ColTy::Int)],
+        &["k"],
+    ));
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    let m = prog.find_method("C", "f").unwrap();
+    it.call_entry(m, vec![Value::Int(1)]).unwrap();
+    assert!(it.rolled_back);
+    assert_eq!(db.table_len("t"), 0);
+}
+
+#[test]
+fn profiler_counts_match_loop_iterations() {
+    let prog = compile(ORDER_SRC).expect("compile");
+    let mut db = order_db();
+    let mut it = Interp::new(&prog, &mut db, Profiler::new(&prog));
+    let m = prog.find_method("Main", "run").unwrap();
+    it.call_entry(
+        m,
+        vec![Value::Int(7), Value::Int(1), Value::Double(0.9)],
+    )
+    .unwrap();
+    let profile = it.tracer.profile;
+
+    // The multiply inside the loop executed once per item (4 items).
+    let compute = prog.find_method("Order", "computeTotalCost").unwrap();
+    let mut mul_id = None;
+    prog.for_each_stmt(|mth, s| {
+        if mth == compute {
+            if let pyx_lang::NStmtKind::Assign {
+                rv: pyx_lang::Rvalue::Binary(pyx_lang::ast::BinOp::Mul, _, _),
+                ..
+            } = &s.kind
+            {
+                mul_id = Some(s.id);
+            }
+        }
+    });
+    assert_eq!(profile.cnt(mul_id.unwrap()), 4);
+
+    // dbQuery in getCosts executed once and recorded result bytes.
+    let get_costs = prog.find_method("Order", "getCosts").unwrap();
+    let mut q_id = None;
+    prog.for_each_stmt(|mth, s| {
+        if mth == get_costs {
+            if let pyx_lang::NStmtKind::Builtin {
+                f: pyx_lang::Builtin::DbQuery,
+                ..
+            } = &s.kind
+            {
+                q_id = Some(s.id);
+            }
+        }
+    });
+    let q = q_id.unwrap();
+    assert_eq!(profile.cnt(q), 1);
+    assert!(profile.db_bytes[q.index()] > 0);
+    assert!(profile.avg_size(q) > 0.0);
+    assert!(profile.total_statements_executed() > 30);
+}
+
+#[test]
+fn print_captured() {
+    let src = r#"class C { void f() { print("hello " + intToStr(42)); } }"#;
+    let prog = compile(src).unwrap();
+    let mut db = Engine::new();
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    let m = prog.find_method("C", "f").unwrap();
+    it.call_entry(m, vec![]).unwrap();
+    assert_eq!(it.printed, vec!["hello 42"]);
+}
+
+#[test]
+fn fuel_guards_infinite_loops() {
+    let src = "class C { void f() { while (true) { int x = 1; } } }";
+    let prog = compile(src).unwrap();
+    let mut db = Engine::new();
+    let mut it = Interp::new(&prog, &mut db, NullTracer);
+    it.set_fuel(10_000);
+    let m = prog.find_method("C", "f").unwrap();
+    let err = it.call_entry(m, vec![]).unwrap_err();
+    assert!(err.msg.contains("fuel"), "{err}");
+}
+
+#[test]
+fn sha1_builtin_runs() {
+    let src = r#"
+        class C {
+            int f(int n) {
+                int acc = 0;
+                for (int i = 0; i < n; i++) { acc = sha1(acc + i); }
+                return acc;
+            }
+        }
+    "#;
+    let a = run_int(src, "C", "f", vec![Value::Int(10)]);
+    let b = run_int(src, "C", "f", vec![Value::Int(10)]);
+    assert_eq!(a, b, "deterministic");
+    assert_ne!(a, Value::Int(0));
+}

@@ -1,0 +1,121 @@
+//! Execution blocks (§5.1).
+//!
+//! Each PyxIL method compiles into straight-line blocks in
+//! continuation-passing style: a block runs a few instructions on one host
+//! and its terminator names what happens next — fall through to another
+//! block, branch, call (pushing an explicit return address, Fig. 7's
+//! `setReturnPC`), or return. The runtime regains control after every
+//! block, which is what lets it transfer execution between servers at any
+//! statement boundary.
+
+use crate::il::SyncOp;
+use pyx_ilp::Side;
+use pyx_lang::{Builtin, LocalId, MethodId, Operand, Place, Rvalue, StmtId};
+use std::collections::HashMap;
+
+/// Index into [`BlockProgram::blocks`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct BlockId(pub u32);
+
+impl BlockId {
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// One block instruction. Operands address the explicit frame (the
+/// paper's `stack[i]`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum BInstr {
+    Assign {
+        stmt: StmtId,
+        dst: Place,
+        rv: Rvalue,
+    },
+    Builtin {
+        stmt: StmtId,
+        dst: Option<LocalId>,
+        f: Builtin,
+        args: Vec<Operand>,
+    },
+    /// Record a heap part / native array into the outgoing sync batch.
+    Sync(SyncOp),
+}
+
+/// Block terminator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Term {
+    Goto(BlockId),
+    Branch {
+        cond: Operand,
+        then_b: BlockId,
+        else_b: BlockId,
+    },
+    /// Call: push a frame for `method` with `args`, record the return
+    /// address `ret_to` and destination slot, jump to the callee's entry.
+    Call {
+        stmt: StmtId,
+        method: MethodId,
+        args: Vec<Operand>,
+        dst: Option<LocalId>,
+        ret_to: BlockId,
+    },
+    /// Pop the frame; jump to the recorded return address.
+    Ret { value: Option<Operand> },
+}
+
+/// A straight-line execution block placed on one host.
+#[derive(Debug, Clone)]
+pub struct Block {
+    pub id: BlockId,
+    pub host: Side,
+    pub method: MethodId,
+    pub instrs: Vec<BInstr>,
+    pub term: Term,
+}
+
+impl Block {
+    /// Host-neutral blocks (empty body + unconditional goto) never force a
+    /// control transfer; the VM skips through them.
+    pub fn is_neutral(&self) -> bool {
+        self.instrs.is_empty() && matches!(self.term, Term::Goto(_))
+    }
+}
+
+/// A compiled program: blocks for every method, per-method entry points
+/// and frame sizes.
+#[derive(Debug)]
+pub struct BlockProgram {
+    pub blocks: Vec<Block>,
+    pub entry: HashMap<MethodId, BlockId>,
+    /// Locals per method frame.
+    pub frame_size: Vec<usize>,
+}
+
+impl BlockProgram {
+    pub fn block(&self, id: BlockId) -> &Block {
+        &self.blocks[id.index()]
+    }
+
+    /// Follow host-neutral goto chains to the first "real" block.
+    pub fn resolve(&self, mut id: BlockId) -> BlockId {
+        let mut fuel = self.blocks.len() + 1;
+        loop {
+            let b = self.block(id);
+            match (&b.term, b.is_neutral()) {
+                (Term::Goto(next), true) => {
+                    id = *next;
+                    fuel -= 1;
+                    assert!(fuel > 0, "goto cycle through empty blocks");
+                }
+                _ => return id,
+            }
+        }
+    }
+
+    /// Number of blocks per host (diagnostics).
+    pub fn host_histogram(&self) -> (usize, usize) {
+        let app = self.blocks.iter().filter(|b| b.host == Side::App).count();
+        (app, self.blocks.len() - app)
+    }
+}

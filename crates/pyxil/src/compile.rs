@@ -1,0 +1,363 @@
+//! PyxIL → execution-block compilation (§5).
+//!
+//! Blocks split at control flow (if/while), at calls (the continuation
+//! becomes a fresh block, mirroring Fig. 7's `setReturnPC` pattern), and at
+//! **placement changes** — consecutive statements on different hosts land
+//! in different blocks so the runtime can interpose a control transfer.
+
+use crate::blocks::{BInstr, Block, BlockId, BlockProgram, Term};
+use crate::il::PyxilProgram;
+use pyx_ilp::Side;
+use pyx_lang::{MethodId, NStmt, NStmtKind, StmtId};
+use std::collections::HashMap;
+
+/// Compile a PyxIL program into execution blocks.
+pub fn compile_blocks(il: &PyxilProgram) -> BlockProgram {
+    let mut c = Compiler {
+        il,
+        blocks: Vec::new(),
+        entry: HashMap::new(),
+        frame_size: Vec::new(),
+    };
+    for m in &il.prog.methods {
+        c.compile_method(m.id);
+    }
+    BlockProgram {
+        blocks: c.blocks,
+        entry: c.entry,
+        frame_size: c.frame_size,
+    }
+}
+
+struct Compiler<'a> {
+    il: &'a PyxilProgram,
+    blocks: Vec<Block>,
+    entry: HashMap<MethodId, BlockId>,
+    frame_size: Vec<usize>,
+}
+
+impl<'a> Compiler<'a> {
+    fn side(&self, s: StmtId) -> Side {
+        self.il.placement.side_of_stmt(s)
+    }
+
+    fn new_block(&mut self, method: MethodId, host: Side) -> BlockId {
+        let id = BlockId(self.blocks.len() as u32);
+        self.blocks.push(Block {
+            id,
+            host,
+            method,
+            instrs: Vec::new(),
+            term: Term::Ret { value: None }, // placeholder, patched later
+        });
+        id
+    }
+
+    fn set_term(&mut self, b: BlockId, t: Term) {
+        self.blocks[b.index()].term = t;
+    }
+
+    fn compile_method(&mut self, mid: MethodId) {
+        let method = self.il.prog.method(mid);
+        self.frame_size.push(method.locals.len());
+        debug_assert_eq!(self.frame_size.len() - 1, mid.index());
+
+        let first_side = method
+            .body
+            .first()
+            .map(|s| self.side(s.id))
+            .unwrap_or(Side::App);
+        let entry = self.new_block(mid, first_side);
+        self.entry.insert(mid, entry);
+        let last = self.compile_seq(mid, &method.body, entry);
+        // Implicit void return at the end of the body.
+        self.set_term(last, Term::Ret { value: None });
+    }
+
+    /// Compile a statement sequence starting in `cur`; returns the block
+    /// that control falls out of.
+    fn compile_seq(&mut self, mid: MethodId, stmts: &[NStmt], mut cur: BlockId) -> BlockId {
+        for s in stmts {
+            cur = self.compile_stmt(mid, s, cur);
+        }
+        cur
+    }
+
+    /// Ensure `cur` runs on `side`, splitting if needed.
+    fn ensure_side(&mut self, mid: MethodId, cur: BlockId, side: Side) -> BlockId {
+        let b = &self.blocks[cur.index()];
+        if b.host == side {
+            return cur;
+        }
+        if b.instrs.is_empty() {
+            // Re-home the empty block instead of splitting.
+            self.blocks[cur.index()].host = side;
+            return cur;
+        }
+        let next = self.new_block(mid, side);
+        self.set_term(cur, Term::Goto(next));
+        next
+    }
+
+    fn push_sync(&mut self, cur: BlockId, s: StmtId) {
+        if let Some(ops) = self.il.sync.get(&s) {
+            for op in ops {
+                self.blocks[cur.index()]
+                    .instrs
+                    .push(BInstr::Sync(op.clone()));
+            }
+        }
+    }
+
+    fn compile_stmt(&mut self, mid: MethodId, s: &NStmt, cur: BlockId) -> BlockId {
+        let side = self.side(s.id);
+        let cur = self.ensure_side(mid, cur, side);
+        match &s.kind {
+            NStmtKind::Assign { dst, rv } => {
+                self.blocks[cur.index()].instrs.push(BInstr::Assign {
+                    stmt: s.id,
+                    dst: dst.clone(),
+                    rv: rv.clone(),
+                });
+                self.push_sync(cur, s.id);
+                cur
+            }
+            NStmtKind::Builtin { dst, f, args } => {
+                self.blocks[cur.index()].instrs.push(BInstr::Builtin {
+                    stmt: s.id,
+                    dst: *dst,
+                    f: *f,
+                    args: args.clone(),
+                });
+                self.push_sync(cur, s.id);
+                cur
+            }
+            NStmtKind::Call { dst, method, args } => {
+                // The continuation block inherits the caller's side; later
+                // statements may re-split.
+                let ret_to = self.new_block(mid, side);
+                self.set_term(
+                    cur,
+                    Term::Call {
+                        stmt: s.id,
+                        method: *method,
+                        args: args.clone(),
+                        dst: *dst,
+                        ret_to,
+                    },
+                );
+                ret_to
+            }
+            NStmtKind::Return(v) => {
+                self.set_term(cur, Term::Ret { value: v.clone() });
+                // Anything after a return in the same sequence is dead;
+                // give it an unreachable block so compilation can proceed.
+                self.new_block(mid, side)
+            }
+            NStmtKind::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                let then_entry = self.new_block(
+                    mid,
+                    then_b.first().map(|s| self.side(s.id)).unwrap_or(side),
+                );
+                let else_entry = self.new_block(
+                    mid,
+                    else_b.first().map(|s| self.side(s.id)).unwrap_or(side),
+                );
+                self.set_term(
+                    cur,
+                    Term::Branch {
+                        cond: cond.clone(),
+                        then_b: then_entry,
+                        else_b: else_entry,
+                    },
+                );
+                let then_end = self.compile_seq(mid, then_b, then_entry);
+                let else_end = self.compile_seq(mid, else_b, else_entry);
+                let join = self.new_block(mid, side);
+                self.set_term(then_end, Term::Goto(join));
+                self.set_term(else_end, Term::Goto(join));
+                join
+            }
+            NStmtKind::While {
+                cond_pre,
+                cond,
+                body,
+            } => {
+                // loop_head: cond_pre* ; test(cond) → body | exit
+                let head_side = cond_pre
+                    .first()
+                    .map(|s| self.side(s.id))
+                    .unwrap_or(side);
+                let head = self.new_block(mid, head_side);
+                self.set_term(cur, Term::Goto(head));
+                let pre_end = self.compile_seq(mid, cond_pre, head);
+                // The test itself runs where the While statement is placed.
+                let test = self.ensure_side(mid, pre_end, side);
+                let body_entry =
+                    self.new_block(mid, body.first().map(|s| self.side(s.id)).unwrap_or(side));
+                let exit = self.new_block(mid, side);
+                self.set_term(
+                    test,
+                    Term::Branch {
+                        cond: cond.clone(),
+                        then_b: body_entry,
+                        else_b: exit,
+                    },
+                );
+                let body_end = self.compile_seq(mid, body, body_entry);
+                self.set_term(body_end, Term::Goto(head));
+                exit
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::il::build_pyxil;
+    use pyx_analysis::{analyze, AnalysisConfig};
+    use pyx_lang::compile;
+    use pyx_partition::Placement;
+
+    fn compile_with(src: &str, placer: impl Fn(usize) -> Side) -> BlockProgram {
+        let prog = compile(src).unwrap();
+        let analysis = analyze(&prog, AnalysisConfig::default());
+        let mut placement = Placement::all_app(&prog);
+        for i in 0..prog.stmt_count() {
+            placement.stmt_side[i] = placer(i);
+        }
+        let il = build_pyxil(&prog, &analysis, placement, false);
+        compile_blocks(&il)
+    }
+
+    #[test]
+    fn straight_line_single_block() {
+        let bp = compile_with(
+            "class C { void f() { int a = 1; int b = 2; } }",
+            |_| Side::App,
+        );
+        let entry = bp.entry.values().next().unwrap();
+        let b = bp.block(*entry);
+        assert_eq!(b.instrs.len(), 2);
+        assert!(matches!(b.term, Term::Ret { value: None }));
+    }
+
+    #[test]
+    fn placement_change_splits_blocks() {
+        let bp = compile_with(
+            "class C { void f() { int a = 1; int b = 2; } }",
+            |i| if i == 0 { Side::App } else { Side::Db },
+        );
+        let entry = *bp.entry.values().next().unwrap();
+        let b0 = bp.block(entry);
+        assert_eq!(b0.host, Side::App);
+        assert_eq!(b0.instrs.len(), 1);
+        let Term::Goto(next) = b0.term else {
+            panic!("expected goto split")
+        };
+        let b1 = bp.block(next);
+        assert_eq!(b1.host, Side::Db);
+        assert_eq!(b1.instrs.len(), 1);
+    }
+
+    #[test]
+    fn if_produces_branch_and_join() {
+        let bp = compile_with(
+            "class C { int f(bool c) { int x = 0; if (c) { x = 1; } else { x = 2; } return x; } }",
+            |_| Side::App,
+        );
+        let has_branch = bp
+            .blocks
+            .iter()
+            .any(|b| matches!(b.term, Term::Branch { .. }));
+        assert!(has_branch);
+    }
+
+    #[test]
+    fn while_has_back_edge() {
+        let bp = compile_with(
+            "class C { void f(int n) { int i = 0; while (i < n) { i = i + 1; } } }",
+            |_| Side::App,
+        );
+        // Some block's goto targets an earlier block (the loop head).
+        let back = bp.blocks.iter().any(|b| match b.term {
+            Term::Goto(t) => t.0 < b.id.0,
+            _ => false,
+        });
+        assert!(back, "loop requires a backward goto");
+    }
+
+    #[test]
+    fn call_splits_with_return_address() {
+        let bp = compile_with(
+            "class C { int g() { return 1; } int f() { int a = g(); return a + 1; } }",
+            |_| Side::App,
+        );
+        let call = bp
+            .blocks
+            .iter()
+            .find_map(|b| match &b.term {
+                Term::Call { ret_to, .. } => Some(*ret_to),
+                _ => None,
+            })
+            .expect("call terminator");
+        // The continuation block eventually returns.
+        let cont = bp.block(bp.resolve(call));
+        assert!(!cont.instrs.is_empty() || matches!(cont.term, Term::Ret { .. }));
+    }
+
+    #[test]
+    fn resolve_skips_neutral_chains() {
+        let bp = compile_with(
+            "class C { int f(bool c) { if (c) { int x = 1; } return 2; } }",
+            |_| Side::App,
+        );
+        for b in &bp.blocks {
+            let r = bp.resolve(b.id);
+            assert!(!bp.block(r).is_neutral() || !matches!(bp.block(r).term, Term::Goto(_)));
+        }
+    }
+
+    #[test]
+    fn frame_sizes_match_methods() {
+        let prog = compile("class C { int f(int a, int b) { int c = a + b; return c; } }").unwrap();
+        let analysis = analyze(&prog, AnalysisConfig::default());
+        let il = build_pyxil(&prog, &analysis, Placement::all_app(&prog), false);
+        let bp = compile_blocks(&il);
+        assert_eq!(bp.frame_size.len(), prog.methods.len());
+        assert_eq!(bp.frame_size[0], prog.methods[0].locals.len());
+    }
+
+    #[test]
+    fn sync_ops_are_emitted_into_blocks() {
+        let src = r#"
+            class O {
+                int v;
+                void f() {
+                    v = 1;
+                    int t = v;
+                    print(t);
+                }
+            }
+        "#;
+        let prog = compile(src).unwrap();
+        let analysis = analyze(&prog, AnalysisConfig::default());
+        let mut placement = Placement::all_app(&prog);
+        // Write on DB, read on APP → sync op must appear.
+        placement.stmt_side[0] = Side::Db;
+        let il = build_pyxil(&prog, &analysis, placement, false);
+        let bp = compile_blocks(&il);
+        let sync_count = bp
+            .blocks
+            .iter()
+            .flat_map(|b| &b.instrs)
+            .filter(|i| matches!(i, BInstr::Sync(_)))
+            .count();
+        assert!(sync_count >= 1);
+    }
+}

@@ -1,0 +1,31 @@
+//! # pyx-pyxil — the PyxIL intermediate language and execution-block
+//! compiler
+//!
+//! PyxIL (§3.1) is the paper's intermediate form: the normalized program
+//! with an `:APP:`/`:DB:` placement on every statement and field, plus
+//! explicit heap-synchronization operations (`sendAPP` / `sendDB` /
+//! `sendNative`). The PyxIL compiler (§5) then turns each method into a set
+//! of **execution blocks** — straight-line fragments in continuation-passing
+//! style, each ending by naming the next block — giving the runtime complete
+//! control over cross-server control flow.
+//!
+//! * [`il`] — `PyxilProgram`: reordered NIR + placement + sync ops, with a
+//!   Fig. 3-style renderer.
+//! * [`reorder`] — the statement-reordering optimization (§4.4): a
+//!   dual-queue topological sort that groups same-placement statements to
+//!   reduce control transfers.
+//! * [`sync`] — synchronization-statement insertion (§4.5): after every
+//!   statement whose heap effect crosses the cut.
+//! * [`blocks`] — execution-block program representation (§5.1).
+//! * [`compile`] — PyxIL → block compilation, splitting at control flow,
+//!   calls, and placement changes.
+
+pub mod blocks;
+pub mod compile;
+pub mod il;
+pub mod reorder;
+pub mod sync;
+
+pub use blocks::{BInstr, Block, BlockId, BlockProgram, Term};
+pub use compile::compile_blocks;
+pub use il::{build_pyxil, CompiledPartition, PyxilProgram, SyncOp};

@@ -1,0 +1,399 @@
+//! Statement reordering (§4.4).
+//!
+//! Within each block of same-level statements, statements may be permuted
+//! as long as flow, anti, and output dependencies (plus conservative
+//! side-effect ordering) are preserved. The paper's algorithm — a
+//! breadth-first topological sort with **two queues**, one per placement,
+//! draining one queue completely before switching — groups statements with
+//! the same placement into contiguous runs, minimizing control transfers.
+//!
+//! Composite statements (`if`/`while`) move as units; their bodies are
+//! reordered recursively.
+
+use pyx_ilp::Side;
+use pyx_lang::{LocalId, NStmt, NStmtKind, NirProgram, Operand, Place, Rvalue};
+use pyx_partition::Placement;
+use std::collections::BTreeSet;
+
+/// Reorder every method body in place.
+pub fn reorder_program(prog: &mut NirProgram, placement: &Placement) {
+    for m in &mut prog.methods {
+        reorder_body(&mut m.body, placement);
+    }
+}
+
+/// Count placement alternations in source order (lower = fewer transfers).
+pub fn count_transitions(prog: &NirProgram, placement: &Placement) -> usize {
+    let mut count = 0;
+    for m in &prog.methods {
+        count += transitions_in(&m.body, placement, &mut None);
+    }
+    count
+}
+
+fn transitions_in(
+    stmts: &[NStmt],
+    placement: &Placement,
+    prev: &mut Option<Side>,
+) -> usize {
+    let mut count = 0;
+    for s in stmts {
+        let side = placement.side_of_stmt(s.id);
+        if let Some(p) = prev {
+            if *p != side {
+                count += 1;
+            }
+        }
+        *prev = Some(side);
+        match &s.kind {
+            NStmtKind::If { then_b, else_b, .. } => {
+                count += transitions_in(then_b, placement, prev);
+                count += transitions_in(else_b, placement, prev);
+            }
+            NStmtKind::While { cond_pre, body, .. } => {
+                count += transitions_in(cond_pre, placement, prev);
+                count += transitions_in(body, placement, prev);
+            }
+            _ => {}
+        }
+    }
+    count
+}
+
+fn reorder_body(body: &mut Vec<NStmt>, placement: &Placement) {
+    // Recurse first.
+    for s in body.iter_mut() {
+        match &mut s.kind {
+            NStmtKind::If { then_b, else_b, .. } => {
+                reorder_body(then_b, placement);
+                reorder_body(else_b, placement);
+            }
+            NStmtKind::While { cond_pre, body, .. } => {
+                reorder_body(cond_pre, placement);
+                reorder_body(body, placement);
+            }
+            _ => {}
+        }
+    }
+
+    let n = body.len();
+    if n < 3 {
+        return;
+    }
+
+    // Per-statement summaries.
+    let summaries: Vec<Summary> = body.iter().map(Summary::of).collect();
+
+    // Dependency edges i → j for i < j.
+    let mut succ: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut indeg = vec![0usize; n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if must_order(&summaries[i], &summaries[j]) {
+                succ[i].push(j);
+                indeg[j] += 1;
+            }
+        }
+    }
+
+    // Dual-queue Kahn topological sort (§4.4): drain one placement's queue
+    // fully before switching to the other.
+    let mut q_app: Vec<usize> = Vec::new();
+    let mut q_db: Vec<usize> = Vec::new();
+    let side = |i: usize| placement.side_of_stmt(body[i].id);
+    for i in 0..n {
+        if indeg[i] == 0 {
+            match side(i) {
+                Side::App => q_app.push(i),
+                Side::Db => q_db.push(i),
+            }
+        }
+    }
+    let mut cur = side(0);
+    let mut order = Vec::with_capacity(n);
+    while order.len() < n {
+        let (q, other) = match cur {
+            Side::App => (&mut q_app, Side::Db),
+            Side::Db => (&mut q_db, Side::App),
+        };
+        if q.is_empty() {
+            cur = other;
+            continue;
+        }
+        let i = q.remove(0); // FIFO
+        order.push(i);
+        for &j in &succ[i] {
+            indeg[j] -= 1;
+            if indeg[j] == 0 {
+                match side(j) {
+                    Side::App => q_app.push(j),
+                    Side::Db => q_db.push(j),
+                }
+            }
+        }
+    }
+    debug_assert_eq!(order.len(), n, "topological sort covered all stmts");
+
+    let mut reordered: Vec<NStmt> = Vec::with_capacity(n);
+    // Drain in computed order without cloning: take via Option.
+    let mut slots: Vec<Option<NStmt>> = std::mem::take(body).into_iter().map(Some).collect();
+    for i in order {
+        reordered.push(slots[i].take().expect("each index once"));
+    }
+    *body = reordered;
+}
+
+/// Conservative effect summary of one (possibly composite) statement.
+struct Summary {
+    defs: BTreeSet<LocalId>,
+    uses: BTreeSet<LocalId>,
+    /// Performs a heap write, call, or builtin.
+    impure: bool,
+    reads_heap: bool,
+    /// Return statements (and anything after them) must keep their order.
+    barrier: bool,
+}
+
+impl Summary {
+    fn of(s: &NStmt) -> Summary {
+        let mut sum = Summary {
+            defs: BTreeSet::new(),
+            uses: BTreeSet::new(),
+            impure: false,
+            reads_heap: false,
+            barrier: false,
+        };
+        sum.add(s);
+        sum
+    }
+
+    fn add(&mut self, s: &NStmt) {
+        let use_op = |o: &Operand, uses: &mut BTreeSet<LocalId>| {
+            if let Some(l) = o.as_local() {
+                uses.insert(l);
+            }
+        };
+        match &s.kind {
+            NStmtKind::Assign { dst, rv } => {
+                match dst {
+                    Place::Local(l) => {
+                        self.defs.insert(*l);
+                    }
+                    Place::Field { base, .. } => {
+                        use_op(base, &mut self.uses);
+                        self.impure = true;
+                    }
+                    Place::Elem { arr, idx } => {
+                        use_op(arr, &mut self.uses);
+                        use_op(idx, &mut self.uses);
+                        self.impure = true;
+                    }
+                }
+                match rv {
+                    Rvalue::Use(a) | Rvalue::Unary(_, a) | Rvalue::Len(a) => {
+                        use_op(a, &mut self.uses)
+                    }
+                    Rvalue::Binary(_, a, b) => {
+                        use_op(a, &mut self.uses);
+                        use_op(b, &mut self.uses);
+                    }
+                    Rvalue::ReadField { base, .. } => {
+                        use_op(base, &mut self.uses);
+                        self.reads_heap = true;
+                    }
+                    Rvalue::ReadElem { arr, idx } => {
+                        use_op(arr, &mut self.uses);
+                        use_op(idx, &mut self.uses);
+                        self.reads_heap = true;
+                    }
+                    Rvalue::NewArray { len, .. } => {
+                        use_op(len, &mut self.uses);
+                        self.impure = true; // allocation is observable
+                    }
+                    Rvalue::NewObject { .. } => {
+                        self.impure = true;
+                    }
+                    Rvalue::RowGet { row, idx, .. } => {
+                        use_op(row, &mut self.uses);
+                        use_op(idx, &mut self.uses);
+                    }
+                }
+            }
+            NStmtKind::Call { dst, args, .. } | NStmtKind::Builtin { dst, args, .. } => {
+                if let Some(d) = dst {
+                    self.defs.insert(*d);
+                }
+                for a in args {
+                    use_op(a, &mut self.uses);
+                }
+                self.impure = true;
+            }
+            NStmtKind::If {
+                cond,
+                then_b,
+                else_b,
+            } => {
+                use_op(cond, &mut self.uses);
+                for inner in then_b.iter().chain(else_b) {
+                    self.add(inner);
+                }
+            }
+            NStmtKind::While {
+                cond_pre,
+                cond,
+                body,
+            } => {
+                use_op(cond, &mut self.uses);
+                for inner in cond_pre.iter().chain(body) {
+                    self.add(inner);
+                }
+            }
+            NStmtKind::Return(v) => {
+                if let Some(v) = v {
+                    use_op(v, &mut self.uses);
+                }
+                self.barrier = true;
+            }
+        }
+    }
+}
+
+/// Must `a` stay before `b` (given `a` precedes `b` in source order)?
+fn must_order(a: &Summary, b: &Summary) -> bool {
+    if a.barrier || b.barrier {
+        return true;
+    }
+    // Flow: a defines something b uses.
+    if a.defs.intersection(&b.uses).next().is_some() {
+        return true;
+    }
+    // Anti: a uses something b redefines.
+    if a.uses.intersection(&b.defs).next().is_some() {
+        return true;
+    }
+    // Output: both define the same local.
+    if a.defs.intersection(&b.defs).next().is_some() {
+        return true;
+    }
+    // Conservative side-effect ordering: two impure statements, or an
+    // impure statement versus a heap read.
+    if a.impure && b.impure {
+        return true;
+    }
+    if (a.impure && b.reads_heap) || (a.reads_heap && b.impure) {
+        return true;
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyx_lang::compile;
+
+    /// Build a placement assigning statements to sides by a predicate on
+    /// their ids.
+    fn placement_by(prog: &NirProgram, f: impl Fn(usize) -> Side) -> Placement {
+        let mut p = Placement::all_app(prog);
+        for i in 0..prog.stmt_count() {
+            p.stmt_side[i] = f(i);
+        }
+        p
+    }
+
+    #[test]
+    fn independent_stmts_group_by_placement() {
+        // Four independent assignments alternating APP/DB in source order;
+        // reordering should group them into two runs.
+        let src = "class C { void f() { int a = 1; int b = 2; int c = 3; int d = 4; } }";
+        let mut prog = compile(src).unwrap();
+        let placement = placement_by(&prog, |i| if i % 2 == 0 { Side::App } else { Side::Db });
+        let before = count_transitions(&prog, &placement);
+        assert_eq!(before, 3);
+        reorder_program(&mut prog, &placement);
+        let after = count_transitions(&prog, &placement);
+        assert_eq!(after, 1, "grouped into one APP run and one DB run");
+    }
+
+    #[test]
+    fn flow_dependencies_preserved() {
+        let src = "class C { int f() { int a = 1; int b = a + 1; int c = b + 1; return c; } }";
+        let mut prog = compile(src).unwrap();
+        // Any placement: chain order must survive.
+        let placement = placement_by(&prog, |i| if i == 1 { Side::Db } else { Side::App });
+        reorder_program(&mut prog, &placement);
+        let m = &prog.methods[0];
+        let ids: Vec<u32> = m.body.iter().map(|s| s.id.0).collect();
+        let pos = |id: u32| ids.iter().position(|&x| x == id).unwrap();
+        assert!(pos(0) < pos(1));
+        assert!(pos(1) < pos(2));
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn semantics_preserved_under_reordering() {
+        // Differential check: reordered program computes the same result.
+        let src = r#"
+            class C {
+                int f(int x) {
+                    int a = x + 1;
+                    int b = x * 2;
+                    int c = x - 3;
+                    int d = a + b;
+                    int e = c * 2;
+                    return d + e;
+                }
+            }
+        "#;
+        let prog0 = compile(src).unwrap();
+        let mut prog1 = compile(src).unwrap();
+        let placement = placement_by(&prog1, |i| if i % 3 == 0 { Side::Db } else { Side::App });
+        reorder_program(&mut prog1, &placement);
+
+        let mut db0 = pyx_db::Engine::new();
+        let mut db1 = pyx_db::Engine::new();
+        let m0 = prog0.find_method("C", "f").unwrap();
+        let m1 = prog1.find_method("C", "f").unwrap();
+        let mut i0 = pyx_profile::Interp::new(&prog0, &mut db0, pyx_profile::NullTracer);
+        let mut i1 = pyx_profile::Interp::new(&prog1, &mut db1, pyx_profile::NullTracer);
+        for x in [0i64, 5, -7, 100] {
+            let a = i0
+                .call_entry(m0, vec![pyx_lang::Value::Int(x)])
+                .unwrap();
+            let b = i1
+                .call_entry(m1, vec![pyx_lang::Value::Int(x)])
+                .unwrap();
+            assert_eq!(a, b, "reordering changed semantics for x={x}");
+        }
+    }
+
+    #[test]
+    fn impure_statements_keep_relative_order() {
+        let src = r#"
+            class C {
+                void f(int k) {
+                    dbUpdate("INSERT INTO t VALUES (?)", k);
+                    dbUpdate("DELETE FROM t WHERE k = ?", k);
+                }
+            }
+        "#;
+        let mut prog = compile(src).unwrap();
+        let ids: Vec<u32> = prog.methods[0].body.iter().map(|s| s.id.0).collect();
+        let placement = placement_by(&prog, |i| if i == 0 { Side::Db } else { Side::App });
+        reorder_program(&mut prog, &placement);
+        let after: Vec<u32> = prog.methods[0].body.iter().map(|s| s.id.0).collect();
+        assert_eq!(ids, after, "db calls must not swap");
+    }
+
+    #[test]
+    fn return_acts_as_barrier() {
+        let src = "class C { int f() { int a = 1; return a; } }";
+        let mut prog = compile(src).unwrap();
+        let placement = placement_by(&prog, |_| Side::App);
+        reorder_program(&mut prog, &placement);
+        assert!(matches!(
+            prog.methods[0].body.last().unwrap().kind,
+            NStmtKind::Return(_)
+        ));
+    }
+}

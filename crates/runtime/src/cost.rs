@@ -1,0 +1,55 @@
+//! Virtual CPU cost of VM execution, in the same abstract "instruction"
+//! units as `pyx_db::cost`.
+//!
+//! The paper measures a ~6× overhead for Pyxis-managed execution versus
+//! native Java (§7.3) because every heap and stack access goes through the
+//! managed representations. We reproduce that ratio structurally: a block
+//! instruction costs [`RtCosts::instr`] while the reference interpreter
+//! charges [`RtCosts::native_stmt`] per statement (microbenchmark 1
+//! measures the realized ratio).
+
+/// Tunable cost model for the VM.
+#[derive(Debug, Clone, Copy)]
+pub struct RtCosts {
+    /// One block instruction (managed stack/heap access + dispatch).
+    pub instr: u64,
+    /// Recording one sync operation into the outgoing batch.
+    pub sync: u64,
+    /// Terminator processing (incl. the continuation-style block return).
+    pub term: u64,
+    /// Fixed overhead on entering a block (runtime regains control).
+    pub block_entry: u64,
+    /// One `sha1` builtin call.
+    pub sha1: u64,
+    /// Equivalent cost of one *natively interpreted* statement (the
+    /// baseline for microbenchmark 1).
+    pub native_stmt: u64,
+    /// Serialization cost per transferred byte (×1000 per 1000 bytes).
+    pub per_kb_serialize: u64,
+}
+
+impl Default for RtCosts {
+    fn default() -> Self {
+        RtCosts {
+            instr: 1800,
+            sync: 400,
+            term: 700,
+            block_entry: 500,
+            sha1: 12_000,
+            native_stmt: 300,
+            per_kb_serialize: 2_000,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn managed_overhead_is_about_six_x() {
+        let c = RtCosts::default();
+        let ratio = c.instr as f64 / c.native_stmt as f64;
+        assert!(ratio > 4.0 && ratio < 8.0, "ratio {ratio}");
+    }
+}

@@ -1,0 +1,244 @@
+//! The distributed heap (§3.2, Fig. 6).
+//!
+//! Every source-level object is represented twice — once per host. The
+//! executing host reads and writes *its own* copy; explicit sync
+//! operations, batched until the next control transfer, copy the
+//! authoritative part across. Reading data that was never synchronized
+//! yields the stale local copy: this is exactly the failure mode the
+//! paper's conservative sync-insertion analysis must prevent, and the
+//! differential tests in `pyx-sim` would catch.
+
+use pyx_partition::Side;
+use pyx_lang::{ClassId, Oid, RtError, Scalar, Ty, Value};
+use pyx_profile::{Heap, HeapObj};
+use std::collections::BTreeSet;
+use std::rc::Rc;
+
+/// One entry in a host's outgoing sync batch. Batches aggregate
+/// *modifications* (§3.2), so entries name the modified field — never a
+/// whole object part, which would clobber newer remote values of sibling
+/// fields with stale local copies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum SyncKey {
+    /// Ship field `slot` of object `oid`.
+    Field(Oid, u32),
+    /// Ship the full contents of array `oid`.
+    Native(Oid),
+}
+
+/// The two-copy heap.
+#[derive(Debug, Default)]
+pub struct DistHeap {
+    app: Heap,
+    db: Heap,
+    /// Pending outgoing updates per host.
+    outbox_app: BTreeSet<SyncKey>,
+    outbox_db: BTreeSet<SyncKey>,
+}
+
+impl DistHeap {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn host(&self, side: Side) -> &Heap {
+        match side {
+            Side::App => &self.app,
+            Side::Db => &self.db,
+        }
+    }
+
+    pub fn host_mut(&mut self, side: Side) -> &mut Heap {
+        match side {
+            Side::App => &mut self.app,
+            Side::Db => &mut self.db,
+        }
+    }
+
+    /// Allocate an object in both copies (same oid).
+    pub fn alloc_object(&mut self, class: ClassId, num_fields: usize) -> Oid {
+        let a = self.app.alloc_object(class, num_fields);
+        let b = self.db.alloc_object(class, num_fields);
+        debug_assert_eq!(a, b, "heap id drift");
+        a
+    }
+
+    /// Allocate an array in both copies with identical default contents.
+    pub fn alloc_array(&mut self, elem: &Ty, len: usize) -> Oid {
+        let a = self.app.alloc_array(elem, len);
+        let b = self.db.alloc_array(elem, len);
+        debug_assert_eq!(a, b, "heap id drift");
+        a
+    }
+
+    /// Allocate an array with identical contents in both copies. Used for
+    /// entry-point arguments, which ship with the invocation itself.
+    pub fn alloc_array_pair(&mut self, elems: Vec<Value>) -> Oid {
+        let a = self.app.alloc_array_of(elems.clone());
+        let b = self.db.alloc_array_of(elems);
+        debug_assert_eq!(a, b, "heap id drift");
+        a
+    }
+
+    /// Allocate an array of given contents on `side`; the peer copy starts
+    /// empty (stale until a `sendNative`).
+    pub fn alloc_array_on(&mut self, side: Side, elems: Vec<Value>) -> Oid {
+        let (local, peer) = match side {
+            Side::App => (&mut self.app, &mut self.db),
+            Side::Db => (&mut self.db, &mut self.app),
+        };
+        let a = local.alloc_array_of(elems);
+        let b = peer.alloc_array_of(Vec::new());
+        debug_assert_eq!(a, b, "heap id drift");
+        a
+    }
+
+    /// Allocate a row-array result on `side` only.
+    pub fn alloc_rows_on(&mut self, side: Side, rows: Vec<Rc<Vec<Scalar>>>) -> Oid {
+        self.alloc_array_on(side, rows.into_iter().map(Value::Row).collect())
+    }
+
+    /// Record a pending sync op on `side`'s outbox.
+    pub fn enqueue(&mut self, side: Side, key: SyncKey) {
+        match side {
+            Side::App => self.outbox_app.insert(key),
+            Side::Db => self.outbox_db.insert(key),
+        };
+    }
+
+    pub fn outbox_len(&self, side: Side) -> usize {
+        match side {
+            Side::App => self.outbox_app.len(),
+            Side::Db => self.outbox_db.len(),
+        }
+    }
+
+    /// Flush `from`'s outbox into the peer heap, returning the bytes
+    /// shipped.
+    pub fn flush(&mut self, from: Side) -> Result<u64, RtError> {
+        let keys: Vec<SyncKey> = match from {
+            Side::App => std::mem::take(&mut self.outbox_app),
+            Side::Db => std::mem::take(&mut self.outbox_db),
+        }
+        .into_iter()
+        .collect();
+
+        let mut bytes = 0u64;
+        for key in keys {
+            bytes += self.apply(from, key)?;
+        }
+        Ok(bytes)
+    }
+
+    fn apply(&mut self, from: Side, key: SyncKey) -> Result<u64, RtError> {
+        let (src, dst) = match from {
+            Side::App => (&self.app, &mut self.db),
+            Side::Db => (&self.db, &mut self.app),
+        };
+        match key {
+            SyncKey::Field(oid, slot) => {
+                let v = match src.get(oid)? {
+                    HeapObj::Object { fields, .. } => fields
+                        .get(slot as usize)
+                        .cloned()
+                        .ok_or_else(|| RtError::new("sync of unknown field slot"))?,
+                    HeapObj::Array { .. } => {
+                        return Err(RtError::new("field sync on an array"));
+                    }
+                };
+                let b = 12 + v.wire_size();
+                dst.set_field(oid, slot as usize, v)?;
+                Ok(b)
+            }
+            SyncKey::Native(oid) => {
+                let elems: Vec<Value> = match src.get(oid)? {
+                    HeapObj::Array { elems } => elems.clone(),
+                    HeapObj::Object { .. } => {
+                        return Err(RtError::new("sendNative on a non-array"))
+                    }
+                };
+                let b = 12 + elems.iter().map(Value::wire_size).sum::<u64>();
+                match dst.get_mut(oid)? {
+                    HeapObj::Array { elems: d } => *d = elems,
+                    HeapObj::Object { .. } => {
+                        return Err(RtError::new("sendNative target is not an array"))
+                    }
+                }
+                Ok(b)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paired_allocation_keeps_ids_aligned() {
+        let mut h = DistHeap::new();
+        let o = h.alloc_object(ClassId(0), 2);
+        let a = h.alloc_array(&Ty::Int, 3);
+        assert_ne!(o, a);
+        assert!(h.host(Side::App).get(o).is_ok());
+        assert!(h.host(Side::Db).get(o).is_ok());
+        assert!(h.host(Side::Db).get(a).is_ok());
+    }
+
+    #[test]
+    fn unsynced_write_is_invisible_remotely() {
+        let mut h = DistHeap::new();
+        let o = h.alloc_object(ClassId(0), 2);
+        h.host_mut(Side::App)
+            .set_field(o, 0, Value::Int(7))
+            .unwrap();
+        assert_eq!(h.host(Side::Db).field(o, 0).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn field_sync_ships_only_the_modified_field() {
+        let mut h = DistHeap::new();
+        let o = h.alloc_object(ClassId(0), 2);
+        h.host_mut(Side::App)
+            .set_field(o, 0, Value::Int(1))
+            .unwrap();
+        // Peer has a newer value of field 1 that must NOT be clobbered.
+        h.host_mut(Side::Db)
+            .set_field(o, 1, Value::Int(99))
+            .unwrap();
+        h.enqueue(Side::App, SyncKey::Field(o, 0));
+        let bytes = h.flush(Side::App).unwrap();
+        assert_eq!(bytes, 12 + 9);
+        assert_eq!(h.host(Side::Db).field(o, 0).unwrap(), Value::Int(1));
+        assert_eq!(
+            h.host(Side::Db).field(o, 1).unwrap(),
+            Value::Int(99),
+            "sibling field untouched"
+        );
+    }
+
+    #[test]
+    fn send_native_replaces_contents_and_length() {
+        let mut h = DistHeap::new();
+        let a = h.alloc_array_on(Side::Db, vec![Value::Int(1), Value::Int(2)]);
+        assert_eq!(h.host(Side::App).array_len(a).unwrap(), 0, "peer stale");
+        h.enqueue(Side::Db, SyncKey::Native(a));
+        let bytes = h.flush(Side::Db).unwrap();
+        assert_eq!(bytes, 12 + 18);
+        assert_eq!(h.host(Side::App).array_len(a).unwrap(), 2);
+        assert_eq!(h.host(Side::App).elem(a, 1).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn outbox_dedupes_and_clears() {
+        let mut h = DistHeap::new();
+        let a = h.alloc_array(&Ty::Int, 1);
+        h.enqueue(Side::App, SyncKey::Native(a));
+        h.enqueue(Side::App, SyncKey::Native(a));
+        assert_eq!(h.outbox_len(Side::App), 1);
+        h.flush(Side::App).unwrap();
+        assert_eq!(h.outbox_len(Side::App), 0);
+        // Empty flush costs nothing.
+        assert_eq!(h.flush(Side::App).unwrap(), 0);
+    }
+}

@@ -1,0 +1,112 @@
+//! Dynamic partition selection (§6.3).
+//!
+//! The DB-side runtime periodically reports its CPU utilization; the
+//! APP-side runtime smooths it with an exponentially weighted moving
+//! average `L_t = α·L_{t−1} + (1−α)·S_t` and picks, per entry-point
+//! invocation, the partitioning generated with a high CPU budget when the
+//! server is idle and a low-budget (JDBC-like) partitioning when loaded.
+//! The paper used α = 0.2, a 40% threshold, and 10-second load messages.
+
+/// Which pre-generated partitioning to run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionChoice {
+    /// High-CPU-budget partitioning (most code on the DB server).
+    HighBudget,
+    /// Low-CPU-budget partitioning (JDBC-like).
+    LowBudget,
+}
+
+/// EWMA-based load monitor.
+#[derive(Debug, Clone)]
+pub struct LoadMonitor {
+    alpha: f64,
+    threshold_pct: f64,
+    level: f64,
+    initialized: bool,
+}
+
+impl LoadMonitor {
+    /// Paper parameters: `alpha = 0.2`, `threshold_pct = 40.0`.
+    pub fn new(alpha: f64, threshold_pct: f64) -> Self {
+        assert!((0.0..1.0).contains(&alpha));
+        LoadMonitor {
+            alpha,
+            threshold_pct,
+            level: 0.0,
+            initialized: false,
+        }
+    }
+
+    pub fn paper_defaults() -> Self {
+        LoadMonitor::new(0.2, 40.0)
+    }
+
+    /// Feed one load sample `S_t` (percent, 0–100); returns the smoothed
+    /// level `L_t`.
+    pub fn observe(&mut self, sample_pct: f64) -> f64 {
+        if !self.initialized {
+            self.level = sample_pct;
+            self.initialized = true;
+        } else {
+            self.level = self.alpha * self.level + (1.0 - self.alpha) * sample_pct;
+        }
+        self.level
+    }
+
+    pub fn level(&self) -> f64 {
+        self.level
+    }
+
+    /// The partitioning to use for the next entry-point invocation.
+    pub fn choose(&self) -> PartitionChoice {
+        if self.level > self.threshold_pct {
+            PartitionChoice::LowBudget
+        } else {
+            PartitionChoice::HighBudget
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn starts_with_first_sample() {
+        let mut m = LoadMonitor::paper_defaults();
+        m.observe(10.0);
+        assert_eq!(m.level(), 10.0);
+        assert_eq!(m.choose(), PartitionChoice::HighBudget);
+    }
+
+    #[test]
+    fn ewma_smooths_spikes() {
+        let mut m = LoadMonitor::paper_defaults();
+        m.observe(0.0);
+        // One 100% spike with α=0.2: L = 0.2·0 + 0.8·100 = 80.
+        m.observe(100.0);
+        assert!((m.level() - 80.0).abs() < 1e-9);
+        // Back to idle: decays but not instantly.
+        m.observe(0.0);
+        assert!((m.level() - 16.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn switches_partition_above_threshold() {
+        let mut m = LoadMonitor::paper_defaults();
+        m.observe(0.0);
+        assert_eq!(m.choose(), PartitionChoice::HighBudget);
+        for _ in 0..5 {
+            m.observe(90.0);
+        }
+        assert_eq!(m.choose(), PartitionChoice::LowBudget);
+        // Sustained idle flips back (adaptation lag, as in Fig. 11).
+        let mut steps = 0;
+        while m.choose() == PartitionChoice::LowBudget {
+            m.observe(5.0);
+            steps += 1;
+            assert!(steps < 50, "must eventually switch back");
+        }
+        assert!(steps >= 1, "EWMA must not switch instantly");
+    }
+}

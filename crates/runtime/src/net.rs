@@ -1,0 +1,51 @@
+//! Network model: propagation latency + bandwidth delay.
+
+/// A symmetric point-to-point link between the two servers.
+#[derive(Debug, Clone, Copy)]
+pub struct NetModel {
+    /// Round-trip time in nanoseconds (paper testbed: 2 ms ping).
+    pub rtt_ns: u64,
+    /// Bandwidth in bytes per second (1 Gb/s default).
+    pub bw_bytes_per_s: u64,
+}
+
+impl Default for NetModel {
+    fn default() -> Self {
+        NetModel {
+            rtt_ns: 2_000_000,
+            bw_bytes_per_s: 125_000_000,
+        }
+    }
+}
+
+impl NetModel {
+    /// One-way message delay for a payload of `bytes`.
+    pub fn one_way_ns(&self, bytes: u64) -> u64 {
+        self.rtt_ns / 2 + bytes.saturating_mul(1_000_000_000) / self.bw_bytes_per_s
+    }
+
+    /// Full round trip carrying `req` bytes out and `resp` bytes back.
+    pub fn round_trip_ns(&self, req: u64, resp: u64) -> u64 {
+        self.one_way_ns(req) + self.one_way_ns(resp)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_dominates_small_messages() {
+        let n = NetModel::default();
+        assert_eq!(n.one_way_ns(0), 1_000_000);
+        // 125 bytes at 1 Gb/s = 1 µs.
+        assert_eq!(n.one_way_ns(125), 1_000_000 + 1_000);
+    }
+
+    #[test]
+    fn round_trip_sums_both_directions() {
+        let n = NetModel::default();
+        assert_eq!(n.round_trip_ns(0, 0), n.rtt_ns);
+        assert!(n.round_trip_ns(1_000_000, 0) > n.rtt_ns + 7_000_000);
+    }
+}

@@ -1,0 +1,797 @@
+//! The execution-block VM (§5.1, §6).
+//!
+//! A [`Session`] executes one entry-point invocation (= one transaction)
+//! over a compiled [`BlockProgram`]. It is driven by repeatedly calling
+//! [`Session::advance`], which yields fine-grained virtual-time events:
+//!
+//! * [`Advance::Cpu`] — instructions consumed on the current host,
+//! * [`Advance::Net`] — a control transfer with its payload (batched heap
+//!   sync + dirty stack), to be delayed by the network model,
+//! * [`Advance::DbOp`] — a database statement just executed; if issued
+//!   from the APP host this is a JDBC-style round trip,
+//! * [`Advance::Blocked`] — the transaction waits on a row lock,
+//! * [`Advance::Deadlocked`] — wait-die victim; the caller restarts the
+//!   whole transaction with a fresh session,
+//! * [`Advance::Finished`] / [`Advance::Error`].
+//!
+//! The session never blocks the calling thread and owns no clock: the
+//! simulator decides what the events cost.
+
+use crate::cost::RtCosts;
+use crate::heap::{DistHeap, SyncKey};
+use pyx_db::{DbError, Engine, TxnId};
+use pyx_partition::Side;
+use pyx_lang::{
+    eval_binop, eval_unop, sha1_i64, Builtin, FieldId, LocalId, MethodId, Oid, Operand, Place,
+    RowGetKind, RtError, Rvalue, Value,
+};
+use pyx_pyxil::{BInstr, BlockId, BlockProgram, PyxilProgram, SyncOp, Term};
+use std::collections::HashMap;
+
+/// Entry-point argument values (heap-free, so a session can be restarted
+/// after a deadlock by rebuilding the arguments).
+#[derive(Debug, Clone)]
+pub enum ArgVal {
+    Int(i64),
+    Double(f64),
+    Bool(bool),
+    Str(String),
+    IntArray(Vec<i64>),
+    DoubleArray(Vec<f64>),
+}
+
+/// One step outcome. See module docs.
+#[derive(Debug)]
+pub enum Advance {
+    Cpu { host: Side, cost: u64 },
+    Net { from: Side, to: Side, bytes: u64 },
+    DbOp {
+        issued_from: Side,
+        db_cpu: u64,
+        req_bytes: u64,
+        resp_bytes: u64,
+    },
+    Blocked { txn: TxnId },
+    Deadlocked,
+    Finished,
+    Error(RtError),
+}
+
+/// Aggregate statistics for one session.
+#[derive(Debug, Default, Clone)]
+pub struct SessionStats {
+    pub control_transfers: u64,
+    pub bytes_app_to_db: u64,
+    pub bytes_db_to_app: u64,
+    /// JDBC-style round trips (db statements issued from APP).
+    pub db_round_trips: u64,
+    /// DB statements executed locally on the DB host.
+    pub db_local_calls: u64,
+    pub blocks_executed: u64,
+    pub instrs_executed: u64,
+}
+
+enum State {
+    Running,
+    /// Entry returned while control was on the DB: one reply transfer
+    /// remains before the invocation completes.
+    Returning,
+    Finished,
+    Deadlocked,
+    Failed(RtError),
+}
+
+struct Frame {
+    locals: Vec<Value>,
+    ret_to: Option<BlockId>,
+    ret_dst: Option<LocalId>,
+}
+
+/// One transaction's execution over the partitioned program.
+pub struct Session<'a> {
+    il: &'a PyxilProgram,
+    bp: &'a BlockProgram,
+    costs: RtCosts,
+    pub heap: DistHeap,
+    frames: Vec<Frame>,
+    cur: BlockId,
+    iidx: usize,
+    entered: bool,
+    pub loc: Side,
+    txn: Option<TxnId>,
+    pending_cpu: u64,
+    state: State,
+    /// Per-side dirty stack slots: (frame depth, slot) → value size.
+    dirty_stack: [HashMap<(u32, u32), u64>; 2],
+    field_slot: HashMap<FieldId, usize>,
+    pub stats: SessionStats,
+    pub printed: Vec<String>,
+    pub result: Option<Value>,
+    pub rolled_back: bool,
+    /// Transactions woken by this session's last commit/abort — the
+    /// simulator must reschedule them.
+    pub last_woken: Vec<TxnId>,
+}
+
+/// How much CPU may accumulate before `advance` yields (scheduling
+/// granularity for the simulator).
+const CPU_YIELD: u64 = 2_000_000;
+
+impl<'a> Session<'a> {
+    pub fn new(
+        il: &'a PyxilProgram,
+        bp: &'a BlockProgram,
+        entry: MethodId,
+        args: &[ArgVal],
+        costs: RtCosts,
+    ) -> Result<Session<'a>, RtError> {
+        let prog = &il.prog;
+        let mut field_slot = HashMap::new();
+        for c in &prog.classes {
+            for (i, &f) in c.fields.iter().enumerate() {
+                field_slot.insert(f, i);
+            }
+        }
+
+        let mut heap = DistHeap::new();
+        let m = prog.method(entry);
+        let mut locals = vec![Value::Null; m.locals.len()];
+        let mut slot = 0usize;
+        if !m.is_static {
+            let nf = prog.class(m.class).fields.len();
+            locals[0] = Value::Obj(heap.alloc_object(m.class, nf));
+            slot = 1;
+        }
+        if slot + args.len() != m.num_params {
+            return Err(RtError::new(format!(
+                "entry `{}` expects {} args, got {}",
+                m.name,
+                m.num_params - slot,
+                args.len()
+            )));
+        }
+        for a in args {
+            locals[slot] = match a {
+                ArgVal::Int(v) => Value::Int(*v),
+                ArgVal::Double(v) => Value::Double(*v),
+                ArgVal::Bool(v) => Value::Bool(*v),
+                ArgVal::Str(s) => Value::Str(s.as_str().into()),
+                ArgVal::IntArray(xs) => Value::Arr(
+                    heap.alloc_array_pair(xs.iter().map(|&v| Value::Int(v)).collect()),
+                ),
+                ArgVal::DoubleArray(xs) => Value::Arr(
+                    heap.alloc_array_pair(xs.iter().map(|&v| Value::Double(v)).collect()),
+                ),
+            };
+            slot += 1;
+        }
+
+        // The invocation payload (receiver + arguments, including array
+        // contents) rides the first control transfer off the APP server.
+        let mut entry_dirty: HashMap<(u32, u32), u64> = HashMap::new();
+        for (i, a) in args.iter().enumerate() {
+            let size = match a {
+                ArgVal::IntArray(xs) => 12 + 9 * xs.len() as u64,
+                ArgVal::DoubleArray(xs) => 12 + 9 * xs.len() as u64,
+                ArgVal::Str(s) => 5 + s.len() as u64,
+                _ => 9,
+            };
+            entry_dirty.insert((0, (i + if m.is_static { 0 } else { 1 }) as u32), size);
+        }
+
+        let entry_block = *bp
+            .entry
+            .get(&entry)
+            .ok_or_else(|| RtError::new("entry method has no compiled blocks"))?;
+        Ok(Session {
+            il,
+            bp,
+            costs,
+            heap,
+            frames: vec![Frame {
+                locals,
+                ret_to: None,
+                ret_dst: None,
+            }],
+            cur: entry_block,
+            iidx: 0,
+            entered: false,
+            loc: Side::App, // execution starts on the application server
+            txn: None,
+            pending_cpu: 0,
+            state: State::Running,
+            dirty_stack: [entry_dirty, HashMap::new()],
+            field_slot,
+            stats: SessionStats::default(),
+            printed: Vec::new(),
+            result: None,
+            rolled_back: false,
+            last_woken: Vec::new(),
+        })
+    }
+
+    pub fn txn(&self) -> Option<TxnId> {
+        self.txn
+    }
+
+    fn fail(&mut self, engine: &mut Engine, e: RtError) -> Advance {
+        if let Some(t) = self.txn.take() {
+            if let Ok((_, woken)) = engine.abort(t) {
+                self.last_woken = woken;
+            }
+        }
+        self.state = State::Failed(e.clone());
+        Advance::Error(e)
+    }
+
+    fn take_cpu(&mut self) -> Option<Advance> {
+        if self.pending_cpu > 0 {
+            let cost = std::mem::take(&mut self.pending_cpu);
+            Some(Advance::Cpu {
+                host: self.loc,
+                cost,
+            })
+        } else {
+            None
+        }
+    }
+
+    /// Run until the next virtual-time event.
+    pub fn advance(&mut self, engine: &mut Engine) -> Advance {
+        self.last_woken.clear();
+        match &self.state {
+            State::Finished => return Advance::Finished,
+            State::Deadlocked => return Advance::Deadlocked,
+            State::Failed(e) => return Advance::Error(e.clone()),
+            State::Returning => {
+                if let Some(cpu) = self.take_cpu() {
+                    return cpu;
+                }
+                self.state = State::Finished;
+                if self.loc == Side::Db {
+                    // Ship the reply (result + final state) back to APP.
+                    let bytes = match self.flush_transfer(Side::Db) {
+                        Ok(b) => b + self.result.as_ref().map(|v| v.wire_size()).unwrap_or(0),
+                        Err(e) => {
+                            self.state = State::Failed(e.clone());
+                            return Advance::Error(e);
+                        }
+                    };
+                    self.loc = Side::App;
+                    self.stats.control_transfers += 1;
+                    self.stats.bytes_db_to_app += bytes;
+                    return Advance::Net {
+                        from: Side::Db,
+                        to: Side::App,
+                        bytes,
+                    };
+                }
+                return Advance::Finished;
+            }
+            State::Running => {}
+        }
+
+        loop {
+            // Control transfer needed?
+            let host = self.bp.block(self.cur).host;
+            if self.iidx == 0 && host != self.loc {
+                if let Some(cpu) = self.take_cpu() {
+                    return cpu;
+                }
+                let from = self.loc;
+                match self.flush_transfer(from) {
+                    Ok(bytes) => {
+                        self.loc = host;
+                        self.stats.control_transfers += 1;
+                        match from {
+                            Side::App => self.stats.bytes_app_to_db += bytes,
+                            Side::Db => self.stats.bytes_db_to_app += bytes,
+                        }
+                        // Serialization CPU charged on the new host's next
+                        // batch boundary (sender-side simplification).
+                        self.pending_cpu += self.costs.per_kb_serialize * (bytes / 1000 + 1);
+                        return Advance::Net {
+                            from,
+                            to: host,
+                            bytes,
+                        };
+                    }
+                    Err(e) => return self.fail(engine, e),
+                }
+            }
+
+            if self.iidx == 0 && !self.entered {
+                self.pending_cpu += self.costs.block_entry;
+                self.stats.blocks_executed += 1;
+                self.entered = true;
+            }
+
+            if self.pending_cpu >= CPU_YIELD {
+                return self.take_cpu().expect("pending cpu");
+            }
+
+            // Execute the next instruction, or the terminator.
+            let block = self.bp.block(self.cur);
+            if self.iidx < block.instrs.len() {
+                let instr = &block.instrs[self.iidx];
+                match instr {
+                    BInstr::Assign { dst, rv, stmt } => {
+                        let (dst, rv, stmt) = (dst.clone(), rv.clone(), *stmt);
+                        self.pending_cpu += self.costs.instr;
+                        self.stats.instrs_executed += 1;
+                        let ctx = |e: RtError| {
+                            RtError::new(format!("stmt {stmt:?}: {}", e.msg))
+                        };
+                        match self.eval_rvalue(&rv) {
+                            Ok(v) => {
+                                if let Err(e) = self.store(&dst, v) {
+                                    let e = ctx(e);
+                                    return self.fail(engine, e);
+                                }
+                            }
+                            Err(e) => {
+                                let e = ctx(e);
+                                return self.fail(engine, e);
+                            }
+                        }
+                        self.iidx += 1;
+                    }
+                    BInstr::Sync(op) => {
+                        let op = op.clone();
+                        self.pending_cpu += self.costs.sync;
+                        if let Err(e) = self.enqueue_sync(&op) {
+                            return self.fail(engine, e);
+                        }
+                        self.iidx += 1;
+                    }
+                    BInstr::Builtin { dst, f, args, .. } => {
+                        let (dst, f, args) = (*dst, *f, args.clone());
+                        if f.is_db_call() {
+                            // Yield accumulated CPU before the round trip
+                            // so the simulator sequences it correctly.
+                            if let Some(cpu) = self.take_cpu() {
+                                return cpu;
+                            }
+                            return self.exec_db(engine, dst, f, &args);
+                        }
+                        self.pending_cpu += self.costs.instr;
+                        self.stats.instrs_executed += 1;
+                        match self.exec_local_builtin(f, &args) {
+                            Ok(v) => {
+                                if let Some(d) = dst {
+                                    let v = match v {
+                                        Some(v) => v,
+                                        None => {
+                                            return self.fail(
+                                                engine,
+                                                RtError::new("void builtin used as value"),
+                                            )
+                                        }
+                                    };
+                                    self.set_local(d, v);
+                                }
+                            }
+                            Err(e) => return self.fail(engine, e),
+                        }
+                        self.iidx += 1;
+                    }
+                }
+                continue;
+            }
+
+            // Terminator.
+            self.pending_cpu += self.costs.term;
+            let term = block.term.clone();
+            match term {
+                Term::Goto(b) => self.jump(b),
+                Term::Branch {
+                    cond,
+                    then_b,
+                    else_b,
+                } => {
+                    let c = match self.operand(&cond).truthy() {
+                        Ok(c) => c,
+                        Err(e) => return self.fail(engine, e),
+                    };
+                    self.jump(if c { then_b } else { else_b });
+                }
+                Term::Call {
+                    method,
+                    args,
+                    dst,
+                    ret_to,
+                    ..
+                } => {
+                    let callee = self.il.prog.method(method);
+                    let mut locals = vec![Value::Null; callee.locals.len()];
+                    for (i, a) in args.iter().enumerate() {
+                        locals[i] = self.operand(a);
+                    }
+                    // Arguments are fresh stack state on the current host.
+                    let depth = self.frames.len() as u32;
+                    for (i, v) in locals.iter().enumerate().take(args.len()) {
+                        self.mark_stack_dirty(depth, i as u32, v.wire_size());
+                    }
+                    self.frames.push(Frame {
+                        locals,
+                        ret_to: Some(ret_to),
+                        ret_dst: dst,
+                    });
+                    let entry = *self
+                        .bp
+                        .entry
+                        .get(&method)
+                        .expect("compiled method has an entry block");
+                    self.jump(entry);
+                }
+                Term::Ret { value } => {
+                    let v = value.as_ref().map(|o| self.operand(o));
+                    let frame = self.frames.pop().expect("frame underflow");
+                    let depth = self.frames.len() as u32;
+                    for side in 0..2 {
+                        self.dirty_stack[side].retain(|&(d, _), _| d <= depth);
+                    }
+                    match frame.ret_to {
+                        Some(ret_to) => {
+                            if let (Some(d), Some(v)) = (frame.ret_dst, v) {
+                                self.set_local(d, v);
+                            }
+                            self.jump(ret_to);
+                        }
+                        None => {
+                            // Entry returned: commit the transaction, then
+                            // (if control is on the DB) ship the reply.
+                            self.result = v;
+                            if let Some(t) = self.txn.take() {
+                                match engine.commit(t) {
+                                    Ok((c, woken)) => {
+                                        self.pending_cpu += c;
+                                        self.last_woken = woken;
+                                    }
+                                    Err(e) => {
+                                        return self.fail(engine, RtError::new(e.to_string()))
+                                    }
+                                }
+                            }
+                            self.state = State::Returning;
+                            if let Some(cpu) = self.take_cpu() {
+                                return cpu;
+                            }
+                            // Re-enter via the Returning arm.
+                            return self.advance(engine);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    fn jump(&mut self, to: BlockId) {
+        self.cur = self.bp.resolve(to);
+        self.iidx = 0;
+        self.entered = false;
+    }
+
+    fn exec_db(
+        &mut self,
+        engine: &mut Engine,
+        dst: Option<LocalId>,
+        f: Builtin,
+        args: &[Operand],
+    ) -> Advance {
+        if f == Builtin::Rollback {
+            if let Some(t) = self.txn.take() {
+                match engine.abort(t) {
+                    Ok((c, woken)) => {
+                        self.pending_cpu += c;
+                        self.last_woken = woken;
+                    }
+                    Err(e) => return self.fail(engine, RtError::new(e.to_string())),
+                }
+            }
+            self.rolled_back = true;
+            self.iidx += 1;
+            return Advance::DbOp {
+                issued_from: self.loc,
+                db_cpu: pyx_db::cost::TXN_END,
+                req_bytes: 16,
+                resp_bytes: 16,
+            };
+        }
+
+        let argv: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
+        let Value::Str(sql) = &argv[0] else {
+            return self.fail(engine, RtError::new("SQL must be a string"));
+        };
+        let sql = sql.clone();
+        let params: Vec<pyx_lang::Scalar> = match argv[1..]
+            .iter()
+            .map(|v| v.to_scalar())
+            .collect::<Result<_, _>>()
+        {
+            Ok(p) => p,
+            Err(e) => return self.fail(engine, e),
+        };
+        let txn = match self.txn {
+            Some(t) => t,
+            None => {
+                let t = engine.begin();
+                self.txn = Some(t);
+                t
+            }
+        };
+        let req_bytes: u64 =
+            16 + sql.len() as u64 + params.iter().map(|s| s.wire_size()).sum::<u64>();
+        match engine.execute(txn, &sql, &params) {
+            Ok(res) => {
+                let resp_bytes = res.wire_size();
+                let db_cpu = res.cost;
+                let out = if f == Builtin::DbQuery {
+                    Value::Arr(self.heap.alloc_rows_on(self.loc, res.rows))
+                } else {
+                    Value::Int(res.affected as i64)
+                };
+                if let Some(d) = dst {
+                    self.set_local(d, out);
+                }
+                self.iidx += 1;
+                if self.loc == Side::App {
+                    self.stats.db_round_trips += 1;
+                } else {
+                    self.stats.db_local_calls += 1;
+                }
+                Advance::DbOp {
+                    issued_from: self.loc,
+                    db_cpu,
+                    req_bytes,
+                    resp_bytes,
+                }
+            }
+            Err(DbError::WouldBlock) => Advance::Blocked { txn },
+            Err(DbError::Deadlock) => {
+                if let Some(t) = self.txn.take() {
+                    if let Ok((_, woken)) = engine.abort(t) {
+                        self.last_woken = woken;
+                    }
+                }
+                self.state = State::Deadlocked;
+                Advance::Deadlocked
+            }
+            Err(e) => self.fail(engine, RtError::new(e.to_string())),
+        }
+    }
+
+    fn exec_local_builtin(
+        &mut self,
+        f: Builtin,
+        args: &[Operand],
+    ) -> Result<Option<Value>, RtError> {
+        let argv: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
+        match f {
+            Builtin::Print => {
+                self.printed.push(format!("{}", argv[0]));
+                Ok(None)
+            }
+            Builtin::Sha1 => {
+                self.pending_cpu += self.costs.sha1;
+                match argv[0] {
+                    Value::Int(v) => Ok(Some(Value::Int(sha1_i64(v)))),
+                    ref other => Err(RtError::new(format!("sha1 on {other:?}"))),
+                }
+            }
+            Builtin::IntToStr => match argv[0] {
+                Value::Int(v) => Ok(Some(Value::Str(v.to_string().into()))),
+                ref other => Err(RtError::new(format!("intToStr on {other:?}"))),
+            },
+            Builtin::StrToInt => match &argv[0] {
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(|v| Some(Value::Int(v)))
+                    .map_err(|_| RtError::new(format!("cannot parse `{s}`"))),
+                other => Err(RtError::new(format!("strToInt on {other:?}"))),
+            },
+            Builtin::ToDouble => match argv[0] {
+                Value::Int(v) => Ok(Some(Value::Double(v as f64))),
+                ref other => Err(RtError::new(format!("toDouble on {other:?}"))),
+            },
+            Builtin::ToInt => match argv[0] {
+                Value::Double(v) => Ok(Some(Value::Int(v as i64))),
+                Value::Int(v) => Ok(Some(Value::Int(v))),
+                ref other => Err(RtError::new(format!("toInt on {other:?}"))),
+            },
+            Builtin::StrLen => match &argv[0] {
+                Value::Str(s) => Ok(Some(Value::Int(s.len() as i64))),
+                other => Err(RtError::new(format!("strLen on {other:?}"))),
+            },
+            Builtin::DbQuery | Builtin::DbUpdate | Builtin::Rollback => {
+                unreachable!("db calls handled by exec_db")
+            }
+        }
+    }
+
+    // ---- value plumbing ----
+
+    fn frame(&self) -> &Frame {
+        self.frames.last().expect("active frame")
+    }
+
+    fn operand(&self, o: &Operand) -> Value {
+        match o {
+            Operand::Local(l) => self.frame().locals[l.index()].clone(),
+            Operand::CInt(v) => Value::Int(*v),
+            Operand::CDouble(v) => Value::Double(*v),
+            Operand::CBool(v) => Value::Bool(*v),
+            Operand::CStr(s) => Value::Str(s.clone()),
+            Operand::Null => Value::Null,
+        }
+    }
+
+    fn set_local(&mut self, l: LocalId, v: Value) {
+        let depth = (self.frames.len() - 1) as u32;
+        self.mark_stack_dirty(depth, l.0, v.wire_size());
+        self.frames
+            .last_mut()
+            .expect("active frame")
+            .locals[l.index()] = v;
+    }
+
+    fn mark_stack_dirty(&mut self, depth: u32, slot: u32, size: u64) {
+        let idx = match self.loc {
+            Side::App => 0,
+            Side::Db => 1,
+        };
+        self.dirty_stack[idx].insert((depth, slot), size);
+    }
+
+    fn eval_rvalue(&mut self, rv: &Rvalue) -> Result<Value, RtError> {
+        match rv {
+            Rvalue::Use(o) => Ok(self.operand(o)),
+            Rvalue::Unary(op, a) => eval_unop(*op, &self.operand(a)),
+            Rvalue::Binary(op, a, b) => eval_binop(*op, &self.operand(a), &self.operand(b)),
+            Rvalue::ReadField { base, field } => {
+                let oid = as_obj(&self.operand(base))?;
+                let slot = self.field_slot[field];
+                self.heap.host(self.loc).field(oid, slot)
+            }
+            Rvalue::ReadElem { arr, idx } => {
+                let oid = as_arr(&self.operand(arr))?;
+                let i = as_int(&self.operand(idx))?;
+                self.heap.host(self.loc).elem(oid, i)
+            }
+            Rvalue::Len(a) => {
+                let oid = as_arr(&self.operand(a))?;
+                Ok(Value::Int(self.heap.host(self.loc).array_len(oid)?))
+            }
+            Rvalue::NewArray { elem, len } => {
+                let n = as_int(&self.operand(len))?;
+                if n < 0 {
+                    return Err(RtError::new("negative array length"));
+                }
+                Ok(Value::Arr(self.heap.alloc_array(elem, n as usize)))
+            }
+            Rvalue::NewObject { class } => {
+                let nf = self.il.prog.class(*class).fields.len();
+                Ok(Value::Obj(self.heap.alloc_object(*class, nf)))
+            }
+            Rvalue::RowGet { row, idx, kind } => {
+                let r = self.operand(row);
+                let i = as_int(&self.operand(idx))?;
+                let Value::Row(cols) = r else {
+                    return Err(RtError::new(
+                        "row getter on a non-row (stale remote data?)",
+                    ));
+                };
+                let cell = cols
+                    .get(i as usize)
+                    .ok_or_else(|| RtError::new(format!("row column {i} out of range")))?;
+                let v = Value::from_scalar(cell);
+                Ok(match (kind, v) {
+                    (RowGetKind::Double, Value::Int(x)) => Value::Double(x as f64),
+                    (RowGetKind::Int, Value::Double(x)) => Value::Int(x as i64),
+                    (_, v) => v,
+                })
+            }
+        }
+    }
+
+    fn store(&mut self, dst: &Place, v: Value) -> Result<(), RtError> {
+        match dst {
+            Place::Local(l) => {
+                self.set_local(*l, v);
+                Ok(())
+            }
+            Place::Field { base, field } => {
+                let oid = as_obj(&self.operand(base))?;
+                let slot = self.field_slot[field];
+                self.heap.host_mut(self.loc).set_field(oid, slot, v)
+            }
+            Place::Elem { arr, idx } => {
+                let oid = as_arr(&self.operand(arr))?;
+                let i = as_int(&self.operand(idx))?;
+                self.heap.host_mut(self.loc).set_elem(oid, i, v)
+            }
+        }
+    }
+
+    fn enqueue_sync(&mut self, op: &SyncOp) -> Result<(), RtError> {
+        match op {
+            SyncOp::SendField { base, field, .. } => {
+                let v = self.operand(base);
+                if let Value::Obj(oid) = v {
+                    let slot = self.field_slot[field] as u32;
+                    self.heap.enqueue(self.loc, SyncKey::Field(oid, slot));
+                }
+                Ok(())
+            }
+            SyncOp::SendNative { arr } => {
+                let v = self.operand(arr);
+                if let Value::Arr(oid) = v {
+                    self.heap.enqueue(self.loc, SyncKey::Native(oid));
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Flush the outgoing heap batch + dirty stack for a control transfer
+    /// from `from`; returns the payload size.
+    fn flush_transfer(&mut self, from: Side) -> Result<u64, RtError> {
+        let heap_bytes = self.heap.flush(from)?;
+        let idx = match from {
+            Side::App => 0,
+            Side::Db => 1,
+        };
+        let stack_bytes: u64 = self.dirty_stack[idx].values().sum();
+        self.dirty_stack[idx].clear();
+        Ok(32 + heap_bytes + stack_bytes)
+    }
+}
+
+fn as_int(v: &Value) -> Result<i64, RtError> {
+    match v {
+        Value::Int(i) => Ok(*i),
+        other => Err(RtError::new(format!("expected int, got {other:?}"))),
+    }
+}
+
+fn as_obj(v: &Value) -> Result<Oid, RtError> {
+    match v {
+        Value::Obj(o) => Ok(*o),
+        Value::Null => Err(RtError::new("null dereference")),
+        other => Err(RtError::new(format!("expected object, got {other:?}"))),
+    }
+}
+
+fn as_arr(v: &Value) -> Result<Oid, RtError> {
+    match v {
+        Value::Arr(o) => Ok(*o),
+        Value::Null => Err(RtError::new("null array dereference")),
+        other => Err(RtError::new(format!("expected array, got {other:?}"))),
+    }
+}
+
+/// Drive a session to completion against `engine`, ignoring virtual time —
+/// the workhorse for correctness (differential) tests and the in-process
+/// "run it now" API. Returns an error on lock waits that never resolve
+/// (single-session use cannot block).
+pub fn run_to_completion(
+    session: &mut Session<'_>,
+    engine: &mut Engine,
+    max_steps: u64,
+) -> Result<(), RtError> {
+    for _ in 0..max_steps {
+        match session.advance(engine) {
+            Advance::Finished => return Ok(()),
+            Advance::Error(e) => return Err(e),
+            Advance::Blocked { .. } => {
+                return Err(RtError::new(
+                    "single session blocked on a lock (self-conflict?)",
+                ))
+            }
+            Advance::Deadlocked => return Err(RtError::new("unexpected wait-die abort")),
+            Advance::Cpu { .. } | Advance::Net { .. } | Advance::DbOp { .. } => {}
+        }
+    }
+    Err(RtError::new("session did not finish within step budget"))
+}

@@ -1,0 +1,453 @@
+//! The discrete-event simulation driver.
+//!
+//! Emulates the paper's testbed: N closed-loop clients issuing
+//! transactions at a target rate against a two-host deployment. Sessions
+//! execute the real partitioned program; the driver prices their events
+//! onto CPU pools and the network, services lock waits through the
+//! engine's wake lists, restarts wait-die victims, applies scheduled
+//! external-load changes, and (for the dynamic deployment) switches
+//! partitions per §6.3.
+
+use crate::cpu::CpuPool;
+use crate::workload::{TxnRequest, Workload};
+use pyx_db::Engine;
+use pyx_partition::Side;
+use pyx_pyxil::CompiledPartition;
+use pyx_runtime::cost::RtCosts;
+use pyx_runtime::monitor::{LoadMonitor, PartitionChoice};
+use pyx_runtime::session::Session;
+use pyx_runtime::{Advance, NetModel};
+use std::collections::{BinaryHeap, HashMap};
+
+/// Simulation parameters. Defaults mirror the paper's testbed.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    pub duration_s: f64,
+    pub warmup_s: f64,
+    /// Offered load: transactions per second across all clients.
+    pub target_tps: f64,
+    /// Concurrent client sessions (paper: 20).
+    pub clients: usize,
+    pub app_cores: usize,
+    pub db_cores: usize,
+    /// Virtual instructions per second per core.
+    pub app_ips: u64,
+    pub db_ips: u64,
+    pub net: NetModel,
+    pub costs: RtCosts,
+    /// Scheduled external-load changes on the DB server.
+    pub load_events: Vec<LoadEvent>,
+    /// Seconds between load-monitor polls (paper: 10 s).
+    pub poll_s: f64,
+    /// Timeline bucket width (Fig. 11 uses 30 s).
+    pub timeline_bucket_s: f64,
+    /// Stop issuing after this many completed transactions (single-shot
+    /// measurements such as Fig. 14 use `Some(1)`).
+    pub max_txns: Option<u64>,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            duration_s: 30.0,
+            warmup_s: 3.0,
+            target_tps: 100.0,
+            clients: 20,
+            app_cores: 8,
+            db_cores: 16,
+            app_ips: 1_000_000_000,
+            db_ips: 1_000_000_000,
+            net: NetModel::default(),
+            costs: RtCosts::default(),
+            load_events: Vec::new(),
+            poll_s: 10.0,
+            timeline_bucket_s: 30.0,
+            max_txns: None,
+        }
+    }
+}
+
+/// An external-load change at `t_s`: the DB server's usable cores drop to
+/// `db_cores` and the load monitor additionally observes
+/// `background_pct`% busy CPUs (the external tenant's work keeps showing
+/// up in CPU polls — that is what the paper's monitor reacts to).
+#[derive(Debug, Clone, Copy)]
+pub struct LoadEvent {
+    pub t_s: f64,
+    pub db_cores: usize,
+    pub background_pct: f64,
+    /// Execution slowdown for work on the DB server (1.0 = full speed).
+    pub speed_factor: f64,
+}
+
+/// What to deploy.
+pub enum Deployment<'a> {
+    Fixed(&'a CompiledPartition),
+    /// Dynamic switching between a high-budget and a low-budget partition
+    /// (§6.3).
+    Dynamic {
+        high: &'a CompiledPartition,
+        low: &'a CompiledPartition,
+        monitor: LoadMonitor,
+    },
+}
+
+/// One timeline bucket (Fig. 11's 30-second points).
+#[derive(Debug, Clone)]
+pub struct TimePoint {
+    pub t_s: f64,
+    pub avg_latency_ms: f64,
+    pub completed: u64,
+    /// Fraction of transactions run on the low-budget (JDBC-like)
+    /// partition in this bucket.
+    pub low_budget_frac: f64,
+}
+
+/// Aggregated results over the measurement window (post-warmup).
+#[derive(Debug, Clone)]
+pub struct SimResult {
+    pub offered_tps: f64,
+    pub completed: u64,
+    pub throughput_tps: f64,
+    pub avg_latency_ms: f64,
+    pub p95_latency_ms: f64,
+    pub db_cpu_pct: f64,
+    pub app_cpu_pct: f64,
+    /// Network traffic seen at the DB server, KB/s.
+    pub db_recv_kbs: f64,
+    pub db_sent_kbs: f64,
+    pub deadlock_restarts: u64,
+    pub rollbacks: u64,
+    pub timeline: Vec<TimePoint>,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Issue { client: usize, paced: bool },
+    Ready { sid: usize },
+    Poll,
+    WarmupDone,
+    LoadChange { idx: usize },
+}
+
+struct Live<'a> {
+    sess: Session<'a>,
+    client: usize,
+    start_ns: u64,
+    req: TxnRequest,
+    low_budget: bool,
+}
+
+fn spawn<'a>(dep: &mut Deployment<'a>) -> (&'a CompiledPartition, bool) {
+    match dep {
+        Deployment::Fixed(p) => (p, false),
+        Deployment::Dynamic { high, low, monitor } => match monitor.choose() {
+            PartitionChoice::HighBudget => (high, false),
+            PartitionChoice::LowBudget => (low, true),
+        },
+    }
+}
+
+/// Run one simulation.
+pub fn run_sim<'a>(
+    dep: &mut Deployment<'a>,
+    engine: &mut Engine,
+    workload: &mut dyn Workload,
+    cfg: &SimConfig,
+) -> SimResult {
+    let duration_ns = (cfg.duration_s * 1e9) as u64;
+    let warmup_ns = (cfg.warmup_s * 1e9) as u64;
+    let poll_ns = ((cfg.poll_s * 1e9) as u64).max(1);
+    let bucket_ns = ((cfg.timeline_bucket_s * 1e9) as u64).max(1);
+
+    let mut app = CpuPool::new(cfg.app_cores, cfg.app_ips);
+    let mut db = CpuPool::new(cfg.db_cores, cfg.db_ips);
+
+    // Event queue: min-heap on (time, seq).
+    let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<_>, t: u64, ev: Ev, seq: &mut u64| {
+        heap.push(std::cmp::Reverse((t, *seq, ev)));
+        *seq += 1;
+    };
+
+    // Client pacing.
+    let interval_ns = ((cfg.clients as f64 / cfg.target_tps) * 1e9) as u64;
+    for c in 0..cfg.clients {
+        let first = (c as u64 * interval_ns) / cfg.clients as u64;
+        push(
+            &mut heap,
+            first,
+            Ev::Issue {
+                client: c,
+                paced: true,
+            },
+            &mut seq,
+        );
+    }
+    push(&mut heap, poll_ns, Ev::Poll, &mut seq);
+    push(&mut heap, warmup_ns, Ev::WarmupDone, &mut seq);
+    for (i, le) in cfg.load_events.iter().enumerate() {
+        push(
+            &mut heap,
+            (le.t_s * 1e9) as u64,
+            Ev::LoadChange { idx: i },
+            &mut seq,
+        );
+    }
+    let mut background_pct = 0.0f64;
+
+    let mut sessions: Vec<Option<Live<'a>>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut client_busy: Vec<Option<usize>> = vec![None; cfg.clients];
+    let mut client_pending: Vec<u64> = vec![0; cfg.clients];
+    let mut blocked: HashMap<pyx_db::TxnId, usize> = HashMap::new();
+
+    // Metrics.
+    let mut latencies_ms: Vec<f64> = Vec::new();
+    let mut completed = 0u64;
+    let mut completed_total = 0u64;
+    let mut issued_total = 0u64;
+    let mut rollbacks = 0u64;
+    let mut deadlock_restarts = 0u64;
+    let mut db_recv = 0u64; // bytes arriving at DB (app→db)
+    let mut db_sent = 0u64;
+    let n_buckets = (duration_ns / bucket_ns + 1) as usize;
+    let mut bucket_lat = vec![0.0f64; n_buckets];
+    let mut bucket_n = vec![0u64; n_buckets];
+    let mut bucket_low = vec![0u64; n_buckets];
+
+    let mut guard = 0u64;
+    while let Some(std::cmp::Reverse((now, _, ev))) = heap.pop() {
+        guard += 1;
+        assert!(guard < 500_000_000, "simulation runaway");
+
+        match ev {
+            Ev::Issue { client, paced } => {
+                let quota_full = cfg
+                    .max_txns
+                    .map(|m| issued_total >= m)
+                    .unwrap_or(false);
+                // Only the paced stream re-schedules itself; backlog-drain
+                // issues must not spawn extra pacing chains.
+                if paced && now < duration_ns && !quota_full {
+                    push(
+                        &mut heap,
+                        now + interval_ns,
+                        Ev::Issue {
+                            client,
+                            paced: true,
+                        },
+                        &mut seq,
+                    );
+                }
+                if quota_full {
+                    continue;
+                }
+                if client_busy[client].is_some() {
+                    client_pending[client] += 1;
+                    continue;
+                }
+                issued_total += 1;
+                let req = workload.next_txn(client);
+                let (part, low) = spawn(dep);
+                let sess = Session::new(&part.il, &part.bp, req.entry, &req.args, cfg.costs)
+                    .expect("session construction");
+                let live = Live {
+                    sess,
+                    client,
+                    start_ns: now,
+                    req,
+                    low_budget: low,
+                };
+                let sid = match free_slots.pop() {
+                    Some(s) => {
+                        sessions[s] = Some(live);
+                        s
+                    }
+                    None => {
+                        sessions.push(Some(live));
+                        sessions.len() - 1
+                    }
+                };
+                client_busy[client] = Some(sid);
+                push(&mut heap, now, Ev::Ready { sid }, &mut seq);
+            }
+
+            Ev::Ready { sid } => {
+                let Some(live) = sessions[sid].as_mut() else {
+                    continue;
+                };
+                let step = live.sess.advance(engine);
+                // Harvest wake-ups from any commit/abort in this step.
+                for txn in live.sess.last_woken.clone() {
+                    if let Some(&wsid) = blocked.get(&txn) {
+                        blocked.remove(&txn);
+                        push(&mut heap, now + 10_000, Ev::Ready { sid: wsid }, &mut seq);
+                    }
+                }
+                match step {
+                    Advance::Cpu { host, cost } => {
+                        let pool = match host {
+                            Side::App => &mut app,
+                            Side::Db => &mut db,
+                        };
+                        let done = pool.schedule(now, cost);
+                        push(&mut heap, done, Ev::Ready { sid }, &mut seq);
+                    }
+                    Advance::Net { from, bytes, .. } => {
+                        let done = now + cfg.net.one_way_ns(bytes);
+                        if now >= warmup_ns && now < duration_ns {
+                            match from {
+                                Side::App => db_recv += bytes,
+                                Side::Db => db_sent += bytes,
+                            }
+                        }
+                        push(&mut heap, done, Ev::Ready { sid }, &mut seq);
+                    }
+                    Advance::DbOp {
+                        issued_from,
+                        db_cpu,
+                        req_bytes,
+                        resp_bytes,
+                    } => {
+                        let ready = if issued_from == Side::App {
+                            let arrive = now + cfg.net.one_way_ns(req_bytes);
+                            let served = db.schedule(arrive, db_cpu);
+                            if now >= warmup_ns && now < duration_ns {
+                                db_recv += req_bytes;
+                                db_sent += resp_bytes;
+                            }
+                            served + cfg.net.one_way_ns(resp_bytes)
+                        } else {
+                            db.schedule(now, db_cpu)
+                        };
+                        push(&mut heap, ready, Ev::Ready { sid }, &mut seq);
+                    }
+                    Advance::Blocked { txn } => {
+                        blocked.insert(txn, sid);
+                    }
+                    Advance::Deadlocked => {
+                        // Wait-die victim: restart the transaction.
+                        deadlock_restarts += 1;
+                        let (part, low) = spawn(dep);
+                        let req = live.req.clone();
+                        let fresh =
+                            Session::new(&part.il, &part.bp, req.entry, &req.args, cfg.costs)
+                                .expect("session construction");
+                        live.sess = fresh;
+                        live.low_budget = low;
+                        push(&mut heap, now + 1_000_000, Ev::Ready { sid }, &mut seq);
+                    }
+                    Advance::Finished => {
+                        let live = sessions[sid].take().expect("live session");
+                        free_slots.push(sid);
+                        let client = live.client;
+                        client_busy[client] = None;
+                        let lat_ms = (now - live.start_ns) as f64 / 1e6;
+                        completed_total += 1;
+                        if now >= warmup_ns && now < duration_ns {
+                            completed += 1;
+                            latencies_ms.push(lat_ms);
+                            if live.sess.rolled_back {
+                                rollbacks += 1;
+                            }
+                        }
+                        let b = ((now.min(duration_ns.saturating_sub(1))) / bucket_ns) as usize;
+                        if b < n_buckets {
+                            bucket_lat[b] += lat_ms;
+                            bucket_n[b] += 1;
+                            if live.low_budget {
+                                bucket_low[b] += 1;
+                            }
+                        }
+                        if client_pending[client] > 0 && now < duration_ns {
+                            client_pending[client] -= 1;
+                            push(
+                                &mut heap,
+                                now,
+                                Ev::Issue {
+                                    client,
+                                    paced: false,
+                                },
+                                &mut seq,
+                            );
+                        }
+                    }
+                    Advance::Error(e) => {
+                        panic!("session failed at t={}s: {e}", now as f64 / 1e9);
+                    }
+                }
+            }
+
+            Ev::Poll => {
+                let all_done = cfg
+                    .max_txns
+                    .map(|m| completed_total >= m)
+                    .unwrap_or(false);
+                if now < duration_ns && !all_done {
+                    push(&mut heap, now + poll_ns, Ev::Poll, &mut seq);
+                }
+                if let Deployment::Dynamic { monitor, .. } = dep {
+                    let own = db.instant_load_pct(now);
+                    monitor.observe((background_pct + own).min(100.0));
+                }
+                // Safety net against lost wake-ups: retry all blocked.
+                for (_, sid) in blocked.drain() {
+                    push(&mut heap, now, Ev::Ready { sid }, &mut seq);
+                }
+            }
+
+            Ev::WarmupDone => {
+                app.reset_window();
+                db.reset_window();
+            }
+
+            Ev::LoadChange { idx } => {
+                let le = cfg.load_events[idx];
+                db.set_cores(le.db_cores, now);
+                db.set_speed(le.speed_factor);
+                background_pct = le.background_pct;
+            }
+        }
+    }
+
+    let window_ns = duration_ns.saturating_sub(warmup_ns).max(1);
+    let window_s = window_ns as f64 / 1e9;
+    latencies_ms.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+    let avg = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        latencies_ms.iter().sum::<f64>() / latencies_ms.len() as f64
+    };
+    let p95 = if latencies_ms.is_empty() {
+        0.0
+    } else {
+        latencies_ms[((latencies_ms.len() - 1) as f64 * 0.95) as usize]
+    };
+
+    let timeline = (0..n_buckets)
+        .filter(|&b| bucket_n[b] > 0)
+        .map(|b| TimePoint {
+            t_s: (b as f64 + 0.5) * cfg.timeline_bucket_s,
+            avg_latency_ms: bucket_lat[b] / bucket_n[b] as f64,
+            completed: bucket_n[b],
+            low_budget_frac: bucket_low[b] as f64 / bucket_n[b] as f64,
+        })
+        .collect();
+
+    SimResult {
+        offered_tps: cfg.target_tps,
+        completed,
+        throughput_tps: completed as f64 / window_s,
+        avg_latency_ms: avg,
+        p95_latency_ms: p95,
+        db_cpu_pct: db.window_utilization_pct(window_ns),
+        app_cpu_pct: app.window_utilization_pct(window_ns),
+        db_recv_kbs: db_recv as f64 / 1000.0 / window_s,
+        db_sent_kbs: db_sent as f64 / 1000.0 / window_s,
+        deadlock_restarts,
+        rollbacks,
+        timeline,
+    }
+}

@@ -1,0 +1,30 @@
+//! # pyx-sim — virtual-time evaluation harness (testbed substitute)
+//!
+//! The paper evaluates Pyxis on two physical servers (16-core DB host,
+//! 8-core app host, 2 ms ping). This crate reproduces that environment as
+//! a deterministic discrete-event simulation:
+//!
+//! * client sessions are [`pyx_runtime::Session`]s — the *real* partitioned
+//!   programs executing against the *real* `pyx-db` engine (real queries,
+//!   real locks, real heap synchronization), not analytic approximations;
+//! * each VM event is priced onto finite-core server models ([`cpu`]) and
+//!   a latency/bandwidth network model;
+//! * lock waits suspend sessions until the engine's commit/abort wake
+//!   lists release them; wait-die victims restart their transaction;
+//! * the load-event schedule can withdraw DB cores mid-run (the paper's
+//!   "loaded up most of the CPUs", Fig. 11 / Fig. 14), and the dynamic
+//!   deployment switches partitions via the EWMA monitor (§6.3).
+//!
+//! One modelling simplification, documented here deliberately: a database
+//! statement's engine execution happens at *dispatch* time, with its
+//! network and CPU delays applied afterwards. Lock hold durations still
+//! span all those delays (commit happens later in virtual time), which is
+//! the effect the paper's throughput results depend on.
+
+pub mod cpu;
+pub mod driver;
+pub mod workload;
+
+pub use cpu::CpuPool;
+pub use driver::{run_sim, Deployment, LoadEvent, SimConfig, SimResult, TimePoint};
+pub use workload::{TxnRequest, Workload};

@@ -1,0 +1,329 @@
+//! End-to-end simulation tests: real partitioned programs under the
+//! virtual-time harness, checking the qualitative behaviours the paper's
+//! evaluation depends on.
+
+use pyx_analysis::{analyze, AnalysisConfig};
+use pyx_db::{ColTy, ColumnDef, Engine, Scalar, TableDef};
+use pyx_lang::compile;
+use pyx_partition::Placement;
+use pyx_pyxil::CompiledPartition;
+use pyx_runtime::monitor::LoadMonitor;
+use pyx_runtime::ArgVal;
+use pyx_sim::workload::FixedWorkload;
+use pyx_sim::{run_sim, Deployment, SimConfig, TxnRequest};
+
+/// A chatty transaction: 6 point queries + 2 updates — the shape that makes
+/// JDBC pay round trips.
+const SRC: &str = r#"
+    class Txn {
+        void run(int k) {
+            int acc = 0;
+            for (int i = 0; i < 6; i++) {
+                int key = (k + i * 7) % 100;
+                row[] rs = dbQuery("SELECT v FROM kv WHERE k = ?", key);
+                acc = acc + rs[0].getInt(0);
+            }
+            // Application logic: CPU-heavy digest chain. This is what makes
+            // the Manual deployment expensive on a constrained DB server.
+            for (int j = 0; j < 60; j++) { acc = sha1(acc + j); }
+            dbUpdate("UPDATE kv SET v = v + ? WHERE k = ?", 1, k % 100);
+            dbUpdate("UPDATE counters SET n = n + ? WHERE id = ?", 1, k % 4);
+        }
+    }
+"#;
+
+fn make_db() -> Engine {
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "kv",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Int),
+        ],
+        &["k"],
+    ));
+    db.create_table(TableDef::new(
+        "counters",
+        vec![
+            ColumnDef::new("id", ColTy::Int),
+            ColumnDef::new("n", ColTy::Int),
+        ],
+        &["id"],
+    ));
+    for i in 0..100 {
+        db.load_row("kv", vec![Scalar::Int(i), Scalar::Int(i)]);
+    }
+    for i in 0..4 {
+        db.load_row("counters", vec![Scalar::Int(i), Scalar::Int(0)]);
+    }
+    db
+}
+
+struct Setup {
+    jdbc: CompiledPartition,
+    manual: CompiledPartition,
+    entry: pyx_lang::MethodId,
+}
+
+fn setup() -> Setup {
+    let prog = compile(SRC).unwrap();
+    let analysis = analyze(&prog, AnalysisConfig::default());
+    let entry = prog.find_method("Txn", "run").unwrap();
+    let jdbc = CompiledPartition::build(&prog, &analysis, Placement::all_app(&prog), false);
+    let manual = CompiledPartition::build(&prog, &analysis, Placement::all_db(&prog), false);
+    Setup {
+        jdbc,
+        manual,
+        entry,
+    }
+}
+
+/// A rotating-key workload (some write contention on `counters`).
+struct Rotating {
+    entry: pyx_lang::MethodId,
+    n: i64,
+}
+
+impl pyx_sim::Workload for Rotating {
+    fn next_txn(&mut self, _client: usize) -> TxnRequest {
+        self.n += 1;
+        TxnRequest {
+            entry: self.entry,
+            args: vec![ArgVal::Int(self.n * 13 % 1000)],
+            label: "rotating",
+        }
+    }
+}
+
+fn run(setup_part: &CompiledPartition, entry: pyx_lang::MethodId, tps: f64) -> pyx_sim::SimResult {
+    let mut engine = make_db();
+    let mut wl = Rotating { entry, n: 0 };
+    let cfg = SimConfig {
+        duration_s: 20.0,
+        warmup_s: 2.0,
+        target_tps: tps,
+        ..SimConfig::default()
+    };
+    let mut dep = Deployment::Fixed(setup_part);
+    run_sim(&mut dep, &mut engine, &mut wl, &cfg)
+}
+
+#[test]
+fn manual_beats_jdbc_latency_with_spare_cpu() {
+    let s = setup();
+    let jdbc = run(&s.jdbc, s.entry, 50.0);
+    let manual = run(&s.manual, s.entry, 50.0);
+    // 8 round trips at 2 ms RTT ≈ 16 ms for JDBC; Manual ≈ 1 transfer pair.
+    assert!(
+        jdbc.avg_latency_ms > 2.0 * manual.avg_latency_ms,
+        "jdbc {:.2} ms vs manual {:.2} ms",
+        jdbc.avg_latency_ms,
+        manual.avg_latency_ms
+    );
+    // Both serve the offered load when unsaturated.
+    assert!(jdbc.throughput_tps > 40.0, "{}", jdbc.throughput_tps);
+    assert!(manual.throughput_tps > 45.0, "{}", manual.throughput_tps);
+}
+
+#[test]
+fn manual_loads_db_cpu_more_than_jdbc() {
+    let s = setup();
+    let jdbc = run(&s.jdbc, s.entry, 50.0);
+    let manual = run(&s.manual, s.entry, 50.0);
+    assert!(
+        manual.db_cpu_pct > jdbc.db_cpu_pct,
+        "manual {:.2}% vs jdbc {:.2}%",
+        manual.db_cpu_pct,
+        jdbc.db_cpu_pct
+    );
+    // JDBC sends more network traffic to the DB (per-statement round
+    // trips) than Manual (one batched transfer per transaction).
+    assert!(
+        jdbc.db_recv_kbs > manual.db_recv_kbs,
+        "jdbc {:.2} KB/s vs manual {:.2} KB/s",
+        jdbc.db_recv_kbs,
+        manual.db_recv_kbs
+    );
+}
+
+#[test]
+fn jdbc_latency_flat_as_load_grows_until_saturation() {
+    let s = setup();
+    let lo = run(&s.jdbc, s.entry, 20.0);
+    let hi = run(&s.jdbc, s.entry, 200.0);
+    // Well under saturation, latency barely moves.
+    assert!(
+        hi.avg_latency_ms < lo.avg_latency_ms * 2.0,
+        "lo {:.2}, hi {:.2}",
+        lo.avg_latency_ms,
+        hi.avg_latency_ms
+    );
+}
+
+#[test]
+fn throughput_saturates_when_clients_are_busy() {
+    let s = setup();
+    // 20 clients, JDBC latency ≈ 17 ms ⇒ ceiling ≈ 20/0.017 ≈ 1170 tps;
+    // offered 5000 tps must saturate well below the target.
+    let r = run(&s.jdbc, s.entry, 5000.0);
+    assert!(
+        r.throughput_tps < 2000.0,
+        "client-limited throughput, got {:.0}",
+        r.throughput_tps
+    );
+    assert!(r.throughput_tps > 300.0, "got {:.0}", r.throughput_tps);
+}
+
+#[test]
+fn withdrawing_db_cores_slows_manual_more_than_jdbc() {
+    let s = setup();
+    let run_limited = |part: &CompiledPartition| {
+        let mut engine = make_db();
+        let mut wl = Rotating { entry: s.entry, n: 0 };
+        let cfg = SimConfig {
+            duration_s: 20.0,
+            warmup_s: 2.0,
+            target_tps: 900.0,
+            db_cores: 1,
+            ..SimConfig::default()
+        };
+        let mut dep = Deployment::Fixed(part);
+        run_sim(&mut dep, &mut engine, &mut wl, &cfg)
+    };
+    let jdbc = run_limited(&s.jdbc);
+    let manual = run_limited(&s.manual);
+    // With one DB core and high offered load, Manual saturates the DB and
+    // falls behind JDBC — the paper's Fig. 10 crossover.
+    assert!(
+        manual.throughput_tps < jdbc.throughput_tps,
+        "manual {:.0} tps vs jdbc {:.0} tps",
+        manual.throughput_tps,
+        jdbc.throughput_tps
+    );
+}
+
+#[test]
+fn dynamic_deployment_switches_under_load_change() {
+    let s = setup();
+    let mut engine = make_db();
+    let mut wl = Rotating { entry: s.entry, n: 0 };
+    let cfg = SimConfig {
+        duration_s: 120.0,
+        warmup_s: 5.0,
+        target_tps: 400.0,
+        poll_s: 2.0,
+        timeline_bucket_s: 10.0,
+        // External tenant grabs 15 of 16 DB cores at t = 60 s.
+        load_events: vec![pyx_sim::LoadEvent {
+            t_s: 60.0,
+            db_cores: 1,
+            background_pct: 95.0,
+            speed_factor: 0.5,
+        }],
+        ..SimConfig::default()
+    };
+    let mut dep = Deployment::Dynamic {
+        high: &s.manual,
+        low: &s.jdbc,
+        monitor: LoadMonitor::paper_defaults(),
+    };
+    let r = run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+    // Early buckets run high-budget; after the load change the monitor
+    // must shift to the low-budget (JDBC-like) partition.
+    let early: Vec<&pyx_sim::TimePoint> =
+        r.timeline.iter().filter(|p| p.t_s < 50.0).collect();
+    let late: Vec<&pyx_sim::TimePoint> =
+        r.timeline.iter().filter(|p| p.t_s > 90.0).collect();
+    assert!(!early.is_empty() && !late.is_empty());
+    let early_low = early.iter().map(|p| p.low_budget_frac).sum::<f64>() / early.len() as f64;
+    let late_low = late.iter().map(|p| p.low_budget_frac).sum::<f64>() / late.len() as f64;
+    assert!(
+        early_low < 0.2,
+        "before load: mostly high-budget, got {early_low:.2}"
+    );
+    assert!(
+        late_low > 0.8,
+        "after load: mostly low-budget, got {late_low:.2}"
+    );
+}
+
+#[test]
+fn deterministic_given_same_inputs() {
+    let s = setup();
+    let a = run(&s.jdbc, s.entry, 80.0);
+    let b = run(&s.jdbc, s.entry, 80.0);
+    assert_eq!(a.completed, b.completed);
+    assert!((a.avg_latency_ms - b.avg_latency_ms).abs() < 1e-9);
+}
+
+#[test]
+fn fixed_workload_type_runs() {
+    let s = setup();
+    let mut engine = make_db();
+    let mut wl = FixedWorkload {
+        request: TxnRequest {
+            entry: s.entry,
+            args: vec![ArgVal::Int(5)],
+            label: "fixed",
+        },
+    };
+    let cfg = SimConfig {
+        duration_s: 5.0,
+        warmup_s: 1.0,
+        target_tps: 10.0,
+        ..SimConfig::default()
+    };
+    let mut dep = Deployment::Fixed(&s.jdbc);
+    let r = run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+    assert!(r.completed > 20);
+    assert_eq!(r.deadlock_restarts, 0);
+}
+
+#[test]
+fn max_txns_caps_the_run() {
+    let s = setup();
+    let mut engine = make_db();
+    let mut wl = Rotating { entry: s.entry, n: 0 };
+    let cfg = SimConfig {
+        duration_s: 1000.0,
+        warmup_s: 0.0,
+        target_tps: 50.0,
+        clients: 1,
+        max_txns: Some(3),
+        ..SimConfig::default()
+    };
+    let mut dep = Deployment::Fixed(&s.manual);
+    let r = run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+    assert_eq!(r.completed, 3);
+}
+
+#[test]
+fn speed_factor_slows_completion() {
+    let s = setup();
+    let one_shot = |speed: f64| {
+        let mut engine = make_db();
+        let mut wl = Rotating { entry: s.entry, n: 0 };
+        let cfg = SimConfig {
+            duration_s: 1000.0,
+            warmup_s: 0.0,
+            target_tps: 1.0,
+            clients: 1,
+            max_txns: Some(1),
+            load_events: vec![pyx_sim::LoadEvent {
+                t_s: 0.0,
+                db_cores: 16,
+                background_pct: 0.0,
+                speed_factor: speed,
+            }],
+            ..SimConfig::default()
+        };
+        let mut dep = Deployment::Fixed(&s.manual);
+        run_sim(&mut dep, &mut engine, &mut wl, &cfg).avg_latency_ms
+    };
+    let fast = one_shot(1.0);
+    let slow = one_shot(0.1);
+    assert!(
+        slow > 3.0 * fast,
+        "10x DB slowdown must slow the DB-heavy deployment: {fast:.2} vs {slow:.2}"
+    );
+}

@@ -1,0 +1,21 @@
+//! # pyx-workloads — the paper's evaluation workloads, in PyxLang
+//!
+//! Everything §7 runs:
+//!
+//! * [`tpcc`] — a TPC-C new-order implementation (the transaction the
+//!   paper's TPC-C experiments drive), with schema, loader, and a
+//!   generator producing the official key distributions (including the
+//!   10% programmed rollbacks),
+//! * [`tpcw`] — a TPC-W browsing-mix subset (home, product detail, new
+//!   products, best sellers, search, and the DB-free order-inquiry
+//!   interaction the paper calls out),
+//! * [`micro`] — microbenchmark 1 (linked-list VM overhead, §7.3) and
+//!   microbenchmark 2 (queries + SHA1 + queries under different budgets,
+//!   §7.4 / Fig. 14).
+//!
+//! All transaction programs are written in PyxLang and partitioned by the
+//! real pipeline — nothing here is hand-placed.
+
+pub mod micro;
+pub mod tpcc;
+pub mod tpcw;

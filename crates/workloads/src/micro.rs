@@ -1,0 +1,222 @@
+//! Microbenchmarks 1 and 2 (§7.3, §7.4).
+//!
+//! **Micro 1** — linked-list construction and traversal, everything placed
+//! on one host: measures the Pyxis execution-block VM's bookkeeping
+//! overhead against direct interpretation (the paper reports ~6× versus
+//! native Java).
+//!
+//! **Micro 2** — `nq` point selects, then `ns` SHA-1 digests, then `nq`
+//! more selects (paper: 100k / 500k / 100k). Three natural partitions
+//! exist: all-APP (low budget), queries-on-DB + compute-on-APP (middle
+//! budget — the one a developer hand-writing two extreme versions would
+//! miss), and all-DB (high budget). Fig. 14 measures all three under three
+//! real server loads.
+
+use pyx_db::{ColTy, ColumnDef, Engine, Scalar, TableDef};
+use pyx_lang::MethodId;
+
+/// Micro 1: linked list (single-host VM overhead).
+pub const MICRO1_SRC: &str = r#"
+    class Node {
+        int val;
+        Node next;
+    }
+    class Micro1 {
+        int run(int n) {
+            Node head = null;
+            for (int i = 0; i < n; i++) {
+                Node x = new Node();
+                x.val = i;
+                x.next = head;
+                head = x;
+            }
+            int sum = 0;
+            Node cur = head;
+            while (cur != null) {
+                sum = sum + cur.val;
+                cur = cur.next;
+            }
+            return sum;
+        }
+    }
+"#;
+
+/// Micro 2: queries — compute — queries.
+pub const MICRO2_SRC: &str = r#"
+    class Micro2 {
+        int run(int nq1, int nsha, int nq2) {
+            int acc = 0;
+            for (int i = 0; i < nq1; i++) {
+                row[] r = dbQuery("SELECT v FROM mt WHERE k = ?", i % 100);
+                acc = acc + r[0].getInt(0);
+            }
+            for (int j = 0; j < nsha; j++) {
+                acc = sha1(acc + j);
+            }
+            for (int i = 0; i < nq2; i++) {
+                row[] r = dbQuery("SELECT v FROM mt WHERE k = ?", (i + 50) % 100);
+                acc = acc + r[0].getInt(0);
+            }
+            return acc;
+        }
+    }
+"#;
+
+/// Create + load the tiny table micro 2 queries.
+pub fn micro2_db() -> Engine {
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "mt",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Int),
+        ],
+        &["k"],
+    ));
+    for k in 0..100 {
+        db.load_row("mt", vec![Scalar::Int(k), Scalar::Int(k * 3)]);
+    }
+    db
+}
+
+/// Compiled micro1 environment.
+pub fn micro1_setup() -> (pyx_core::Pyxis, MethodId) {
+    let pyxis = pyx_core::Pyxis::compile(MICRO1_SRC, pyx_core::PyxisConfig::default())
+        .expect("micro1 compiles");
+    let entry = pyxis.entry("Micro1", "run").expect("entry");
+    (pyxis, entry)
+}
+
+/// Compiled micro2 environment.
+pub fn micro2_setup() -> (pyx_core::Pyxis, Engine, MethodId) {
+    let pyxis = pyx_core::Pyxis::compile(MICRO2_SRC, pyx_core::PyxisConfig::default())
+        .expect("micro2 compiles");
+    let entry = pyxis.entry("Micro2", "run").expect("entry");
+    (pyxis, micro2_db(), entry)
+}
+
+/// Native-Rust reference for micro 1 (the "native Java" baseline): same
+/// allocation and traversal pattern, idiomatic Rust.
+pub fn micro1_native(n: i64) -> i64 {
+    struct Node {
+        val: i64,
+        next: Option<Box<Node>>,
+    }
+    let mut head: Option<Box<Node>> = None;
+    for i in 0..n {
+        head = Some(Box::new(Node {
+            val: i,
+            next: head.take(),
+        }));
+    }
+    let mut sum = 0;
+    let mut cur = head.as_deref();
+    while let Some(node) = cur {
+        sum += node.val;
+        cur = node.next.as_deref();
+    }
+    sum
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyx_lang::Value;
+    use pyx_profile::{Interp, NullTracer};
+
+    #[test]
+    fn micro1_interp_matches_native() {
+        let (pyxis, entry) = micro1_setup();
+        let mut db = Engine::new();
+        let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+        let r = it
+            .call_entry(entry, vec![Value::Int(500)])
+            .unwrap()
+            .unwrap();
+        assert_eq!(r, Value::Int(micro1_native(500)));
+        assert_eq!(micro1_native(500), 500 * 499 / 2);
+    }
+
+    #[test]
+    fn micro2_runs_and_is_deterministic() {
+        let (pyxis, mut db, entry) = micro2_setup();
+        let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+        let a = it
+            .call_entry(
+                entry,
+                vec![Value::Int(50), Value::Int(20), Value::Int(50)],
+            )
+            .unwrap()
+            .unwrap();
+        let mut db2 = micro2_db();
+        let mut it2 = Interp::new(&pyxis.prog, &mut db2, NullTracer);
+        let b = it2
+            .call_entry(
+                entry,
+                vec![Value::Int(50), Value::Int(20), Value::Int(50)],
+            )
+            .unwrap()
+            .unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn micro2_middle_partition_emerges_from_budget() {
+        // Profile micro2, then solve with three budgets; the middle budget
+        // must put the query loops on the DB and the SHA-1 loop on APP.
+        let (pyxis, mut db, entry) = micro2_setup();
+        let profile = pyxis
+            .profile(
+                &mut db,
+                vec![(
+                    entry,
+                    vec![
+                        pyx_runtime::ArgVal::Int(40),
+                        pyx_runtime::ArgVal::Int(200),
+                        pyx_runtime::ArgVal::Int(40),
+                    ],
+                )],
+            )
+            .unwrap();
+        let graph = pyxis.graph(&profile);
+
+        let low = pyxis.partition(&graph, 0.0);
+        assert_eq!(low.db_fraction(), 0.0, "low budget → all APP");
+
+        let high = pyxis.partition(&graph, 2.0);
+        assert!(high.db_fraction() > 0.8, "high budget → essentially all DB");
+
+        // Middle: enough for the query loops (~2×40×5 stmts) but not the
+        // SHA loop (200×3 stmts).
+        let mid = pyxis.partition(&graph, 0.45);
+        let frac = mid.db_fraction();
+        assert!(
+            frac > 0.15 && frac < 0.85,
+            "middle budget should split, db_fraction {frac}"
+        );
+        // The sha1 statements specifically must be on APP.
+        let mut sha_on_app = true;
+        pyxis.prog.for_each_stmt(|_, s| {
+            if let pyx_lang::NStmtKind::Builtin {
+                f: pyx_lang::Builtin::Sha1,
+                ..
+            } = &s.kind
+            {
+                sha_on_app &= mid.side_of_stmt(s.id) == pyx_partition::Side::App;
+            }
+        });
+        assert!(sha_on_app, "SHA-1 loop belongs on the app server");
+        // And the db queries on the DB.
+        let mut q_on_db = true;
+        pyxis.prog.for_each_stmt(|_, s| {
+            if let pyx_lang::NStmtKind::Builtin {
+                f: pyx_lang::Builtin::DbQuery,
+                ..
+            } = &s.kind
+            {
+                q_on_db &= mid.side_of_stmt(s.id) == pyx_partition::Side::Db;
+            }
+        });
+        assert!(q_on_db, "query loops belong on the DB server");
+    }
+}

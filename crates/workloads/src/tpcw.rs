@@ -1,0 +1,338 @@
+//! TPC-W browsing-mix subset in PyxLang (§7.2).
+//!
+//! Six web interactions with the data-access shapes of TPC-W: `home`,
+//! `productDetail`, `newProducts`, `bestSellers`, and `searchBySubject`
+//! issue one-to-a-dozen queries each (author lookups are app-side joins,
+//! which is what makes per-statement JDBC chatty), while `orderInquiry`
+//! touches no database at all — the interaction the paper highlights
+//! because Pyxis correctly leaves it on the application server even with a
+//! generous budget.
+//!
+//! The database holds 10,000 items (paper: 10,000 items, ~1 GB); weights
+//! approximate the TPC-W browsing mix.
+
+use pyx_db::{ColTy, ColumnDef, Engine, Scalar, TableDef};
+use pyx_lang::MethodId;
+use pyx_runtime::ArgVal;
+use pyx_sim::{TxnRequest, Workload};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+pub const SRC: &str = r#"
+    class TpcW {
+        int home(int cId) {
+            row[] cr = dbQuery("SELECT c_name FROM customer WHERE c_id = ?", cId);
+            string page = "<h1>Welcome " + cr[0].getStr(0) + "</h1>";
+            for (int i = 0; i < 5; i++) {
+                int promo = (cId * 31 + i * 97) % 10000 + 1;
+                row[] ir = dbQuery("SELECT i_title FROM item WHERE i_id = ?", promo);
+                page = page + "<a>" + ir[0].getStr(0) + "</a>";
+            }
+            return strLen(page);
+        }
+
+        int productDetail(int iId) {
+            row[] ir = dbQuery("SELECT i_title, i_a_id, i_cost, i_related FROM item WHERE i_id = ?", iId);
+            row[] ar = dbQuery("SELECT a_name FROM author WHERE a_id = ?", ir[0].getInt(1));
+            string page = "<h2>" + ir[0].getStr(0) + "</h2>by " + ar[0].getStr(0);
+            int rel = ir[0].getInt(3);
+            for (int i = 0; i < 4; i++) {
+                row[] rr = dbQuery("SELECT i_title FROM item WHERE i_id = ?", (rel + i) % 10000 + 1);
+                page = page + "<rel>" + rr[0].getStr(0) + "</rel>";
+            }
+            return strLen(page);
+        }
+
+        int newProducts(string subject) {
+            row[] items = dbQuery("SELECT i_id, i_title, i_a_id FROM item WHERE i_subject = ? ORDER BY i_pub_date DESC LIMIT 10", subject);
+            string page = "<h2>New</h2>";
+            for (row it : items) {
+                row[] ar = dbQuery("SELECT a_name FROM author WHERE a_id = ?", it.getInt(2));
+                page = page + it.getStr(1) + " by " + ar[0].getStr(0);
+            }
+            return strLen(page);
+        }
+
+        int bestSellers(string subject) {
+            row[] items = dbQuery("SELECT i_id, i_title, i_a_id FROM item WHERE i_subject = ? ORDER BY i_total_sold DESC LIMIT 10", subject);
+            string page = "<h2>Best</h2>";
+            for (row it : items) {
+                row[] ar = dbQuery("SELECT a_name FROM author WHERE a_id = ?", it.getInt(2));
+                page = page + it.getStr(1) + " by " + ar[0].getStr(0);
+            }
+            return strLen(page);
+        }
+
+        int searchBySubject(string subject) {
+            row[] items = dbQuery("SELECT i_title, i_cost FROM item WHERE i_subject = ? ORDER BY i_cost LIMIT 10", subject);
+            string page = "<h2>Results</h2>";
+            for (row it : items) {
+                page = page + it.getStr(0);
+            }
+            return strLen(page);
+        }
+
+        int orderInquiry(int cId) {
+            // Pure page generation — no database interaction. Pyxis should
+            // leave this entirely on the application server.
+            string page = "<form>";
+            for (int i = 0; i < 20; i++) {
+                page = page + "<field id=" + intToStr(cId * 100 + i) + "/>";
+            }
+            page = page + "</form>";
+            return strLen(page);
+        }
+    }
+"#;
+
+/// Scale parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcwScale {
+    pub items: i64,
+    pub authors: i64,
+    pub customers: i64,
+    pub subjects: i64,
+}
+
+impl Default for TpcwScale {
+    fn default() -> Self {
+        TpcwScale {
+            items: 10_000,
+            authors: 500,
+            customers: 1000,
+            subjects: 24,
+        }
+    }
+}
+
+pub fn create_schema(db: &mut Engine) {
+    db.create_table(
+        TableDef::new(
+            "item",
+            vec![
+                ColumnDef::new("i_id", ColTy::Int),
+                ColumnDef::new("i_title", ColTy::Str),
+                ColumnDef::new("i_subject", ColTy::Str),
+                ColumnDef::new("i_a_id", ColTy::Int),
+                ColumnDef::new("i_cost", ColTy::Double),
+                ColumnDef::new("i_total_sold", ColTy::Int),
+                ColumnDef::new("i_pub_date", ColTy::Int),
+                ColumnDef::new("i_related", ColTy::Int),
+            ],
+            &["i_id"],
+        )
+        .with_index("i_subject"),
+    );
+    db.create_table(TableDef::new(
+        "author",
+        vec![
+            ColumnDef::new("a_id", ColTy::Int),
+            ColumnDef::new("a_name", ColTy::Str),
+        ],
+        &["a_id"],
+    ));
+    db.create_table(TableDef::new(
+        "customer",
+        vec![
+            ColumnDef::new("c_id", ColTy::Int),
+            ColumnDef::new("c_name", ColTy::Str),
+        ],
+        &["c_id"],
+    ));
+}
+
+pub fn load(db: &mut Engine, scale: TpcwScale, seed: u64) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    for a in 1..=scale.authors {
+        db.load_row(
+            "author",
+            vec![Scalar::Int(a), Scalar::Str(format!("author{a}").into())],
+        );
+    }
+    for c in 1..=scale.customers {
+        db.load_row(
+            "customer",
+            vec![Scalar::Int(c), Scalar::Str(format!("cust{c}").into())],
+        );
+    }
+    for i in 1..=scale.items {
+        let subject = format!("subj{}", rng.random_range(0..scale.subjects));
+        db.load_row(
+            "item",
+            vec![
+                Scalar::Int(i),
+                Scalar::Str(format!("Title of Book {i}").into()),
+                Scalar::Str(subject.into()),
+                Scalar::Int(rng.random_range(1..=scale.authors)),
+                Scalar::Double(rng.random_range(5.0..120.0)),
+                Scalar::Int(rng.random_range(0..100_000)),
+                Scalar::Int(rng.random_range(0..10_000)),
+                Scalar::Int(rng.random_range(0..scale.items)),
+            ],
+        );
+    }
+}
+
+/// Entry points for the six interactions.
+#[derive(Debug, Clone, Copy)]
+pub struct TpcwEntries {
+    pub home: MethodId,
+    pub product_detail: MethodId,
+    pub new_products: MethodId,
+    pub best_sellers: MethodId,
+    pub search: MethodId,
+    pub order_inquiry: MethodId,
+}
+
+impl TpcwEntries {
+    pub fn find(prog: &pyx_lang::NirProgram) -> TpcwEntries {
+        let get = |n: &str| prog.find_method("TpcW", n).expect("tpcw entry");
+        TpcwEntries {
+            home: get("home"),
+            product_detail: get("productDetail"),
+            new_products: get("newProducts"),
+            best_sellers: get("bestSellers"),
+            search: get("searchBySubject"),
+            order_inquiry: get("orderInquiry"),
+        }
+    }
+}
+
+/// Browsing-mix generator (weights approximating TPC-W's browsing mix).
+pub struct BrowsingMix {
+    pub entries: TpcwEntries,
+    scale: TpcwScale,
+    rng: StdRng,
+}
+
+impl BrowsingMix {
+    pub fn new(entries: TpcwEntries, scale: TpcwScale, seed: u64) -> Self {
+        BrowsingMix {
+            entries,
+            scale,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn subject(&mut self) -> String {
+        format!("subj{}", self.rng.random_range(0..self.scale.subjects))
+    }
+}
+
+impl Workload for BrowsingMix {
+    fn next_txn(&mut self, _client: usize) -> TxnRequest {
+        let roll = self.rng.random_range(0..100);
+        let cid = self.rng.random_range(1..=self.scale.customers);
+        let iid = self.rng.random_range(1..=self.scale.items);
+        if roll < 29 {
+            TxnRequest {
+                entry: self.entries.home,
+                args: vec![ArgVal::Int(cid)],
+                label: "home",
+            }
+        } else if roll < 50 {
+            TxnRequest {
+                entry: self.entries.product_detail,
+                args: vec![ArgVal::Int(iid)],
+                label: "product-detail",
+            }
+        } else if roll < 61 {
+            TxnRequest {
+                entry: self.entries.new_products,
+                args: vec![ArgVal::Str(self.subject())],
+                label: "new-products",
+            }
+        } else if roll < 72 {
+            TxnRequest {
+                entry: self.entries.best_sellers,
+                args: vec![ArgVal::Str(self.subject())],
+                label: "best-sellers",
+            }
+        } else if roll < 95 {
+            TxnRequest {
+                entry: self.entries.search,
+                args: vec![ArgVal::Str(self.subject())],
+                label: "search",
+            }
+        } else {
+            TxnRequest {
+                entry: self.entries.order_inquiry,
+                args: vec![ArgVal::Int(cid)],
+                label: "order-inquiry",
+            }
+        }
+    }
+}
+
+/// Fully prepared TPC-W environment.
+pub fn setup(scale: TpcwScale, seed: u64) -> (pyx_core::Pyxis, Engine, TpcwEntries) {
+    let pyxis = pyx_core::Pyxis::compile(SRC, pyx_core::PyxisConfig::default())
+        .expect("TPC-W source compiles");
+    let mut db = Engine::new();
+    create_schema(&mut db);
+    load(&mut db, scale, seed);
+    let entries = TpcwEntries::find(&pyxis.prog);
+    (pyxis, db, entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pyx_lang::Value;
+    use pyx_profile::{Interp, NullTracer};
+
+    fn small() -> TpcwScale {
+        TpcwScale {
+            items: 500,
+            authors: 50,
+            customers: 100,
+            subjects: 8,
+        }
+    }
+
+    #[test]
+    fn all_interactions_run() {
+        // The promo/related arithmetic in the PyxLang source assumes the
+        // full 10,000-item catalogue, so use the default scale here.
+        let (pyxis, mut db, e) = setup(TpcwScale::default(), 3);
+        let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+        for (entry, args) in [
+            (e.home, vec![Value::Int(5)]),
+            (e.product_detail, vec![Value::Int(17)]),
+            (e.new_products, vec![Value::Str("subj1".into())]),
+            (e.best_sellers, vec![Value::Str("subj2".into())]),
+            (e.search, vec![Value::Str("subj3".into())]),
+            (e.order_inquiry, vec![Value::Int(9)]),
+        ] {
+            let r = it.call_entry(entry, args).expect("interaction runs");
+            match r {
+                Some(Value::Int(n)) => assert!(n > 0, "page length {n}"),
+                other => panic!("{other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn browsing_mix_distribution() {
+        let (_, _, e) = setup(small(), 3);
+        let mut mix = BrowsingMix::new(e, small(), 11);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            let r = mix.next_txn(0);
+            *counts.entry(r.label).or_insert(0u32) += 1;
+        }
+        assert!(counts["home"] > 400);
+        assert!(counts["product-detail"] > 250);
+        assert!(counts["order-inquiry"] > 40);
+        assert_eq!(counts.len(), 6);
+    }
+
+    #[test]
+    fn order_inquiry_touches_no_tables() {
+        let (pyxis, mut db, e) = setup(small(), 3);
+        let before = db.stats.statements;
+        let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+        it.call_entry(e.order_inquiry, vec![Value::Int(1)]).unwrap();
+        assert_eq!(db.stats.statements, before, "no SQL issued");
+    }
+}

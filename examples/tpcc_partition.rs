@@ -1,0 +1,78 @@
+//! Partition and race the TPC-C new-order transaction — a miniature of the
+//! paper's §7.1 experiment.
+//!
+//! ```sh
+//! cargo run --release --example tpcc_partition
+//! ```
+//!
+//! Builds the three deployments (JDBC, Manual, Pyxis@high-budget), runs
+//! each for 10 simulated seconds at 400 tx/s on a 16-core virtual DB
+//! server, and prints latency / throughput / CPU / network side by side.
+
+use pyxis::sim::{Deployment, SimConfig};
+use pyxis::workloads::tpcc;
+
+fn main() {
+    let scale = tpcc::TpccScale::default();
+    let seed = 42;
+    let (pyxis, mut scratch, entry) = tpcc::setup(scale, seed);
+
+    // Profile 300 generated transactions.
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, seed);
+    let profile = pyxis
+        .profile(
+            &mut scratch,
+            (0..300).map(|i| {
+                let r = pyxis::sim::Workload::next_txn(&mut gen, i);
+                (r.entry, r.args)
+            }),
+        )
+        .expect("profiling");
+
+    let set = pyxis.generate(&profile, &[2.0]);
+    let (_, placement, _) = &set.pyxis[0];
+    println!("Pyxis placement: {}", pyxis.describe_placement(placement));
+
+    // 80 tx/s keeps even the chatty JDBC deployment under its client
+    // ceiling, so the latency comparison is load-independent. Server and
+    // network speeds use the calibration from `pyx_bench::scenarios`.
+    let cfg = SimConfig {
+        duration_s: 10.0,
+        warmup_s: 1.0,
+        target_tps: 80.0,
+        clients: 20,
+        app_cores: 8,
+        db_cores: 16,
+        app_ips: 1_000_000_000,
+        db_ips: 100_000_000,
+        net: pyxis::runtime::NetModel {
+            rtt_ns: 1_000_000,
+            bw_bytes_per_s: 125_000_000,
+        },
+        ..SimConfig::default()
+    };
+
+    println!("\ndeployment    latency_ms  p95_ms  tput_tps  db_cpu%  db_recv_kb/s  rollbacks");
+    for (name, part) in [
+        ("jdbc", &set.jdbc),
+        ("manual", &set.manual),
+        ("pyxis", &set.pyxis[0].2),
+    ] {
+        let mut db = pyxis::db::Engine::new();
+        tpcc::create_schema(&mut db);
+        tpcc::load(&mut db, scale, seed);
+        let mut wl = tpcc::NewOrderGen::new(entry, scale, 1000);
+        let mut dep = Deployment::Fixed(part);
+        let r = pyxis::sim::run_sim(&mut dep, &mut db, &mut wl, &cfg);
+        println!(
+            "{name:<12}  {:>9.2}  {:>6.2}  {:>8.0}  {:>6.1}  {:>12.0}  {:>9}",
+            r.avg_latency_ms,
+            r.p95_latency_ms,
+            r.throughput_tps,
+            r.db_cpu_pct,
+            r.db_recv_kbs,
+            r.rollbacks
+        );
+    }
+    println!("\nexpected shape: pyxis ≈ manual, both ~3-4x lower latency than jdbc (paper Fig. 9)");
+}

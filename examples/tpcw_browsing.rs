@@ -1,0 +1,58 @@
+//! TPC-W browsing mix (§7.2) in miniature.
+//!
+//! ```sh
+//! cargo run --release --example tpcw_browsing
+//! ```
+//!
+//! Partitions the six-interaction TPC-W subset with a generous budget and
+//! shows the placement the solver picks per interaction — in particular
+//! that the DB-free `orderInquiry` interaction stays on the application
+//! server even though the budget would allow pushing it to the DB
+//! (paper: "the optimal decision, also found by Pyxis").
+
+use pyxis::partition::Side;
+use pyxis::workloads::tpcw;
+
+fn main() {
+    let scale = tpcw::TpcwScale::default();
+    let (pyxis, mut scratch, entries) = tpcw::setup(scale, 5);
+    let mut mix = tpcw::BrowsingMix::new(entries, scale, 5);
+    let profile = pyxis
+        .profile(
+            &mut scratch,
+            (0..300).map(|i| {
+                let r = pyxis::sim::Workload::next_txn(&mut mix, i);
+                (r.entry, r.args)
+            }),
+        )
+        .expect("profiling");
+
+    let graph = pyxis.graph(&profile);
+    let placement = pyxis.partition(&graph, 2.0);
+    println!(
+        "high-budget placement: {}",
+        pyxis.describe_placement(&placement)
+    );
+
+    println!("\ninteraction        stmts  on_db  on_app");
+    for m in &pyxis.prog.methods {
+        // Entry methods only (the six interactions).
+        if pyxis.analysis.call_sites.contains_key(&m.id) || m.body.is_empty() {
+            continue;
+        }
+        let mut db = 0;
+        let mut app = 0;
+        pyxis.prog.for_each_stmt(|mm, s| {
+            if mm == m.id {
+                match placement.side_of_stmt(s.id) {
+                    Side::Db => db += 1,
+                    Side::App => app += 1,
+                }
+            }
+        });
+        println!("{:<18} {:>5}  {:>5}  {:>6}", m.name, db + app, db, app);
+    }
+    println!(
+        "\nexpected: query-heavy interactions mostly on the DB; orderInquiry entirely on APP"
+    );
+}

@@ -1,0 +1,178 @@
+//! `pyxc` — command-line front end for the Pyxis pipeline.
+//!
+//! ```text
+//! pyxc [--budget F] [--no-reorder] [--exact] [--profile-entry Class::method arg...] FILE.pyx
+//! ```
+//!
+//! Compiles a PyxLang source file, runs the static analyses, profiles it
+//! (if an entry with scalar arguments is given; otherwise uses a uniform
+//! static profile), solves the placement for the given budget fraction,
+//! and prints the PyxIL program with `:APP:`/`:DB:` placements and sync
+//! operations — the paper's Fig. 3 view of your program.
+
+use pyxis::core::{Pyxis, PyxisConfig};
+use pyxis::db::Engine;
+use pyxis::partition::SolverKind;
+use pyxis::profile::Profile;
+use pyxis::runtime::ArgVal;
+use std::process::ExitCode;
+
+struct Opts {
+    budget: f64,
+    reorder: bool,
+    exact: bool,
+    entry: Option<(String, String, Vec<ArgVal>)>,
+    file: String,
+}
+
+fn parse_args() -> Result<Opts, String> {
+    let mut args = std::env::args().skip(1).peekable();
+    let mut opts = Opts {
+        budget: 1.0,
+        reorder: true,
+        exact: false,
+        entry: None,
+        file: String::new(),
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--budget" => {
+                let v = args.next().ok_or("--budget needs a value")?;
+                opts.budget = v.parse().map_err(|_| format!("bad budget `{v}`"))?;
+            }
+            "--no-reorder" => opts.reorder = false,
+            "--exact" => opts.exact = true,
+            "--profile-entry" => {
+                let spec = args.next().ok_or("--profile-entry needs Class::method")?;
+                let (class, method) = spec
+                    .split_once("::")
+                    .ok_or("entry must be Class::method")?;
+                let mut argv = Vec::new();
+                while let Some(next) = args.peek() {
+                    if next.starts_with("--") || next.ends_with(".pyx") {
+                        break;
+                    }
+                    let raw = args.next().expect("peeked");
+                    argv.push(parse_arg(&raw)?);
+                }
+                opts.entry = Some((class.to_string(), method.to_string(), argv));
+            }
+            "--help" | "-h" => {
+                return Err("usage: pyxc [--budget F] [--no-reorder] [--exact] \
+                     [--profile-entry Class::method arg...] FILE.pyx"
+                    .to_string())
+            }
+            f if !f.starts_with("--") => opts.file = f.to_string(),
+            other => return Err(format!("unknown flag `{other}`")),
+        }
+    }
+    if opts.file.is_empty() {
+        return Err("no input file (try --help)".to_string());
+    }
+    Ok(opts)
+}
+
+fn parse_arg(raw: &str) -> Result<ArgVal, String> {
+    if let Ok(i) = raw.parse::<i64>() {
+        return Ok(ArgVal::Int(i));
+    }
+    if let Ok(d) = raw.parse::<f64>() {
+        return Ok(ArgVal::Double(d));
+    }
+    match raw {
+        "true" => Ok(ArgVal::Bool(true)),
+        "false" => Ok(ArgVal::Bool(false)),
+        s => Ok(ArgVal::Str(s.to_string())),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let src = match std::fs::read_to_string(&opts.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {}: {e}", opts.file);
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let config = PyxisConfig {
+        solver: if opts.exact {
+            SolverKind::Exact { node_limit: 50_000 }
+        } else {
+            SolverKind::Budgeted
+        },
+        reorder: opts.reorder,
+        ..PyxisConfig::default()
+    };
+    let pyxis = match Pyxis::compile(&src, config) {
+        Ok(p) => p,
+        Err(diags) => {
+            for d in diags {
+                eprintln!("error: {d}");
+            }
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "compiled {}: {} classes, {} methods, {} statements",
+        opts.file,
+        pyxis.prog.classes.len(),
+        pyxis.prog.methods.len(),
+        pyxis.prog.stmt_count()
+    );
+
+    // Profile: run the named entry if given (against an empty database —
+    // programs with SQL need tables; for those, embed profiling in your own
+    // harness via the library API). Otherwise weight every statement 1.
+    let profile = match &opts.entry {
+        Some((class, method, argv)) => {
+            let entry = match pyxis.entry(class, method) {
+                Some(e) => e,
+                None => {
+                    eprintln!("no such entry `{class}::{method}`");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let mut db = Engine::new();
+            match pyxis.profile(&mut db, vec![(entry, argv.clone())]) {
+                Ok(p) => p,
+                Err(e) => {
+                    eprintln!("profiling failed: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        None => {
+            eprintln!("note: no --profile-entry; using a uniform static profile");
+            let mut p = Profile::for_program(&pyxis.prog);
+            for c in &mut p.exec_count {
+                *c = 1;
+            }
+            p
+        }
+    };
+
+    let graph = pyxis.graph(&profile);
+    let placement = pyxis.partition(&graph, opts.budget);
+    eprintln!(
+        "budget {:.2} × total load: {}",
+        opts.budget,
+        pyxis.describe_placement(&placement)
+    );
+    let part = pyxis.deploy(placement);
+    println!("{}", part.il.render());
+    let (app_blocks, db_blocks) = part.bp.host_histogram();
+    eprintln!(
+        "compiled to {} execution blocks ({app_blocks} APP, {db_blocks} DB)",
+        part.bp.blocks.len()
+    );
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,24 @@
+//! # pyxis — facade crate for the Pyxis reproduction
+//!
+//! Re-exports the whole pipeline:
+//! [`pyx_lang`] (PyxLang front end) → [`pyx_profile`] (instrumented
+//! interpreter) → [`pyx_analysis`] (dependence analyses) →
+//! [`pyx_partition`] (partition graph + ILP) → [`pyx_pyxil`] (PyxIL and
+//! execution blocks) → [`pyx_runtime`] (distributed runtime) →
+//! [`pyx_sim`] (virtual-time evaluation harness), with [`pyx_db`] as the
+//! database substrate, [`pyx_ilp`] as the solver, and [`pyx_workloads`]
+//! providing TPC-C / TPC-W / microbenchmarks.
+//!
+//! See `README.md` for a quickstart and `DESIGN.md` for the system map.
+
+pub use pyx_analysis as analysis;
+pub use pyx_core as core;
+pub use pyx_db as db;
+pub use pyx_ilp as ilp;
+pub use pyx_lang as lang;
+pub use pyx_partition as partition;
+pub use pyx_profile as profile;
+pub use pyx_pyxil as pyxil;
+pub use pyx_runtime as runtime;
+pub use pyx_sim as sim;
+pub use pyx_workloads as workloads;
