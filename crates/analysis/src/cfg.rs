@@ -149,9 +149,7 @@ impl Builder {
                 self.edge(n, EXIT);
                 Vec::new()
             }
-            NStmtKind::If {
-                then_b, else_b, ..
-            } => {
+            NStmtKind::If { then_b, else_b, .. } => {
                 let c = self.node(s.id);
                 for p in preds {
                     self.edge(p, c);
@@ -164,9 +162,7 @@ impl Builder {
                 }
                 out
             }
-            NStmtKind::While {
-                cond_pre, body, ..
-            } => {
+            NStmtKind::While { cond_pre, body, .. } => {
                 // Remember where the condition prefix begins so the back
                 // edge can target it.
                 let first_new = self.cfg.nodes.len();

@@ -118,7 +118,13 @@ pub fn def_use(prog: &NirProgram, cfgs: &[Cfg], pts: &PointsTo) -> DefUse {
     });
 
     for method in &prog.methods {
-        local_reaching_defs(prog, &cfgs[method.id.index()], method.id, &call_sites, &mut out);
+        local_reaching_defs(
+            prog,
+            &cfgs[method.id.index()],
+            method.id,
+            &call_sites,
+            &mut out,
+        );
     }
     heap_def_use(prog, pts, &mut out);
 
@@ -246,8 +252,8 @@ fn local_reaching_defs(
     // Link defs to uses.
     let empty = Vec::new();
     let sites = call_sites.get(&mid).unwrap_or(&empty);
-    for node in 0..n {
-        let CfgNode::Stmt(sid) = cfg.nodes[node] else {
+    for (node, cfg_node) in cfg.nodes.iter().enumerate().take(n) {
+        let CfgNode::Stmt(sid) = *cfg_node else {
             continue;
         };
         for used in stmt_uses(stmt_kind[&sid]) {
@@ -361,8 +367,7 @@ fn heap_def_use(prog: &NirProgram, pts: &PointsTo, out: &mut DefUse) {
             continue;
         }
         for r in &reads {
-            if pts.may_alias(w.method, &w.base, w.key, r.method, &r.base, r.key)
-                && w.stmt != r.stmt
+            if pts.may_alias(w.method, &w.base, w.key, r.method, &r.base, r.key) && w.stmt != r.stmt
             {
                 out.heap_edges.push((w.stmt, r.stmt));
             }
@@ -411,15 +416,11 @@ mod tests {
 
     #[test]
     fn loop_carried_dependency() {
-        let (_, du) = run(
-            "class C { int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; } }",
-        );
+        let (_, du) =
+            run("class C { int f(int n) { int i = 0; while (i < n) { i = i + 1; } return i; } }");
         // `i = i + 1` must have a def-use edge to itself (via the back
         // edge) and to the loop test and return.
-        let self_edge = du
-            .local_edges
-            .iter()
-            .any(|&(d, u)| d == u);
+        let self_edge = du.local_edges.iter().any(|&(d, u)| d == u);
         assert!(
             !self_edge,
             "self edges are filtered; the increment reads IN (pre-state)"
@@ -430,12 +431,10 @@ mod tests {
 
     #[test]
     fn param_uses_link_to_call_sites() {
-        let (p, du) = run(
-            r#"class C {
+        let (p, du) = run(r#"class C {
                 int g(int v) { return v + 1; }
                 int f() { return g(41); }
-            }"#,
-        );
+            }"#);
         // The `v + 1` statement uses param v; its def site is the call in f.
         let call_stmt = {
             let mut found = None;
@@ -457,8 +456,7 @@ mod tests {
 
     #[test]
     fn heap_def_use_via_aliases() {
-        let (_, du) = run(
-            r#"class Box { int v; }
+        let (_, du) = run(r#"class Box { int v; }
                class C {
                  int f() {
                    Box a = new Box();
@@ -466,8 +464,7 @@ mod tests {
                    a.v = 7;
                    return b.v;
                  }
-               }"#,
-        );
+               }"#);
         assert_eq!(du.heap_edges.len(), 1, "{:?}", du.heap_edges);
         assert_eq!(du.field_updates.len(), 1);
         assert_eq!(du.field_uses.len(), 1);
@@ -475,8 +472,7 @@ mod tests {
 
     #[test]
     fn no_heap_edge_between_distinct_objects() {
-        let (_, du) = run(
-            r#"class Box { int v; }
+        let (_, du) = run(r#"class Box { int v; }
                class C {
                  int f() {
                    Box a = new Box();
@@ -484,29 +480,25 @@ mod tests {
                    a.v = 7;
                    return b.v;
                  }
-               }"#,
-        );
+               }"#);
         assert!(du.heap_edges.is_empty(), "{:?}", du.heap_edges);
     }
 
     #[test]
     fn array_element_def_use() {
-        let (_, du) = run(
-            r#"class C {
+        let (_, du) = run(r#"class C {
                  int f() {
                    int[] xs = new int[2];
                    xs[0] = 5;
                    return xs[1];
                  }
-               }"#,
-        );
+               }"#);
         assert_eq!(du.heap_edges.len(), 1);
     }
 
     #[test]
     fn interprocedural_heap_edge() {
-        let (_, du) = run(
-            r#"class Box { int v; }
+        let (_, du) = run(r#"class Box { int v; }
                class C {
                  void set(Box b) { b.v = 1; }
                  int get(Box b) { return b.v; }
@@ -515,8 +507,7 @@ mod tests {
                    set(x);
                    return get(x);
                  }
-               }"#,
-        );
+               }"#);
         assert_eq!(
             du.heap_edges.len(),
             1,
@@ -527,13 +518,11 @@ mod tests {
 
     #[test]
     fn field_update_lists_running_example() {
-        let (p, du) = run(
-            r#"class Order {
+        let (p, du) = run(r#"class Order {
                  double totalCost;
                  void add(double c) { totalCost += c; }
                  double get() { return totalCost; }
-               }"#,
-        );
+               }"#);
         let fid = p.fields[0].id;
         assert!(du.field_updates.iter().any(|&(_, f)| f == fid));
         assert!(du.field_uses.iter().any(|&(f, _)| f == fid));

@@ -425,10 +425,7 @@ mod tests {
 
     fn analyze_src(src: &str, field_sensitive: bool) -> (NirProgram, PointsTo) {
         let p = compile(src).expect("compile");
-        let pt = PointsTo::analyze(
-            &p,
-            PointsToConfig { field_sensitive },
-        );
+        let pt = PointsTo::analyze(&p, PointsToConfig { field_sensitive });
         (p, pt)
     }
 

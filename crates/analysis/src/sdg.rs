@@ -207,10 +207,7 @@ mod tests {
         let insert = p.find_method("Order", "insertNewLineItem").unwrap();
         let sites = &a.call_sites[&insert];
         assert_eq!(sites.len(), 1);
-        assert!(a
-            .call_control
-            .iter()
-            .any(|&(cs, _)| cs == sites[0]));
+        assert!(a.call_control.iter().any(|&(cs, _)| cs == sites[0]));
     }
 
     #[test]
@@ -239,11 +236,7 @@ mod tests {
         });
         let realcost_def = realcost_def.expect("realCost = itemCost * dct");
         // It must have at least 3 uses (totalCost update, array store, call).
-        let uses = a
-            .data
-            .iter()
-            .filter(|d| d.def == realcost_def)
-            .count();
+        let uses = a.data.iter().filter(|d| d.def == realcost_def).count();
         assert!(uses >= 3, "realCost feeds 3 consumers, got {uses}");
     }
 

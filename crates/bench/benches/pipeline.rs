@@ -34,9 +34,7 @@ fn bench_pipeline(c: &mut Criterion) {
     });
     let placement = pyxis.partition(&graph, 0.5);
     g.bench_function("pyxil_and_blocks", |b| {
-        b.iter(|| {
-            CompiledPartition::build(&pyxis.prog, &pyxis.analysis, placement.clone(), true)
-        })
+        b.iter(|| CompiledPartition::build(&pyxis.prog, &pyxis.analysis, placement.clone(), true))
     });
     g.bench_function("reference_deployments", |b| {
         b.iter(|| {

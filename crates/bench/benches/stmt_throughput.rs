@@ -1,0 +1,129 @@
+//! Criterion bench for the prepared-statement fast path: repeated
+//! point-SELECT / point-UPDATE workloads through `Engine::execute`
+//! (ad-hoc: parse-cache hash, statement clone, per-execution name
+//! resolution + planning) versus `Engine::prepare` +
+//! `Engine::execute_prepared` (resolved-plan reuse, parameter
+//! substitution only). The acceptance bar for the fast path is ≥2× on
+//! the repeated point-SELECT pair; `EXPERIMENTS.md` records measured
+//! numbers.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use pyx_db::{ColTy, ColumnDef, Engine, Scalar, TableDef};
+
+const ROWS: i64 = 10_000;
+const SELECT_SQL: &str = "SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_i_id = ?";
+const UPDATE_SQL: &str =
+    "UPDATE stock SET s_quantity = s_quantity + ? WHERE s_w_id = ? AND s_i_id = ?";
+const STAR_SQL: &str = "SELECT * FROM stock WHERE s_w_id = ? AND s_i_id = ?";
+
+fn mk_engine() -> Engine {
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "stock",
+        vec![
+            ColumnDef::new("s_w_id", ColTy::Int),
+            ColumnDef::new("s_i_id", ColTy::Int),
+            ColumnDef::new("s_quantity", ColTy::Int),
+        ],
+        &["s_w_id", "s_i_id"],
+    ));
+    for i in 0..ROWS {
+        db.load_row(
+            "stock",
+            vec![
+                Scalar::Int(1 + i % 4),
+                Scalar::Int(i / 4),
+                Scalar::Int(50 + i % 40),
+            ],
+        );
+    }
+    db
+}
+
+fn bench_stmt_throughput(c: &mut Criterion) {
+    let mut g = c.benchmark_group("stmt_throughput");
+
+    // ---- repeated point SELECT (the acceptance pair) ----
+    {
+        let mut db = mk_engine();
+        let txn = db.begin();
+        let mut k = 0i64;
+        g.bench_function("point_select_adhoc", |b| {
+            b.iter(|| {
+                k += 1;
+                let params = [Scalar::Int(1 + k % 4), Scalar::Int((k % ROWS) / 4)];
+                black_box(db.execute(txn, SELECT_SQL, &params).unwrap())
+            })
+        });
+    }
+    {
+        let mut db = mk_engine();
+        let pid = db.prepare(SELECT_SQL).unwrap();
+        let txn = db.begin();
+        let mut k = 0i64;
+        g.bench_function("point_select_prepared", |b| {
+            b.iter(|| {
+                k += 1;
+                let params = [Scalar::Int(1 + k % 4), Scalar::Int((k % ROWS) / 4)];
+                black_box(db.execute_prepared(txn, pid, &params).unwrap())
+            })
+        });
+    }
+
+    // ---- SELECT * (zero-copy row sharing) ----
+    {
+        let mut db = mk_engine();
+        let pid = db.prepare(STAR_SQL).unwrap();
+        let txn = db.begin();
+        let mut k = 0i64;
+        g.bench_function("select_star_prepared", |b| {
+            b.iter(|| {
+                k += 1;
+                let params = [Scalar::Int(1 + k % 4), Scalar::Int((k % ROWS) / 4)];
+                black_box(db.execute_prepared(txn, pid, &params).unwrap())
+            })
+        });
+    }
+
+    // ---- point UPDATE (txn per iteration so the undo log stays flat) ----
+    {
+        let mut db = mk_engine();
+        let mut k = 0i64;
+        g.bench_function("point_update_adhoc", |b| {
+            b.iter(|| {
+                k += 1;
+                let txn = db.begin();
+                let params = [
+                    Scalar::Int(1),
+                    Scalar::Int(1 + k % 4),
+                    Scalar::Int((k % ROWS) / 4),
+                ];
+                black_box(db.execute(txn, UPDATE_SQL, &params).unwrap());
+                db.commit(txn).unwrap()
+            })
+        });
+    }
+    {
+        let mut db = mk_engine();
+        let pid = db.prepare(UPDATE_SQL).unwrap();
+        let mut k = 0i64;
+        g.bench_function("point_update_prepared", |b| {
+            b.iter(|| {
+                k += 1;
+                let txn = db.begin();
+                let params = [
+                    Scalar::Int(1),
+                    Scalar::Int(1 + k % 4),
+                    Scalar::Int((k % ROWS) / 4),
+                ];
+                black_box(db.execute_prepared(txn, pid, &params).unwrap());
+                db.commit(txn).unwrap()
+            })
+        });
+    }
+
+    g.finish();
+}
+
+criterion_group!(benches, bench_stmt_throughput);
+criterion_main!(benches);

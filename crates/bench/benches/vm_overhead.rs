@@ -27,10 +27,7 @@ fn bench_vm_overhead(c: &mut Criterion) {
         b.iter(|| {
             let mut db = Engine::new();
             let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
-            let r = it
-                .call_entry(entry, vec![Value::Int(N)])
-                .unwrap()
-                .unwrap();
+            let r = it.call_entry(entry, vec![Value::Int(N)]).unwrap().unwrap();
             assert_eq!(r, Value::Int(expect));
         })
     });
@@ -43,6 +40,7 @@ fn bench_vm_overhead(c: &mut Criterion) {
                 entry,
                 &[ArgVal::Int(N)],
                 RtCosts::default(),
+                &mut db,
             )
             .unwrap();
             run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();

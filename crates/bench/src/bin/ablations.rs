@@ -125,6 +125,7 @@ fn main() {
                     pyx_runtime::ArgVal::Int(40),
                 ],
                 RtCosts::default(),
+                &mut db,
             )
             .unwrap();
             run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
@@ -244,6 +245,7 @@ fn main() {
         req.entry,
         &req.args,
         RtCosts::default(),
+        &mut db,
     )
     .unwrap();
     run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();

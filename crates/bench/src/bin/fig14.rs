@@ -39,10 +39,7 @@ fn main() {
         .iter()
         .map(|&(name, b)| {
             let placement = pyxis.partition(&graph, b);
-            println!(
-                "# budget {name}: {}",
-                pyxis.describe_placement(&placement)
-            );
+            println!("# budget {name}: {}", pyxis.describe_placement(&placement));
             (name, pyxis.deploy(placement))
         })
         .collect();
@@ -58,7 +55,9 @@ fn main() {
         ("full load", 0.03),
     ];
 
-    println!("\n# Fig 14: micro2 completion time (seconds), {NQ} selects + {NSHA} sha1 + {NQ} selects");
+    println!(
+        "\n# Fig 14: micro2 completion time (seconds), {NQ} selects + {NSHA} sha1 + {NQ} selects"
+    );
     println!("# cpu_load\tAPP\tAPP-DB\tDB   (per row, smallest should sit on the diagonal)");
     for &(load_name, speed) in &loads {
         let mut row = vec![load_name.to_string()];

@@ -57,6 +57,7 @@ fn main() {
             entry,
             &[ArgVal::Int(N)],
             RtCosts::default(),
+            &mut db,
         )
         .unwrap();
         run_to_completion(&mut sess, &mut db, 100_000_000).unwrap();
@@ -69,11 +70,7 @@ fn main() {
     println!("# engine\tseconds\tvs_native\tvs_interp");
     println!("native-rust\t{native:.4}\t1.00\t-");
     println!("interpreter\t{interp:.4}\t{:.2}\t1.00", interp / native);
-    println!(
-        "pyxis-vm\t{vm:.4}\t{:.2}\t{:.2}",
-        vm / native,
-        vm / interp
-    );
+    println!("pyxis-vm\t{vm:.4}\t{:.2}\t{:.2}", vm / native, vm / interp);
     println!("# control transfers during VM run: {transfers} (must be 0)");
     let c = RtCosts::default();
     println!(

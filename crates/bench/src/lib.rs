@@ -84,11 +84,7 @@ pub fn sweep(
     mut mk_engine: impl FnMut() -> Engine,
     mut mk_workload: impl FnMut() -> Box<dyn Workload>,
 ) -> Vec<SweepPoint> {
-    let pyxis_part = &set
-        .pyxis
-        .first()
-        .expect("at least one pyxis partition")
-        .2;
+    let pyxis_part = &set.pyxis.first().expect("at least one pyxis partition").2;
     xs.iter()
         .map(|&x| {
             let cfg = SimConfig {

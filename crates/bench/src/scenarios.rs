@@ -6,9 +6,9 @@
 //! binary uses identical environments.
 
 use pyx_core::{DeploymentSet, Pyxis};
-use pyx_runtime::NetModel;
 use pyx_db::Engine;
 use pyx_lang::MethodId;
+use pyx_runtime::NetModel;
 use pyx_sim::SimConfig;
 use pyx_workloads::{tpcc, tpcw};
 

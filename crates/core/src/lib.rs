@@ -22,9 +22,7 @@
 use pyx_analysis::{analyze, AnalysisConfig, ProgramAnalysis};
 use pyx_db::Engine;
 use pyx_lang::{Diag, MethodId, NirProgram, Value};
-use pyx_partition::{
-    solve, CostParams, PartitionGraph, Placement, Side, SolverKind,
-};
+use pyx_partition::{solve, CostParams, PartitionGraph, Placement, Side, SolverKind};
 use pyx_profile::{Interp, Profile, Profiler};
 use pyx_pyxil::CompiledPartition;
 use pyx_runtime::ArgVal;
@@ -179,11 +177,7 @@ impl Pyxis {
 
     /// Statement statistics (diagnostics).
     pub fn describe_placement(&self, p: &Placement) -> String {
-        let db = p
-            .stmt_side
-            .iter()
-            .filter(|&&s| s == Side::Db)
-            .count();
+        let db = p.stmt_side.iter().filter(|&&s| s == Side::Db).count();
         format!(
             "{db}/{} statements on DB ({:.0}%), predicted cost {:.0} µs, db load {:.0}/{:.0}",
             p.stmt_side.len(),

@@ -69,6 +69,7 @@ fn full_pipeline_produces_runnable_deployments() {
             entry,
             &[ArgVal::Int(20)],
             pyx_runtime::cost::RtCosts::default(),
+            &mut engine,
         )
         .unwrap();
         pyx_runtime::session::run_to_completion(&mut sess, &mut engine, 1_000_000).unwrap();
@@ -149,6 +150,7 @@ fn reorder_flag_is_respected() {
             entry,
             &[ArgVal::Int(10)],
             pyx_runtime::cost::RtCosts::default(),
+            &mut engine,
         )
         .unwrap();
         pyx_runtime::session::run_to_completion(&mut sess, &mut engine, 1_000_000).unwrap();

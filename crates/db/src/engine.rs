@@ -7,18 +7,30 @@
 //! the whole transaction must abort and restart) before any mutation, so
 //! retries are idempotent.
 //!
-//! Every result carries a virtual CPU `cost` (see [`crate::cost`]) that the
-//! simulator charges to the database server's cores.
+//! Two execution paths share one resolved core:
+//!
+//! * [`Engine::execute`] — the ad-hoc path: parse-cache lookup, statement
+//!   clone, per-execution name resolution and planning (JDBC-style).
+//! * [`Engine::prepare`] + [`Engine::execute_prepared`] — the fast path:
+//!   the plan (table id, column indices, predicate skeleton, access path)
+//!   is resolved once and re-executed with only parameter substitution —
+//!   no string hashing, no clone, no re-planning.
+//!
+//! Both produce identical results and identical virtual CPU `cost` (see
+//! [`crate::cost`]): the cost model charges what a conventional server
+//! *would* do per statement, while the prepared path cuts the real
+//! (wall-clock) work — which is what the Criterion benches measure.
 
 use crate::cost;
+use crate::fxhash::FxHashMap;
 use crate::index::RowId;
 use crate::lock::{Acquire, LockMode, LockTable};
-use crate::schema::TableDef;
-use crate::sqlparse::{self, AggFn, CmpOp, Projection, SetExpr, SqlStmt, Term};
+use crate::prepared::{self, Plan, PreparedId, PreparedStmt, ProjP, SetP};
+use crate::sqlparse::{self, AggFn, CmpOp, SqlStmt};
 use crate::table::Table;
 use crate::txn::{Txn, TxnId, UndoOp};
 use pyx_lang::Scalar;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Errors surfaced to the runtime / simulator.
@@ -51,9 +63,10 @@ impl std::fmt::Display for DbError {
 impl std::error::Error for DbError {}
 
 /// Result of one statement.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct QueryResult {
-    /// Result rows (empty for writes).
+    /// Result rows. Shared with table storage where possible (`SELECT *`
+    /// is a refcount bump per row, not a copy).
     pub rows: Vec<Rc<Vec<Scalar>>>,
     /// Rows affected by a write.
     pub affected: u64,
@@ -81,16 +94,46 @@ pub struct EngineStats {
     pub aborts: u64,
     pub would_blocks: u64,
     pub deadlocks: u64,
+    /// `execute_prepared` calls served by a cached (still-valid) plan.
+    pub prepared_hits: u64,
+    /// `execute_prepared` calls that had to (re-)resolve their plan.
+    pub prepared_misses: u64,
+    /// Candidate rows examined across all statements (both paths).
+    pub rows_examined: u64,
+    /// Ad-hoc parse-cache entries evicted by the size cap.
+    pub parse_evictions: u64,
 }
+
+/// Cap on the ad-hoc (legacy) parse cache. Ad-hoc SQL with inline
+/// literals would otherwise grow the cache without bound; prepared
+/// statements are the right tool for hot statements, so the cap only
+/// needs to keep the working set of distinct ad-hoc shapes.
+const PARSE_CACHE_CAP: usize = 256;
 
 /// The in-memory database engine.
 pub struct Engine {
     tables: Vec<Table>,
     by_name: HashMap<String, usize>,
     locks: LockTable,
-    txns: HashMap<TxnId, Txn>,
+    txns: FxHashMap<TxnId, Txn>,
     next_txn: u64,
+    /// Ad-hoc statement cache (FIFO-capped at [`PARSE_CACHE_CAP`]).
     parse_cache: HashMap<String, SqlStmt>,
+    parse_order: VecDeque<String>,
+    /// Prepared statements by handle; `prepared_by_sql` dedups repeats.
+    prepared: Vec<PreparedStmt>,
+    prepared_by_sql: HashMap<String, PreparedId>,
+    /// Bumped by every schema change; plans resolved under an older epoch
+    /// re-resolve on next use.
+    schema_epoch: u64,
+    /// Reused primary-key scratch buffer for point lookups and per-row
+    /// lock keys (allocation-free hot path once warm).
+    key_scratch: Vec<Scalar>,
+    /// Reused buffers for per-execution resolved predicates and path
+    /// values on the prepared path.
+    pred_scratch: Vec<RPred>,
+    path_scratch: Vec<Scalar>,
+    rid_scratch: Vec<RowId>,
     pub stats: EngineStats,
 }
 
@@ -100,7 +143,7 @@ impl Default for Engine {
     }
 }
 
-/// Access path chosen by the planner.
+/// Access path with values resolved for one execution.
 #[derive(Debug)]
 enum Path {
     PkPoint(Vec<Scalar>),
@@ -109,20 +152,31 @@ enum Path {
     Full,
 }
 
+/// Per-execution resolved predicate: column index, operator, value.
+type RPred = (usize, CmpOp, Scalar);
+
 impl Engine {
     pub fn new() -> Self {
         Engine {
             tables: Vec::new(),
             by_name: HashMap::new(),
             locks: LockTable::new(),
-            txns: HashMap::new(),
+            txns: FxHashMap::default(),
             next_txn: 1,
             parse_cache: HashMap::new(),
+            parse_order: VecDeque::new(),
+            prepared: Vec::new(),
+            prepared_by_sql: HashMap::new(),
+            schema_epoch: 1,
+            key_scratch: Vec::new(),
+            pred_scratch: Vec::new(),
+            path_scratch: Vec::new(),
+            rid_scratch: Vec::new(),
             stats: EngineStats::default(),
         }
     }
 
-    pub fn create_table(&mut self, def: TableDef) {
+    pub fn create_table(&mut self, def: crate::schema::TableDef) {
         assert!(
             !self.by_name.contains_key(&def.name),
             "duplicate table `{}`",
@@ -130,6 +184,21 @@ impl Engine {
         );
         self.by_name.insert(def.name.clone(), self.tables.len());
         self.tables.push(Table::new(def));
+        self.schema_epoch += 1;
+    }
+
+    /// Add (and backfill) a secondary index on an existing table.
+    /// Invalidates cached prepared plans, which re-resolve — and may pick
+    /// the new index — on their next execution.
+    pub fn add_index(&mut self, table: &str, col: &str) -> Result<(), DbError> {
+        let ti = self.table_id(table)?;
+        let ci = self.tables[ti]
+            .def
+            .col_index(col)
+            .ok_or_else(|| DbError::Schema(format!("unknown column `{col}` in `{table}`")))?;
+        self.tables[ti].add_secondary(ci);
+        self.schema_epoch += 1;
+        Ok(())
     }
 
     /// Bulk-load a row outside any transaction (no locking, no undo).
@@ -157,8 +226,7 @@ impl Engine {
             return Vec::new();
         };
         let t = &self.tables[ti];
-        t.full_scan()
-            .into_iter()
+        t.full_scan_iter()
             .map(|rid| t.get(rid).expect("live row").to_vec())
             .collect()
     }
@@ -201,12 +269,12 @@ impl Engine {
                 }
                 UndoOp::Delete { table, row } => {
                     self.tables[table]
-                        .insert(row)
+                        .insert_shared(row)
                         .expect("undo delete: reinsert must succeed");
                 }
                 UndoOp::Update { table, rid, old } => {
                     self.tables[table]
-                        .update(rid, old)
+                        .update_shared(rid, old)
                         .expect("undo update: restore must succeed");
                 }
             }
@@ -216,7 +284,192 @@ impl Engine {
         Ok((c, woken))
     }
 
-    /// Execute one SQL statement inside `txn`.
+    // ---- prepared statements (the fast path) ----
+
+    /// Parse `sql` once and return a reusable handle. Repeat calls with
+    /// the same text return the same handle. The resolved plan is built
+    /// lazily on first execution (so statements may be prepared before
+    /// their tables exist) and rebuilt after schema changes.
+    pub fn prepare(&mut self, sql: &str) -> Result<PreparedId, DbError> {
+        if let Some(&id) = self.prepared_by_sql.get(sql) {
+            return Ok(id);
+        }
+        let stmt = sqlparse::parse(sql).map_err(DbError::Parse)?;
+        let nparams = sqlparse::param_count(&stmt);
+        let id = PreparedId(self.prepared.len() as u32);
+        self.prepared.push(PreparedStmt {
+            sql: sql.to_string(),
+            stmt,
+            nparams,
+            plan: None,
+            epoch: 0,
+        });
+        self.prepared_by_sql.insert(sql.to_string(), id);
+        Ok(id)
+    }
+
+    /// SQL text of a prepared statement.
+    pub fn prepared_sql(&self, id: PreparedId) -> Option<&str> {
+        self.prepared.get(id.0 as usize).map(|p| p.sql.as_str())
+    }
+
+    /// Access-path kind the statement's current plan uses (resolving the
+    /// plan if needed) — for diagnostics and plan-inspection tests.
+    pub fn prepared_path_kind(&mut self, id: PreparedId) -> Result<&'static str, DbError> {
+        let plan = self.plan_of(id)?;
+        Ok(plan.path_kind())
+    }
+
+    /// Fetch (or lazily resolve) the plan for `id` under the current
+    /// schema epoch.
+    fn plan_of(&mut self, id: PreparedId) -> Result<Rc<Plan>, DbError> {
+        let idx = id.0 as usize;
+        let entry = self
+            .prepared
+            .get(idx)
+            .ok_or_else(|| DbError::Schema(format!("unknown prepared statement {:?}", id)))?;
+        if entry.epoch == self.schema_epoch {
+            if let Some(plan) = &entry.plan {
+                self.stats.prepared_hits += 1;
+                return Ok(Rc::clone(plan));
+            }
+        }
+        self.stats.prepared_misses += 1;
+        let plan = Rc::new(prepared::resolve_plan(
+            &self.prepared[idx].stmt,
+            &self.tables,
+            &self.by_name,
+        )?);
+        let entry = &mut self.prepared[idx];
+        entry.plan = Some(Rc::clone(&plan));
+        entry.epoch = self.schema_epoch;
+        Ok(plan)
+    }
+
+    /// Execute a prepared statement: parameter substitution only — no
+    /// string hashing, no statement clone, no re-planning. Predicate and
+    /// access-path values resolve into engine-owned scratch buffers, so
+    /// the steady-state hot path is allocation-light.
+    pub fn execute_prepared(
+        &mut self,
+        txn: TxnId,
+        id: PreparedId,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        if !self.txns.contains_key(&txn) {
+            return Err(DbError::UnknownTxn);
+        }
+        self.stats.statements += 1;
+        let nparams = self
+            .prepared
+            .get(id.0 as usize)
+            .ok_or_else(|| DbError::Schema(format!("unknown prepared statement {:?}", id)))?
+            .nparams;
+        if params.len() < nparams {
+            return Err(DbError::Schema(format!(
+                "statement needs {nparams} parameters, got {}",
+                params.len()
+            )));
+        }
+        let plan = match self.plan_of(id) {
+            Ok(p) => p,
+            Err(e) => return self.finish_stmt(txn, Err(e)),
+        };
+        let res = self.execute_plan(txn, &plan, params);
+        self.finish_stmt(txn, res)
+    }
+
+    /// Execute a resolved plan: parameter substitution into the skeleton,
+    /// then the shared execution core. Used by both the prepared path
+    /// (cached plan) and the ad-hoc path (plan resolved per execution).
+    fn execute_plan(
+        &mut self,
+        txn: TxnId,
+        plan: &Plan,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        match plan {
+            Plan::Select(p) => {
+                let (preds, path) = self.resolve_exec(&p.preds, p.subsumed, &p.path, params);
+                let r = self.run_select(txn, p.ti, &preds, &path, p.order_by, p.limit, &p.proj);
+                self.recycle_exec(preds, path);
+                r
+            }
+            Plan::Insert(p) => {
+                let row: Vec<Scalar> = p.row.iter().map(|t| t.resolve(params).clone()).collect();
+                self.run_insert(txn, p.ti, row)
+            }
+            Plan::Update(p) => {
+                let (preds, path) = self.resolve_exec(&p.preds, p.subsumed, &p.path, params);
+                let r = self.run_update(txn, p.ti, &preds, &path, &p.sets, params);
+                self.recycle_exec(preds, path);
+                r
+            }
+            Plan::Delete(p) => {
+                let (preds, path) = self.resolve_exec(&p.preds, p.subsumed, &p.path, params);
+                let r = self.run_delete(txn, p.ti, &preds, &path);
+                self.recycle_exec(preds, path);
+                r
+            }
+        }
+    }
+
+    /// Substitute parameters into a plan's predicate and path skeletons,
+    /// reusing the engine's scratch buffers.
+    fn resolve_exec(
+        &mut self,
+        preds: &[prepared::PredP],
+        subsumed: bool,
+        path: &prepared::PathP,
+        params: &[Scalar],
+    ) -> (Vec<RPred>, Path) {
+        let mut rp = std::mem::take(&mut self.pred_scratch);
+        rp.clear();
+        // Predicates the access path already guarantees (exact-pk point
+        // lookups) need no per-row re-check: leave the list empty.
+        if !subsumed {
+            rp.extend(
+                preds
+                    .iter()
+                    .map(|pr| (pr.col, pr.op, pr.term.resolve(params).clone())),
+            );
+        }
+        let mut buf = std::mem::take(&mut self.path_scratch);
+        buf.clear();
+        let path = match path {
+            prepared::PathP::PkPoint(terms) => {
+                buf.extend(terms.iter().map(|t| t.resolve(params).clone()));
+                Path::PkPoint(buf)
+            }
+            prepared::PathP::PkPrefix(terms) => {
+                buf.extend(terms.iter().map(|t| t.resolve(params).clone()));
+                Path::PkPrefix(buf)
+            }
+            prepared::PathP::Secondary { slot, term } => {
+                self.path_scratch = buf;
+                Path::Secondary(*slot, term.resolve(params).clone())
+            }
+            prepared::PathP::Full => {
+                self.path_scratch = buf;
+                Path::Full
+            }
+        };
+        (rp, path)
+    }
+
+    /// Return scratch buffers taken by [`Engine::resolve_exec`].
+    fn recycle_exec(&mut self, preds: Vec<RPred>, path: Path) {
+        self.pred_scratch = preds;
+        if let Path::PkPoint(v) | Path::PkPrefix(v) = path {
+            self.path_scratch = v;
+        }
+    }
+
+    // ---- ad-hoc execution (the legacy/JDBC-style path) ----
+
+    /// Execute one SQL statement inside `txn`, re-resolving and
+    /// re-planning from (cached) parse output. Hot statements should use
+    /// [`Engine::prepare`] / [`Engine::execute_prepared`] instead.
     pub fn execute(
         &mut self,
         txn: TxnId,
@@ -231,6 +484,14 @@ impl Engine {
             Some(s) => s.clone(),
             None => {
                 let s = sqlparse::parse(sql).map_err(DbError::Parse)?;
+                if self.parse_cache.len() >= PARSE_CACHE_CAP {
+                    // FIFO eviction: drop the oldest cached shape.
+                    if let Some(evict) = self.parse_order.pop_front() {
+                        self.parse_cache.remove(&evict);
+                        self.stats.parse_evictions += 1;
+                    }
+                }
+                self.parse_order.push_back(sql.to_string());
                 self.parse_cache.insert(sql.to_string(), s.clone());
                 s
             }
@@ -242,23 +503,13 @@ impl Engine {
                 params.len()
             )));
         }
-        let res = match stmt {
-            SqlStmt::Select(s) => self.exec_select(txn, &s, params),
-            SqlStmt::Insert(i) => self.exec_insert(txn, &i, params),
-            SqlStmt::Update(u) => self.exec_update(txn, &u, params),
-            SqlStmt::Delete(d) => self.exec_delete(txn, &d, params),
-        };
-        match &res {
-            Err(DbError::WouldBlock) => self.stats.would_blocks += 1,
-            Err(DbError::Deadlock) => self.stats.deadlocks += 1,
-            Ok(r) => {
-                if let Some(t) = self.txns.get_mut(&txn) {
-                    t.cost += r.cost;
-                }
-            }
-            _ => {}
-        }
-        res
+        // Ad-hoc statements pay full name resolution and planning on
+        // every execution (the JDBC-style cost the prepared path
+        // amortizes) — through the same resolver, so the two paths
+        // cannot drift apart semantically.
+        let res = prepared::resolve_plan(&stmt, &self.tables, &self.by_name)
+            .and_then(|plan| self.execute_plan(txn, &plan, params));
+        self.finish_stmt(txn, res)
     }
 
     /// One-shot autocommit helper (tests, loaders).
@@ -276,6 +527,25 @@ impl Engine {
         }
     }
 
+    /// Shared statement epilogue: stats + per-transaction cost tally.
+    fn finish_stmt(
+        &mut self,
+        txn: TxnId,
+        res: Result<QueryResult, DbError>,
+    ) -> Result<QueryResult, DbError> {
+        match &res {
+            Err(DbError::WouldBlock) => self.stats.would_blocks += 1,
+            Err(DbError::Deadlock) => self.stats.deadlocks += 1,
+            Ok(r) => {
+                if let Some(t) = self.txns.get_mut(&txn) {
+                    t.cost += r.cost;
+                }
+            }
+            _ => {}
+        }
+        res
+    }
+
     // ---- helpers ----
 
     fn table_id(&self, name: &str) -> Result<usize, DbError> {
@@ -285,77 +555,42 @@ impl Engine {
             .ok_or_else(|| DbError::Schema(format!("unknown table `{name}`")))
     }
 
-    fn resolve_term(term: &Term, params: &[Scalar]) -> Scalar {
-        match term {
-            Term::Param(i) => params[*i].clone(),
-            Term::Lit(s) => s.clone(),
-        }
-    }
-
-    /// Resolve WHERE columns and parameters; returns (col index, op, value).
-    fn resolve_where(
+    /// Find matching rows without materializing the candidate list:
+    /// fills `matched` (a reusable buffer) and returns rows examined.
+    /// `scratch` is a reusable probe buffer for point lookups.
+    fn find_matches(
         t: &Table,
-        where_: &[sqlparse::Cmp],
-        params: &[Scalar],
-    ) -> Result<Vec<(usize, CmpOp, Scalar)>, DbError> {
-        where_
-            .iter()
-            .map(|c| {
-                let col = t.def.col_index(&c.col).ok_or_else(|| {
-                    DbError::Schema(format!("unknown column `{}` in `{}`", c.col, t.def.name))
-                })?;
-                Ok((col, c.op, Self::resolve_term(&c.term, params)))
-            })
-            .collect()
-    }
-
-    fn plan(t: &Table, preds: &[(usize, CmpOp, Scalar)]) -> Path {
-        let eq: HashMap<usize, &Scalar> = preds
-            .iter()
-            .filter(|(_, op, _)| *op == CmpOp::Eq)
-            .map(|(c, _, v)| (*c, v))
-            .collect();
-        // Longest primary-key prefix covered by equality predicates.
-        let mut prefix = Vec::new();
-        for &pc in &t.def.pkey {
-            match eq.get(&pc) {
-                Some(v) => prefix.push((*v).clone()),
-                None => break,
-            }
-        }
-        if prefix.len() == t.def.pkey.len() && !prefix.is_empty() {
-            return Path::PkPoint(prefix);
-        }
-        if !prefix.is_empty() {
-            return Path::PkPrefix(prefix);
-        }
-        for (&col, v) in &eq {
-            if let Some(slot) = t.secondary_slot(col) {
-                return Path::Secondary(slot, (*v).clone());
-            }
-        }
-        Path::Full
-    }
-
-    /// Find matching rows: returns (row ids, rows examined).
-    fn find_matches(t: &Table, preds: &[(usize, CmpOp, Scalar)]) -> (Vec<RowId>, usize) {
-        let candidates = match Self::plan(t, preds) {
-            Path::PkPoint(k) => t.pk_lookup(&k).into_iter().collect(),
-            Path::PkPrefix(p) => t.pk_prefix_scan(&p),
-            Path::Secondary(slot, v) => t.index_lookup(slot, &v),
-            Path::Full => t.full_scan(),
-        };
-        let examined = candidates.len();
-        let matched = candidates
-            .into_iter()
-            .filter(|&rid| {
+        preds: &[RPred],
+        path: &Path,
+        scratch: &mut Vec<Scalar>,
+        matched: &mut Vec<RowId>,
+    ) -> usize {
+        matched.clear();
+        let mut examined = 0usize;
+        {
+            let mut consider = |rid: RowId| {
+                examined += 1;
                 let row = t.get(rid).expect("candidate row exists");
-                preds
+                if preds.iter().all(|(c, op, v)| op.eval(row[*c].total_cmp(v))) {
+                    matched.push(rid);
+                }
+            };
+            match path {
+                Path::PkPoint(k) => {
+                    if let Some(rid) = t.pk_lookup_buf(k, scratch) {
+                        consider(rid);
+                    }
+                }
+                Path::PkPrefix(p) => t.pk_prefix_iter(p).for_each(&mut consider),
+                Path::Secondary(slot, v) => t
+                    .index_scan(*slot, v)
                     .iter()
-                    .all(|(c, op, v)| op.eval(row[*c].total_cmp(v)))
-            })
-            .collect();
-        (matched, examined)
+                    .copied()
+                    .for_each(&mut consider),
+                Path::Full => t.full_scan_iter().for_each(&mut consider),
+            }
+        }
+        examined
     }
 
     /// Lock each matched row. Returns the lock cost, or the appropriate
@@ -367,81 +602,91 @@ impl Engine {
         rids: &[RowId],
         mode: LockMode,
     ) -> Result<u64, DbError> {
-        let keys: Vec<Vec<Scalar>> = {
-            let t = &self.tables[ti];
-            rids.iter()
-                .map(|&r| t.def.key_of(t.get(r).expect("row exists")))
-                .collect()
-        };
-        for key in &keys {
-            match self.locks.acquire(txn, ti, key, mode) {
+        let mut key = std::mem::take(&mut self.key_scratch);
+        for &r in rids {
+            key.clear();
+            {
+                let t = &self.tables[ti];
+                let row = t.get(r).expect("row exists");
+                key.extend(t.def.pkey.iter().map(|&i| row[i].clone()));
+            }
+            let acq = self.locks.acquire(txn, ti, &key, mode);
+            match acq {
                 Acquire::Granted => {}
-                Acquire::Wait => return Err(DbError::WouldBlock),
-                Acquire::Die => return Err(DbError::Deadlock),
+                Acquire::Wait => {
+                    self.key_scratch = key;
+                    return Err(DbError::WouldBlock);
+                }
+                Acquire::Die => {
+                    self.key_scratch = key;
+                    return Err(DbError::Deadlock);
+                }
             }
         }
-        Ok(cost::LOCK_OP * keys.len() as u64)
+        self.key_scratch = key;
+        Ok(cost::LOCK_OP * rids.len() as u64)
     }
 
-    fn exec_select(
+    // ---- shared resolved execution core ----
+
+    // The argument list *is* the resolved statement (one field per plan
+    // component); bundling them into a struct would just rename the
+    // problem.
+    #[allow(clippy::too_many_arguments)]
+    fn run_select(
         &mut self,
         txn: TxnId,
-        s: &sqlparse::Select,
-        params: &[Scalar],
+        ti: usize,
+        preds: &[RPred],
+        path: &Path,
+        order_by: Option<(usize, bool)>,
+        limit: Option<usize>,
+        proj: &ProjP,
     ) -> Result<QueryResult, DbError> {
-        let ti = self.table_id(&s.table)?;
-        let preds = Self::resolve_where(&self.tables[ti], &s.where_, params)?;
-        let (matched, examined) = Self::find_matches(&self.tables[ti], &preds);
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        let mut matched = std::mem::take(&mut self.rid_scratch);
+        let examined =
+            Self::find_matches(&self.tables[ti], preds, path, &mut scratch, &mut matched);
+        self.key_scratch = scratch;
+        self.stats.rows_examined += examined as u64;
 
         let mut c = cost::STMT_BASE
             + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
             + cost::ROW_READ * matched.len() as u64
             + cost::ROW_SCAN * (examined - matched.len()) as u64;
-        c += self.lock_rows(txn, ti, &matched, LockMode::Shared)?;
+        match self.lock_rows(txn, ti, &matched, LockMode::Shared) {
+            Ok(lc) => c += lc,
+            Err(e) => {
+                self.rid_scratch = matched;
+                return Err(e);
+            }
+        }
 
         let t = &self.tables[ti];
-        let mut rows: Vec<&[Scalar]> = matched
-            .iter()
-            .map(|&r| t.get(r).expect("locked row exists"))
-            .collect();
-
-        // ORDER BY before projection (sort key need not be projected).
-        if let Some((col, desc)) = &s.order_by {
-            let ci = t
-                .def
-                .col_index(col)
-                .ok_or_else(|| DbError::Schema(format!("unknown ORDER BY column `{col}`")))?;
-            rows.sort_by(|a, b| a[ci].total_cmp(&b[ci]));
-            if *desc {
-                rows.reverse();
+        let shared = |&r: &RowId| t.get_shared(r).expect("locked row exists");
+        let out = if order_by.is_some() || limit.is_some() {
+            let mut rows: Vec<&Rc<Vec<Scalar>>> = matched.iter().map(shared).collect();
+            // ORDER BY before projection (sort key need not be projected).
+            if let Some((ci, desc)) = order_by {
+                rows.sort_by(|a, b| a[ci].total_cmp(&b[ci]));
+                if desc {
+                    rows.reverse();
+                }
+                let n = rows.len().max(1) as u64;
+                c += cost::ROW_SORT * n * (64 - n.leading_zeros() as u64).max(1);
             }
-            let n = rows.len().max(1) as u64;
-            c += cost::ROW_SORT * n * (64 - n.leading_zeros() as u64).max(1);
-        }
-        if let Some(limit) = s.limit {
-            rows.truncate(limit);
-        }
-
-        let out: Vec<Rc<Vec<Scalar>>> = match &s.proj {
-            Projection::All => rows.iter().map(|r| Rc::new(r.to_vec())).collect(),
-            Projection::Cols(cols) => {
-                let idxs: Vec<usize> = cols
-                    .iter()
-                    .map(|n| {
-                        t.def.col_index(n).ok_or_else(|| {
-                            DbError::Schema(format!("unknown column `{n}` in `{}`", s.table))
-                        })
-                    })
-                    .collect::<Result<_, _>>()?;
-                rows.iter()
-                    .map(|r| Rc::new(idxs.iter().map(|&i| r[i].clone()).collect()))
-                    .collect()
+            if let Some(limit) = limit {
+                rows.truncate(limit);
             }
-            Projection::Agg(f, col) => {
-                let v = Self::aggregate(t, *f, col.as_deref(), &rows)?;
-                vec![Rc::new(vec![v])]
-            }
+            Self::project(rows.into_iter(), proj)
+        } else {
+            // Point/scan without sort: project straight off the match
+            // list, no intermediate row vector.
+            Self::project(matched.iter().map(shared), proj)
         };
+        // Restore the scratch buffer on the error path too.
+        self.rid_scratch = matched;
+        let out = out?;
 
         Ok(QueryResult {
             rows: out,
@@ -450,104 +695,90 @@ impl Engine {
         })
     }
 
-    fn aggregate(
-        t: &Table,
-        f: AggFn,
-        col: Option<&str>,
-        rows: &[&[Scalar]],
-    ) -> Result<Scalar, DbError> {
-        if f == AggFn::Count {
-            return Ok(Scalar::Int(rows.len() as i64));
-        }
-        let col = col.expect("parser enforces column for non-COUNT aggregates");
-        let ci = t
-            .def
-            .col_index(col)
-            .ok_or_else(|| DbError::Schema(format!("unknown aggregate column `{col}`")))?;
-        let vals: Vec<&Scalar> = rows
-            .iter()
-            .map(|r| &r[ci])
-            .filter(|v| !matches!(v, Scalar::Null))
-            .collect();
-        if vals.is_empty() {
-            return Ok(Scalar::Null);
-        }
-        Ok(match f {
-            AggFn::Count => unreachable!(),
-            AggFn::Min => (*vals
-                .iter()
-                .min_by(|a, b| a.total_cmp(b))
-                .expect("nonempty"))
-            .clone(),
-            AggFn::Max => (*vals
-                .iter()
-                .max_by(|a, b| a.total_cmp(b))
-                .expect("nonempty"))
-            .clone(),
-            AggFn::Sum | AggFn::Avg => {
-                let all_int = vals.iter().all(|v| matches!(v, Scalar::Int(_)));
-                if all_int && f == AggFn::Sum {
-                    Scalar::Int(vals.iter().map(|v| v.as_int().expect("int")).sum())
-                } else {
-                    let sum: f64 = vals
-                        .iter()
-                        .map(|v| {
-                            v.as_double().ok_or_else(|| {
-                                DbError::Schema(format!("cannot aggregate {v:?}"))
-                            })
-                        })
-                        .sum::<Result<f64, _>>()?;
-                    if f == AggFn::Sum {
-                        Scalar::Double(sum)
-                    } else {
-                        Scalar::Double(sum / vals.len() as f64)
-                    }
-                }
+    /// Apply a resolved projection to a row stream.
+    fn project<'a>(
+        rows: impl Iterator<Item = &'a Rc<Vec<Scalar>>>,
+        proj: &ProjP,
+    ) -> Result<Vec<Rc<Vec<Scalar>>>, DbError> {
+        Ok(match proj {
+            // Zero-copy: the result shares the stored row images.
+            ProjP::All => rows.map(Rc::clone).collect(),
+            ProjP::Cols(idxs) => rows
+                .map(|r| Rc::new(idxs.iter().map(|&i| r[i].clone()).collect()))
+                .collect(),
+            ProjP::Agg(f, ci) => {
+                let v = Self::aggregate(*f, *ci, rows)?;
+                vec![Rc::new(vec![v])]
             }
         })
     }
 
-    fn exec_insert(
+    /// Single-pass aggregation over a row stream (NULLs skipped).
+    fn aggregate<'a>(
+        f: AggFn,
+        ci: Option<usize>,
+        rows: impl Iterator<Item = &'a Rc<Vec<Scalar>>>,
+    ) -> Result<Scalar, DbError> {
+        if f == AggFn::Count {
+            return Ok(Scalar::Int(rows.count() as i64));
+        }
+        let ci = ci.expect("parser enforces column for non-COUNT aggregates");
+        let mut best: Option<&Scalar> = None; // MIN / MAX
+        let mut isum = 0i64;
+        let mut fsum = 0f64;
+        let mut all_int = true;
+        let mut n = 0u64;
+        for r in rows {
+            let v = &r[ci];
+            if matches!(v, Scalar::Null) {
+                continue;
+            }
+            n += 1;
+            match f {
+                AggFn::Min => {
+                    if best.is_none_or(|b| v.total_cmp(b).is_lt()) {
+                        best = Some(v);
+                    }
+                }
+                AggFn::Max => {
+                    // `>=` so ties keep the later row, like `max_by`.
+                    if best.is_none_or(|b| !v.total_cmp(b).is_lt()) {
+                        best = Some(v);
+                    }
+                }
+                AggFn::Sum | AggFn::Avg => {
+                    if let Scalar::Int(i) = v {
+                        isum += i;
+                        fsum += *i as f64;
+                    } else {
+                        all_int = false;
+                        fsum += v
+                            .as_double()
+                            .ok_or_else(|| DbError::Schema(format!("cannot aggregate {v:?}")))?;
+                    }
+                }
+                AggFn::Count => unreachable!(),
+            }
+        }
+        if n == 0 {
+            return Ok(Scalar::Null);
+        }
+        Ok(match f {
+            AggFn::Min | AggFn::Max => best.expect("nonempty").clone(),
+            AggFn::Sum if all_int => Scalar::Int(isum),
+            AggFn::Sum => Scalar::Double(fsum),
+            AggFn::Avg => Scalar::Double(fsum / n as f64),
+            AggFn::Count => unreachable!(),
+        })
+    }
+
+    fn run_insert(
         &mut self,
         txn: TxnId,
-        ins: &sqlparse::Insert,
-        params: &[Scalar],
+        ti: usize,
+        row: Vec<Scalar>,
     ) -> Result<QueryResult, DbError> {
-        let ti = self.table_id(&ins.table)?;
-        let ncols = self.tables[ti].def.cols.len();
-        let values: Vec<Scalar> = ins
-            .values
-            .iter()
-            .map(|t| Self::resolve_term(t, params))
-            .collect();
-        let row: Vec<Scalar> = match &ins.cols {
-            None => {
-                if values.len() != ncols {
-                    return Err(DbError::Schema(format!(
-                        "INSERT into `{}` needs {ncols} values, got {}",
-                        ins.table,
-                        values.len()
-                    )));
-                }
-                values
-            }
-            Some(cols) => {
-                if cols.len() != values.len() {
-                    return Err(DbError::Schema("INSERT column/value count mismatch".into()));
-                }
-                let mut row = vec![Scalar::Null; ncols];
-                for (name, v) in cols.iter().zip(values) {
-                    let ci = self.tables[ti].def.col_index(name).ok_or_else(|| {
-                        DbError::Schema(format!("unknown column `{name}` in `{}`", ins.table))
-                    })?;
-                    row[ci] = v;
-                }
-                row
-            }
-        };
-        self.tables[ti]
-            .validate(&row)
-            .map_err(DbError::Schema)?;
+        self.tables[ti].validate(&row).map_err(DbError::Schema)?;
         let key = self.tables[ti].def.key_of(&row);
         match self.locks.acquire(txn, ti, &key, LockMode::Exclusive) {
             Acquire::Granted => {}
@@ -570,58 +801,63 @@ impl Engine {
         })
     }
 
-    fn exec_update(
+    fn run_update(
         &mut self,
         txn: TxnId,
-        u: &sqlparse::Update,
+        ti: usize,
+        preds: &[RPred],
+        path: &Path,
+        sets: &[(usize, SetP)],
         params: &[Scalar],
     ) -> Result<QueryResult, DbError> {
-        let ti = self.table_id(&u.table)?;
-        let preds = Self::resolve_where(&self.tables[ti], &u.where_, params)?;
-        let (matched, examined) = Self::find_matches(&self.tables[ti], &preds);
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        let mut matched = std::mem::take(&mut self.rid_scratch);
+        let examined =
+            Self::find_matches(&self.tables[ti], preds, path, &mut scratch, &mut matched);
+        self.key_scratch = scratch;
+        self.stats.rows_examined += examined as u64;
 
         let mut c = cost::STMT_BASE
             + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
             + cost::ROW_SCAN * (examined - matched.len()) as u64;
-        c += self.lock_rows(txn, ti, &matched, LockMode::Exclusive)?;
-
-        // Resolve SET expressions.
-        let sets: Vec<(usize, &SetExpr)> = u
-            .sets
-            .iter()
-            .map(|(name, se)| {
-                self.tables[ti]
-                    .def
-                    .col_index(name)
-                    .map(|ci| (ci, se))
-                    .ok_or_else(|| {
-                        DbError::Schema(format!("unknown column `{name}` in `{}`", u.table))
-                    })
-            })
-            .collect::<Result<_, _>>()?;
+        match self.lock_rows(txn, ti, &matched, LockMode::Exclusive) {
+            Ok(lc) => c += lc,
+            Err(e) => {
+                self.rid_scratch = matched;
+                return Err(e);
+            }
+        }
 
         let mut affected = 0u64;
-        for rid in matched {
-            let old = self.tables[ti].get(rid).expect("locked row").to_vec();
-            let mut new_row = old.clone();
-            for (ci, se) in &sets {
-                new_row[*ci] = Self::eval_set(se, &old, &self.tables[ti].def, params)?;
+        let mut apply = || -> Result<(), DbError> {
+            for &rid in &matched {
+                let old = Rc::clone(self.tables[ti].get_shared(rid).expect("locked row"));
+                let mut new_row = old.as_ref().clone();
+                for (ci, se) in sets {
+                    new_row[*ci] = Self::eval_set(se, &old, params)?;
+                }
+                let old = self.tables[ti]
+                    .update(rid, new_row)
+                    .map_err(DbError::Schema)?;
+                self.txns
+                    .get_mut(&txn)
+                    .expect("txn checked")
+                    .undo
+                    .push(UndoOp::Update {
+                        table: ti,
+                        rid,
+                        old,
+                    });
+                affected += 1;
+                c += cost::ROW_WRITE;
             }
-            let old = self.tables[ti]
-                .update(rid, new_row)
-                .map_err(DbError::Schema)?;
-            self.txns
-                .get_mut(&txn)
-                .expect("txn checked")
-                .undo
-                .push(UndoOp::Update {
-                    table: ti,
-                    rid,
-                    old,
-                });
-            affected += 1;
-            c += cost::ROW_WRITE;
-        }
+            Ok(())
+        };
+        // Restore the scratch buffer on the error path too (the caller
+        // aborts the transaction, which undoes any partial application).
+        let applied = apply();
+        self.rid_scratch = matched;
+        applied?;
         Ok(QueryResult {
             rows: Vec::new(),
             affected,
@@ -629,19 +865,11 @@ impl Engine {
         })
     }
 
-    fn eval_set(
-        se: &SetExpr,
-        old: &[Scalar],
-        def: &TableDef,
-        params: &[Scalar],
-    ) -> Result<Scalar, DbError> {
-        let arith = |col: &str, t: &Term, sign: f64| -> Result<Scalar, DbError> {
-            let ci = def
-                .col_index(col)
-                .ok_or_else(|| DbError::Schema(format!("unknown column `{col}` in SET")))?;
+    fn eval_set(se: &SetP, old: &[Scalar], params: &[Scalar]) -> Result<Scalar, DbError> {
+        let arith = |ci: usize, t: &prepared::PTerm, sign: f64| -> Result<Scalar, DbError> {
             let base = &old[ci];
-            let delta = Self::resolve_term(t, params);
-            match (base, &delta) {
+            let delta = t.resolve(params);
+            match (base, delta) {
                 (Scalar::Int(a), Scalar::Int(b)) => Ok(Scalar::Int(a + (sign as i64) * b)),
                 _ => {
                     let a = base.as_double().ok_or_else(|| {
@@ -655,30 +883,47 @@ impl Engine {
             }
         };
         match se {
-            SetExpr::Term(t) => Ok(Self::resolve_term(t, params)),
-            SetExpr::SelfPlus(col, t) => arith(col, t, 1.0),
-            SetExpr::SelfMinus(col, t) => arith(col, t, -1.0),
+            SetP::Term(t) => Ok(t.resolve(params).clone()),
+            SetP::SelfPlus(ci, t) => arith(*ci, t, 1.0),
+            SetP::SelfMinus(ci, t) => arith(*ci, t, -1.0),
         }
     }
 
-    fn exec_delete(
+    fn run_delete(
         &mut self,
         txn: TxnId,
-        d: &sqlparse::Delete,
-        params: &[Scalar],
+        ti: usize,
+        preds: &[RPred],
+        path: &Path,
     ) -> Result<QueryResult, DbError> {
-        let ti = self.table_id(&d.table)?;
-        let preds = Self::resolve_where(&self.tables[ti], &d.where_, params)?;
-        let (matched, examined) = Self::find_matches(&self.tables[ti], &preds);
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        let mut matched = std::mem::take(&mut self.rid_scratch);
+        let examined =
+            Self::find_matches(&self.tables[ti], preds, path, &mut scratch, &mut matched);
+        self.key_scratch = scratch;
+        self.stats.rows_examined += examined as u64;
 
         let mut c = cost::STMT_BASE
             + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
             + cost::ROW_SCAN * (examined - matched.len()) as u64;
-        c += self.lock_rows(txn, ti, &matched, LockMode::Exclusive)?;
+        match self.lock_rows(txn, ti, &matched, LockMode::Exclusive) {
+            Ok(lc) => c += lc,
+            Err(e) => {
+                self.rid_scratch = matched;
+                return Err(e);
+            }
+        }
 
         let mut affected = 0u64;
-        for rid in matched {
-            let row = self.tables[ti].delete(rid).map_err(DbError::Schema)?;
+        for &rid in &matched {
+            let row = match self.tables[ti].delete(rid) {
+                Ok(row) => row,
+                Err(e) => {
+                    // Restore the scratch buffer on the error path too.
+                    self.rid_scratch = matched;
+                    return Err(DbError::Schema(e));
+                }
+            };
             self.txns
                 .get_mut(&txn)
                 .expect("txn checked")
@@ -687,6 +932,7 @@ impl Engine {
             affected += 1;
             c += cost::ROW_WRITE;
         }
+        self.rid_scratch = matched;
         Ok(QueryResult {
             rows: Vec::new(),
             affected,

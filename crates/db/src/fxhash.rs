@@ -1,0 +1,98 @@
+//! Fast non-cryptographic hasher for the engine's *internal* maps (lock
+//! table, transaction table), in the spirit of rustc's FxHash.
+//!
+//! These maps are keyed by values the engine itself constructs (txn ids,
+//! table slots, primary keys), so HashDoS resistance buys nothing and the
+//! default SipHash costs real time on the per-statement path. The ad-hoc
+//! SQL parse cache deliberately stays on the default hasher — its keys
+//! are caller-supplied strings.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// One multiply-xor round per word, FxHash-style.
+#[derive(Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        // Final avalanche (murmur3 fmix64). The multiply-rotate rounds
+        // only propagate differences upward, but our keys often differ
+        // only in *high* bits (f64 bit patterns of small integers), and
+        // the hash table indexes by the *low* bits — without this mix
+        // such keys would share one bucket.
+        let mut h = self.hash;
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xff51_afd7_ed55_8ccd);
+        h ^= h >> 33;
+        h = h.wrapping_mul(0xc4ce_b9fe_1a85_ec53);
+        h ^= h >> 33;
+        h
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add(n as u64);
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add(n as u64);
+    }
+}
+
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// `HashMap` with the fast internal hasher.
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::FxHashMap;
+
+    #[test]
+    fn map_roundtrip() {
+        let mut m: FxHashMap<(usize, u64), &'static str> = FxHashMap::default();
+        for i in 0..1000u64 {
+            m.insert((i as usize % 7, i), "v");
+        }
+        assert_eq!(m.len(), 1000);
+        assert!(m.contains_key(&(3, 10)));
+        assert!(!m.contains_key(&(4, 10)));
+    }
+}

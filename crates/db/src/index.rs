@@ -5,13 +5,23 @@
 //! scans (equality on a primary-key prefix) iterate from the prefix padded
 //! with `Null` (which sorts first) until the prefix no longer matches.
 
+use crate::fxhash::FxHashMap;
 use pyx_lang::Scalar;
 use std::collections::BTreeMap;
 use std::ops::Bound;
+use std::rc::Rc;
 
 /// An index key: a tuple of scalars with a total order.
-#[derive(Debug, Clone, PartialEq)]
+#[derive(Debug, Clone)]
 pub struct Key(pub Vec<Scalar>);
+
+// Equality must agree with `Ord` (which compares numerics through f64, so
+// Int(1) == Double(1.0)) — a derived PartialEq would not.
+impl PartialEq for Key {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == std::cmp::Ordering::Equal
+    }
+}
 
 impl Eq for Key {}
 
@@ -38,12 +48,18 @@ impl std::hash::Hash for Key {
         for s in &self.0 {
             match s {
                 Scalar::Null => 0u8.hash(state),
+                // `total_cmp` compares Int and Double through f64, so
+                // Int(1) == Double(1.0); both must hash identically. Hash
+                // every numeric through its f64 bit pattern (total_cmp is
+                // Equal exactly when the bit patterns match). Distinct huge
+                // ints that collapse to one f64 merely collide, which is
+                // fine.
                 Scalar::Int(v) => {
                     1u8.hash(state);
-                    v.hash(state);
+                    (*v as f64).to_bits().hash(state);
                 }
                 Scalar::Double(v) => {
-                    2u8.hash(state);
+                    1u8.hash(state);
                     v.to_bits().hash(state);
                 }
                 Scalar::Bool(v) => {
@@ -74,10 +90,15 @@ impl Key {
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct RowId(pub u32);
 
-/// Unique (primary) index: key → row.
+/// Unique (primary) index: key → row. The B-tree carries the ordered
+/// scans (prefix ranges, pk-order iteration); a hash sidecar answers
+/// point lookups in O(1) — the access TPC-style workloads hammer. Both
+/// maps share one `Rc<Key>` per row, so the sidecar costs a refcount,
+/// not a second copy of every key.
 #[derive(Debug, Default, Clone)]
 pub struct UniqueIndex {
-    map: BTreeMap<Key, RowId>,
+    map: BTreeMap<Rc<Key>, RowId>,
+    fast: FxHashMap<Rc<Key>, RowId>,
 }
 
 impl UniqueIndex {
@@ -94,44 +115,82 @@ impl UniqueIndex {
     }
 
     pub fn get(&self, key: &[Scalar]) -> Option<RowId> {
-        self.map.get(&Key(key.to_vec())).copied()
+        self.fast.get(&Key(key.to_vec())).copied()
+    }
+
+    /// Point lookup probing through a caller-owned buffer: no allocation
+    /// once the buffer has warmed up (hot-path variant of [`Self::get`]).
+    pub fn get_with_buf(&self, key: &[Scalar], buf: &mut Vec<Scalar>) -> Option<RowId> {
+        buf.clear();
+        buf.extend_from_slice(key);
+        let probe = Key(std::mem::take(buf));
+        let r = self.fast.get(&probe).copied();
+        *buf = probe.0;
+        r
     }
 
     /// Insert; returns `false` if the key already exists.
     pub fn insert(&mut self, key: Vec<Scalar>, row: RowId) -> bool {
-        use std::collections::btree_map::Entry;
-        match self.map.entry(Key(key)) {
-            Entry::Occupied(_) => false,
-            Entry::Vacant(v) => {
-                v.insert(row);
-                true
-            }
+        let key = Key(key);
+        if self.fast.contains_key(&key) {
+            return false;
         }
+        let key = Rc::new(key);
+        self.map.insert(Rc::clone(&key), row);
+        self.fast.insert(key, row);
+        true
     }
 
     pub fn remove(&mut self, key: &[Scalar]) -> Option<RowId> {
-        self.map.remove(&Key(key.to_vec()))
+        let (k, r) = self.map.remove_entry(&Key(key.to_vec()))?;
+        self.fast.remove(&*k);
+        Some(r)
     }
 
     /// All rows whose key starts with `prefix`, in key order.
     pub fn prefix_scan(&self, prefix: &[Scalar]) -> Vec<RowId> {
+        self.prefix_iter(prefix).collect()
+    }
+
+    /// Iterate rows whose key starts with `prefix`, in key order, without
+    /// materializing the candidate list.
+    pub fn prefix_iter<'a>(&'a self, prefix: &'a [Scalar]) -> impl Iterator<Item = RowId> + 'a {
         let lo = Key(prefix.to_vec());
         self.map
             .range((Bound::Included(lo), Bound::Unbounded))
-            .take_while(|(k, _)| k.starts_with(prefix))
+            .take_while(move |(k, _)| k.starts_with(prefix))
             .map(|(_, &r)| r)
-            .collect()
     }
 
     pub fn iter(&self) -> impl Iterator<Item = (&Key, RowId)> {
-        self.map.iter().map(|(k, &r)| (k, r))
+        self.map.iter().map(|(k, &r)| (&**k, r))
+    }
+}
+
+/// Single-scalar key ordered by [`Scalar::total_cmp`]. Secondary indexes
+/// are always single-column, so keying the map on a bare `Scalar` avoids
+/// the per-lookup `Vec` allocation a tuple [`Key`] would cost.
+#[derive(Debug, Clone, PartialEq)]
+struct SKey(Scalar);
+
+impl Eq for SKey {}
+
+impl PartialOrd for SKey {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for SKey {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
     }
 }
 
 /// Non-unique secondary index: key → set of rows.
 #[derive(Debug, Default, Clone)]
 pub struct MultiIndex {
-    map: BTreeMap<Key, Vec<RowId>>,
+    map: BTreeMap<SKey, Vec<RowId>>,
 }
 
 impl MultiIndex {
@@ -140,21 +199,24 @@ impl MultiIndex {
     }
 
     pub fn insert(&mut self, key: Scalar, row: RowId) {
-        self.map.entry(Key(vec![key])).or_default().push(row);
+        self.map.entry(SKey(key)).or_default().push(row);
     }
 
     pub fn remove(&mut self, key: &Scalar, row: RowId) {
-        if let Some(v) = self.map.get_mut(&Key(vec![key.clone()])) {
+        // Scalar clones are refcount bumps at worst, so probing with an
+        // owned SKey costs no heap allocation.
+        let probe = SKey(key.clone());
+        if let Some(v) = self.map.get_mut(&probe) {
             v.retain(|&r| r != row);
             if v.is_empty() {
-                self.map.remove(&Key(vec![key.clone()]));
+                self.map.remove(&probe);
             }
         }
     }
 
     pub fn get(&self, key: &Scalar) -> &[RowId] {
         self.map
-            .get(&Key(vec![key.clone()]))
+            .get(&SKey(key.clone()))
             .map(|v| v.as_slice())
             .unwrap_or(&[])
     }
@@ -187,10 +249,7 @@ mod tests {
             }
         }
         let rows = idx.prefix_scan(&k(&[2]));
-        assert_eq!(
-            rows,
-            vec![RowId(21), RowId(22), RowId(23), RowId(24)]
-        );
+        assert_eq!(rows, vec![RowId(21), RowId(22), RowId(23), RowId(24)]);
         assert_eq!(idx.prefix_scan(&k(&[9])), Vec::<RowId>::new());
         // Full-key prefix behaves like point lookup.
         assert_eq!(idx.prefix_scan(&k(&[3, 4])), vec![RowId(34)]);
@@ -221,5 +280,41 @@ mod tests {
         let a = Key(k(&[1]));
         let b = Key(k(&[1, 0]));
         assert!(a < b, "shorter key sorts before its extensions");
+    }
+
+    #[test]
+    fn eq_equal_keys_hash_equally() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        fn h(k: &Key) -> u64 {
+            let mut s = DefaultHasher::new();
+            k.hash(&mut s);
+            s.finish()
+        }
+        let int1 = Key(vec![Scalar::Int(1)]);
+        let dbl1 = Key(vec![Scalar::Double(1.0)]);
+        assert_eq!(
+            int1, dbl1,
+            "total_cmp treats Int(1) and Double(1.0) as equal"
+        );
+        assert_eq!(h(&int1), h(&dbl1), "Eq-equal keys must hash equally");
+        // Distinguishable values keep distinct hashes in practice.
+        let dbl15 = Key(vec![Scalar::Double(1.5)]);
+        assert_ne!(int1, dbl15);
+        assert_ne!(h(&int1), h(&dbl15));
+        // -0.0 and 0.0 are distinct under total_cmp and may hash apart.
+        let neg0 = Key(vec![Scalar::Double(-0.0)]);
+        let pos0 = Key(vec![Scalar::Double(0.0)]);
+        assert_ne!(neg0, pos0);
+    }
+
+    #[test]
+    fn multi_index_mixed_numeric_keys_unify() {
+        let mut idx = MultiIndex::new();
+        idx.insert(Scalar::Int(2), RowId(1));
+        // total_cmp equality: a Double(2.0) probe must find the Int(2) key.
+        assert_eq!(idx.get(&Scalar::Double(2.0)), &[RowId(1)]);
+        idx.remove(&Scalar::Double(2.0), RowId(1));
+        assert!(idx.get(&Scalar::Int(2)).is_empty());
     }
 }

@@ -7,7 +7,13 @@
 //! * a SQL subset parser ([`sqlparse`]) covering the statement shapes TPC-C
 //!   and TPC-W need (point/range selects, aggregates, ORDER BY/LIMIT,
 //!   parameterized INSERT/UPDATE/DELETE, arithmetic SET expressions),
-//! * B-tree primary-key and secondary indexes ([`index`]),
+//! * **prepared statements** ([`prepared`]): [`Engine::prepare`] resolves a
+//!   statement once into an indexed plan (table id, column indices,
+//!   predicate skeleton with param slots, access path) and
+//!   [`Engine::execute_prepared`] re-runs it with no string hashing, no
+//!   clone, and no re-planning — the hot path for the simulated workloads,
+//! * B-tree primary-key indexes with a hash sidecar for O(1) point
+//!   lookups, and secondary indexes ([`index`]),
 //! * **strict two-phase row locking** with wait-die deadlock avoidance
 //!   ([`lock`]) — essential because the paper's throughput improvements come
 //!   from shorter lock hold times (§1), and
@@ -22,15 +28,18 @@
 
 pub mod cost;
 pub mod engine;
+pub mod fxhash;
 pub mod index;
 pub mod lock;
+pub mod prepared;
 pub mod schema;
 pub mod sqlparse;
 pub mod table;
 pub mod txn;
 
-pub use engine::{DbError, Engine, QueryResult};
+pub use engine::{DbError, Engine, EngineStats, QueryResult};
 pub use lock::LockMode;
+pub use prepared::PreparedId;
 pub use pyx_lang::Scalar;
 pub use schema::{ColTy, ColumnDef, TableDef};
 pub use txn::TxnId;

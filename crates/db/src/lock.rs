@@ -12,10 +12,10 @@
 //! sessions — a deadlock would hang the simulated workload exactly like a
 //! real one.
 
+use crate::fxhash::FxHashMap;
 use crate::index::Key;
 use crate::txn::TxnId;
 use pyx_lang::Scalar;
-use std::collections::HashMap;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum LockMode {
@@ -46,9 +46,12 @@ struct Entry {
 /// The lock table.
 #[derive(Debug, Default)]
 pub struct LockTable {
-    entries: HashMap<LockKey, Entry>,
+    entries: FxHashMap<LockKey, Entry>,
     /// Keys each transaction holds (for O(held) release).
-    held: HashMap<TxnId, Vec<LockKey>>,
+    held: FxHashMap<TxnId, Vec<LockKey>>,
+    /// Reused probe buffer: re-acquiring a held lock (every retry and
+    /// every repeated touch of a hot row) allocates nothing.
+    probe: Vec<Scalar>,
 }
 
 impl LockTable {
@@ -58,8 +61,26 @@ impl LockTable {
 
     /// Request `mode` on `(table, key)` for `txn`.
     pub fn acquire(&mut self, txn: TxnId, table: usize, key: &[Scalar], mode: LockMode) -> Acquire {
-        let lk: LockKey = (table, Key(key.to_vec()));
-        let entry = self.entries.entry(lk.clone()).or_default();
+        // Probe with the reused buffer; an owned key is built only when a
+        // brand-new entry must be stored.
+        let mut buf = std::mem::take(&mut self.probe);
+        buf.clear();
+        buf.extend_from_slice(key);
+        let lk: LockKey = (table, Key(buf));
+
+        let Some(entry) = self.entries.get_mut(&lk) else {
+            // Unlocked key: grant immediately.
+            self.entries.insert(
+                lk.clone(),
+                Entry {
+                    holders: vec![(txn, mode)],
+                    waiters: Vec::new(),
+                },
+            );
+            self.held.entry(txn).or_default().push(lk);
+            self.probe = Vec::new();
+            return Acquire::Granted;
+        };
 
         let mut self_idx = None;
         let mut conflicting: Vec<TxnId> = Vec::new();
@@ -71,31 +92,31 @@ impl LockTable {
             }
         }
 
-        if let Some((i, hmode)) = self_idx {
+        let result = if let Some((i, hmode)) = self_idx {
             // Re-entrant; possibly an upgrade.
             if hmode == LockMode::Exclusive || mode == LockMode::Shared {
-                return Acquire::Granted;
-            }
-            if conflicting.is_empty() {
+                Acquire::Granted
+            } else if conflicting.is_empty() {
                 entry.holders[i].1 = LockMode::Exclusive;
-                return Acquire::Granted;
+                Acquire::Granted
+            } else {
+                // Upgrade blocked by other shared holders.
+                Self::wait_or_die(txn, entry, &conflicting)
             }
-            // Upgrade blocked by other shared holders.
-            return self.wait_or_die(txn, lk, &conflicting);
-        }
-
-        if conflicting.is_empty() {
+        } else if conflicting.is_empty() {
             entry.holders.push((txn, mode));
-            self.held.entry(txn).or_default().push(lk);
-            return Acquire::Granted;
-        }
-        self.wait_or_die(txn, lk, &conflicting)
+            self.held.entry(txn).or_default().push(lk.clone());
+            Acquire::Granted
+        } else {
+            Self::wait_or_die(txn, entry, &conflicting)
+        };
+        self.probe = lk.1 .0;
+        result
     }
 
-    fn wait_or_die(&mut self, txn: TxnId, lk: LockKey, conflicting: &[TxnId]) -> Acquire {
-        // Wait-die: wait only if older than every conflicting holder.
+    /// Wait-die: wait only if older than every conflicting holder.
+    fn wait_or_die(txn: TxnId, entry: &mut Entry, conflicting: &[TxnId]) -> Acquire {
         if conflicting.iter().all(|&h| txn < h) {
-            let entry = self.entries.get_mut(&lk).expect("entry exists");
             if !entry.waiters.contains(&txn) {
                 entry.waiters.push(txn);
             }

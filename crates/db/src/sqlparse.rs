@@ -127,7 +127,11 @@ pub enum SetExpr {
 /// Parse one SQL statement.
 pub fn parse(sql: &str) -> Result<SqlStmt, String> {
     let toks = tokenize(sql)?;
-    let mut p = P { toks, pos: 0, next_param: 0 };
+    let mut p = P {
+        toks,
+        pos: 0,
+        next_param: 0,
+    };
     let stmt = match p.peek_kw().as_deref() {
         Some("SELECT") => SqlStmt::Select(p.select()?),
         Some("INSERT") => SqlStmt::Insert(p.insert()?),
@@ -248,8 +252,7 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>, String> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = i;
-                while i < b.len()
-                    && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
+                while i < b.len() && (b[i].is_ascii_alphanumeric() || b[i] == b'_' || b[i] == b'.')
                 {
                     i += 1;
                 }
@@ -536,8 +539,8 @@ mod tests {
 
     #[test]
     fn parses_point_select() {
-        let s = parse("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?")
-            .unwrap();
+        let s =
+            parse("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?").unwrap();
         match s {
             SqlStmt::Select(sel) => {
                 assert_eq!(sel.table, "district");
@@ -575,7 +578,10 @@ mod tests {
         }
         match parse("SELECT SUM(ol_amount) FROM order_line").unwrap() {
             SqlStmt::Select(s) => {
-                assert_eq!(s.proj, Projection::Agg(AggFn::Sum, Some("ol_amount".into())))
+                assert_eq!(
+                    s.proj,
+                    Projection::Agg(AggFn::Sum, Some("ol_amount".into()))
+                )
             }
             other => panic!("{other:?}"),
         }
@@ -600,9 +606,10 @@ mod tests {
 
     #[test]
     fn parses_update_with_self_arithmetic() {
-        let s =
-            parse("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?")
-                .unwrap();
+        let s = parse(
+            "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?",
+        )
+        .unwrap();
         match s {
             SqlStmt::Update(u) => {
                 assert_eq!(
@@ -642,7 +649,10 @@ mod tests {
         match s {
             SqlStmt::Select(sel) => {
                 assert_eq!(sel.where_[0].term, Term::Lit(Scalar::Int(-5)));
-                assert_eq!(sel.where_[1].term, Term::Lit(Scalar::Str("hi there".into())));
+                assert_eq!(
+                    sel.where_[1].term,
+                    Term::Lit(Scalar::Str("hi there".into()))
+                );
             }
             other => panic!("{other:?}"),
         }

@@ -8,11 +8,14 @@
 use crate::index::{MultiIndex, RowId, UniqueIndex};
 use crate::schema::TableDef;
 use pyx_lang::Scalar;
+use std::rc::Rc;
 
 #[derive(Debug, Clone)]
 pub struct Table {
     pub def: TableDef,
-    rows: Vec<Option<Vec<Scalar>>>,
+    /// Rows are reference-counted so `SELECT *` results are refcount bumps
+    /// (shared with [`crate::QueryResult`]) instead of per-row copies.
+    rows: Vec<Option<Rc<Vec<Scalar>>>>,
     free: Vec<RowId>,
     primary: UniqueIndex,
     secondary: Vec<MultiIndex>,
@@ -63,6 +66,12 @@ impl Table {
 
     /// Insert a validated row. Fails on duplicate primary key.
     pub fn insert(&mut self, row: Vec<Scalar>) -> Result<RowId, String> {
+        self.insert_shared(Rc::new(row))
+    }
+
+    /// Insert an already-shared row image (undo-log restores reuse the
+    /// saved `Rc` without copying the cells).
+    pub fn insert_shared(&mut self, row: Rc<Vec<Scalar>>) -> Result<RowId, String> {
         self.validate(&row)?;
         let key = self.def.key_of(&row);
         let rid = match self.free.pop() {
@@ -91,16 +100,31 @@ impl Table {
         self.rows
             .get(rid.0 as usize)
             .and_then(|r| r.as_deref())
+            .map(|r| r.as_slice())
     }
 
-    /// Overwrite non-key columns of a row. Returns the old row.
+    /// Shared handle to a live row (refcount bump, no cell copy).
+    pub fn get_shared(&self, rid: RowId) -> Option<&Rc<Vec<Scalar>>> {
+        self.rows.get(rid.0 as usize).and_then(|r| r.as_ref())
+    }
+
+    /// Overwrite non-key columns of a row. Returns the old row image
+    /// (shared — the caller's undo log keeps it alive without copying).
     /// Primary-key columns must not change (enforced).
-    pub fn update(&mut self, rid: RowId, new_row: Vec<Scalar>) -> Result<Vec<Scalar>, String> {
+    pub fn update(&mut self, rid: RowId, new_row: Vec<Scalar>) -> Result<Rc<Vec<Scalar>>, String> {
+        self.update_shared(rid, Rc::new(new_row))
+    }
+
+    /// [`Table::update`] with an already-shared replacement image.
+    pub fn update_shared(
+        &mut self,
+        rid: RowId,
+        new_row: Rc<Vec<Scalar>>,
+    ) -> Result<Rc<Vec<Scalar>>, String> {
         self.validate(&new_row)?;
         let old = self.rows[rid.0 as usize]
-            .as_ref()
-            .ok_or_else(|| "update of deleted row".to_string())?
-            .clone();
+            .clone()
+            .ok_or_else(|| "update of deleted row".to_string())?;
         if self.def.key_of(&old) != self.def.key_of(&new_row) {
             return Err(format!(
                 "primary-key update not supported in `{}`",
@@ -118,7 +142,7 @@ impl Table {
     }
 
     /// Delete a row, returning its contents (for undo logging).
-    pub fn delete(&mut self, rid: RowId) -> Result<Vec<Scalar>, String> {
+    pub fn delete(&mut self, rid: RowId) -> Result<Rc<Vec<Scalar>>, String> {
         let row = self.rows[rid.0 as usize]
             .take()
             .ok_or_else(|| "delete of missing row".to_string())?;
@@ -139,24 +163,62 @@ impl Table {
         self.primary.get(key)
     }
 
+    /// Point lookup through a reusable probe buffer (allocation-free once
+    /// warm).
+    pub fn pk_lookup_buf(&self, key: &[Scalar], buf: &mut Vec<Scalar>) -> Option<RowId> {
+        self.primary.get_with_buf(key, buf)
+    }
+
     /// Range scan on a primary-key prefix.
     pub fn pk_prefix_scan(&self, prefix: &[Scalar]) -> Vec<RowId> {
         self.primary.prefix_scan(prefix)
     }
 
+    /// Streaming range scan on a primary-key prefix (no candidate `Vec`).
+    pub fn pk_prefix_iter<'a>(&'a self, prefix: &'a [Scalar]) -> impl Iterator<Item = RowId> + 'a {
+        self.primary.prefix_iter(prefix)
+    }
+
     /// Secondary-index equality lookup. `slot` indexes `def.secondary`.
     pub fn index_lookup(&self, slot: usize, key: &Scalar) -> Vec<RowId> {
-        self.secondary[slot].get(key).to_vec()
+        self.index_scan(slot, key).to_vec()
+    }
+
+    /// Borrowing variant of [`Table::index_lookup`].
+    pub fn index_scan(&self, slot: usize, key: &Scalar) -> &[RowId] {
+        self.secondary[slot].get(key)
     }
 
     /// Full scan in primary-key order.
     pub fn full_scan(&self) -> Vec<RowId> {
-        self.primary.iter().map(|(_, r)| r).collect()
+        self.full_scan_iter().collect()
+    }
+
+    /// Streaming full scan in primary-key order (no candidate `Vec`).
+    pub fn full_scan_iter(&self) -> impl Iterator<Item = RowId> + '_ {
+        self.primary.iter().map(|(_, r)| r)
     }
 
     /// Which secondary-index slot (if any) covers `col`?
     pub fn secondary_slot(&self, col: usize) -> Option<usize> {
         self.def.secondary.iter().position(|&c| c == col)
+    }
+
+    /// Add (and backfill) a single-column secondary index on an existing
+    /// table. Returns the new slot; a no-op if `col` is already indexed.
+    pub fn add_secondary(&mut self, col: usize) -> usize {
+        if let Some(slot) = self.secondary_slot(col) {
+            return slot;
+        }
+        let mut idx = MultiIndex::new();
+        for (i, row) in self.rows.iter().enumerate() {
+            if let Some(row) = row {
+                idx.insert(row[col].clone(), RowId(i as u32));
+            }
+        }
+        self.def.secondary.push(col);
+        self.secondary.push(idx);
+        self.secondary.len() - 1
     }
 }
 
@@ -207,7 +269,11 @@ mod tests {
     #[test]
     fn type_mismatch_rejected() {
         let mut t = items();
-        let bad = vec![Scalar::Str("x".into()), Scalar::Str("y".into()), Scalar::Int(1)];
+        let bad = vec![
+            Scalar::Str("x".into()),
+            Scalar::Str("y".into()),
+            Scalar::Int(1),
+        ];
         assert!(t.insert(bad).is_err());
     }
 

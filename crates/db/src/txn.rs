@@ -7,24 +7,26 @@
 
 use crate::index::RowId;
 use pyx_lang::Scalar;
+use std::rc::Rc;
 
 /// Transaction identifier. Ids are assigned monotonically; a smaller id
 /// means an *older* transaction, which wait-die lets wait rather than die.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct TxnId(pub u64);
 
-/// One inverse operation in the undo log.
+/// One inverse operation in the undo log. Row images are shared with the
+/// table storage they came from (refcounted, not copied).
 #[derive(Debug, Clone)]
 pub enum UndoOp {
     /// Undo an insert: delete the row with this primary key.
     Insert { table: usize, key: Vec<Scalar> },
     /// Undo a delete: re-insert the full row.
-    Delete { table: usize, row: Vec<Scalar> },
+    Delete { table: usize, row: Rc<Vec<Scalar>> },
     /// Undo an update: restore the old image.
     Update {
         table: usize,
         rid: RowId,
-        old: Vec<Scalar>,
+        old: Rc<Vec<Scalar>>,
     },
 }
 

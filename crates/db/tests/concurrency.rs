@@ -22,9 +22,7 @@ fn bank(n: i64) -> Engine {
 }
 
 fn total(e: &mut Engine) -> i64 {
-    e.exec_auto("SELECT SUM(bal) FROM acct", &[])
-        .unwrap()
-        .rows[0][0]
+    e.exec_auto("SELECT SUM(bal) FROM acct", &[]).unwrap().rows[0][0]
         .as_int()
         .unwrap()
 }
@@ -77,7 +75,16 @@ fn interleaved_transfers_conserve_money() {
     let before = total(&mut e);
 
     // (from, to) pairs with deliberate overlap.
-    let specs: Vec<(i64, i64)> = vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 3), (5, 6), (6, 7), (7, 5)];
+    let specs: Vec<(i64, i64)> = vec![
+        (0, 1),
+        (1, 2),
+        (2, 0),
+        (3, 4),
+        (4, 3),
+        (5, 6),
+        (6, 7),
+        (7, 5),
+    ];
     let mut pending: Vec<Transfer> = specs
         .iter()
         .map(|&(f, t)| Transfer {
@@ -180,7 +187,11 @@ fn no_dirty_reads() {
     .unwrap();
     // Younger reader conflicts with the exclusive lock → dies.
     let err = e
-        .execute(reader, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .execute(
+            reader,
+            "SELECT bal FROM acct WHERE id = ?",
+            &[Scalar::Int(0)],
+        )
         .unwrap_err();
     assert_eq!(err, DbError::Deadlock);
     e.abort(reader).unwrap();
@@ -207,14 +218,22 @@ fn older_reader_waits_and_sees_commit() {
     )
     .unwrap();
     assert_eq!(
-        e.execute(older, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
-            .unwrap_err(),
+        e.execute(
+            older,
+            "SELECT bal FROM acct WHERE id = ?",
+            &[Scalar::Int(0)]
+        )
+        .unwrap_err(),
         DbError::WouldBlock
     );
     let (_, woken) = e.commit(younger).unwrap();
     assert_eq!(woken, vec![older]);
     let r = e
-        .execute(older, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .execute(
+            older,
+            "SELECT bal FROM acct WHERE id = ?",
+            &[Scalar::Int(0)],
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Scalar::Int(55));
     e.commit(older).unwrap();

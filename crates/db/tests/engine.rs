@@ -31,7 +31,10 @@ fn accounts_engine() -> Engine {
 fn point_select() {
     let mut e = accounts_engine();
     let r = e
-        .exec_auto("SELECT name, bal FROM accounts WHERE cid = ?", &[Scalar::Int(3)])
+        .exec_auto(
+            "SELECT name, bal FROM accounts WHERE cid = ?",
+            &[Scalar::Int(3)],
+        )
         .unwrap();
     assert_eq!(r.rows.len(), 1);
     assert_eq!(r.rows[0][0], Scalar::Str("acct3".into()));
@@ -97,7 +100,10 @@ fn insert_with_column_list_fills_nulls() {
     )
     .unwrap();
     let r = e
-        .exec_auto("SELECT name FROM accounts WHERE cid = ?", &[Scalar::Int(200)])
+        .exec_auto(
+            "SELECT name FROM accounts WHERE cid = ?",
+            &[Scalar::Int(200)],
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Scalar::Null);
 }
@@ -110,16 +116,20 @@ fn aggregates() {
     let r = e.exec_auto("SELECT SUM(bal) FROM accounts", &[]).unwrap();
     assert_eq!(r.rows[0][0], Scalar::Double(1000.0));
     let r = e
-        .exec_auto("SELECT MAX(cid) FROM accounts WHERE cid < ?", &[Scalar::Int(5)])
+        .exec_auto(
+            "SELECT MAX(cid) FROM accounts WHERE cid < ?",
+            &[Scalar::Int(5)],
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Scalar::Int(4));
-    let r = e
-        .exec_auto("SELECT AVG(bal) FROM accounts", &[])
-        .unwrap();
+    let r = e.exec_auto("SELECT AVG(bal) FROM accounts", &[]).unwrap();
     assert_eq!(r.rows[0][0], Scalar::Double(100.0));
     // Aggregate over empty set.
     let r = e
-        .exec_auto("SELECT SUM(bal) FROM accounts WHERE cid > ?", &[Scalar::Int(999)])
+        .exec_auto(
+            "SELECT SUM(bal) FROM accounts WHERE cid > ?",
+            &[Scalar::Int(999)],
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Scalar::Null);
 }
@@ -137,7 +147,11 @@ fn abort_undoes_everything() {
     e.execute(
         t,
         "INSERT INTO accounts VALUES (?, ?, ?)",
-        &[Scalar::Int(50), Scalar::Str("tmp".into()), Scalar::Double(0.0)],
+        &[
+            Scalar::Int(50),
+            Scalar::Str("tmp".into()),
+            Scalar::Double(0.0),
+        ],
     )
     .unwrap();
     e.execute(t, "DELETE FROM accounts WHERE cid = ?", &[Scalar::Int(9)])
@@ -151,7 +165,10 @@ fn abort_undoes_everything() {
     assert_eq!(r.rows[0][0], Scalar::Double(100.0));
     assert_eq!(e.table_len("accounts"), 10);
     let r = e
-        .exec_auto("SELECT COUNT(*) FROM accounts WHERE cid = ?", &[Scalar::Int(9)])
+        .exec_auto(
+            "SELECT COUNT(*) FROM accounts WHERE cid = ?",
+            &[Scalar::Int(9)],
+        )
         .unwrap();
     assert_eq!(r.rows[0][0], Scalar::Int(1));
 }
@@ -230,10 +247,18 @@ fn shared_readers_do_not_block() {
     let mut e = accounts_engine();
     let t1 = e.begin();
     let t2 = e.begin();
-    e.execute(t1, "SELECT bal FROM accounts WHERE cid = ?", &[Scalar::Int(1)])
-        .unwrap();
-    e.execute(t2, "SELECT bal FROM accounts WHERE cid = ?", &[Scalar::Int(1)])
-        .unwrap();
+    e.execute(
+        t1,
+        "SELECT bal FROM accounts WHERE cid = ?",
+        &[Scalar::Int(1)],
+    )
+    .unwrap();
+    e.execute(
+        t2,
+        "SELECT bal FROM accounts WHERE cid = ?",
+        &[Scalar::Int(1)],
+    )
+    .unwrap();
     e.commit(t1).unwrap();
     e.commit(t2).unwrap();
 }
@@ -243,8 +268,12 @@ fn reader_blocks_writer_until_commit() {
     let mut e = accounts_engine();
     let t1 = e.begin(); // older reader
     let t2 = e.begin(); // younger writer
-    e.execute(t1, "SELECT bal FROM accounts WHERE cid = ?", &[Scalar::Int(1)])
-        .unwrap();
+    e.execute(
+        t1,
+        "SELECT bal FROM accounts WHERE cid = ?",
+        &[Scalar::Int(1)],
+    )
+    .unwrap();
     let err = e
         .execute(
             t2,
@@ -263,7 +292,11 @@ fn duplicate_pkey_insert_is_schema_error() {
     let err = e
         .exec_auto(
             "INSERT INTO accounts VALUES (?, ?, ?)",
-            &[Scalar::Int(1), Scalar::Str("dup".into()), Scalar::Double(0.0)],
+            &[
+                Scalar::Int(1),
+                Scalar::Str("dup".into()),
+                Scalar::Double(0.0),
+            ],
         )
         .unwrap_err();
     assert!(matches!(err, DbError::Schema(_)));
@@ -277,7 +310,8 @@ fn errors_on_unknown_things() {
         DbError::Schema(_)
     ));
     assert!(matches!(
-        e.exec_auto("SELECT nosuchcol FROM accounts", &[]).unwrap_err(),
+        e.exec_auto("SELECT nosuchcol FROM accounts", &[])
+            .unwrap_err(),
         DbError::Schema(_)
     ));
     assert!(matches!(

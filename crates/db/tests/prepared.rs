@@ -1,0 +1,401 @@
+//! Differential tests: `execute_prepared` must be observationally
+//! identical to `execute` — same rows, same affected counts, same virtual
+//! `cost`, same `wire_size` — across the TPC-C / TPC-W statement mix,
+//! plus plan-caching behavior: invalidation on schema change, the parse
+//! cache cap, and the prepared hit/miss counters.
+
+use pyx_db::{ColTy, ColumnDef, DbError, Engine, Scalar, TableDef};
+
+fn s(v: &str) -> Scalar {
+    Scalar::Str(v.into())
+}
+
+fn i(v: i64) -> Scalar {
+    Scalar::Int(v)
+}
+
+fn d(v: f64) -> Scalar {
+    Scalar::Double(v)
+}
+
+/// TPC-C-shaped schema (same tables the workload crate creates) plus a
+/// TPC-W-flavored `item_w` table with a secondary index.
+fn mixed_schema(db: &mut Engine) {
+    db.create_table(TableDef::new(
+        "warehouse",
+        vec![
+            ColumnDef::new("w_id", ColTy::Int),
+            ColumnDef::new("w_name", ColTy::Str),
+            ColumnDef::new("w_tax", ColTy::Double),
+        ],
+        &["w_id"],
+    ));
+    db.create_table(TableDef::new(
+        "district",
+        vec![
+            ColumnDef::new("d_w_id", ColTy::Int),
+            ColumnDef::new("d_id", ColTy::Int),
+            ColumnDef::new("d_tax", ColTy::Double),
+            ColumnDef::new("d_next_o_id", ColTy::Int),
+        ],
+        &["d_w_id", "d_id"],
+    ));
+    db.create_table(TableDef::new(
+        "stock",
+        vec![
+            ColumnDef::new("s_w_id", ColTy::Int),
+            ColumnDef::new("s_i_id", ColTy::Int),
+            ColumnDef::new("s_quantity", ColTy::Int),
+        ],
+        &["s_w_id", "s_i_id"],
+    ));
+    db.create_table(TableDef::new(
+        "order_line",
+        vec![
+            ColumnDef::new("ol_w_id", ColTy::Int),
+            ColumnDef::new("ol_d_id", ColTy::Int),
+            ColumnDef::new("ol_o_id", ColTy::Int),
+            ColumnDef::new("ol_number", ColTy::Int),
+            ColumnDef::new("ol_amount", ColTy::Double),
+        ],
+        &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+    ));
+    db.create_table(
+        TableDef::new(
+            "item_w",
+            vec![
+                ColumnDef::new("i_id", ColTy::Int),
+                ColumnDef::new("i_subject", ColTy::Str),
+                ColumnDef::new("i_title", ColTy::Str),
+                ColumnDef::new("i_cost", ColTy::Double),
+                ColumnDef::new("i_total_sold", ColTy::Int),
+            ],
+            &["i_id"],
+        )
+        .with_index("i_subject"),
+    );
+}
+
+fn load_mixed(db: &mut Engine) {
+    for w in 1..=2 {
+        db.load_row(
+            "warehouse",
+            vec![i(w), s(&format!("wh{w}")), d(0.05 * w as f64)],
+        );
+        for dd in 1..=3 {
+            db.load_row("district", vec![i(w), i(dd), d(0.01 * dd as f64), i(3001)]);
+        }
+        for it in 1..=50 {
+            db.load_row("stock", vec![i(w), i(it), i(40 + it)]);
+        }
+    }
+    let subjects = ["sf", "history", "sf", "poetry", "sf", "history"];
+    for (n, subj) in subjects.iter().enumerate() {
+        let id = n as i64 + 1;
+        db.load_row(
+            "item_w",
+            vec![
+                i(id),
+                s(subj),
+                s(&format!("title{id}")),
+                d(5.0 + id as f64),
+                i((id * 37) % 100),
+            ],
+        );
+    }
+}
+
+/// The statement mix: every SQL shape the TPC-C new-order and TPC-W
+/// browsing/ordering interactions issue, with parameter bindings.
+fn statement_mix() -> Vec<(&'static str, Vec<Scalar>)> {
+    vec![
+        // TPC-C new-order
+        ("SELECT w_tax FROM warehouse WHERE w_id = ?", vec![i(1)]),
+        (
+            "UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?",
+            vec![i(1), i(2)],
+        ),
+        (
+            "SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?",
+            vec![i(1), i(2)],
+        ),
+        (
+            "SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_i_id = ?",
+            vec![i(2), i(17)],
+        ),
+        (
+            "UPDATE stock SET s_quantity = ? WHERE s_w_id = ? AND s_i_id = ?",
+            vec![i(77), i(2), i(17)],
+        ),
+        (
+            "INSERT INTO order_line VALUES (?, ?, ?, ?, ?)",
+            vec![i(1), i(2), i(3001), i(1), d(42.5)],
+        ),
+        // pk-prefix scan (order status / stock level style)
+        (
+            "SELECT ol_amount FROM order_line WHERE ol_w_id = ? AND ol_d_id = ?",
+            vec![i(1), i(2)],
+        ),
+        (
+            "SELECT SUM(ol_amount) FROM order_line WHERE ol_w_id = ?",
+            vec![i(1)],
+        ),
+        (
+            "DELETE FROM order_line WHERE ol_w_id = ? AND ol_d_id = ? AND ol_o_id = ? AND ol_number = ?",
+            vec![i(1), i(2), i(3001), i(1)],
+        ),
+        // TPC-W browsing: secondary-index lookup, ORDER BY ... LIMIT, agg
+        (
+            "SELECT * FROM item_w WHERE i_subject = ? ORDER BY i_total_sold DESC LIMIT 2",
+            vec![s("sf")],
+        ),
+        ("SELECT i_title, i_cost FROM item_w WHERE i_id = ?", vec![i(3)]),
+        ("SELECT COUNT(*) FROM item_w WHERE i_cost > ?", vec![d(7.0)]),
+        ("SELECT MIN(i_cost) FROM item_w", vec![]),
+        (
+            "UPDATE item_w SET i_total_sold = i_total_sold + ? WHERE i_id = ?",
+            vec![i(3), i(4)],
+        ),
+        (
+            "INSERT INTO item_w (i_id, i_subject, i_title, i_cost, i_total_sold) VALUES (?, ?, ?, ?, ?)",
+            vec![i(99), s("sf"), s("fresh"), d(12.0), i(0)],
+        ),
+        ("DELETE FROM item_w WHERE i_id = ?", vec![i(99)]),
+        // full scan with inequality
+        ("SELECT i_id FROM item_w WHERE i_total_sold >= ?", vec![i(10)]),
+    ]
+}
+
+/// Run the same statement stream through both paths on two identical
+/// engines and require identical observable results at every step.
+#[test]
+fn execute_and_execute_prepared_are_identical_over_the_mix() {
+    let mut adhoc = Engine::new();
+    let mut prep = Engine::new();
+    mixed_schema(&mut adhoc);
+    mixed_schema(&mut prep);
+    load_mixed(&mut adhoc);
+    load_mixed(&mut prep);
+
+    let mix = statement_mix();
+    let handles: Vec<_> = mix
+        .iter()
+        .map(|(sql, _)| prep.prepare(sql).expect("prepare"))
+        .collect();
+
+    // Three passes exercise plan reuse, not just first resolution.
+    for pass in 0..3 {
+        let ta = adhoc.begin();
+        let tp = prep.begin();
+        for ((sql, params), &pid) in mix.iter().zip(&handles) {
+            let a = adhoc.execute(ta, sql, params);
+            let p = prep.execute_prepared(tp, pid, params);
+            match (&a, &p) {
+                (Ok(ra), Ok(rp)) => {
+                    assert_eq!(ra.rows, rp.rows, "pass {pass}: rows differ for {sql}");
+                    assert_eq!(
+                        ra.affected, rp.affected,
+                        "pass {pass}: affected differs for {sql}"
+                    );
+                    assert_eq!(ra.cost, rp.cost, "pass {pass}: cost differs for {sql}");
+                    assert_eq!(
+                        ra.wire_size(),
+                        rp.wire_size(),
+                        "pass {pass}: wire_size differs for {sql}"
+                    );
+                }
+                (a, p) => panic!("pass {pass}: {sql} diverged: {a:?} vs {p:?}"),
+            }
+        }
+        adhoc.commit(ta).unwrap();
+        prep.commit(tp).unwrap();
+    }
+
+    // Both engines must land in the same final state.
+    for t in adhoc.table_names() {
+        assert_eq!(adhoc.dump_table(&t), prep.dump_table(&t), "table {t}");
+    }
+}
+
+/// Error behavior matches too: bad parameter counts and unknown tables
+/// surface the same way through both paths.
+#[test]
+fn prepared_error_parity() {
+    let mut db = Engine::new();
+    mixed_schema(&mut db);
+
+    // Too few parameters.
+    let pid = db
+        .prepare("SELECT w_tax FROM warehouse WHERE w_id = ?")
+        .unwrap();
+    let t = db.begin();
+    let a = db.execute(t, "SELECT w_tax FROM warehouse WHERE w_id = ?", &[]);
+    let p = db.execute_prepared(t, pid, &[]);
+    assert_eq!(a, p);
+    assert!(matches!(a, Err(DbError::Schema(_))));
+
+    // Unknown table: prepare succeeds (parse-only), execution fails like
+    // the ad-hoc path.
+    let pid = db.prepare("SELECT x FROM missing WHERE x = ?").unwrap();
+    let a = db.execute(t, "SELECT x FROM missing WHERE x = ?", &[i(1)]);
+    let p = db.execute_prepared(t, pid, &[i(1)]);
+    assert_eq!(a, p);
+    assert!(matches!(a, Err(DbError::Schema(_))));
+
+    // Parse errors surface at prepare time.
+    assert!(matches!(db.prepare("DROP TABLE t"), Err(DbError::Parse(_))));
+    db.abort(t).unwrap();
+}
+
+/// A prepared statement created before its table exists resolves lazily
+/// once the table appears (schema-epoch invalidation in the other
+/// direction).
+#[test]
+fn prepare_before_create_table_resolves_lazily() {
+    let mut db = Engine::new();
+    let pid = db.prepare("SELECT v FROM late WHERE k = ?").unwrap();
+    let t = db.begin();
+    assert!(matches!(
+        db.execute_prepared(t, pid, &[i(1)]),
+        Err(DbError::Schema(_))
+    ));
+    db.create_table(TableDef::new(
+        "late",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Int),
+        ],
+        &["k"],
+    ));
+    db.load_row("late", vec![i(1), i(10)]);
+    let r = db.execute_prepared(t, pid, &[i(1)]).unwrap();
+    assert_eq!(r.rows[0][0], i(10));
+    db.commit(t).unwrap();
+}
+
+/// Adding a secondary index invalidates the cached plan; the statement
+/// re-resolves and switches from a full scan to the new index, with
+/// identical results.
+#[test]
+fn plan_invalidated_and_improved_by_add_index() {
+    let mut db = Engine::new();
+    mixed_schema(&mut db);
+    load_mixed(&mut db);
+    // No index on i_title: starts as a full scan.
+    let pid = db
+        .prepare("SELECT i_cost FROM item_w WHERE i_title = ?")
+        .unwrap();
+    assert_eq!(db.prepared_path_kind(pid).unwrap(), "full_scan");
+
+    let t = db.begin();
+    let before = db.execute_prepared(t, pid, &[s("title3")]).unwrap();
+    db.commit(t).unwrap();
+    let misses_before = db.stats.prepared_misses;
+
+    db.add_index("item_w", "i_title").unwrap();
+    assert_eq!(
+        db.prepared_path_kind(pid).unwrap(),
+        "secondary",
+        "plan must re-resolve onto the new index"
+    );
+    assert_eq!(
+        db.stats.prepared_misses,
+        misses_before + 1,
+        "re-resolution counts as a miss"
+    );
+
+    let t = db.begin();
+    let after = db.execute_prepared(t, pid, &[s("title3")]).unwrap();
+    db.commit(t).unwrap();
+    assert_eq!(before.rows, after.rows);
+    assert_eq!(before.affected, after.affected);
+    // Fewer rows examined through the index: cheaper than the full scan.
+    assert!(
+        after.cost < before.cost,
+        "index path should cost less: {} vs {}",
+        after.cost,
+        before.cost
+    );
+}
+
+/// Prepared-plan hit/miss accounting.
+#[test]
+fn prepared_hit_miss_counters() {
+    let mut db = Engine::new();
+    mixed_schema(&mut db);
+    load_mixed(&mut db);
+    let pid = db
+        .prepare("SELECT w_tax FROM warehouse WHERE w_id = ?")
+        .unwrap();
+    // Re-preparing the same text returns the same handle.
+    assert_eq!(
+        db.prepare("SELECT w_tax FROM warehouse WHERE w_id = ?")
+            .unwrap(),
+        pid
+    );
+
+    let t = db.begin();
+    db.execute_prepared(t, pid, &[i(1)]).unwrap();
+    assert_eq!((db.stats.prepared_hits, db.stats.prepared_misses), (0, 1));
+    db.execute_prepared(t, pid, &[i(2)]).unwrap();
+    db.execute_prepared(t, pid, &[i(1)]).unwrap();
+    assert_eq!((db.stats.prepared_hits, db.stats.prepared_misses), (2, 1));
+    db.commit(t).unwrap();
+
+    // rows_examined ticks on both paths.
+    assert!(db.stats.rows_examined >= 3);
+}
+
+/// The ad-hoc parse cache stays bounded under distinct-statement floods.
+#[test]
+fn parse_cache_is_capped() {
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "t",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Int),
+        ],
+        &["k"],
+    ));
+    for n in 0..600 {
+        db.load_row("t", vec![i(n), i(n * 2)]);
+    }
+    // 600 distinct ad-hoc statements (inline literals, the anti-pattern
+    // the cap defends against).
+    for n in 0..600 {
+        let sql = format!("SELECT v FROM t WHERE k = {n}");
+        let r = db.exec_auto(&sql, &[]).unwrap();
+        assert_eq!(r.rows[0][0], i(n * 2));
+    }
+    assert!(
+        db.stats.parse_evictions >= 300,
+        "cap must evict under a flood, got {}",
+        db.stats.parse_evictions
+    );
+    // Evicted statements still re-parse and execute correctly.
+    let r = db.exec_auto("SELECT v FROM t WHERE k = 0", &[]).unwrap();
+    assert_eq!(r.rows[0][0], i(0));
+}
+
+/// `SELECT *` results share row storage (zero-copy): the Rc images in the
+/// result are the same allocations the table holds.
+#[test]
+fn select_star_is_zero_copy() {
+    let mut db = Engine::new();
+    mixed_schema(&mut db);
+    load_mixed(&mut db);
+    let pid = db
+        .prepare("SELECT * FROM warehouse WHERE w_id = ?")
+        .unwrap();
+    let t = db.begin();
+    let r1 = db.execute_prepared(t, pid, &[i(1)]).unwrap();
+    let r2 = db.execute_prepared(t, pid, &[i(1)]).unwrap();
+    db.commit(t).unwrap();
+    assert_eq!(r1.rows.len(), 1);
+    // Both results point at the same shared row image.
+    assert!(
+        std::rc::Rc::ptr_eq(&r1.rows[0], &r2.rows[0]),
+        "SELECT * must share the stored row, not copy it"
+    );
+}

@@ -156,7 +156,7 @@ mod tests {
         lp.objective = vec![0.0, 0.0, 0.0, 10.0, 1.0];
         lp.add(Constraint::eq(vec![(0, 1.0)], 0.0)); // n0 = APP
         lp.add(Constraint::eq(vec![(2, 1.0)], 1.0)); // n2 = DB
-        // e0 = |n0 - n1|
+                                                     // e0 = |n0 - n1|
         lp.add(Constraint::le(vec![(0, 1.0), (1, -1.0), (3, -1.0)], 0.0));
         lp.add(Constraint::le(vec![(1, 1.0), (0, -1.0), (3, -1.0)], 0.0));
         // e1 = |n1 - n2|

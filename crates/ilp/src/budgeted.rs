@@ -327,10 +327,7 @@ mod tests {
             assert!(lag.within_budget, "trial {trial}: infeasible result");
 
             // Exact reference via B&B.
-            let loads: Vec<f64> = (0..n)
-                .map(|i| if i == 0 || i == n - 1 { 0.0 } else { 0.0 })
-                .collect();
-            let _ = loads;
+            // (node loads are all zero in this reference model)
             let ne = edges.len();
             let mut lp = crate::model::Lp::new(n + ne);
             lp.add(crate::model::Constraint::eq(vec![(0, 1.0)], 0.0));
@@ -369,5 +366,4 @@ mod tests {
             );
         }
     }
-
 }

@@ -193,7 +193,9 @@ mod tests {
         let mut g = FlowNetwork::new(n);
         let mut state = 12345u64;
         let mut rnd = || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             ((state >> 33) % 1000) as f64 / 100.0
         };
         let mut src_out = 0.0;

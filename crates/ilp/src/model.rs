@@ -79,11 +79,7 @@ impl Lp {
 
     /// Evaluate the objective at a point.
     pub fn objective_at(&self, x: &[f64]) -> f64 {
-        self.objective
-            .iter()
-            .zip(x)
-            .map(|(c, v)| c * v)
-            .sum()
+        self.objective.iter().zip(x).map(|(c, v)| c * v).sum()
     }
 
     /// Check feasibility of a point within tolerance.

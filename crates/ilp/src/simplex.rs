@@ -135,8 +135,8 @@ impl Tableau {
             let mut z = vec![0.0; self.n_total + 1];
             for r in 0..m {
                 if cost[self.basis[r]] != 0.0 {
-                    for j in 0..=self.n_total {
-                        z[j] += self.a[r][j];
+                    for (zj, aj) in z.iter_mut().zip(&self.a[r]) {
+                        *zj += aj;
                     }
                 }
             }
@@ -174,8 +174,8 @@ impl Tableau {
         for r in 0..m {
             let cb = cost[self.basis[r]];
             if cb != 0.0 {
-                for j in 0..=self.n_total {
-                    z[j] += cb * self.a[r][j];
+                for (zj, aj) in z.iter_mut().zip(&self.a[r]) {
+                    *zj += cb * aj;
                 }
             }
         }
@@ -189,7 +189,7 @@ impl Tableau {
     fn optimize(
         &mut self,
         cost: &[f64],
-        z: &mut Vec<f64>,
+        z: &mut [f64],
         allowed_cols: usize,
         iter_limit: usize,
     ) -> LpStatus {
@@ -236,8 +236,8 @@ impl Tableau {
             for row in 0..m {
                 let cb = cost[self.basis[row]];
                 if cb != 0.0 {
-                    for col in 0..=self.n_total {
-                        z[col] += cb * self.a[row][col];
+                    for (zc, ac) in z.iter_mut().zip(&self.a[row]) {
+                        *zc += cb * ac;
                     }
                 }
             }
@@ -351,8 +351,14 @@ mod tests {
         // A classic degenerate LP; Bland's rule must terminate.
         let mut lp = Lp::new(4);
         lp.objective = vec![-0.75, 150.0, -0.02, 6.0];
-        lp.add(Constraint::le(vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)], 0.0));
-        lp.add(Constraint::le(vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)], 0.0));
+        lp.add(Constraint::le(
+            vec![(0, 0.25), (1, -60.0), (2, -0.04), (3, 9.0)],
+            0.0,
+        ));
+        lp.add(Constraint::le(
+            vec![(0, 0.5), (1, -90.0), (2, -0.02), (3, 3.0)],
+            0.0,
+        ));
         lp.add(Constraint::le(vec![(2, 1.0)], 1.0));
         let s = solve_lp(&lp);
         assert_eq!(s.status, LpStatus::Optimal);

@@ -135,9 +135,15 @@ pub enum ExprKind {
         args: Vec<Expr>,
     },
     /// `new C(args)`
-    NewObject { class: String, args: Vec<Expr> },
+    NewObject {
+        class: String,
+        args: Vec<Expr>,
+    },
     /// `new T[len]`
-    NewArray { elem: TypeAst, len: Box<Expr> },
+    NewArray {
+        elem: TypeAst,
+        len: Box<Expr>,
+    },
     /// `i++` / `i--` in expression position (only allowed as array index or
     /// statement, mirroring the paper's `realCosts[i++]`).
     PostIncr(String, bool),

@@ -183,9 +183,7 @@ impl<'a> Lexer<'a> {
                     b't' => s.push('\t'),
                     b'"' => s.push('"'),
                     b'\\' => s.push('\\'),
-                    other => {
-                        return Err(self.err(format!("unknown escape `\\{}`", other as char)))
-                    }
+                    other => return Err(self.err(format!("unknown escape `\\{}`", other as char))),
                 },
                 c => s.push(c as char),
             }
@@ -290,10 +288,7 @@ mod tests {
     #[test]
     fn dot_after_number_is_member_access_when_no_digit() {
         // `costs.length` style: `5.length` lexes as IntLit Dot Ident.
-        assert_eq!(
-            kinds("5.x"),
-            vec![IntLit(5), Dot, Ident("x".into()), Eof]
-        );
+        assert_eq!(kinds("5.x"), vec![IntLit(5), Dot, Ident("x".into()), Eof]);
     }
 
     #[test]
@@ -317,10 +312,7 @@ mod tests {
 
     #[test]
     fn lexes_strings_with_escapes() {
-        assert_eq!(
-            kinds(r#""a\n\"b\\""#),
-            vec![StrLit("a\n\"b\\".into()), Eof]
-        );
+        assert_eq!(kinds(r#""a\n\"b\\""#), vec![StrLit("a\n\"b\\".into()), Eof]);
     }
 
     #[test]
@@ -352,7 +344,13 @@ mod tests {
     fn lexes_increment_decrement() {
         assert_eq!(
             kinds("i++ j--"),
-            vec![Ident("i".into()), PlusPlus, Ident("j".into()), MinusMinus, Eof]
+            vec![
+                Ident("i".into()),
+                PlusPlus,
+                Ident("j".into()),
+                MinusMinus,
+                Eof
+            ]
         );
     }
 }

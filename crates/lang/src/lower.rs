@@ -297,10 +297,7 @@ impl<'a> FnLowerer<'a> {
             name: name.to_string(),
             ty,
         });
-        self.scopes
-            .last_mut()
-            .unwrap()
-            .insert(name.to_string(), id);
+        self.scopes.last_mut().unwrap().insert(name.to_string(), id);
         Ok(id)
     }
 
@@ -363,15 +360,13 @@ impl<'a> FnLowerer<'a> {
                 Ok(())
             }
             StmtKind::Assign { target, op, value } => self.lower_assign(target, *op, value, out),
-            StmtKind::ExprStmt(e) => {
-                match &e.kind {
-                    ExprKind::Call { .. } | ExprKind::NewObject { .. } => {
-                        self.lower_call_like(e, None, out)?;
-                        Ok(())
-                    }
-                    _ => self.err("only calls may be used as statements"),
+            StmtKind::ExprStmt(e) => match &e.kind {
+                ExprKind::Call { .. } | ExprKind::NewObject { .. } => {
+                    self.lower_call_like(e, None, out)?;
+                    Ok(())
                 }
-            }
+                _ => self.err("only calls may be used as statements"),
+            },
             StmtKind::If {
                 cond,
                 then_b,
@@ -558,9 +553,7 @@ impl<'a> FnLowerer<'a> {
         let rv = if op == AssignOp::Set {
             let (rv, vty) = self.lower_to_rvalue(value, Some(&place_ty), out)?;
             if !place_ty.accepts(&vty) {
-                return self.err(format!(
-                    "cannot assign {vty} to {place_ty}"
-                ));
+                return self.err(format!("cannot assign {vty} to {place_ty}"));
             }
             rv
         } else {
@@ -608,16 +601,13 @@ impl<'a> FnLowerer<'a> {
                 let (b, bty) = self.lower_expr(base, out)?;
                 match bty {
                     Ty::Class(cid) => {
-                        let f = self
-                            .env
-                            .find_field(cid, name)
-                            .ok_or_else(|| Diag {
-                                line: e.line,
-                                msg: format!(
-                                    "class `{}` has no field `{name}`",
-                                    self.env.classes[cid.index()].name
-                                ),
-                            })?;
+                        let f = self.env.find_field(cid, name).ok_or_else(|| Diag {
+                            line: e.line,
+                            msg: format!(
+                                "class `{}` has no field `{name}`",
+                                self.env.classes[cid.index()].name
+                            ),
+                        })?;
                         Ok((
                             Place::Field {
                                 base: b,
@@ -739,10 +729,7 @@ impl<'a> FnLowerer<'a> {
             ExprKind::DoubleLit(v) => Ok((Operand::CDouble(*v), Ty::Double)),
             ExprKind::BoolLit(v) => Ok((Operand::CBool(*v), Ty::Bool)),
             ExprKind::StrLit(s) => Ok((Operand::CStr(s.as_str().into()), Ty::Str)),
-            ExprKind::Null => Ok((
-                Operand::Null,
-                expect.cloned().unwrap_or(Ty::Null),
-            )),
+            ExprKind::Null => Ok((Operand::Null, expect.cloned().unwrap_or(Ty::Null))),
             ExprKind::This => {
                 if self.sig.is_static {
                     return self.err("`this` in a static method");
@@ -772,12 +759,10 @@ impl<'a> FnLowerer<'a> {
             }
             ExprKind::PostIncr(name, incr) => {
                 // value is the *pre* value: t = x; x = x + 1; → t
-                let l = self
-                    .lookup_local(name)
-                    .ok_or_else(|| Diag {
-                        line: e.line,
-                        msg: format!("unknown variable `{name}`"),
-                    })?;
+                let l = self.lookup_local(name).ok_or_else(|| Diag {
+                    line: e.line,
+                    msg: format!("unknown variable `{name}`"),
+                })?;
                 if self.local_ty(l) != Ty::Int {
                     return self.err("++/-- requires an int variable");
                 }
@@ -970,11 +955,7 @@ impl<'a> FnLowerer<'a> {
                             let t = self.fresh(rty.clone());
                             let st = self.mk_stmt(NStmtKind::Assign {
                                 dst: Place::Local(t),
-                                rv: Rvalue::RowGet {
-                                    row: rb,
-                                    idx,
-                                    kind,
-                                },
+                                rv: Rvalue::RowGet { row: rb, idx, kind },
                             });
                             out.push(st);
                             return Ok((Some(Operand::Local(t)), rty));
@@ -992,13 +973,13 @@ impl<'a> FnLowerer<'a> {
                             return self.lower_builtin(e.line, b, args, expect, out);
                         }
                         // Same-class method.
-                        let sig = self
-                            .env
-                            .find_method(self.sig.class, name)
-                            .ok_or_else(|| Diag {
-                                line: e.line,
-                                msg: format!("unknown method `{name}`"),
-                            })?;
+                        let sig =
+                            self.env
+                                .find_method(self.sig.class, name)
+                                .ok_or_else(|| Diag {
+                                    line: e.line,
+                                    msg: format!("unknown method `{name}`"),
+                                })?;
                         let (mid, is_static) = (sig.id, sig.is_static);
                         if !is_static && self.sig.is_static {
                             return self.err(format!(
@@ -1023,9 +1004,7 @@ impl<'a> FnLowerer<'a> {
                                             msg: format!("class `{cn}` has no method `{name}`"),
                                         })?;
                                     if !sig.is_static {
-                                        return self.err(format!(
-                                            "`{name}` is not static"
-                                        ));
+                                        return self.err(format!("`{name}` is not static"));
                                     }
                                     let mid = sig.id;
                                     return self.finish_call(e.line, mid, None, args, out);
@@ -1099,9 +1078,7 @@ impl<'a> FnLowerer<'a> {
         for (a, pt) in args.iter().zip(&param_tys) {
             let (op, ty) = self.lower_expr_expect(a, Some(pt), out)?;
             if !pt.accepts(&ty) {
-                return self.err(format!(
-                    "argument type mismatch: expected {pt}, got {ty}"
-                ));
+                return self.err(format!("argument type mismatch: expected {pt}, got {ty}"));
             }
             ops.push(op);
         }
@@ -1214,17 +1191,19 @@ impl<'a> FnLowerer<'a> {
             let t = self.fresh(ret.clone());
             (Some(t), Some(Operand::Local(t)))
         };
-        let st = self.mk_stmt(NStmtKind::Builtin { dst, f: b, args: ops });
+        let st = self.mk_stmt(NStmtKind::Builtin {
+            dst,
+            f: b,
+            args: ops,
+        });
         out.push(st);
         Ok((result, ret))
     }
 
     fn binop_ty(&self, op: BinOp, a: &Ty, b: &Ty) -> LResult<Ty> {
         if op.is_comparison() {
-            let compatible = (a.is_numeric() && b.is_numeric())
-                || a == b
-                || a.accepts(b)
-                || b.accepts(a);
+            let compatible =
+                (a.is_numeric() && b.is_numeric()) || a == b || a.accepts(b) || b.accepts(a);
             if !compatible {
                 return self.err(format!("cannot compare {a} and {b}"));
             }

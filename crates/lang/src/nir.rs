@@ -156,7 +156,10 @@ impl Ty {
     }
 
     pub fn is_reference(&self) -> bool {
-        matches!(self, Ty::Class(_) | Ty::Array(_) | Ty::Str | Ty::Row | Ty::Null)
+        matches!(
+            self,
+            Ty::Class(_) | Ty::Array(_) | Ty::Str | Ty::Row | Ty::Null
+        )
     }
 
     /// `other` may be assigned to a slot of type `self`.
@@ -199,7 +202,10 @@ pub struct NStmt {
 #[derive(Debug, Clone)]
 pub enum NStmtKind {
     /// `dst = rv` where `rv` is a single operation.
-    Assign { dst: Place, rv: Rvalue },
+    Assign {
+        dst: Place,
+        rv: Rvalue,
+    },
     /// Interprocedural call. For instance methods `args[0]` is the receiver.
     Call {
         dst: Option<LocalId>,
@@ -261,16 +267,27 @@ pub enum Rvalue {
     Use(Operand),
     Unary(UnOp, Operand),
     Binary(BinOp, Operand, Operand),
-    ReadField { base: Operand, field: FieldId },
-    ReadElem { arr: Operand, idx: Operand },
+    ReadField {
+        base: Operand,
+        field: FieldId,
+    },
+    ReadElem {
+        arr: Operand,
+        idx: Operand,
+    },
     /// `x.length` for arrays.
     Len(Operand),
     /// Array allocation; placement of the array follows this statement's
     /// placement (allocation-site placement, paper §3.1).
-    NewArray { elem: Ty, len: Operand },
+    NewArray {
+        elem: Ty,
+        len: Operand,
+    },
     /// Object allocation; the constructor call is emitted as a separate
     /// `Call` statement immediately after.
-    NewObject { class: ClassId },
+    NewObject {
+        class: ClassId,
+    },
     /// `row.getInt(i)` etc.
     RowGet {
         row: Operand,
@@ -333,7 +350,10 @@ impl Builtin {
 
     /// Is this a JDBC-style database call (subject to the co-location pin)?
     pub fn is_db_call(self) -> bool {
-        matches!(self, Builtin::DbQuery | Builtin::DbUpdate | Builtin::Rollback)
+        matches!(
+            self,
+            Builtin::DbQuery | Builtin::DbUpdate | Builtin::Rollback
+        )
     }
 
     /// Must this builtin run on the application server?

@@ -13,6 +13,8 @@ pub struct Parser {
 }
 
 type PResult<T> = Result<T, Diag>;
+/// Parameter list and body of a method, before assembly into a decl.
+type MethodRest = (Vec<(TypeAst, String)>, Vec<Stmt>);
 
 impl Parser {
     pub fn new(toks: Vec<Token>) -> Self {
@@ -171,7 +173,7 @@ impl Parser {
         Ok(())
     }
 
-    fn method_rest(&mut self) -> PResult<(Vec<(TypeAst, String)>, Vec<Stmt>)> {
+    fn method_rest(&mut self) -> PResult<MethodRest> {
         self.expect(TokKind::LParen)?;
         let mut params = Vec::new();
         if !self.eat(TokKind::RParen) {
@@ -647,8 +649,10 @@ impl Parser {
                     TokKind::Row => TypeAst::Row,
                     TokKind::Ident(name) => TypeAst::Named(name),
                     other => {
-                        return self
-                            .err(format!("expected type after `new`, found {}", other.describe()))
+                        return self.err(format!(
+                            "expected type after `new`, found {}",
+                            other.describe()
+                        ))
                     }
                 };
                 if *self.peek() == TokKind::LBracket {
@@ -763,7 +767,8 @@ mod tests {
 
     #[test]
     fn parses_c_style_for() {
-        let src = "class C { void f() { for (int i = 0; i < 10; i++) { g(i); } } void g(int x) {} }";
+        let src =
+            "class C { void f() { for (int i = 0; i < 10; i++) { g(i); } } void g(int x) {} }";
         let prog = parse_program(src).unwrap();
         assert!(matches!(
             prog.classes[0].methods[0].body[0].kind,
@@ -777,7 +782,9 @@ mod tests {
         let prog = parse_program(src).unwrap();
         match &prog.classes[0].methods[0].body[0].kind {
             StmtKind::LocalDecl { init: Some(e), .. } => {
-                assert!(matches!(&e.kind, ExprKind::Call { recv: None, name, .. } if name == "dbQuery"));
+                assert!(
+                    matches!(&e.kind, ExprKind::Call { recv: None, name, .. } if name == "dbQuery")
+                );
             }
             other => panic!("unexpected {other:?}"),
         }

@@ -46,10 +46,10 @@ pub enum TokKind {
     Dot,
     Colon,
     // operators
-    Assign,     // =
-    PlusEq,     // +=
-    MinusEq,    // -=
-    StarEq,     // *=
+    Assign,  // =
+    PlusEq,  // +=
+    MinusEq, // -=
+    StarEq,  // *=
     Plus,
     Minus,
     Star,

@@ -331,9 +331,7 @@ pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, RtError> {
             };
             Ok(Double(v))
         }
-        _ => Err(RtError::new(format!(
-            "type error: {a:?} {op:?} {b:?}"
-        ))),
+        _ => Err(RtError::new(format!("type error: {a:?} {op:?} {b:?}"))),
     }
 }
 
@@ -369,11 +367,7 @@ fn eval_comparison(op: BinOp, a: &Value, b: &Value) -> Result<Value, RtError> {
     let ord = match (a, b) {
         (Int(_) | Double(_), Int(_) | Double(_)) => num(a)?.partial_cmp(&num(b)?),
         (Str(x), Str(y)) => Some(x.as_ref().cmp(y.as_ref())),
-        _ => {
-            return Err(RtError::new(format!(
-                "cannot order {a:?} and {b:?}"
-            )))
-        }
+        _ => return Err(RtError::new(format!("cannot order {a:?} and {b:?}"))),
     };
     let ord = ord.ok_or_else(|| RtError::new("NaN comparison"))?;
     let r = match op {

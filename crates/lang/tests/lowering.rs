@@ -113,10 +113,10 @@ fn normalization_flattens_nested_expressions() {
     for s in &m.body {
         match &s.kind {
             NStmtKind::Call { .. } => calls += 1,
-            NStmtKind::Assign { rv, .. } => match rv {
-                Rvalue::ReadField { .. } | Rvalue::ReadElem { .. } => heap_reads += 1,
-                _ => {}
-            },
+            NStmtKind::Assign {
+                rv: Rvalue::ReadField { .. } | Rvalue::ReadElem { .. },
+                ..
+            } => heap_reads += 1,
             _ => {}
         }
     }
@@ -126,7 +126,8 @@ fn normalization_flattens_nested_expressions() {
 
 #[test]
 fn foreach_desugars_to_while() {
-    let src = "class C { int sum(int[] xs) { int s = 0; for (int x : xs) { s = s + x; } return s; } }";
+    let src =
+        "class C { int sum(int[] xs) { int s = 0; for (int x : xs) { s = s + x; } return s; } }";
     let p = compile_ok(src);
     let m = p.method(p.find_method("C", "sum").unwrap());
     assert!(m
@@ -240,10 +241,15 @@ fn row_getters_lower_to_rowget() {
     "#;
     let p = compile_ok(src);
     let m = p.method(p.find_method("C", "f").unwrap());
-    let has_rowget = m
-        .body
-        .iter()
-        .any(|s| matches!(&s.kind, NStmtKind::Assign { rv: Rvalue::RowGet { .. }, .. }));
+    let has_rowget = m.body.iter().any(|s| {
+        matches!(
+            &s.kind,
+            NStmtKind::Assign {
+                rv: Rvalue::RowGet { .. },
+                ..
+            }
+        )
+    });
     assert!(has_rowget);
 }
 

@@ -282,7 +282,10 @@ mod tests {
             &["k"],
         ));
         for i in 0..10 {
-            db.load_row("t", vec![pyx_lang::Scalar::Int(i), pyx_lang::Scalar::Int(i * 2)]);
+            db.load_row(
+                "t",
+                vec![pyx_lang::Scalar::Int(i), pyx_lang::Scalar::Int(i * 2)],
+            );
         }
         let mut it = Interp::new(&prog, &mut db, Profiler::new(&prog));
         let m = prog.find_method("C", "hot").unwrap();
@@ -295,10 +298,7 @@ mod tests {
     #[test]
     fn graph_has_expected_structure() {
         let (prog, g) = build_graph();
-        assert_eq!(
-            g.nodes.len(),
-            prog.stmt_count() + prog.fields.len() + 2
-        );
+        assert_eq!(g.nodes.len(), prog.stmt_count() + prog.fields.len() + 2);
         assert_eq!(g.pins[g.db_code_node], Some(Side::Db));
         assert_eq!(g.pins[g.console_node], Some(Side::App));
         assert!(g.edges.iter().any(|e| e.kind == PEdgeKind::Control));
@@ -325,7 +325,7 @@ mod tests {
         let e = g
             .edges
             .iter()
-            .find(|e| (e.src == qn && e.dst == g.db_code_node))
+            .find(|e| e.src == qn && e.dst == g.db_code_node)
             .expect("edge to database code");
         // Executed 10 times at 1000 µs latency.
         assert_eq!(e.weight, 10_000.0);
@@ -353,28 +353,20 @@ mod tests {
     fn loads_reflect_execution_counts() {
         let (_, g) = build_graph();
         // Loop-body nodes executed 10×; loads present.
-        assert!(g.load.iter().any(|&l| l == 10.0));
+        assert!(g.load.contains(&10.0));
         assert!(g.total_load() > 50.0);
     }
 
     #[test]
     fn cut_cost_and_db_load_eval() {
         let (_, g) = build_graph();
-        let all_app: Vec<Side> = g
-            .pins
-            .iter()
-            .map(|p| p.unwrap_or(Side::App))
-            .collect();
+        let all_app: Vec<Side> = g.pins.iter().map(|p| p.unwrap_or(Side::App)).collect();
         // Only edges to the pinned DbCode node are cut.
         let cost_app = g.cut_cost(&all_app);
         assert!(cost_app > 0.0);
         assert_eq!(g.db_load(&all_app), 0.0);
 
-        let all_db: Vec<Side> = g
-            .pins
-            .iter()
-            .map(|p| p.unwrap_or(Side::Db))
-            .collect();
+        let all_db: Vec<Side> = g.pins.iter().map(|p| p.unwrap_or(Side::Db)).collect();
         assert!(g.db_load(&all_db) > 0.0);
     }
 }

@@ -23,7 +23,9 @@ use pyx_lang::{FieldId, NirProgram, StmtId};
 pub enum SolverKind {
     Budgeted,
     /// Exact B&B with a node-exploration limit.
-    Exact { node_limit: usize },
+    Exact {
+        node_limit: usize,
+    },
 }
 
 /// A placement: a side per statement and per field.
@@ -91,12 +93,7 @@ impl Placement {
 
 /// Solve the partition graph for a given DB CPU budget (in node-load
 /// units; compare with [`PartitionGraph::total_load`]).
-pub fn solve(
-    prog: &NirProgram,
-    g: &PartitionGraph,
-    budget: f64,
-    kind: SolverKind,
-) -> Placement {
+pub fn solve(prog: &NirProgram, g: &PartitionGraph, budget: f64, kind: SolverKind) -> Placement {
     // Contract co-location groups.
     let n = g.nodes.len();
     let mut rep: Vec<usize> = (0..n).collect();
@@ -124,8 +121,7 @@ pub fn solve(
     // Merged loads and pins.
     let mut load = vec![0.0; supers];
     let mut pins: Vec<Option<Side>> = vec![None; supers];
-    for i in 0..n {
-        let s = super_id[i];
+    for (i, &s) in super_id.iter().enumerate().take(n) {
         load[s] += g.load[i];
         if let Some(p) = g.pins[i] {
             match pins[s] {
@@ -143,7 +139,7 @@ pub fn solve(
         }
     }
     // Merge parallel edges.
-    edges.sort_by(|a, b| (a.0, a.1).cmp(&(b.0, b.1)));
+    edges.sort_by_key(|a| (a.0, a.1));
     let mut merged: Vec<(usize, usize, f64)> = Vec::new();
     for (u, v, w) in edges {
         match merged.last_mut() {
@@ -236,9 +232,7 @@ fn solve_exact(
             .collect(),
         None => {
             // Infeasible budget: fall back to pins-only (all-APP).
-            (0..n)
-                .map(|i| pins[i].unwrap_or(Side::App))
-                .collect()
+            (0..n).map(|i| pins[i].unwrap_or(Side::App)).collect()
         }
     }
 }

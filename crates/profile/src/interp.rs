@@ -5,7 +5,7 @@
 //! "native" baseline of microbenchmark 1.
 
 use crate::heap::Heap;
-use pyx_db::{DbError, Engine, TxnId};
+use pyx_db::{DbError, Engine, PreparedId, TxnId};
 use pyx_lang::{
     eval_binop, eval_unop, sha1_i64, Builtin, FieldId, LocalId, MethodId, NStmt, NStmtKind,
     NirProgram, Operand, Place, RowGetKind, RtError, Rvalue, StmtId, Value,
@@ -39,6 +39,9 @@ pub struct Interp<'a, T: Tracer> {
     /// Set when the program called `rollback()` in the current entry call.
     pub rolled_back: bool,
     field_slot: HashMap<FieldId, usize>,
+    /// Prepared handle per constant-SQL db-call statement, built once at
+    /// construction (statements are statically known per `NirProgram`).
+    prepared: HashMap<StmtId, PreparedId>,
 }
 
 enum Flow {
@@ -54,6 +57,14 @@ impl<'a, T: Tracer> Interp<'a, T> {
                 field_slot.insert(f, i);
             }
         }
+        // Prepare each distinct constant-SQL statement once; execution
+        // then issues handles instead of strings. Statements that fail to
+        // parse fall back to the ad-hoc path so errors still surface at
+        // execution time.
+        let mut prepared = HashMap::new();
+        for m in &prog.methods {
+            collect_db_stmts(&m.body, db, &mut prepared);
+        }
         Interp {
             prog,
             db,
@@ -64,6 +75,7 @@ impl<'a, T: Tracer> Interp<'a, T> {
             printed: Vec::new(),
             rolled_back: false,
             field_slot,
+            prepared,
         }
     }
 
@@ -195,19 +207,17 @@ impl<'a, T: Tracer> Interp<'a, T> {
                 cond_pre,
                 cond,
                 body,
-            } => {
-                loop {
-                    if let f @ Flow::Return(_) = self.exec_stmts(cond_pre, frame)? {
-                        return Ok(f);
-                    }
-                    if !self.operand(cond, frame).truthy()? {
-                        return Ok(Flow::Normal);
-                    }
-                    if let f @ Flow::Return(_) = self.exec_stmts(body, frame)? {
-                        return Ok(f);
-                    }
+            } => loop {
+                if let f @ Flow::Return(_) = self.exec_stmts(cond_pre, frame)? {
+                    return Ok(f);
                 }
-            }
+                if !self.operand(cond, frame).truthy()? {
+                    return Ok(Flow::Normal);
+                }
+                if let f @ Flow::Return(_) = self.exec_stmts(body, frame)? {
+                    return Ok(f);
+                }
+            },
             NStmtKind::Return(v) => {
                 let val = v.as_ref().map(|o| self.operand(o, frame));
                 Ok(Flow::Return(val))
@@ -281,7 +291,7 @@ impl<'a, T: Tracer> Interp<'a, T> {
         }
     }
 
-    fn store(&mut self, dst: &Place, v: Value, frame: &mut Vec<Value>) -> Result<(), RtError> {
+    fn store(&mut self, dst: &Place, v: Value, frame: &mut [Value]) -> Result<(), RtError> {
         match dst {
             Place::Local(l) => {
                 frame[l.index()] = v;
@@ -307,18 +317,26 @@ impl<'a, T: Tracer> Interp<'a, T> {
     ) -> Result<Option<Value>, RtError> {
         match f {
             Builtin::DbQuery | Builtin::DbUpdate => {
-                let Value::Str(sql) = &args[0] else {
-                    return Err(RtError::new("SQL must be a string"));
-                };
                 let params: Vec<pyx_lang::Scalar> = args[1..]
                     .iter()
                     .map(|v| v.to_scalar())
                     .collect::<Result<_, _>>()?;
                 let txn = self.ensure_txn();
-                let res = self.db.execute(txn, sql, &params).map_err(|e| match e {
-                    DbError::WouldBlock | DbError::Deadlock => RtError::new(format!(
-                        "unexpected lock conflict during profiling: {e}"
-                    )),
+                // Constant-SQL statements were prepared at construction;
+                // dynamic SQL takes the ad-hoc path.
+                let res = match self.prepared.get(&stmt) {
+                    Some(&pid) => self.db.execute_prepared(txn, pid, &params),
+                    None => {
+                        let Value::Str(sql) = &args[0] else {
+                            return Err(RtError::new("SQL must be a string"));
+                        };
+                        self.db.execute(txn, sql, &params)
+                    }
+                };
+                let res = res.map_err(|e| match e {
+                    DbError::WouldBlock | DbError::Deadlock => {
+                        RtError::new(format!("unexpected lock conflict during profiling: {e}"))
+                    }
                     other => RtError::new(other.to_string()),
                 })?;
                 self.tracer.on_db(stmt, res.wire_size());
@@ -404,6 +422,34 @@ impl<'a, T: Tracer> Interp<'a, T> {
             Value::Arr(o) => Ok(*o),
             Value::Null => Err(RtError::new("null array dereference")),
             other => Err(RtError::new(format!("expected array, got {other:?}"))),
+        }
+    }
+}
+
+/// Recursively collect constant-SQL db-call statements and prepare them.
+fn collect_db_stmts(stmts: &[NStmt], db: &mut Engine, out: &mut HashMap<StmtId, PreparedId>) {
+    for s in stmts {
+        match &s.kind {
+            NStmtKind::Builtin {
+                f: Builtin::DbQuery | Builtin::DbUpdate,
+                args,
+                ..
+            } => {
+                if let Some(Operand::CStr(sql)) = args.first() {
+                    if let Ok(pid) = db.prepare(sql) {
+                        out.insert(s.id, pid);
+                    }
+                }
+            }
+            NStmtKind::If { then_b, else_b, .. } => {
+                collect_db_stmts(then_b, db, out);
+                collect_db_stmts(else_b, db, out);
+            }
+            NStmtKind::While { cond_pre, body, .. } => {
+                collect_db_stmts(cond_pre, db, out);
+                collect_db_stmts(body, db, out);
+            }
+            _ => {}
         }
     }
 }

@@ -23,7 +23,10 @@ fn arithmetic_and_control_flow() {
             }
         }
     "#;
-    assert_eq!(run_int(src, "C", "fib", vec![Value::Int(10)]), Value::Int(55));
+    assert_eq!(
+        run_int(src, "C", "fib", vec![Value::Int(10)]),
+        Value::Int(55)
+    );
 }
 
 #[test]
@@ -233,10 +236,7 @@ fn running_example_executes_against_db() {
     let mut it = Interp::new(&prog, &mut db, NullTracer);
     let m = prog.find_method("Main", "run").unwrap();
     let total = it
-        .call_entry(
-            m,
-            vec![Value::Int(7), Value::Int(1), Value::Double(0.9)],
-        )
+        .call_entry(m, vec![Value::Int(7), Value::Int(1), Value::Double(0.9)])
         .unwrap()
         .unwrap();
     // costs = 10+11+12+13 = 46; discounted ×0.9 = 41.4
@@ -285,11 +285,8 @@ fn profiler_counts_match_loop_iterations() {
     let mut db = order_db();
     let mut it = Interp::new(&prog, &mut db, Profiler::new(&prog));
     let m = prog.find_method("Main", "run").unwrap();
-    it.call_entry(
-        m,
-        vec![Value::Int(7), Value::Int(1), Value::Double(0.9)],
-    )
-    .unwrap();
+    it.call_entry(m, vec![Value::Int(7), Value::Int(1), Value::Double(0.9)])
+        .unwrap();
     let profile = it.tracer.profile;
 
     // The multiply inside the loop executed once per item (4 items).

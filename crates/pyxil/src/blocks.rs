@@ -61,7 +61,9 @@ pub enum Term {
         ret_to: BlockId,
     },
     /// Pop the frame; jump to the recorded return address.
-    Ret { value: Option<Operand> },
+    Ret {
+        value: Option<Operand>,
+    },
 }
 
 /// A straight-line execution block placed on one host.

@@ -159,14 +159,10 @@ impl<'a> Compiler<'a> {
                 then_b,
                 else_b,
             } => {
-                let then_entry = self.new_block(
-                    mid,
-                    then_b.first().map(|s| self.side(s.id)).unwrap_or(side),
-                );
-                let else_entry = self.new_block(
-                    mid,
-                    else_b.first().map(|s| self.side(s.id)).unwrap_or(side),
-                );
+                let then_entry =
+                    self.new_block(mid, then_b.first().map(|s| self.side(s.id)).unwrap_or(side));
+                let else_entry =
+                    self.new_block(mid, else_b.first().map(|s| self.side(s.id)).unwrap_or(side));
                 self.set_term(
                     cur,
                     Term::Branch {
@@ -188,10 +184,7 @@ impl<'a> Compiler<'a> {
                 body,
             } => {
                 // loop_head: cond_pre* ; test(cond) → body | exit
-                let head_side = cond_pre
-                    .first()
-                    .map(|s| self.side(s.id))
-                    .unwrap_or(side);
+                let head_side = cond_pre.first().map(|s| self.side(s.id)).unwrap_or(side);
                 let head = self.new_block(mid, head_side);
                 self.set_term(cur, Term::Goto(head));
                 let pre_end = self.compile_seq(mid, cond_pre, head);
@@ -237,10 +230,9 @@ mod tests {
 
     #[test]
     fn straight_line_single_block() {
-        let bp = compile_with(
-            "class C { void f() { int a = 1; int b = 2; } }",
-            |_| Side::App,
-        );
+        let bp = compile_with("class C { void f() { int a = 1; int b = 2; } }", |_| {
+            Side::App
+        });
         let entry = bp.entry.values().next().unwrap();
         let b = bp.block(*entry);
         assert_eq!(b.instrs.len(), 2);
@@ -249,10 +241,13 @@ mod tests {
 
     #[test]
     fn placement_change_splits_blocks() {
-        let bp = compile_with(
-            "class C { void f() { int a = 1; int b = 2; } }",
-            |i| if i == 0 { Side::App } else { Side::Db },
-        );
+        let bp = compile_with("class C { void f() { int a = 1; int b = 2; } }", |i| {
+            if i == 0 {
+                Side::App
+            } else {
+                Side::Db
+            }
+        });
         let entry = *bp.entry.values().next().unwrap();
         let b0 = bp.block(entry);
         assert_eq!(b0.host, Side::App);

@@ -31,11 +31,7 @@ pub fn count_transitions(prog: &NirProgram, placement: &Placement) -> usize {
     count
 }
 
-fn transitions_in(
-    stmts: &[NStmt],
-    placement: &Placement,
-    prev: &mut Option<Side>,
-) -> usize {
+fn transitions_in(stmts: &[NStmt], placement: &Placement, prev: &mut Option<Side>) -> usize {
     let mut count = 0;
     for s in stmts {
         let side = placement.side_of_stmt(s.id);
@@ -101,8 +97,8 @@ fn reorder_body(body: &mut Vec<NStmt>, placement: &Placement) {
     let mut q_app: Vec<usize> = Vec::new();
     let mut q_db: Vec<usize> = Vec::new();
     let side = |i: usize| placement.side_of_stmt(body[i].id);
-    for i in 0..n {
-        if indeg[i] == 0 {
+    for (i, &d) in indeg.iter().enumerate().take(n) {
+        if d == 0 {
             match side(i) {
                 Side::App => q_app.push(i),
                 Side::Db => q_db.push(i),
@@ -357,12 +353,8 @@ mod tests {
         let mut i0 = pyx_profile::Interp::new(&prog0, &mut db0, pyx_profile::NullTracer);
         let mut i1 = pyx_profile::Interp::new(&prog1, &mut db1, pyx_profile::NullTracer);
         for x in [0i64, 5, -7, 100] {
-            let a = i0
-                .call_entry(m0, vec![pyx_lang::Value::Int(x)])
-                .unwrap();
-            let b = i1
-                .call_entry(m1, vec![pyx_lang::Value::Int(x)])
-                .unwrap();
+            let a = i0.call_entry(m0, vec![pyx_lang::Value::Int(x)]).unwrap();
+            let b = i1.call_entry(m1, vec![pyx_lang::Value::Int(x)]).unwrap();
             assert_eq!(a, b, "reordering changed semantics for x={x}");
         }
     }

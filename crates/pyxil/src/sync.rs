@@ -139,15 +139,10 @@ mod tests {
         });
         let sync = insert_sync(&prog, &analysis, &p);
         // `total = x` (on DB, field on DB, read on APP) → sendDB.
-        let has_send_db = sync.values().flatten().any(|op| {
-            matches!(
-                op,
-                SyncOp::SendField {
-                    part: Side::Db,
-                    ..
-                }
-            )
-        });
+        let has_send_db = sync
+            .values()
+            .flatten()
+            .any(|op| matches!(op, SyncOp::SendField { part: Side::Db, .. }));
         assert!(has_send_db, "{sync:?}");
     }
 

@@ -8,8 +8,8 @@
 //! paper's conservative sync-insertion analysis must prevent, and the
 //! differential tests in `pyx-sim` would catch.
 
-use pyx_partition::Side;
 use pyx_lang::{ClassId, Oid, RtError, Scalar, Ty, Value};
+use pyx_partition::Side;
 use pyx_profile::{Heap, HeapObj};
 use std::collections::BTreeSet;
 use std::rc::Rc;

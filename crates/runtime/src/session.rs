@@ -19,12 +19,12 @@
 
 use crate::cost::RtCosts;
 use crate::heap::{DistHeap, SyncKey};
-use pyx_db::{DbError, Engine, TxnId};
-use pyx_partition::Side;
+use pyx_db::{DbError, Engine, PreparedId, TxnId};
 use pyx_lang::{
     eval_binop, eval_unop, sha1_i64, Builtin, FieldId, LocalId, MethodId, Oid, Operand, Place,
     RowGetKind, RtError, Rvalue, Value,
 };
+use pyx_partition::Side;
 use pyx_pyxil::{BInstr, BlockId, BlockProgram, PyxilProgram, SyncOp, Term};
 use std::collections::HashMap;
 
@@ -43,15 +43,24 @@ pub enum ArgVal {
 /// One step outcome. See module docs.
 #[derive(Debug)]
 pub enum Advance {
-    Cpu { host: Side, cost: u64 },
-    Net { from: Side, to: Side, bytes: u64 },
+    Cpu {
+        host: Side,
+        cost: u64,
+    },
+    Net {
+        from: Side,
+        to: Side,
+        bytes: u64,
+    },
     DbOp {
         issued_from: Side,
         db_cpu: u64,
         req_bytes: u64,
         resp_bytes: u64,
     },
-    Blocked { txn: TxnId },
+    Blocked {
+        txn: TxnId,
+    },
     Deadlocked,
     Finished,
     Error(RtError),
@@ -104,6 +113,11 @@ pub struct Session<'a> {
     /// Per-side dirty stack slots: (frame depth, slot) → value size.
     dirty_stack: [HashMap<(u32, u32), u64>; 2],
     field_slot: HashMap<FieldId, usize>,
+    /// Per-call-site prepared statements, keyed by (block, instr index):
+    /// every constant-SQL db call in the program is prepared once at
+    /// session construction, so the hot loop issues handles, not strings.
+    /// The value carries the SQL byte length for the wire model.
+    prepared: HashMap<(u32, u32), (PreparedId, u64)>,
     pub stats: SessionStats,
     pub printed: Vec<String>,
     pub result: Option<Value>,
@@ -124,8 +138,30 @@ impl<'a> Session<'a> {
         entry: MethodId,
         args: &[ArgVal],
         costs: RtCosts,
+        engine: &mut Engine,
     ) -> Result<Session<'a>, RtError> {
         let prog = &il.prog;
+
+        // Prepare every constant-SQL db-call site once. Statements are
+        // statically known per BlockProgram; repeat prepares of the same
+        // text are deduped inside the engine. Sites whose SQL fails to
+        // parse (or is dynamically computed) fall back to the ad-hoc
+        // `Engine::execute` path, which surfaces errors at execution time
+        // exactly as before.
+        let mut prepared = HashMap::new();
+        for (bi, block) in bp.blocks.iter().enumerate() {
+            for (ii, instr) in block.instrs.iter().enumerate() {
+                if let BInstr::Builtin { f, args, .. } = instr {
+                    if matches!(f, Builtin::DbQuery | Builtin::DbUpdate) {
+                        if let Some(Operand::CStr(sql)) = args.first() {
+                            if let Ok(pid) = engine.prepare(sql) {
+                                prepared.insert((bi as u32, ii as u32), (pid, sql.len() as u64));
+                            }
+                        }
+                    }
+                }
+            }
+        }
         let mut field_slot = HashMap::new();
         for c in &prog.classes {
             for (i, &f) in c.fields.iter().enumerate() {
@@ -156,9 +192,9 @@ impl<'a> Session<'a> {
                 ArgVal::Double(v) => Value::Double(*v),
                 ArgVal::Bool(v) => Value::Bool(*v),
                 ArgVal::Str(s) => Value::Str(s.as_str().into()),
-                ArgVal::IntArray(xs) => Value::Arr(
-                    heap.alloc_array_pair(xs.iter().map(|&v| Value::Int(v)).collect()),
-                ),
+                ArgVal::IntArray(xs) => {
+                    Value::Arr(heap.alloc_array_pair(xs.iter().map(|&v| Value::Int(v)).collect()))
+                }
                 ArgVal::DoubleArray(xs) => Value::Arr(
                     heap.alloc_array_pair(xs.iter().map(|&v| Value::Double(v)).collect()),
                 ),
@@ -202,6 +238,7 @@ impl<'a> Session<'a> {
             state: State::Running,
             dirty_stack: [entry_dirty, HashMap::new()],
             field_slot,
+            prepared,
             stats: SessionStats::default(),
             printed: Vec::new(),
             result: None,
@@ -310,21 +347,21 @@ impl<'a> Session<'a> {
                 return self.take_cpu().expect("pending cpu");
             }
 
-            // Execute the next instruction, or the terminator.
-            let block = self.bp.block(self.cur);
+            // Execute the next instruction, or the terminator. The block
+            // reference borrows the program (`'a`), not `self`, so no
+            // instruction or terminator needs to be cloned per step.
+            let bp: &'a BlockProgram = self.bp;
+            let block = bp.block(self.cur);
             if self.iidx < block.instrs.len() {
-                let instr = &block.instrs[self.iidx];
-                match instr {
+                match &block.instrs[self.iidx] {
                     BInstr::Assign { dst, rv, stmt } => {
-                        let (dst, rv, stmt) = (dst.clone(), rv.clone(), *stmt);
+                        let stmt = *stmt;
                         self.pending_cpu += self.costs.instr;
                         self.stats.instrs_executed += 1;
-                        let ctx = |e: RtError| {
-                            RtError::new(format!("stmt {stmt:?}: {}", e.msg))
-                        };
-                        match self.eval_rvalue(&rv) {
+                        let ctx = |e: RtError| RtError::new(format!("stmt {stmt:?}: {}", e.msg));
+                        match self.eval_rvalue(rv) {
                             Ok(v) => {
-                                if let Err(e) = self.store(&dst, v) {
+                                if let Err(e) = self.store(dst, v) {
                                     let e = ctx(e);
                                     return self.fail(engine, e);
                                 }
@@ -337,26 +374,25 @@ impl<'a> Session<'a> {
                         self.iidx += 1;
                     }
                     BInstr::Sync(op) => {
-                        let op = op.clone();
                         self.pending_cpu += self.costs.sync;
-                        if let Err(e) = self.enqueue_sync(&op) {
+                        if let Err(e) = self.enqueue_sync(op) {
                             return self.fail(engine, e);
                         }
                         self.iidx += 1;
                     }
                     BInstr::Builtin { dst, f, args, .. } => {
-                        let (dst, f, args) = (*dst, *f, args.clone());
+                        let (dst, f) = (*dst, *f);
                         if f.is_db_call() {
                             // Yield accumulated CPU before the round trip
                             // so the simulator sequences it correctly.
                             if let Some(cpu) = self.take_cpu() {
                                 return cpu;
                             }
-                            return self.exec_db(engine, dst, f, &args);
+                            return self.exec_db(engine, dst, f, args);
                         }
                         self.pending_cpu += self.costs.instr;
                         self.stats.instrs_executed += 1;
-                        match self.exec_local_builtin(f, &args) {
+                        match self.exec_local_builtin(f, args) {
                             Ok(v) => {
                                 if let Some(d) = dst {
                                     let v = match v {
@@ -381,19 +417,18 @@ impl<'a> Session<'a> {
 
             // Terminator.
             self.pending_cpu += self.costs.term;
-            let term = block.term.clone();
-            match term {
-                Term::Goto(b) => self.jump(b),
+            match &block.term {
+                Term::Goto(b) => self.jump(*b),
                 Term::Branch {
                     cond,
                     then_b,
                     else_b,
                 } => {
-                    let c = match self.operand(&cond).truthy() {
+                    let c = match self.operand(cond).truthy() {
                         Ok(c) => c,
                         Err(e) => return self.fail(engine, e),
                     };
-                    self.jump(if c { then_b } else { else_b });
+                    self.jump(if c { *then_b } else { *else_b });
                 }
                 Term::Call {
                     method,
@@ -402,7 +437,7 @@ impl<'a> Session<'a> {
                     ret_to,
                     ..
                 } => {
-                    let callee = self.il.prog.method(method);
+                    let callee = self.il.prog.method(*method);
                     let mut locals = vec![Value::Null; callee.locals.len()];
                     for (i, a) in args.iter().enumerate() {
                         locals[i] = self.operand(a);
@@ -410,17 +445,17 @@ impl<'a> Session<'a> {
                     // Arguments are fresh stack state on the current host.
                     let depth = self.frames.len() as u32;
                     for (i, v) in locals.iter().enumerate().take(args.len()) {
-                        self.mark_stack_dirty(depth, i as u32, v.wire_size());
+                        let size = v.wire_size();
+                        self.mark_stack_dirty(depth, i as u32, size);
                     }
                     self.frames.push(Frame {
                         locals,
-                        ret_to: Some(ret_to),
-                        ret_dst: dst,
+                        ret_to: Some(*ret_to),
+                        ret_dst: *dst,
                     });
-                    let entry = *self
-                        .bp
+                    let entry = *bp
                         .entry
-                        .get(&method)
+                        .get(method)
                         .expect("compiled method has an entry block");
                     self.jump(entry);
                 }
@@ -499,18 +534,28 @@ impl<'a> Session<'a> {
             };
         }
 
-        let argv: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
-        let Value::Str(sql) = &argv[0] else {
-            return self.fail(engine, RtError::new("SQL must be a string"));
-        };
-        let sql = sql.clone();
-        let params: Vec<pyx_lang::Scalar> = match argv[1..]
+        let params: Vec<pyx_lang::Scalar> = match args[1..]
             .iter()
-            .map(|v| v.to_scalar())
+            .map(|a| self.operand(a).to_scalar())
             .collect::<Result<_, _>>()
         {
             Ok(p) => p,
             Err(e) => return self.fail(engine, e),
+        };
+        // Constant-SQL sites were prepared at construction: issue the
+        // handle, no string in the hot path. Dynamic SQL falls back to
+        // the ad-hoc engine path. The wire model still charges the SQL
+        // text length — a JDBC-style client ships the statement text.
+        let site = self.prepared.get(&(self.cur.0, self.iidx as u32)).copied();
+        let (sql_len, exec) = match site {
+            Some((pid, sql_len)) => (sql_len, Ok(pid)),
+            None => {
+                let sql_v = self.operand(&args[0]);
+                let Value::Str(sql) = sql_v else {
+                    return self.fail(engine, RtError::new("SQL must be a string"));
+                };
+                (sql.len() as u64, Err(sql))
+            }
         };
         let txn = match self.txn {
             Some(t) => t,
@@ -520,9 +565,12 @@ impl<'a> Session<'a> {
                 t
             }
         };
-        let req_bytes: u64 =
-            16 + sql.len() as u64 + params.iter().map(|s| s.wire_size()).sum::<u64>();
-        match engine.execute(txn, &sql, &params) {
+        let req_bytes: u64 = 16 + sql_len + params.iter().map(|s| s.wire_size()).sum::<u64>();
+        let res = match &exec {
+            Ok(pid) => engine.execute_prepared(txn, *pid, &params),
+            Err(sql) => engine.execute(txn, sql, &params),
+        };
+        match res {
             Ok(res) => {
                 let resp_bytes = res.wire_size();
                 let db_cpu = res.cost;
@@ -630,10 +678,7 @@ impl<'a> Session<'a> {
     fn set_local(&mut self, l: LocalId, v: Value) {
         let depth = (self.frames.len() - 1) as u32;
         self.mark_stack_dirty(depth, l.0, v.wire_size());
-        self.frames
-            .last_mut()
-            .expect("active frame")
-            .locals[l.index()] = v;
+        self.frames.last_mut().expect("active frame").locals[l.index()] = v;
     }
 
     fn mark_stack_dirty(&mut self, depth: u32, slot: u32, size: u64) {
@@ -678,9 +723,7 @@ impl<'a> Session<'a> {
                 let r = self.operand(row);
                 let i = as_int(&self.operand(idx))?;
                 let Value::Row(cols) = r else {
-                    return Err(RtError::new(
-                        "row getter on a non-row (stale remote data?)",
-                    ));
+                    return Err(RtError::new("row getter on a non-row (stale remote data?)"));
                 };
                 let cell = cols
                     .get(i as usize)

@@ -110,20 +110,14 @@ fn oracle(prog: &NirProgram) -> (Option<Value>, Vec<Vec<Vec<Scalar>>>) {
     let m = prog.find_method("Main", "run").unwrap();
     let mut it = Interp::new(prog, &mut db, NullTracer);
     let r = it
-        .call_entry(
-            m,
-            vec![Value::Int(7), Value::Int(1), Value::Double(0.8)],
-        )
+        .call_entry(m, vec![Value::Int(7), Value::Int(1), Value::Double(0.8)])
         .expect("oracle run");
     let state = dump_all(&db);
     (r, state)
 }
 
 fn dump_all(db: &Engine) -> Vec<Vec<Vec<Scalar>>> {
-    db.table_names()
-        .iter()
-        .map(|t| db.dump_table(t))
-        .collect()
+    db.table_names().iter().map(|t| db.dump_table(t)).collect()
 }
 
 /// Run the block VM under a placement; return (result, db state, stats).
@@ -147,6 +141,7 @@ fn run_vm(
         entry,
         &[ArgVal::Int(7), ArgVal::Int(1), ArgVal::Double(0.8)],
         RtCosts::default(),
+        &mut db,
     )
     .expect("session");
     run_to_completion(&mut sess, &mut db, 5_000_000).expect("vm run");
@@ -161,7 +156,10 @@ fn assert_matches_oracle(placement_name: &str, placement: Placement, reorder: bo
         vm_result, oracle_result,
         "{placement_name}: result mismatch"
     );
-    assert_eq!(vm_state, oracle_state, "{placement_name}: db state mismatch");
+    assert_eq!(
+        vm_state, oracle_state,
+        "{placement_name}: db state mismatch"
+    );
 }
 
 #[test]
@@ -183,11 +181,8 @@ fn solver_placement_matches_oracle() {
     let mut profile_db = order_db();
     let m = prog.find_method("Main", "run").unwrap();
     let mut it = Interp::new(&prog, &mut profile_db, Profiler::new(&prog));
-    it.call_entry(
-        m,
-        vec![Value::Int(7), Value::Int(1), Value::Double(0.8)],
-    )
-    .unwrap();
+    it.call_entry(m, vec![Value::Int(7), Value::Int(1), Value::Double(0.8)])
+        .unwrap();
     let profile = it.tracer.profile;
     let g = PartitionGraph::build(&prog, &analysis, &profile, &CostParams::default());
 
@@ -223,8 +218,8 @@ fn random_placements_match_oracle() {
     for trial in 0..8 {
         let mut p = Placement::all_app(&prog);
         let db_side = rnd(); // where the JDBC group lives this trial
-        for i in 0..prog.stmt_count() {
-            if db_call_stmts[i] {
+        for (i, &is_db_call) in db_call_stmts.iter().enumerate().take(prog.stmt_count()) {
+            if is_db_call {
                 p.stmt_side[i] = if db_side { Side::Db } else { Side::App };
             } else {
                 p.stmt_side[i] = if rnd() { Side::Db } else { Side::App };
@@ -278,8 +273,15 @@ fn rollback_works_under_partitioning() {
             &["k"],
         ));
         let entry = il.prog.find_method("C", "f").unwrap();
-        let mut sess =
-            Session::new(&il, &bp, entry, &[ArgVal::Int(3)], RtCosts::default()).unwrap();
+        let mut sess = Session::new(
+            &il,
+            &bp,
+            entry,
+            &[ArgVal::Int(3)],
+            RtCosts::default(),
+            &mut db,
+        )
+        .unwrap();
         run_to_completion(&mut sess, &mut db, 100_000).unwrap();
         assert!(sess.rolled_back);
         assert_eq!(sess.result, Some(Value::Int(3)));
@@ -304,8 +306,15 @@ fn print_output_preserved_across_placements() {
         let bp = compile_blocks(&il);
         let mut db = Engine::new();
         let entry = il.prog.find_method("C", "f").unwrap();
-        let mut sess =
-            Session::new(&il, &bp, entry, &[ArgVal::Int(21)], RtCosts::default()).unwrap();
+        let mut sess = Session::new(
+            &il,
+            &bp,
+            entry,
+            &[ArgVal::Int(21)],
+            RtCosts::default(),
+            &mut db,
+        )
+        .unwrap();
         run_to_completion(&mut sess, &mut db, 100_000).unwrap();
         assert_eq!(sess.printed, vec!["result=42"]);
     }
@@ -349,6 +358,7 @@ fn array_arguments_cross_hosts() {
             entry,
             &[ArgVal::IntArray(vec![1, 3, 5])],
             RtCosts::default(),
+            &mut db,
         )
         .unwrap();
         run_to_completion(&mut sess, &mut db, 500_000).unwrap();
@@ -378,8 +388,8 @@ fn debug_random_trial() {
     for trial in 0..8 {
         let mut p = Placement::all_app(&prog);
         let db_side = rnd();
-        for i in 0..prog.stmt_count() {
-            if db_call_stmts[i] {
+        for (i, &is_db_call) in db_call_stmts.iter().enumerate().take(prog.stmt_count()) {
+            if is_db_call {
                 p.stmt_side[i] = if db_side { Side::Db } else { Side::App };
             } else {
                 p.stmt_side[i] = if rnd() { Side::Db } else { Side::App };
@@ -394,10 +404,14 @@ fn debug_random_trial() {
         let mut db = order_db();
         let entry = il.prog.find_method("Main", "run").unwrap();
         let mut sess = Session::new(
-            &il, &bp, entry,
+            &il,
+            &bp,
+            entry,
             &[ArgVal::Int(7), ArgVal::Int(1), ArgVal::Double(0.8)],
             RtCosts::default(),
-        ).unwrap();
+            &mut db,
+        )
+        .unwrap();
         let r = run_to_completion(&mut sess, &mut db, 5_000_000);
         println!("trial {trial}: result: {r:?}");
         if r.is_err() {

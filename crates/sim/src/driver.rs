@@ -224,10 +224,7 @@ pub fn run_sim<'a>(
 
         match ev {
             Ev::Issue { client, paced } => {
-                let quota_full = cfg
-                    .max_txns
-                    .map(|m| issued_total >= m)
-                    .unwrap_or(false);
+                let quota_full = cfg.max_txns.map(|m| issued_total >= m).unwrap_or(false);
                 // Only the paced stream re-schedules itself; backlog-drain
                 // issues must not spawn extra pacing chains.
                 if paced && now < duration_ns && !quota_full {
@@ -251,8 +248,9 @@ pub fn run_sim<'a>(
                 issued_total += 1;
                 let req = workload.next_txn(client);
                 let (part, low) = spawn(dep);
-                let sess = Session::new(&part.il, &part.bp, req.entry, &req.args, cfg.costs)
-                    .expect("session construction");
+                let sess =
+                    Session::new(&part.il, &part.bp, req.entry, &req.args, cfg.costs, engine)
+                        .expect("session construction");
                 let live = Live {
                     sess,
                     client,
@@ -332,9 +330,10 @@ pub fn run_sim<'a>(
                         deadlock_restarts += 1;
                         let (part, low) = spawn(dep);
                         let req = live.req.clone();
-                        let fresh =
-                            Session::new(&part.il, &part.bp, req.entry, &req.args, cfg.costs)
-                                .expect("session construction");
+                        let fresh = Session::new(
+                            &part.il, &part.bp, req.entry, &req.args, cfg.costs, engine,
+                        )
+                        .expect("session construction");
                         live.sess = fresh;
                         live.low_budget = low;
                         push(&mut heap, now + 1_000_000, Ev::Ready { sid }, &mut seq);
@@ -381,10 +380,7 @@ pub fn run_sim<'a>(
             }
 
             Ev::Poll => {
-                let all_done = cfg
-                    .max_txns
-                    .map(|m| completed_total >= m)
-                    .unwrap_or(false);
+                let all_done = cfg.max_txns.map(|m| completed_total >= m).unwrap_or(false);
                 if now < duration_ns && !all_done {
                     push(&mut heap, now + poll_ns, Ev::Poll, &mut seq);
                 }

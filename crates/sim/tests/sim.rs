@@ -179,7 +179,10 @@ fn withdrawing_db_cores_slows_manual_more_than_jdbc() {
     let s = setup();
     let run_limited = |part: &CompiledPartition| {
         let mut engine = make_db();
-        let mut wl = Rotating { entry: s.entry, n: 0 };
+        let mut wl = Rotating {
+            entry: s.entry,
+            n: 0,
+        };
         let cfg = SimConfig {
             duration_s: 20.0,
             warmup_s: 2.0,
@@ -206,7 +209,10 @@ fn withdrawing_db_cores_slows_manual_more_than_jdbc() {
 fn dynamic_deployment_switches_under_load_change() {
     let s = setup();
     let mut engine = make_db();
-    let mut wl = Rotating { entry: s.entry, n: 0 };
+    let mut wl = Rotating {
+        entry: s.entry,
+        n: 0,
+    };
     let cfg = SimConfig {
         duration_s: 120.0,
         warmup_s: 5.0,
@@ -230,10 +236,8 @@ fn dynamic_deployment_switches_under_load_change() {
     let r = run_sim(&mut dep, &mut engine, &mut wl, &cfg);
     // Early buckets run high-budget; after the load change the monitor
     // must shift to the low-budget (JDBC-like) partition.
-    let early: Vec<&pyx_sim::TimePoint> =
-        r.timeline.iter().filter(|p| p.t_s < 50.0).collect();
-    let late: Vec<&pyx_sim::TimePoint> =
-        r.timeline.iter().filter(|p| p.t_s > 90.0).collect();
+    let early: Vec<&pyx_sim::TimePoint> = r.timeline.iter().filter(|p| p.t_s < 50.0).collect();
+    let late: Vec<&pyx_sim::TimePoint> = r.timeline.iter().filter(|p| p.t_s > 90.0).collect();
     assert!(!early.is_empty() && !late.is_empty());
     let early_low = early.iter().map(|p| p.low_budget_frac).sum::<f64>() / early.len() as f64;
     let late_low = late.iter().map(|p| p.low_budget_frac).sum::<f64>() / late.len() as f64;
@@ -283,7 +287,10 @@ fn fixed_workload_type_runs() {
 fn max_txns_caps_the_run() {
     let s = setup();
     let mut engine = make_db();
-    let mut wl = Rotating { entry: s.entry, n: 0 };
+    let mut wl = Rotating {
+        entry: s.entry,
+        n: 0,
+    };
     let cfg = SimConfig {
         duration_s: 1000.0,
         warmup_s: 0.0,
@@ -302,7 +309,10 @@ fn speed_factor_slows_completion() {
     let s = setup();
     let one_shot = |speed: f64| {
         let mut engine = make_db();
-        let mut wl = Rotating { entry: s.entry, n: 0 };
+        let mut wl = Rotating {
+            entry: s.entry,
+            n: 0,
+        };
         let cfg = SimConfig {
             duration_s: 1000.0,
             warmup_s: 0.0,

@@ -142,19 +142,13 @@ mod tests {
         let (pyxis, mut db, entry) = micro2_setup();
         let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
         let a = it
-            .call_entry(
-                entry,
-                vec![Value::Int(50), Value::Int(20), Value::Int(50)],
-            )
+            .call_entry(entry, vec![Value::Int(50), Value::Int(20), Value::Int(50)])
             .unwrap()
             .unwrap();
         let mut db2 = micro2_db();
         let mut it2 = Interp::new(&pyxis.prog, &mut db2, NullTracer);
         let b = it2
-            .call_entry(
-                entry,
-                vec![Value::Int(50), Value::Int(20), Value::Int(50)],
-            )
+            .call_entry(entry, vec![Value::Int(50), Value::Int(20), Value::Int(50)])
             .unwrap()
             .unwrap();
         assert_eq!(a, b);

@@ -278,8 +278,10 @@ impl Workload for NewOrderGen {
             .collect();
         items.sort_unstable();
         items.dedup();
-        let qtys: Vec<i64> = items.iter().map(|_| self.rng.random_range(1..=10)).collect();
-        let mut items = items;
+        let qtys: Vec<i64> = items
+            .iter()
+            .map(|_| self.rng.random_range(1..=10))
+            .collect();
         if self.rng.random_bool(self.rollback_pct) {
             let k = items.len() - 1;
             items[k] = -1; // unused item number → programmed rollback
@@ -335,13 +337,7 @@ mod tests {
         let total = it
             .call_entry(
                 entry,
-                vec![
-                    Value::Int(1),
-                    Value::Int(1),
-                    Value::Int(5),
-                    items,
-                    qtys,
-                ],
+                vec![Value::Int(1), Value::Int(1), Value::Int(5), items, qtys],
             )
             .expect("run")
             .expect("total");

@@ -141,7 +141,10 @@ fn main() {
 
     // 3. Partition under two budgets.
     let graph = pyxis.graph(&profile);
-    for (name, budget) in [("low budget (loaded DB)", 0.0), ("high budget (idle DB)", 2.0)] {
+    for (name, budget) in [
+        ("low budget (loaded DB)", 0.0),
+        ("high budget (idle DB)", 2.0),
+    ] {
         let placement = pyxis.partition(&graph, budget);
         println!("\n=== {name}: {} ===", pyxis.describe_placement(&placement));
         let part = pyxis.deploy(placement);
@@ -155,6 +158,7 @@ fn main() {
             entry,
             &[ArgVal::Int(7), ArgVal::Int(1), ArgVal::Double(0.8)],
             RtCosts::default(),
+            &mut db,
         )
         .expect("session");
         run_to_completion(&mut sess, &mut db, 1_000_000).expect("run");

@@ -52,7 +52,5 @@ fn main() {
         });
         println!("{:<18} {:>5}  {:>5}  {:>6}", m.name, db + app, db, app);
     }
-    println!(
-        "\nexpected: query-heavy interactions mostly on the DB; orderInquiry entirely on APP"
-    );
+    println!("\nexpected: query-heavy interactions mostly on the DB; orderInquiry entirely on APP");
 }

@@ -44,9 +44,7 @@ fn parse_args() -> Result<Opts, String> {
             "--exact" => opts.exact = true,
             "--profile-entry" => {
                 let spec = args.next().ok_or("--profile-entry needs Class::method")?;
-                let (class, method) = spec
-                    .split_once("::")
-                    .ok_or("entry must be Class::method")?;
+                let (class, method) = spec.split_once("::").ok_or("entry must be Class::method")?;
                 let mut argv = Vec::new();
                 while let Some(next) = args.peek() {
                     if next.starts_with("--") || next.ends_with(".pyx") {

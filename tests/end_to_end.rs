@@ -42,15 +42,18 @@ fn tpcc_partitions_preserve_semantics() {
         tpcc::create_schema(&mut db);
         tpcc::load(&mut db, scale, 5);
         for req in &fixed_reqs {
-            let mut sess =
-                Session::new(&part.il, &part.bp, req.entry, &req.args, RtCosts::default())
-                    .unwrap();
+            let mut sess = Session::new(
+                &part.il,
+                &part.bp,
+                req.entry,
+                &req.args,
+                RtCosts::default(),
+                &mut db,
+            )
+            .unwrap();
             run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
         }
-        db.table_names()
-            .iter()
-            .map(|t| db.dump_table(t))
-            .collect()
+        db.table_names().iter().map(|t| db.dump_table(t)).collect()
     };
 
     let jdbc = pyxis.deploy_jdbc();
@@ -98,16 +101,19 @@ fn tpcc_high_budget_behaves_like_stored_procedure() {
         .with_lines(6, 6)
         .with_rollback_pct(0.0);
     let req = g.next_txn(0);
-    let mut sess =
-        Session::new(&part.il, &part.bp, req.entry, &req.args, RtCosts::default()).unwrap();
+    let mut sess = Session::new(
+        &part.il,
+        &part.bp,
+        req.entry,
+        &req.args,
+        RtCosts::default(),
+        &mut db,
+    )
+    .unwrap();
     run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
     assert_eq!(sess.stats.db_round_trips, 0, "{:?}", sess.stats);
     assert!(sess.stats.db_local_calls >= 15);
-    assert!(
-        sess.stats.control_transfers <= 4,
-        "{:?}",
-        sess.stats
-    );
+    assert!(sess.stats.control_transfers <= 4, "{:?}", sess.stats);
 
     // Zero budget ⇒ JDBC behaviour on the same transaction.
     let placement = pyxis.partition(&graph, 0.0);
@@ -115,8 +121,15 @@ fn tpcc_high_budget_behaves_like_stored_procedure() {
     let mut db = Engine::new();
     tpcc::create_schema(&mut db);
     tpcc::load(&mut db, scale, 5);
-    let mut sess =
-        Session::new(&part.il, &part.bp, req.entry, &req.args, RtCosts::default()).unwrap();
+    let mut sess = Session::new(
+        &part.il,
+        &part.bp,
+        req.entry,
+        &req.args,
+        RtCosts::default(),
+        &mut db,
+    )
+    .unwrap();
     run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
     assert!(sess.stats.db_round_trips >= 15, "{:?}", sess.stats);
     assert_eq!(sess.stats.db_local_calls, 0);
@@ -196,6 +209,7 @@ fn micro2_partitions_agree() {
             entry,
             &[ArgVal::Int(30), ArgVal::Int(100), ArgVal::Int(30)],
             RtCosts::default(),
+            &mut db,
         )
         .unwrap();
         run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
@@ -257,6 +271,9 @@ fn simulated_tpcc_pyxis_beats_jdbc() {
 /// The pipeline facade compiles bad programs into diagnostics, not panics.
 #[test]
 fn pipeline_surfaces_compile_errors() {
-    let err = Pyxis::compile("class C { void f() { undefined(); } }", PyxisConfig::default());
+    let err = Pyxis::compile(
+        "class C { void f() { undefined(); } }",
+        PyxisConfig::default(),
+    );
     assert!(err.is_err());
 }

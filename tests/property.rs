@@ -47,11 +47,11 @@ proptest! {
                         "INSERT INTO t VALUES (?, ?)",
                         &[Scalar::Int(k), Scalar::Int(v)],
                     );
-                    if model.contains_key(&k) {
-                        prop_assert!(r.is_err(), "duplicate insert must fail");
-                    } else {
+                    if let std::collections::btree_map::Entry::Vacant(e) = model.entry(k) {
                         prop_assert!(r.is_ok());
-                        model.insert(k, v);
+                        e.insert(v);
+                    } else {
+                        prop_assert!(r.is_err(), "duplicate insert must fail");
                     }
                 }
                 Op::Update(k, v) => {
@@ -288,6 +288,7 @@ proptest! {
             entry,
             &[pyxis::runtime::ArgVal::Int(x)],
             pyxis::runtime::cost::RtCosts::default(),
+            &mut db1,
         )
         .unwrap();
         pyxis::runtime::session::run_to_completion(&mut sess, &mut db1, 1_000_000).unwrap();
