@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/ablations-8e9ce0a86ad17dfb.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/debug/deps/ablations-8e9ce0a86ad17dfb: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/concurrency-0d2aa9d0304fbad9.d: crates/db/tests/concurrency.rs
+
+/root/repo/target/debug/deps/concurrency-0d2aa9d0304fbad9: crates/db/tests/concurrency.rs
+
+crates/db/tests/concurrency.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/concurrency-b4efecc0678219eb.d: crates/db/tests/concurrency.rs Cargo.toml
+
+/root/repo/target/debug/deps/libconcurrency-b4efecc0678219eb.rmeta: crates/db/tests/concurrency.rs Cargo.toml
+
+crates/db/tests/concurrency.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

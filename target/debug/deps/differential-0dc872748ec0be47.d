@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/differential-0dc872748ec0be47.d: crates/runtime/tests/differential.rs
+
+/root/repo/target/debug/deps/differential-0dc872748ec0be47: crates/runtime/tests/differential.rs
+
+crates/runtime/tests/differential.rs:

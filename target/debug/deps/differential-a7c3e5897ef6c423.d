@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/differential-a7c3e5897ef6c423.d: crates/runtime/tests/differential.rs Cargo.toml
+
+/root/repo/target/debug/deps/libdifferential-a7c3e5897ef6c423.rmeta: crates/runtime/tests/differential.rs Cargo.toml
+
+crates/runtime/tests/differential.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

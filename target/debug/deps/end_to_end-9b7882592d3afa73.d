@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-9b7882592d3afa73.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-9b7882592d3afa73: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/engine-3378bc2351059041.d: crates/db/tests/engine.rs Cargo.toml
+
+/root/repo/target/debug/deps/libengine-3378bc2351059041.rmeta: crates/db/tests/engine.rs Cargo.toml
+
+crates/db/tests/engine.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

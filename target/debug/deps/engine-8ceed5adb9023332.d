@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/engine-8ceed5adb9023332.d: crates/db/tests/engine.rs
+
+/root/repo/target/debug/deps/engine-8ceed5adb9023332: crates/db/tests/engine.rs
+
+crates/db/tests/engine.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig10-8fb4899546926f9a.d: crates/bench/src/bin/fig10.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig10-8fb4899546926f9a.rmeta: crates/bench/src/bin/fig10.rs Cargo.toml
+
+crates/bench/src/bin/fig10.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig10-ac2043e0bb00c58b.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/debug/deps/fig10-ac2043e0bb00c58b: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig11-2a71172adddc2860.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/debug/deps/fig11-2a71172adddc2860: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

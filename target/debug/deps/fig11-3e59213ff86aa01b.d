@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig11-3e59213ff86aa01b.d: crates/bench/src/bin/fig11.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig11-3e59213ff86aa01b.rmeta: crates/bench/src/bin/fig11.rs Cargo.toml
+
+crates/bench/src/bin/fig11.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

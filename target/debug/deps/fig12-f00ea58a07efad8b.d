@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig12-f00ea58a07efad8b.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/debug/deps/fig12-f00ea58a07efad8b: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig13-1f349ffc0650a398.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/debug/deps/fig13-1f349ffc0650a398: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/fig13-6324be96dbc27166.d: crates/bench/src/bin/fig13.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig13-6324be96dbc27166.rmeta: crates/bench/src/bin/fig13.rs Cargo.toml
+
+crates/bench/src/bin/fig13.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

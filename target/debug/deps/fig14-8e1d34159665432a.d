@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig14-8e1d34159665432a.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/debug/deps/fig14-8e1d34159665432a: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

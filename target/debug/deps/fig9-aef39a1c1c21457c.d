@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig9-aef39a1c1c21457c.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/debug/deps/fig9-aef39a1c1c21457c: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

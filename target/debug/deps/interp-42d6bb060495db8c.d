@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/interp-42d6bb060495db8c.d: crates/profile/tests/interp.rs
+
+/root/repo/target/debug/deps/interp-42d6bb060495db8c: crates/profile/tests/interp.rs
+
+crates/profile/tests/interp.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/interp-6c59b700ca2d50ad.d: crates/profile/tests/interp.rs Cargo.toml
+
+/root/repo/target/debug/deps/libinterp-6c59b700ca2d50ad.rmeta: crates/profile/tests/interp.rs Cargo.toml
+
+crates/profile/tests/interp.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

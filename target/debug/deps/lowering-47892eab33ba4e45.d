@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/lowering-47892eab33ba4e45.d: crates/lang/tests/lowering.rs
+
+/root/repo/target/debug/deps/lowering-47892eab33ba4e45: crates/lang/tests/lowering.rs
+
+crates/lang/tests/lowering.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/lowering-7b3e3b33b86cb383.d: crates/lang/tests/lowering.rs Cargo.toml
+
+/root/repo/target/debug/deps/liblowering-7b3e3b33b86cb383.rmeta: crates/lang/tests/lowering.rs Cargo.toml
+
+crates/lang/tests/lowering.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

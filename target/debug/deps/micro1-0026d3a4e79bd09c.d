@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/micro1-0026d3a4e79bd09c.d: crates/bench/src/bin/micro1.rs
+
+/root/repo/target/debug/deps/micro1-0026d3a4e79bd09c: crates/bench/src/bin/micro1.rs
+
+crates/bench/src/bin/micro1.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/micro1-eb2dc127de285a13.d: crates/bench/src/bin/micro1.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmicro1-eb2dc127de285a13.rmeta: crates/bench/src/bin/micro1.rs Cargo.toml
+
+crates/bench/src/bin/micro1.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

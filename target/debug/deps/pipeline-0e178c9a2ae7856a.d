@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pipeline-0e178c9a2ae7856a.d: crates/core/tests/pipeline.rs
+
+/root/repo/target/debug/deps/pipeline-0e178c9a2ae7856a: crates/core/tests/pipeline.rs
+
+crates/core/tests/pipeline.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pipeline-3338feedd0e40386.d: crates/core/tests/pipeline.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpipeline-3338feedd0e40386.rmeta: crates/core/tests/pipeline.rs Cargo.toml
+
+crates/core/tests/pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

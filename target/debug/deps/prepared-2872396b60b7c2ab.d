@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/prepared-2872396b60b7c2ab.d: crates/db/tests/prepared.rs
+
+/root/repo/target/debug/deps/prepared-2872396b60b7c2ab: crates/db/tests/prepared.rs
+
+crates/db/tests/prepared.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/prepared-d706b1557447a9cd.d: crates/db/tests/prepared.rs Cargo.toml
+
+/root/repo/target/debug/deps/libprepared-d706b1557447a9cd.rmeta: crates/db/tests/prepared.rs Cargo.toml
+
+crates/db/tests/prepared.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

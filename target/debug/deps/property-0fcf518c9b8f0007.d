@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/property-0fcf518c9b8f0007.d: tests/property.rs
+
+/root/repo/target/debug/deps/property-0fcf518c9b8f0007: tests/property.rs
+
+tests/property.rs:

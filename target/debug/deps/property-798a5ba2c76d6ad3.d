@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/property-798a5ba2c76d6ad3.d: tests/property.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperty-798a5ba2c76d6ad3.rmeta: tests/property.rs Cargo.toml
+
+tests/property.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pyx_analysis-52add0a71f97eb4d.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_analysis-52add0a71f97eb4d.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs Cargo.toml
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/ctrldep.rs:
+crates/analysis/src/defuse.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/pointsto.rs:
+crates/analysis/src/sdg.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_analysis-b55a848641989e89.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+/root/repo/target/debug/deps/pyx_analysis-b55a848641989e89: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/ctrldep.rs:
+crates/analysis/src/defuse.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/pointsto.rs:
+crates/analysis/src/sdg.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pyx_analysis-cc07e6a0fb0355c5.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+/root/repo/target/debug/deps/libpyx_analysis-cc07e6a0fb0355c5.rlib: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+/root/repo/target/debug/deps/libpyx_analysis-cc07e6a0fb0355c5.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/ctrldep.rs:
+crates/analysis/src/defuse.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/pointsto.rs:
+crates/analysis/src/sdg.rs:

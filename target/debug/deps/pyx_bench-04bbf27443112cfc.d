@@ -1,0 +1,6 @@
+/root/repo/target/debug/deps/pyx_bench-04bbf27443112cfc.d: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/debug/deps/pyx_bench-04bbf27443112cfc: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scenarios.rs:

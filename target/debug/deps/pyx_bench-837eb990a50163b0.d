@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pyx_bench-837eb990a50163b0.d: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/debug/deps/libpyx_bench-837eb990a50163b0.rlib: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/debug/deps/libpyx_bench-837eb990a50163b0.rmeta: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scenarios.rs:

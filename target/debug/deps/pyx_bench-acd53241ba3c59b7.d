@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_bench-acd53241ba3c59b7.d: crates/bench/src/lib.rs crates/bench/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_bench-acd53241ba3c59b7.rmeta: crates/bench/src/lib.rs crates/bench/src/scenarios.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

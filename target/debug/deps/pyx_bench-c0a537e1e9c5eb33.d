@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_bench-c0a537e1e9c5eb33.d: crates/bench/src/lib.rs crates/bench/src/scenarios.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_bench-c0a537e1e9c5eb33.rmeta: crates/bench/src/lib.rs crates/bench/src/scenarios.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+crates/bench/src/scenarios.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

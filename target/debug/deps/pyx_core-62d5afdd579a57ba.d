@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pyx_core-62d5afdd579a57ba.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_core-62d5afdd579a57ba.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pyx_core-7a6ea88108a6592e.d: crates/core/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_core-7a6ea88108a6592e.rmeta: crates/core/src/lib.rs Cargo.toml
+
+crates/core/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

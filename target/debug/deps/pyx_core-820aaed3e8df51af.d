@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pyx_core-820aaed3e8df51af.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libpyx_core-820aaed3e8df51af.rlib: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/libpyx_core-820aaed3e8df51af.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

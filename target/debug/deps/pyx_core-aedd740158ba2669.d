@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pyx_core-aedd740158ba2669.d: crates/core/src/lib.rs
+
+/root/repo/target/debug/deps/pyx_core-aedd740158ba2669: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/pyx_db-2725c65331757d31.d: crates/db/src/lib.rs crates/db/src/cost.rs crates/db/src/engine.rs crates/db/src/fxhash.rs crates/db/src/index.rs crates/db/src/lock.rs crates/db/src/prepared.rs crates/db/src/schema.rs crates/db/src/sqlparse.rs crates/db/src/table.rs crates/db/src/txn.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_db-2725c65331757d31.rmeta: crates/db/src/lib.rs crates/db/src/cost.rs crates/db/src/engine.rs crates/db/src/fxhash.rs crates/db/src/index.rs crates/db/src/lock.rs crates/db/src/prepared.rs crates/db/src/schema.rs crates/db/src/sqlparse.rs crates/db/src/table.rs crates/db/src/txn.rs Cargo.toml
+
+crates/db/src/lib.rs:
+crates/db/src/cost.rs:
+crates/db/src/engine.rs:
+crates/db/src/fxhash.rs:
+crates/db/src/index.rs:
+crates/db/src/lock.rs:
+crates/db/src/prepared.rs:
+crates/db/src/schema.rs:
+crates/db/src/sqlparse.rs:
+crates/db/src/table.rs:
+crates/db/src/txn.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

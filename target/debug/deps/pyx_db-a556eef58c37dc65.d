@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/pyx_db-a556eef58c37dc65.d: crates/db/src/lib.rs crates/db/src/cost.rs crates/db/src/engine.rs crates/db/src/fxhash.rs crates/db/src/index.rs crates/db/src/lock.rs crates/db/src/prepared.rs crates/db/src/schema.rs crates/db/src/sqlparse.rs crates/db/src/table.rs crates/db/src/txn.rs
+
+/root/repo/target/debug/deps/libpyx_db-a556eef58c37dc65.rmeta: crates/db/src/lib.rs crates/db/src/cost.rs crates/db/src/engine.rs crates/db/src/fxhash.rs crates/db/src/index.rs crates/db/src/lock.rs crates/db/src/prepared.rs crates/db/src/schema.rs crates/db/src/sqlparse.rs crates/db/src/table.rs crates/db/src/txn.rs
+
+crates/db/src/lib.rs:
+crates/db/src/cost.rs:
+crates/db/src/engine.rs:
+crates/db/src/fxhash.rs:
+crates/db/src/index.rs:
+crates/db/src/lock.rs:
+crates/db/src/prepared.rs:
+crates/db/src/schema.rs:
+crates/db/src/sqlparse.rs:
+crates/db/src/table.rs:
+crates/db/src/txn.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_ilp-1b8f7227af2349a3.d: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libpyx_ilp-1b8f7227af2349a3.rlib: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/libpyx_ilp-1b8f7227af2349a3.rmeta: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bnb.rs:
+crates/ilp/src/budgeted.rs:
+crates/ilp/src/maxflow.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

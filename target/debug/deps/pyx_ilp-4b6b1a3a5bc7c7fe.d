@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_ilp-4b6b1a3a5bc7c7fe.d: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/debug/deps/pyx_ilp-4b6b1a3a5bc7c7fe: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bnb.rs:
+crates/ilp/src/budgeted.rs:
+crates/ilp/src/maxflow.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pyx_ilp-5910024b760b4f96.d: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_ilp-5910024b760b4f96.rmeta: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs Cargo.toml
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bnb.rs:
+crates/ilp/src/budgeted.rs:
+crates/ilp/src/maxflow.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

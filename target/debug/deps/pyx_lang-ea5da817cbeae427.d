@@ -1,0 +1,18 @@
+/root/repo/target/debug/deps/pyx_lang-ea5da817cbeae427.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_lang-ea5da817cbeae427.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs Cargo.toml
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/ids.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/nir.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:
+crates/lang/src/value.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

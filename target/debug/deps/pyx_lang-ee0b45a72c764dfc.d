@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pyx_lang-ee0b45a72c764dfc.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+/root/repo/target/debug/deps/pyx_lang-ee0b45a72c764dfc: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/ids.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/nir.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:
+crates/lang/src/value.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/pyx_lang-f8c6c6c80916e553.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+/root/repo/target/debug/deps/libpyx_lang-f8c6c6c80916e553.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+/root/repo/target/debug/deps/libpyx_lang-f8c6c6c80916e553.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/ids.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/nir.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:
+crates/lang/src/value.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_partition-01d7c60af93b38ab.d: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_partition-01d7c60af93b38ab.rmeta: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/graph.rs:
+crates/partition/src/solve.rs:
+crates/partition/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pyx_partition-4a37e2ce6c336ec1.d: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+/root/repo/target/debug/deps/pyx_partition-4a37e2ce6c336ec1: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/graph.rs:
+crates/partition/src/solve.rs:
+crates/partition/src/weights.rs:

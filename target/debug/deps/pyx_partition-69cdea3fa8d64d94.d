@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_partition-69cdea3fa8d64d94.d: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_partition-69cdea3fa8d64d94.rmeta: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs Cargo.toml
+
+crates/partition/src/lib.rs:
+crates/partition/src/graph.rs:
+crates/partition/src/solve.rs:
+crates/partition/src/weights.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_partition-c8cc787c062dd208.d: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+/root/repo/target/debug/deps/libpyx_partition-c8cc787c062dd208.rlib: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+/root/repo/target/debug/deps/libpyx_partition-c8cc787c062dd208.rmeta: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/graph.rs:
+crates/partition/src/solve.rs:
+crates/partition/src/weights.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_profile-251c8ff5e72723fa.d: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+/root/repo/target/debug/deps/libpyx_profile-251c8ff5e72723fa.rlib: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+/root/repo/target/debug/deps/libpyx_profile-251c8ff5e72723fa.rmeta: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/heap.rs:
+crates/profile/src/interp.rs:
+crates/profile/src/profiler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_profile-357a5b4f0928da3e.d: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_profile-357a5b4f0928da3e.rmeta: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs Cargo.toml
+
+crates/profile/src/lib.rs:
+crates/profile/src/heap.rs:
+crates/profile/src/interp.rs:
+crates/profile/src/profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_profile-7c114c3b0d4c50d8.d: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_profile-7c114c3b0d4c50d8.rmeta: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs Cargo.toml
+
+crates/profile/src/lib.rs:
+crates/profile/src/heap.rs:
+crates/profile/src/interp.rs:
+crates/profile/src/profiler.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pyx_profile-c0da0d7ac98561fa.d: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+/root/repo/target/debug/deps/pyx_profile-c0da0d7ac98561fa: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/heap.rs:
+crates/profile/src/interp.rs:
+crates/profile/src/profiler.rs:

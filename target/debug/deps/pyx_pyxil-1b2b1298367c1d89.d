@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_pyxil-1b2b1298367c1d89.d: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+/root/repo/target/debug/deps/libpyx_pyxil-1b2b1298367c1d89.rlib: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+/root/repo/target/debug/deps/libpyx_pyxil-1b2b1298367c1d89.rmeta: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+crates/pyxil/src/lib.rs:
+crates/pyxil/src/blocks.rs:
+crates/pyxil/src/compile.rs:
+crates/pyxil/src/il.rs:
+crates/pyxil/src/reorder.rs:
+crates/pyxil/src/sync.rs:

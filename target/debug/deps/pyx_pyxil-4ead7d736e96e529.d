@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_pyxil-4ead7d736e96e529.d: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+/root/repo/target/debug/deps/pyx_pyxil-4ead7d736e96e529: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+crates/pyxil/src/lib.rs:
+crates/pyxil/src/blocks.rs:
+crates/pyxil/src/compile.rs:
+crates/pyxil/src/il.rs:
+crates/pyxil/src/reorder.rs:
+crates/pyxil/src/sync.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pyx_pyxil-a322f23fc5f5fcf7.d: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_pyxil-a322f23fc5f5fcf7.rmeta: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs Cargo.toml
+
+crates/pyxil/src/lib.rs:
+crates/pyxil/src/blocks.rs:
+crates/pyxil/src/compile.rs:
+crates/pyxil/src/il.rs:
+crates/pyxil/src/reorder.rs:
+crates/pyxil/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

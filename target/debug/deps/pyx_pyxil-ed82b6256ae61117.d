@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pyx_pyxil-ed82b6256ae61117.d: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_pyxil-ed82b6256ae61117.rmeta: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs Cargo.toml
+
+crates/pyxil/src/lib.rs:
+crates/pyxil/src/blocks.rs:
+crates/pyxil/src/compile.rs:
+crates/pyxil/src/il.rs:
+crates/pyxil/src/reorder.rs:
+crates/pyxil/src/sync.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

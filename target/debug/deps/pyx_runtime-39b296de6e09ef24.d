@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_runtime-39b296de6e09ef24.d: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+/root/repo/target/debug/deps/pyx_runtime-39b296de6e09ef24: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cost.rs:
+crates/runtime/src/heap.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/session.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/pyx_runtime-7bb8655a346fd787.d: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_runtime-7bb8655a346fd787.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs Cargo.toml
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cost.rs:
+crates/runtime/src/heap.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/session.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_runtime-bc339fb4142b1778.d: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+/root/repo/target/debug/deps/libpyx_runtime-bc339fb4142b1778.rlib: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+/root/repo/target/debug/deps/libpyx_runtime-bc339fb4142b1778.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cost.rs:
+crates/runtime/src/heap.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/session.rs:

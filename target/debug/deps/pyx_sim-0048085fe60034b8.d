@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_sim-0048085fe60034b8.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libpyx_sim-0048085fe60034b8.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/libpyx_sim-0048085fe60034b8.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_sim-45be80be87824f69.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_sim-45be80be87824f69.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs Cargo.toml
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/workload.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pyx_sim-4a670497e42dcf0d.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+/root/repo/target/debug/deps/pyx_sim-4a670497e42dcf0d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/workload.rs:

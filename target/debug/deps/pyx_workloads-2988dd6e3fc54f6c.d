@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_workloads-2988dd6e3fc54f6c.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_workloads-2988dd6e3fc54f6c.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpcw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/pyx_workloads-33951fd59e820994.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+/root/repo/target/debug/deps/libpyx_workloads-33951fd59e820994.rlib: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+/root/repo/target/debug/deps/libpyx_workloads-33951fd59e820994.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpcw.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/pyx_workloads-e0af7dbdba46f81a.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyx_workloads-e0af7dbdba46f81a.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs Cargo.toml
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpcw.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

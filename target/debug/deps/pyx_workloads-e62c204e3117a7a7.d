@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/pyx_workloads-e62c204e3117a7a7.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+/root/repo/target/debug/deps/pyx_workloads-e62c204e3117a7a7: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpcw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pyxc-0e7fe0ea66016d80.d: src/bin/pyxc.rs
+
+/root/repo/target/debug/deps/pyxc-0e7fe0ea66016d80: src/bin/pyxc.rs
+
+src/bin/pyxc.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pyxc-4b1935ac2f7c56eb.d: src/bin/pyxc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyxc-4b1935ac2f7c56eb.rmeta: src/bin/pyxc.rs Cargo.toml
+
+src/bin/pyxc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

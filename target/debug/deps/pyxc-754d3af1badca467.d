@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pyxc-754d3af1badca467.d: src/bin/pyxc.rs
+
+/root/repo/target/debug/deps/pyxc-754d3af1badca467: src/bin/pyxc.rs
+
+src/bin/pyxc.rs:

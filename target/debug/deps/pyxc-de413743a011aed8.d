@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pyxc-de413743a011aed8.d: src/bin/pyxc.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyxc-de413743a011aed8.rmeta: src/bin/pyxc.rs Cargo.toml
+
+src/bin/pyxc.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

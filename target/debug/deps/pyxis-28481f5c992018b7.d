@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pyxis-28481f5c992018b7.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyxis-28481f5c992018b7.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pyxis-5ea9b656a31cf7c2.d: src/lib.rs
+
+/root/repo/target/debug/deps/pyxis-5ea9b656a31cf7c2: src/lib.rs
+
+src/lib.rs:

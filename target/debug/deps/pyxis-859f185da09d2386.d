@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/pyxis-859f185da09d2386.d: src/lib.rs
+
+/root/repo/target/debug/deps/libpyxis-859f185da09d2386.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libpyxis-859f185da09d2386.rmeta: src/lib.rs
+
+src/lib.rs:

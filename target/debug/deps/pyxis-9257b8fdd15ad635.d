@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pyxis-9257b8fdd15ad635.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpyxis-9257b8fdd15ad635.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/sim-0103d2ed937b5978.d: crates/sim/tests/sim.rs
+
+/root/repo/target/debug/deps/sim-0103d2ed937b5978: crates/sim/tests/sim.rs
+
+crates/sim/tests/sim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/sim-16a85f036172266c.d: crates/sim/tests/sim.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsim-16a85f036172266c.rmeta: crates/sim/tests/sim.rs Cargo.toml
+
+crates/sim/tests/sim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/solver-4d72864744b59c4a.d: crates/bench/benches/solver.rs Cargo.toml
+
+/root/repo/target/debug/deps/libsolver-4d72864744b59c4a.rmeta: crates/bench/benches/solver.rs Cargo.toml
+
+crates/bench/benches/solver.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stmt_throughput-02f7b546415a8954.d: crates/bench/benches/stmt_throughput.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstmt_throughput-02f7b546415a8954.rmeta: crates/bench/benches/stmt_throughput.rs Cargo.toml
+
+crates/bench/benches/stmt_throughput.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

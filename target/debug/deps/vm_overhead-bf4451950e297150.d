@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/vm_overhead-bf4451950e297150.d: crates/bench/benches/vm_overhead.rs Cargo.toml
+
+/root/repo/target/debug/deps/libvm_overhead-bf4451950e297150.rmeta: crates/bench/benches/vm_overhead.rs Cargo.toml
+
+crates/bench/benches/vm_overhead.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dynamic_switching-2660c5db81110a6d.d: examples/dynamic_switching.rs
+
+/root/repo/target/debug/examples/dynamic_switching-2660c5db81110a6d: examples/dynamic_switching.rs
+
+examples/dynamic_switching.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dynamic_switching-420924092c1c21a0.d: examples/dynamic_switching.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdynamic_switching-420924092c1c21a0.rmeta: examples/dynamic_switching.rs Cargo.toml
+
+examples/dynamic_switching.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

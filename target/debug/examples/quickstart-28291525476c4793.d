@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-28291525476c4793.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-28291525476c4793: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/quickstart-2e1a1151b92c0b11.d: examples/quickstart.rs Cargo.toml
+
+/root/repo/target/debug/examples/libquickstart-2e1a1151b92c0b11.rmeta: examples/quickstart.rs Cargo.toml
+
+examples/quickstart.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

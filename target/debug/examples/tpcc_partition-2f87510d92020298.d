@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcc_partition-2f87510d92020298.d: examples/tpcc_partition.rs
+
+/root/repo/target/debug/examples/tpcc_partition-2f87510d92020298: examples/tpcc_partition.rs
+
+examples/tpcc_partition.rs:

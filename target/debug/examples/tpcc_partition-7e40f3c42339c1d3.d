@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcc_partition-7e40f3c42339c1d3.d: examples/tpcc_partition.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcc_partition-7e40f3c42339c1d3.rmeta: examples/tpcc_partition.rs Cargo.toml
+
+examples/tpcc_partition.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/tpcw_browsing-b34f92db0926e936.d: examples/tpcw_browsing.rs
+
+/root/repo/target/debug/examples/tpcw_browsing-b34f92db0926e936: examples/tpcw_browsing.rs
+
+examples/tpcw_browsing.rs:

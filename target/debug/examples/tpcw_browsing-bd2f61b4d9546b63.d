@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/tpcw_browsing-bd2f61b4d9546b63.d: examples/tpcw_browsing.rs Cargo.toml
+
+/root/repo/target/debug/examples/libtpcw_browsing-bd2f61b4d9546b63.rmeta: examples/tpcw_browsing.rs Cargo.toml
+
+examples/tpcw_browsing.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=
+# env-dep:CLIPPY_CONF_DIR

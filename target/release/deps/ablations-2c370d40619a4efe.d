@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/ablations-2c370d40619a4efe.d: crates/bench/src/bin/ablations.rs
+
+/root/repo/target/release/deps/ablations-2c370d40619a4efe: crates/bench/src/bin/ablations.rs
+
+crates/bench/src/bin/ablations.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-fad11236db9a1209.d: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fad11236db9a1209.rlib: crates/shims/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-fad11236db9a1209.rmeta: crates/shims/criterion/src/lib.rs
+
+crates/shims/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-22166ecad31e5b07.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-22166ecad31e5b07: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig10-405c446b7abcf727.d: crates/bench/src/bin/fig10.rs
+
+/root/repo/target/release/deps/fig10-405c446b7abcf727: crates/bench/src/bin/fig10.rs
+
+crates/bench/src/bin/fig10.rs:

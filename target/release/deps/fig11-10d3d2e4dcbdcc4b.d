@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig11-10d3d2e4dcbdcc4b.d: crates/bench/src/bin/fig11.rs
+
+/root/repo/target/release/deps/fig11-10d3d2e4dcbdcc4b: crates/bench/src/bin/fig11.rs
+
+crates/bench/src/bin/fig11.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig12-e9b2075a5c01bcf6.d: crates/bench/src/bin/fig12.rs
+
+/root/repo/target/release/deps/fig12-e9b2075a5c01bcf6: crates/bench/src/bin/fig12.rs
+
+crates/bench/src/bin/fig12.rs:

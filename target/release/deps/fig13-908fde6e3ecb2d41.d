@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig13-908fde6e3ecb2d41.d: crates/bench/src/bin/fig13.rs
+
+/root/repo/target/release/deps/fig13-908fde6e3ecb2d41: crates/bench/src/bin/fig13.rs
+
+crates/bench/src/bin/fig13.rs:

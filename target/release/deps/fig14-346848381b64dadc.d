@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig14-346848381b64dadc.d: crates/bench/src/bin/fig14.rs
+
+/root/repo/target/release/deps/fig14-346848381b64dadc: crates/bench/src/bin/fig14.rs
+
+crates/bench/src/bin/fig14.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig9-ff10789e06d25840.d: crates/bench/src/bin/fig9.rs
+
+/root/repo/target/release/deps/fig9-ff10789e06d25840: crates/bench/src/bin/fig9.rs
+
+crates/bench/src/bin/fig9.rs:

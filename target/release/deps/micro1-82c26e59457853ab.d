@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/micro1-82c26e59457853ab.d: crates/bench/src/bin/micro1.rs
+
+/root/repo/target/release/deps/micro1-82c26e59457853ab: crates/bench/src/bin/micro1.rs
+
+crates/bench/src/bin/micro1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pipeline-96cd7f3a682e24f6.d: crates/bench/benches/pipeline.rs
+
+/root/repo/target/release/deps/pipeline-96cd7f3a682e24f6: crates/bench/benches/pipeline.rs
+
+crates/bench/benches/pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/property-31bdf3c1611e21ea.d: tests/property.rs
+
+/root/repo/target/release/deps/property-31bdf3c1611e21ea: tests/property.rs
+
+tests/property.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/pyx_analysis-1e5a12d3481b4545.d: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+/root/repo/target/release/deps/libpyx_analysis-1e5a12d3481b4545.rlib: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+/root/repo/target/release/deps/libpyx_analysis-1e5a12d3481b4545.rmeta: crates/analysis/src/lib.rs crates/analysis/src/bitset.rs crates/analysis/src/cfg.rs crates/analysis/src/ctrldep.rs crates/analysis/src/defuse.rs crates/analysis/src/dom.rs crates/analysis/src/pointsto.rs crates/analysis/src/sdg.rs
+
+crates/analysis/src/lib.rs:
+crates/analysis/src/bitset.rs:
+crates/analysis/src/cfg.rs:
+crates/analysis/src/ctrldep.rs:
+crates/analysis/src/defuse.rs:
+crates/analysis/src/dom.rs:
+crates/analysis/src/pointsto.rs:
+crates/analysis/src/sdg.rs:

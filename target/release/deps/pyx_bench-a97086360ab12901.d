@@ -1,0 +1,8 @@
+/root/repo/target/release/deps/pyx_bench-a97086360ab12901.d: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/release/deps/libpyx_bench-a97086360ab12901.rlib: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+/root/repo/target/release/deps/libpyx_bench-a97086360ab12901.rmeta: crates/bench/src/lib.rs crates/bench/src/scenarios.rs
+
+crates/bench/src/lib.rs:
+crates/bench/src/scenarios.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pyx_core-a452cd002e9567bc.d: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libpyx_core-a452cd002e9567bc.rlib: crates/core/src/lib.rs
+
+/root/repo/target/release/deps/libpyx_core-a452cd002e9567bc.rmeta: crates/core/src/lib.rs
+
+crates/core/src/lib.rs:

@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/pyx_db-648a8ff6e6af6cb9.d: crates/db/src/lib.rs crates/db/src/cost.rs crates/db/src/engine.rs crates/db/src/fxhash.rs crates/db/src/index.rs crates/db/src/lock.rs crates/db/src/prepared.rs crates/db/src/schema.rs crates/db/src/sqlparse.rs crates/db/src/table.rs crates/db/src/txn.rs
+
+/root/repo/target/release/deps/libpyx_db-648a8ff6e6af6cb9.rlib: crates/db/src/lib.rs crates/db/src/cost.rs crates/db/src/engine.rs crates/db/src/fxhash.rs crates/db/src/index.rs crates/db/src/lock.rs crates/db/src/prepared.rs crates/db/src/schema.rs crates/db/src/sqlparse.rs crates/db/src/table.rs crates/db/src/txn.rs
+
+/root/repo/target/release/deps/libpyx_db-648a8ff6e6af6cb9.rmeta: crates/db/src/lib.rs crates/db/src/cost.rs crates/db/src/engine.rs crates/db/src/fxhash.rs crates/db/src/index.rs crates/db/src/lock.rs crates/db/src/prepared.rs crates/db/src/schema.rs crates/db/src/sqlparse.rs crates/db/src/table.rs crates/db/src/txn.rs
+
+crates/db/src/lib.rs:
+crates/db/src/cost.rs:
+crates/db/src/engine.rs:
+crates/db/src/fxhash.rs:
+crates/db/src/index.rs:
+crates/db/src/lock.rs:
+crates/db/src/prepared.rs:
+crates/db/src/schema.rs:
+crates/db/src/sqlparse.rs:
+crates/db/src/table.rs:
+crates/db/src/txn.rs:

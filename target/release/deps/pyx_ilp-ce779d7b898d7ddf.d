@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pyx_ilp-ce779d7b898d7ddf.d: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libpyx_ilp-ce779d7b898d7ddf.rlib: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+/root/repo/target/release/deps/libpyx_ilp-ce779d7b898d7ddf.rmeta: crates/ilp/src/lib.rs crates/ilp/src/bnb.rs crates/ilp/src/budgeted.rs crates/ilp/src/maxflow.rs crates/ilp/src/model.rs crates/ilp/src/simplex.rs
+
+crates/ilp/src/lib.rs:
+crates/ilp/src/bnb.rs:
+crates/ilp/src/budgeted.rs:
+crates/ilp/src/maxflow.rs:
+crates/ilp/src/model.rs:
+crates/ilp/src/simplex.rs:

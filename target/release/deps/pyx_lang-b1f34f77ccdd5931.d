@@ -1,0 +1,16 @@
+/root/repo/target/release/deps/pyx_lang-b1f34f77ccdd5931.d: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+/root/repo/target/release/deps/libpyx_lang-b1f34f77ccdd5931.rlib: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+/root/repo/target/release/deps/libpyx_lang-b1f34f77ccdd5931.rmeta: crates/lang/src/lib.rs crates/lang/src/ast.rs crates/lang/src/ids.rs crates/lang/src/lexer.rs crates/lang/src/lower.rs crates/lang/src/nir.rs crates/lang/src/parser.rs crates/lang/src/pretty.rs crates/lang/src/token.rs crates/lang/src/value.rs
+
+crates/lang/src/lib.rs:
+crates/lang/src/ast.rs:
+crates/lang/src/ids.rs:
+crates/lang/src/lexer.rs:
+crates/lang/src/lower.rs:
+crates/lang/src/nir.rs:
+crates/lang/src/parser.rs:
+crates/lang/src/pretty.rs:
+crates/lang/src/token.rs:
+crates/lang/src/value.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pyx_partition-f0e837bd3e81f013.d: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+/root/repo/target/release/deps/libpyx_partition-f0e837bd3e81f013.rlib: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+/root/repo/target/release/deps/libpyx_partition-f0e837bd3e81f013.rmeta: crates/partition/src/lib.rs crates/partition/src/graph.rs crates/partition/src/solve.rs crates/partition/src/weights.rs
+
+crates/partition/src/lib.rs:
+crates/partition/src/graph.rs:
+crates/partition/src/solve.rs:
+crates/partition/src/weights.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pyx_profile-c38cf1346ed3cccd.d: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+/root/repo/target/release/deps/libpyx_profile-c38cf1346ed3cccd.rlib: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+/root/repo/target/release/deps/libpyx_profile-c38cf1346ed3cccd.rmeta: crates/profile/src/lib.rs crates/profile/src/heap.rs crates/profile/src/interp.rs crates/profile/src/profiler.rs
+
+crates/profile/src/lib.rs:
+crates/profile/src/heap.rs:
+crates/profile/src/interp.rs:
+crates/profile/src/profiler.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pyx_pyxil-5b6c2e14a0acf572.d: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+/root/repo/target/release/deps/libpyx_pyxil-5b6c2e14a0acf572.rlib: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+/root/repo/target/release/deps/libpyx_pyxil-5b6c2e14a0acf572.rmeta: crates/pyxil/src/lib.rs crates/pyxil/src/blocks.rs crates/pyxil/src/compile.rs crates/pyxil/src/il.rs crates/pyxil/src/reorder.rs crates/pyxil/src/sync.rs
+
+crates/pyxil/src/lib.rs:
+crates/pyxil/src/blocks.rs:
+crates/pyxil/src/compile.rs:
+crates/pyxil/src/il.rs:
+crates/pyxil/src/reorder.rs:
+crates/pyxil/src/sync.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/release/deps/pyx_runtime-214e178e81a75054.d: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+/root/repo/target/release/deps/libpyx_runtime-214e178e81a75054.rlib: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+/root/repo/target/release/deps/libpyx_runtime-214e178e81a75054.rmeta: crates/runtime/src/lib.rs crates/runtime/src/cost.rs crates/runtime/src/heap.rs crates/runtime/src/monitor.rs crates/runtime/src/net.rs crates/runtime/src/session.rs
+
+crates/runtime/src/lib.rs:
+crates/runtime/src/cost.rs:
+crates/runtime/src/heap.rs:
+crates/runtime/src/monitor.rs:
+crates/runtime/src/net.rs:
+crates/runtime/src/session.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pyx_sim-12ee19a747b53ce5.d: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libpyx_sim-12ee19a747b53ce5.rlib: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+/root/repo/target/release/deps/libpyx_sim-12ee19a747b53ce5.rmeta: crates/sim/src/lib.rs crates/sim/src/cpu.rs crates/sim/src/driver.rs crates/sim/src/workload.rs
+
+crates/sim/src/lib.rs:
+crates/sim/src/cpu.rs:
+crates/sim/src/driver.rs:
+crates/sim/src/workload.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/pyx_workloads-7c2f1052a3b0c72f.d: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+/root/repo/target/release/deps/libpyx_workloads-7c2f1052a3b0c72f.rlib: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+/root/repo/target/release/deps/libpyx_workloads-7c2f1052a3b0c72f.rmeta: crates/workloads/src/lib.rs crates/workloads/src/micro.rs crates/workloads/src/tpcc.rs crates/workloads/src/tpcw.rs
+
+crates/workloads/src/lib.rs:
+crates/workloads/src/micro.rs:
+crates/workloads/src/tpcc.rs:
+crates/workloads/src/tpcw.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pyxc-86f449f4ad2715aa.d: src/bin/pyxc.rs
+
+/root/repo/target/release/deps/pyxc-86f449f4ad2715aa: src/bin/pyxc.rs
+
+src/bin/pyxc.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pyxc-f03a44fbffbec737.d: src/bin/pyxc.rs
+
+/root/repo/target/release/deps/pyxc-f03a44fbffbec737: src/bin/pyxc.rs
+
+src/bin/pyxc.rs:

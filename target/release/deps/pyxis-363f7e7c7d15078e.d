@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/pyxis-363f7e7c7d15078e.d: src/lib.rs
+
+/root/repo/target/release/deps/pyxis-363f7e7c7d15078e: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/pyxis-749089475c9437c7.d: src/lib.rs
+
+/root/repo/target/release/deps/libpyxis-749089475c9437c7.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libpyxis-749089475c9437c7.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/solver-8c95918be684af26.d: crates/bench/benches/solver.rs
+
+/root/repo/target/release/deps/solver-8c95918be684af26: crates/bench/benches/solver.rs
+
+crates/bench/benches/solver.rs:

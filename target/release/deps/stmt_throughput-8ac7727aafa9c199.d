@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/stmt_throughput-8ac7727aafa9c199.d: crates/bench/benches/stmt_throughput.rs
+
+/root/repo/target/release/deps/stmt_throughput-8ac7727aafa9c199: crates/bench/benches/stmt_throughput.rs
+
+crates/bench/benches/stmt_throughput.rs:

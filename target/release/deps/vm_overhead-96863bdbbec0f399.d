@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/vm_overhead-96863bdbbec0f399.d: crates/bench/benches/vm_overhead.rs
+
+/root/repo/target/release/deps/vm_overhead-96863bdbbec0f399: crates/bench/benches/vm_overhead.rs
+
+crates/bench/benches/vm_overhead.rs:

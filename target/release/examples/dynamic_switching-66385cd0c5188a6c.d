@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/dynamic_switching-66385cd0c5188a6c.d: examples/dynamic_switching.rs
+
+/root/repo/target/release/examples/dynamic_switching-66385cd0c5188a6c: examples/dynamic_switching.rs
+
+examples/dynamic_switching.rs:

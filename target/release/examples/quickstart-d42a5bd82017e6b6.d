@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-d42a5bd82017e6b6.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-d42a5bd82017e6b6: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tpcc_partition-98d0c38822373bf5.d: examples/tpcc_partition.rs
+
+/root/repo/target/release/examples/tpcc_partition-98d0c38822373bf5: examples/tpcc_partition.rs
+
+examples/tpcc_partition.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/tpcw_browsing-09cfc469eb6d29c1.d: examples/tpcw_browsing.rs
+
+/root/repo/target/release/examples/tpcw_browsing-09cfc469eb6d29c1: examples/tpcw_browsing.rs
+
+examples/tpcw_browsing.rs:
