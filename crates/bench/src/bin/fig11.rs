@@ -51,12 +51,12 @@ fn main() {
 
     let mut engine = env.fresh_engine();
     let mut wl = env.fresh_workload(99);
-    let mut dep = Deployment::Dynamic {
+    let dep = Deployment::Dynamic {
         high,
         low,
         monitor: LoadMonitor::paper_defaults(),
     };
-    let dynamic = pyx_sim::run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+    let dynamic = pyx_sim::run_sim(dep, &mut engine, &mut wl, &cfg);
 
     println!("# Fig 11: TPC-C latency over time; external DB load arrives at t=120s");
     println!("# t_s\tmanual_ms\tjdbc_ms\tpyxis_ms\tpyxis_jdbc_like_frac");

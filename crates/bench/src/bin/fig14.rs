@@ -91,8 +91,7 @@ fn main() {
                 }],
                 ..SimConfig::default()
             };
-            let mut dep = Deployment::Fixed(part);
-            let r = pyx_sim::run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+            let r = pyx_sim::run_sim(Deployment::Fixed(part), &mut engine, &mut wl, &cfg);
             let secs = r.avg_latency_ms / 1000.0;
             row.push(format!("{secs:.2}"));
         }

@@ -53,8 +53,7 @@ pub fn run_point(
     workload: &mut dyn Workload,
     cfg: &SimConfig,
 ) -> SimResult {
-    let mut dep = Deployment::Fixed(part);
-    pyx_sim::run_sim(&mut dep, engine, workload, cfg)
+    pyx_sim::run_sim(Deployment::Fixed(part), engine, workload, cfg)
 }
 
 /// Print a Gnuplot-friendly data table: header then rows.

@@ -14,10 +14,20 @@
 use crate::maxflow::FlowNetwork;
 
 /// Placement side. `App` is the flow source side, `Db` the sink side.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Side {
     App,
     Db,
+}
+
+impl Side {
+    /// The other host of the two-server deployment.
+    pub fn peer(self) -> Side {
+        match self {
+            Side::App => Side::Db,
+            Side::Db => Side::App,
+        }
+    }
 }
 
 /// A budgeted-cut problem instance.

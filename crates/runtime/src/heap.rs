@@ -8,6 +8,7 @@
 //! paper's conservative sync-insertion analysis must prevent, and the
 //! differential tests in `pyx-sim` would catch.
 
+use crate::wire::SyncEntry;
 use pyx_lang::{ClassId, Oid, RtError, Scalar, Ty, Value};
 use pyx_partition::Side;
 use pyx_profile::{Heap, HeapObj};
@@ -113,9 +114,12 @@ impl DistHeap {
         }
     }
 
-    /// Flush `from`'s outbox into the peer heap, returning the bytes
-    /// shipped.
-    pub fn flush(&mut self, from: Side) -> Result<u64, RtError> {
+    /// Drain `from`'s outbox into a wire-encodable sync batch: every
+    /// pending key paired with the value(s) read from `from`'s heap copy
+    /// at flush time. The batch is *not* applied — the caller encodes it
+    /// into a [`crate::wire::Frame`] and replays the decoded frame on the
+    /// receiving side via [`DistHeap::apply_sync`].
+    pub fn collect_sync(&mut self, from: Side) -> Result<Vec<SyncEntry>, RtError> {
         let keys: Vec<SyncKey> = match from {
             Side::App => std::mem::take(&mut self.outbox_app),
             Side::Db => std::mem::take(&mut self.outbox_db),
@@ -123,50 +127,62 @@ impl DistHeap {
         .into_iter()
         .collect();
 
-        let mut bytes = 0u64;
+        let src = self.host(from);
+        let mut entries = Vec::with_capacity(keys.len());
         for key in keys {
-            bytes += self.apply(from, key)?;
+            entries.push(match key {
+                SyncKey::Field(oid, slot) => {
+                    let value = match src.get(oid)? {
+                        HeapObj::Object { fields, .. } => fields
+                            .get(slot as usize)
+                            .cloned()
+                            .ok_or_else(|| RtError::new("sync of unknown field slot"))?,
+                        HeapObj::Array { .. } => {
+                            return Err(RtError::new("field sync on an array"));
+                        }
+                    };
+                    SyncEntry::Field { oid, slot, value }
+                }
+                SyncKey::Native(oid) => {
+                    let elems: Vec<Value> = match src.get(oid)? {
+                        HeapObj::Array { elems } => elems.clone(),
+                        HeapObj::Object { .. } => {
+                            return Err(RtError::new("sendNative on a non-array"))
+                        }
+                    };
+                    SyncEntry::Native { oid, elems }
+                }
+            });
         }
-        Ok(bytes)
+        Ok(entries)
     }
 
-    fn apply(&mut self, from: Side, key: SyncKey) -> Result<u64, RtError> {
-        let (src, dst) = match from {
-            Side::App => (&self.app, &mut self.db),
-            Side::Db => (&self.db, &mut self.app),
-        };
-        match key {
-            SyncKey::Field(oid, slot) => {
-                let v = match src.get(oid)? {
-                    HeapObj::Object { fields, .. } => fields
-                        .get(slot as usize)
-                        .cloned()
-                        .ok_or_else(|| RtError::new("sync of unknown field slot"))?,
-                    HeapObj::Array { .. } => {
-                        return Err(RtError::new("field sync on an array"));
-                    }
-                };
-                let b = 12 + v.wire_size();
-                dst.set_field(oid, slot as usize, v)?;
-                Ok(b)
-            }
-            SyncKey::Native(oid) => {
-                let elems: Vec<Value> = match src.get(oid)? {
-                    HeapObj::Array { elems } => elems.clone(),
-                    HeapObj::Object { .. } => {
-                        return Err(RtError::new("sendNative on a non-array"))
-                    }
-                };
-                let b = 12 + elems.iter().map(Value::wire_size).sum::<u64>();
-                match dst.get_mut(oid)? {
-                    HeapObj::Array { elems: d } => *d = elems,
+    /// Replay a decoded sync batch onto `to`'s heap copy.
+    pub fn apply_sync(&mut self, to: Side, entries: &[SyncEntry]) -> Result<(), RtError> {
+        let dst = self.host_mut(to);
+        for e in entries {
+            match e {
+                SyncEntry::Field { oid, slot, value } => {
+                    dst.set_field(*oid, *slot as usize, value.clone())?;
+                }
+                SyncEntry::Native { oid, elems } => match dst.get_mut(*oid)? {
+                    HeapObj::Array { elems: d } => *d = elems.clone(),
                     HeapObj::Object { .. } => {
                         return Err(RtError::new("sendNative target is not an array"))
                     }
-                }
-                Ok(b)
+                },
             }
         }
+        Ok(())
+    }
+
+    /// Collect + apply in one step, returning the batch that was shipped.
+    /// Convenience for tests and single-host callers; the session path
+    /// goes through the encoded frame instead.
+    pub fn flush(&mut self, from: Side) -> Result<Vec<SyncEntry>, RtError> {
+        let entries = self.collect_sync(from)?;
+        self.apply_sync(from.peer(), &entries)?;
+        Ok(entries)
     }
 }
 
@@ -207,8 +223,15 @@ mod tests {
             .set_field(o, 1, Value::Int(99))
             .unwrap();
         h.enqueue(Side::App, SyncKey::Field(o, 0));
-        let bytes = h.flush(Side::App).unwrap();
-        assert_eq!(bytes, 12 + 9);
+        let batch = h.flush(Side::App).unwrap();
+        assert_eq!(
+            batch,
+            vec![SyncEntry::Field {
+                oid: o,
+                slot: 0,
+                value: Value::Int(1)
+            }]
+        );
         assert_eq!(h.host(Side::Db).field(o, 0).unwrap(), Value::Int(1));
         assert_eq!(
             h.host(Side::Db).field(o, 1).unwrap(),
@@ -223,8 +246,14 @@ mod tests {
         let a = h.alloc_array_on(Side::Db, vec![Value::Int(1), Value::Int(2)]);
         assert_eq!(h.host(Side::App).array_len(a).unwrap(), 0, "peer stale");
         h.enqueue(Side::Db, SyncKey::Native(a));
-        let bytes = h.flush(Side::Db).unwrap();
-        assert_eq!(bytes, 12 + 18);
+        let batch = h.flush(Side::Db).unwrap();
+        assert_eq!(
+            batch,
+            vec![SyncEntry::Native {
+                oid: a,
+                elems: vec![Value::Int(1), Value::Int(2)]
+            }]
+        );
         assert_eq!(h.host(Side::App).array_len(a).unwrap(), 2);
         assert_eq!(h.host(Side::App).elem(a, 1).unwrap(), Value::Int(2));
     }
@@ -238,7 +267,7 @@ mod tests {
         assert_eq!(h.outbox_len(Side::App), 1);
         h.flush(Side::App).unwrap();
         assert_eq!(h.outbox_len(Side::App), 0);
-        // Empty flush costs nothing.
-        assert_eq!(h.flush(Side::App).unwrap(), 0);
+        // Empty flush ships nothing.
+        assert!(h.flush(Side::App).unwrap().is_empty());
     }
 }

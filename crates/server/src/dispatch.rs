@@ -1,0 +1,511 @@
+//! The session dispatcher: the only session scheduler in the stack.
+//!
+//! A [`Dispatcher`] multiplexes many concurrent transactions over one
+//! shared engine. Each admitted request becomes a [`pyx_runtime::Session`]
+//! driven through its virtual-time events: CPU slices and wire frames are
+//! priced by the [`Env`], lock waits park the session on the engine's wake
+//! lists, wait-die victims are restarted after a backoff, and — for
+//! dynamic deployments — a per-entry-point EWMA monitor picks which
+//! partitioning each new invocation runs (§6.3).
+//!
+//! The public surface is a classic event loop: [`Dispatcher::submit`]
+//! admits (or queues, or rejects — backpressure) a request,
+//! [`Dispatcher::next_event_at`] says when the dispatcher next has work,
+//! and [`Dispatcher::poll`] processes exactly one internal event,
+//! reporting completed transactions as they retire.
+
+use crate::env::Env;
+use crate::workload::TxnRequest;
+use pyx_db::{Engine, TxnId};
+use pyx_lang::MethodId;
+use pyx_pyxil::CompiledPartition;
+use pyx_runtime::cost::RtCosts;
+use pyx_runtime::monitor::{LoadMonitor, PartitionChoice};
+use pyx_runtime::session::{PreparedSites, Session};
+use pyx_runtime::Advance;
+use std::collections::{BinaryHeap, HashMap, VecDeque};
+
+/// What to deploy.
+pub enum Deployment<'a> {
+    Fixed(&'a CompiledPartition),
+    /// Dynamic switching between a high-budget and a low-budget partition
+    /// (§6.3). `monitor` is the template: each entry point gets its own
+    /// clone, so different interactions can switch independently.
+    Dynamic {
+        high: &'a CompiledPartition,
+        low: &'a CompiledPartition,
+        monitor: LoadMonitor,
+    },
+}
+
+/// Dispatcher tuning. Defaults suit the paper's 20-client testbed.
+#[derive(Debug, Clone, Copy)]
+pub struct DispatcherConfig {
+    /// Maximum concurrently executing sessions (admission cap).
+    pub max_sessions: usize,
+    /// Maximum queued requests beyond the cap; further submits are
+    /// rejected (backpressure).
+    pub queue_cap: usize,
+    /// Load-monitor poll period in nanoseconds (paper: 10 s).
+    pub poll_interval_ns: u64,
+    /// Wait-die victim restart backoff.
+    pub restart_delay_ns: u64,
+    /// Latency between a lock grant and the waiter resuming.
+    pub wake_delay_ns: u64,
+    /// VM cost model handed to every session.
+    pub costs: RtCosts,
+}
+
+impl Default for DispatcherConfig {
+    fn default() -> Self {
+        DispatcherConfig {
+            max_sessions: 64,
+            queue_cap: 65_536,
+            poll_interval_ns: 10_000_000_000,
+            restart_delay_ns: 1_000_000,
+            wake_delay_ns: 10_000,
+            costs: RtCosts::default(),
+        }
+    }
+}
+
+/// Outcome of [`Dispatcher::submit`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Admit {
+    /// A session started immediately.
+    Started,
+    /// Capacity is full; the request waits at queue depth `depth`.
+    Queued { depth: usize },
+    /// Queue full — backpressure. The caller should retry later.
+    Rejected,
+}
+
+/// One retired transaction.
+#[derive(Debug, Clone)]
+pub struct TxnDone {
+    /// Caller-chosen tag (the simulator uses the client index).
+    pub tag: u64,
+    pub entry: MethodId,
+    pub label: &'static str,
+    /// When the request was submitted (admission or queue entry).
+    pub submitted_ns: u64,
+    /// When its session started executing.
+    pub started_ns: u64,
+    /// When it retired.
+    pub finished_ns: u64,
+    /// Ran on the low-budget (JDBC-like) partition.
+    pub low_budget: bool,
+    pub rolled_back: bool,
+    /// Wait-die restarts this transaction went through.
+    pub restarts: u32,
+    /// The entry point's return value (differential tests compare it
+    /// across deployments).
+    pub result: Option<pyx_lang::Value>,
+    /// Fatal session error, if the transaction failed (`None` = success).
+    pub error: Option<String>,
+}
+
+/// One partition-choice flip, for the switch timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchRecord {
+    pub t_ns: u64,
+    pub entry: MethodId,
+    pub to: PartitionChoice,
+    /// Smoothed load level at the moment of the flip.
+    pub level_pct: f64,
+}
+
+/// Aggregate dispatcher counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DispatcherStats {
+    pub submitted: u64,
+    pub completed: u64,
+    pub rejected: u64,
+    pub deadlock_restarts: u64,
+    /// Peak concurrently executing sessions.
+    pub peak_sessions: usize,
+    /// Peak admission-queue depth.
+    pub peak_queue: usize,
+}
+
+/// Result of one [`Dispatcher::poll`] call.
+#[derive(Debug)]
+pub enum Polled {
+    /// A transaction retired.
+    Done(TxnDone),
+    /// An internal event was processed.
+    Progress,
+    /// No event was due (check [`Dispatcher::next_event_at`]).
+    Idle,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Ev {
+    Ready { sid: usize },
+    Poll,
+}
+
+struct Live<'a> {
+    sess: Session<'a>,
+    tag: u64,
+    submitted_ns: u64,
+    started_ns: u64,
+    req: TxnRequest,
+    low_budget: bool,
+    restarts: u32,
+}
+
+struct Queued {
+    tag: u64,
+    submitted_ns: u64,
+    req: TxnRequest,
+}
+
+/// The multi-session scheduler. See module docs.
+pub struct Dispatcher<'a> {
+    cfg: DispatcherConfig,
+    dep: Deployment<'a>,
+    /// Prepared-plan tables, one per deployable partition, shared by all
+    /// sessions running that partition.
+    sites_primary: PreparedSites,
+    sites_low: Option<PreparedSites>,
+    /// Per-entry-point monitors (dynamic deployments), cloned from the
+    /// template on first sight of each entry point. A sorted `Vec` (few
+    /// entry points) keeps iteration order — and thus the switch log —
+    /// bit-deterministic across runs and platforms.
+    monitors: Vec<(MethodId, LoadMonitor)>,
+    sessions: Vec<Option<Live<'a>>>,
+    free_slots: Vec<usize>,
+    active: usize,
+    queue: VecDeque<Queued>,
+    blocked: HashMap<TxnId, usize>,
+    heap: BinaryHeap<std::cmp::Reverse<(u64, u64, Ev)>>,
+    seq: u64,
+    poll_scheduled: bool,
+    switch_log: Vec<SwitchRecord>,
+    stats: DispatcherStats,
+}
+
+impl<'a> Dispatcher<'a> {
+    /// Build a dispatcher; prepares every db-call site of every deployable
+    /// partition once so sessions share the resolved plans.
+    pub fn new(dep: Deployment<'a>, engine: &mut Engine, cfg: DispatcherConfig) -> Dispatcher<'a> {
+        let (sites_primary, sites_low) = match &dep {
+            Deployment::Fixed(p) => (Session::prepare_sites(&p.bp, engine), None),
+            Deployment::Dynamic { high, low, .. } => (
+                Session::prepare_sites(&high.bp, engine),
+                Some(Session::prepare_sites(&low.bp, engine)),
+            ),
+        };
+        Dispatcher {
+            cfg,
+            dep,
+            sites_primary,
+            sites_low,
+            monitors: Vec::new(),
+            sessions: Vec::new(),
+            free_slots: Vec::new(),
+            active: 0,
+            queue: VecDeque::new(),
+            blocked: HashMap::new(),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            poll_scheduled: false,
+            switch_log: Vec::new(),
+            stats: DispatcherStats::default(),
+        }
+    }
+
+    pub fn config(&self) -> &DispatcherConfig {
+        &self.cfg
+    }
+
+    pub fn stats(&self) -> DispatcherStats {
+        self.stats
+    }
+
+    /// Partition-switch timeline (dynamic deployments).
+    pub fn switch_log(&self) -> &[SwitchRecord] {
+        &self.switch_log
+    }
+
+    /// Currently executing sessions.
+    pub fn active_sessions(&self) -> usize {
+        self.active
+    }
+
+    /// Requests waiting for a session slot.
+    pub fn queue_len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Earliest pending internal event, if any.
+    pub fn next_event_at(&self) -> Option<u64> {
+        self.heap.peek().map(|r| r.0 .0)
+    }
+
+    fn push(&mut self, t: u64, ev: Ev) {
+        self.heap.push(std::cmp::Reverse((t, self.seq, ev)));
+        self.seq += 1;
+    }
+
+    fn ensure_polling(&mut self, now: u64) {
+        if !self.poll_scheduled {
+            self.poll_scheduled = true;
+            self.push(now + self.cfg.poll_interval_ns, Ev::Poll);
+        }
+    }
+
+    /// Pick the partition (and prepared-plan table) for `entry`'s next
+    /// invocation.
+    fn choose(&mut self, entry: MethodId) -> (&'a CompiledPartition, PreparedSites, bool) {
+        match &self.dep {
+            Deployment::Fixed(p) => (p, self.sites_primary.clone(), false),
+            Deployment::Dynamic { high, low, monitor } => {
+                let idx = match self.monitors.binary_search_by_key(&entry, |(e, _)| *e) {
+                    Ok(i) => i,
+                    Err(i) => {
+                        self.monitors.insert(i, (entry, monitor.clone()));
+                        i
+                    }
+                };
+                match self.monitors[idx].1.choose() {
+                    PartitionChoice::HighBudget => (high, self.sites_primary.clone(), false),
+                    PartitionChoice::LowBudget => (
+                        low,
+                        self.sites_low.clone().expect("dynamic deployment"),
+                        true,
+                    ),
+                }
+            }
+        }
+    }
+
+    /// Submit a request. Starts a session if capacity allows, otherwise
+    /// queues it; a full queue rejects (backpressure). Plans were prepared
+    /// at dispatcher construction, so admission never touches the engine.
+    pub fn submit(&mut self, now: u64, req: TxnRequest, tag: u64) -> Admit {
+        if self.active >= self.cfg.max_sessions {
+            if self.queue.len() >= self.cfg.queue_cap {
+                self.stats.rejected += 1;
+                return Admit::Rejected;
+            }
+            self.queue.push_back(Queued {
+                tag,
+                submitted_ns: now,
+                req,
+            });
+            self.stats.submitted += 1;
+            self.stats.peak_queue = self.stats.peak_queue.max(self.queue.len());
+            return Admit::Queued {
+                depth: self.queue.len(),
+            };
+        }
+        self.stats.submitted += 1;
+        self.start_session(now, now, req, tag, 0);
+        Admit::Started
+    }
+
+    fn start_session(
+        &mut self,
+        now: u64,
+        submitted_ns: u64,
+        req: TxnRequest,
+        tag: u64,
+        restarts: u32,
+    ) {
+        let (part, sites, low_budget) = self.choose(req.entry);
+        let sess = Session::with_prepared(
+            &part.il,
+            &part.bp,
+            req.entry,
+            &req.args,
+            self.cfg.costs,
+            sites,
+        )
+        .expect("session construction");
+        let live = Live {
+            sess,
+            tag,
+            submitted_ns,
+            started_ns: now,
+            req,
+            low_budget,
+            restarts,
+        };
+        let sid = match self.free_slots.pop() {
+            Some(s) => {
+                self.sessions[s] = Some(live);
+                s
+            }
+            None => {
+                self.sessions.push(Some(live));
+                self.sessions.len() - 1
+            }
+        };
+        self.active += 1;
+        self.stats.peak_sessions = self.stats.peak_sessions.max(self.active);
+        self.push(now, Ev::Ready { sid });
+        self.ensure_polling(now);
+    }
+
+    /// Process the next internal event. Call whenever
+    /// [`Dispatcher::next_event_at`] is due by the caller's clock.
+    pub fn poll(&mut self, engine: &mut Engine, env: &mut dyn Env) -> Polled {
+        let Some(std::cmp::Reverse((now, _, ev))) = self.heap.pop() else {
+            return Polled::Idle;
+        };
+        match ev {
+            Ev::Poll => {
+                self.poll_scheduled = false;
+                let sample = env.db_load_pct(now);
+                if let Deployment::Dynamic { monitor, .. } = &mut self.dep {
+                    // Feed the template too, so entry points first seen
+                    // later inherit the current smoothed level.
+                    monitor.observe(sample);
+                    for (entry, m) in self.monitors.iter_mut() {
+                        let before = m.choose();
+                        let level_pct = m.observe(sample);
+                        let after = m.choose();
+                        if before != after {
+                            self.switch_log.push(SwitchRecord {
+                                t_ns: now,
+                                entry: *entry,
+                                to: after,
+                                level_pct,
+                            });
+                        }
+                    }
+                }
+                // Safety net against lost wake-ups: retry all blocked.
+                let retry: Vec<usize> = self.blocked.drain().map(|(_, sid)| sid).collect();
+                for sid in retry {
+                    self.push(now, Ev::Ready { sid });
+                }
+                if self.active > 0 || !self.queue.is_empty() {
+                    self.ensure_polling(now);
+                }
+                Polled::Progress
+            }
+            Ev::Ready { sid } => self.step_session(now, sid, engine, env),
+        }
+    }
+
+    fn step_session(
+        &mut self,
+        now: u64,
+        sid: usize,
+        engine: &mut Engine,
+        env: &mut dyn Env,
+    ) -> Polled {
+        let Some(live) = self.sessions[sid].as_mut() else {
+            return Polled::Progress;
+        };
+        let step = live.sess.advance(engine);
+        // Harvest wake-ups from any commit/abort in this step.
+        let woken = live.sess.last_woken.clone();
+        let wake_delay = self.cfg.wake_delay_ns;
+        for txn in woken {
+            if let Some(wsid) = self.blocked.remove(&txn) {
+                self.push(now + wake_delay, Ev::Ready { sid: wsid });
+            }
+        }
+        let live = self.sessions[sid].as_mut().expect("live session");
+        match step {
+            Advance::Cpu { host, cost } => {
+                let done = env.cpu(now, host, cost);
+                self.push(done, Ev::Ready { sid });
+                Polled::Progress
+            }
+            Advance::Net { from, to, bytes } => {
+                let done = env.net(now, from, to, bytes);
+                self.push(done, Ev::Ready { sid });
+                Polled::Progress
+            }
+            Advance::DbOp {
+                issued_from,
+                db_cpu,
+                req_bytes,
+                resp_bytes,
+            } => {
+                let ready = env.db_op(now, issued_from, db_cpu, req_bytes, resp_bytes);
+                self.push(ready, Ev::Ready { sid });
+                Polled::Progress
+            }
+            Advance::Blocked { txn } => {
+                self.blocked.insert(txn, sid);
+                Polled::Progress
+            }
+            Advance::Deadlocked => {
+                // Wait-die victim: restart the whole transaction on a
+                // freshly chosen partition after a backoff.
+                self.stats.deadlock_restarts += 1;
+                let restarts = live.restarts + 1;
+                let tag = live.tag;
+                let submitted_ns = live.submitted_ns;
+                let req = live.req.clone();
+                let (part, sites, low_budget) = self.choose(req.entry);
+                let fresh = Session::with_prepared(
+                    &part.il,
+                    &part.bp,
+                    req.entry,
+                    &req.args,
+                    self.cfg.costs,
+                    sites,
+                )
+                .expect("session construction");
+                let live = self.sessions[sid].as_mut().expect("live session");
+                live.sess = fresh;
+                live.low_budget = low_budget;
+                live.restarts = restarts;
+                live.tag = tag;
+                live.submitted_ns = submitted_ns;
+                self.push(now + self.cfg.restart_delay_ns, Ev::Ready { sid });
+                Polled::Progress
+            }
+            Advance::Finished => self.retire(now, sid, None),
+            Advance::Error(e) => self.retire(now, sid, Some(e.to_string())),
+        }
+    }
+
+    fn retire(&mut self, now: u64, sid: usize, error: Option<String>) -> Polled {
+        let live = self.sessions[sid].take().expect("live session");
+        self.free_slots.push(sid);
+        self.active -= 1;
+        self.stats.completed += 1;
+        let done = TxnDone {
+            tag: live.tag,
+            entry: live.req.entry,
+            label: live.req.label,
+            submitted_ns: live.submitted_ns,
+            started_ns: live.started_ns,
+            finished_ns: now,
+            low_budget: live.low_budget,
+            rolled_back: live.sess.rolled_back,
+            restarts: live.restarts,
+            result: live.sess.result.clone(),
+            error,
+        };
+        // A freed slot admits the oldest queued request immediately.
+        if let Some(q) = self.queue.pop_front() {
+            self.start_session(now, q.submitted_ns, q.req, q.tag, 0);
+        }
+        Polled::Done(done)
+    }
+
+    /// Drive the dispatcher until it is fully idle, returning every
+    /// retired transaction. Convenience for tests and in-process serving;
+    /// virtual-time drivers interleave [`Dispatcher::poll`] with their own
+    /// event queues instead.
+    pub fn run_until_idle(&mut self, engine: &mut Engine, env: &mut dyn Env) -> Vec<TxnDone> {
+        let mut done = Vec::new();
+        loop {
+            match self.poll(engine, env) {
+                Polled::Done(d) => done.push(d),
+                Polled::Progress => {}
+                Polled::Idle => break,
+            }
+        }
+        done
+    }
+}

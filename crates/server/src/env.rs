@@ -1,0 +1,67 @@
+//! The pluggable clock/transport the dispatcher schedules against.
+//!
+//! The dispatcher never owns a wall clock: every session event is priced
+//! by an [`Env`], which answers "at what nanosecond does this complete?".
+//! The simulator's implementation queues work onto finite-core CPU pools
+//! and a latency/bandwidth network model; [`InstantEnv`] answers `now` for
+//! everything, turning the dispatcher into an in-process server limited
+//! only by real engine and VM speed.
+
+use pyx_partition::Side;
+
+/// Prices dispatcher events onto a (virtual or real) deployment.
+pub trait Env {
+    /// `cost` virtual instructions on `host`, arriving at `now`; returns
+    /// the completion time.
+    fn cpu(&mut self, now: u64, host: Side, cost: u64) -> u64;
+
+    /// A control-transfer frame of `bytes` from `from` to `to`; returns
+    /// the arrival time.
+    fn net(&mut self, now: u64, from: Side, to: Side, bytes: u64) -> u64;
+
+    /// A database statement of `db_cpu` instructions issued from
+    /// `issued_from` (a JDBC-style round trip when issued from APP);
+    /// returns the time the response is available to the session.
+    fn db_op(
+        &mut self,
+        now: u64,
+        issued_from: Side,
+        db_cpu: u64,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) -> u64;
+
+    /// Current DB-server load sample (percent, 0–100) for the partition
+    /// monitor.
+    fn db_load_pct(&mut self, now: u64) -> f64 {
+        let _ = now;
+        0.0
+    }
+}
+
+/// An infinitely fast deployment: everything completes instantly. Useful
+/// for correctness tests and for measuring raw engine + VM throughput
+/// through the dispatcher (the `server_throughput` bench).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct InstantEnv;
+
+impl Env for InstantEnv {
+    fn cpu(&mut self, now: u64, _host: Side, _cost: u64) -> u64 {
+        now
+    }
+
+    fn net(&mut self, now: u64, _from: Side, _to: Side, _bytes: u64) -> u64 {
+        now
+    }
+
+    fn db_op(
+        &mut self,
+        now: u64,
+        _issued_from: Side,
+        _db_cpu: u64,
+        _req_bytes: u64,
+        _resp_bytes: u64,
+    ) -> u64 {
+        now
+    }
+}

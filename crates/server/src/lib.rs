@@ -1,0 +1,35 @@
+//! # pyx-server — the multi-session dispatch layer (§3.2, §6.3)
+//!
+//! The paper's runtime is a *server*: many concurrent clients execute
+//! partitioned programs whose control transfers ship batched heap syncs
+//! between the APP and DB hosts. This crate is that control plane,
+//! factored out of the discrete-event simulator so the same scheduler can
+//! be driven by a virtual-time pricing shell (`pyx-sim`) or directly as an
+//! in-process server (the `serve` example, the `server_throughput` bench).
+//!
+//! * [`Dispatcher`] owns N concurrent [`pyx_runtime::Session`]s over one
+//!   shared [`pyx_db::Engine`]: admission queue with backpressure,
+//!   wait-die restart policy, lock-wait wake servicing, per-entry-point
+//!   EWMA [`pyx_runtime::LoadMonitor`] partition selection, and
+//!   per-partition prepared-plan reuse — all driven through a single
+//!   [`Dispatcher::poll`] event-loop API.
+//! * [`Env`] is the pluggable clock/transport: the dispatcher asks it when
+//!   CPU work, network frames, and database round trips complete.
+//!   [`InstantEnv`] answers "now" (an infinitely fast testbed);
+//!   `pyx-sim` answers with finite-core CPU pools and a
+//!   latency/bandwidth network model.
+//! * [`Deployment`] selects what to run: one fixed partition, or dynamic
+//!   switching between a high- and a low-budget partition (§6.3).
+//!
+//! All timestamps are integer nanoseconds; the dispatcher is fully
+//! deterministic given a deterministic [`Env`] and workload.
+
+pub mod dispatch;
+pub mod env;
+pub mod workload;
+
+pub use dispatch::{
+    Admit, Deployment, Dispatcher, DispatcherConfig, DispatcherStats, Polled, SwitchRecord, TxnDone,
+};
+pub use env::{Env, InstantEnv};
+pub use workload::{FixedWorkload, TxnRequest, Workload};

@@ -1,0 +1,32 @@
+//! Workload abstraction: a source of transactions for the dispatcher.
+
+use pyx_lang::MethodId;
+use pyx_runtime::ArgVal;
+
+/// One transaction request: which entry point to invoke with what
+/// arguments.
+#[derive(Debug, Clone)]
+pub struct TxnRequest {
+    pub entry: MethodId,
+    pub args: Vec<ArgVal>,
+    /// Workload-defined label for per-class reporting (e.g. TPC-W
+    /// interaction names).
+    pub label: &'static str,
+}
+
+/// A transaction generator. Implementations own their RNG so runs are
+/// reproducible from the seed they were built with.
+pub trait Workload {
+    fn next_txn(&mut self, client: usize) -> TxnRequest;
+}
+
+/// A trivial workload replaying one fixed request (tests).
+pub struct FixedWorkload {
+    pub request: TxnRequest,
+}
+
+impl Workload for FixedWorkload {
+    fn next_txn(&mut self, _client: usize) -> TxnRequest {
+        self.request.clone()
+    }
+}

@@ -1,0 +1,238 @@
+//! Dispatcher behaviour tests over a small partitioned program: admission
+//! and backpressure, queue drain order, wait-die restarts under
+//! contention, per-entry-point monitor switching, and determinism.
+
+use pyx_analysis::{analyze, AnalysisConfig};
+use pyx_db::{ColTy, ColumnDef, Engine, Scalar, TableDef};
+use pyx_lang::compile;
+use pyx_partition::{Placement, Side};
+use pyx_pyxil::CompiledPartition;
+use pyx_runtime::monitor::LoadMonitor;
+use pyx_runtime::ArgVal;
+use pyx_server::{Admit, Deployment, Dispatcher, DispatcherConfig, Env, InstantEnv, TxnRequest};
+
+const SRC: &str = r#"
+    class Txn {
+        int bump(int k) {
+            row[] rs = dbQuery("SELECT v FROM kv WHERE k = ?", k);
+            int v = rs[0].getInt(0);
+            dbUpdate("UPDATE kv SET v = v + ? WHERE k = ?", 1, k);
+            return v;
+        }
+        int get(int k) {
+            row[] rs = dbQuery("SELECT v FROM kv WHERE k = ?", k);
+            return rs[0].getInt(0);
+        }
+    }
+"#;
+
+struct Setup {
+    jdbc: CompiledPartition,
+    manual: CompiledPartition,
+    bump: pyx_lang::MethodId,
+    get: pyx_lang::MethodId,
+}
+
+fn setup() -> Setup {
+    let prog = compile(SRC).unwrap();
+    let analysis = analyze(&prog, AnalysisConfig::default());
+    Setup {
+        jdbc: CompiledPartition::build(&prog, &analysis, Placement::all_app(&prog), false),
+        manual: CompiledPartition::build(&prog, &analysis, Placement::all_db(&prog), false),
+        bump: prog.find_method("Txn", "bump").unwrap(),
+        get: prog.find_method("Txn", "get").unwrap(),
+    }
+}
+
+fn make_db() -> Engine {
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "kv",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Int),
+        ],
+        &["k"],
+    ));
+    for i in 0..16 {
+        db.load_row("kv", vec![Scalar::Int(i), Scalar::Int(100 * i)]);
+    }
+    db
+}
+
+fn req(entry: pyx_lang::MethodId, k: i64) -> TxnRequest {
+    TxnRequest {
+        entry,
+        args: vec![ArgVal::Int(k)],
+        label: "t",
+    }
+}
+
+#[test]
+fn admission_queue_applies_backpressure() {
+    let s = setup();
+    let mut engine = make_db();
+    let mut disp = Dispatcher::new(
+        Deployment::Fixed(&s.jdbc),
+        &mut engine,
+        DispatcherConfig {
+            max_sessions: 2,
+            queue_cap: 1,
+            ..DispatcherConfig::default()
+        },
+    );
+    assert_eq!(disp.submit(0, req(s.bump, 0), 0), Admit::Started);
+    assert_eq!(disp.submit(0, req(s.bump, 1), 1), Admit::Started);
+    assert_eq!(
+        disp.submit(0, req(s.bump, 2), 2),
+        Admit::Queued { depth: 1 }
+    );
+    assert_eq!(disp.submit(0, req(s.bump, 3), 3), Admit::Rejected);
+    assert_eq!(disp.active_sessions(), 2);
+    assert_eq!(disp.queue_len(), 1);
+    assert_eq!(disp.stats().rejected, 1);
+
+    let done = disp.run_until_idle(&mut engine, &mut InstantEnv);
+    // The queued request ran after a slot freed; the rejected one never did.
+    assert_eq!(done.len(), 3);
+    assert_eq!(disp.stats().completed, 3);
+    let tags: Vec<u64> = done.iter().map(|d| d.tag).collect();
+    assert!(tags.contains(&2) && !tags.contains(&3));
+    for d in &done {
+        assert!(d.error.is_none(), "{:?}", d.error);
+    }
+}
+
+#[test]
+fn results_match_across_deployments_and_runs_are_deterministic() {
+    let s = setup();
+    let run = |part: &CompiledPartition| -> (Vec<i64>, Vec<Vec<Scalar>>) {
+        let mut engine = make_db();
+        let mut disp = Dispatcher::new(
+            Deployment::Fixed(part),
+            &mut engine,
+            DispatcherConfig {
+                max_sessions: 4,
+                ..DispatcherConfig::default()
+            },
+        );
+        for i in 0..12 {
+            disp.submit(i, req(s.bump, i as i64 % 8), i);
+        }
+        let mut done = disp.run_until_idle(&mut engine, &mut InstantEnv);
+        done.sort_by_key(|d| d.tag);
+        let vals = done
+            .iter()
+            .map(|d| {
+                assert!(d.error.is_none(), "{:?}", d.error);
+                d.finished_ns as i64
+            })
+            .collect();
+        (vals, engine.dump_table("kv"))
+    };
+    let (a_t, a_state) = run(&s.jdbc);
+    let (_b_t, b_state) = run(&s.manual);
+    let (c_t, c_state) = run(&s.jdbc);
+    assert_eq!(a_state, b_state, "JDBC and Manual reach the same db state");
+    assert_eq!(a_t, c_t, "repeat runs are bit-deterministic");
+    assert_eq!(a_state, c_state);
+}
+
+/// An env whose DB-load sample is scripted by the test.
+struct ScriptedLoad {
+    load: f64,
+}
+
+impl Env for ScriptedLoad {
+    fn cpu(&mut self, now: u64, _h: Side, _c: u64) -> u64 {
+        now
+    }
+    fn net(&mut self, now: u64, _f: Side, _t: Side, _b: u64) -> u64 {
+        now
+    }
+    fn db_op(&mut self, now: u64, _i: Side, _c: u64, _rq: u64, _rs: u64) -> u64 {
+        now
+    }
+    fn db_load_pct(&mut self, _now: u64) -> f64 {
+        self.load
+    }
+}
+
+#[test]
+fn per_entry_point_monitor_switches_and_logs() {
+    let s = setup();
+    let mut engine = make_db();
+    let poll_ns = 1_000_000;
+    let mut disp = Dispatcher::new(
+        Deployment::Dynamic {
+            high: &s.manual,
+            low: &s.jdbc,
+            monitor: LoadMonitor::new(0.0, 40.0),
+        },
+        &mut engine,
+        DispatcherConfig {
+            max_sessions: 4,
+            poll_interval_ns: poll_ns,
+            ..DispatcherConfig::default()
+        },
+    );
+    let mut env = ScriptedLoad { load: 0.0 };
+
+    // Idle server: both entry points run high-budget.
+    disp.submit(0, req(s.bump, 1), 0);
+    disp.submit(0, req(s.get, 2), 1);
+    let done = disp.run_until_idle(&mut engine, &mut env);
+    assert!(done.iter().all(|d| !d.low_budget));
+
+    // Saturate the server past several polls, then submit again: the
+    // monitors must have switched both entries to the low-budget plan.
+    env.load = 95.0;
+    let mut t = poll_ns;
+    for _ in 0..4 {
+        disp.submit(t, req(s.bump, 1), 10);
+        disp.submit(t, req(s.get, 2), 11);
+        let _ = disp.run_until_idle(&mut engine, &mut env);
+        t += 4 * poll_ns;
+    }
+    disp.submit(t, req(s.bump, 1), 20);
+    disp.submit(t, req(s.get, 2), 21);
+    let done = disp.run_until_idle(&mut engine, &mut env);
+    assert!(
+        done.iter().all(|d| d.low_budget),
+        "after sustained load both entries run JDBC-like: {done:?}"
+    );
+    // The switch log recorded a flip for each entry point.
+    let entries: std::collections::BTreeSet<_> =
+        disp.switch_log().iter().map(|r| r.entry).collect();
+    assert!(entries.contains(&s.bump) && entries.contains(&s.get));
+}
+
+#[test]
+fn contention_restarts_are_counted_and_transactions_retire() {
+    let s = setup();
+    let mut engine = make_db();
+    let mut disp = Dispatcher::new(
+        Deployment::Fixed(&s.jdbc),
+        &mut engine,
+        DispatcherConfig {
+            max_sessions: 8,
+            ..DispatcherConfig::default()
+        },
+    );
+    // Everyone bumps the same key: write-write conflicts force lock waits
+    // and possibly wait-die restarts; all must eventually retire.
+    for i in 0..8 {
+        disp.submit(0, req(s.bump, 3), i);
+    }
+    let done = disp.run_until_idle(&mut engine, &mut InstantEnv);
+    assert_eq!(done.len(), 8);
+    for d in &done {
+        assert!(d.error.is_none(), "{:?}", d.error);
+    }
+    let row = engine
+        .dump_table("kv")
+        .into_iter()
+        .find(|r| r[0] == Scalar::Int(3))
+        .unwrap();
+    assert_eq!(row[1], Scalar::Int(308), "all 8 bumps applied");
+}

@@ -16,9 +16,12 @@ pub struct CpuPool {
     busy_ns: u64,
     /// Busy nanoseconds scheduled since the last checkpoint.
     window_busy_ns: u64,
-    /// Execution speed factor (1.0 = unloaded). External tenants
-    /// time-sharing the server slow our work down proportionally.
-    speed: f64,
+    /// Execution speed in per-mille (1000 = unloaded full speed).
+    /// External tenants time-sharing the server slow our work down
+    /// proportionally. Stored as an integer so every duration is computed
+    /// with exact integer arithmetic — virtual timestamps stay
+    /// bit-deterministic across platforms.
+    speed_permille: u64,
 }
 
 impl CpuPool {
@@ -29,14 +32,15 @@ impl CpuPool {
             ips,
             busy_ns: 0,
             window_busy_ns: 0,
-            speed: 1.0,
+            speed_permille: 1000,
         }
     }
 
     /// Set the execution speed factor (external-load emulation). Clamped
-    /// to [0.01, 1.0].
+    /// to [0.01, 1.0]; `f64` only at this API edge — internally the pool
+    /// works in integer per-mille.
     pub fn set_speed(&mut self, speed: f64) {
-        self.speed = speed.clamp(0.01, 1.0);
+        self.speed_permille = (speed.clamp(0.01, 1.0) * 1000.0).round() as u64;
     }
 
     pub fn cores(&self) -> usize {
@@ -60,9 +64,10 @@ impl CpuPool {
     }
 
     /// Convert an instruction count to a duration (at the current speed).
+    /// Pure integer arithmetic: no float rounding enters the event clock.
     pub fn duration_ns(&self, instructions: u64) -> u64 {
         let base = instructions.saturating_mul(1_000_000_000) / self.ips;
-        (base as f64 / self.speed) as u64
+        base.saturating_mul(1000) / self.speed_permille
     }
 
     /// Schedule `instructions` of work arriving at `now`; returns the

@@ -1,23 +1,28 @@
-//! The discrete-event simulation driver.
+//! The discrete-event simulation driver — a thin *pricing shell* around
+//! the [`pyx_server::Dispatcher`].
 //!
 //! Emulates the paper's testbed: N closed-loop clients issuing
-//! transactions at a target rate against a two-host deployment. Sessions
-//! execute the real partitioned program; the driver prices their events
-//! onto CPU pools and the network, services lock waits through the
-//! engine's wake lists, restarts wait-die victims, applies scheduled
-//! external-load changes, and (for the dynamic deployment) switches
-//! partitions per §6.3.
+//! transactions at a target rate against a two-host deployment. All
+//! session scheduling — admission, lock-wait servicing, wait-die
+//! restarts, monitor-driven partition switching — lives in `pyx-server`;
+//! this driver owns only what a testbed owns: the workload pump (paced
+//! client issues), the hardware model ([`CpuPool`]s + [`pyx_runtime::NetModel`]
+//! behind the dispatcher's [`Env`]), scheduled external-load changes, and
+//! metrics aggregation. Every event timestamp is an integer nanosecond;
+//! `SimConfig` keeps seconds-as-`f64` only at the API edge, so runs are
+//! bit-deterministic across platforms.
 
 use crate::cpu::CpuPool;
-use crate::workload::{TxnRequest, Workload};
 use pyx_db::Engine;
+use pyx_lang::MethodId;
 use pyx_partition::Side;
-use pyx_pyxil::CompiledPartition;
 use pyx_runtime::cost::RtCosts;
-use pyx_runtime::monitor::{LoadMonitor, PartitionChoice};
-use pyx_runtime::session::Session;
-use pyx_runtime::{Advance, NetModel};
-use std::collections::{BinaryHeap, HashMap};
+use pyx_runtime::monitor::PartitionChoice;
+use pyx_runtime::NetModel;
+use pyx_server::{Dispatcher, DispatcherConfig, Env, Polled, Workload};
+use std::collections::BinaryHeap;
+
+pub use pyx_server::Deployment;
 
 /// Simulation parameters. Defaults mirror the paper's testbed.
 #[derive(Debug, Clone)]
@@ -80,18 +85,6 @@ pub struct LoadEvent {
     pub speed_factor: f64,
 }
 
-/// What to deploy.
-pub enum Deployment<'a> {
-    Fixed(&'a CompiledPartition),
-    /// Dynamic switching between a high-budget and a low-budget partition
-    /// (§6.3).
-    Dynamic {
-        high: &'a CompiledPartition,
-        low: &'a CompiledPartition,
-        monitor: LoadMonitor,
-    },
-}
-
 /// One timeline bucket (Fig. 11's 30-second points).
 #[derive(Debug, Clone)]
 pub struct TimePoint {
@@ -101,6 +94,18 @@ pub struct TimePoint {
     /// Fraction of transactions run on the low-budget (JDBC-like)
     /// partition in this bucket.
     pub low_budget_frac: f64,
+}
+
+/// One partition-choice flip (per entry point) during the run.
+#[derive(Debug, Clone, Copy)]
+pub struct SwitchPoint {
+    pub t_s: f64,
+    pub entry: MethodId,
+    /// True when the monitor switched this entry point to the low-budget
+    /// (JDBC-like) partition.
+    pub to_low: bool,
+    /// Smoothed load level at the flip.
+    pub level_pct: f64,
 }
 
 /// Aggregated results over the measurement window (post-warmup).
@@ -119,38 +124,85 @@ pub struct SimResult {
     pub deadlock_restarts: u64,
     pub rollbacks: u64,
     pub timeline: Vec<TimePoint>,
+    /// Partition-switch timeline (dynamic deployments; empty otherwise).
+    pub switches: Vec<SwitchPoint>,
 }
 
+/// Driver-owned events: workload pacing and testbed state changes only.
+/// Session scheduling events live inside the dispatcher.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 enum Ev {
     Issue { client: usize, paced: bool },
-    Ready { sid: usize },
-    Poll,
     WarmupDone,
     LoadChange { idx: usize },
 }
 
-struct Live<'a> {
-    sess: Session<'a>,
-    client: usize,
-    start_ns: u64,
-    req: TxnRequest,
-    low_budget: bool,
+/// The priced environment: finite-core CPU pools and a latency/bandwidth
+/// network between them, plus the external tenant's visible load.
+struct SimEnv {
+    app: CpuPool,
+    db: CpuPool,
+    net: NetModel,
+    background_pct: f64,
+    warmup_ns: u64,
+    duration_ns: u64,
+    db_recv: u64,
+    db_sent: u64,
 }
 
-fn spawn<'a>(dep: &mut Deployment<'a>) -> (&'a CompiledPartition, bool) {
-    match dep {
-        Deployment::Fixed(p) => (p, false),
-        Deployment::Dynamic { high, low, monitor } => match monitor.choose() {
-            PartitionChoice::HighBudget => (high, false),
-            PartitionChoice::LowBudget => (low, true),
-        },
+impl SimEnv {
+    fn in_window(&self, now: u64) -> bool {
+        now >= self.warmup_ns && now < self.duration_ns
+    }
+}
+
+impl Env for SimEnv {
+    fn cpu(&mut self, now: u64, host: Side, cost: u64) -> u64 {
+        match host {
+            Side::App => self.app.schedule(now, cost),
+            Side::Db => self.db.schedule(now, cost),
+        }
+    }
+
+    fn net(&mut self, now: u64, from: Side, _to: Side, bytes: u64) -> u64 {
+        if self.in_window(now) {
+            match from {
+                Side::App => self.db_recv += bytes,
+                Side::Db => self.db_sent += bytes,
+            }
+        }
+        now + self.net.one_way_ns(bytes)
+    }
+
+    fn db_op(
+        &mut self,
+        now: u64,
+        issued_from: Side,
+        db_cpu: u64,
+        req_bytes: u64,
+        resp_bytes: u64,
+    ) -> u64 {
+        if issued_from == Side::App {
+            let arrive = now + self.net.one_way_ns(req_bytes);
+            let served = self.db.schedule(arrive, db_cpu);
+            if self.in_window(now) {
+                self.db_recv += req_bytes;
+                self.db_sent += resp_bytes;
+            }
+            served + self.net.one_way_ns(resp_bytes)
+        } else {
+            self.db.schedule(now, db_cpu)
+        }
+    }
+
+    fn db_load_pct(&mut self, now: u64) -> f64 {
+        (self.background_pct + self.db.instant_load_pct(now)).min(100.0)
     }
 }
 
 /// Run one simulation.
 pub fn run_sim<'a>(
-    dep: &mut Deployment<'a>,
+    dep: Deployment<'a>,
     engine: &mut Engine,
     workload: &mut dyn Workload,
     cfg: &SimConfig,
@@ -160,15 +212,34 @@ pub fn run_sim<'a>(
     let poll_ns = ((cfg.poll_s * 1e9) as u64).max(1);
     let bucket_ns = ((cfg.timeline_bucket_s * 1e9) as u64).max(1);
 
-    let mut app = CpuPool::new(cfg.app_cores, cfg.app_ips);
-    let mut db = CpuPool::new(cfg.db_cores, cfg.db_ips);
+    let mut env = SimEnv {
+        app: CpuPool::new(cfg.app_cores, cfg.app_ips),
+        db: CpuPool::new(cfg.db_cores, cfg.db_ips),
+        net: cfg.net,
+        background_pct: 0.0,
+        warmup_ns,
+        duration_ns,
+        db_recv: 0,
+        db_sent: 0,
+    };
+    let mut disp = Dispatcher::new(
+        dep,
+        engine,
+        DispatcherConfig {
+            max_sessions: cfg.clients,
+            queue_cap: usize::MAX,
+            poll_interval_ns: poll_ns,
+            costs: cfg.costs,
+            ..DispatcherConfig::default()
+        },
+    );
 
-    // Event queue: min-heap on (time, seq).
+    // Driver event queue: min-heap on (time, seq).
     let mut heap: BinaryHeap<std::cmp::Reverse<(u64, u64, Ev)>> = BinaryHeap::new();
     let mut seq = 0u64;
-    let push = |heap: &mut BinaryHeap<_>, t: u64, ev: Ev, seq: &mut u64| {
-        heap.push(std::cmp::Reverse((t, *seq, ev)));
-        *seq += 1;
+    let mut push = |heap: &mut BinaryHeap<std::cmp::Reverse<(u64, u64, Ev)>>, t: u64, ev: Ev| {
+        heap.push(std::cmp::Reverse((t, seq, ev)));
+        seq += 1;
     };
 
     // Client pacing.
@@ -182,46 +253,95 @@ pub fn run_sim<'a>(
                 client: c,
                 paced: true,
             },
-            &mut seq,
         );
     }
-    push(&mut heap, poll_ns, Ev::Poll, &mut seq);
-    push(&mut heap, warmup_ns, Ev::WarmupDone, &mut seq);
+    push(&mut heap, warmup_ns, Ev::WarmupDone);
     for (i, le) in cfg.load_events.iter().enumerate() {
-        push(
-            &mut heap,
-            (le.t_s * 1e9) as u64,
-            Ev::LoadChange { idx: i },
-            &mut seq,
-        );
+        push(&mut heap, (le.t_s * 1e9) as u64, Ev::LoadChange { idx: i });
     }
-    let mut background_pct = 0.0f64;
 
-    let mut sessions: Vec<Option<Live<'a>>> = Vec::new();
-    let mut free_slots: Vec<usize> = Vec::new();
-    let mut client_busy: Vec<Option<usize>> = vec![None; cfg.clients];
+    // Closed-loop client model: each client has at most one transaction
+    // in flight; paced issues that land while it is busy are deferred and
+    // drained one-per-completion. (The dispatcher's admission queue is
+    // global capacity; this is the per-client think-time loop of the
+    // paper's testbed clients.)
+    let mut client_busy: Vec<bool> = vec![false; cfg.clients];
     let mut client_pending: Vec<u64> = vec![0; cfg.clients];
-    let mut blocked: HashMap<pyx_db::TxnId, usize> = HashMap::new();
 
     // Metrics.
     let mut latencies_ms: Vec<f64> = Vec::new();
     let mut completed = 0u64;
-    let mut completed_total = 0u64;
     let mut issued_total = 0u64;
     let mut rollbacks = 0u64;
-    let mut deadlock_restarts = 0u64;
-    let mut db_recv = 0u64; // bytes arriving at DB (app→db)
-    let mut db_sent = 0u64;
     let n_buckets = (duration_ns / bucket_ns + 1) as usize;
     let mut bucket_lat = vec![0.0f64; n_buckets];
     let mut bucket_n = vec![0u64; n_buckets];
     let mut bucket_low = vec![0u64; n_buckets];
 
     let mut guard = 0u64;
-    while let Some(std::cmp::Reverse((now, _, ev))) = heap.pop() {
+    loop {
         guard += 1;
         assert!(guard < 500_000_000, "simulation runaway");
 
+        // Merge the two event streams; the dispatcher wins ties so a
+        // just-submitted session steps before the next paced issue.
+        let t_drv = heap.peek().map(|r| r.0 .0);
+        let t_disp = disp.next_event_at();
+        let drive_dispatcher = match (t_drv, t_disp) {
+            (None, None) => break,
+            (Some(_), None) => false,
+            (None, Some(_)) => true,
+            (Some(a), Some(b)) => b <= a,
+        };
+
+        if drive_dispatcher {
+            match disp.poll(engine, &mut env) {
+                Polled::Done(d) => {
+                    if let Some(e) = d.error {
+                        panic!("session failed at t={}s: {e}", d.finished_ns as f64 / 1e9);
+                    }
+                    let now = d.finished_ns;
+                    let client = d.tag as usize;
+                    client_busy[client] = false;
+                    if client_pending[client] > 0 && now < duration_ns {
+                        client_pending[client] -= 1;
+                        push(
+                            &mut heap,
+                            now,
+                            Ev::Issue {
+                                client,
+                                paced: false,
+                            },
+                        );
+                    }
+                    // Service latency (session start → retire), matching
+                    // the paper's per-transaction measurements; queueing
+                    // delay shows up as lost throughput instead.
+                    let lat_ms = (now - d.started_ns) as f64 / 1e6;
+                    if now >= warmup_ns && now < duration_ns {
+                        completed += 1;
+                        latencies_ms.push(lat_ms);
+                        if d.rolled_back {
+                            rollbacks += 1;
+                        }
+                    }
+                    let b = ((now.min(duration_ns.saturating_sub(1))) / bucket_ns) as usize;
+                    if b < n_buckets {
+                        bucket_lat[b] += lat_ms;
+                        bucket_n[b] += 1;
+                        if d.low_budget {
+                            bucket_low[b] += 1;
+                        }
+                    }
+                }
+                Polled::Progress | Polled::Idle => {}
+            }
+            continue;
+        }
+
+        let Some(std::cmp::Reverse((now, _, ev))) = heap.pop() else {
+            break;
+        };
         match ev {
             Ev::Issue { client, paced } => {
                 let quota_full = cfg.max_txns.map(|m| issued_total >= m).unwrap_or(false);
@@ -235,175 +355,29 @@ pub fn run_sim<'a>(
                             client,
                             paced: true,
                         },
-                        &mut seq,
                     );
                 }
                 if quota_full {
                     continue;
                 }
-                if client_busy[client].is_some() {
+                if client_busy[client] {
                     client_pending[client] += 1;
                     continue;
                 }
+                client_busy[client] = true;
                 issued_total += 1;
                 let req = workload.next_txn(client);
-                let (part, low) = spawn(dep);
-                let sess =
-                    Session::new(&part.il, &part.bp, req.entry, &req.args, cfg.costs, engine)
-                        .expect("session construction");
-                let live = Live {
-                    sess,
-                    client,
-                    start_ns: now,
-                    req,
-                    low_budget: low,
-                };
-                let sid = match free_slots.pop() {
-                    Some(s) => {
-                        sessions[s] = Some(live);
-                        s
-                    }
-                    None => {
-                        sessions.push(Some(live));
-                        sessions.len() - 1
-                    }
-                };
-                client_busy[client] = Some(sid);
-                push(&mut heap, now, Ev::Ready { sid }, &mut seq);
+                disp.submit(now, req, client as u64);
             }
-
-            Ev::Ready { sid } => {
-                let Some(live) = sessions[sid].as_mut() else {
-                    continue;
-                };
-                let step = live.sess.advance(engine);
-                // Harvest wake-ups from any commit/abort in this step.
-                for txn in live.sess.last_woken.clone() {
-                    if let Some(&wsid) = blocked.get(&txn) {
-                        blocked.remove(&txn);
-                        push(&mut heap, now + 10_000, Ev::Ready { sid: wsid }, &mut seq);
-                    }
-                }
-                match step {
-                    Advance::Cpu { host, cost } => {
-                        let pool = match host {
-                            Side::App => &mut app,
-                            Side::Db => &mut db,
-                        };
-                        let done = pool.schedule(now, cost);
-                        push(&mut heap, done, Ev::Ready { sid }, &mut seq);
-                    }
-                    Advance::Net { from, bytes, .. } => {
-                        let done = now + cfg.net.one_way_ns(bytes);
-                        if now >= warmup_ns && now < duration_ns {
-                            match from {
-                                Side::App => db_recv += bytes,
-                                Side::Db => db_sent += bytes,
-                            }
-                        }
-                        push(&mut heap, done, Ev::Ready { sid }, &mut seq);
-                    }
-                    Advance::DbOp {
-                        issued_from,
-                        db_cpu,
-                        req_bytes,
-                        resp_bytes,
-                    } => {
-                        let ready = if issued_from == Side::App {
-                            let arrive = now + cfg.net.one_way_ns(req_bytes);
-                            let served = db.schedule(arrive, db_cpu);
-                            if now >= warmup_ns && now < duration_ns {
-                                db_recv += req_bytes;
-                                db_sent += resp_bytes;
-                            }
-                            served + cfg.net.one_way_ns(resp_bytes)
-                        } else {
-                            db.schedule(now, db_cpu)
-                        };
-                        push(&mut heap, ready, Ev::Ready { sid }, &mut seq);
-                    }
-                    Advance::Blocked { txn } => {
-                        blocked.insert(txn, sid);
-                    }
-                    Advance::Deadlocked => {
-                        // Wait-die victim: restart the transaction.
-                        deadlock_restarts += 1;
-                        let (part, low) = spawn(dep);
-                        let req = live.req.clone();
-                        let fresh = Session::new(
-                            &part.il, &part.bp, req.entry, &req.args, cfg.costs, engine,
-                        )
-                        .expect("session construction");
-                        live.sess = fresh;
-                        live.low_budget = low;
-                        push(&mut heap, now + 1_000_000, Ev::Ready { sid }, &mut seq);
-                    }
-                    Advance::Finished => {
-                        let live = sessions[sid].take().expect("live session");
-                        free_slots.push(sid);
-                        let client = live.client;
-                        client_busy[client] = None;
-                        let lat_ms = (now - live.start_ns) as f64 / 1e6;
-                        completed_total += 1;
-                        if now >= warmup_ns && now < duration_ns {
-                            completed += 1;
-                            latencies_ms.push(lat_ms);
-                            if live.sess.rolled_back {
-                                rollbacks += 1;
-                            }
-                        }
-                        let b = ((now.min(duration_ns.saturating_sub(1))) / bucket_ns) as usize;
-                        if b < n_buckets {
-                            bucket_lat[b] += lat_ms;
-                            bucket_n[b] += 1;
-                            if live.low_budget {
-                                bucket_low[b] += 1;
-                            }
-                        }
-                        if client_pending[client] > 0 && now < duration_ns {
-                            client_pending[client] -= 1;
-                            push(
-                                &mut heap,
-                                now,
-                                Ev::Issue {
-                                    client,
-                                    paced: false,
-                                },
-                                &mut seq,
-                            );
-                        }
-                    }
-                    Advance::Error(e) => {
-                        panic!("session failed at t={}s: {e}", now as f64 / 1e9);
-                    }
-                }
-            }
-
-            Ev::Poll => {
-                let all_done = cfg.max_txns.map(|m| completed_total >= m).unwrap_or(false);
-                if now < duration_ns && !all_done {
-                    push(&mut heap, now + poll_ns, Ev::Poll, &mut seq);
-                }
-                if let Deployment::Dynamic { monitor, .. } = dep {
-                    let own = db.instant_load_pct(now);
-                    monitor.observe((background_pct + own).min(100.0));
-                }
-                // Safety net against lost wake-ups: retry all blocked.
-                for (_, sid) in blocked.drain() {
-                    push(&mut heap, now, Ev::Ready { sid }, &mut seq);
-                }
-            }
-
             Ev::WarmupDone => {
-                app.reset_window();
-                db.reset_window();
+                env.app.reset_window();
+                env.db.reset_window();
             }
-
             Ev::LoadChange { idx } => {
                 let le = cfg.load_events[idx];
-                db.set_cores(le.db_cores, now);
-                db.set_speed(le.speed_factor);
-                background_pct = le.background_pct;
+                env.db.set_cores(le.db_cores, now);
+                env.db.set_speed(le.speed_factor);
+                env.background_pct = le.background_pct;
             }
         }
     }
@@ -431,6 +405,16 @@ pub fn run_sim<'a>(
             low_budget_frac: bucket_low[b] as f64 / bucket_n[b] as f64,
         })
         .collect();
+    let switches = disp
+        .switch_log()
+        .iter()
+        .map(|s| SwitchPoint {
+            t_s: s.t_ns as f64 / 1e9,
+            entry: s.entry,
+            to_low: s.to == PartitionChoice::LowBudget,
+            level_pct: s.level_pct,
+        })
+        .collect();
 
     SimResult {
         offered_tps: cfg.target_tps,
@@ -438,12 +422,13 @@ pub fn run_sim<'a>(
         throughput_tps: completed as f64 / window_s,
         avg_latency_ms: avg,
         p95_latency_ms: p95,
-        db_cpu_pct: db.window_utilization_pct(window_ns),
-        app_cpu_pct: app.window_utilization_pct(window_ns),
-        db_recv_kbs: db_recv as f64 / 1000.0 / window_s,
-        db_sent_kbs: db_sent as f64 / 1000.0 / window_s,
-        deadlock_restarts,
+        db_cpu_pct: env.db.window_utilization_pct(window_ns),
+        app_cpu_pct: env.app.window_utilization_pct(window_ns),
+        db_recv_kbs: env.db_recv as f64 / 1000.0 / window_s,
+        db_sent_kbs: env.db_sent as f64 / 1000.0 / window_s,
+        deadlock_restarts: disp.stats().deadlock_restarts,
         rollbacks,
         timeline,
+        switches,
     }
 }

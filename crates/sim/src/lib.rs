@@ -7,10 +7,12 @@
 //! * client sessions are [`pyx_runtime::Session`]s — the *real* partitioned
 //!   programs executing against the *real* `pyx-db` engine (real queries,
 //!   real locks, real heap synchronization), not analytic approximations;
-//! * each VM event is priced onto finite-core server models ([`cpu`]) and
-//!   a latency/bandwidth network model;
-//! * lock waits suspend sessions until the engine's commit/abort wake
-//!   lists release them; wait-die victims restart their transaction;
+//! * all session multiplexing (admission, lock-wait servicing, wait-die
+//!   restarts, monitor-driven partition switching) is the
+//!   [`pyx_server::Dispatcher`] — the same scheduler that serves
+//!   in-process traffic; this crate only *prices* its events onto
+//!   finite-core server models ([`cpu`]) and a latency/bandwidth network
+//!   model via the dispatcher's [`pyx_server::Env`] hook;
 //! * the load-event schedule can withdraw DB cores mid-run (the paper's
 //!   "loaded up most of the CPUs", Fig. 11 / Fig. 14), and the dynamic
 //!   deployment switches partitions via the EWMA monitor (§6.3).
@@ -26,5 +28,5 @@ pub mod driver;
 pub mod workload;
 
 pub use cpu::CpuPool;
-pub use driver::{run_sim, Deployment, LoadEvent, SimConfig, SimResult, TimePoint};
+pub use driver::{run_sim, Deployment, LoadEvent, SimConfig, SimResult, SwitchPoint, TimePoint};
 pub use workload::{TxnRequest, Workload};

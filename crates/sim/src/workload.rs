@@ -1,32 +1,5 @@
-//! Workload abstraction: a source of transactions for the simulator.
+//! Workload abstraction — re-exported from `pyx-server`, where the
+//! dispatcher consumes it. Kept as a module so existing
+//! `pyx_sim::workload::…` paths keep working.
 
-use pyx_lang::MethodId;
-use pyx_runtime::ArgVal;
-
-/// One transaction request: which entry point to invoke with what
-/// arguments.
-#[derive(Debug, Clone)]
-pub struct TxnRequest {
-    pub entry: MethodId,
-    pub args: Vec<ArgVal>,
-    /// Workload-defined label for per-class reporting (e.g. TPC-W
-    /// interaction names).
-    pub label: &'static str,
-}
-
-/// A transaction generator. Implementations own their RNG so runs are
-/// reproducible from the seed they were built with.
-pub trait Workload {
-    fn next_txn(&mut self, client: usize) -> TxnRequest;
-}
-
-/// A trivial workload replaying one fixed request (tests).
-pub struct FixedWorkload {
-    pub request: TxnRequest,
-}
-
-impl Workload for FixedWorkload {
-    fn next_txn(&mut self, _client: usize) -> TxnRequest {
-        self.request.clone()
-    }
-}
+pub use pyx_server::workload::{FixedWorkload, TxnRequest, Workload};

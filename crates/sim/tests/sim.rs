@@ -104,8 +104,7 @@ fn run(setup_part: &CompiledPartition, entry: pyx_lang::MethodId, tps: f64) -> p
         target_tps: tps,
         ..SimConfig::default()
     };
-    let mut dep = Deployment::Fixed(setup_part);
-    run_sim(&mut dep, &mut engine, &mut wl, &cfg)
+    run_sim(Deployment::Fixed(setup_part), &mut engine, &mut wl, &cfg)
 }
 
 #[test]
@@ -190,8 +189,7 @@ fn withdrawing_db_cores_slows_manual_more_than_jdbc() {
             db_cores: 1,
             ..SimConfig::default()
         };
-        let mut dep = Deployment::Fixed(part);
-        run_sim(&mut dep, &mut engine, &mut wl, &cfg)
+        run_sim(Deployment::Fixed(part), &mut engine, &mut wl, &cfg)
     };
     let jdbc = run_limited(&s.jdbc);
     let manual = run_limited(&s.manual);
@@ -228,12 +226,12 @@ fn dynamic_deployment_switches_under_load_change() {
         }],
         ..SimConfig::default()
     };
-    let mut dep = Deployment::Dynamic {
+    let dep = Deployment::Dynamic {
         high: &s.manual,
         low: &s.jdbc,
         monitor: LoadMonitor::paper_defaults(),
     };
-    let r = run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+    let r = run_sim(dep, &mut engine, &mut wl, &cfg);
     // Early buckets run high-budget; after the load change the monitor
     // must shift to the low-budget (JDBC-like) partition.
     let early: Vec<&pyx_sim::TimePoint> = r.timeline.iter().filter(|p| p.t_s < 50.0).collect();
@@ -277,8 +275,7 @@ fn fixed_workload_type_runs() {
         target_tps: 10.0,
         ..SimConfig::default()
     };
-    let mut dep = Deployment::Fixed(&s.jdbc);
-    let r = run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+    let r = run_sim(Deployment::Fixed(&s.jdbc), &mut engine, &mut wl, &cfg);
     assert!(r.completed > 20);
     assert_eq!(r.deadlock_restarts, 0);
 }
@@ -299,8 +296,7 @@ fn max_txns_caps_the_run() {
         max_txns: Some(3),
         ..SimConfig::default()
     };
-    let mut dep = Deployment::Fixed(&s.manual);
-    let r = run_sim(&mut dep, &mut engine, &mut wl, &cfg);
+    let r = run_sim(Deployment::Fixed(&s.manual), &mut engine, &mut wl, &cfg);
     assert_eq!(r.completed, 3);
 }
 
@@ -327,8 +323,7 @@ fn speed_factor_slows_completion() {
             }],
             ..SimConfig::default()
         };
-        let mut dep = Deployment::Fixed(&s.manual);
-        run_sim(&mut dep, &mut engine, &mut wl, &cfg).avg_latency_ms
+        run_sim(Deployment::Fixed(&s.manual), &mut engine, &mut wl, &cfg).avg_latency_ms
     };
     let fast = one_shot(1.0);
     let slow = one_shot(0.1);

@@ -53,12 +53,14 @@ fn main() {
     tpcc::create_schema(&mut db);
     tpcc::load(&mut db, scale, seed);
     let mut wl = tpcc::NewOrderGen::new(entry, scale, 999);
-    let mut dep = Deployment::Dynamic {
+    let dep = Deployment::Dynamic {
         high: &set.pyxis[0].2,
         low: &set.jdbc,
-        monitor: LoadMonitor::paper_defaults(),
+        // Paper parameters plus one poll of dwell, so a single borderline
+        // sample cannot flap the choice back and forth.
+        monitor: LoadMonitor::paper_defaults().with_min_dwell(1),
     };
-    let r = pyxis::sim::run_sim(&mut dep, &mut db, &mut wl, &cfg);
+    let r = pyxis::sim::run_sim(dep, &mut db, &mut wl, &cfg);
 
     println!("external load arrives at t = 40 s (DB drops to 2 usable cores)");
     println!("\n  t(s)   avg latency (ms)   txns   JDBC-like fraction");
@@ -70,6 +72,24 @@ fn main() {
             p.completed,
             p.low_budget_frac * 100.0
         );
+    }
+    if r.switches.is_empty() {
+        println!("\n(no partition switches)");
+    } else {
+        println!("\npartition-switch timeline:");
+        for s in &r.switches {
+            println!(
+                "  t = {:>5.1} s  entry {:>3}  -> {}  (EWMA level {:.0}%)",
+                s.t_s,
+                s.entry,
+                if s.to_low {
+                    "low-budget (JDBC-like)"
+                } else {
+                    "high-budget"
+                },
+                s.level_pct
+            );
+        }
     }
     println!(
         "\nexpected: 0% JDBC-like before the load, climbing to 100% after an EWMA adaptation lag"

@@ -62,8 +62,7 @@ fn main() {
         tpcc::create_schema(&mut db);
         tpcc::load(&mut db, scale, seed);
         let mut wl = tpcc::NewOrderGen::new(entry, scale, 1000);
-        let mut dep = Deployment::Fixed(part);
-        let r = pyxis::sim::run_sim(&mut dep, &mut db, &mut wl, &cfg);
+        let r = pyxis::sim::run_sim(Deployment::Fixed(part), &mut db, &mut wl, &cfg);
         println!(
             "{name:<12}  {:>9.2}  {:>6.2}  {:>8.0}  {:>6.1}  {:>12.0}  {:>9}",
             r.avg_latency_ms,

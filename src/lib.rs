@@ -4,8 +4,9 @@
 //! [`pyx_lang`] (PyxLang front end) → [`pyx_profile`] (instrumented
 //! interpreter) → [`pyx_analysis`] (dependence analyses) →
 //! [`pyx_partition`] (partition graph + ILP) → [`pyx_pyxil`] (PyxIL and
-//! execution blocks) → [`pyx_runtime`] (distributed runtime) →
-//! [`pyx_sim`] (virtual-time evaluation harness), with [`pyx_db`] as the
+//! execution blocks) → [`pyx_runtime`] (distributed runtime + wire
+//! protocol) → [`pyx_server`] (multi-session dispatch layer) →
+//! [`pyx_sim`] (virtual-time pricing shell), with [`pyx_db`] as the
 //! database substrate, [`pyx_ilp`] as the solver, and [`pyx_workloads`]
 //! providing TPC-C / TPC-W / microbenchmarks.
 //!
@@ -20,5 +21,6 @@ pub use pyx_partition as partition;
 pub use pyx_profile as profile;
 pub use pyx_pyxil as pyxil;
 pub use pyx_runtime as runtime;
+pub use pyx_server as server;
 pub use pyx_sim as sim;
 pub use pyx_workloads as workloads;

@@ -254,8 +254,12 @@ fn simulated_tpcc_pyxis_beats_jdbc() {
         tpcc::create_schema(&mut db);
         tpcc::load(&mut db, scale, 21);
         let mut wl = tpcc::NewOrderGen::new(entry, scale, 500).with_lines(4, 8);
-        let mut dep = Deployment::Fixed(part);
-        results.push(pyxis::sim::run_sim(&mut dep, &mut db, &mut wl, &cfg));
+        results.push(pyxis::sim::run_sim(
+            Deployment::Fixed(part),
+            &mut db,
+            &mut wl,
+            &cfg,
+        ));
     }
     let (jdbc, pyx) = (&results[0], &results[1]);
     assert!(

@@ -1,0 +1,174 @@
+//! Deployment differential over the benchmark mix: the dynamic
+//! (monitor-switched) deployment and both static partitionings must
+//! produce identical transaction results and identical engine state for
+//! the same request stream — switching partitions mid-run is a pure
+//! performance decision, never a semantic one. Runs the real TPC-C
+//! new-order mix and the TPC-W browsing mix through the `pyx-server`
+//! dispatcher.
+
+use pyxis::db::{Engine, Scalar};
+use pyxis::lang::Value;
+use pyxis::partition::Side;
+use pyxis::pyxil::CompiledPartition;
+use pyxis::runtime::monitor::LoadMonitor;
+use pyxis::server::{Deployment, Dispatcher, DispatcherConfig, Env, TxnRequest};
+use pyxis::workloads::{tpcc, tpcw};
+
+/// Instant env with a test-scripted DB-load sample.
+struct ScriptedLoad {
+    load: f64,
+}
+
+impl Env for ScriptedLoad {
+    fn cpu(&mut self, now: u64, _h: Side, _c: u64) -> u64 {
+        now
+    }
+    fn net(&mut self, now: u64, _f: Side, _t: Side, _b: u64) -> u64 {
+        now
+    }
+    fn db_op(&mut self, now: u64, _i: Side, _c: u64, _rq: u64, _rs: u64) -> u64 {
+        now
+    }
+    fn db_load_pct(&mut self, _now: u64) -> f64 {
+        self.load
+    }
+}
+
+const POLL_NS: u64 = 1_000_000;
+
+/// All rows of all tables: the observable engine state.
+type EngineState = Vec<Vec<Vec<Scalar>>>;
+
+/// Run `reqs` serially through a dispatcher over `dep`, flipping the
+/// scripted load to saturated halfway through. Returns per-txn results,
+/// per-txn low-budget flags, and the final engine state.
+fn run_stream(
+    dep: Deployment<'_>,
+    engine: &mut Engine,
+    reqs: &[TxnRequest],
+) -> (Vec<Option<Value>>, Vec<bool>, EngineState) {
+    let mut disp = Dispatcher::new(
+        dep,
+        engine,
+        DispatcherConfig {
+            max_sessions: 1,
+            poll_interval_ns: POLL_NS,
+            ..DispatcherConfig::default()
+        },
+    );
+    let mut env = ScriptedLoad { load: 0.0 };
+    let mut results = Vec::new();
+    let mut lows = Vec::new();
+    for (i, r) in reqs.iter().enumerate() {
+        if i == reqs.len() / 2 {
+            env.load = 95.0;
+        }
+        // Spaced submissions so monitor polls interleave with execution.
+        disp.submit(i as u64 * 4 * POLL_NS, r.clone(), i as u64);
+        for d in disp.run_until_idle(engine, &mut env) {
+            assert!(d.error.is_none(), "txn {i} failed: {:?}", d.error);
+            results.push(d.result);
+            lows.push(d.low_budget);
+        }
+    }
+    assert_eq!(results.len(), reqs.len());
+    let state = engine
+        .table_names()
+        .iter()
+        .map(|t| engine.dump_table(t))
+        .collect();
+    (results, lows, state)
+}
+
+fn assert_differential(
+    name: &str,
+    high: &CompiledPartition,
+    low: &CompiledPartition,
+    reqs: &[TxnRequest],
+    mut fresh_engine: impl FnMut() -> Engine,
+) {
+    let mut e1 = fresh_engine();
+    let (r_high, _, s_high) = run_stream(Deployment::Fixed(high), &mut e1, reqs);
+    let mut e2 = fresh_engine();
+    let (r_low, _, s_low) = run_stream(Deployment::Fixed(low), &mut e2, reqs);
+    let mut e3 = fresh_engine();
+    let (r_dyn, dyn_lows, s_dyn) = run_stream(
+        Deployment::Dynamic {
+            high,
+            low,
+            monitor: LoadMonitor::new(0.0, 40.0),
+        },
+        &mut e3,
+        reqs,
+    );
+
+    assert_eq!(r_high, r_low, "{name}: static results differ");
+    assert_eq!(r_high, r_dyn, "{name}: dynamic results differ");
+    assert_eq!(s_high, s_low, "{name}: static engine state differs");
+    assert_eq!(s_high, s_dyn, "{name}: dynamic engine state differs");
+    // The dynamic run genuinely exercised both partitionings.
+    assert!(
+        dyn_lows.iter().any(|&l| l) && dyn_lows.iter().any(|&l| !l),
+        "{name}: monitor must switch mid-run, got {dyn_lows:?}"
+    );
+}
+
+#[test]
+fn tpcc_mix_is_deployment_invariant() {
+    let scale = tpcc::TpccScale::default();
+    let seed = 11;
+    let (pyxis, mut scratch, entry) = tpcc::setup(scale, seed);
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, seed).with_lines(3, 6);
+    let profile = pyxis
+        .profile(
+            &mut scratch,
+            (0..40).map(|i| {
+                let r = pyxis::sim::Workload::next_txn(&mut gen, i);
+                (r.entry, r.args)
+            }),
+        )
+        .expect("profiling");
+    let set = pyxis.generate(&profile, &[2.0]);
+
+    let mut stream_gen = tpcc::NewOrderGen::new(entry, scale, 4242).with_lines(3, 6);
+    let reqs: Vec<TxnRequest> = (0..24)
+        .map(|i| pyxis::sim::Workload::next_txn(&mut stream_gen, i))
+        .collect();
+
+    assert_differential("tpcc", &set.pyxis[0].2, &set.jdbc, &reqs, || {
+        let mut db = Engine::new();
+        tpcc::create_schema(&mut db);
+        tpcc::load(&mut db, scale, seed);
+        db
+    });
+}
+
+#[test]
+fn tpcw_browsing_mix_is_deployment_invariant() {
+    let scale = tpcw::TpcwScale::default();
+    let seed = 23;
+    let (pyxis, mut scratch, entries) = tpcw::setup(scale, seed);
+    let mut mix = tpcw::BrowsingMix::new(entries, scale, seed);
+    let profile = pyxis
+        .profile(
+            &mut scratch,
+            (0..40).map(|i| {
+                let r = pyxis::sim::Workload::next_txn(&mut mix, i);
+                (r.entry, r.args)
+            }),
+        )
+        .expect("profiling");
+    let set = pyxis.generate(&profile, &[2.0]);
+
+    let mut stream_mix = tpcw::BrowsingMix::new(entries, scale, 777);
+    let reqs: Vec<TxnRequest> = (0..24)
+        .map(|i| pyxis::sim::Workload::next_txn(&mut stream_mix, i))
+        .collect();
+
+    assert_differential("tpcw", &set.pyxis[0].2, &set.jdbc, &reqs, || {
+        let mut db = Engine::new();
+        tpcw::create_schema(&mut db);
+        tpcw::load(&mut db, scale, seed);
+        db
+    });
+}
