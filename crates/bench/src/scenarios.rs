@@ -138,3 +138,63 @@ impl TpcwEnv {
         }
     }
 }
+
+/// Read-mostly TPC-W environment (the MVCC scenario): the browsing mix
+/// plus ~10% Admin-Confirm-style writes over a hot item range, with the
+/// browsers biased toward the same hot items. The knob under test is
+/// `SimConfig::snapshot_reads` — off reproduces the pre-MVCC engine
+/// (browsers wait-die-restart against the admin writer), on runs every
+/// browsing interaction as a lock-free snapshot transaction.
+pub struct TpcwReadMostlyEnv {
+    pub pyxis: Pyxis,
+    pub set: DeploymentSet,
+    pub entries: tpcw::ReadMostlyEntries,
+    pub scale: tpcw::TpcwScale,
+    pub seed: u64,
+    pub write_pct: u32,
+}
+
+impl TpcwReadMostlyEnv {
+    pub fn build(budget_fraction: f64, write_pct: u32) -> TpcwReadMostlyEnv {
+        let scale = tpcw::TpcwScale::default();
+        let seed = 0xFEED;
+        let (pyxis, mut scratch, entries) = tpcw::setup_read_mostly(scale, seed);
+        let mut mix = tpcw::ReadMostlyMix::new(entries, scale, write_pct, seed);
+        let profile = crate::profile_with(&pyxis, &mut scratch, &mut mix, 400);
+        let set = pyxis.generate(&profile, &[budget_fraction]);
+        TpcwReadMostlyEnv {
+            pyxis,
+            set,
+            entries,
+            scale,
+            seed,
+            write_pct,
+        }
+    }
+
+    pub fn fresh_engine(&self) -> Engine {
+        let mut db = Engine::new();
+        tpcw::create_schema(&mut db);
+        tpcw::load(&mut db, self.scale, self.seed);
+        db
+    }
+
+    pub fn fresh_workload(&self, seed: u64) -> tpcw::ReadMostlyMix {
+        tpcw::ReadMostlyMix::new(self.entries, self.scale, self.write_pct, seed)
+    }
+
+    pub fn cfg(&self, db_cores: usize, snapshot_reads: bool) -> SimConfig {
+        SimConfig {
+            duration_s: POINT_DURATION_S,
+            warmup_s: WARMUP_S,
+            clients: 40, // enough concurrent browsers to collide with the writer
+            app_cores: 8,
+            db_cores,
+            app_ips: APP_IPS,
+            db_ips: DB_IPS,
+            net: NET,
+            snapshot_reads,
+            ..SimConfig::default()
+        }
+    }
+}

@@ -1,4 +1,4 @@
-//! The database engine: SQL execution over locked tables.
+//! The database engine: SQL execution over locked, multi-versioned tables.
 //!
 //! Execution is two-phase per statement: first plan and *lock*, then
 //! mutate. A statement that hits a lock conflict returns
@@ -6,6 +6,21 @@
 //! statement after a wake-up) or [`DbError::Deadlock`] (wait-die victim —
 //! the whole transaction must abort and restart) before any mutation, so
 //! retries are idempotent.
+//!
+//! # MVCC snapshot reads
+//!
+//! [`Engine::begin_read_only`] starts a *snapshot* transaction: it takes
+//! the current commit timestamp as its snapshot, and every statement it
+//! executes resolves row versions as of that snapshot
+//! ([`crate::table::Table::version_at`]) **without touching the lock
+//! manager** — the lock table now only guards writes against writes and
+//! locking reads. Snapshot transactions therefore can never block, never
+//! deadlock, and never become wait-die victims. Write transactions stamp
+//! every row they touched with a fresh commit timestamp at
+//! [`Engine::commit`] (aborts stamp nothing), so a snapshot observes
+//! exactly the transactions that committed before it began — a consistent
+//! committed prefix. Superseded versions are garbage-collected once the
+//! oldest active snapshot has advanced past them.
 //!
 //! Two execution paths share one resolved core:
 //!
@@ -30,7 +45,7 @@ use crate::sqlparse::{self, AggFn, CmpOp, SqlStmt};
 use crate::table::Table;
 use crate::txn::{Txn, TxnId, UndoOp};
 use pyx_lang::Scalar;
-use std::collections::{HashMap, VecDeque};
+use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::rc::Rc;
 
 /// Errors surfaced to the runtime / simulator.
@@ -44,6 +59,8 @@ pub enum DbError {
     WouldBlock,
     /// Wait-die victim; the transaction must abort and restart.
     Deadlock,
+    /// Write statement issued inside a read-only (snapshot) transaction.
+    ReadOnly,
     /// Operation on an unknown or finished transaction.
     UnknownTxn,
 }
@@ -55,6 +72,7 @@ impl std::fmt::Display for DbError {
             DbError::Schema(m) => write!(f, "schema error: {m}"),
             DbError::WouldBlock => write!(f, "lock conflict (would block)"),
             DbError::Deadlock => write!(f, "wait-die deadlock victim"),
+            DbError::ReadOnly => write!(f, "write statement in a read-only (snapshot) transaction"),
             DbError::UnknownTxn => write!(f, "unknown transaction"),
         }
     }
@@ -102,6 +120,14 @@ pub struct EngineStats {
     pub rows_examined: u64,
     /// Ad-hoc parse-cache entries evicted by the size cap.
     pub parse_evictions: u64,
+    /// Read-only (snapshot) transactions started.
+    pub read_only_txns: u64,
+    /// SELECT statements served from a snapshot (lock-free).
+    pub snapshot_reads: u64,
+    /// Committed row versions stamped onto version chains.
+    pub versions_created: u64,
+    /// Versions (and vacated tombstoned slots) reclaimed by GC.
+    pub versions_gced: u64,
 }
 
 /// Cap on the ad-hoc (legacy) parse cache. Ad-hoc SQL with inline
@@ -134,6 +160,13 @@ pub struct Engine {
     pred_scratch: Vec<RPred>,
     path_scratch: Vec<Scalar>,
     rid_scratch: Vec<RowId>,
+    /// Latest commit timestamp; new snapshots read as of this instant.
+    commit_ts: u64,
+    /// Active snapshot timestamps → number of open read-only transactions
+    /// holding them. The first key is the GC horizon.
+    snapshots: BTreeMap<u64, u32>,
+    /// Slots stamped with prunable history, awaiting a GC pass.
+    gc_pending: Vec<(usize, RowId)>,
     pub stats: EngineStats,
 }
 
@@ -172,6 +205,9 @@ impl Engine {
             pred_scratch: Vec::new(),
             path_scratch: Vec::new(),
             rid_scratch: Vec::new(),
+            commit_ts: 0,
+            snapshots: BTreeMap::new(),
+            gc_pending: Vec::new(),
             stats: EngineStats::default(),
         }
     }
@@ -201,21 +237,33 @@ impl Engine {
         Ok(())
     }
 
-    /// Bulk-load a row outside any transaction (no locking, no undo).
+    /// Bulk-load a row outside any transaction (no locking, no undo). The
+    /// row is stamped as committed at timestamp 0, so it is visible to
+    /// every snapshot.
     pub fn load_row(&mut self, table: &str, row: Vec<Scalar>) {
         let ti = *self
             .by_name
             .get(table)
             .unwrap_or_else(|| panic!("unknown table `{table}`"));
-        self.tables[ti]
+        let rid = self.tables[ti]
             .insert(row)
             .unwrap_or_else(|e| panic!("bulk load failed: {e}"));
+        self.tables[ti].stamp_version(rid, 0);
     }
 
     pub fn table_len(&self, table: &str) -> usize {
         self.by_name
             .get(table)
             .map(|&t| self.tables[t].len())
+            .unwrap_or(0)
+    }
+
+    /// Committed versions retained in `table` (diagnostics and GC tests:
+    /// with no open snapshot and GC caught up, exactly one per live row).
+    pub fn table_versions(&self, table: &str) -> usize {
+        self.by_name
+            .get(table)
+            .map(|&t| self.tables[t].total_versions())
             .unwrap_or(0)
     }
 
@@ -227,7 +275,8 @@ impl Engine {
         };
         let t = &self.tables[ti];
         t.full_scan_iter()
-            .map(|rid| t.get(rid).expect("live row").to_vec())
+            // Skip version-retained (deleted) slots: only current rows.
+            .filter_map(|rid| t.get(rid).map(|r| r.to_vec()))
             .collect()
     }
 
@@ -245,17 +294,135 @@ impl Engine {
         id
     }
 
-    /// Commit: release locks, return (cost, woken waiters).
+    /// Begin a read-only *snapshot* transaction: every statement reads the
+    /// committed prefix as of this instant, without locks. Write
+    /// statements return [`DbError::ReadOnly`].
+    pub fn begin_read_only(&mut self) -> TxnId {
+        let id = TxnId(self.next_txn);
+        self.next_txn += 1;
+        let snap_ts = self.commit_ts;
+        *self.snapshots.entry(snap_ts).or_insert(0) += 1;
+        self.txns.insert(
+            id,
+            Txn {
+                read_only: true,
+                snap_ts,
+                ..Txn::default()
+            },
+        );
+        self.stats.read_only_txns += 1;
+        id
+    }
+
+    /// Latest commit timestamp (the snapshot a read-only transaction
+    /// beginning now would observe).
+    pub fn current_commit_ts(&self) -> u64 {
+        self.commit_ts
+    }
+
+    /// Oldest snapshot still held open by a read-only transaction.
+    pub fn oldest_snapshot(&self) -> Option<u64> {
+        self.snapshots.keys().next().copied()
+    }
+
+    /// Commit: stamp touched rows with a fresh commit timestamp, release
+    /// locks, return (cost, woken waiters). Read-only transactions hold no
+    /// locks and stamp nothing; ending one may advance the GC horizon.
     pub fn commit(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
-        self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
+        let t = self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
+        if t.read_only {
+            self.end_snapshot(t.snap_ts);
+            self.stats.commits += 1;
+            return Ok((cost::TXN_END, Vec::new()));
+        }
+        if !t.undo.is_empty() {
+            self.commit_ts += 1;
+            let ts = self.commit_ts;
+            self.stamp_touched(&t.undo, ts);
+            self.run_gc();
+        }
         let woken = self.locks.release_all(txn);
         self.stats.commits += 1;
         Ok((cost::TXN_END, woken))
     }
 
-    /// Abort: apply the undo log in reverse, release locks.
+    /// Stamp one committed version per row the undo log touched. A row
+    /// touched by several statements is stamped once with its final image.
+    fn stamp_touched(&mut self, undo: &[UndoOp], ts: u64) {
+        let mut touched: Vec<(usize, RowId)> = Vec::with_capacity(undo.len());
+        for op in undo {
+            let tr = match op {
+                UndoOp::Update { table, rid, .. } => Some((*table, *rid)),
+                // Inserted (possibly then deleted) and deleted rows keep
+                // their primary entry while versions are retained; a miss
+                // means the row never survived to commit (insert+delete of
+                // a brand-new key), which needs no version.
+                UndoOp::Insert { table, key } => {
+                    self.tables[*table].pk_lookup(key).map(|r| (*table, r))
+                }
+                UndoOp::Delete { table, row } => {
+                    let key = self.tables[*table].def.key_of(row);
+                    self.tables[*table].pk_lookup(&key).map(|r| (*table, r))
+                }
+            };
+            if let Some(tr) = tr {
+                touched.push(tr);
+            }
+        }
+        touched.sort_unstable();
+        touched.dedup();
+        for (ti, rid) in touched {
+            let (stamped, prunable) = self.tables[ti].stamp_version(rid, ts);
+            if stamped {
+                self.stats.versions_created += 1;
+            }
+            if prunable {
+                self.gc_pending.push((ti, rid));
+            }
+        }
+    }
+
+    /// Close out a snapshot and garbage-collect versions the remaining
+    /// snapshots can no longer observe.
+    fn end_snapshot(&mut self, snap_ts: u64) {
+        match self.snapshots.get_mut(&snap_ts) {
+            Some(n) if *n > 1 => *n -= 1,
+            Some(_) => {
+                self.snapshots.remove(&snap_ts);
+            }
+            None => debug_assert!(false, "unbalanced snapshot release"),
+        }
+        self.run_gc();
+    }
+
+    /// Drain the pending-GC queue against the current horizon (the oldest
+    /// active snapshot, or "now" when none is open). Slots still blocked
+    /// by an open snapshot re-queue for the next pass.
+    fn run_gc(&mut self) {
+        if self.gc_pending.is_empty() {
+            return;
+        }
+        let horizon = self.oldest_snapshot().unwrap_or(self.commit_ts);
+        let pending = std::mem::take(&mut self.gc_pending);
+        for (ti, rid) in pending {
+            let (dropped, remains) = self.tables[ti].gc_versions(rid, horizon);
+            self.stats.versions_gced += dropped;
+            if remains {
+                self.gc_pending.push((ti, rid));
+            }
+        }
+    }
+
+    /// Abort: apply the undo log in reverse, release locks. Aborted
+    /// transactions stamp no versions — their writes never become visible
+    /// to any snapshot.
     pub fn abort(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
         let t = self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
+        if t.read_only {
+            self.end_snapshot(t.snap_ts);
+            self.stats.aborts += 1;
+            return Ok((cost::TXN_END, Vec::new()));
+        }
         let mut c = cost::TXN_END;
         for op in t.undo.into_iter().rev() {
             c += cost::ROW_WRITE;
@@ -382,12 +549,29 @@ impl Engine {
     /// Execute a resolved plan: parameter substitution into the skeleton,
     /// then the shared execution core. Used by both the prepared path
     /// (cached plan) and the ad-hoc path (plan resolved per execution).
+    /// Read-only (snapshot) transactions divert to the lock-free snapshot
+    /// executor; their write statements are rejected before any mutation.
     fn execute_plan(
         &mut self,
         txn: TxnId,
         plan: &Plan,
         params: &[Scalar],
     ) -> Result<QueryResult, DbError> {
+        let snap = self
+            .txns
+            .get(&txn)
+            .filter(|t| t.read_only)
+            .map(|t| t.snap_ts);
+        if let Some(snap_ts) = snap {
+            let Plan::Select(p) = plan else {
+                return Err(DbError::ReadOnly);
+            };
+            let (preds, path) = self.resolve_exec(&p.preds, p.subsumed, &p.path, params);
+            let r = self
+                .run_select_snapshot(snap_ts, p.ti, &preds, &path, p.order_by, p.limit, &p.proj);
+            self.recycle_exec(preds, path);
+            return r;
+        }
         match plan {
             Plan::Select(p) => {
                 let (preds, path) = self.resolve_exec(&p.preds, p.subsumed, &p.path, params);
@@ -555,9 +739,34 @@ impl Engine {
             .ok_or_else(|| DbError::Schema(format!("unknown table `{name}`")))
     }
 
+    /// Drive `consider` over every candidate row id `path` yields. Shared
+    /// by the locking and snapshot read paths so access-path dispatch can
+    /// never drift between them. `scratch` is a reusable probe buffer for
+    /// point lookups.
+    fn for_each_candidate(
+        t: &Table,
+        path: &Path,
+        scratch: &mut Vec<Scalar>,
+        mut consider: impl FnMut(RowId),
+    ) {
+        match path {
+            Path::PkPoint(k) => {
+                if let Some(rid) = t.pk_lookup_buf(k, scratch) {
+                    consider(rid);
+                }
+            }
+            Path::PkPrefix(p) => t.pk_prefix_iter(p).for_each(&mut consider),
+            Path::Secondary(slot, v) => t
+                .index_scan(*slot, v)
+                .iter()
+                .copied()
+                .for_each(&mut consider),
+            Path::Full => t.full_scan_iter().for_each(&mut consider),
+        }
+    }
+
     /// Find matching rows without materializing the candidate list:
     /// fills `matched` (a reusable buffer) and returns rows examined.
-    /// `scratch` is a reusable probe buffer for point lookups.
     fn find_matches(
         t: &Table,
         preds: &[RPred],
@@ -567,30 +776,32 @@ impl Engine {
     ) -> usize {
         matched.clear();
         let mut examined = 0usize;
-        {
-            let mut consider = |rid: RowId| {
-                examined += 1;
-                let row = t.get(rid).expect("candidate row exists");
-                if preds.iter().all(|(c, op, v)| op.eval(row[*c].total_cmp(v))) {
-                    matched.push(rid);
-                }
+        Self::for_each_candidate(t, path, scratch, |rid| {
+            // Version-retained (deleted) slots have no current image;
+            // they exist only for snapshot readers.
+            let Some(row) = t.get(rid) else {
+                return;
             };
-            match path {
-                Path::PkPoint(k) => {
-                    if let Some(rid) = t.pk_lookup_buf(k, scratch) {
-                        consider(rid);
-                    }
-                }
-                Path::PkPrefix(p) => t.pk_prefix_iter(p).for_each(&mut consider),
-                Path::Secondary(slot, v) => t
-                    .index_scan(*slot, v)
-                    .iter()
-                    .copied()
-                    .for_each(&mut consider),
-                Path::Full => t.full_scan_iter().for_each(&mut consider),
+            examined += 1;
+            if preds.iter().all(|(c, op, v)| op.eval(row[*c].total_cmp(v))) {
+                matched.push(rid);
             }
-        }
+        });
         examined
+    }
+
+    /// Phantom protection for point writes: an UPDATE/DELETE whose exact
+    /// primary-key probe matched nothing still X-locks the probed key, so
+    /// a concurrent INSERT of that key serializes against it (poor man's
+    /// next-key lock). Without this, a zero-match point write and an
+    /// insert of the same key would not conflict and strict 2PL's
+    /// commit-order serializability would not hold.
+    fn lock_point_gap(&mut self, txn: TxnId, ti: usize, key: &[Scalar]) -> Result<u64, DbError> {
+        match self.locks.acquire(txn, ti, key, LockMode::Exclusive) {
+            Acquire::Granted => Ok(cost::LOCK_OP),
+            Acquire::Wait => Err(DbError::WouldBlock),
+            Acquire::Die => Err(DbError::Deadlock),
+        }
     }
 
     /// Lock each matched row. Returns the lock cost, or the appropriate
@@ -690,6 +901,65 @@ impl Engine {
 
         Ok(QueryResult {
             rows: out,
+            affected: 0,
+            cost: c,
+        })
+    }
+
+    /// Snapshot SELECT: resolve candidates through the same access paths
+    /// as [`Engine::run_select`], but read each row's committed image *as
+    /// of* `snap_ts` and acquire no locks. Charges the same virtual cost
+    /// as a locking read minus the lock operations (a conventional MVCC
+    /// server does the same index work; version resolution replaces lock
+    /// acquisition).
+    #[allow(clippy::too_many_arguments)]
+    fn run_select_snapshot(
+        &mut self,
+        snap_ts: u64,
+        ti: usize,
+        preds: &[RPred],
+        path: &Path,
+        order_by: Option<(usize, bool)>,
+        limit: Option<usize>,
+        proj: &ProjP,
+    ) -> Result<QueryResult, DbError> {
+        let mut scratch = std::mem::take(&mut self.key_scratch);
+        let mut examined = 0usize;
+        let t = &self.tables[ti];
+        let mut rows: Vec<&Rc<Vec<Scalar>>> = Vec::new();
+        Self::for_each_candidate(t, path, &mut scratch, |rid| {
+            // A candidate with no version at the snapshot was inserted
+            // later or deleted earlier — invisible.
+            let Some(img) = t.version_at(rid, snap_ts) else {
+                return;
+            };
+            examined += 1;
+            if preds.iter().all(|(c, op, v)| op.eval(img[*c].total_cmp(v))) {
+                rows.push(img);
+            }
+        });
+
+        let mut c = cost::STMT_BASE
+            + cost::BTREE_STEP * cost::btree_depth(t.len())
+            + cost::ROW_READ * rows.len() as u64
+            + cost::ROW_SCAN * (examined - rows.len()) as u64;
+        if let Some((ci, desc)) = order_by {
+            rows.sort_by(|a, b| a[ci].total_cmp(&b[ci]));
+            if desc {
+                rows.reverse();
+            }
+            let n = rows.len().max(1) as u64;
+            c += cost::ROW_SORT * n * (64 - n.leading_zeros() as u64).max(1);
+        }
+        if let Some(limit) = limit {
+            rows.truncate(limit);
+        }
+        let out = Self::project(rows.into_iter(), proj);
+        self.key_scratch = scratch;
+        self.stats.rows_examined += examined as u64;
+        self.stats.snapshot_reads += 1;
+        Ok(QueryResult {
+            rows: out?,
             affected: 0,
             cost: c,
         })
@@ -820,7 +1090,16 @@ impl Engine {
         let mut c = cost::STMT_BASE
             + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
             + cost::ROW_SCAN * (examined - matched.len()) as u64;
-        match self.lock_rows(txn, ti, &matched, LockMode::Exclusive) {
+        let locked = if matched.is_empty() {
+            if let Path::PkPoint(k) = path {
+                self.lock_point_gap(txn, ti, k)
+            } else {
+                Ok(0)
+            }
+        } else {
+            self.lock_rows(txn, ti, &matched, LockMode::Exclusive)
+        };
+        match locked {
             Ok(lc) => c += lc,
             Err(e) => {
                 self.rid_scratch = matched;
@@ -906,7 +1185,16 @@ impl Engine {
         let mut c = cost::STMT_BASE
             + cost::BTREE_STEP * cost::btree_depth(self.tables[ti].len())
             + cost::ROW_SCAN * (examined - matched.len()) as u64;
-        match self.lock_rows(txn, ti, &matched, LockMode::Exclusive) {
+        let locked = if matched.is_empty() {
+            if let Path::PkPoint(k) = path {
+                self.lock_point_gap(txn, ti, k)
+            } else {
+                Ok(0)
+            }
+        } else {
+            self.lock_rows(txn, ti, &matched, LockMode::Exclusive)
+        };
+        match locked {
             Ok(lc) => c += lc,
             Err(e) => {
                 self.rid_scratch = matched;

@@ -202,6 +202,16 @@ impl MultiIndex {
         self.map.entry(SKey(key)).or_default().push(row);
     }
 
+    /// Insert unless `(key, row)` is already present. Multi-version tables
+    /// index every retained image of a slot, so the same row can be
+    /// offered under one value more than once.
+    pub fn insert_unique(&mut self, key: Scalar, row: RowId) {
+        let rows = self.map.entry(SKey(key)).or_default();
+        if !rows.contains(&row) {
+            rows.push(row);
+        }
+    }
+
     pub fn remove(&mut self, key: &Scalar, row: RowId) {
         // Scalar clones are refcount bumps at worst, so probing with an
         // owned SKey costs no heap allocation.

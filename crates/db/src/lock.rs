@@ -5,6 +5,11 @@
 //! with shared; exclusive conflicts with everything. Upgrades (S → X) are
 //! granted when the requester is the sole holder.
 //!
+//! Since MVCC landed, the lock table only mediates *read-write*
+//! transactions (their writes, and their reads, which still take shared
+//! locks for strict-2PL serializability). Read-only snapshot transactions
+//! resolve row versions in the table layer and never appear here.
+//!
 //! Deadlock avoidance uses **wait-die**: on conflict, an older requester
 //! (smaller [`TxnId`]) waits; a younger one "dies" ([`Acquire::Die`]) and
 //! must abort and restart. This guarantees no wait cycles, which matters

@@ -1,9 +1,17 @@
-//! Transaction bookkeeping: ids, undo logs.
+//! Transaction bookkeeping: ids, undo logs, snapshot timestamps.
 //!
-//! Transactions follow strict two-phase locking: all locks are held until
-//! [`crate::Engine::commit`] or [`crate::Engine::abort`]. The undo log
-//! records inverse operations so an abort (including TPC-C's 10% programmed
-//! rollbacks, and wait-die victims) restores the pre-transaction state.
+//! Read-write transactions follow strict two-phase locking: all locks are
+//! held until [`crate::Engine::commit`] or [`crate::Engine::abort`]. The
+//! undo log records inverse operations so an abort (including TPC-C's 10%
+//! programmed rollbacks, and wait-die victims) restores the
+//! pre-transaction state. At commit the engine stamps every touched row's
+//! version chain with one commit timestamp, which is what snapshot readers
+//! resolve against.
+//!
+//! Read-only transactions ([`crate::Engine::begin_read_only`]) carry a
+//! snapshot timestamp instead of an undo log: they hold no locks, can
+//! never be a wait-die victim, and read the committed prefix as of their
+//! begin.
 
 use crate::index::RowId;
 use pyx_lang::Scalar;
@@ -36,6 +44,11 @@ pub struct Txn {
     pub undo: Vec<UndoOp>,
     /// Total virtual CPU cost charged so far (for reporting).
     pub cost: u64,
+    /// Snapshot transaction: statements read the committed prefix as of
+    /// `snap_ts` and never touch the lock manager; writes are rejected.
+    pub read_only: bool,
+    /// Snapshot timestamp (meaningful only when `read_only`).
+    pub snap_ts: u64,
 }
 
 #[cfg(test)]

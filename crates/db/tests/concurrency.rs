@@ -1,7 +1,8 @@
 //! Interleaved-transaction tests: serializability under strict 2PL,
-//! wait-die progress, and bank-transfer invariants under a randomized
-//! scheduler. These model the hot-row contention the TPC-C experiments
-//! depend on.
+//! wait-die progress, bank-transfer invariants under a randomized
+//! scheduler, and MVCC snapshot-read semantics (visibility, repeatable
+//! reads, lock-freedom, version GC). These model the hot-row contention
+//! the TPC-C experiments depend on.
 
 use pyx_db::{ColTy, ColumnDef, DbError, Engine, Scalar, TableDef, TxnId};
 
@@ -300,4 +301,224 @@ fn district_counter_allocates_unique_ids() {
     ids.sort_unstable();
     let expect: Vec<i64> = (100..110).collect();
     assert_eq!(ids, expect, "unique gap-free order ids");
+}
+
+// ---- MVCC snapshot reads ----
+
+fn bal(e: &mut Engine, txn: TxnId, id: i64) -> i64 {
+    e.execute(txn, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(id)])
+        .unwrap()
+        .rows[0][0]
+        .as_int()
+        .unwrap()
+}
+
+/// A snapshot reader is never blocked by an in-flight writer and sees the
+/// pre-write value; a snapshot begun after the commit sees the new value.
+#[test]
+fn snapshot_read_ignores_in_flight_writer() {
+    let mut e = bank(2);
+    let writer = e.begin();
+    e.execute(
+        writer,
+        "UPDATE acct SET bal = ? WHERE id = ?",
+        &[Scalar::Int(999), Scalar::Int(0)],
+    )
+    .unwrap();
+
+    // Younger locking reader would die here; the snapshot reader sails
+    // through and sees the committed value.
+    let reader = e.begin_read_only();
+    assert_eq!(bal(&mut e, reader, 0), 100);
+
+    e.commit(writer).unwrap();
+    // Still 100 inside the old snapshot (repeatable read) …
+    assert_eq!(bal(&mut e, reader, 0), 100);
+    e.commit(reader).unwrap();
+    // … and 999 in a fresh one.
+    let reader2 = e.begin_read_only();
+    assert_eq!(bal(&mut e, reader2, 0), 999);
+    e.commit(reader2).unwrap();
+}
+
+/// An aborted writer's changes are never visible to any snapshot.
+#[test]
+fn snapshot_never_sees_aborted_writes() {
+    let mut e = bank(1);
+    let writer = e.begin();
+    e.execute(
+        writer,
+        "UPDATE acct SET bal = ? WHERE id = ?",
+        &[Scalar::Int(7), Scalar::Int(0)],
+    )
+    .unwrap();
+    e.abort(writer).unwrap();
+    let reader = e.begin_read_only();
+    assert_eq!(bal(&mut e, reader, 0), 100);
+    e.commit(reader).unwrap();
+}
+
+/// Write statements inside a read-only transaction are rejected before
+/// any mutation.
+#[test]
+fn writes_rejected_in_read_only_txn() {
+    let mut e = bank(1);
+    let ro = e.begin_read_only();
+    let err = e
+        .execute(
+            ro,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(0), Scalar::Int(0)],
+        )
+        .unwrap_err();
+    assert_eq!(err, DbError::ReadOnly);
+    let err = e
+        .execute(
+            ro,
+            "INSERT INTO acct VALUES (?, ?)",
+            &[Scalar::Int(9), Scalar::Int(1)],
+        )
+        .unwrap_err();
+    assert_eq!(err, DbError::ReadOnly);
+    e.commit(ro).unwrap();
+    let t = e.begin();
+    assert_eq!(bal(&mut e, t, 0), 100, "nothing mutated");
+    e.commit(t).unwrap();
+}
+
+/// A row deleted and committed mid-snapshot stays visible to the open
+/// snapshot, then its versions are garbage-collected once the snapshot
+/// closes.
+#[test]
+fn deleted_row_visible_until_snapshot_closes_then_gcd() {
+    let mut e = bank(3);
+    let reader = e.begin_read_only();
+    let writer = e.begin();
+    e.execute(writer, "DELETE FROM acct WHERE id = ?", &[Scalar::Int(2)])
+        .unwrap();
+    e.commit(writer).unwrap();
+
+    // The open snapshot still counts (and reads) the deleted row.
+    let r = e.execute(reader, "SELECT COUNT(*) FROM acct", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Scalar::Int(3));
+    assert_eq!(bal(&mut e, reader, 2), 100);
+    e.commit(reader).unwrap();
+
+    // Snapshot closed: the tombstoned slot is reclaimed.
+    assert!(e.stats.versions_gced >= 2, "image + tombstone reclaimed");
+    assert_eq!(e.table_len("acct"), 2);
+    assert_eq!(
+        e.table_versions("acct"),
+        2,
+        "steady state: one version per live row"
+    );
+    let reader2 = e.begin_read_only();
+    let r = e
+        .execute(reader2, "SELECT COUNT(*) FROM acct", &[])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Scalar::Int(2));
+    e.commit(reader2).unwrap();
+}
+
+/// Regression (found by review): a key whose latest committed state is
+/// already a tombstone, resurrected and re-deleted by one transaction
+/// while snapshots pin different eras, must still fully vacate once the
+/// snapshots close — no adjacent tombstones, no leaked slot or primary
+/// entry.
+#[test]
+fn resurrected_and_redeleted_key_fully_vacates() {
+    let mut e = bank(3);
+    let ra = e.begin_read_only(); // pins the original image
+    let t1 = e.begin();
+    e.execute(t1, "DELETE FROM acct WHERE id = ?", &[Scalar::Int(2)])
+        .unwrap();
+    e.commit(t1).unwrap();
+    let rb = e.begin_read_only(); // pins the tombstone era
+    let t2 = e.begin();
+    e.execute(
+        t2,
+        "INSERT INTO acct VALUES (?, ?)",
+        &[Scalar::Int(2), Scalar::Int(7)],
+    )
+    .unwrap();
+    e.execute(t2, "DELETE FROM acct WHERE id = ?", &[Scalar::Int(2)])
+        .unwrap();
+    e.commit(t2).unwrap();
+
+    // Each snapshot still sees its own era.
+    assert_eq!(bal(&mut e, ra, 2), 100);
+    let r = e.execute(rb, "SELECT COUNT(*) FROM acct", &[]).unwrap();
+    assert_eq!(r.rows[0][0], Scalar::Int(2));
+    e.commit(ra).unwrap();
+    e.commit(rb).unwrap();
+
+    assert_eq!(e.table_len("acct"), 2);
+    assert_eq!(
+        e.table_versions("acct"),
+        2,
+        "dead slot fully reclaimed — no leaked tombstone chain"
+    );
+    // The key is freely reusable afterwards.
+    let t3 = e.begin();
+    e.execute(
+        t3,
+        "INSERT INTO acct VALUES (?, ?)",
+        &[Scalar::Int(2), Scalar::Int(5)],
+    )
+    .unwrap();
+    e.commit(t3).unwrap();
+    assert_eq!(e.table_len("acct"), 3);
+    let r = e
+        .exec_auto("SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(2)])
+        .unwrap();
+    assert_eq!(r.rows[0][0], Scalar::Int(5));
+}
+
+/// Version chains stay bounded in a pure write workload: every commit
+/// prunes what the previous one superseded (no snapshot holds GC back).
+#[test]
+fn version_gc_keeps_chains_bounded_without_snapshots() {
+    let mut e = bank(1);
+    for i in 0..50 {
+        let t = e.begin();
+        e.execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(i), Scalar::Int(0)],
+        )
+        .unwrap();
+        e.commit(t).unwrap();
+    }
+    assert_eq!(e.table_versions("acct"), 1);
+    assert!(e.stats.versions_created >= 50);
+    assert!(e.stats.versions_gced >= 49);
+}
+
+/// Two snapshots straddling a commit see different, internally consistent
+/// states of a multi-row transaction (no torn reads).
+#[test]
+fn snapshot_sees_whole_transactions_or_nothing() {
+    let mut e = bank(2);
+    let before = e.begin_read_only();
+    let writer = e.begin();
+    e.execute(
+        writer,
+        "UPDATE acct SET bal = bal - ? WHERE id = ?",
+        &[Scalar::Int(40), Scalar::Int(0)],
+    )
+    .unwrap();
+    e.execute(
+        writer,
+        "UPDATE acct SET bal = bal + ? WHERE id = ?",
+        &[Scalar::Int(40), Scalar::Int(1)],
+    )
+    .unwrap();
+    e.commit(writer).unwrap();
+    let after = e.begin_read_only();
+
+    assert_eq!((bal(&mut e, before, 0), bal(&mut e, before, 1)), (100, 100));
+    assert_eq!((bal(&mut e, after, 0), bal(&mut e, after, 1)), (60, 140));
+    // Either way the invariant holds inside each snapshot.
+    e.commit(before).unwrap();
+    e.commit(after).unwrap();
 }

@@ -1,0 +1,383 @@
+//! Randomized differential test for MVCC snapshot reads.
+//!
+//! Proptest generates writer transactions (transfers, regroupings,
+//! inserts, deletes), reader transactions (point / secondary-index /
+//! aggregate / range queries), and an interleaving. The harness executes
+//! the schedule against the MVCC engine — writers under strict 2PL with
+//! wait-die restarts, readers as lock-free snapshot transactions — and
+//! then checks every observation against a **serial oracle**: a fresh
+//! engine that replays the committed writers one at a time, in commit
+//! order (strict 2PL serializes conflicting transactions in commit order,
+//! so the serial replay is the ground truth).
+//!
+//! Checked properties:
+//!
+//! * every snapshot read equals the oracle state after exactly the
+//!   writers that committed before the reader began — a consistent
+//!   committed prefix, regardless of interleaving;
+//! * reads are repeatable: a reader re-running its first query at the end
+//!   of its life sees the identical answer;
+//! * readers never block, never deadlock, and never error;
+//! * the final MVCC engine state equals the serial replay of all
+//!   committed writers;
+//! * after the run (no open snapshots), version GC has collapsed every
+//!   chain back to one version per live row.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use pyx_db::{ColTy, ColumnDef, DbError, Engine, Scalar, TableDef, TxnId};
+
+const BASE_ACCTS: i64 = 8;
+const GROUPS: i64 = 3;
+
+fn fresh_engine() -> Engine {
+    let mut e = Engine::new();
+    e.create_table(
+        TableDef::new(
+            "acct",
+            vec![
+                ColumnDef::new("id", ColTy::Int),
+                ColumnDef::new("grp", ColTy::Int),
+                ColumnDef::new("bal", ColTy::Int),
+            ],
+            &["id"],
+        )
+        .with_index("grp"),
+    );
+    for i in 0..BASE_ACCTS {
+        e.load_row(
+            "acct",
+            vec![Scalar::Int(i), Scalar::Int(i % GROUPS), Scalar::Int(100)],
+        );
+    }
+    e
+}
+
+/// One writer statement. All WHERE clauses are point lookups by primary
+/// key, so a transaction's effect depends only on committed state — which
+/// is what lets the serial oracle replay it faithfully.
+#[derive(Debug, Clone)]
+enum WOp {
+    /// `UPDATE acct SET bal = bal - ? WHERE id = ?`
+    Debit { id: i64, amt: i64 },
+    /// `UPDATE acct SET bal = bal + ? WHERE id = ?`
+    Credit { id: i64, amt: i64 },
+    /// `UPDATE acct SET grp = ? WHERE id = ?` (exercises versioned
+    /// secondary-index entries)
+    Regroup { id: i64, grp: i64 },
+    /// `INSERT INTO acct VALUES (?, ?, ?)`; the id is derived from the
+    /// (writer, op position) at execution time, so it is unique across
+    /// transactions and identical on restart and oracle replay.
+    Spawn { grp: i64, bal: i64 },
+    /// `DELETE FROM acct WHERE id = ?` (exercises tombstones; a miss
+    /// deletes zero rows, replayed identically by the oracle)
+    Retire { id: i64 },
+}
+
+/// Deterministic spawn id for writer `w`'s op at position `pc`.
+fn spawn_id(w: usize, pc: usize) -> i64 {
+    1000 + (w as i64) * 16 + pc as i64
+}
+
+fn apply_wop(e: &mut Engine, txn: TxnId, w: usize, pc: usize, op: &WOp) -> Result<(), DbError> {
+    let i = Scalar::Int;
+    match op {
+        WOp::Debit { id, amt } => e.execute(
+            txn,
+            "UPDATE acct SET bal = bal - ? WHERE id = ?",
+            &[i(*amt), i(*id)],
+        ),
+        WOp::Credit { id, amt } => e.execute(
+            txn,
+            "UPDATE acct SET bal = bal + ? WHERE id = ?",
+            &[i(*amt), i(*id)],
+        ),
+        WOp::Regroup { id, grp } => e.execute(
+            txn,
+            "UPDATE acct SET grp = ? WHERE id = ?",
+            &[i(*grp), i(*id)],
+        ),
+        WOp::Spawn { grp, bal } => e.execute(
+            txn,
+            "INSERT INTO acct VALUES (?, ?, ?)",
+            &[i(spawn_id(w, pc)), i(*grp), i(*bal)],
+        ),
+        WOp::Retire { id } => e.execute(txn, "DELETE FROM acct WHERE id = ?", &[i(*id)]),
+    }
+    .map(|_| ())
+}
+
+/// One reader query.
+#[derive(Debug, Clone)]
+enum RQuery {
+    /// `SELECT * FROM acct WHERE id = ?` (pk point)
+    Point(i64),
+    /// `SELECT id, bal FROM acct WHERE grp = ?` (secondary index)
+    Group(i64),
+    /// `SELECT SUM(bal) FROM acct` (full-scan aggregate)
+    Sum,
+    /// `SELECT id FROM acct WHERE id <= ?` (scan + predicate)
+    Below(i64),
+}
+
+/// Execute one query and return its rows as a canonically sorted set.
+/// (Row order through a secondary index depends on physical entry order,
+/// which MVCC entry retention is allowed to change.)
+fn run_query(e: &mut Engine, txn: TxnId, q: &RQuery) -> Vec<Vec<Scalar>> {
+    let res = match q {
+        RQuery::Point(id) => e.execute(txn, "SELECT * FROM acct WHERE id = ?", &[Scalar::Int(*id)]),
+        RQuery::Group(g) => e.execute(
+            txn,
+            "SELECT id, bal FROM acct WHERE grp = ?",
+            &[Scalar::Int(*g)],
+        ),
+        RQuery::Sum => e.execute(txn, "SELECT SUM(bal) FROM acct", &[]),
+        RQuery::Below(id) => e.execute(
+            txn,
+            "SELECT id FROM acct WHERE id <= ?",
+            &[Scalar::Int(*id)],
+        ),
+    };
+    let res = res.expect("snapshot reads never block, die, or error");
+    let mut rows: Vec<Vec<Scalar>> = res.rows.iter().map(|r| r.as_ref().clone()).collect();
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| *o != std::cmp::Ordering::Equal)
+            .unwrap_or_else(|| a.len().cmp(&b.len()))
+    });
+    rows
+}
+
+fn wop_strategy() -> impl Strategy<Value = WOp> {
+    prop_oneof![
+        (0i64..BASE_ACCTS, 1i64..40).prop_map(|(id, amt)| WOp::Debit { id, amt }),
+        (0i64..BASE_ACCTS, 1i64..40).prop_map(|(id, amt)| WOp::Credit { id, amt }),
+        (0i64..BASE_ACCTS, 0i64..GROUPS).prop_map(|(id, grp)| WOp::Regroup { id, grp }),
+        (0i64..GROUPS, 1i64..500).prop_map(|(grp, bal)| WOp::Spawn { grp, bal }),
+        (0i64..(BASE_ACCTS + 64)).prop_map(|r| WOp::Retire {
+            id: if r < BASE_ACCTS {
+                r
+            } else {
+                1000 + (r - BASE_ACCTS)
+            }
+        }),
+    ]
+}
+
+fn schedule_strategy() -> impl Strategy<
+    Value = (
+        Vec<Vec<WOp>>,    // writers
+        Vec<Vec<RQuery>>, // readers
+        Vec<usize>,       // interleaving picks
+    ),
+> {
+    (
+        proptest::collection::vec(proptest::collection::vec(wop_strategy(), 1..6), 2..6),
+        proptest::collection::vec(
+            proptest::collection::vec(
+                prop_oneof![
+                    (0i64..BASE_ACCTS + 8).prop_map(RQuery::Point),
+                    (0i64..GROUPS).prop_map(RQuery::Group),
+                    Just(RQuery::Sum),
+                    (0i64..1100).prop_map(RQuery::Below),
+                ],
+                1..5,
+            ),
+            2..5,
+        ),
+        proptest::collection::vec(0usize..1_000_000, 40..120),
+    )
+}
+
+/// State of one scheduled transaction in the interleaved run.
+enum TxnState {
+    Writer {
+        spec: usize,
+        txn: Option<TxnId>,
+        pc: usize,
+    },
+    Reader {
+        spec: usize,
+        txn: Option<TxnId>,
+        pc: usize,
+        /// Number of writer commits observed before this snapshot began.
+        prefix: usize,
+        observed: Vec<Vec<Vec<Scalar>>>,
+    },
+}
+
+struct RunOutcome {
+    /// Writer spec indices in commit order.
+    committed: Vec<usize>,
+    /// Per reader: (committed-prefix length, per-query observations).
+    reads: Vec<(usize, Vec<Vec<Vec<Scalar>>>)>,
+    final_state: Vec<Vec<Scalar>>,
+    live_rows: usize,
+    retained_versions: usize,
+}
+
+/// Run the interleaved schedule through the MVCC engine.
+fn run_interleaved(
+    writers: &[Vec<WOp>],
+    readers: &[Vec<RQuery>],
+    picks: &[usize],
+) -> Result<RunOutcome, TestCaseError> {
+    let mut e = fresh_engine();
+    let mut committed: Vec<usize> = Vec::new();
+    let mut live: Vec<TxnState> = Vec::new();
+    for (w, _) in writers.iter().enumerate() {
+        live.push(TxnState::Writer {
+            spec: w,
+            txn: None,
+            pc: 0,
+        });
+    }
+    for (r, _) in readers.iter().enumerate() {
+        live.push(TxnState::Reader {
+            spec: r,
+            txn: None,
+            pc: 0,
+            prefix: 0,
+            observed: Vec::new(),
+        });
+    }
+    let mut reads: Vec<(usize, Vec<Vec<Vec<Scalar>>>)> = vec![(0, Vec::new()); readers.len()];
+
+    let mut pick_i = 0usize;
+    let mut guard = 0u32;
+    while !live.is_empty() {
+        guard += 1;
+        prop_assert!(guard < 100_000, "interleaved scheduler stuck");
+        let idx = picks[pick_i % picks.len()] % live.len();
+        pick_i += 1;
+        let mut finished = false;
+        match &mut live[idx] {
+            TxnState::Writer { spec, txn, pc } => {
+                let w = *spec;
+                let t = *txn.get_or_insert_with(|| e.begin());
+                if *pc == writers[w].len() {
+                    e.commit(t).expect("writer commit");
+                    committed.push(w);
+                    finished = true;
+                } else {
+                    match apply_wop(&mut e, t, w, *pc, &writers[w][*pc]) {
+                        Ok(()) => *pc += 1,
+                        // Blocked: retry this statement when picked again.
+                        Err(DbError::WouldBlock) => {}
+                        // Wait-die victim: abort, restart from scratch.
+                        Err(DbError::Deadlock) => {
+                            e.abort(t).expect("abort victim");
+                            *txn = None;
+                            *pc = 0;
+                        }
+                        Err(other) => prop_assert!(false, "writer error: {other}"),
+                    }
+                }
+            }
+            TxnState::Reader {
+                spec,
+                txn,
+                pc,
+                prefix,
+                observed,
+            } => {
+                let r = *spec;
+                let t = match txn {
+                    Some(t) => *t,
+                    None => {
+                        let t = e.begin_read_only();
+                        *txn = Some(t);
+                        *prefix = committed.len();
+                        t
+                    }
+                };
+                if *pc == readers[r].len() {
+                    // Repeatable-read check: the first query re-run at end
+                    // of life must answer exactly as it did the first time.
+                    let again = run_query(&mut e, t, &readers[r][0]);
+                    prop_assert!(
+                        again == observed[0],
+                        "snapshot read not repeatable (reader {r}): {again:?} vs {:?}",
+                        observed[0]
+                    );
+                    e.commit(t).expect("reader commit");
+                    reads[r] = (*prefix, std::mem::take(observed));
+                    finished = true;
+                } else {
+                    let rows = run_query(&mut e, t, &readers[r][*pc]);
+                    observed.push(rows);
+                    *pc += 1;
+                }
+            }
+        }
+        if finished {
+            live.swap_remove(idx);
+        }
+    }
+
+    Ok(RunOutcome {
+        committed,
+        reads,
+        final_state: e.dump_table("acct"),
+        live_rows: e.table_len("acct"),
+        retained_versions: e.table_versions("acct"),
+    })
+}
+
+/// Serially replay `order[..n]` on a fresh engine (the oracle).
+fn oracle_after(writers: &[Vec<WOp>], order: &[usize], n: usize) -> Engine {
+    let mut e = fresh_engine();
+    for &w in &order[..n] {
+        let t = e.begin();
+        for (pc, op) in writers[w].iter().enumerate() {
+            apply_wop(&mut e, t, w, pc, op).expect("serial replay cannot conflict");
+        }
+        e.commit(t).expect("serial commit");
+    }
+    e
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn snapshot_reads_observe_a_consistent_committed_prefix(sched in schedule_strategy()) {
+        let (writers, readers, picks) = sched;
+        let out = run_interleaved(&writers, &readers, &picks)?;
+        prop_assert!(
+            out.committed.len() == writers.len(),
+            "every writer commits ({} of {})",
+            out.committed.len(),
+            writers.len()
+        );
+
+        // Final MVCC state == serial replay of all committed writers.
+        let oracle = oracle_after(&writers, &out.committed, out.committed.len());
+        prop_assert_eq!(&out.final_state, &oracle.dump_table("acct"));
+
+        // Each snapshot read == oracle state after its committed prefix.
+        for (r, (prefix, observed)) in out.reads.iter().enumerate() {
+            let mut oe = oracle_after(&writers, &out.committed, *prefix);
+            let t = oe.begin_read_only();
+            for (qi, (q, got)) in readers[r].iter().zip(observed).enumerate() {
+                let want = run_query(&mut oe, t, q);
+                prop_assert!(
+                    got == &want,
+                    "reader {r} query {qi} diverged from committed prefix {prefix} \
+                     ({q:?}): got {got:?}, oracle {want:?}"
+                );
+            }
+            oe.commit(t).expect("oracle reader commit");
+        }
+
+        // No snapshot left open: GC has collapsed every chain.
+        prop_assert!(
+            out.retained_versions == out.live_rows,
+            "one retained version per live row after GC: {} vs {}",
+            out.retained_versions,
+            out.live_rows
+        );
+    }
+}

@@ -92,11 +92,23 @@ pub struct BlockProgram {
     pub entry: HashMap<MethodId, BlockId>,
     /// Locals per method frame.
     pub frame_size: Vec<usize>,
+    /// Per method (indexed like `frame_size`): true when the method and
+    /// everything it can call issue no database writes or rollbacks —
+    /// the runtime runs such entry fragments as MVCC snapshot
+    /// transactions. Computed once at block-compile time.
+    pub read_only: Vec<bool>,
 }
 
 impl BlockProgram {
     pub fn block(&self, id: BlockId) -> &Block {
         &self.blocks[id.index()]
+    }
+
+    /// Is `entry` a read-only fragment (no reachable database write or
+    /// rollback)? Drives automatic snapshot-transaction selection; a
+    /// method unknown to this program conservatively counts as writing.
+    pub fn entry_read_only(&self, entry: MethodId) -> bool {
+        self.read_only.get(entry.index()).copied().unwrap_or(false)
     }
 
     /// Follow host-neutral goto chains to the first "real" block.

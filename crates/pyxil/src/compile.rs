@@ -8,7 +8,7 @@
 use crate::blocks::{BInstr, Block, BlockId, BlockProgram, Term};
 use crate::il::PyxilProgram;
 use pyx_ilp::Side;
-use pyx_lang::{MethodId, NStmt, NStmtKind, StmtId};
+use pyx_lang::{Builtin, MethodId, NStmt, NStmtKind, StmtId};
 use std::collections::HashMap;
 
 /// Compile a PyxIL program into execution blocks.
@@ -22,10 +22,48 @@ pub fn compile_blocks(il: &PyxilProgram) -> BlockProgram {
     for m in &il.prog.methods {
         c.compile_method(m.id);
     }
+    let read_only = compute_read_only(&c.blocks, c.frame_size.len());
     BlockProgram {
         blocks: c.blocks,
         entry: c.entry,
         frame_size: c.frame_size,
+        read_only,
+    }
+}
+
+/// Per-method read-only analysis: a method is read-only when none of its
+/// blocks issue a database write or rollback and every method it can call
+/// is read-only (fixpoint over the call graph, so recursion is handled).
+/// Dynamic SQL through `dbQuery` counts as a read here; the engine still
+/// rejects a write statement inside a snapshot transaction at runtime.
+fn compute_read_only(blocks: &[Block], n_methods: usize) -> Vec<bool> {
+    let mut writes = vec![false; n_methods];
+    let mut calls: Vec<Vec<usize>> = vec![Vec::new(); n_methods];
+    for b in blocks {
+        let m = b.method.index();
+        for i in &b.instrs {
+            if let BInstr::Builtin { f, .. } = i {
+                if matches!(f, Builtin::DbUpdate | Builtin::Rollback) {
+                    writes[m] = true;
+                }
+            }
+        }
+        if let Term::Call { method, .. } = &b.term {
+            calls[m].push(method.index());
+        }
+    }
+    let mut ro: Vec<bool> = writes.iter().map(|w| !w).collect();
+    loop {
+        let mut changed = false;
+        for m in 0..n_methods {
+            if ro[m] && calls[m].iter().any(|&callee| !ro[callee]) {
+                ro[m] = false;
+                changed = true;
+            }
+        }
+        if !changed {
+            return ro;
+        }
     }
 }
 
@@ -354,5 +392,43 @@ mod tests {
             .filter(|i| matches!(i, BInstr::Sync(_)))
             .count();
         assert!(sync_count >= 1);
+    }
+
+    #[test]
+    fn read_only_analysis_follows_the_call_graph() {
+        let src = r#"
+            class C {
+                int get(int k) {
+                    row[] rs = dbQuery("SELECT v FROM kv WHERE k = ?", k);
+                    return rs[0].getInt(0);
+                }
+                int getTwice(int k) {
+                    return get(k) + get(k);
+                }
+                int bump(int k) {
+                    dbUpdate("UPDATE kv SET v = v + ? WHERE k = ?", 1, k);
+                    return k;
+                }
+                int bumpViaCall(int k) {
+                    return bump(k);
+                }
+                int pure(int k) {
+                    return k * 2;
+                }
+            }
+        "#;
+        let prog = compile(src).unwrap();
+        let analysis = analyze(&prog, AnalysisConfig::default());
+        let il = build_pyxil(&prog, &analysis, Placement::all_app(&prog), false);
+        let bp = compile_blocks(&il);
+        let m = |n: &str| prog.find_method("C", n).unwrap();
+        assert!(bp.entry_read_only(m("get")), "plain query is read-only");
+        assert!(bp.entry_read_only(m("getTwice")), "calls only readers");
+        assert!(bp.entry_read_only(m("pure")), "no db access at all");
+        assert!(!bp.entry_read_only(m("bump")), "direct write");
+        assert!(
+            !bp.entry_read_only(m("bumpViaCall")),
+            "write reached through a call"
+        );
     }
 }

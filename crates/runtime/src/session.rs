@@ -109,6 +109,12 @@ pub struct Session<'a> {
     entered: bool,
     pub loc: Side,
     txn: Option<TxnId>,
+    /// Entry fragment is statically read-only (no reachable db write):
+    /// the transaction runs as an MVCC snapshot — lock-free, restart-free.
+    read_only: bool,
+    /// Kill switch for snapshot execution (regression tests and
+    /// before/after measurements force the legacy 2PL read path).
+    snapshot_reads: bool,
     pending_cpu: u64,
     state: State,
     /// Per-side dirty stack slots: (frame depth, slot). The slot's current
@@ -265,6 +271,8 @@ impl<'a> Session<'a> {
             entered: false,
             loc: Side::App, // execution starts on the application server
             txn: None,
+            read_only: bp.entry_read_only(entry),
+            snapshot_reads: true,
             pending_cpu: 0,
             state: State::Running,
             dirty_stack: [entry_dirty, BTreeSet::new()],
@@ -281,6 +289,19 @@ impl<'a> Session<'a> {
 
     pub fn txn(&self) -> Option<TxnId> {
         self.txn
+    }
+
+    /// Is this invocation a statically read-only entry fragment (and thus
+    /// run as an MVCC snapshot transaction)?
+    pub fn is_read_only(&self) -> bool {
+        self.read_only
+    }
+
+    /// Force read-only entries through the legacy locking read path
+    /// instead of MVCC snapshots (differential tests, before/after
+    /// benchmarks). Call before the first statement executes.
+    pub fn set_snapshot_reads(&mut self, on: bool) {
+        self.snapshot_reads = on;
     }
 
     fn fail(&mut self, engine: &mut Engine, e: RtError) -> Advance {
@@ -597,7 +618,13 @@ impl<'a> Session<'a> {
         let txn = match self.txn {
             Some(t) => t,
             None => {
-                let t = engine.begin();
+                // Read-only entry fragments run as snapshot transactions:
+                // lock-free reads that can never block or die.
+                let t = if self.read_only && self.snapshot_reads {
+                    engine.begin_read_only()
+                } else {
+                    engine.begin()
+                };
                 self.txn = Some(t);
                 t
             }

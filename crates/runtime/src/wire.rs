@@ -14,17 +14,23 @@
 //!
 //! All integers are little-endian. The header is a fixed 32 bytes:
 //!
-//! | offset | size | field                                    |
-//! |--------|------|------------------------------------------|
-//! | 0      | 4    | magic `b"PYXF"`                          |
-//! | 4      | 1    | version (currently `1`)                  |
-//! | 5      | 1    | kind: 0 transfer, 1 entry, 2 return      |
-//! | 6      | 1    | sender: 0 APP, 1 DB                      |
-//! | 7      | 1    | flags: bit 0 = has result value          |
-//! | 8      | 4    | number of sync entries                   |
-//! | 12     | 4    | number of stack slots                    |
-//! | 16     | 8    | payload length in bytes                  |
-//! | 24     | 8    | FNV-1a checksum of the payload           |
+//! | offset | size | field                                        |
+//! |--------|------|----------------------------------------------|
+//! | 0      | 4    | magic `b"PYXF"`                              |
+//! | 4      | 1    | version (currently `2`)                      |
+//! | 5      | 1    | kind: 0 transfer, 1 entry, 2 return          |
+//! | 6      | 1    | sender: 0 APP, 1 DB                          |
+//! | 7      | 1    | flags: bit 0 = has result value              |
+//! | 8      | 4    | number of sync entries                       |
+//! | 12     | 4    | number of stack slots                        |
+//! | 16     | 8    | payload length in bytes                      |
+//! | 24     | 8    | FNV-1a checksum of header[0..24] + payload   |
+//!
+//! The checksum covers the header prefix as well as the payload (version
+//! 2): since FNV-1a's per-byte step is a bijection, *any* single-byte
+//! corruption anywhere in the frame is guaranteed to be rejected, not
+//! just payload corruption — the decode-robustness suite flips every bit
+//! of encoded frames and asserts exactly that.
 //!
 //! The payload is the sync entries, then the stack slots, then (if flagged)
 //! the result value:
@@ -48,8 +54,11 @@ use crate::heap::SyncKey;
 
 /// Fixed header size in bytes.
 pub const HEADER_LEN: usize = 32;
+/// Header bytes covered by the checksum (everything before the checksum
+/// field itself).
+const CHECKED_HEADER_LEN: usize = 24;
 const MAGIC: [u8; 4] = *b"PYXF";
-const VERSION: u8 = 1;
+const VERSION: u8 = 2;
 
 /// What a frame carries besides the heap/stack payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -158,7 +167,10 @@ impl Frame {
         out.extend_from_slice(&(self.sync.len() as u32).to_le_bytes());
         out.extend_from_slice(&(self.stack.len() as u32).to_le_bytes());
         out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-        out.extend_from_slice(&fnv1a(&payload).to_le_bytes());
+        // Checksum covers the header prefix and the payload, so a bit
+        // flip anywhere in the frame is detectable.
+        let sum = fnv1a_cont(fnv1a(&out[..CHECKED_HEADER_LEN]), &payload);
+        out.extend_from_slice(&sum.to_le_bytes());
         out.extend_from_slice(&payload);
         out
     }
@@ -200,7 +212,7 @@ impl Frame {
         if payload.len() != payload_len {
             return Err(err("payload length mismatch"));
         }
-        if fnv1a(payload) != checksum {
+        if fnv1a_cont(fnv1a(&buf[..CHECKED_HEADER_LEN]), payload) != checksum {
             return Err(err("checksum mismatch"));
         }
 
@@ -252,7 +264,14 @@ impl Frame {
 }
 
 fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    fnv1a_cont(0xcbf2_9ce4_8422_2325, bytes)
+}
+
+/// Streaming FNV-1a continuation. Each byte's step (`xor` then multiply
+/// by an odd prime) is a bijection on the hash state, so two buffers of
+/// equal length differing in any single byte always hash differently —
+/// the guarantee the bit-flip robustness tests rely on.
+fn fnv1a_cont(mut h: u64, bytes: &[u8]) -> u64 {
     for &b in bytes {
         h ^= b as u64;
         h = h.wrapping_mul(0x0000_0100_0000_01B3);

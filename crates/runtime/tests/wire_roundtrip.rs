@@ -2,6 +2,13 @@
 //! batches, stack slots, and result payloads must encode→decode to exactly
 //! the same frame, re-encode byte-identically, and replay onto a heap the
 //! same way the in-memory batch would apply.
+//!
+//! Decode robustness: every single-bit corruption and every truncation of
+//! a valid encoded frame must be *rejected* by `Frame::decode` — never a
+//! panic, never a silent misparse. The frame checksum covers the header
+//! prefix as well as the payload, and FNV-1a's per-byte step is a
+//! bijection, so single-byte corruption is guaranteed detectable; these
+//! tests pin that guarantee down exhaustively.
 
 use proptest::prelude::*;
 use pyx_lang::{Oid, Scalar, Value};
@@ -104,5 +111,115 @@ proptest! {
         bytes.extend_from_slice(&junk.to_le_bytes());
         prop_assert!(Frame::decode(&bytes).is_err());
         prop_assert!(Frame::decode(&bytes[..clean_len]).is_ok());
+    }
+
+    /// Every single-bit flip anywhere in a random frame (header, checksum,
+    /// payload) is rejected — never decoded, silently or otherwise.
+    #[test]
+    fn random_frames_reject_every_bit_flip(frame in frame_strategy()) {
+        let bytes = frame.encode();
+        for (pos, bit) in every_bit(&bytes) {
+            let mut c = bytes.clone();
+            c[pos] ^= 1 << bit;
+            prop_assert!(
+                Frame::decode(&c).is_err(),
+                "flip of byte {} bit {} decoded successfully",
+                pos, bit
+            );
+        }
+    }
+}
+
+/// All (byte, bit) positions of a buffer.
+fn every_bit(buf: &[u8]) -> impl Iterator<Item = (usize, u32)> + '_ {
+    (0..buf.len()).flat_map(|pos| (0..8).map(move |bit| (pos, bit)))
+}
+
+/// A representative frame with every value shape (the deterministic
+/// workhorse for the exhaustive corruption sweeps).
+fn rich_frame() -> Frame {
+    let mut f = Frame::new(FrameKind::Return, Side::Db);
+    f.sync.push(SyncEntry::Field {
+        oid: Oid(3),
+        slot: 1,
+        value: Value::Str("héllo".into()),
+    });
+    f.sync.push(SyncEntry::Native {
+        oid: Oid(9),
+        elems: vec![
+            Value::Int(-1),
+            Value::Double(2.5),
+            Value::Null,
+            Value::Bool(true),
+            Value::Obj(Oid(7)),
+            Value::Arr(Oid(8)),
+            Value::Row(Rc::new(vec![
+                Scalar::Null,
+                Scalar::Int(42),
+                Scalar::Double(-0.0),
+                Scalar::Bool(false),
+                Scalar::Str("row".into()),
+            ])),
+        ],
+    });
+    f.stack.push(StackSlot {
+        depth: 2,
+        slot: 4,
+        value: Value::Arr(Oid(9)),
+    });
+    f.result = Some(Value::Int(42));
+    f
+}
+
+/// Exhaustive single-bit corruption of representative frames: `decode`
+/// must return an error for every position — it must never panic and
+/// never misparse the frame as a different valid one.
+#[test]
+fn decode_rejects_every_single_bit_flip() {
+    for frame in [
+        Frame::new(FrameKind::Transfer, Side::App), // header-only frame
+        rich_frame(),
+    ] {
+        let bytes = frame.encode();
+        assert!(Frame::decode(&bytes).is_ok(), "clean frame decodes");
+        for (pos, bit) in every_bit(&bytes) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 1 << bit;
+            assert!(
+                Frame::decode(&corrupt).is_err(),
+                "flip of byte {pos} bit {bit} was not rejected"
+            );
+        }
+    }
+}
+
+/// Exhaustive whole-byte corruption (all 255 wrong values) of every
+/// position of a compact frame, and every truncation of a full frame:
+/// always an error, never a panic.
+#[test]
+fn decode_rejects_byte_corruption_and_every_truncation() {
+    let mut small = Frame::new(FrameKind::Entry, Side::App);
+    small.stack.push(StackSlot {
+        depth: 0,
+        slot: 0,
+        value: Value::Bool(true),
+    });
+    let bytes = small.encode();
+    for pos in 0..bytes.len() {
+        for x in 1..=255u8 {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= x;
+            assert!(
+                Frame::decode(&corrupt).is_err(),
+                "byte {pos} xor {x:#x} was not rejected"
+            );
+        }
+    }
+    let bytes = rich_frame().encode();
+    for len in 0..bytes.len() {
+        assert!(
+            Frame::decode(&bytes[..len]).is_err(),
+            "truncation to {len} bytes was not rejected"
+        );
     }
 }

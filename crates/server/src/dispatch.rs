@@ -54,6 +54,10 @@ pub struct DispatcherConfig {
     pub wake_delay_ns: u64,
     /// VM cost model handed to every session.
     pub costs: RtCosts,
+    /// Run statically read-only entry fragments as MVCC snapshot
+    /// transactions (lock-free, restart-free). Disabled for
+    /// pre-MVCC-equivalence regression tests and before/after benches.
+    pub snapshot_reads: bool,
 }
 
 impl Default for DispatcherConfig {
@@ -65,6 +69,7 @@ impl Default for DispatcherConfig {
             restart_delay_ns: 1_000_000,
             wake_delay_ns: 10_000,
             costs: RtCosts::default(),
+            snapshot_reads: true,
         }
     }
 }
@@ -96,6 +101,9 @@ pub struct TxnDone {
     /// Ran on the low-budget (JDBC-like) partition.
     pub low_budget: bool,
     pub rolled_back: bool,
+    /// Entry fragment was statically read-only (ran — or, with snapshot
+    /// reads disabled, would have run — as a snapshot transaction).
+    pub read_only: bool,
     /// Wait-die restarts this transaction went through.
     pub restarts: u32,
     /// The entry point's return value (differential tests compare it
@@ -122,10 +130,25 @@ pub struct DispatcherStats {
     pub completed: u64,
     pub rejected: u64,
     pub deadlock_restarts: u64,
+    /// Wait-die restarts of *read-only* entry fragments. Zero whenever
+    /// snapshot reads are enabled — snapshot transactions cannot die.
+    pub read_only_restarts: u64,
+    /// Retired transactions whose entry fragment was read-only.
+    pub read_only_completed: u64,
     /// Peak concurrently executing sessions.
     pub peak_sessions: usize,
     /// Peak admission-queue depth.
     pub peak_queue: usize,
+}
+
+/// One-stop progress/health report: the dispatcher's own counters plus
+/// the engine's (locks, aborts, snapshot reads, version GC). The engine
+/// is an argument because the dispatcher never owns it — the same engine
+/// is passed to every [`Dispatcher::poll`].
+#[derive(Debug, Clone)]
+pub struct DispatchReport {
+    pub dispatcher: DispatcherStats,
+    pub engine: pyx_db::EngineStats,
 }
 
 /// Result of one [`Dispatcher::poll`] call.
@@ -224,6 +247,14 @@ impl<'a> Dispatcher<'a> {
         self.stats
     }
 
+    /// Combined dispatcher + engine counters (see [`DispatchReport`]).
+    pub fn report(&self, engine: &Engine) -> DispatchReport {
+        DispatchReport {
+            dispatcher: self.stats,
+            engine: engine.stats.clone(),
+        }
+    }
+
     /// Partition-switch timeline (dynamic deployments).
     pub fn switch_log(&self) -> &[SwitchRecord] {
         &self.switch_log
@@ -315,7 +346,7 @@ impl<'a> Dispatcher<'a> {
         restarts: u32,
     ) {
         let (part, sites, low_budget) = self.choose(req.entry);
-        let sess = Session::with_prepared(
+        let mut sess = Session::with_prepared(
             &part.il,
             &part.bp,
             req.entry,
@@ -324,6 +355,9 @@ impl<'a> Dispatcher<'a> {
             sites,
         )
         .expect("session construction");
+        if !self.cfg.snapshot_reads {
+            sess.set_snapshot_reads(false);
+        }
         let live = Live {
             sess,
             tag,
@@ -440,12 +474,17 @@ impl<'a> Dispatcher<'a> {
                 // Wait-die victim: restart the whole transaction on a
                 // freshly chosen partition after a backoff.
                 self.stats.deadlock_restarts += 1;
+                if live.sess.is_read_only() {
+                    // Only possible with snapshot reads disabled; snapshot
+                    // transactions never conflict, so never die.
+                    self.stats.read_only_restarts += 1;
+                }
                 let restarts = live.restarts + 1;
                 let tag = live.tag;
                 let submitted_ns = live.submitted_ns;
                 let req = live.req.clone();
                 let (part, sites, low_budget) = self.choose(req.entry);
-                let fresh = Session::with_prepared(
+                let mut fresh = Session::with_prepared(
                     &part.il,
                     &part.bp,
                     req.entry,
@@ -454,6 +493,9 @@ impl<'a> Dispatcher<'a> {
                     sites,
                 )
                 .expect("session construction");
+                if !self.cfg.snapshot_reads {
+                    fresh.set_snapshot_reads(false);
+                }
                 let live = self.sessions[sid].as_mut().expect("live session");
                 live.sess = fresh;
                 live.low_budget = low_budget;
@@ -473,6 +515,9 @@ impl<'a> Dispatcher<'a> {
         self.free_slots.push(sid);
         self.active -= 1;
         self.stats.completed += 1;
+        if live.sess.is_read_only() {
+            self.stats.read_only_completed += 1;
+        }
         let done = TxnDone {
             tag: live.tag,
             entry: live.req.entry,
@@ -482,6 +527,7 @@ impl<'a> Dispatcher<'a> {
             finished_ns: now,
             low_budget: live.low_budget,
             rolled_back: live.sess.rolled_back,
+            read_only: live.sess.is_read_only(),
             restarts: live.restarts,
             result: live.sess.result.clone(),
             error,

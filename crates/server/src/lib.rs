@@ -29,7 +29,8 @@ pub mod env;
 pub mod workload;
 
 pub use dispatch::{
-    Admit, Deployment, Dispatcher, DispatcherConfig, DispatcherStats, Polled, SwitchRecord, TxnDone,
+    Admit, Deployment, DispatchReport, Dispatcher, DispatcherConfig, DispatcherStats, Polled,
+    SwitchRecord, TxnDone,
 };
 pub use env::{Env, InstantEnv};
 pub use workload::{FixedWorkload, TxnRequest, Workload};

@@ -49,6 +49,10 @@ pub struct SimConfig {
     /// Stop issuing after this many completed transactions (single-shot
     /// measurements such as Fig. 14 use `Some(1)`).
     pub max_txns: Option<u64>,
+    /// Run read-only entry fragments as MVCC snapshot transactions
+    /// (lock-free, restart-free). Disable for pre-MVCC before/after
+    /// comparisons.
+    pub snapshot_reads: bool,
 }
 
 impl Default for SimConfig {
@@ -68,6 +72,7 @@ impl Default for SimConfig {
             poll_s: 10.0,
             timeline_bucket_s: 30.0,
             max_txns: None,
+            snapshot_reads: true,
         }
     }
 }
@@ -122,7 +127,15 @@ pub struct SimResult {
     pub db_recv_kbs: f64,
     pub db_sent_kbs: f64,
     pub deadlock_restarts: u64,
+    /// Wait-die restarts of read-only entry fragments (zero when snapshot
+    /// reads are enabled).
+    pub read_only_restarts: u64,
+    /// Completed transactions whose entry fragment was read-only.
+    pub read_only_completed: u64,
     pub rollbacks: u64,
+    /// Engine-level counters at run end (snapshot reads, version GC,
+    /// aborts, lock conflicts).
+    pub engine_stats: pyx_db::EngineStats,
     pub timeline: Vec<TimePoint>,
     /// Partition-switch timeline (dynamic deployments; empty otherwise).
     pub switches: Vec<SwitchPoint>,
@@ -230,6 +243,7 @@ pub fn run_sim<'a>(
             queue_cap: usize::MAX,
             poll_interval_ns: poll_ns,
             costs: cfg.costs,
+            snapshot_reads: cfg.snapshot_reads,
             ..DispatcherConfig::default()
         },
     );
@@ -427,7 +441,10 @@ pub fn run_sim<'a>(
         db_recv_kbs: env.db_recv as f64 / 1000.0 / window_s,
         db_sent_kbs: env.db_sent as f64 / 1000.0 / window_s,
         deadlock_restarts: disp.stats().deadlock_restarts,
+        read_only_restarts: disp.stats().read_only_restarts,
+        read_only_completed: disp.stats().read_only_completed,
         rollbacks,
+        engine_stats: engine.stats.clone(),
         timeline,
         switches,
     }

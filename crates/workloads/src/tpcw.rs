@@ -18,8 +18,12 @@ use pyx_sim::{TxnRequest, Workload};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-pub const SRC: &str = r#"
-    class TpcW {
+/// The browsing interactions, shared between [`SRC`] (read-only, the
+/// paper's browsing mix) and [`SRC_READ_MOSTLY`] (adds an admin write
+/// interaction for the MVCC read-mostly scenario).
+macro_rules! tpcw_browsing_body {
+    () => {
+        r#"
         int home(int cId) {
             row[] cr = dbQuery("SELECT c_name FROM customer WHERE c_id = ?", cId);
             string page = "<h1>Welcome " + cr[0].getStr(0) + "</h1>";
@@ -82,8 +86,32 @@ pub const SRC: &str = r#"
             page = page + "</form>";
             return strLen(page);
         }
-    }
-"#;
+"#
+    };
+}
+
+pub const SRC: &str = concat!("class TpcW {", tpcw_browsing_body!(), "}");
+
+/// Browsing interactions plus TPC-W's Admin Confirm-style write: bump the
+/// sales counters of a run of catalogue items. Gives the read-mostly mix
+/// a writer that contends with browsers on hot item rows.
+pub const SRC_READ_MOSTLY: &str = concat!(
+    "class TpcW {",
+    tpcw_browsing_body!(),
+    r#"
+        int adminUpdate(int iId) {
+            int sold = 0;
+            for (int i = 0; i < 4; i++) {
+                int t = (iId + i * 7) % 100 + 1;
+                row[] ir = dbQuery("SELECT i_total_sold FROM item WHERE i_id = ?", t);
+                sold = sold + ir[0].getInt(0);
+                dbUpdate("UPDATE item SET i_total_sold = i_total_sold + ? WHERE i_id = ?", 1, t);
+            }
+            return sold;
+        }
+    "#,
+    "}"
+);
 
 /// Scale parameters.
 #[derive(Debug, Clone, Copy)]
@@ -275,6 +303,141 @@ pub fn setup(scale: TpcwScale, seed: u64) -> (pyx_core::Pyxis, Engine, TpcwEntri
     (pyxis, db, entries)
 }
 
+/// Number of "hot" catalogue items the admin writer churns (and the
+/// read-mostly browsers favour).
+pub const HOT_ITEMS: i64 = 100;
+
+/// Entry points of the read-mostly variant: the browsing six plus the
+/// admin write interaction.
+#[derive(Debug, Clone, Copy)]
+pub struct ReadMostlyEntries {
+    pub browse: TpcwEntries,
+    pub admin_update: MethodId,
+}
+
+impl ReadMostlyEntries {
+    pub fn find(prog: &pyx_lang::NirProgram) -> ReadMostlyEntries {
+        ReadMostlyEntries {
+            browse: TpcwEntries::find(prog),
+            admin_update: prog
+                .find_method("TpcW", "adminUpdate")
+                .expect("read-mostly tpcw entry"),
+        }
+    }
+}
+
+/// Read-mostly mix (§"MVCC scenario"): mostly browsing interactions, with
+/// a slice of admin writes over the hot item range, and browsers biased
+/// toward the same hot items so readers and the writer genuinely collide.
+/// Under pure 2PL the collisions wait-die-restart the read-only browsers;
+/// with MVCC snapshot reads they never do.
+pub struct ReadMostlyMix {
+    pub entries: ReadMostlyEntries,
+    scale: TpcwScale,
+    /// Percent of transactions that are admin writes.
+    write_pct: u32,
+    rng: StdRng,
+}
+
+impl ReadMostlyMix {
+    pub fn new(entries: ReadMostlyEntries, scale: TpcwScale, write_pct: u32, seed: u64) -> Self {
+        // The browse ladder below occupies the top 85 points of the roll,
+        // so the mix stays read-mostly (and every branch stays reachable)
+        // only up to 15% writes.
+        assert!(write_pct <= 15, "read-mostly mix caps at 15% writes");
+        ReadMostlyMix {
+            entries,
+            scale,
+            write_pct,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    fn subject(&mut self) -> String {
+        format!("subj{}", self.rng.random_range(0..self.scale.subjects))
+    }
+
+    /// Hot-biased item id: half the lookups land in the admin-churned
+    /// range.
+    fn item(&mut self) -> i64 {
+        if self.rng.random_range(0..100) < 50 {
+            self.rng.random_range(1..=HOT_ITEMS.min(self.scale.items))
+        } else {
+            self.rng.random_range(1..=self.scale.items)
+        }
+    }
+}
+
+impl Workload for ReadMostlyMix {
+    fn next_txn(&mut self, _client: usize) -> TxnRequest {
+        let roll = self.rng.random_range(0u32..100);
+        if roll < self.write_pct {
+            let iid = self.rng.random_range(1..=HOT_ITEMS.min(self.scale.items));
+            return TxnRequest {
+                entry: self.entries.admin_update,
+                args: vec![ArgVal::Int(iid)],
+                label: "admin-update",
+            };
+        }
+        let cid = self.rng.random_range(1..=self.scale.customers);
+        // Remaining reads, detail-heavy; the last band (order-inquiry)
+        // keeps 100 - write_pct - 85 ≥ 0 points, so every interaction
+        // stays reachable for any permitted write_pct.
+        if roll < self.write_pct + 25 {
+            TxnRequest {
+                entry: self.entries.browse.home,
+                args: vec![ArgVal::Int(cid)],
+                label: "home",
+            }
+        } else if roll < self.write_pct + 55 {
+            let iid = self.item();
+            TxnRequest {
+                entry: self.entries.browse.product_detail,
+                args: vec![ArgVal::Int(iid)],
+                label: "product-detail",
+            }
+        } else if roll < self.write_pct + 65 {
+            TxnRequest {
+                entry: self.entries.browse.new_products,
+                args: vec![ArgVal::Str(self.subject())],
+                label: "new-products",
+            }
+        } else if roll < self.write_pct + 75 {
+            TxnRequest {
+                entry: self.entries.browse.search,
+                args: vec![ArgVal::Str(self.subject())],
+                label: "search",
+            }
+        } else if roll < self.write_pct + 85 {
+            TxnRequest {
+                entry: self.entries.browse.best_sellers,
+                args: vec![ArgVal::Str(self.subject())],
+                label: "best-sellers",
+            }
+        } else {
+            TxnRequest {
+                entry: self.entries.browse.order_inquiry,
+                args: vec![ArgVal::Int(cid)],
+                label: "order-inquiry",
+            }
+        }
+    }
+}
+
+/// Fully prepared read-mostly TPC-W environment (browsing + admin write).
+pub fn setup_read_mostly(
+    scale: TpcwScale,
+    seed: u64,
+) -> (pyx_core::Pyxis, Engine, ReadMostlyEntries) {
+    let pyxis = pyx_core::Pyxis::compile(SRC_READ_MOSTLY, pyx_core::PyxisConfig::default())
+        .expect("read-mostly TPC-W source compiles");
+    let mut db = Engine::new();
+    create_schema(&mut db);
+    load(&mut db, scale, seed);
+    let entries = ReadMostlyEntries::find(&pyxis.prog);
+    (pyxis, db, entries)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -325,6 +488,54 @@ mod tests {
         assert!(counts["product-detail"] > 250);
         assert!(counts["order-inquiry"] > 40);
         assert_eq!(counts.len(), 6);
+    }
+
+    #[test]
+    fn read_mostly_admin_update_runs_and_writes() {
+        let (pyxis, mut db, e) = setup_read_mostly(TpcwScale::default(), 3);
+        let sold_before: i64 = db
+            .exec_auto("SELECT SUM(i_total_sold) FROM item", &[])
+            .unwrap()
+            .rows[0][0]
+            .as_int()
+            .unwrap();
+        let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+        let r = it
+            .call_entry(e.admin_update, vec![Value::Int(5)])
+            .expect("admin update runs");
+        assert!(matches!(r, Some(Value::Int(_))));
+        let sold_after: i64 = db
+            .exec_auto("SELECT SUM(i_total_sold) FROM item", &[])
+            .unwrap()
+            .rows[0][0]
+            .as_int()
+            .unwrap();
+        assert_eq!(sold_after, sold_before + 4, "four counters bumped");
+    }
+
+    #[test]
+    fn read_mostly_mix_is_mostly_reads_and_covers_every_interaction() {
+        let (_, _, e) = setup_read_mostly(small(), 3);
+        let mut mix = ReadMostlyMix::new(e, small(), 10, 11);
+        let mut counts = std::collections::HashMap::new();
+        for _ in 0..2000 {
+            *counts.entry(mix.next_txn(0).label).or_insert(0u32) += 1;
+        }
+        let writes = counts["admin-update"];
+        assert!((100..400).contains(&writes), "≈10% writes, got {writes}");
+        for label in [
+            "home",
+            "product-detail",
+            "new-products",
+            "search",
+            "best-sellers",
+            "order-inquiry",
+        ] {
+            assert!(
+                counts.get(label).copied().unwrap_or(0) > 0,
+                "{label} reachable"
+            );
+        }
     }
 
     #[test]

@@ -143,6 +143,88 @@ fn tpcc_mix_is_deployment_invariant() {
     });
 }
 
+/// MVCC regression: the TPC-W browsing mix (all six interactions are
+/// read-only entry fragments) must produce *identical* per-transaction
+/// results and engine state whether its reads run as MVCC snapshots (the
+/// default) or through the pre-MVCC locking path — and with snapshots on,
+/// every browsing transaction must retire as a snapshot transaction with
+/// zero wait-die restarts.
+#[test]
+fn tpcw_browsing_identical_with_and_without_snapshot_reads() {
+    use pyxis::analysis::{analyze, AnalysisConfig};
+    use pyxis::lang::compile;
+    use pyxis::partition::Placement;
+    use pyxis::server::InstantEnv;
+    use pyxis::workloads::tpcw;
+
+    let scale = tpcw::TpcwScale::default();
+    let seed = 29;
+    let prog = compile(tpcw::SRC).unwrap();
+    let analysis = analyze(&prog, AnalysisConfig::default());
+    let jdbc = CompiledPartition::build(&prog, &analysis, Placement::all_app(&prog), false);
+    let entries = tpcw::TpcwEntries::find(&prog);
+    let mut mix = tpcw::BrowsingMix::new(entries, scale, 99);
+    let reqs: Vec<TxnRequest> = (0..30)
+        .map(|i| pyxis::sim::Workload::next_txn(&mut mix, i))
+        .collect();
+
+    let run = |snapshot_reads: bool| {
+        let mut engine = Engine::new();
+        tpcw::create_schema(&mut engine);
+        tpcw::load(&mut engine, scale, seed);
+        let mut disp = pyxis::server::Dispatcher::new(
+            Deployment::Fixed(&jdbc),
+            &mut engine,
+            DispatcherConfig {
+                max_sessions: 8,
+                snapshot_reads,
+                ..DispatcherConfig::default()
+            },
+        );
+        for (i, r) in reqs.iter().enumerate() {
+            disp.submit(0, r.clone(), i as u64);
+        }
+        let mut done = disp.run_until_idle(&mut engine, &mut InstantEnv);
+        done.sort_by_key(|d| d.tag);
+        let results: Vec<Option<Value>> = done
+            .iter()
+            .map(|d| {
+                assert!(d.error.is_none(), "{:?}", d.error);
+                d.result.clone()
+            })
+            .collect();
+        let report = disp.report(&engine);
+        let state: EngineState = engine
+            .table_names()
+            .iter()
+            .map(|t| engine.dump_table(t))
+            .collect();
+        (results, report, state)
+    };
+
+    let (r_snap, report_snap, s_snap) = run(true);
+    let (r_lock, report_lock, s_lock) = run(false);
+    assert_eq!(r_snap, r_lock, "snapshot reads change no browsing result");
+    assert_eq!(s_snap, s_lock, "snapshot reads change no engine state");
+
+    // With snapshots on: every interaction retired read-only, no
+    // wait-die restarts anywhere, and the db-touching ones (all but
+    // orderInquiry) ran as snapshot transactions.
+    assert_eq!(report_snap.dispatcher.read_only_completed, 30);
+    assert_eq!(report_snap.dispatcher.read_only_restarts, 0);
+    assert_eq!(report_snap.dispatcher.deadlock_restarts, 0);
+    assert!(report_snap.engine.read_only_txns > 0);
+    assert!(report_snap.engine.snapshot_reads > 0);
+    assert_eq!(
+        report_snap.engine.would_blocks + report_snap.engine.deadlocks,
+        0
+    );
+    // The locking run also marks them read-only (static property), but
+    // serves reads through the lock manager instead.
+    assert_eq!(report_lock.dispatcher.read_only_completed, 30);
+    assert_eq!(report_lock.engine.snapshot_reads, 0);
+}
+
 #[test]
 fn tpcw_browsing_mix_is_deployment_invariant() {
     let scale = tpcw::TpcwScale::default();
