@@ -1,13 +1,19 @@
 //! Criterion bench for microbenchmark 1 (§7.3): wall-clock cost of the
-//! Pyxis execution-block VM versus the direct interpreter versus native
-//! Rust on the linked-list program, single-host placement.
+//! Pyxis execution-block VM — both dispatch tiers — versus the direct
+//! interpreter versus native Rust on the linked-list program, single-host
+//! placement.
+//!
+//! `pyxis_vm` tree-walks the block program; `pyxis_vm_bytecode` runs the
+//! same partition through the register-bytecode tier (pre-resolved flat
+//! ops, slab frames, bitmask dirty tracking, per-block CPU batching). The
+//! interp/bytecode ratio is the headline number in `EXPERIMENTS.md`.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use pyx_db::Engine;
 use pyx_lang::Value;
 use pyx_profile::{Interp, NullTracer};
 use pyx_runtime::cost::RtCosts;
-use pyx_runtime::session::{run_to_completion, Session};
+use pyx_runtime::session::{run_to_completion, Session, VmScratch};
 use pyx_runtime::ArgVal;
 use pyx_workloads::micro;
 use std::hint::black_box;
@@ -45,6 +51,27 @@ fn bench_vm_overhead(c: &mut Criterion) {
             .unwrap();
             run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
             assert_eq!(sess.result, Some(Value::Int(expect)));
+        })
+    });
+    g.bench_function("pyxis_vm_bytecode", |b| {
+        // The frame slab recycles across iterations exactly as the
+        // dispatcher's scratch pool recycles it across transactions.
+        let mut scratch = Some(VmScratch::default());
+        b.iter(|| {
+            let mut db = Engine::new();
+            let mut sess = Session::new(
+                &jdbc.il,
+                &jdbc.bp,
+                entry,
+                &[ArgVal::Int(N)],
+                RtCosts::default(),
+                &mut db,
+            )
+            .unwrap();
+            sess.set_bytecode(&jdbc.bc, scratch.take().unwrap());
+            run_to_completion(&mut sess, &mut db, 10_000_000).unwrap();
+            assert_eq!(sess.result, Some(Value::Int(expect)));
+            scratch = sess.take_scratch();
         })
     });
     g.finish();

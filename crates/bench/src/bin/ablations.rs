@@ -113,7 +113,8 @@ fn main() {
         );
         let transfers = |il: pyx_pyxil::PyxilProgram| {
             let bp = pyx_pyxil::compile_blocks(&il);
-            let part = CompiledPartition { il, bp };
+            let bc = pyx_pyxil::compile_bytecode(&il, &bp);
+            let part = CompiledPartition { il, bp, bc };
             let mut db = pyx_workloads::micro::micro2_db();
             let mut sess = Session::new(
                 &part.il,

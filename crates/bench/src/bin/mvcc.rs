@@ -11,13 +11,25 @@
 
 use pyx_bench::scenarios::TpcwReadMostlyEnv;
 use pyx_bench::{print_table, run_point};
+use pyx_runtime::VmMode;
 use pyx_sim::SimConfig;
 
 fn main() {
+    // Optional arg selects the VM dispatch tier (default: bytecode, the
+    // production fast path; `interp` pins the reference tree-walker).
+    let vm = match std::env::args().nth(1).as_deref() {
+        Some("interp") => VmMode::Interp,
+        Some("bytecode") | None => VmMode::Bytecode,
+        Some(other) => panic!("unknown vm tier `{other}` (expected interp|bytecode)"),
+    };
     let env = TpcwReadMostlyEnv::build(2.0, 10);
     println!(
-        "# read-mostly TPC-W: {}% admin writes over hot items, 40 clients, 3-core DB",
-        env.write_pct
+        "# read-mostly TPC-W: {}% admin writes over hot items, 40 clients, 3-core DB, {} tier",
+        env.write_pct,
+        match vm {
+            VmMode::Interp => "interp",
+            VmMode::Bytecode => "bytecode",
+        }
     );
 
     // A small DB server (the paper's 3-core loaded regime) makes lock
@@ -28,6 +40,7 @@ fn main() {
         let run = |snapshot_reads: bool| {
             let cfg = SimConfig {
                 target_tps: w,
+                vm,
                 ..env.cfg(3, snapshot_reads)
             };
             run_point(

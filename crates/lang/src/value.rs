@@ -161,6 +161,7 @@ impl Value {
         }
     }
 
+    #[inline]
     pub fn truthy(&self) -> Result<bool, RtError> {
         match self {
             Value::Bool(b) => Ok(*b),
@@ -168,6 +169,7 @@ impl Value {
         }
     }
 
+    #[inline]
     pub fn from_scalar(s: &Scalar) -> Value {
         match s {
             Scalar::Null => Value::Null,
@@ -179,6 +181,7 @@ impl Value {
     }
 
     /// Convert to a database cell scalar, failing on heap references.
+    #[inline]
     pub fn to_scalar(&self) -> Result<Scalar, RtError> {
         Ok(match self {
             Value::Null => Scalar::Null,
@@ -272,6 +275,7 @@ pub fn sha1_i64(v: i64) -> i64 {
 
 /// Evaluate a binary operation with Java-style numeric promotion
 /// (`int op double` → `double`) and `+` as string concatenation.
+#[inline]
 pub fn eval_binop(op: BinOp, a: &Value, b: &Value) -> Result<Value, RtError> {
     use BinOp::*;
     use Value::*;
@@ -381,6 +385,7 @@ fn eval_comparison(op: BinOp, a: &Value, b: &Value) -> Result<Value, RtError> {
 }
 
 /// Evaluate a unary operation.
+#[inline]
 pub fn eval_unop(op: UnOp, v: &Value) -> Result<Value, RtError> {
     match (op, v) {
         (UnOp::Neg, Value::Int(x)) => Ok(Value::Int(x.wrapping_neg())),

@@ -1,21 +1,47 @@
 //! Interpreter heap: objects and arrays addressed by [`Oid`].
 
 use pyx_lang::{ClassId, Oid, RtError, Scalar, Ty, Value};
-use std::collections::HashMap;
 use std::rc::Rc;
 
 /// A heap entity.
+///
+/// Object field storage is lazy: a fresh object carries `nf` (its declared
+/// field count) and an *empty* `fields` vec — every slot reads as `Null`
+/// until the first write materializes the storage. Half the copies in the
+/// runtime's two-copy distributed heap are never written on their side, so
+/// this removes one allocation per object copy from the hot path.
 #[derive(Debug, Clone)]
 pub enum HeapObj {
-    Object { class: ClassId, fields: Vec<Value> },
-    Array { elems: Vec<Value> },
+    Object {
+        class: ClassId,
+        /// Declared field count; `fields` is either empty or `nf` long.
+        nf: u32,
+        fields: Vec<Value>,
+    },
+    Array {
+        elems: Vec<Value>,
+    },
 }
 
-/// A simple slab heap.
+impl HeapObj {
+    /// Read field `idx` of an object entity, honoring lazy storage.
+    /// Returns `None` when `idx` is out of the declared range.
+    pub fn object_field(&self, idx: usize) -> Option<Value> {
+        match self {
+            HeapObj::Object { nf, fields, .. } if idx < *nf as usize => {
+                Some(fields.get(idx).cloned().unwrap_or(Value::Null))
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A simple slab heap. Oids are allocated densely from zero, so the store
+/// is a plain `Vec` indexed by oid — every field/element access is one
+/// bounds-checked index, no hashing.
 #[derive(Debug, Default)]
 pub struct Heap {
-    map: HashMap<u64, HeapObj>,
-    next: u64,
+    slab: Vec<HeapObj>,
 }
 
 impl Heap {
@@ -24,23 +50,21 @@ impl Heap {
     }
 
     pub fn len(&self) -> usize {
-        self.map.len()
+        self.slab.len()
     }
 
     pub fn is_empty(&self) -> bool {
-        self.map.is_empty()
+        self.slab.is_empty()
     }
 
+    #[inline]
     pub fn alloc_object(&mut self, class: ClassId, num_fields: usize) -> Oid {
-        let oid = Oid(self.next);
-        self.next += 1;
-        self.map.insert(
-            oid.0,
-            HeapObj::Object {
-                class,
-                fields: vec![Value::Null; num_fields],
-            },
-        );
+        let oid = Oid(self.slab.len() as u64);
+        self.slab.push(HeapObj::Object {
+            class,
+            nf: num_fields as u32,
+            fields: Vec::new(),
+        });
         oid
     }
 
@@ -55,10 +79,10 @@ impl Heap {
         self.alloc_array_of(vec![default; len])
     }
 
+    #[inline]
     pub fn alloc_array_of(&mut self, elems: Vec<Value>) -> Oid {
-        let oid = Oid(self.next);
-        self.next += 1;
-        self.map.insert(oid.0, HeapObj::Array { elems });
+        let oid = Oid(self.slab.len() as u64);
+        self.slab.push(HeapObj::Array { elems });
         oid
     }
 
@@ -67,40 +91,48 @@ impl Heap {
         self.alloc_array_of(rows.into_iter().map(Value::Row).collect())
     }
 
+    #[inline]
     pub fn get(&self, oid: Oid) -> Result<&HeapObj, RtError> {
-        self.map
-            .get(&oid.0)
+        self.slab
+            .get(oid.0 as usize)
             .ok_or_else(|| RtError::new(format!("dangling reference {oid:?}")))
     }
 
+    #[inline]
     pub fn get_mut(&mut self, oid: Oid) -> Result<&mut HeapObj, RtError> {
-        self.map
-            .get_mut(&oid.0)
+        self.slab
+            .get_mut(oid.0 as usize)
             .ok_or_else(|| RtError::new(format!("dangling reference {oid:?}")))
     }
 
+    #[inline]
     pub fn field(&self, oid: Oid, idx: usize) -> Result<Value, RtError> {
         match self.get(oid)? {
-            HeapObj::Object { fields, .. } => fields
-                .get(idx)
-                .cloned()
+            o @ HeapObj::Object { .. } => o
+                .object_field(idx)
                 .ok_or_else(|| RtError::new("field index out of range")),
             HeapObj::Array { .. } => Err(RtError::new("field access on an array")),
         }
     }
 
+    #[inline]
     pub fn set_field(&mut self, oid: Oid, idx: usize, v: Value) -> Result<(), RtError> {
         match self.get_mut(oid)? {
-            HeapObj::Object { fields, .. } => {
-                *fields
-                    .get_mut(idx)
-                    .ok_or_else(|| RtError::new("field index out of range"))? = v;
+            HeapObj::Object { nf, fields, .. } => {
+                if idx >= *nf as usize {
+                    return Err(RtError::new("field index out of range"));
+                }
+                if fields.len() < *nf as usize {
+                    fields.resize(*nf as usize, Value::Null);
+                }
+                fields[idx] = v;
                 Ok(())
             }
             HeapObj::Array { .. } => Err(RtError::new("field store on an array")),
         }
     }
 
+    #[inline]
     pub fn elem(&self, oid: Oid, idx: i64) -> Result<Value, RtError> {
         match self.get(oid)? {
             HeapObj::Array { elems } => {
@@ -117,6 +149,7 @@ impl Heap {
         }
     }
 
+    #[inline]
     pub fn set_elem(&mut self, oid: Oid, idx: i64, v: Value) -> Result<(), RtError> {
         match self.get_mut(oid)? {
             HeapObj::Array { elems } => {
@@ -134,6 +167,7 @@ impl Heap {
         }
     }
 
+    #[inline]
     pub fn array_len(&self, oid: Oid) -> Result<i64, RtError> {
         match self.get(oid)? {
             HeapObj::Array { elems } => Ok(elems.len() as i64),
@@ -147,9 +181,13 @@ impl Heap {
     /// the `size(def)` the paper's profiler measures for data-edge weights.
     pub fn size_of_value(&self, v: &Value) -> u64 {
         match v {
-            Value::Obj(oid) | Value::Arr(oid) => match self.map.get(&oid.0) {
-                Some(HeapObj::Object { fields, .. }) => {
-                    8 + fields.iter().map(Value::wire_size).sum::<u64>()
+            Value::Obj(oid) | Value::Arr(oid) => match self.slab.get(oid.0 as usize) {
+                Some(HeapObj::Object { nf, fields, .. }) => {
+                    // Un-materialized slots measure like the explicit
+                    // `Null`s they read as.
+                    let lazy_nulls =
+                        (*nf as u64).saturating_sub(fields.len() as u64) * Value::Null.wire_size();
+                    8 + fields.iter().map(Value::wire_size).sum::<u64>() + lazy_nulls
                 }
                 Some(HeapObj::Array { elems }) => {
                     8 + elems.iter().map(Value::wire_size).sum::<u64>()

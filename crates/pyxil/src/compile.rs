@@ -6,10 +6,11 @@
 //! in different blocks so the runtime can interpose a control transfer.
 
 use crate::blocks::{BInstr, Block, BlockId, BlockProgram, Term};
-use crate::il::PyxilProgram;
+use crate::il::{PyxilProgram, SyncOp};
 use pyx_ilp::Side;
-use pyx_lang::{Builtin, MethodId, NStmt, NStmtKind, StmtId};
-use std::collections::HashMap;
+use pyx_lang::{Builtin, MethodId, NStmt, NStmtKind, Operand, Place, Rvalue, StmtId};
+use std::collections::{HashMap, HashSet};
+use std::rc::Rc;
 
 /// Compile a PyxIL program into execution blocks.
 pub fn compile_blocks(il: &PyxilProgram) -> BlockProgram {
@@ -22,12 +23,78 @@ pub fn compile_blocks(il: &PyxilProgram) -> BlockProgram {
     for m in &il.prog.methods {
         c.compile_method(m.id);
     }
+    intern_cstrs(&mut c.blocks);
     let read_only = compute_read_only(&c.blocks, c.frame_size.len());
     BlockProgram {
         blocks: c.blocks,
         entry: c.entry,
         frame_size: c.frame_size,
         read_only,
+    }
+}
+
+/// Intern string constants program-wide: every `Operand::CStr` occurrence
+/// of the same text shares one `Rc<str>` allocation after this pass. The
+/// lowering from source allocates a fresh `Rc` per literal occurrence;
+/// interning at block build means the interpreter's per-read
+/// `Value::Str(rc.clone())` is a refcount bump on a *shared* constant —
+/// the string bytes exist exactly once per program.
+fn intern_cstrs(blocks: &mut [Block]) {
+    let mut pool: HashSet<Rc<str>> = HashSet::new();
+    let mut intern = move |o: &mut Operand| {
+        if let Operand::CStr(s) = o {
+            match pool.get(s.as_ref() as &str) {
+                Some(shared) => *s = shared.clone(),
+                None => {
+                    pool.insert(s.clone());
+                }
+            }
+        }
+    };
+    for b in blocks {
+        for instr in &mut b.instrs {
+            match instr {
+                BInstr::Assign { dst, rv, .. } => {
+                    match dst {
+                        Place::Local(_) => {}
+                        Place::Field { base, .. } => intern(base),
+                        Place::Elem { arr, idx } => {
+                            intern(arr);
+                            intern(idx);
+                        }
+                    }
+                    match rv {
+                        Rvalue::Use(o) | Rvalue::Unary(_, o) | Rvalue::Len(o) => intern(o),
+                        Rvalue::Binary(_, a, b) => {
+                            intern(a);
+                            intern(b);
+                        }
+                        Rvalue::ReadField { base, .. } => intern(base),
+                        Rvalue::ReadElem { arr, idx } => {
+                            intern(arr);
+                            intern(idx);
+                        }
+                        Rvalue::NewArray { len, .. } => intern(len),
+                        Rvalue::NewObject { .. } => {}
+                        Rvalue::RowGet { row, idx, .. } => {
+                            intern(row);
+                            intern(idx);
+                        }
+                    }
+                }
+                BInstr::Builtin { args, .. } => args.iter_mut().for_each(&mut intern),
+                BInstr::Sync(op) => match op {
+                    SyncOp::SendField { base, .. } => intern(base),
+                    SyncOp::SendNative { arr } => intern(arr),
+                },
+            }
+        }
+        match &mut b.term {
+            Term::Branch { cond, .. } => intern(cond),
+            Term::Call { args, .. } => args.iter_mut().for_each(&mut intern),
+            Term::Ret { value: Some(v) } => intern(v),
+            Term::Ret { value: None } | Term::Goto(_) => {}
+        }
     }
 }
 
@@ -392,6 +459,43 @@ mod tests {
             .filter(|i| matches!(i, BInstr::Sync(_)))
             .count();
         assert!(sync_count >= 1);
+    }
+
+    #[test]
+    fn string_constants_are_interned_across_sites() {
+        use pyx_lang::Operand;
+        use std::rc::Rc;
+        // The same literal appears at two distinct call sites; after block
+        // build both operands must share one allocation.
+        let bp = compile_with(
+            r#"class C {
+                void f() {
+                    print("hot");
+                    print("hot");
+                    print("cold");
+                }
+            }"#,
+            |_| Side::App,
+        );
+        let mut hot: Vec<Rc<str>> = Vec::new();
+        for b in &bp.blocks {
+            for i in &b.instrs {
+                if let BInstr::Builtin { args, .. } = i {
+                    for a in args {
+                        if let Operand::CStr(s) = a {
+                            if &**s == "hot" {
+                                hot.push(s.clone());
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(hot.len(), 2, "both sites found");
+        assert!(
+            Rc::ptr_eq(&hot[0], &hot[1]),
+            "identical literals share one Rc after interning"
+        );
     }
 
     #[test]

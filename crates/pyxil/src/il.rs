@@ -42,15 +42,18 @@ pub struct PyxilProgram {
     pub sync: HashMap<StmtId, Vec<SyncOp>>,
 }
 
-/// A deployable partition: PyxIL plus its compiled execution blocks.
+/// A deployable partition: PyxIL plus its compiled execution blocks and
+/// their register-bytecode lowering (the runtime's fast dispatch tier).
 #[derive(Debug)]
 pub struct CompiledPartition {
     pub il: PyxilProgram,
     pub bp: crate::blocks::BlockProgram,
+    pub bc: crate::bytecode::BytecodeProgram,
 }
 
 impl CompiledPartition {
-    /// Full back end: placement → PyxIL (reorder + sync) → blocks.
+    /// Full back end: placement → PyxIL (reorder + sync) → blocks →
+    /// bytecode.
     pub fn build(
         prog: &NirProgram,
         analysis: &ProgramAnalysis,
@@ -59,7 +62,8 @@ impl CompiledPartition {
     ) -> CompiledPartition {
         let il = build_pyxil(prog, analysis, placement, reorder);
         let bp = crate::compile::compile_blocks(&il);
-        CompiledPartition { il, bp }
+        let bc = crate::bytecode::compile_bytecode(&il, &bp);
+        CompiledPartition { il, bp, bc }
     }
 }
 

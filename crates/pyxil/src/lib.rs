@@ -19,13 +19,18 @@
 //! * [`blocks`] — execution-block program representation (§5.1).
 //! * [`compile`] — PyxIL → block compilation, splitting at control flow,
 //!   calls, and placement changes.
+//! * [`bytecode`] — the register-bytecode back end: blocks flattened into
+//!   pre-resolved flat code with interned constants and fused
+//!   superinstructions, dispatched by the runtime's fast tier.
 
 pub mod blocks;
+pub mod bytecode;
 pub mod compile;
 pub mod il;
 pub mod reorder;
 pub mod sync;
 
 pub use blocks::{BInstr, Block, BlockId, BlockProgram, Term};
+pub use bytecode::{compile_bytecode, BytecodeProgram};
 pub use compile::compile_blocks;
 pub use il::{build_pyxil, CompiledPartition, PyxilProgram, SyncOp};

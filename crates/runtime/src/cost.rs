@@ -42,6 +42,15 @@ impl Default for RtCosts {
     }
 }
 
+impl RtCosts {
+    /// Serialization CPU for a `bytes`-sized control transfer: charged per
+    /// started KB, rounding *up* — a 0-byte frame costs nothing, a 1000-byte
+    /// frame costs exactly one KB unit, 1001 bytes costs two.
+    pub fn serialize_cost(&self, bytes: u64) -> u64 {
+        self.per_kb_serialize * bytes.div_ceil(1000)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -51,5 +60,22 @@ mod tests {
         let c = RtCosts::default();
         let ratio = c.instr as f64 / c.native_stmt as f64;
         assert!(ratio > 4.0 && ratio < 8.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn serialize_cost_rounds_up_at_exact_kb_boundaries() {
+        let c = RtCosts {
+            per_kb_serialize: 2_000,
+            ..RtCosts::default()
+        };
+        // No charge for an empty frame; one unit up to exactly 1 KB; a
+        // single extra byte starts the next KB.
+        assert_eq!(c.serialize_cost(0), 0);
+        assert_eq!(c.serialize_cost(1), 2_000);
+        assert_eq!(c.serialize_cost(999), 2_000);
+        assert_eq!(c.serialize_cost(1_000), 2_000);
+        assert_eq!(c.serialize_cost(1_001), 4_000);
+        assert_eq!(c.serialize_cost(2_000), 4_000);
+        assert_eq!(c.serialize_cost(2_001), 6_000);
     }
 }

@@ -42,6 +42,7 @@ impl DistHeap {
         Self::default()
     }
 
+    #[inline]
     pub fn host(&self, side: Side) -> &Heap {
         match side {
             Side::App => &self.app,
@@ -49,6 +50,7 @@ impl DistHeap {
         }
     }
 
+    #[inline]
     pub fn host_mut(&mut self, side: Side) -> &mut Heap {
         match side {
             Side::App => &mut self.app,
@@ -57,6 +59,7 @@ impl DistHeap {
     }
 
     /// Allocate an object in both copies (same oid).
+    #[inline]
     pub fn alloc_object(&mut self, class: ClassId, num_fields: usize) -> Oid {
         let a = self.app.alloc_object(class, num_fields);
         let b = self.db.alloc_object(class, num_fields);
@@ -100,6 +103,7 @@ impl DistHeap {
     }
 
     /// Record a pending sync op on `side`'s outbox.
+    #[inline]
     pub fn enqueue(&mut self, side: Side, key: SyncKey) {
         match side {
             Side::App => self.outbox_app.insert(key),
@@ -133,9 +137,8 @@ impl DistHeap {
             entries.push(match key {
                 SyncKey::Field(oid, slot) => {
                     let value = match src.get(oid)? {
-                        HeapObj::Object { fields, .. } => fields
-                            .get(slot as usize)
-                            .cloned()
+                        o @ HeapObj::Object { .. } => o
+                            .object_field(slot as usize)
                             .ok_or_else(|| RtError::new("sync of unknown field slot"))?,
                         HeapObj::Array { .. } => {
                             return Err(RtError::new("field sync on an array"));

@@ -16,6 +16,23 @@
 //!
 //! The session never blocks the calling thread and owns no clock: the
 //! simulator decides what the events cost.
+//!
+//! # Two dispatch tiers
+//!
+//! The session runs in one of two modes ([`VmMode`]):
+//!
+//! * **Interp** — the original tree-walker over [`BInstr`]/`Rvalue` nodes.
+//! * **Bytecode** — attach a pre-compiled
+//!   [`BytecodeProgram`](pyx_pyxil::BytecodeProgram) with
+//!   [`Session::set_bytecode`] and the same program runs as flat register
+//!   code: constants are pool-index copies, field slots / entry pcs are
+//!   pre-resolved, frames draw their locals from a session-owned slab
+//!   (reusable across transactions via [`VmScratch`]), dirty-stack
+//!   tracking is a per-frame `u64` bitmask merged into the wire frame only
+//!   at flush time, and CPU accounting is batched per basic-block segment.
+//!
+//! Both tiers produce identical results, heap/engine state, control
+//! transfers, and wire bytes — `tests/vm_differential.rs` enforces it.
 
 use crate::cost::RtCosts;
 use crate::heap::{DistHeap, SyncKey};
@@ -23,11 +40,22 @@ use crate::wire::{Frame as WireFrame, FrameKind, StackSlot};
 use pyx_db::{DbError, Engine, PreparedId, TxnId};
 use pyx_lang::{
     eval_binop, eval_unop, sha1_i64, Builtin, FieldId, LocalId, MethodId, Oid, Operand, Place,
-    RowGetKind, RtError, Rvalue, Value,
+    RowGetKind, RtError, Rvalue, Scalar, Value,
 };
 use pyx_partition::Side;
-use pyx_pyxil::{BInstr, BlockId, BlockProgram, PyxilProgram, SyncOp, Term};
+use pyx_pyxil::bytecode::{Op, Src, DST_ACC, DST_NONE};
+use pyx_pyxil::{BInstr, BlockId, BlockProgram, BytecodeProgram, PyxilProgram, SyncOp, Term};
 use std::collections::{BTreeSet, HashMap};
+
+/// Which dispatch tier a session (or a whole dispatcher) runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum VmMode {
+    /// Tree-walk the block program (the reference tier).
+    Interp,
+    /// Dispatch pre-compiled register bytecode (the fast tier).
+    #[default]
+    Bytecode,
+}
 
 /// Entry-point argument values (heap-free, so a session can be restarted
 /// after a deadlock by rebuilding the arguments).
@@ -97,6 +125,41 @@ struct Frame {
     ret_dst: Option<LocalId>,
 }
 
+/// One bytecode frame: a window into the session's locals slab plus its
+/// dirty-bitmask window. `ret_pc == u32::MAX` marks the entry frame.
+#[derive(Debug, Clone, Copy)]
+struct BcFrame {
+    base: u32,
+    len: u32,
+    word_base: u32,
+    words: u32,
+    ret_pc: u32,
+    ret_dst: u16,
+}
+
+/// Reusable bytecode-VM storage: the locals slab, the frame stack, the
+/// per-side dirty bitmasks, and the db-parameter scratch buffer. A
+/// dispatcher keeps a pool of these and threads them from retired sessions
+/// into new ones, so steady-state transaction execution allocates nothing
+/// for frames.
+#[derive(Debug, Default)]
+pub struct VmScratch {
+    locals: Vec<Value>,
+    frames: Vec<BcFrame>,
+    dirty: [Vec<u64>; 2],
+    params: Vec<Scalar>,
+}
+
+impl VmScratch {
+    fn clear(&mut self) {
+        self.locals.clear();
+        self.frames.clear();
+        self.dirty[0].clear();
+        self.dirty[1].clear();
+        self.params.clear();
+    }
+}
+
 /// One transaction's execution over the partitioned program.
 pub struct Session<'a> {
     il: &'a PyxilProgram,
@@ -119,6 +182,8 @@ pub struct Session<'a> {
     state: State,
     /// Per-side dirty stack slots: (frame depth, slot). The slot's current
     /// value is read at flush time and shipped inside the wire frame.
+    /// (Interp tier only; the bytecode tier tracks dirtiness in
+    /// [`VmScratch::dirty`] bitmasks.)
     dirty_stack: [BTreeSet<(u32, u32)>; 2],
     field_slot: HashMap<FieldId, usize>,
     /// Per-call-site prepared statements, keyed by (block, instr index):
@@ -127,6 +192,16 @@ pub struct Session<'a> {
     /// byte length for the wire model. Shared (`Rc`) so a dispatcher can
     /// prepare a partition once and reuse the table across sessions.
     prepared: PreparedSites,
+    /// Bytecode tier: the compiled program and its execution state. When
+    /// set, `advance` dispatches bytecode instead of tree-walking.
+    bc: Option<&'a BytecodeProgram>,
+    pc: u32,
+    acc: Value,
+    vm: VmScratch,
+    /// Cached top-frame slab offsets (mirrors `vm.frames.last()`), so
+    /// every register read/write is a direct index.
+    fbase: u32,
+    fword: u32,
     pub stats: SessionStats,
     pub printed: Vec<String>,
     pub result: Option<Value>,
@@ -148,6 +223,13 @@ const CPU_YIELD: u64 = 2_000_000;
 /// handle, SQL text length). Built once per compiled partition by
 /// [`Session::prepare_sites`] and reused across every session running it.
 pub type PreparedSites = std::rc::Rc<HashMap<(u32, u32), (PreparedId, u64)>>;
+
+fn side_idx(s: Side) -> usize {
+    match s {
+        Side::App => 0,
+        Side::Db => 1,
+    }
+}
 
 impl<'a> Session<'a> {
     /// Prepare every constant-SQL db-call site of `bp` once. Statements
@@ -278,6 +360,12 @@ impl<'a> Session<'a> {
             dirty_stack: [entry_dirty, BTreeSet::new()],
             field_slot,
             prepared,
+            bc: None,
+            pc: 0,
+            acc: Value::Null,
+            vm: VmScratch::default(),
+            fbase: 0,
+            fword: 0,
             stats: SessionStats::default(),
             printed: Vec::new(),
             result: None,
@@ -297,11 +385,68 @@ impl<'a> Session<'a> {
         self.read_only
     }
 
+    /// Which dispatch tier this session runs.
+    pub fn vm_mode(&self) -> VmMode {
+        if self.bc.is_some() {
+            VmMode::Bytecode
+        } else {
+            VmMode::Interp
+        }
+    }
+
     /// Force read-only entries through the legacy locking read path
     /// instead of MVCC snapshots (differential tests, before/after
     /// benchmarks). Call before the first statement executes.
     pub fn set_snapshot_reads(&mut self, on: bool) {
         self.snapshot_reads = on;
+    }
+
+    /// Switch this session to the bytecode tier. `bc` must be compiled
+    /// from the same `BlockProgram` this session was built over; `scratch`
+    /// is the (possibly recycled) frame storage. Call before the first
+    /// `advance` — the entry frame and its dirty argument slots migrate
+    /// into the slab here.
+    pub fn set_bytecode(&mut self, bc: &'a BytecodeProgram, mut scratch: VmScratch) {
+        assert!(
+            self.stats.blocks_executed == 0 && matches!(self.state, State::Running),
+            "set_bytecode must precede the first advance"
+        );
+        scratch.clear();
+        let entry = &mut self.frames[0];
+        let len = entry.locals.len();
+        scratch.locals.append(&mut entry.locals);
+        let words = len.div_ceil(64) as u32;
+        for side in 0..2 {
+            scratch.dirty[side].resize(words as usize, 0);
+            for &(depth, slot) in &self.dirty_stack[side] {
+                debug_assert_eq!(depth, 0, "only the entry frame exists");
+                scratch.dirty[side][(slot / 64) as usize] |= 1 << (slot % 64);
+            }
+            self.dirty_stack[side].clear();
+        }
+        scratch.frames.push(BcFrame {
+            base: 0,
+            len: len as u32,
+            word_base: 0,
+            words,
+            ret_pc: u32::MAX,
+            ret_dst: DST_NONE,
+        });
+        self.pc = bc.pc_of(self.cur);
+        self.fbase = 0;
+        self.fword = 0;
+        self.vm = scratch;
+        self.bc = Some(bc);
+    }
+
+    /// Reclaim the bytecode frame storage from a retired (or about to be
+    /// restarted) session so the next one allocates nothing. Returns
+    /// `None` for interp-tier sessions.
+    pub fn take_scratch(&mut self) -> Option<VmScratch> {
+        self.bc?;
+        let mut s = std::mem::take(&mut self.vm);
+        s.clear();
+        Some(s)
     }
 
     fn fail(&mut self, engine: &mut Engine, e: RtError) -> Advance {
@@ -312,6 +457,19 @@ impl<'a> Session<'a> {
         }
         self.state = State::Failed(e.clone());
         Advance::Error(e)
+    }
+
+    /// [`Session::fail`] for bytecode ops lowered from an `Assign`: wraps
+    /// the error with the same `stmt StmtId(n): …` context the
+    /// tree-walker adds, so error strings stay identical across tiers.
+    fn fail_at(&mut self, engine: &mut Engine, pc: usize, e: RtError) -> Advance {
+        let e = match self.bc.map(|bc| bc.stmt_of[pc]) {
+            Some(id) if id != u32::MAX => {
+                RtError::new(format!("stmt {:?}: {}", pyx_lang::StmtId(id), e.msg))
+            }
+            _ => e,
+        };
+        self.fail(engine, e)
     }
 
     fn take_cpu(&mut self) -> Option<Advance> {
@@ -361,7 +519,66 @@ impl<'a> Session<'a> {
             }
             State::Running => {}
         }
+        if self.bc.is_some() {
+            self.run_bytecode(engine)
+        } else {
+            self.run_interp(engine)
+        }
+    }
 
+    /// Entry-method return: commit, then hand off to the Returning state
+    /// (which ships the reply frame if control sits on the DB host).
+    fn finish_entry(&mut self, engine: &mut Engine, v: Option<Value>) -> Advance {
+        self.result = v;
+        if let Some(t) = self.txn.take() {
+            match engine.commit(t) {
+                Ok((c, woken)) => {
+                    self.pending_cpu += c;
+                    self.last_woken = woken;
+                }
+                Err(e) => return self.fail(engine, RtError::new(e.to_string())),
+            }
+        }
+        self.state = State::Returning;
+        if let Some(cpu) = self.take_cpu() {
+            return cpu;
+        }
+        // Re-enter via the Returning arm.
+        self.advance(engine)
+    }
+
+    /// The control-transfer needed at a block whose host differs from the
+    /// session's current location. Returns the `Advance` to yield.
+    fn transfer_to(&mut self, engine: &mut Engine, host: Side) -> Advance {
+        let from = self.loc;
+        let kind = if self.stats.control_transfers == 0 {
+            FrameKind::Entry
+        } else {
+            FrameKind::Transfer
+        };
+        match self.flush_transfer(kind, from) {
+            Ok(bytes) => {
+                self.loc = host;
+                self.stats.control_transfers += 1;
+                match from {
+                    Side::App => self.stats.bytes_app_to_db += bytes,
+                    Side::Db => self.stats.bytes_db_to_app += bytes,
+                }
+                // Serialization CPU charged on the new host's next
+                // batch boundary (sender-side simplification).
+                self.pending_cpu += self.costs.serialize_cost(bytes);
+                Advance::Net {
+                    from,
+                    to: host,
+                    bytes,
+                }
+            }
+            Err(e) => self.fail(engine, e),
+        }
+    }
+
+    /// Tree-walking tier: run until the next virtual-time event.
+    fn run_interp(&mut self, engine: &mut Engine) -> Advance {
         loop {
             // Control transfer needed?
             let host = self.bp.block(self.cur).host;
@@ -369,31 +586,7 @@ impl<'a> Session<'a> {
                 if let Some(cpu) = self.take_cpu() {
                     return cpu;
                 }
-                let from = self.loc;
-                let kind = if self.stats.control_transfers == 0 {
-                    FrameKind::Entry
-                } else {
-                    FrameKind::Transfer
-                };
-                match self.flush_transfer(kind, from) {
-                    Ok(bytes) => {
-                        self.loc = host;
-                        self.stats.control_transfers += 1;
-                        match from {
-                            Side::App => self.stats.bytes_app_to_db += bytes,
-                            Side::Db => self.stats.bytes_db_to_app += bytes,
-                        }
-                        // Serialization CPU charged on the new host's next
-                        // batch boundary (sender-side simplification).
-                        self.pending_cpu += self.costs.per_kb_serialize * (bytes / 1000 + 1);
-                        return Advance::Net {
-                            from,
-                            to: host,
-                            bytes,
-                        };
-                    }
-                    Err(e) => return self.fail(engine, e),
-                }
+                return self.transfer_to(engine, host);
             }
 
             if self.iidx == 0 && !self.entered {
@@ -531,28 +724,7 @@ impl<'a> Session<'a> {
                             }
                             self.jump(ret_to);
                         }
-                        None => {
-                            // Entry returned: commit the transaction, then
-                            // (if control is on the DB) ship the reply.
-                            self.result = v;
-                            if let Some(t) = self.txn.take() {
-                                match engine.commit(t) {
-                                    Ok((c, woken)) => {
-                                        self.pending_cpu += c;
-                                        self.last_woken = woken;
-                                    }
-                                    Err(e) => {
-                                        return self.fail(engine, RtError::new(e.to_string()))
-                                    }
-                                }
-                            }
-                            self.state = State::Returning;
-                            if let Some(cpu) = self.take_cpu() {
-                                return cpu;
-                            }
-                            // Re-enter via the Returning arm.
-                            return self.advance(engine);
-                        }
+                        None => return self.finish_entry(engine, v),
                     }
                 }
             }
@@ -564,6 +736,623 @@ impl<'a> Session<'a> {
         self.iidx = 0;
         self.entered = false;
     }
+
+    // ---- bytecode tier ----
+
+    /// Read a bytecode operand by reference — no `Value` is cloned unless
+    /// the consumer needs ownership. Local reads index the cached top
+    /// frame's slab window; constant reads index the pool.
+    #[inline]
+    fn rd_ref<'s>(&'s self, s: Src, consts: &'s [Value]) -> &'s Value {
+        match s {
+            Src::Reg(r) => &self.vm.locals[self.fbase as usize + r as usize],
+            Src::Const(c) => &consts[c as usize],
+            Src::Acc => &self.acc,
+        }
+    }
+
+    /// Owned read (stores and call arguments need the value itself).
+    #[inline]
+    fn rd(&self, s: Src, consts: &[Value]) -> Value {
+        self.rd_ref(s, consts).clone()
+    }
+
+    /// Binary-op evaluation shared by `Bin`/`BinBr`/`BinBrCharged`: the
+    /// `(Int, Int)` fast path first (bit-for-bit [`eval_binop`] results,
+    /// none of its dispatch), falling back to the full evaluator.
+    #[inline]
+    fn eval_bin(
+        &self,
+        op: pyx_lang::ast::BinOp,
+        a: Src,
+        b: Src,
+        consts: &[Value],
+    ) -> Result<Value, RtError> {
+        if let (Value::Int(x), Value::Int(y)) = (self.rd_ref(a, consts), self.rd_ref(b, consts)) {
+            if let Some(v) = int_binop_fast(op, *x, *y) {
+                return Ok(v);
+            }
+        }
+        eval_binop(op, self.rd_ref(a, consts), self.rd_ref(b, consts))
+    }
+
+    /// Write a bytecode destination: real slots update the slab and set
+    /// the frame's dirty bit for the current host; the accumulator and the
+    /// discard sentinel bypass dirty tracking entirely.
+    #[inline]
+    fn wr(&mut self, dst: u16, v: Value) {
+        match dst {
+            DST_NONE => {}
+            DST_ACC => self.acc = v,
+            r => {
+                debug_assert!(
+                    (r as u32) < self.vm.frames.last().expect("active frame").len,
+                    "register in frame"
+                );
+                let w = (self.fword + r as u32 / 64) as usize;
+                self.vm.dirty[side_idx(self.loc)][w] |= 1 << (r % 64);
+                self.vm.locals[(self.fbase + r as u32) as usize] = v;
+            }
+        }
+    }
+
+    /// Charge one basic-block segment's batched CPU and stats. Charged at
+    /// segment *entry*: a transaction that hits a runtime error mid-segment
+    /// has already been billed for the whole segment (its virtual-time and
+    /// instruction books are abandoned with the failed session; successful
+    /// runs — the only ones the differential suite compares — account
+    /// identically to the per-instruction tree-walker).
+    #[inline]
+    fn charge(&mut self, seg: &pyx_pyxil::bytecode::SegCost) {
+        let c = &self.costs;
+        let mut cost = seg.instrs as u64 * c.instr + seg.syncs as u64 * c.sync;
+        if seg.term {
+            cost += c.term;
+        }
+        if seg.entry {
+            cost += c.block_entry;
+            self.stats.blocks_executed += 1;
+        }
+        self.pending_cpu += cost;
+        self.stats.instrs_executed += seg.instrs as u64;
+    }
+
+    /// Bytecode tier: dispatch flat register code in a tight indexed loop.
+    fn run_bytecode(&mut self, engine: &mut Engine) -> Advance {
+        // `bc` borrows the program (`'a`), not `self`: ops never need
+        // cloning and every arm has full mutable access to the session.
+        let bc = self.bc.expect("bytecode attached");
+        let consts = &bc.consts[..];
+        let ops = &bc.ops[..];
+        // The program counter lives in a register for the whole dispatch
+        // loop; it is synced back to `self.pc` at every yield point.
+        let mut pc = self.pc as usize;
+        macro_rules! yield_now {
+            ($e:expr) => {{
+                self.pc = pc as u32;
+                return $e;
+            }};
+        }
+        loop {
+            match &ops[pc] {
+                Op::Enter { host, seg } => {
+                    if *host != self.loc {
+                        if let Some(cpu) = self.take_cpu() {
+                            yield_now!(cpu);
+                        }
+                        yield_now!(self.transfer_to(engine, *host));
+                    }
+                    self.charge(seg);
+                    pc += 1;
+                    if self.pending_cpu >= CPU_YIELD {
+                        yield_now!(self.take_cpu().expect("pending cpu"));
+                    }
+                }
+                Op::Cpu { seg } => {
+                    self.charge(seg);
+                    pc += 1;
+                    if self.pending_cpu >= CPU_YIELD {
+                        yield_now!(self.take_cpu().expect("pending cpu"));
+                    }
+                }
+                Op::Const { dst, c } => {
+                    self.wr(*dst, consts[*c as usize].clone());
+                    pc += 1;
+                }
+                Op::Move { dst, src } => {
+                    let v = self.vm.locals[self.fbase as usize + *src as usize].clone();
+                    self.wr(*dst, v);
+                    pc += 1;
+                }
+                Op::Un { op, dst, a } => {
+                    match eval_unop(*op, self.rd_ref(*a, consts)) {
+                        Ok(v) => self.wr(*dst, v),
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    }
+                    pc += 1;
+                }
+                Op::Bin { op, dst, a, b } => {
+                    match self.eval_bin(*op, *a, *b, consts) {
+                        Ok(v) => self.wr(*dst, v),
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    }
+                    pc += 1;
+                }
+                Op::ReadField { dst, base, slot } => {
+                    let r = as_obj(self.rd_ref(*base, consts))
+                        .and_then(|oid| self.heap.host(self.loc).field(oid, *slot as usize));
+                    match r {
+                        Ok(v) => self.wr(*dst, v),
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    }
+                    pc += 1;
+                }
+                Op::WriteField { base, slot, v } => {
+                    let val = self.rd(*v, consts);
+                    let r = as_obj(self.rd_ref(*base, consts)).and_then(|oid| {
+                        self.heap
+                            .host_mut(self.loc)
+                            .set_field(oid, *slot as usize, val)
+                    });
+                    if let Err(e) = r {
+                        yield_now!(self.fail_at(engine, pc, e));
+                    }
+                    pc += 1;
+                }
+                Op::ReadElem { dst, arr, idx } => {
+                    let r = as_arr(self.rd_ref(*arr, consts)).and_then(|oid| {
+                        let i = as_int(self.rd_ref(*idx, consts))?;
+                        self.heap.host(self.loc).elem(oid, i)
+                    });
+                    match r {
+                        Ok(v) => self.wr(*dst, v),
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    }
+                    pc += 1;
+                }
+                Op::WriteElem { arr, idx, v } => {
+                    let val = self.rd(*v, consts);
+                    let r = as_arr(self.rd_ref(*arr, consts)).and_then(|oid| {
+                        let i = as_int(self.rd_ref(*idx, consts))?;
+                        self.heap.host_mut(self.loc).set_elem(oid, i, val)
+                    });
+                    if let Err(e) = r {
+                        yield_now!(self.fail_at(engine, pc, e));
+                    }
+                    pc += 1;
+                }
+                Op::Len { dst, arr } => {
+                    let r = as_arr(self.rd_ref(*arr, consts))
+                        .and_then(|oid| self.heap.host(self.loc).array_len(oid));
+                    match r {
+                        Ok(n) => self.wr(*dst, Value::Int(n)),
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    }
+                    pc += 1;
+                }
+                Op::NewArr { dst, ty, len } => {
+                    let n = match as_int(self.rd_ref(*len, consts)) {
+                        Ok(n) if n >= 0 => n,
+                        Ok(_) => {
+                            yield_now!(self.fail_at(
+                                engine,
+                                pc,
+                                RtError::new("negative array length")
+                            ))
+                        }
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    };
+                    let oid = self.heap.alloc_array(&bc.types[*ty as usize], n as usize);
+                    self.wr(*dst, Value::Arr(oid));
+                    pc += 1;
+                }
+                Op::NewObj { dst, class, nf } => {
+                    let oid = self.heap.alloc_object(*class, *nf as usize);
+                    self.wr(*dst, Value::Obj(oid));
+                    pc += 1;
+                }
+                Op::RowGet {
+                    dst,
+                    row,
+                    idx,
+                    kind,
+                } => {
+                    let i = match as_int(self.rd_ref(*idx, consts)) {
+                        Ok(i) => i,
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    };
+                    let v = match self.rd_ref(*row, consts) {
+                        Value::Row(cols) => match cols.get(i as usize) {
+                            Some(cell) => Value::from_scalar(cell),
+                            None => yield_now!(self.fail_at(
+                                engine,
+                                pc,
+                                RtError::new(format!("row column {i} out of range"))
+                            )),
+                        },
+                        _ => yield_now!(self.fail_at(
+                            engine,
+                            pc,
+                            RtError::new("row getter on a non-row (stale remote data?)"),
+                        )),
+                    };
+                    let v = match (kind, v) {
+                        (RowGetKind::Double, Value::Int(x)) => Value::Double(x as f64),
+                        (RowGetKind::Int, Value::Double(x)) => Value::Int(x as i64),
+                        (_, v) => v,
+                    };
+                    self.wr(*dst, v);
+                    pc += 1;
+                }
+                Op::SyncField { base, slot } => {
+                    if let Value::Obj(oid) = self.rd_ref(*base, consts) {
+                        let key = SyncKey::Field(*oid, *slot as u32);
+                        self.heap.enqueue(self.loc, key);
+                    }
+                    pc += 1;
+                }
+                Op::SyncNative { arr } => {
+                    if let Value::Arr(oid) = self.rd_ref(*arr, consts) {
+                        let key = SyncKey::Native(*oid);
+                        self.heap.enqueue(self.loc, key);
+                    }
+                    pc += 1;
+                }
+                Op::Builtin1 { f, dst, a } => {
+                    let v = self.rd(*a, consts);
+                    match self.exec_builtin1(*f, v) {
+                        Ok(out) => {
+                            if *dst != DST_NONE {
+                                match out {
+                                    Some(v) => self.wr(*dst, v),
+                                    None => yield_now!(self
+                                        .fail(engine, RtError::new("void builtin used as value"),)),
+                                }
+                            }
+                        }
+                        Err(e) => yield_now!(self.fail(engine, e)),
+                    }
+                    pc += 1;
+                }
+                Op::Rollback => {
+                    // Yield accumulated CPU before the round trip so the
+                    // simulator sequences it correctly.
+                    if let Some(cpu) = self.take_cpu() {
+                        yield_now!(cpu);
+                    }
+                    if let Some(t) = self.txn.take() {
+                        match engine.abort(t) {
+                            Ok((c, woken)) => {
+                                self.pending_cpu += c;
+                                self.last_woken = woken;
+                            }
+                            Err(e) => yield_now!(self.fail(engine, RtError::new(e.to_string()))),
+                        }
+                    }
+                    self.rolled_back = true;
+                    pc += 1;
+                    yield_now!(Advance::DbOp {
+                        issued_from: self.loc,
+                        db_cpu: pyx_db::cost::TXN_END,
+                        req_bytes: 16,
+                        resp_bytes: 16,
+                    });
+                }
+                Op::Db {
+                    update,
+                    dst,
+                    site,
+                    sql,
+                    params,
+                } => {
+                    if let Some(cpu) = self.take_cpu() {
+                        yield_now!(cpu);
+                    }
+                    // `exec_db_bc` advances `self.pc` itself on success and
+                    // leaves it in place on lock waits (the retry re-runs
+                    // this op).
+                    self.pc = pc as u32;
+                    return self.exec_db_bc(engine, *update, *dst, *site, *sql, params, consts);
+                }
+                Op::Jump { to } => pc = *to as usize,
+                Op::Goto { to, seg } => {
+                    // Same-host fused transition: charge the target block's
+                    // entry segment and land past its Enter.
+                    self.charge(seg);
+                    pc = *to as usize;
+                    if self.pending_cpu >= CPU_YIELD {
+                        yield_now!(self.take_cpu().expect("pending cpu"));
+                    }
+                }
+                Op::Br { cond, t, e } => match self.rd_ref(*cond, consts).truthy() {
+                    Ok(c) => pc = if c { *t as usize } else { *e as usize },
+                    Err(err) => yield_now!(self.fail(engine, err)),
+                },
+                Op::BrCharged {
+                    cond,
+                    t,
+                    e,
+                    tseg,
+                    eseg,
+                } => match self.rd_ref(*cond, consts).truthy() {
+                    Ok(c) => {
+                        let (to, seg) = if c { (*t, tseg) } else { (*e, eseg) };
+                        self.charge(seg);
+                        pc = to as usize;
+                        if self.pending_cpu >= CPU_YIELD {
+                            yield_now!(self.take_cpu().expect("pending cpu"));
+                        }
+                    }
+                    Err(err) => yield_now!(self.fail(engine, err)),
+                },
+                Op::BinBr {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    t,
+                    e,
+                } => {
+                    // Fused compare→branch: the condition local still gets
+                    // its store (and dirty bit) before the branch decides.
+                    let v = match self.eval_bin(*op, *a, *b, consts) {
+                        Ok(v) => v,
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    };
+                    let c = v.truthy();
+                    self.wr(*dst, v);
+                    match c {
+                        Ok(c) => pc = if c { *t as usize } else { *e as usize },
+                        Err(err) => yield_now!(self.fail(engine, err)),
+                    }
+                }
+                Op::BinBrCharged {
+                    op,
+                    a,
+                    b,
+                    dst,
+                    t,
+                    e,
+                    tseg,
+                    eseg,
+                } => {
+                    // The loop-edge superinstruction: compare, store the
+                    // condition local, charge the chosen target block, and
+                    // land inside it — one dispatch for what the
+                    // tree-walker does in four steps.
+                    let v = match self.eval_bin(*op, *a, *b, consts) {
+                        Ok(v) => v,
+                        Err(e) => yield_now!(self.fail_at(engine, pc, e)),
+                    };
+                    let c = v.truthy();
+                    self.wr(*dst, v);
+                    match c {
+                        Ok(c) => {
+                            let (to, seg) = if c { (*t, tseg) } else { (*e, eseg) };
+                            self.charge(seg);
+                            pc = to as usize;
+                            if self.pending_cpu >= CPU_YIELD {
+                                yield_now!(self.take_cpu().expect("pending cpu"));
+                            }
+                        }
+                        Err(err) => yield_now!(self.fail(engine, err)),
+                    }
+                }
+                Op::Call {
+                    entry,
+                    nlocals,
+                    args,
+                    dst,
+                    ret,
+                } => {
+                    let nlocals = *nlocals as usize;
+                    let base = self.vm.locals.len();
+                    self.vm.locals.resize(base + nlocals, Value::Null);
+                    for (i, a) in args.iter().enumerate() {
+                        // Reads address the caller frame — still the top of
+                        // the frame stack until the push below.
+                        self.vm.locals[base + i] = self.rd(*a, consts);
+                    }
+                    let words = nlocals.div_ceil(64);
+                    let word_base = self.vm.dirty[0].len();
+                    debug_assert_eq!(word_base, self.vm.dirty[1].len());
+                    for side in 0..2 {
+                        self.vm.dirty[side].resize(word_base + words, 0);
+                    }
+                    // Arguments are fresh stack state on the current host.
+                    let sidx = side_idx(self.loc);
+                    for i in 0..args.len() {
+                        self.vm.dirty[sidx][word_base + i / 64] |= 1 << (i % 64);
+                    }
+                    self.vm.frames.push(BcFrame {
+                        base: base as u32,
+                        len: nlocals as u32,
+                        word_base: word_base as u32,
+                        words: words as u32,
+                        ret_pc: *ret,
+                        ret_dst: *dst,
+                    });
+                    self.fbase = base as u32;
+                    self.fword = word_base as u32;
+                    pc = *entry as usize;
+                }
+                Op::Ret { v } => {
+                    let v = (*v).map(|s| self.rd(s, consts));
+                    let frame = self.vm.frames.pop().expect("frame underflow");
+                    self.vm.locals.truncate(frame.base as usize);
+                    for side in 0..2 {
+                        self.vm.dirty[side].truncate(frame.word_base as usize);
+                    }
+                    match self.vm.frames.last() {
+                        Some(caller) => {
+                            self.fbase = caller.base;
+                            self.fword = caller.word_base;
+                        }
+                        None => {
+                            self.fbase = 0;
+                            self.fword = 0;
+                        }
+                    }
+                    if frame.ret_pc == u32::MAX {
+                        yield_now!(self.finish_entry(engine, v));
+                    }
+                    if frame.ret_dst != DST_NONE {
+                        if let Some(v) = v {
+                            self.wr(frame.ret_dst, v);
+                        }
+                    }
+                    pc = frame.ret_pc as usize;
+                }
+            }
+        }
+    }
+
+    /// Bytecode db call: mirrors [`Session::exec_db`] exactly — same
+    /// prepared-site keying, transaction begin, wire-cost model, and error
+    /// paths — with the parameter buffer recycled across calls.
+    #[allow(clippy::too_many_arguments)]
+    fn exec_db_bc(
+        &mut self,
+        engine: &mut Engine,
+        update: bool,
+        dst: u16,
+        site: (u32, u32),
+        sql: Src,
+        params: &[Src],
+        consts: &[Value],
+    ) -> Advance {
+        let mut buf = std::mem::take(&mut self.vm.params);
+        buf.clear();
+        for p in params {
+            match self.rd_ref(*p, consts).to_scalar() {
+                Ok(s) => buf.push(s),
+                Err(e) => {
+                    self.vm.params = buf;
+                    return self.fail(engine, e);
+                }
+            }
+        }
+        // Constant-SQL sites were prepared at construction: issue the
+        // handle, no string in the hot path. Dynamic SQL falls back to
+        // the ad-hoc engine path. The wire model still charges the SQL
+        // text length — a JDBC-style client ships the statement text.
+        let prepared = self.prepared.get(&site).copied();
+        let (sql_len, exec) = match prepared {
+            Some((pid, sql_len)) => (sql_len, Ok(pid)),
+            None => {
+                let sql_v = self.rd(sql, consts);
+                let Value::Str(s) = sql_v else {
+                    self.vm.params = buf;
+                    return self.fail(engine, RtError::new("SQL must be a string"));
+                };
+                (s.len() as u64, Err(s))
+            }
+        };
+        let txn = match self.txn {
+            Some(t) => t,
+            None => {
+                // Read-only entry fragments run as snapshot transactions:
+                // lock-free reads that can never block or die.
+                let t = if self.read_only && self.snapshot_reads {
+                    engine.begin_read_only()
+                } else {
+                    engine.begin()
+                };
+                self.txn = Some(t);
+                t
+            }
+        };
+        let req_bytes: u64 = 16 + sql_len + buf.iter().map(|s| s.wire_size()).sum::<u64>();
+        let res = match &exec {
+            Ok(pid) => engine.execute_prepared(txn, *pid, &buf),
+            Err(sql) => engine.execute(txn, sql, &buf),
+        };
+        self.vm.params = buf;
+        match res {
+            Ok(res) => {
+                let resp_bytes = res.wire_size();
+                let db_cpu = res.cost;
+                let out = if update {
+                    Value::Int(res.affected as i64)
+                } else {
+                    Value::Arr(self.heap.alloc_rows_on(self.loc, res.rows))
+                };
+                if dst != DST_NONE {
+                    self.wr(dst, out);
+                }
+                self.pc += 1;
+                if self.loc == Side::App {
+                    self.stats.db_round_trips += 1;
+                } else {
+                    self.stats.db_local_calls += 1;
+                }
+                Advance::DbOp {
+                    issued_from: self.loc,
+                    db_cpu,
+                    req_bytes,
+                    resp_bytes,
+                }
+            }
+            Err(DbError::WouldBlock) => Advance::Blocked { txn },
+            Err(DbError::Deadlock) => {
+                if let Some(t) = self.txn.take() {
+                    if let Ok((_, woken)) = engine.abort(t) {
+                        self.last_woken = woken;
+                    }
+                }
+                self.state = State::Deadlocked;
+                Advance::Deadlocked
+            }
+            Err(e) => self.fail(engine, RtError::new(e.to_string())),
+        }
+    }
+
+    /// Non-db builtin over one already-evaluated argument (bytecode tier).
+    fn exec_builtin1(&mut self, f: Builtin, v: Value) -> Result<Option<Value>, RtError> {
+        match f {
+            Builtin::Print => {
+                self.printed.push(format!("{v}"));
+                Ok(None)
+            }
+            Builtin::Sha1 => {
+                self.pending_cpu += self.costs.sha1;
+                match v {
+                    Value::Int(x) => Ok(Some(Value::Int(sha1_i64(x)))),
+                    ref other => Err(RtError::new(format!("sha1 on {other:?}"))),
+                }
+            }
+            Builtin::IntToStr => match v {
+                Value::Int(x) => Ok(Some(Value::Str(x.to_string().into()))),
+                ref other => Err(RtError::new(format!("intToStr on {other:?}"))),
+            },
+            Builtin::StrToInt => match &v {
+                Value::Str(s) => s
+                    .trim()
+                    .parse::<i64>()
+                    .map(|x| Some(Value::Int(x)))
+                    .map_err(|_| RtError::new(format!("cannot parse `{s}`"))),
+                other => Err(RtError::new(format!("strToInt on {other:?}"))),
+            },
+            Builtin::ToDouble => match v {
+                Value::Int(x) => Ok(Some(Value::Double(x as f64))),
+                ref other => Err(RtError::new(format!("toDouble on {other:?}"))),
+            },
+            Builtin::ToInt => match v {
+                Value::Double(x) => Ok(Some(Value::Int(x as i64))),
+                Value::Int(x) => Ok(Some(Value::Int(x))),
+                ref other => Err(RtError::new(format!("toInt on {other:?}"))),
+            },
+            Builtin::StrLen => match &v {
+                Value::Str(s) => Ok(Some(Value::Int(s.len() as i64))),
+                other => Err(RtError::new(format!("strLen on {other:?}"))),
+            },
+            Builtin::DbQuery | Builtin::DbUpdate | Builtin::Rollback => {
+                unreachable!("db calls take the db paths (exec_db / Op::Db / Op::Rollback)")
+            }
+        }
+    }
+
+    // ---- interp tier ----
 
     fn exec_db(
         &mut self,
@@ -673,53 +1462,16 @@ impl<'a> Session<'a> {
         }
     }
 
+    /// Interp-tier entry to the shared builtin implementations: every
+    /// non-db builtin takes exactly one argument, so both tiers delegate
+    /// to [`Session::exec_builtin1`] — one copy of the semantics.
     fn exec_local_builtin(
         &mut self,
         f: Builtin,
         args: &[Operand],
     ) -> Result<Option<Value>, RtError> {
-        let argv: Vec<Value> = args.iter().map(|a| self.operand(a)).collect();
-        match f {
-            Builtin::Print => {
-                self.printed.push(format!("{}", argv[0]));
-                Ok(None)
-            }
-            Builtin::Sha1 => {
-                self.pending_cpu += self.costs.sha1;
-                match argv[0] {
-                    Value::Int(v) => Ok(Some(Value::Int(sha1_i64(v)))),
-                    ref other => Err(RtError::new(format!("sha1 on {other:?}"))),
-                }
-            }
-            Builtin::IntToStr => match argv[0] {
-                Value::Int(v) => Ok(Some(Value::Str(v.to_string().into()))),
-                ref other => Err(RtError::new(format!("intToStr on {other:?}"))),
-            },
-            Builtin::StrToInt => match &argv[0] {
-                Value::Str(s) => s
-                    .trim()
-                    .parse::<i64>()
-                    .map(|v| Some(Value::Int(v)))
-                    .map_err(|_| RtError::new(format!("cannot parse `{s}`"))),
-                other => Err(RtError::new(format!("strToInt on {other:?}"))),
-            },
-            Builtin::ToDouble => match argv[0] {
-                Value::Int(v) => Ok(Some(Value::Double(v as f64))),
-                ref other => Err(RtError::new(format!("toDouble on {other:?}"))),
-            },
-            Builtin::ToInt => match argv[0] {
-                Value::Double(v) => Ok(Some(Value::Int(v as i64))),
-                Value::Int(v) => Ok(Some(Value::Int(v))),
-                ref other => Err(RtError::new(format!("toInt on {other:?}"))),
-            },
-            Builtin::StrLen => match &argv[0] {
-                Value::Str(s) => Ok(Some(Value::Int(s.len() as i64))),
-                other => Err(RtError::new(format!("strLen on {other:?}"))),
-            },
-            Builtin::DbQuery | Builtin::DbUpdate | Builtin::Rollback => {
-                unreachable!("db calls handled by exec_db")
-            }
-        }
+        let v = self.operand(&args[0]);
+        self.exec_builtin1(f, v)
     }
 
     // ---- value plumbing ----
@@ -746,11 +1498,7 @@ impl<'a> Session<'a> {
     }
 
     fn mark_stack_dirty(&mut self, depth: u32, slot: u32) {
-        let idx = match self.loc {
-            Side::App => 0,
-            Side::Db => 1,
-        };
-        self.dirty_stack[idx].insert((depth, slot));
+        self.dirty_stack[side_idx(self.loc)].insert((depth, slot));
     }
 
     fn eval_rvalue(&mut self, rv: &Rvalue) -> Result<Value, RtError> {
@@ -847,29 +1595,53 @@ impl<'a> Session<'a> {
     /// updated by decoding and replaying the encoded frame — the same
     /// bytes a real two-host deployment would put on the network — and the
     /// returned size is exactly `encode().len()`.
+    ///
+    /// Dirty slots are gathered from whichever stack representation is
+    /// active: the interp tier's `(depth, slot)` set or the bytecode
+    /// tier's per-frame bitmasks. Both enumerate in (depth, slot) order,
+    /// so the encoded bytes are identical across tiers.
     fn flush_transfer(&mut self, kind: FrameKind, from: Side) -> Result<u64, RtError> {
         let mut frame = WireFrame::new(kind, from);
         frame.sync = self.heap.collect_sync(from)?;
-        let idx = match from {
-            Side::App => 0,
-            Side::Db => 1,
-        };
-        for &(depth, slot) in &self.dirty_stack[idx] {
-            // A slot whose frame has since been popped has nothing to
-            // ship: the callee state died with the call.
-            let Some(f) = self.frames.get(depth as usize) else {
-                continue;
-            };
-            let Some(value) = f.locals.get(slot as usize) else {
-                continue;
-            };
-            frame.stack.push(StackSlot {
-                depth,
-                slot,
-                value: value.clone(),
-            });
+        let idx = side_idx(from);
+        if self.bc.is_some() {
+            for (depth, f) in self.vm.frames.iter().enumerate() {
+                for w in 0..f.words as usize {
+                    let mut bits = self.vm.dirty[idx][f.word_base as usize + w];
+                    while bits != 0 {
+                        let slot = (w * 64) as u32 + bits.trailing_zeros();
+                        bits &= bits - 1;
+                        if slot < f.len {
+                            frame.stack.push(StackSlot {
+                                depth: depth as u32,
+                                slot,
+                                value: self.vm.locals[(f.base + slot) as usize].clone(),
+                            });
+                        }
+                    }
+                }
+            }
+            for w in self.vm.dirty[idx].iter_mut() {
+                *w = 0;
+            }
+        } else {
+            for &(depth, slot) in &self.dirty_stack[idx] {
+                // A slot whose frame has since been popped has nothing to
+                // ship: the callee state died with the call.
+                let Some(f) = self.frames.get(depth as usize) else {
+                    continue;
+                };
+                let Some(value) = f.locals.get(slot as usize) else {
+                    continue;
+                };
+                frame.stack.push(StackSlot {
+                    depth,
+                    slot,
+                    value: value.clone(),
+                });
+            }
+            self.dirty_stack[idx].clear();
         }
-        self.dirty_stack[idx].clear();
         if kind == FrameKind::Return {
             frame.result = self.result.clone();
         }
@@ -887,6 +1659,29 @@ impl<'a> Session<'a> {
         self.last_frame = Some(encoded);
         Ok(bytes)
     }
+}
+
+/// Fast path for the dominant binop shape: both operands already `Int`.
+/// Bit-for-bit the same results as [`eval_binop`] on `(Int, Int)` —
+/// including its numeric-promotion comparison through `f64` — with none
+/// of its string/bool/promotion dispatch. Returns `None` for operators
+/// whose `(Int, Int)` case needs the full path (division by zero checks,
+/// logic ops' error shapes).
+#[inline]
+fn int_binop_fast(op: pyx_lang::ast::BinOp, x: i64, y: i64) -> Option<Value> {
+    use pyx_lang::ast::BinOp::*;
+    Some(match op {
+        Add => Value::Int(x.wrapping_add(y)),
+        Sub => Value::Int(x.wrapping_sub(y)),
+        Mul => Value::Int(x.wrapping_mul(y)),
+        Lt => Value::Bool((x as f64) < (y as f64)),
+        Le => Value::Bool((x as f64) <= (y as f64)),
+        Gt => Value::Bool((x as f64) > (y as f64)),
+        Ge => Value::Bool((x as f64) >= (y as f64)),
+        Eq => Value::Bool((x as f64) == (y as f64)),
+        Ne => Value::Bool((x as f64) != (y as f64)),
+        _ => return None,
+    })
 }
 
 fn as_int(v: &Value) -> Result<i64, RtError> {

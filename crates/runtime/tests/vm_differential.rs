@@ -1,0 +1,507 @@
+//! VM-tier differential suite: the register-bytecode tier must be
+//! *observationally identical* to the tree-walking interpreter tier — not
+//! just same results, but same final engine state, same number of control
+//! transfers, and byte-identical wire frames on every transfer.
+//!
+//! Three layers of evidence:
+//!
+//! * the TPC-C new-order mix and the TPC-W browsing mix, run through the
+//!   solver-chosen partition plus the JDBC (all-APP) and Manual (all-DB)
+//!   references;
+//! * proptest-generated random programs (arithmetic, control flow, field
+//!   and array traffic, calls, prints, db reads/writes) under random
+//!   statement/field placements;
+//! * a rollback + error-shape spot check.
+
+use proptest::prelude::*;
+use pyx_analysis::{analyze, AnalysisConfig};
+use pyx_db::{ColTy, ColumnDef, Engine, Scalar, TableDef};
+use pyx_lang::{compile, Value};
+use pyx_partition::{Placement, Side};
+use pyx_pyxil::{build_pyxil, compile_blocks, compile_bytecode, CompiledPartition};
+use pyx_runtime::cost::RtCosts;
+use pyx_runtime::session::{Session, VmScratch};
+use pyx_runtime::{Advance, ArgVal};
+use pyx_sim::Workload;
+use pyx_workloads::{tpcc, tpcw};
+
+/// Everything observable about one transaction, plus the raw bytes of
+/// every wire frame it put on the (virtual) network.
+#[derive(Debug, PartialEq)]
+struct Observed {
+    result: Option<Value>,
+    printed: Vec<String>,
+    rolled_back: bool,
+    control_transfers: u64,
+    blocks: u64,
+    instrs: u64,
+    frames: Vec<Vec<u8>>,
+}
+
+fn drive(sess: &mut Session<'_>, engine: &mut Engine) -> Observed {
+    let mut frames = Vec::new();
+    for _ in 0..20_000_000u64 {
+        match sess.advance(engine) {
+            Advance::Net { bytes, .. } => {
+                let f = sess.last_frame.clone().expect("frame recorded");
+                assert_eq!(bytes, f.len() as u64, "net bytes == encoded frame length");
+                frames.push(f);
+            }
+            Advance::Finished => {
+                return Observed {
+                    result: sess.result.clone(),
+                    printed: sess.printed.clone(),
+                    rolled_back: sess.rolled_back,
+                    control_transfers: sess.stats.control_transfers,
+                    blocks: sess.stats.blocks_executed,
+                    instrs: sess.stats.instrs_executed,
+                    frames,
+                }
+            }
+            Advance::Error(e) => panic!("session failed: {e}"),
+            Advance::Blocked { .. } => panic!("single session blocked"),
+            Advance::Deadlocked => panic!("single session deadlocked"),
+            Advance::Cpu { .. } | Advance::DbOp { .. } => {}
+        }
+    }
+    panic!("session did not finish");
+}
+
+fn dump_all(db: &Engine) -> Vec<Vec<Vec<Scalar>>> {
+    db.table_names().iter().map(|t| db.dump_table(t)).collect()
+}
+
+/// Run `txns` requests through `part` on both tiers (each against its own
+/// identically-loaded engine) and assert full observational equality.
+fn assert_tiers_identical(
+    part: &CompiledPartition,
+    mk_engine: &dyn Fn() -> Engine,
+    txns: &[(pyx_lang::MethodId, Vec<ArgVal>)],
+    tag: &str,
+) {
+    let mut interp_db = mk_engine();
+    let mut bc_db = mk_engine();
+    let interp_sites = Session::prepare_sites(&part.bp, &mut interp_db);
+    let bc_sites = Session::prepare_sites(&part.bp, &mut bc_db);
+    // The scratch recycles across transactions, like the dispatcher pool.
+    let mut scratch = VmScratch::default();
+
+    for (n, (entry, args)) in txns.iter().enumerate() {
+        let mut si = Session::with_prepared(
+            &part.il,
+            &part.bp,
+            *entry,
+            args,
+            RtCosts::default(),
+            interp_sites.clone(),
+        )
+        .expect("interp session");
+        let oi = drive(&mut si, &mut interp_db);
+
+        let mut sb = Session::with_prepared(
+            &part.il,
+            &part.bp,
+            *entry,
+            args,
+            RtCosts::default(),
+            bc_sites.clone(),
+        )
+        .expect("bytecode session");
+        sb.set_bytecode(&part.bc, scratch);
+        let ob = drive(&mut sb, &mut bc_db);
+        scratch = sb.take_scratch().expect("bytecode scratch");
+
+        assert_eq!(oi, ob, "{tag}: txn #{n} diverged between tiers");
+    }
+    assert_eq!(
+        dump_all(&interp_db),
+        dump_all(&bc_db),
+        "{tag}: final engine state diverged"
+    );
+    assert_eq!(
+        interp_db.stats.snapshot_reads, bc_db.stats.snapshot_reads,
+        "{tag}: snapshot-read accounting diverged"
+    );
+}
+
+fn requests(wl: &mut dyn Workload, n: usize) -> Vec<(pyx_lang::MethodId, Vec<ArgVal>)> {
+    (0..n)
+        .map(|i| {
+            let r = wl.next_txn(i);
+            (r.entry, r.args)
+        })
+        .collect()
+}
+
+#[test]
+fn tpcc_new_order_mix_identical_across_tiers() {
+    let scale = tpcc::TpccScale {
+        warehouses: 2,
+        ..tpcc::TpccScale::default()
+    };
+    let seed = 0xD1FF;
+    let (pyxis, mut scratch, entry) = tpcc::setup(scale, seed);
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, seed).with_lines(3, 8);
+    let profile = pyxis
+        .profile(&mut scratch, requests(&mut gen, 40))
+        .expect("profiling");
+    let set = pyxis.generate(&profile, &[0.5]);
+
+    let mk = || {
+        let mut db = Engine::new();
+        tpcc::create_schema(&mut db);
+        tpcc::load(&mut db, scale, seed);
+        db
+    };
+    let mut wl = tpcc::NewOrderGen::new(entry, scale, 42).with_lines(3, 8);
+    let txns = requests(&mut wl, 25);
+    assert_tiers_identical(&set.pyxis[0].2, &mk, &txns, "tpcc/pyxis");
+    assert_tiers_identical(&set.jdbc, &mk, &txns, "tpcc/jdbc");
+    assert_tiers_identical(&set.manual, &mk, &txns, "tpcc/manual");
+}
+
+#[test]
+fn tpcw_browsing_mix_identical_across_tiers() {
+    let scale = tpcw::TpcwScale::default();
+    let seed = 0xB00C;
+    let (pyxis, mut scratch, entries) = tpcw::setup(scale, seed);
+    let mut mix = tpcw::BrowsingMix::new(entries, scale, seed);
+    let profile = pyxis
+        .profile(&mut scratch, requests(&mut mix, 40))
+        .expect("profiling");
+    let set = pyxis.generate(&profile, &[0.5]);
+
+    let mk = || {
+        let mut db = Engine::new();
+        tpcw::create_schema(&mut db);
+        tpcw::load(&mut db, scale, seed);
+        db
+    };
+    let mut wl = tpcw::BrowsingMix::new(entries, scale, 7);
+    let txns = requests(&mut wl, 30);
+    assert_tiers_identical(&set.pyxis[0].2, &mk, &txns, "tpcw/pyxis");
+    assert_tiers_identical(&set.jdbc, &mk, &txns, "tpcw/jdbc");
+    assert_tiers_identical(&set.manual, &mk, &txns, "tpcw/manual");
+}
+
+#[test]
+fn rollback_and_prints_identical_across_tiers() {
+    let src = r#"
+        class C {
+            int f(int k) {
+                dbUpdate("INSERT INTO t VALUES (?)", k);
+                print("inserted " + intToStr(k));
+                rollback();
+                return k * 3;
+            }
+        }
+    "#;
+    let prog = compile(src).unwrap();
+    let analysis = analyze(&prog, AnalysisConfig::default());
+    for placement in [Placement::all_app(&prog), Placement::all_db(&prog)] {
+        let part = CompiledPartition::build(&prog, &analysis, placement, false);
+        let mk = || {
+            let mut db = Engine::new();
+            db.create_table(TableDef::new(
+                "t",
+                vec![ColumnDef::new("k", ColTy::Int)],
+                &["k"],
+            ));
+            db
+        };
+        let entry = part.il.prog.find_method("C", "f").unwrap();
+        let txns = vec![(entry, vec![ArgVal::Int(9)])];
+        assert_tiers_identical(&part, &mk, &txns, "rollback");
+    }
+}
+
+// ---- proptest-generated programs ----
+
+/// Deterministic program builder driven by a single seed (SplitMix64):
+/// emits a two-method class exercising arithmetic, if/while control flow,
+/// field and array traffic, string builtins, calls, and db reads/writes
+/// over a small `kv` table.
+struct Gen {
+    state: u64,
+    /// Monotonic counter for generated local names (loop counters, row
+    /// vars) — guarantees no duplicate declarations.
+    fresh: u32,
+}
+
+impl Gen {
+    fn new(seed: u64) -> Gen {
+        Gen {
+            state: seed,
+            fresh: 0,
+        }
+    }
+
+    fn fresh(&mut self) -> u32 {
+        self.fresh += 1;
+        self.fresh
+    }
+
+    fn next(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// An int-typed expression over the temps `t0..t3`, the params, and
+    /// small constants. Division is excluded (both tiers would error
+    /// identically, but errors abort the run).
+    fn expr(&mut self) -> String {
+        let atom = |g: &mut Gen| match g.below(4) {
+            0 => format!("t{}", g.below(4)),
+            1 => "a".to_string(),
+            2 => "b".to_string(),
+            _ => format!("{}", g.below(9) as i64 - 4),
+        };
+        let a = atom(self);
+        match self.below(4) {
+            0 => a,
+            1 => format!("({a} + {})", atom(self)),
+            2 => format!("({a} - {})", atom(self)),
+            _ => format!("({a} * {})", atom(self)),
+        }
+    }
+
+    fn stmt(&mut self, depth: u32, out: &mut String, indent: &str) {
+        match self.below(if depth == 0 { 10 } else { 8 }) {
+            0 | 1 => {
+                let d = self.below(4);
+                let e = self.expr();
+                out.push_str(&format!("{indent}t{d} = {e};\n"));
+            }
+            2 => {
+                let f = self.below(2);
+                let e = self.expr();
+                out.push_str(&format!("{indent}this.f{f} = {e};\n"));
+            }
+            3 => {
+                let d = self.below(4);
+                let f = self.below(2);
+                out.push_str(&format!("{indent}t{d} = this.f{f};\n"));
+            }
+            4 => {
+                let i = self.below(4);
+                let e = self.expr();
+                out.push_str(&format!("{indent}arr[{i}] = {e};\n"));
+            }
+            5 => {
+                let d = self.below(4);
+                let i = self.below(4);
+                out.push_str(&format!("{indent}t{d} = arr[{i}];\n"));
+            }
+            6 => {
+                let d = self.below(4);
+                let e = self.expr();
+                out.push_str(&format!("{indent}t{d} = helper({e});\n"));
+            }
+            7 => {
+                let e = self.expr();
+                out.push_str(&format!("{indent}print(\"v=\" + intToStr({e}));\n"));
+            }
+            8 => {
+                // if / bounded while over a fresh loop counter.
+                let (x, y) = (self.expr(), self.expr());
+                if self.below(2) == 0 {
+                    out.push_str(&format!("{indent}if ({x} < {y}) {{\n"));
+                    self.stmt(depth + 1, out, &format!("{indent}    "));
+                    out.push_str(&format!("{indent}}} else {{\n"));
+                    self.stmt(depth + 1, out, &format!("{indent}    "));
+                    out.push_str(&format!("{indent}}}\n"));
+                } else {
+                    let n = self.below(3) + 1;
+                    let lv = format!("l{}", self.fresh());
+                    out.push_str(&format!("{indent}int {lv} = 0;\n"));
+                    out.push_str(&format!("{indent}while ({lv} < {n}) {{\n"));
+                    self.stmt(depth + 1, out, &format!("{indent}    "));
+                    out.push_str(&format!("{indent}    {lv} = {lv} + 1;\n"));
+                    out.push_str(&format!("{indent}}}\n"));
+                }
+            }
+            _ => {
+                // db traffic over keys that always exist (0..8).
+                let k = self.below(8);
+                let d = self.below(4);
+                if self.below(2) == 0 {
+                    let e = self.expr();
+                    out.push_str(&format!(
+                        "{indent}t{d} = dbUpdate(\"UPDATE kv SET v = v + ? WHERE k = ?\", {e}, {k});\n"
+                    ));
+                } else {
+                    let rv = format!("r{}", self.fresh());
+                    out.push_str(&format!(
+                        "{indent}row[] {rv} = dbQuery(\"SELECT v FROM kv WHERE k = ?\", {k});\n"
+                    ));
+                    out.push_str(&format!("{indent}t{d} = {rv}[0].getInt(0);\n"));
+                }
+            }
+        }
+    }
+
+    fn program(&mut self) -> String {
+        let mut body = String::new();
+        let n = self.below(6) + 3;
+        for _ in 0..n {
+            self.stmt(0, &mut body, "            ");
+        }
+        let mut helper = String::new();
+        for _ in 0..self.below(3) + 1 {
+            let d = self.below(4);
+            // Helper uses its own temps only (no heap/db: keeps the call
+            // graph read-write analysis varied but the helper total).
+            helper.push_str(&format!(
+                "            t{d} = (t{d} + x) * {};\n",
+                self.below(5) as i64 - 2
+            ));
+        }
+        format!(
+            r#"
+    class D {{
+        int f0;
+        int f1;
+        int helper(int x) {{
+            int t0 = x;
+            int t1 = 1;
+            int t2 = 2;
+            int t3 = 3;
+{helper}            return t0 + t1 + t2 + t3;
+        }}
+        int run(int a, int b) {{
+            int t0 = 0;
+            int t1 = 1;
+            int t2 = a;
+            int t3 = b;
+            this.f0 = a;
+            this.f1 = b;
+            int[] arr = new int[4];
+{body}            return ((t0 + t1) + (t2 + t3)) + (this.f0 + this.f1);
+        }}
+    }}
+"#
+        )
+    }
+}
+
+fn kv_engine() -> Engine {
+    let mut db = Engine::new();
+    db.create_table(TableDef::new(
+        "kv",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Int),
+        ],
+        &["k"],
+    ));
+    for k in 0..8 {
+        db.load_row("kv", vec![Scalar::Int(k), Scalar::Int(k * 10)]);
+    }
+    db
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random programs under random placements: both tiers must agree on
+    /// everything, including the wire bytes of every control transfer.
+    #[test]
+    fn generated_programs_match_across_tiers(seed in any::<u64>()) {
+        let mut g = Gen::new(seed);
+        let src = g.program();
+        let prog = compile(&src).unwrap_or_else(|d| panic!("generated program compiles: {d:?}\n{src}"));
+        let analysis = analyze(&prog, AnalysisConfig::default());
+
+        // Random placement with the JDBC co-location pin respected.
+        let mut db_call_stmts = vec![false; prog.stmt_count()];
+        prog.for_each_stmt(|_, s| {
+            if let pyx_lang::NStmtKind::Builtin { f, .. } = &s.kind {
+                if f.is_db_call() {
+                    db_call_stmts[s.id.index()] = true;
+                }
+            }
+        });
+        let mut placement = Placement::all_app(&prog);
+        let db_side = g.below(2) == 0;
+        for (i, &is_db_call) in db_call_stmts.iter().enumerate() {
+            placement.stmt_side[i] = if is_db_call {
+                if db_side { Side::Db } else { Side::App }
+            } else if g.below(2) == 0 {
+                Side::Db
+            } else {
+                Side::App
+            };
+        }
+        for f in 0..prog.fields.len() {
+            placement.field_side[f] = if g.below(2) == 0 { Side::Db } else { Side::App };
+        }
+
+        let il = build_pyxil(&prog, &analysis, placement, g.below(2) == 0);
+        let bp = compile_blocks(&il);
+        let bc = compile_bytecode(&il, &bp);
+        let part = CompiledPartition { il, bp, bc };
+        let entry = part.il.prog.find_method("D", "run").unwrap();
+        let args = vec![
+            ArgVal::Int(g.below(20) as i64 - 10),
+            ArgVal::Int(g.below(20) as i64 - 10),
+        ];
+        assert_tiers_identical(&part, &kv_engine, &[(entry, args)], &format!("gen#{seed}"));
+    }
+}
+
+#[test]
+fn runtime_errors_carry_identical_context_across_tiers() {
+    // A failing assign (division by zero) must produce the same error
+    // string on both tiers, including the tree-walker's `stmt …` context.
+    let src = r#"
+        class C {
+            int f(int k) {
+                int z = 0;
+                int r = k / z;
+                return r;
+            }
+        }
+    "#;
+    let prog = compile(src).unwrap();
+    let analysis = analyze(&prog, AnalysisConfig::default());
+    let part = CompiledPartition::build(&prog, &analysis, Placement::all_app(&prog), false);
+    let entry = part.il.prog.find_method("C", "f").unwrap();
+
+    let error_of = |bytecode: bool| {
+        let mut db = Engine::new();
+        let mut sess = Session::new(
+            &part.il,
+            &part.bp,
+            entry,
+            &[ArgVal::Int(5)],
+            RtCosts::default(),
+            &mut db,
+        )
+        .unwrap();
+        if bytecode {
+            sess.set_bytecode(&part.bc, VmScratch::default());
+        }
+        for _ in 0..100_000 {
+            match sess.advance(&mut db) {
+                Advance::Error(e) => return e.msg,
+                Advance::Finished => panic!("expected a runtime error"),
+                _ => {}
+            }
+        }
+        panic!("did not fail");
+    };
+    let interp_err = error_of(false);
+    let bc_err = error_of(true);
+    assert!(
+        interp_err.starts_with("stmt StmtId(") && interp_err.contains("division by zero"),
+        "interp error shape: {interp_err}"
+    );
+    assert_eq!(interp_err, bc_err, "error strings identical across tiers");
+}

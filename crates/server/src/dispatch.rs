@@ -21,7 +21,7 @@ use pyx_lang::MethodId;
 use pyx_pyxil::CompiledPartition;
 use pyx_runtime::cost::RtCosts;
 use pyx_runtime::monitor::{LoadMonitor, PartitionChoice};
-use pyx_runtime::session::{PreparedSites, Session};
+use pyx_runtime::session::{PreparedSites, Session, VmMode, VmScratch};
 use pyx_runtime::Advance;
 use std::collections::{BinaryHeap, HashMap, VecDeque};
 
@@ -58,6 +58,10 @@ pub struct DispatcherConfig {
     /// transactions (lock-free, restart-free). Disabled for
     /// pre-MVCC-equivalence regression tests and before/after benches.
     pub snapshot_reads: bool,
+    /// Which VM tier sessions dispatch: the register-bytecode fast path
+    /// (default) or the reference tree-walking interpreter. Both tiers
+    /// produce identical results, state, and wire bytes.
+    pub vm: VmMode,
 }
 
 impl Default for DispatcherConfig {
@@ -70,6 +74,7 @@ impl Default for DispatcherConfig {
             wake_delay_ns: 10_000,
             costs: RtCosts::default(),
             snapshot_reads: true,
+            vm: VmMode::Bytecode,
         }
     }
 }
@@ -139,6 +144,12 @@ pub struct DispatcherStats {
     pub peak_sessions: usize,
     /// Peak admission-queue depth.
     pub peak_queue: usize,
+    /// Retired transactions that ran on the bytecode tier.
+    pub bytecode_txns: u64,
+    /// Execution blocks entered across all retired sessions (both tiers).
+    pub vm_blocks: u64,
+    /// VM instructions executed across all retired sessions (both tiers).
+    pub vm_instrs: u64,
 }
 
 /// One-stop progress/health report: the dispatcher's own counters plus
@@ -207,6 +218,10 @@ pub struct Dispatcher<'a> {
     poll_scheduled: bool,
     switch_log: Vec<SwitchRecord>,
     stats: DispatcherStats,
+    /// Recycled bytecode-VM frame storage: retired sessions return their
+    /// slabs here and new sessions draw from it, so steady-state frame
+    /// setup allocates nothing.
+    scratch_pool: Vec<VmScratch>,
 }
 
 impl<'a> Dispatcher<'a> {
@@ -236,6 +251,7 @@ impl<'a> Dispatcher<'a> {
             poll_scheduled: false,
             switch_log: Vec::new(),
             stats: DispatcherStats::default(),
+            scratch_pool: Vec::new(),
         }
     }
 
@@ -357,6 +373,9 @@ impl<'a> Dispatcher<'a> {
         .expect("session construction");
         if !self.cfg.snapshot_reads {
             sess.set_snapshot_reads(false);
+        }
+        if self.cfg.vm == VmMode::Bytecode {
+            sess.set_bytecode(&part.bc, self.scratch_pool.pop().unwrap_or_default());
         }
         let live = Live {
             sess,
@@ -483,6 +502,8 @@ impl<'a> Dispatcher<'a> {
                 let tag = live.tag;
                 let submitted_ns = live.submitted_ns;
                 let req = live.req.clone();
+                // The dead session's frame slab seeds the restarted one.
+                let recycled = live.sess.take_scratch();
                 let (part, sites, low_budget) = self.choose(req.entry);
                 let mut fresh = Session::with_prepared(
                     &part.il,
@@ -495,6 +516,9 @@ impl<'a> Dispatcher<'a> {
                 .expect("session construction");
                 if !self.cfg.snapshot_reads {
                     fresh.set_snapshot_reads(false);
+                }
+                if self.cfg.vm == VmMode::Bytecode {
+                    fresh.set_bytecode(&part.bc, recycled.unwrap_or_default());
                 }
                 let live = self.sessions[sid].as_mut().expect("live session");
                 live.sess = fresh;
@@ -511,12 +535,18 @@ impl<'a> Dispatcher<'a> {
     }
 
     fn retire(&mut self, now: u64, sid: usize, error: Option<String>) -> Polled {
-        let live = self.sessions[sid].take().expect("live session");
+        let mut live = self.sessions[sid].take().expect("live session");
         self.free_slots.push(sid);
         self.active -= 1;
         self.stats.completed += 1;
         if live.sess.is_read_only() {
             self.stats.read_only_completed += 1;
+        }
+        self.stats.vm_blocks += live.sess.stats.blocks_executed;
+        self.stats.vm_instrs += live.sess.stats.instrs_executed;
+        if let Some(scratch) = live.sess.take_scratch() {
+            self.stats.bytecode_txns += 1;
+            self.scratch_pool.push(scratch);
         }
         let done = TxnDone {
             tag: live.tag,

@@ -33,4 +33,5 @@ pub use dispatch::{
     SwitchRecord, TxnDone,
 };
 pub use env::{Env, InstantEnv};
+pub use pyx_runtime::{VmMode, VmScratch};
 pub use workload::{FixedWorkload, TxnRequest, Workload};

@@ -345,3 +345,57 @@ fn contention_restarts_are_counted_and_transactions_retire() {
         .unwrap();
     assert_eq!(row[1], Scalar::Int(308), "all 8 bumps applied");
 }
+
+#[test]
+fn vm_tiers_agree_under_concurrency_and_scratch_recycles() {
+    let s = setup();
+    let run = |vm: pyx_server::VmMode| {
+        let mut engine = make_db();
+        let mut disp = Dispatcher::new(
+            Deployment::Fixed(&s.manual),
+            &mut engine,
+            DispatcherConfig {
+                max_sessions: 6,
+                vm,
+                ..DispatcherConfig::default()
+            },
+        );
+        // A mix of readers and contending writers across both entry
+        // points; hot keys force lock waits and wait-die restarts.
+        for i in 0..24u64 {
+            let e = match i % 3 {
+                0 => s.bump,
+                1 => s.get,
+                _ => s.put,
+            };
+            disp.submit(i, req(e, (i % 4) as i64), i);
+        }
+        let mut done = disp.run_until_idle(&mut engine, &mut InstantEnv);
+        done.sort_by_key(|d| d.tag);
+        let results: Vec<_> = done
+            .iter()
+            .map(|d| {
+                assert!(d.error.is_none(), "{:?}", d.error);
+                (d.tag, d.result.clone(), d.rolled_back)
+            })
+            .collect();
+        (results, engine.dump_table("kv"), disp.stats())
+    };
+    let (ri, state_i, stats_i) = run(pyx_server::VmMode::Interp);
+    let (rb, state_b, stats_b) = run(pyx_server::VmMode::Bytecode);
+    assert_eq!(ri, rb, "per-transaction results identical across tiers");
+    assert_eq!(
+        state_i, state_b,
+        "final engine state identical across tiers"
+    );
+    assert_eq!(stats_i.bytecode_txns, 0, "interp tier runs no bytecode");
+    assert_eq!(
+        stats_b.bytecode_txns, 24,
+        "every transaction ran on the bytecode tier"
+    );
+    assert_eq!(
+        stats_i.vm_instrs, stats_b.vm_instrs,
+        "instruction accounting identical across tiers"
+    );
+    assert_eq!(stats_i.vm_blocks, stats_b.vm_blocks);
+}

@@ -1,7 +1,7 @@
 //! Serve TPC-C through the `pyx-server` dispatcher — no simulation.
 //!
 //! ```sh
-//! cargo run --release --example serve [clients] [transactions]
+//! cargo run --release --example serve [clients] [transactions] [interp|bytecode]
 //! ```
 //!
 //! Where `dynamic_switching` prices dispatcher events onto a virtual
@@ -13,14 +13,37 @@
 //! the run reports wall-clock throughput plus the dispatcher's own
 //! counters (admissions, queue peaks, wait-die restarts).
 
-use pyxis::server::{Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv, Polled};
+use pyxis::server::{Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv, Polled, VmMode};
 use pyxis::workloads::tpcc;
 use std::time::Instant;
 
 fn main() {
-    let mut args = std::env::args().skip(1);
-    let clients: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(200);
-    let total: u64 = args.next().and_then(|a| a.parse().ok()).unwrap_or(20_000);
+    // Numeric args fill clients then transactions; `interp`/`bytecode`
+    // selects the VM tier and may appear in any position. Anything else
+    // is an error rather than a silently ignored knob.
+    let mut clients: usize = 200;
+    let mut total: u64 = 20_000;
+    let mut vm = VmMode::Bytecode;
+    let mut nums = 0;
+    for a in std::env::args().skip(1) {
+        match a.as_str() {
+            "interp" => vm = VmMode::Interp,
+            "bytecode" => vm = VmMode::Bytecode,
+            _ => match (nums, a.parse::<u64>()) {
+                (0, Ok(n)) => {
+                    clients = n as usize;
+                    nums = 1;
+                }
+                (1, Ok(n)) => {
+                    total = n;
+                    nums = 2;
+                }
+                _ => panic!(
+                    "unexpected argument `{a}` (usage: serve [clients] [transactions] [interp|bytecode])"
+                ),
+            },
+        }
+    }
 
     let scale = tpcc::TpccScale::default();
     let seed = 7;
@@ -48,13 +71,20 @@ fn main() {
         DispatcherConfig {
             max_sessions: clients,
             queue_cap: clients * 4,
+            vm,
             ..DispatcherConfig::default()
         },
     );
     let mut env = InstantEnv;
     let mut wl = tpcc::NewOrderGen::new(entry, scale, 999).with_lines(3, 8);
 
-    println!("serving {total} TPC-C new-order transactions over {clients} client sessions…");
+    println!(
+        "serving {total} TPC-C new-order transactions over {clients} client sessions ({} tier)…",
+        match vm {
+            VmMode::Interp => "interp",
+            VmMode::Bytecode => "bytecode",
+        }
+    );
     let t0 = Instant::now();
     let mut submitted = 0u64;
     let mut completed = 0u64;
@@ -98,4 +128,7 @@ fn main() {
     println!("  wait-die restarts    {:>10}", stats.deadlock_restarts);
     println!("  peak sessions        {:>10}", stats.peak_sessions);
     println!("  peak queue depth     {:>10}", stats.peak_queue);
+    println!("  bytecode txns        {:>10}", stats.bytecode_txns);
+    println!("  vm blocks executed   {:>10}", stats.vm_blocks);
+    println!("  vm instrs executed   {:>10}", stats.vm_instrs);
 }
