@@ -107,6 +107,9 @@ fn bench_server_throughput(c: &mut Criterion) {
                                 entry,
                                 args: vec![ArgVal::Int(k % 1024)],
                                 label: "bench",
+                                // Micro-style routing key: the point key
+                                // the transaction's statements hit.
+                                route: Some(k % 1024),
                             },
                             i as u64,
                         );

@@ -68,6 +68,7 @@ fn main() {
                     entry,
                     args: vec![ArgVal::Int(NQ), ArgVal::Int(NSHA), ArgVal::Int(NQ)],
                     label: "micro2",
+                    route: None,
                 },
             };
             let cfg = SimConfig {

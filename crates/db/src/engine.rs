@@ -46,7 +46,7 @@ use crate::table::Table;
 use crate::txn::{Txn, TxnId, UndoOp};
 use pyx_lang::Scalar;
 use std::collections::{BTreeMap, HashMap, VecDeque};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Errors surfaced to the runtime / simulator.
 #[derive(Debug, Clone, PartialEq)]
@@ -85,7 +85,7 @@ impl std::error::Error for DbError {}
 pub struct QueryResult {
     /// Result rows. Shared with table storage where possible (`SELECT *`
     /// is a refcount bump per row, not a copy).
-    pub rows: Vec<Rc<Vec<Scalar>>>,
+    pub rows: Vec<Arc<Vec<Scalar>>>,
     /// Rows affected by a write.
     pub affected: u64,
     /// Virtual CPU cost consumed by this statement.
@@ -128,6 +128,43 @@ pub struct EngineStats {
     pub versions_created: u64,
     /// Versions (and vacated tombstoned slots) reclaimed by GC.
     pub versions_gced: u64,
+}
+
+impl EngineStats {
+    /// Accumulate another engine's counters (sharded deployments report
+    /// the sum over all shards). Destructured without a rest pattern so
+    /// adding a counter to [`EngineStats`] is a compile error here
+    /// rather than a silently missing column in merged reports.
+    pub fn merge(&mut self, o: &EngineStats) {
+        let EngineStats {
+            statements,
+            commits,
+            aborts,
+            would_blocks,
+            deadlocks,
+            prepared_hits,
+            prepared_misses,
+            rows_examined,
+            parse_evictions,
+            read_only_txns,
+            snapshot_reads,
+            versions_created,
+            versions_gced,
+        } = o;
+        self.statements += statements;
+        self.commits += commits;
+        self.aborts += aborts;
+        self.would_blocks += would_blocks;
+        self.deadlocks += deadlocks;
+        self.prepared_hits += prepared_hits;
+        self.prepared_misses += prepared_misses;
+        self.rows_examined += rows_examined;
+        self.parse_evictions += parse_evictions;
+        self.read_only_txns += read_only_txns;
+        self.snapshot_reads += snapshot_reads;
+        self.versions_created += versions_created;
+        self.versions_gced += versions_gced;
+    }
 }
 
 /// Cap on the ad-hoc (legacy) parse cache. Ad-hoc SQL with inline
@@ -175,6 +212,110 @@ impl Default for Engine {
         Self::new()
     }
 }
+
+/// Object-safe façade over a transactional SQL engine — the surface the
+/// runtime ([`pyx_runtime::Session`]) and the dispatcher actually use.
+///
+/// Two implementors exist:
+///
+/// * [`Engine`] — one shard (or the whole database in single-shard
+///   deployments); every method delegates to the inherent fast paths.
+/// * `pyx-server`'s multi-partition lane engine, which routes each
+///   statement to the shard owning its rows and fans transaction
+///   begin/commit/abort out to the shards a transaction touched.
+///
+/// Keeping the trait object-safe (and the session generic over it) is what
+/// lets one compiled program run unchanged against a single engine, a
+/// worker's shard, or a cross-shard transaction context.
+pub trait Database {
+    /// Start a read-write transaction.
+    fn begin(&mut self) -> TxnId;
+    /// Start a read-write transaction retaining a prior incarnation's
+    /// wait-die age (see [`Engine::begin_aged`]). Implementations without
+    /// a lock manager to age against may ignore the hint.
+    fn begin_aged(&mut self, age: u64) -> TxnId {
+        let _ = age;
+        self.begin()
+    }
+    /// Start a read-only MVCC snapshot transaction.
+    fn begin_read_only(&mut self) -> TxnId;
+    /// Commit; returns (virtual CPU cost, woken lock waiters).
+    fn commit(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError>;
+    /// Abort and undo; returns (virtual CPU cost, woken lock waiters).
+    fn abort(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError>;
+    /// Parse + cache a statement, returning a reusable handle.
+    fn prepare(&mut self, sql: &str) -> Result<PreparedId, DbError>;
+    /// Ad-hoc execution (parse-cache + re-plan per call).
+    fn execute(&mut self, txn: TxnId, sql: &str, params: &[Scalar])
+        -> Result<QueryResult, DbError>;
+    /// Fast-path execution of a prepared handle.
+    fn execute_prepared(
+        &mut self,
+        txn: TxnId,
+        id: PreparedId,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError>;
+    /// Aggregate statement/transaction counters.
+    fn db_stats(&self) -> EngineStats;
+}
+
+impl Database for Engine {
+    fn begin(&mut self) -> TxnId {
+        Engine::begin(self)
+    }
+
+    fn begin_aged(&mut self, age: u64) -> TxnId {
+        Engine::begin_aged(self, age)
+    }
+
+    fn begin_read_only(&mut self) -> TxnId {
+        Engine::begin_read_only(self)
+    }
+
+    fn commit(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        Engine::commit(self, txn)
+    }
+
+    fn abort(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        Engine::abort(self, txn)
+    }
+
+    fn prepare(&mut self, sql: &str) -> Result<PreparedId, DbError> {
+        Engine::prepare(self, sql)
+    }
+
+    fn execute(
+        &mut self,
+        txn: TxnId,
+        sql: &str,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        Engine::execute(self, txn, sql, params)
+    }
+
+    fn execute_prepared(
+        &mut self,
+        txn: TxnId,
+        id: PreparedId,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        Engine::execute_prepared(self, txn, id, params)
+    }
+
+    fn db_stats(&self) -> EngineStats {
+        self.stats.clone()
+    }
+}
+
+// The sharded serving tier moves loaded engines into worker threads, so
+// everything an engine owns (rows, undo logs, version chains, plans) must
+// be `Send`. This assertion turns an accidental `Rc`/`RefCell` regression
+// into a compile error at the source instead of a distant one in
+// `pyx-server`.
+const _: () = {
+    const fn assert_send<T: Send>() {}
+    assert_send::<Engine>()
+};
 
 /// Access path with values resolved for one execution.
 #[derive(Debug)]
@@ -280,6 +421,12 @@ impl Engine {
             .collect()
     }
 
+    /// Schema of a table, if it exists (sharded loaders route rows by the
+    /// def's shard key).
+    pub fn table_def(&self, table: &str) -> Option<&crate::schema::TableDef> {
+        self.by_name.get(table).map(|&t| &self.tables[t].def)
+    }
+
     /// Names of all tables (testing and diagnostics).
     pub fn table_names(&self) -> Vec<String> {
         let mut names: Vec<String> = self.by_name.keys().cloned().collect();
@@ -291,6 +438,17 @@ impl Engine {
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
         self.txns.insert(id, Txn::default());
+        id
+    }
+
+    /// Begin a read-write transaction that keeps the wait-die age of an
+    /// earlier incarnation (`age` = the first incarnation's id). A
+    /// restarted transaction thereby grows *older* relative to newer
+    /// arrivals instead of re-entering as the youngest and dying again —
+    /// wait-die's standard no-starvation rule.
+    pub fn begin_aged(&mut self, age: u64) -> TxnId {
+        let id = self.begin();
+        self.locks.set_age(id, age);
         id
     }
 
@@ -487,30 +645,48 @@ impl Engine {
         Ok(plan.path_kind())
     }
 
-    /// Fetch (or lazily resolve) the plan for `id` under the current
-    /// schema epoch.
-    fn plan_of(&mut self, id: PreparedId) -> Result<Rc<Plan>, DbError> {
+    /// How a prepared statement routes across engine shards (resolving the
+    /// plan if needed). See [`crate::prepared::StmtRoute`].
+    pub fn prepared_route(&mut self, id: PreparedId) -> Result<prepared::StmtRoute, DbError> {
+        let plan = self.plan_of(id)?;
+        Ok(prepared::route_of(&plan, &self.tables))
+    }
+
+    /// Make sure `id`'s slot holds a plan resolved under the current
+    /// schema epoch (the fast path is a hit: two integer compares, no
+    /// refcount traffic).
+    fn ensure_plan(&mut self, id: PreparedId) -> Result<(), DbError> {
         let idx = id.0 as usize;
         let entry = self
             .prepared
             .get(idx)
             .ok_or_else(|| DbError::Schema(format!("unknown prepared statement {:?}", id)))?;
-        if entry.epoch == self.schema_epoch {
-            if let Some(plan) = &entry.plan {
-                self.stats.prepared_hits += 1;
-                return Ok(Rc::clone(plan));
-            }
+        if entry.epoch == self.schema_epoch && entry.plan.is_some() {
+            self.stats.prepared_hits += 1;
+            return Ok(());
         }
         self.stats.prepared_misses += 1;
-        let plan = Rc::new(prepared::resolve_plan(
+        let plan = Arc::new(prepared::resolve_plan(
             &self.prepared[idx].stmt,
             &self.tables,
             &self.by_name,
         )?);
         let entry = &mut self.prepared[idx];
-        entry.plan = Some(Rc::clone(&plan));
+        entry.plan = Some(plan);
         entry.epoch = self.schema_epoch;
-        Ok(plan)
+        Ok(())
+    }
+
+    /// Fetch (or lazily resolve) a shared handle to the plan for `id`
+    /// under the current schema epoch (diagnostics / routing).
+    fn plan_of(&mut self, id: PreparedId) -> Result<Arc<Plan>, DbError> {
+        self.ensure_plan(id)?;
+        Ok(Arc::clone(
+            self.prepared[id.0 as usize]
+                .plan
+                .as_ref()
+                .expect("just resolved"),
+        ))
     }
 
     /// Execute a prepared statement: parameter substitution only — no
@@ -538,11 +714,21 @@ impl Engine {
                 params.len()
             )));
         }
-        let plan = match self.plan_of(id) {
-            Ok(p) => p,
+        // Move the cached plan handle *out* of its slot for the duration
+        // of execution instead of cloning it: zero refcount traffic on
+        // the per-statement fast path (the `Arc` only pays atomics when a
+        // handle is actually shared, e.g. by diagnostics). Nothing inside
+        // `execute_plan` can touch the slot — it never prepares or
+        // resolves — so the temporary `None` is unobservable.
+        let plan = match self.ensure_plan(id) {
+            Ok(()) => self.prepared[id.0 as usize]
+                .plan
+                .take()
+                .expect("ensure_plan resolved the slot"),
             Err(e) => return self.finish_stmt(txn, Err(e)),
         };
         let res = self.execute_plan(txn, &plan, params);
+        self.prepared[id.0 as usize].plan = Some(plan);
         self.finish_stmt(txn, res)
     }
 
@@ -876,7 +1062,7 @@ impl Engine {
         let t = &self.tables[ti];
         let shared = |&r: &RowId| t.get_shared(r).expect("locked row exists");
         let out = if order_by.is_some() || limit.is_some() {
-            let mut rows: Vec<&Rc<Vec<Scalar>>> = matched.iter().map(shared).collect();
+            let mut rows: Vec<&Arc<Vec<Scalar>>> = matched.iter().map(shared).collect();
             // ORDER BY before projection (sort key need not be projected).
             if let Some((ci, desc)) = order_by {
                 rows.sort_by(|a, b| a[ci].total_cmp(&b[ci]));
@@ -926,7 +1112,7 @@ impl Engine {
         let mut scratch = std::mem::take(&mut self.key_scratch);
         let mut examined = 0usize;
         let t = &self.tables[ti];
-        let mut rows: Vec<&Rc<Vec<Scalar>>> = Vec::new();
+        let mut rows: Vec<&Arc<Vec<Scalar>>> = Vec::new();
         Self::for_each_candidate(t, path, &mut scratch, |rid| {
             // A candidate with no version at the snapshot was inserted
             // later or deleted earlier — invisible.
@@ -967,18 +1153,18 @@ impl Engine {
 
     /// Apply a resolved projection to a row stream.
     fn project<'a>(
-        rows: impl Iterator<Item = &'a Rc<Vec<Scalar>>>,
+        rows: impl Iterator<Item = &'a Arc<Vec<Scalar>>>,
         proj: &ProjP,
-    ) -> Result<Vec<Rc<Vec<Scalar>>>, DbError> {
+    ) -> Result<Vec<Arc<Vec<Scalar>>>, DbError> {
         Ok(match proj {
             // Zero-copy: the result shares the stored row images.
-            ProjP::All => rows.map(Rc::clone).collect(),
+            ProjP::All => rows.map(Arc::clone).collect(),
             ProjP::Cols(idxs) => rows
-                .map(|r| Rc::new(idxs.iter().map(|&i| r[i].clone()).collect()))
+                .map(|r| Arc::new(idxs.iter().map(|&i| r[i].clone()).collect()))
                 .collect(),
             ProjP::Agg(f, ci) => {
                 let v = Self::aggregate(*f, *ci, rows)?;
-                vec![Rc::new(vec![v])]
+                vec![Arc::new(vec![v])]
             }
         })
     }
@@ -987,7 +1173,7 @@ impl Engine {
     fn aggregate<'a>(
         f: AggFn,
         ci: Option<usize>,
-        rows: impl Iterator<Item = &'a Rc<Vec<Scalar>>>,
+        rows: impl Iterator<Item = &'a Arc<Vec<Scalar>>>,
     ) -> Result<Scalar, DbError> {
         if f == AggFn::Count {
             return Ok(Scalar::Int(rows.count() as i64));
@@ -1110,7 +1296,7 @@ impl Engine {
         let mut affected = 0u64;
         let mut apply = || -> Result<(), DbError> {
             for &rid in &matched {
-                let old = Rc::clone(self.tables[ti].get_shared(rid).expect("locked row"));
+                let old = Arc::clone(self.tables[ti].get_shared(rid).expect("locked row"));
                 let mut new_row = old.as_ref().clone();
                 for (ci, se) in sets {
                     new_row[*ci] = Self::eval_set(se, &old, params)?;

@@ -9,7 +9,7 @@ use crate::fxhash::FxHashMap;
 use pyx_lang::Scalar;
 use std::collections::BTreeMap;
 use std::ops::Bound;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// An index key: a tuple of scalars with a total order.
 #[derive(Debug, Clone)]
@@ -93,12 +93,12 @@ pub struct RowId(pub u32);
 /// Unique (primary) index: key → row. The B-tree carries the ordered
 /// scans (prefix ranges, pk-order iteration); a hash sidecar answers
 /// point lookups in O(1) — the access TPC-style workloads hammer. Both
-/// maps share one `Rc<Key>` per row, so the sidecar costs a refcount,
+/// maps share one `Arc<Key>` per row, so the sidecar costs a refcount,
 /// not a second copy of every key.
 #[derive(Debug, Default, Clone)]
 pub struct UniqueIndex {
-    map: BTreeMap<Rc<Key>, RowId>,
-    fast: FxHashMap<Rc<Key>, RowId>,
+    map: BTreeMap<Arc<Key>, RowId>,
+    fast: FxHashMap<Arc<Key>, RowId>,
 }
 
 impl UniqueIndex {
@@ -135,8 +135,8 @@ impl UniqueIndex {
         if self.fast.contains_key(&key) {
             return false;
         }
-        let key = Rc::new(key);
-        self.map.insert(Rc::clone(&key), row);
+        let key = Arc::new(key);
+        self.map.insert(Arc::clone(&key), row);
         self.fast.insert(key, row);
         true
     }

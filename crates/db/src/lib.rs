@@ -69,9 +69,9 @@ pub mod sqlparse;
 pub mod table;
 pub mod txn;
 
-pub use engine::{DbError, Engine, EngineStats, QueryResult};
+pub use engine::{Database, DbError, Engine, EngineStats, QueryResult};
 pub use lock::LockMode;
-pub use prepared::PreparedId;
+pub use prepared::{PreparedId, StmtRoute};
 pub use pyx_lang::Scalar;
-pub use schema::{ColTy, ColumnDef, TableDef};
+pub use schema::{shard_of, ColTy, ColumnDef, TableDef};
 pub use txn::TxnId;

@@ -54,6 +54,12 @@ pub struct LockTable {
     entries: FxHashMap<LockKey, Entry>,
     /// Keys each transaction holds (for O(held) release).
     held: FxHashMap<TxnId, Vec<LockKey>>,
+    /// Wait-die *age* overrides: a restarted transaction re-begins under
+    /// a fresh id but keeps its original age
+    /// ([`crate::Engine::begin_aged`]), so it grows older across retries
+    /// instead of dying forever — the textbook wait-die no-starvation
+    /// rule. Transactions without an entry age as their own id.
+    ages: FxHashMap<TxnId, u64>,
     /// Reused probe buffer: re-acquiring a held lock (every retry and
     /// every repeated touch of a hot row) allocates nothing.
     probe: Vec<Scalar>,
@@ -62,6 +68,13 @@ pub struct LockTable {
 impl LockTable {
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Pin `txn`'s wait-die age (a restarted transaction passes the id of
+    /// its first incarnation). Must be called before `txn` requests any
+    /// lock; the entry is dropped with the transaction's locks.
+    pub fn set_age(&mut self, txn: TxnId, age: u64) {
+        self.ages.insert(txn, age);
     }
 
     /// Request `mode` on `(table, key)` for `txn`.
@@ -106,22 +119,32 @@ impl LockTable {
                 Acquire::Granted
             } else {
                 // Upgrade blocked by other shared holders.
-                Self::wait_or_die(txn, entry, &conflicting)
+                Self::wait_or_die(txn, entry, &conflicting, &self.ages)
             }
         } else if conflicting.is_empty() {
             entry.holders.push((txn, mode));
             self.held.entry(txn).or_default().push(lk.clone());
             Acquire::Granted
         } else {
-            Self::wait_or_die(txn, entry, &conflicting)
+            Self::wait_or_die(txn, entry, &conflicting, &self.ages)
         };
         self.probe = lk.1 .0;
         result
     }
 
-    /// Wait-die: wait only if older than every conflicting holder.
-    fn wait_or_die(txn: TxnId, entry: &mut Entry, conflicting: &[TxnId]) -> Acquire {
-        if conflicting.iter().all(|&h| txn < h) {
+    /// Wait-die: wait only if older than every conflicting holder. Age is
+    /// the retained original id for restarted transactions, the own id
+    /// otherwise; ties (impossible between distinct logical transactions)
+    /// break on the id so the order stays strictly total — the guarantee
+    /// wait-die's deadlock freedom rests on.
+    fn wait_or_die(
+        txn: TxnId,
+        entry: &mut Entry,
+        conflicting: &[TxnId],
+        ages: &FxHashMap<TxnId, u64>,
+    ) -> Acquire {
+        let age = |t: TxnId| (ages.get(&t).copied().unwrap_or(t.0), t);
+        if conflicting.iter().all(|&h| age(txn) < age(h)) {
             if !entry.waiters.contains(&txn) {
                 entry.waiters.push(txn);
             }
@@ -136,6 +159,7 @@ impl LockTable {
     /// key — the caller should let them retry their blocked statement.
     pub fn release_all(&mut self, txn: TxnId) -> Vec<TxnId> {
         let mut woken = Vec::new();
+        self.ages.remove(&txn);
         let keys = self.held.remove(&txn).unwrap_or_default();
         for lk in keys {
             if let Some(entry) = self.entries.get_mut(&lk) {

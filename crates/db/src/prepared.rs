@@ -18,7 +18,7 @@ use crate::sqlparse::{AggFn, Cmp, CmpOp, SetExpr, SqlStmt, Term};
 use crate::table::Table;
 use pyx_lang::Scalar;
 use std::collections::HashMap;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Handle returned by [`crate::Engine::prepare`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -165,6 +165,86 @@ impl Plan {
     }
 }
 
+/// How a statement routes across engine shards, derived from its resolved
+/// plan and the target table's [`crate::schema::TableDef::shard_key`].
+/// The sharded serving tier's multi-partition lane uses this to send each
+/// statement of a cross-shard transaction to the shard(s) owning its rows.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StmtRoute {
+    /// Table has no shard key: reads may use any replica, writes must be
+    /// applied to every replica to keep them byte-identical.
+    Replicated { write: bool },
+    /// Shard key is equality-bound to parameter `param`: route by
+    /// [`crate::schema::shard_of`] of the runtime value.
+    ByParam { param: usize },
+    /// Shard key is equality-bound to a literal.
+    ByLit(Scalar),
+    /// Sharded table without a shard-key equality (e.g. a full scan):
+    /// every shard executes the statement over its own rows; reads
+    /// concatenate, writes sum their affected counts. `mergeable` is
+    /// false for reads whose per-shard results cannot be combined by
+    /// concatenation (ORDER BY, LIMIT, aggregates) — a cross-shard
+    /// executor must reject those rather than return wrong answers.
+    Scatter { write: bool, mergeable: bool },
+    /// The statement cannot run correctly on a sharded deployment at
+    /// all — e.g. an UPDATE that sets the shard-key column, which would
+    /// change a row's ownership without moving it. A cross-shard
+    /// executor must fail loudly with `reason`.
+    Unroutable { reason: &'static str },
+}
+
+/// Derive the shard route of a resolved plan. INSERTs route by the
+/// shard-key column of the inserted row; SELECT/UPDATE/DELETE by an
+/// equality predicate on the shard-key column. An UPDATE that sets the
+/// shard-key column is [`StmtRoute::Unroutable`]: it would change the
+/// row's ownership without moving it, so sharded schemas must treat
+/// shard keys as immutable — the same rule the table layer enforces for
+/// primary keys.
+pub(crate) fn route_of(plan: &Plan, tables: &[Table]) -> StmtRoute {
+    let (ti, write) = match plan {
+        Plan::Select(p) => (p.ti, false),
+        Plan::Insert(p) => (p.ti, true),
+        Plan::Update(p) => (p.ti, true),
+        Plan::Delete(p) => (p.ti, true),
+    };
+    let Some(sc) = tables[ti].def.shard_key else {
+        return StmtRoute::Replicated { write };
+    };
+    if let Plan::Update(p) = plan {
+        if p.sets.iter().any(|(ci, _)| *ci == sc) {
+            return StmtRoute::Unroutable {
+                reason: "UPDATE sets the shard-key column; shard keys are immutable \
+                         (re-insert the row under its new key instead)",
+            };
+        }
+    }
+    let find_eq = |preds: &[PredP]| -> Option<PTerm> {
+        preds
+            .iter()
+            .find(|p| p.col == sc && p.op == CmpOp::Eq)
+            .map(|p| p.term.clone())
+    };
+    let term = match plan {
+        Plan::Insert(p) => Some(p.row[sc].clone()),
+        Plan::Select(p) => find_eq(&p.preds),
+        Plan::Update(p) => find_eq(&p.preds),
+        Plan::Delete(p) => find_eq(&p.preds),
+    };
+    match term {
+        Some(PTerm::Param(i)) => StmtRoute::ByParam { param: i },
+        Some(PTerm::Lit(s)) => StmtRoute::ByLit(s),
+        None => {
+            let mergeable = match plan {
+                Plan::Select(p) => {
+                    p.order_by.is_none() && p.limit.is_none() && !matches!(p.proj, ProjP::Agg(..))
+                }
+                _ => true,
+            };
+            StmtRoute::Scatter { write, mergeable }
+        }
+    }
+}
+
 /// One cached prepared statement: the retained parse tree plus the
 /// (epoch-tagged) resolved plan.
 #[derive(Debug)]
@@ -173,7 +253,7 @@ pub(crate) struct PreparedStmt {
     pub stmt: SqlStmt,
     pub nparams: usize,
     /// `None` until first execution or after schema invalidation.
-    pub plan: Option<Rc<Plan>>,
+    pub plan: Option<Arc<Plan>>,
     /// Schema epoch `plan` was resolved against; a mismatch with the
     /// engine's current epoch forces re-resolution.
     pub epoch: u64,

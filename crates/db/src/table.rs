@@ -34,18 +34,18 @@
 use crate::index::{MultiIndex, RowId, UniqueIndex};
 use crate::schema::TableDef;
 use pyx_lang::Scalar;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One row slot: current image plus committed version chain.
 #[derive(Debug, Clone, Default)]
 struct Slot {
     /// Current image (possibly uncommitted). `None` = deleted in current
     /// state.
-    cur: Option<Rc<Vec<Scalar>>>,
+    cur: Option<Arc<Vec<Scalar>>>,
     /// Committed versions, ascending `commit_ts`; `None` = tombstone. The
     /// last entry is the latest *committed* image; `cur` may deviate from
     /// it while a writer holds the row's exclusive lock.
-    hist: Vec<(u64, Option<Rc<Vec<Scalar>>>)>,
+    hist: Vec<(u64, Option<Arc<Vec<Scalar>>>)>,
 }
 
 impl Slot {
@@ -57,7 +57,7 @@ impl Slot {
     /// Does any retained image (current or historical) carry `v` in
     /// column `col`? Governs secondary-index entry retention.
     fn has_value(&self, col: usize, v: &Scalar) -> bool {
-        let eq = |img: &Rc<Vec<Scalar>>| img[col].total_cmp(v) == std::cmp::Ordering::Equal;
+        let eq = |img: &Arc<Vec<Scalar>>| img[col].total_cmp(v) == std::cmp::Ordering::Equal;
         self.cur.as_ref().is_some_and(&eq)
             || self
                 .hist
@@ -122,12 +122,12 @@ impl Table {
 
     /// Insert a validated row. Fails on duplicate primary key.
     pub fn insert(&mut self, row: Vec<Scalar>) -> Result<RowId, String> {
-        self.insert_shared(Rc::new(row))
+        self.insert_shared(Arc::new(row))
     }
 
     /// Insert an already-shared row image (undo-log restores reuse the
-    /// saved `Rc` without copying the cells).
-    pub fn insert_shared(&mut self, row: Rc<Vec<Scalar>>) -> Result<RowId, String> {
+    /// saved `Arc` without copying the cells).
+    pub fn insert_shared(&mut self, row: Arc<Vec<Scalar>>) -> Result<RowId, String> {
         self.validate(&row)?;
         let key = self.def.key_of(&row);
         if let Some(rid) = self.primary.get(&key) {
@@ -172,14 +172,14 @@ impl Table {
     }
 
     /// Shared handle to a live row (refcount bump, no cell copy).
-    pub fn get_shared(&self, rid: RowId) -> Option<&Rc<Vec<Scalar>>> {
+    pub fn get_shared(&self, rid: RowId) -> Option<&Arc<Vec<Scalar>>> {
         self.rows.get(rid.0 as usize).and_then(|s| s.cur.as_ref())
     }
 
     /// The committed image of a row *as of* snapshot timestamp `ts`:
     /// the newest version stamped at or before `ts`. `None` when the row
     /// was not yet inserted, was deleted, or has no committed version.
-    pub fn version_at(&self, rid: RowId, ts: u64) -> Option<&Rc<Vec<Scalar>>> {
+    pub fn version_at(&self, rid: RowId, ts: u64) -> Option<&Arc<Vec<Scalar>>> {
         self.rows
             .get(rid.0 as usize)?
             .hist
@@ -242,7 +242,7 @@ impl Table {
         let Some(cut) = self.rows[idx].hist.iter().rposition(|(t, _)| *t <= horizon) else {
             return (0, self.rows[idx].hist.len() > 1);
         };
-        let pruned: Vec<(u64, Option<Rc<Vec<Scalar>>>)> =
+        let pruned: Vec<(u64, Option<Arc<Vec<Scalar>>>)> =
             self.rows[idx].hist.drain(..cut).collect();
         let mut dropped = pruned.len() as u64;
         for (_, img) in &pruned {
@@ -276,16 +276,16 @@ impl Table {
     /// Overwrite non-key columns of a row. Returns the old row image
     /// (shared — the caller's undo log keeps it alive without copying).
     /// Primary-key columns must not change (enforced).
-    pub fn update(&mut self, rid: RowId, new_row: Vec<Scalar>) -> Result<Rc<Vec<Scalar>>, String> {
-        self.update_shared(rid, Rc::new(new_row))
+    pub fn update(&mut self, rid: RowId, new_row: Vec<Scalar>) -> Result<Arc<Vec<Scalar>>, String> {
+        self.update_shared(rid, Arc::new(new_row))
     }
 
     /// [`Table::update`] with an already-shared replacement image.
     pub fn update_shared(
         &mut self,
         rid: RowId,
-        new_row: Rc<Vec<Scalar>>,
-    ) -> Result<Rc<Vec<Scalar>>, String> {
+        new_row: Arc<Vec<Scalar>>,
+    ) -> Result<Arc<Vec<Scalar>>, String> {
         self.validate(&new_row)?;
         let old = self.rows[rid.0 as usize]
             .cur
@@ -319,7 +319,7 @@ impl Table {
     /// and its index entries are retained while committed versions remain
     /// (snapshots may still read them); a never-committed row vacates
     /// immediately.
-    pub fn delete(&mut self, rid: RowId) -> Result<Rc<Vec<Scalar>>, String> {
+    pub fn delete(&mut self, rid: RowId) -> Result<Arc<Vec<Scalar>>, String> {
         let row = self.rows[rid.0 as usize]
             .cur
             .take()

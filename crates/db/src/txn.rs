@@ -15,7 +15,7 @@
 
 use crate::index::RowId;
 use pyx_lang::Scalar;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Transaction identifier. Ids are assigned monotonically; a smaller id
 /// means an *older* transaction, which wait-die lets wait rather than die.
@@ -29,12 +29,12 @@ pub enum UndoOp {
     /// Undo an insert: delete the row with this primary key.
     Insert { table: usize, key: Vec<Scalar> },
     /// Undo a delete: re-insert the full row.
-    Delete { table: usize, row: Rc<Vec<Scalar>> },
+    Delete { table: usize, row: Arc<Vec<Scalar>> },
     /// Undo an update: restore the old image.
     Update {
         table: usize,
         rid: RowId,
-        old: Rc<Vec<Scalar>>,
+        old: Arc<Vec<Scalar>>,
     },
 }
 

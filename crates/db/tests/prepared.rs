@@ -395,7 +395,7 @@ fn select_star_is_zero_copy() {
     assert_eq!(r1.rows.len(), 1);
     // Both results point at the same shared row image.
     assert!(
-        std::rc::Rc::ptr_eq(&r1.rows[0], &r2.rows[0]),
+        std::sync::Arc::ptr_eq(&r1.rows[0], &r2.rows[0]),
         "SELECT * must share the stored row, not copy it"
     );
 }

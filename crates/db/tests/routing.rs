@@ -1,0 +1,235 @@
+//! Shard-routing unit tests: the canonical `shard_of` mapping, shard-key
+//! schema plumbing, and `Engine::prepared_route`'s plan-shape analysis.
+
+use pyx_db::{shard_of, ColTy, ColumnDef, Engine, Scalar, StmtRoute, TableDef};
+
+fn sharded_engine() -> Engine {
+    let mut db = Engine::new();
+    db.create_table(
+        TableDef::new(
+            "acct",
+            vec![
+                ColumnDef::new("w", ColTy::Int),
+                ColumnDef::new("id", ColTy::Int),
+                ColumnDef::new("bal", ColTy::Double),
+            ],
+            &["w", "id"],
+        )
+        .with_shard_key("w"),
+    );
+    db.create_table(TableDef::new(
+        "ref_tab",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Str),
+        ],
+        &["k"],
+    ));
+    db
+}
+
+#[test]
+fn shard_of_int_spreads_by_rem_euclid() {
+    assert_eq!(shard_of(&Scalar::Int(0), 4), 0);
+    assert_eq!(shard_of(&Scalar::Int(5), 4), 1);
+    assert_eq!(
+        shard_of(&Scalar::Int(-1), 4),
+        3,
+        "negative keys stay in range"
+    );
+    // One shard absorbs everything.
+    for k in [-3i64, 0, 7, i64::MAX, i64::MIN] {
+        assert_eq!(shard_of(&Scalar::Int(k), 1), 0);
+    }
+}
+
+#[test]
+fn shard_of_matches_engine_numeric_equality() {
+    // The engine's key equality treats Int(k) == Double(k.0); routing
+    // must be constant on those equality classes or a Double-bound
+    // parameter would probe a different shard than the loader used.
+    for w in 1..6 {
+        for k in [-5i64, -1, 0, 1, 7, 1 << 40] {
+            assert_eq!(
+                shard_of(&Scalar::Int(k), w),
+                shard_of(&Scalar::Double(k as f64), w),
+                "Int({k}) vs Double({k}.0) at W={w}"
+            );
+        }
+    }
+    // Non-integral doubles are not equal to any Int; they only need to
+    // be self-consistent.
+    assert_eq!(
+        shard_of(&Scalar::Double(1.5), 4),
+        shard_of(&Scalar::Double(1.5), 4)
+    );
+}
+
+#[test]
+fn shard_key_update_is_unroutable() {
+    let mut db = sharded_engine();
+    let id = db.prepare("UPDATE acct SET w = ? WHERE id = ?").unwrap();
+    assert!(matches!(
+        db.prepared_route(id).unwrap(),
+        StmtRoute::Unroutable { .. }
+    ));
+    // Updating any other column stays routable.
+    let ok = db.prepare("UPDATE acct SET bal = ? WHERE w = ?").unwrap();
+    assert_eq!(
+        db.prepared_route(ok).unwrap(),
+        StmtRoute::ByParam { param: 1 }
+    );
+}
+
+#[test]
+fn shard_of_non_int_is_deterministic_and_in_range() {
+    for w in 1..6 {
+        for key in [
+            Scalar::Null,
+            Scalar::Bool(true),
+            Scalar::Double(3.25),
+            Scalar::Str("alpha".into()),
+        ] {
+            let s = shard_of(&key, w);
+            assert!(s < w);
+            assert_eq!(s, shard_of(&key, w), "stable mapping");
+        }
+    }
+    // Distinct strings should not all collapse onto one shard.
+    let spread: std::collections::HashSet<usize> = (0..32)
+        .map(|i| shard_of(&Scalar::Str(format!("k{i}").into()), 4))
+        .collect();
+    assert!(spread.len() > 1, "string keys spread across shards");
+}
+
+#[test]
+fn shard_of_row_uses_declared_column() {
+    let def = TableDef::new(
+        "t",
+        vec![
+            ColumnDef::new("a", ColTy::Int),
+            ColumnDef::new("b", ColTy::Int),
+        ],
+        &["a"],
+    )
+    .with_shard_key("b");
+    let row = vec![Scalar::Int(1), Scalar::Int(6)];
+    assert_eq!(def.shard_of_row(&row, 4), Some(2));
+    let repl = TableDef::new("r", vec![ColumnDef::new("a", ColTy::Int)], &["a"]);
+    assert_eq!(repl.shard_of_row(&[Scalar::Int(1)], 4), None);
+}
+
+#[test]
+#[should_panic(expected = "unknown shard-key column")]
+fn unknown_shard_key_panics() {
+    TableDef::new("t", vec![ColumnDef::new("a", ColTy::Int)], &["a"]).with_shard_key("nope");
+}
+
+#[test]
+fn prepared_route_shapes() {
+    let mut db = sharded_engine();
+
+    let by_param = db
+        .prepare("SELECT bal FROM acct WHERE w = ? AND id = ?")
+        .unwrap();
+    assert_eq!(
+        db.prepared_route(by_param).unwrap(),
+        StmtRoute::ByParam { param: 0 }
+    );
+
+    // The shard-key parameter need not be the first one.
+    let by_param2 = db
+        .prepare("UPDATE acct SET bal = bal + ? WHERE w = ? AND id = ?")
+        .unwrap();
+    assert_eq!(
+        db.prepared_route(by_param2).unwrap(),
+        StmtRoute::ByParam { param: 1 }
+    );
+
+    let by_lit = db.prepare("SELECT bal FROM acct WHERE w = 3").unwrap();
+    assert_eq!(
+        db.prepared_route(by_lit).unwrap(),
+        StmtRoute::ByLit(Scalar::Int(3))
+    );
+
+    let insert = db.prepare("INSERT INTO acct VALUES (?, ?, ?)").unwrap();
+    assert_eq!(
+        db.prepared_route(insert).unwrap(),
+        StmtRoute::ByParam { param: 0 }
+    );
+
+    // No shard-key equality: scatter. Plain scans merge by concatenation…
+    let scatter = db.prepare("SELECT id FROM acct WHERE bal = ?").unwrap();
+    assert_eq!(
+        db.prepared_route(scatter).unwrap(),
+        StmtRoute::Scatter {
+            write: false,
+            mergeable: true
+        }
+    );
+    let scatter_w = db.prepare("DELETE FROM acct WHERE bal = ?").unwrap();
+    assert_eq!(
+        db.prepared_route(scatter_w).unwrap(),
+        StmtRoute::Scatter {
+            write: true,
+            mergeable: true
+        }
+    );
+
+    // …but ordered / limited / aggregate scans cannot be merged.
+    for sql in [
+        "SELECT id FROM acct ORDER BY bal",
+        "SELECT id FROM acct LIMIT 5",
+        "SELECT COUNT(*) FROM acct",
+    ] {
+        let id = db.prepare(sql).unwrap();
+        assert_eq!(
+            db.prepared_route(id).unwrap(),
+            StmtRoute::Scatter {
+                write: false,
+                mergeable: false
+            },
+            "{sql}"
+        );
+    }
+
+    // Range predicate on the shard key is not an equality: scatter.
+    let range = db.prepare("SELECT id FROM acct WHERE w > ?").unwrap();
+    assert_eq!(
+        db.prepared_route(range).unwrap(),
+        StmtRoute::Scatter {
+            write: false,
+            mergeable: true
+        }
+    );
+
+    // Tables without a shard key are replicated.
+    let r_read = db.prepare("SELECT v FROM ref_tab WHERE k = ?").unwrap();
+    assert_eq!(
+        db.prepared_route(r_read).unwrap(),
+        StmtRoute::Replicated { write: false }
+    );
+    let r_write = db.prepare("UPDATE ref_tab SET v = ? WHERE k = ?").unwrap();
+    assert_eq!(
+        db.prepared_route(r_write).unwrap(),
+        StmtRoute::Replicated { write: true }
+    );
+}
+
+#[test]
+fn prepared_route_survives_schema_epoch_bump() {
+    let mut db = sharded_engine();
+    let id = db
+        .prepare("SELECT bal FROM acct WHERE w = ? AND id = ?")
+        .unwrap();
+    assert_eq!(
+        db.prepared_route(id).unwrap(),
+        StmtRoute::ByParam { param: 0 }
+    );
+    // Invalidate cached plans; the route must re-resolve identically.
+    db.add_index("acct", "bal").unwrap();
+    assert_eq!(
+        db.prepared_route(id).unwrap(),
+        StmtRoute::ByParam { param: 0 }
+    );
+}

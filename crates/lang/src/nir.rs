@@ -16,7 +16,7 @@
 
 use crate::ast::{BinOp, UnOp};
 use crate::ids::{ClassId, FieldId, LocalId, MethodId, StmtId};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A lowered, type-checked program.
 #[derive(Debug, Clone)]
@@ -248,7 +248,7 @@ pub enum Operand {
     CInt(i64),
     CDouble(f64),
     CBool(bool),
-    CStr(Rc<str>),
+    CStr(Arc<str>),
     Null,
 }
 

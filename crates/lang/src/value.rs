@@ -5,7 +5,7 @@
 //! are `size(src) / BW · cnt(e)`, so every value knows its serialized size.
 
 use crate::ast::{BinOp, UnOp};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Heap object identifier. In the distributed runtime every source-level
 /// object is represented by an APP part and a DB part sharing one `Oid`
@@ -20,14 +20,16 @@ impl std::fmt::Debug for Oid {
 }
 
 /// Database cell scalar — the value type stored in `pyx-db` tables and in
-/// result rows.
+/// result rows. String payloads are `Arc<str>` (not `Rc`) so engine state
+/// — rows, undo logs, version chains — is `Send` and can be owned by
+/// shard worker threads.
 #[derive(Clone, Debug, PartialEq)]
 pub enum Scalar {
     Null,
     Int(i64),
     Double(f64),
     Bool(bool),
-    Str(Rc<str>),
+    Str(Arc<str>),
 }
 
 impl Scalar {
@@ -117,14 +119,15 @@ pub enum Value {
     Int(i64),
     Double(f64),
     Bool(bool),
-    Str(Rc<str>),
+    Str(Arc<str>),
     /// Reference to a partitioned object.
     Obj(Oid),
     /// Reference to an array (placed by allocation site).
     Arr(Oid),
     /// An immutable database result row (a "native" Java object in the
-    /// paper's terms — transferred with `sendNative`).
-    Row(Rc<Vec<Scalar>>),
+    /// paper's terms — transferred with `sendNative`). Shares the engine's
+    /// stored image (`Arc`, like all engine row handles).
+    Row(Arc<Vec<Scalar>>),
 }
 
 /// Runtime errors raised by either interpreter.
@@ -467,7 +470,7 @@ mod tests {
         assert_eq!(Value::Int(0).wire_size(), 9);
         assert_eq!(Value::Str("abc".into()).wire_size(), 8);
         assert_eq!(Value::Null.wire_size(), 1);
-        let row = Value::Row(Rc::new(vec![Scalar::Int(1), Scalar::Str("xy".into())]));
+        let row = Value::Row(Arc::new(vec![Scalar::Int(1), Scalar::Str("xy".into())]));
         assert_eq!(row.wire_size(), 1 + 4 + 9 + 7);
     }
 

@@ -1,7 +1,7 @@
 //! Interpreter heap: objects and arrays addressed by [`Oid`].
 
 use pyx_lang::{ClassId, Oid, RtError, Scalar, Ty, Value};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// A heap entity.
 ///
@@ -87,7 +87,7 @@ impl Heap {
     }
 
     /// Allocate an array of database rows.
-    pub fn alloc_rows(&mut self, rows: Vec<Rc<Vec<Scalar>>>) -> Oid {
+    pub fn alloc_rows(&mut self, rows: Vec<Arc<Vec<Scalar>>>) -> Oid {
         self.alloc_array_of(rows.into_iter().map(Value::Row).collect())
     }
 

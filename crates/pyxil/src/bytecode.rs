@@ -15,7 +15,7 @@
 //!   remains on the hot path.
 //! * **Constant pool.** Every constant operand is interned into
 //!   [`BytecodeProgram::consts`] — `Value`s built once at compile time;
-//!   a read is a pool-index copy (for strings, an `Rc` refcount bump).
+//!   a read is a pool-index copy (for strings, an `Arc` refcount bump).
 //!   Doubles are deduplicated by bit pattern so `NaN` constants intern
 //!   too.
 //! * **Pre-resolved structure.** Field ids become slot offsets, method

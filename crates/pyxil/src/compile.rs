@@ -10,7 +10,7 @@ use crate::il::{PyxilProgram, SyncOp};
 use pyx_ilp::Side;
 use pyx_lang::{Builtin, MethodId, NStmt, NStmtKind, Operand, Place, Rvalue, StmtId};
 use std::collections::{HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Compile a PyxIL program into execution blocks.
 pub fn compile_blocks(il: &PyxilProgram) -> BlockProgram {
@@ -34,13 +34,13 @@ pub fn compile_blocks(il: &PyxilProgram) -> BlockProgram {
 }
 
 /// Intern string constants program-wide: every `Operand::CStr` occurrence
-/// of the same text shares one `Rc<str>` allocation after this pass. The
-/// lowering from source allocates a fresh `Rc` per literal occurrence;
+/// of the same text shares one `Arc<str>` allocation after this pass. The
+/// lowering from source allocates a fresh `Arc` per literal occurrence;
 /// interning at block build means the interpreter's per-read
 /// `Value::Str(rc.clone())` is a refcount bump on a *shared* constant —
 /// the string bytes exist exactly once per program.
 fn intern_cstrs(blocks: &mut [Block]) {
-    let mut pool: HashSet<Rc<str>> = HashSet::new();
+    let mut pool: HashSet<Arc<str>> = HashSet::new();
     let mut intern = move |o: &mut Operand| {
         if let Operand::CStr(s) = o {
             match pool.get(s.as_ref() as &str) {
@@ -464,7 +464,7 @@ mod tests {
     #[test]
     fn string_constants_are_interned_across_sites() {
         use pyx_lang::Operand;
-        use std::rc::Rc;
+        use std::sync::Arc;
         // The same literal appears at two distinct call sites; after block
         // build both operands must share one allocation.
         let bp = compile_with(
@@ -477,7 +477,7 @@ mod tests {
             }"#,
             |_| Side::App,
         );
-        let mut hot: Vec<Rc<str>> = Vec::new();
+        let mut hot: Vec<Arc<str>> = Vec::new();
         for b in &bp.blocks {
             for i in &b.instrs {
                 if let BInstr::Builtin { args, .. } = i {
@@ -493,8 +493,8 @@ mod tests {
         }
         assert_eq!(hot.len(), 2, "both sites found");
         assert!(
-            Rc::ptr_eq(&hot[0], &hot[1]),
-            "identical literals share one Rc after interning"
+            Arc::ptr_eq(&hot[0], &hot[1]),
+            "identical literals share one Arc after interning"
         );
     }
 

@@ -51,6 +51,14 @@ pub struct CompiledPartition {
     pub bc: crate::bytecode::BytecodeProgram,
 }
 
+// A compiled partition is immutable shared data (string constants are
+// `Arc<str>`): shard worker threads share one copy behind an `Arc`
+// instead of recompiling per thread. Keep it that way.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompiledPartition>()
+};
+
 impl CompiledPartition {
     /// Full back end: placement → PyxIL (reorder + sync) → blocks →
     /// bytecode.

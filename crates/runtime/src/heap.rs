@@ -13,7 +13,7 @@ use pyx_lang::{ClassId, Oid, RtError, Scalar, Ty, Value};
 use pyx_partition::Side;
 use pyx_profile::{Heap, HeapObj};
 use std::collections::BTreeSet;
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// One entry in a host's outgoing sync batch. Batches aggregate
 /// *modifications* (§3.2), so entries name the modified field — never a
@@ -98,7 +98,7 @@ impl DistHeap {
     }
 
     /// Allocate a row-array result on `side` only.
-    pub fn alloc_rows_on(&mut self, side: Side, rows: Vec<Rc<Vec<Scalar>>>) -> Oid {
+    pub fn alloc_rows_on(&mut self, side: Side, rows: Vec<Arc<Vec<Scalar>>>) -> Oid {
         self.alloc_array_on(side, rows.into_iter().map(Value::Row).collect())
     }
 

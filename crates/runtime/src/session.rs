@@ -37,7 +37,7 @@
 use crate::cost::RtCosts;
 use crate::heap::{DistHeap, SyncKey};
 use crate::wire::{Frame as WireFrame, FrameKind, StackSlot};
-use pyx_db::{DbError, Engine, PreparedId, TxnId};
+use pyx_db::{Database, DbError, PreparedId, TxnId};
 use pyx_lang::{
     eval_binop, eval_unop, sha1_i64, Builtin, FieldId, LocalId, MethodId, Oid, Operand, Place,
     RowGetKind, RtError, Rvalue, Scalar, Value,
@@ -172,6 +172,12 @@ pub struct Session<'a> {
     entered: bool,
     pub loc: Side,
     txn: Option<TxnId>,
+    /// Wait-die age of this logical transaction: the id of its first
+    /// incarnation, set when the first statement begins the engine
+    /// transaction, or inherited from a killed incarnation via
+    /// [`Session::set_txn_age`]. Restarts re-begin under this age so the
+    /// transaction cannot die forever.
+    txn_age: Option<u64>,
     /// Entry fragment is statically read-only (no reachable db write):
     /// the transaction runs as an MVCC snapshot — lock-free, restart-free.
     read_only: bool,
@@ -238,7 +244,7 @@ impl<'a> Session<'a> {
     /// (or is dynamically computed) fall back to the ad-hoc
     /// `Engine::execute` path, which surfaces errors at execution time
     /// exactly as before.
-    pub fn prepare_sites(bp: &BlockProgram, engine: &mut Engine) -> PreparedSites {
+    pub fn prepare_sites(bp: &BlockProgram, engine: &mut dyn Database) -> PreparedSites {
         let mut prepared = HashMap::new();
         for (bi, block) in bp.blocks.iter().enumerate() {
             for (ii, instr) in block.instrs.iter().enumerate() {
@@ -262,7 +268,7 @@ impl<'a> Session<'a> {
         entry: MethodId,
         args: &[ArgVal],
         costs: RtCosts,
-        engine: &mut Engine,
+        engine: &mut dyn Database,
     ) -> Result<Session<'a>, RtError> {
         let sites = Session::prepare_sites(bp, engine);
         Session::with_prepared(il, bp, entry, args, costs, sites)
@@ -353,6 +359,7 @@ impl<'a> Session<'a> {
             entered: false,
             loc: Side::App, // execution starts on the application server
             txn: None,
+            txn_age: None,
             read_only: bp.entry_read_only(entry),
             snapshot_reads: true,
             pending_cpu: 0,
@@ -377,6 +384,20 @@ impl<'a> Session<'a> {
 
     pub fn txn(&self) -> Option<TxnId> {
         self.txn
+    }
+
+    /// Wait-die age of this transaction (its first incarnation's id),
+    /// available once the first statement has begun the engine
+    /// transaction. The dispatcher carries it into the replacement
+    /// session after a wait-die restart.
+    pub fn txn_age(&self) -> Option<u64> {
+        self.txn_age
+    }
+
+    /// Inherit the wait-die age of a killed incarnation. Call before the
+    /// first `advance`.
+    pub fn set_txn_age(&mut self, age: Option<u64>) {
+        self.txn_age = age;
     }
 
     /// Is this invocation a statically read-only entry fragment (and thus
@@ -449,7 +470,7 @@ impl<'a> Session<'a> {
         Some(s)
     }
 
-    fn fail(&mut self, engine: &mut Engine, e: RtError) -> Advance {
+    fn fail(&mut self, engine: &mut dyn Database, e: RtError) -> Advance {
         if let Some(t) = self.txn.take() {
             if let Ok((_, woken)) = engine.abort(t) {
                 self.last_woken = woken;
@@ -462,7 +483,7 @@ impl<'a> Session<'a> {
     /// [`Session::fail`] for bytecode ops lowered from an `Assign`: wraps
     /// the error with the same `stmt StmtId(n): …` context the
     /// tree-walker adds, so error strings stay identical across tiers.
-    fn fail_at(&mut self, engine: &mut Engine, pc: usize, e: RtError) -> Advance {
+    fn fail_at(&mut self, engine: &mut dyn Database, pc: usize, e: RtError) -> Advance {
         let e = match self.bc.map(|bc| bc.stmt_of[pc]) {
             Some(id) if id != u32::MAX => {
                 RtError::new(format!("stmt {:?}: {}", pyx_lang::StmtId(id), e.msg))
@@ -485,7 +506,7 @@ impl<'a> Session<'a> {
     }
 
     /// Run until the next virtual-time event.
-    pub fn advance(&mut self, engine: &mut Engine) -> Advance {
+    pub fn advance(&mut self, engine: &mut dyn Database) -> Advance {
         self.last_woken.clear();
         match &self.state {
             State::Finished => return Advance::Finished,
@@ -528,7 +549,7 @@ impl<'a> Session<'a> {
 
     /// Entry-method return: commit, then hand off to the Returning state
     /// (which ships the reply frame if control sits on the DB host).
-    fn finish_entry(&mut self, engine: &mut Engine, v: Option<Value>) -> Advance {
+    fn finish_entry(&mut self, engine: &mut dyn Database, v: Option<Value>) -> Advance {
         self.result = v;
         if let Some(t) = self.txn.take() {
             match engine.commit(t) {
@@ -549,7 +570,7 @@ impl<'a> Session<'a> {
 
     /// The control-transfer needed at a block whose host differs from the
     /// session's current location. Returns the `Advance` to yield.
-    fn transfer_to(&mut self, engine: &mut Engine, host: Side) -> Advance {
+    fn transfer_to(&mut self, engine: &mut dyn Database, host: Side) -> Advance {
         let from = self.loc;
         let kind = if self.stats.control_transfers == 0 {
             FrameKind::Entry
@@ -578,7 +599,7 @@ impl<'a> Session<'a> {
     }
 
     /// Tree-walking tier: run until the next virtual-time event.
-    fn run_interp(&mut self, engine: &mut Engine) -> Advance {
+    fn run_interp(&mut self, engine: &mut dyn Database) -> Advance {
         loop {
             // Control transfer needed?
             let host = self.bp.block(self.cur).host;
@@ -818,7 +839,7 @@ impl<'a> Session<'a> {
     }
 
     /// Bytecode tier: dispatch flat register code in a tight indexed loop.
-    fn run_bytecode(&mut self, engine: &mut Engine) -> Advance {
+    fn run_bytecode(&mut self, engine: &mut dyn Database) -> Advance {
         // `bc` borrows the program (`'a`), not `self`: ops never need
         // cloning and every arm has full mutable access to the session.
         let bc = self.bc.expect("bytecode attached");
@@ -1213,7 +1234,7 @@ impl<'a> Session<'a> {
     #[allow(clippy::too_many_arguments)]
     fn exec_db_bc(
         &mut self,
-        engine: &mut Engine,
+        engine: &mut dyn Database,
         update: bool,
         dst: u16,
         site: (u32, u32),
@@ -1255,10 +1276,13 @@ impl<'a> Session<'a> {
                 // lock-free reads that can never block or die.
                 let t = if self.read_only && self.snapshot_reads {
                     engine.begin_read_only()
+                } else if let Some(age) = self.txn_age {
+                    engine.begin_aged(age)
                 } else {
                     engine.begin()
                 };
                 self.txn = Some(t);
+                self.txn_age.get_or_insert(t.0);
                 t
             }
         };
@@ -1356,7 +1380,7 @@ impl<'a> Session<'a> {
 
     fn exec_db(
         &mut self,
-        engine: &mut Engine,
+        engine: &mut dyn Database,
         dst: Option<LocalId>,
         f: Builtin,
         args: &[Operand],
@@ -1411,10 +1435,13 @@ impl<'a> Session<'a> {
                 // lock-free reads that can never block or die.
                 let t = if self.read_only && self.snapshot_reads {
                     engine.begin_read_only()
+                } else if let Some(age) = self.txn_age {
+                    engine.begin_aged(age)
                 } else {
                     engine.begin()
                 };
                 self.txn = Some(t);
+                self.txn_age.get_or_insert(t.0);
                 t
             }
         };
@@ -1645,7 +1672,11 @@ impl<'a> Session<'a> {
         if kind == FrameKind::Return {
             frame.result = self.result.clone();
         }
-        let encoded = frame.encode();
+        // Recycle the previous transfer's buffer: one session-owned
+        // allocation serves every control transfer (`encode_into` writes
+        // header-then-payload into it, byte-identical to `encode`).
+        let mut encoded = self.last_frame.take().unwrap_or_default();
+        frame.encode_into(&mut encoded);
         // Differential replay: the receiving heap is reconstructed from
         // the decoded bytes, never from the in-memory batch, so any
         // encode/decode drift becomes a wrong answer instead of a silent
@@ -1713,7 +1744,7 @@ fn as_arr(v: &Value) -> Result<Oid, RtError> {
 /// (single-session use cannot block).
 pub fn run_to_completion(
     session: &mut Session<'_>,
-    engine: &mut Engine,
+    engine: &mut dyn Database,
     max_steps: u64,
 ) -> Result<(), RtError> {
     for _ in 0..max_steps {

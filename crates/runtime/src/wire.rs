@@ -48,7 +48,7 @@
 
 use pyx_lang::{Oid, RtError, Scalar, Value};
 use pyx_partition::Side;
-use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::heap::SyncKey;
 
@@ -123,56 +123,68 @@ impl Frame {
     /// Serialize. The returned buffer's length is the authoritative wire
     /// size of the control transfer.
     pub fn encode(&self) -> Vec<u8> {
-        let mut payload = Vec::with_capacity(64);
+        let mut out = Vec::with_capacity(HEADER_LEN + 64);
+        self.encode_into(&mut out);
+        out
+    }
+
+    /// Serialize into a caller-owned buffer (cleared first), producing
+    /// bytes identical to [`Frame::encode`] with **zero** allocations
+    /// once the buffer is warm: the payload is written directly after a
+    /// reserved header window in the same buffer, then the header —
+    /// including the checksum over header-prefix + payload — is patched
+    /// in place. Sessions reuse one such buffer across every control
+    /// transfer of a transaction.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.clear();
+        out.resize(HEADER_LEN, 0);
         for e in &self.sync {
             match e {
                 SyncEntry::Field { oid, slot, value } => {
-                    payload.push(0u8);
-                    payload.extend_from_slice(&oid.0.to_le_bytes());
-                    payload.extend_from_slice(&slot.to_le_bytes());
-                    encode_value(&mut payload, value);
+                    out.push(0u8);
+                    out.extend_from_slice(&oid.0.to_le_bytes());
+                    out.extend_from_slice(&slot.to_le_bytes());
+                    encode_value(out, value);
                 }
                 SyncEntry::Native { oid, elems } => {
-                    payload.push(1u8);
-                    payload.extend_from_slice(&oid.0.to_le_bytes());
-                    payload.extend_from_slice(&(elems.len() as u32).to_le_bytes());
+                    out.push(1u8);
+                    out.extend_from_slice(&oid.0.to_le_bytes());
+                    out.extend_from_slice(&(elems.len() as u32).to_le_bytes());
                     for v in elems {
-                        encode_value(&mut payload, v);
+                        encode_value(out, v);
                     }
                 }
             }
         }
         for s in &self.stack {
-            payload.extend_from_slice(&s.depth.to_le_bytes());
-            payload.extend_from_slice(&s.slot.to_le_bytes());
-            encode_value(&mut payload, &s.value);
+            out.extend_from_slice(&s.depth.to_le_bytes());
+            out.extend_from_slice(&s.slot.to_le_bytes());
+            encode_value(out, &s.value);
         }
         if let Some(v) = &self.result {
-            encode_value(&mut payload, v);
+            encode_value(out, v);
         }
+        let payload_len = out.len() - HEADER_LEN;
 
-        let mut out = Vec::with_capacity(HEADER_LEN + payload.len());
-        out.extend_from_slice(&MAGIC);
-        out.push(VERSION);
-        out.push(match self.kind {
+        out[0..4].copy_from_slice(&MAGIC);
+        out[4] = VERSION;
+        out[5] = match self.kind {
             FrameKind::Transfer => 0,
             FrameKind::Entry => 1,
             FrameKind::Return => 2,
-        });
-        out.push(match self.from {
+        };
+        out[6] = match self.from {
             Side::App => 0,
             Side::Db => 1,
-        });
-        out.push(u8::from(self.result.is_some()));
-        out.extend_from_slice(&(self.sync.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(self.stack.len() as u32).to_le_bytes());
-        out.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        };
+        out[7] = u8::from(self.result.is_some());
+        out[8..12].copy_from_slice(&(self.sync.len() as u32).to_le_bytes());
+        out[12..16].copy_from_slice(&(self.stack.len() as u32).to_le_bytes());
+        out[16..24].copy_from_slice(&(payload_len as u64).to_le_bytes());
         // Checksum covers the header prefix and the payload, so a bit
         // flip anywhere in the frame is detectable.
-        let sum = fnv1a_cont(fnv1a(&out[..CHECKED_HEADER_LEN]), &payload);
-        out.extend_from_slice(&sum.to_le_bytes());
-        out.extend_from_slice(&payload);
-        out
+        let sum = fnv1a_cont(fnv1a(&out[..CHECKED_HEADER_LEN]), &out[HEADER_LEN..]);
+        out[24..32].copy_from_slice(&sum.to_le_bytes());
     }
 
     /// Deserialize; rejects truncated, oversized, corrupted, or
@@ -401,7 +413,7 @@ fn decode_value(r: &mut Reader) -> Result<Value, RtError> {
             for _ in 0..n {
                 cols.push(decode_scalar(r)?);
             }
-            Value::Row(Rc::new(cols))
+            Value::Row(Arc::new(cols))
         }
         _ => return Err(RtError::new("wire: unknown value tag")),
     })
@@ -460,7 +472,7 @@ mod tests {
                 Value::Int(-1),
                 Value::Double(2.5),
                 Value::Null,
-                Value::Row(Rc::new(vec![Scalar::Bool(true), Scalar::Str("x".into())])),
+                Value::Row(Arc::new(vec![Scalar::Bool(true), Scalar::Str("x".into())])),
             ],
         });
         f.stack.push(StackSlot {
@@ -482,13 +494,38 @@ mod tests {
             Value::Str("abcd".into()),
             Value::Obj(Oid(1)),
             Value::Arr(Oid(2)),
-            Value::Row(Rc::new(vec![Scalar::Int(1), Scalar::Str("xy".into())])),
+            Value::Row(Arc::new(vec![Scalar::Int(1), Scalar::Str("xy".into())])),
         ];
         for v in vals {
             let mut buf = Vec::new();
             encode_value(&mut buf, &v);
             assert_eq!(buf.len() as u64, v.wire_size(), "{v:?}");
         }
+    }
+
+    #[test]
+    fn encode_into_is_byte_identical_and_reuses_dirty_buffers() {
+        let mut f = Frame::new(FrameKind::Return, Side::Db);
+        f.sync.push(SyncEntry::Native {
+            oid: Oid(4),
+            elems: vec![Value::Int(9), Value::Str("payload".into())],
+        });
+        f.stack.push(StackSlot {
+            depth: 1,
+            slot: 2,
+            value: Value::Double(2.5),
+        });
+        f.result = Some(Value::Bool(true));
+        // A previously used (larger, garbage-filled) buffer must produce
+        // exactly the same bytes as a fresh encode.
+        let mut buf = vec![0xAAu8; 512];
+        f.encode_into(&mut buf);
+        assert_eq!(buf, f.encode());
+        // And an empty frame into the same buffer shrinks it correctly.
+        let empty = Frame::new(FrameKind::Transfer, Side::App);
+        empty.encode_into(&mut buf);
+        assert_eq!(buf, empty.encode());
+        assert_eq!(buf.len(), HEADER_LEN);
     }
 
     #[test]

@@ -14,7 +14,7 @@ use proptest::prelude::*;
 use pyx_lang::{Oid, Scalar, Value};
 use pyx_partition::Side;
 use pyx_runtime::wire::{Frame, FrameKind, StackSlot, SyncEntry};
-use std::rc::Rc;
+use std::sync::Arc;
 
 fn scalar_strategy() -> impl Strategy<Value = Scalar> {
     prop_oneof![
@@ -36,7 +36,7 @@ fn value_strategy() -> impl Strategy<Value = Value> {
         any::<u64>().prop_map(|o| Value::Obj(Oid(o))),
         any::<u64>().prop_map(|o| Value::Arr(Oid(o))),
         proptest::collection::vec(scalar_strategy(), 0..6)
-            .prop_map(|cols| Value::Row(Rc::new(cols))),
+            .prop_map(|cols| Value::Row(Arc::new(cols))),
     ]
 }
 
@@ -100,6 +100,19 @@ proptest! {
         prop_assert_eq!(back.encode(), bytes);
     }
 
+    /// The zero-alloc `encode_into` path is byte-identical to `encode`
+    /// for every frame, even through a dirty, repeatedly reused buffer.
+    #[test]
+    fn encode_into_matches_encode(frame in frame_strategy(), junk in 0usize..64) {
+        let mut buf = vec![0x5Au8; junk];
+        frame.encode_into(&mut buf);
+        prop_assert_eq!(&buf, &frame.encode());
+        // Reuse for a second, different frame: still canonical.
+        let other = Frame::new(FrameKind::Entry, Side::App);
+        other.encode_into(&mut buf);
+        prop_assert_eq!(&buf, &other.encode());
+    }
+
     /// The length prefix in the header always matches the actual payload,
     /// so the frame is self-delimiting on a byte stream.
     #[test]
@@ -153,7 +166,7 @@ fn rich_frame() -> Frame {
             Value::Bool(true),
             Value::Obj(Oid(7)),
             Value::Arr(Oid(8)),
-            Value::Row(Rc::new(vec![
+            Value::Row(Arc::new(vec![
                 Scalar::Null,
                 Scalar::Int(42),
                 Scalar::Double(-0.0),

@@ -16,7 +16,7 @@
 
 use crate::env::Env;
 use crate::workload::TxnRequest;
-use pyx_db::{Engine, TxnId};
+use pyx_db::{Database, Engine, TxnId};
 use pyx_lang::MethodId;
 use pyx_pyxil::CompiledPartition;
 use pyx_runtime::cost::RtCosts;
@@ -227,7 +227,11 @@ pub struct Dispatcher<'a> {
 impl<'a> Dispatcher<'a> {
     /// Build a dispatcher; prepares every db-call site of every deployable
     /// partition once so sessions share the resolved plans.
-    pub fn new(dep: Deployment<'a>, engine: &mut Engine, cfg: DispatcherConfig) -> Dispatcher<'a> {
+    pub fn new(
+        dep: Deployment<'a>,
+        engine: &mut dyn Database,
+        cfg: DispatcherConfig,
+    ) -> Dispatcher<'a> {
         let (sites_primary, sites_low) = match &dep {
             Deployment::Fixed(p) => (Session::prepare_sites(&p.bp, engine), None),
             Deployment::Dynamic { high, low, .. } => (
@@ -404,7 +408,7 @@ impl<'a> Dispatcher<'a> {
 
     /// Process the next internal event. Call whenever
     /// [`Dispatcher::next_event_at`] is due by the caller's clock.
-    pub fn poll(&mut self, engine: &mut Engine, env: &mut dyn Env) -> Polled {
+    pub fn poll(&mut self, engine: &mut dyn Database, env: &mut dyn Env) -> Polled {
         let Some(std::cmp::Reverse((now, _, ev))) = self.heap.pop() else {
             return Polled::Idle;
         };
@@ -448,7 +452,7 @@ impl<'a> Dispatcher<'a> {
         &mut self,
         now: u64,
         sid: usize,
-        engine: &mut Engine,
+        engine: &mut dyn Database,
         env: &mut dyn Env,
     ) -> Polled {
         let Some(live) = self.sessions[sid].as_mut() else {
@@ -502,6 +506,10 @@ impl<'a> Dispatcher<'a> {
                 let tag = live.tag;
                 let submitted_ns = live.submitted_ns;
                 let req = live.req.clone();
+                // The replacement inherits the dead incarnation's wait-die
+                // age: the retry re-begins as an *older* transaction, so a
+                // contended request converges instead of dying repeatedly.
+                let age = live.sess.txn_age();
                 // The dead session's frame slab seeds the restarted one.
                 let recycled = live.sess.take_scratch();
                 let (part, sites, low_budget) = self.choose(req.entry);
@@ -517,6 +525,7 @@ impl<'a> Dispatcher<'a> {
                 if !self.cfg.snapshot_reads {
                     fresh.set_snapshot_reads(false);
                 }
+                fresh.set_txn_age(age);
                 if self.cfg.vm == VmMode::Bytecode {
                     fresh.set_bytecode(&part.bc, recycled.unwrap_or_default());
                 }
@@ -573,7 +582,7 @@ impl<'a> Dispatcher<'a> {
     /// retired transaction. Convenience for tests and in-process serving;
     /// virtual-time drivers interleave [`Dispatcher::poll`] with their own
     /// event queues instead.
-    pub fn run_until_idle(&mut self, engine: &mut Engine, env: &mut dyn Env) -> Vec<TxnDone> {
+    pub fn run_until_idle(&mut self, engine: &mut dyn Database, env: &mut dyn Env) -> Vec<TxnDone> {
         let mut done = Vec::new();
         loop {
             match self.poll(engine, env) {

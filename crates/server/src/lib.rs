@@ -23,9 +23,37 @@
 //!
 //! All timestamps are integer nanoseconds; the dispatcher is fully
 //! deterministic given a deterministic [`Env`] and workload.
+//!
+//! # Threading model
+//!
+//! The single-engine [`Dispatcher`] is strictly single-threaded. The
+//! shard-per-core tier ([`shard::ShardedServer`]) runs W of them in
+//! parallel, one OS thread per engine shard:
+//!
+//! * **`Send` (crosses threads):** loaded [`pyx_db::Engine`] shards —
+//!   the `Rc`→`Arc` migration made every piece of engine state (row
+//!   images, undo logs, version chains, cached plans, `Scalar` strings)
+//!   `Send`, asserted at compile time in `pyx-db` — plus the immutable
+//!   [`pyx_pyxil::CompiledPartition`] shared behind an `Arc`, and the
+//!   [`TxnRequest`]/[`TxnDone`] message types.
+//! * **Thread-local (never crosses):** running [`pyx_runtime::Session`]s
+//!   and everything they touch — `Rc`-shared prepared-site tables, heap
+//!   state, VM scratch slabs, dispatcher queues. (Runtime string/row
+//!   values are `Arc`-backed since the migration, but sessions and their
+//!   heaps still never leave their worker thread.)
+//!   Each worker owns a full dispatcher, so the per-transaction hot path
+//!   is exactly the single-threaded one: no locks, no atomics beyond
+//!   `Arc` refcounts already present in engine row handles.
+//! * **Quiesce protocol:** each shard engine sits in a `Mutex` its
+//!   worker holds while it has admitted work and releases only when
+//!   fully idle. A cross-shard transaction (`route == None`) locks every
+//!   shard in index order — blocking until each worker drains — then
+//!   runs serially through [`shard`]'s statement-routing lane engine and
+//!   releases. See [`shard`] for details.
 
 pub mod dispatch;
 pub mod env;
+pub mod shard;
 pub mod workload;
 
 pub use dispatch::{
@@ -34,4 +62,5 @@ pub use dispatch::{
 };
 pub use env::{Env, InstantEnv};
 pub use pyx_runtime::{VmMode, VmScratch};
+pub use shard::{load_row_sharded, ShardedConfig, ShardedReport, ShardedServer};
 pub use workload::{FixedWorkload, TxnRequest, Workload};

@@ -1,0 +1,750 @@
+//! Shard-per-core serving: a multi-threaded partitioned dispatcher.
+//!
+//! [`ShardedServer`] splits the database into W engine shards (H-Store
+//! style) and gives each shard to a dedicated OS thread running its own
+//! single-threaded [`crate::Dispatcher`] — its own sessions, compiled
+//! partition, prepared plans, and admission queue. Partitionable requests
+//! ([`TxnRequest::route`]` == Some(k)`) are submitted over a bounded
+//! channel to the shard `shard_of(k, W)` and execute with zero cross-shard
+//! coordination, so throughput scales with cores on a partitionable mix.
+//!
+//! # Threading model
+//!
+//! * **What crosses threads:** loaded [`Engine`] shards (everything an
+//!   engine owns is `Send` — rows, undo logs, plans), the shared
+//!   [`CompiledPartition`] (immutable, behind an `Arc`), [`TxnRequest`]s,
+//!   and retired [`TxnDone`]s. Compile-time assertions in `pyx-db` /
+//!   `pyx-pyxil` keep these types `Send`.
+//! * **What stays thread-local:** everything a running transaction
+//!   touches — `Session`s, their `Rc`-shared [`PreparedSites`], session
+//!   heaps, the dispatcher's scratch pools. No runtime `Rc` ever crosses
+//!   a thread boundary. (String/row *values* are `Arc`-backed since the
+//!   migration — sharing them would be sound — but sessions never leave
+//!   their worker regardless.)
+//!
+//! # Quiesce protocol (multi-partition lane)
+//!
+//! Each shard engine lives in a `Mutex` with a strict ownership
+//! discipline: a worker holds its shard's lock for as long as it has any
+//! admitted work and releases it **only when its dispatcher is fully
+//! idle** (no active sessions, no queued requests). A cross-shard request
+//! (`route == None`) therefore quiesces the cluster by simply locking
+//! every shard in index order — each acquisition blocks until that worker
+//! has drained, and no worker can start new work while the lane holds its
+//! engine. The lane then runs the transaction to completion through
+//! [`LaneEngine`], which routes each SQL statement to the shard(s) owning
+//! its rows and fans commit/abort out to every shard the transaction
+//! touched. Releasing the locks resumes the workers. One lane transaction
+//! runs at a time (the submitting thread executes it inline), so any mix
+//! of partitionable and cross-shard traffic stays serializable while the
+//! partitionable share scales.
+//!
+//! Observational equivalence with a single engine holds per statement,
+//! with one SQL-sanctioned exception: an *unordered* cross-shard scatter
+//! read returns its rows in shard-concatenation order rather than a
+//! single engine's scan order (row order without ORDER BY is
+//! unspecified; ordered scans are never scattered — see
+//! `LaneEngine::exec_scatter`).
+
+use crate::dispatch::{
+    Admit, Deployment, Dispatcher, DispatcherConfig, DispatcherStats, Polled, TxnDone,
+};
+use crate::env::InstantEnv;
+use crate::workload::TxnRequest;
+use pyx_db::{
+    shard_of, Database, DbError, Engine, EngineStats, PreparedId, QueryResult, Scalar, StmtRoute,
+    TxnId,
+};
+use pyx_pyxil::CompiledPartition;
+use pyx_runtime::session::{run_to_completion, PreparedSites, Session, VmMode, VmScratch};
+use std::collections::HashMap;
+use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+
+/// Sharded-server tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedConfig {
+    /// Number of engine shards / worker threads.
+    pub shards: usize,
+    /// Per-worker dispatcher tuning (sessions, queue, costs, VM tier).
+    pub dispatcher: DispatcherConfig,
+    /// Bound of each worker's request channel. A full channel rejects the
+    /// submit (backpressure), mirroring the dispatcher's own queue cap.
+    pub channel_cap: usize,
+}
+
+impl Default for ShardedConfig {
+    fn default() -> Self {
+        ShardedConfig {
+            shards: 2,
+            dispatcher: DispatcherConfig::default(),
+            channel_cap: 4096,
+        }
+    }
+}
+
+/// Everything a [`ShardedServer`] hands back at shutdown: the shard
+/// engines (with their statistics), per-shard dispatcher counters, and
+/// the multi-partition lane's transaction count.
+pub struct ShardedReport {
+    pub engines: Vec<Engine>,
+    pub dispatchers: Vec<DispatcherStats>,
+    /// Cross-shard transactions executed on the serialized lane.
+    pub multi_txns: u64,
+}
+
+impl ShardedReport {
+    /// Engine counters summed over all shards.
+    pub fn merged_engine_stats(&self) -> EngineStats {
+        let mut m = EngineStats::default();
+        for e in &self.engines {
+            m.merge(&e.stats);
+        }
+        m
+    }
+}
+
+enum Msg {
+    Submit { req: TxnRequest, tag: u64 },
+    Shutdown,
+}
+
+/// The shard-per-core server. See module docs.
+pub struct ShardedServer {
+    engines: Vec<Arc<Mutex<Engine>>>,
+    txs: Vec<SyncSender<Msg>>,
+    done_rx: Receiver<TxnDone>,
+    done_tx: Sender<TxnDone>,
+    handles: Vec<JoinHandle<DispatcherStats>>,
+    part: Arc<CompiledPartition>,
+    cfg: ShardedConfig,
+    in_flight: u64,
+    lane: LaneState,
+    lane_sites: Option<PreparedSites>,
+    lane_scratch: Option<VmScratch>,
+    multi_txns: u64,
+}
+
+impl ShardedServer {
+    /// Spawn W workers, each owning one pre-loaded engine shard plus its
+    /// own dispatcher over the shared compiled partition. `engines` must
+    /// all carry the same schema, with rows already routed by
+    /// [`pyx_db::TableDef::shard_key`] (see `load_row_sharded`).
+    pub fn new(
+        part: Arc<CompiledPartition>,
+        engines: Vec<Engine>,
+        cfg: ShardedConfig,
+    ) -> ShardedServer {
+        assert_eq!(engines.len(), cfg.shards, "one engine per shard");
+        assert!(cfg.shards > 0, "at least one shard");
+        let engines: Vec<Arc<Mutex<Engine>>> = engines
+            .into_iter()
+            .map(|e| Arc::new(Mutex::new(e)))
+            .collect();
+        let (done_tx, done_rx) = mpsc::channel();
+        let mut txs = Vec::with_capacity(cfg.shards);
+        let mut handles = Vec::with_capacity(cfg.shards);
+        for (i, engine) in engines.iter().enumerate() {
+            let (tx, rx) = mpsc::sync_channel(cfg.channel_cap);
+            txs.push(tx);
+            let engine = Arc::clone(engine);
+            let part = Arc::clone(&part);
+            let done = done_tx.clone();
+            let dcfg = cfg.dispatcher;
+            let handle = std::thread::Builder::new()
+                .name(format!("pyx-shard-{i}"))
+                .spawn(move || worker(engine, part, dcfg, rx, done))
+                .expect("spawn shard worker");
+            handles.push(handle);
+        }
+        ShardedServer {
+            engines,
+            txs,
+            done_rx,
+            done_tx,
+            handles,
+            part,
+            cfg,
+            in_flight: 0,
+            lane: LaneState::default(),
+            lane_sites: None,
+            lane_scratch: None,
+            multi_txns: 0,
+        }
+    }
+
+    pub fn shards(&self) -> usize {
+        self.cfg.shards
+    }
+
+    /// Requests submitted but not yet collected via [`ShardedServer::recv_done`].
+    pub fn in_flight(&self) -> u64 {
+        self.in_flight
+    }
+
+    /// Submit a request. `route: Some(k)` goes to shard `shard_of(k, W)`
+    /// over its bounded channel ([`Admit::Rejected`] on a full channel —
+    /// backpressure, retry after draining); `route: None` runs inline on
+    /// the serialized multi-partition lane, quiescing all shards first.
+    pub fn submit(&mut self, req: TxnRequest, tag: u64) -> Admit {
+        match req.route {
+            Some(k) => {
+                let s = shard_of(&Scalar::Int(k), self.cfg.shards);
+                match self.txs[s].try_send(Msg::Submit { req, tag }) {
+                    Ok(()) => {
+                        self.in_flight += 1;
+                        Admit::Started
+                    }
+                    Err(TrySendError::Full(_)) => Admit::Rejected,
+                    Err(TrySendError::Disconnected(_)) => {
+                        panic!("shard {s} worker terminated early")
+                    }
+                }
+            }
+            None => {
+                let done = self.run_multi(req, tag);
+                self.done_tx.send(done).expect("done channel open");
+                self.in_flight += 1;
+                Admit::Started
+            }
+        }
+    }
+
+    /// Block until the next transaction retires (`None` when nothing is
+    /// in flight). The server itself holds a `done_tx` clone for the
+    /// lane, so a crashed worker can never disconnect the channel — poll
+    /// worker liveness on a timeout and panic with a diagnostic instead
+    /// of hanging forever on results that will never arrive.
+    pub fn recv_done(&mut self) -> Option<TxnDone> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        loop {
+            match self
+                .done_rx
+                .recv_timeout(std::time::Duration::from_millis(500))
+            {
+                Ok(d) => {
+                    self.in_flight -= 1;
+                    return Some(d);
+                }
+                Err(mpsc::RecvTimeoutError::Timeout) => {
+                    if let Some(i) = self.handles.iter().position(|h| h.is_finished()) {
+                        panic!(
+                            "shard {i} worker terminated with {} transaction(s) in flight",
+                            self.in_flight
+                        );
+                    }
+                }
+                Err(mpsc::RecvTimeoutError::Disconnected) => {
+                    unreachable!("server holds a done_tx clone")
+                }
+            }
+        }
+    }
+
+    /// Collect every outstanding transaction.
+    pub fn drain(&mut self) -> Vec<TxnDone> {
+        let mut out = Vec::with_capacity(self.in_flight as usize);
+        while let Some(d) = self.recv_done() {
+            out.push(d);
+        }
+        out
+    }
+
+    /// Stop the workers and hand back the shard engines and counters.
+    /// Outstanding results are drained first.
+    pub fn shutdown(mut self) -> (Vec<TxnDone>, ShardedReport) {
+        let rest = self.drain();
+        for tx in &self.txs {
+            let _ = tx.send(Msg::Shutdown);
+        }
+        let dispatchers: Vec<DispatcherStats> = self
+            .handles
+            .drain(..)
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect();
+        drop(self.txs);
+        let engines = self
+            .engines
+            .drain(..)
+            .map(|e| {
+                Arc::try_unwrap(e)
+                    .map_err(|_| ())
+                    .expect("worker dropped its engine handle")
+                    .into_inner()
+                    .expect("engine mutex poisoned")
+            })
+            .collect();
+        (
+            rest,
+            ShardedReport {
+                engines,
+                dispatchers,
+                multi_txns: self.multi_txns,
+            },
+        )
+    }
+
+    /// Execute one cross-shard transaction on the serialized lane:
+    /// quiesce (lock) every shard, run the session against the
+    /// statement-routing [`LaneEngine`], release. See module docs.
+    fn run_multi(&mut self, req: TxnRequest, tag: u64) -> TxnDone {
+        self.multi_txns += 1;
+        let mut guards: Vec<MutexGuard<'_, Engine>> = self
+            .engines
+            .iter()
+            .map(|e| e.lock().expect("engine mutex poisoned"))
+            .collect();
+        let mut lane = LaneEngine {
+            shards: &mut guards,
+            state: &mut self.lane,
+        };
+        let sites = self
+            .lane_sites
+            .get_or_insert_with(|| Session::prepare_sites(&self.part.bp, &mut lane))
+            .clone();
+        let dcfg = &self.cfg.dispatcher;
+        let mut error = None;
+        let mut rolled_back = false;
+        let mut read_only = false;
+        let mut result = None;
+        match Session::with_prepared(
+            &self.part.il,
+            &self.part.bp,
+            req.entry,
+            &req.args,
+            dcfg.costs,
+            sites,
+        ) {
+            Ok(mut sess) => {
+                if !dcfg.snapshot_reads {
+                    sess.set_snapshot_reads(false);
+                }
+                if dcfg.vm == VmMode::Bytecode {
+                    sess.set_bytecode(&self.part.bc, self.lane_scratch.take().unwrap_or_default());
+                }
+                if let Err(e) = run_to_completion(&mut sess, &mut lane, 100_000_000) {
+                    error = Some(e.to_string());
+                }
+                rolled_back = sess.rolled_back;
+                read_only = sess.is_read_only();
+                result = sess.result.clone();
+                self.lane_scratch = sess.take_scratch();
+            }
+            Err(e) => error = Some(e.to_string()),
+        }
+        // A session that died without reaching commit/abort (e.g. step
+        // budget exhaustion) must not leak sub-transactions — they hold
+        // row locks that would wedge the workers.
+        if self.lane.txns.iter().any(Option::is_some) {
+            let mut lane = LaneEngine {
+                shards: &mut guards,
+                state: &mut self.lane,
+            };
+            let _ = lane.close_all(|e, t| e.abort(t));
+        }
+        TxnDone {
+            tag,
+            entry: req.entry,
+            label: req.label,
+            submitted_ns: 0,
+            started_ns: 0,
+            finished_ns: 0,
+            low_budget: false,
+            rolled_back,
+            read_only,
+            restarts: 0,
+            result,
+            error,
+        }
+    }
+}
+
+/// One shard worker: pull requests while the dispatcher has admission
+/// room, drive the event loop, ship retirements to the results channel.
+/// The engine lock is held exactly while the dispatcher has work and
+/// released when fully idle — that release is the quiesce point the
+/// multi-partition lane synchronizes on.
+fn worker(
+    engine: Arc<Mutex<Engine>>,
+    part: Arc<CompiledPartition>,
+    cfg: DispatcherConfig,
+    rx: Receiver<Msg>,
+    done: Sender<TxnDone>,
+) -> DispatcherStats {
+    let mut guard = engine.lock().expect("engine mutex poisoned");
+    let mut disp = Dispatcher::new(Deployment::Fixed(&part), &mut *guard, cfg);
+    let mut env = InstantEnv;
+    let mut open = true;
+    loop {
+        // Admit as much queued work as the dispatcher will take.
+        while open
+            && (disp.active_sessions() < cfg.max_sessions || disp.queue_len() < cfg.queue_cap)
+        {
+            match rx.try_recv() {
+                Ok(Msg::Submit { req, tag }) => {
+                    disp.submit(0, req, tag);
+                }
+                Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => open = false,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+        match disp.poll(&mut *guard, &mut env) {
+            Polled::Done(d) => {
+                let _ = done.send(d);
+            }
+            Polled::Progress => {}
+            Polled::Idle => {
+                if !open {
+                    break;
+                }
+                // Fully drained: release the shard (lane quiesce point)
+                // and sleep until the next request arrives.
+                drop(guard);
+                match rx.recv() {
+                    Ok(Msg::Submit { req, tag }) => {
+                        guard = engine.lock().expect("engine mutex poisoned");
+                        disp.submit(0, req, tag);
+                    }
+                    Ok(Msg::Shutdown) | Err(_) => {
+                        guard = engine.lock().expect("engine mutex poisoned");
+                        open = false;
+                    }
+                }
+            }
+        }
+    }
+    disp.stats()
+}
+
+/// Route one row image to its owning shard, or replicate it to every
+/// shard when its table has no shard key. The canonical loader primitive:
+/// every loader that feeds a [`ShardedServer`] must place rows exactly
+/// like this, or routed statements will miss them.
+pub fn load_row_sharded(engines: &mut [Engine], table: &str, row: Vec<Scalar>) {
+    let def = engines[0]
+        .table_def(table)
+        .unwrap_or_else(|| panic!("unknown table `{table}`"));
+    match def.shard_of_row(&row, engines.len()) {
+        Some(s) => engines[s].load_row(table, row),
+        None => {
+            for e in engines.iter_mut() {
+                e.load_row(table, row.clone());
+            }
+        }
+    }
+}
+
+// ---- the multi-partition lane engine ----
+
+/// One lane statement: its prepared handle on every shard and the
+/// (lazily resolved) shard route.
+struct LaneStmt {
+    per_shard: Vec<PreparedId>,
+    route: Option<StmtRoute>,
+}
+
+/// Cap on lane statements registered through the *ad-hoc*
+/// [`Database::execute`] path (dynamic SQL). Mirrors the engine's own
+/// ad-hoc parse-cache cap: a cross-shard transaction computing SQL with
+/// inline literals must not grow the lane's statement table without
+/// bound. Evicted slots are recycled; the shard engines dedup repeated
+/// text in their prepared registries, so re-encounters re-use the
+/// engine-side plans. (Constant-SQL sites registered by
+/// `Session::prepare_sites` via [`Database::prepare`] are never evicted
+/// — sessions hold their ids across transactions.)
+const LANE_ADHOC_CAP: usize = 256;
+
+/// Persistent lane state: the statement table (lane [`PreparedId`]s index
+/// it) and the per-shard sub-transactions of the one in-flight lane
+/// transaction.
+#[derive(Default)]
+struct LaneState {
+    stmts: Vec<Option<LaneStmt>>,
+    by_sql: HashMap<String, PreparedId>,
+    /// FIFO of ad-hoc (evictable) statements; see [`LANE_ADHOC_CAP`].
+    adhoc_order: std::collections::VecDeque<(String, PreparedId)>,
+    /// Evicted statement slots awaiting reuse.
+    free_slots: Vec<PreparedId>,
+    /// Open sub-transaction per shard (one lane txn at a time).
+    txns: Vec<Option<TxnId>>,
+    read_only: bool,
+    next_virtual: u64,
+}
+
+impl LaneState {
+    fn stmt(&self, id: PreparedId) -> &LaneStmt {
+        self.stmts[id.0 as usize]
+            .as_ref()
+            .expect("live lane statement")
+    }
+
+    /// Register a statement, taking a recycled slot if one is free.
+    fn insert_stmt(&mut self, sql: &str, stmt: LaneStmt) -> PreparedId {
+        let id = match self.free_slots.pop() {
+            Some(id) => {
+                self.stmts[id.0 as usize] = Some(stmt);
+                id
+            }
+            None => {
+                let id = PreparedId(self.stmts.len() as u32);
+                self.stmts.push(Some(stmt));
+                id
+            }
+        };
+        self.by_sql.insert(sql.to_string(), id);
+        id
+    }
+
+    /// FIFO-evict the oldest ad-hoc statement once over the cap.
+    fn evict_adhoc(&mut self) {
+        if self.adhoc_order.len() <= LANE_ADHOC_CAP {
+            return;
+        }
+        if let Some((sql, id)) = self.adhoc_order.pop_front() {
+            self.by_sql.remove(&sql);
+            self.stmts[id.0 as usize] = None;
+            self.free_slots.push(id);
+        }
+    }
+}
+
+/// [`Database`] over all quiesced shards: statements route to the shard
+/// owning their rows ([`StmtRoute`]), replicated writes fan out to every
+/// replica, scatter statements run everywhere and merge, and
+/// commit/abort close every sub-transaction the lane transaction opened.
+struct LaneEngine<'g, 'e> {
+    shards: &'g mut [MutexGuard<'e, Engine>],
+    state: &'g mut LaneState,
+}
+
+impl LaneEngine<'_, '_> {
+    fn begin_sub(&mut self, s: usize) -> TxnId {
+        if self.state.txns.len() != self.shards.len() {
+            self.state.txns.resize(self.shards.len(), None);
+        }
+        match self.state.txns[s] {
+            Some(t) => t,
+            None => {
+                let t = if self.state.read_only {
+                    self.shards[s].begin_read_only()
+                } else {
+                    self.shards[s].begin()
+                };
+                self.state.txns[s] = Some(t);
+                t
+            }
+        }
+    }
+
+    fn route_of(&mut self, id: PreparedId) -> Result<StmtRoute, DbError> {
+        if let Some(r) = &self.state.stmt(id).route {
+            return Ok(r.clone());
+        }
+        let pid0 = self.state.stmt(id).per_shard[0];
+        let r = self.shards[0].prepared_route(pid0)?;
+        self.state.stmts[id.0 as usize]
+            .as_mut()
+            .expect("live lane statement")
+            .route = Some(r.clone());
+        Ok(r)
+    }
+
+    fn exec_on(
+        &mut self,
+        s: usize,
+        id: PreparedId,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        let txn = self.begin_sub(s);
+        let pid = self.state.stmt(id).per_shard[s];
+        self.shards[s].execute_prepared(txn, pid, params)
+    }
+
+    /// Shared prepare core: register `sql` on every shard and in the lane
+    /// table. `adhoc` entries are FIFO-capped ([`LANE_ADHOC_CAP`]);
+    /// durable entries (session prepared sites) are not.
+    fn prepare_inner(&mut self, sql: &str, adhoc: bool) -> Result<PreparedId, DbError> {
+        if let Some(&id) = self.state.by_sql.get(sql) {
+            return Ok(id);
+        }
+        let per_shard = self
+            .shards
+            .iter_mut()
+            .map(|e| e.prepare(sql))
+            .collect::<Result<Vec<_>, _>>()?;
+        let id = self.state.insert_stmt(
+            sql,
+            LaneStmt {
+                per_shard,
+                route: None,
+            },
+        );
+        if adhoc {
+            self.state.adhoc_order.push_back((sql.to_string(), id));
+            self.state.evict_adhoc();
+        }
+        Ok(id)
+    }
+
+    /// Run on every shard and merge: result rows concatenate in shard
+    /// order, affected counts and virtual costs sum.
+    ///
+    /// Row ORDER contract: a statement without ORDER BY has unspecified
+    /// row order in SQL, and that is exactly what a scatter read
+    /// delivers — shard-concatenation order, which differs from a single
+    /// engine's primary-key scan order (and cannot be reconstructed
+    /// after projection may have dropped the key columns). Programs that
+    /// depend on the order of an unordered multi-shard scan are relying
+    /// on unspecified behavior; order-sensitive scans must add ORDER BY,
+    /// which the router then refuses to scatter
+    /// ([`StmtRoute::Scatter`]`::mergeable == false`) rather than merge
+    /// wrongly.
+    fn exec_scatter(&mut self, id: PreparedId, params: &[Scalar]) -> Result<QueryResult, DbError> {
+        let mut merged: Option<QueryResult> = None;
+        for s in 0..self.shards.len() {
+            let r = self.exec_on(s, id, params)?;
+            match &mut merged {
+                None => merged = Some(r),
+                Some(m) => {
+                    m.rows.extend(r.rows);
+                    m.affected += r.affected;
+                    m.cost += r.cost;
+                }
+            }
+        }
+        Ok(merged.expect("at least one shard"))
+    }
+
+    /// Close the lane transaction: apply `f` (commit or abort) on every
+    /// shard that has an open sub-transaction, summing costs and
+    /// concatenating woken waiters. The first error wins but every shard
+    /// is still closed out.
+    fn close_all(
+        &mut self,
+        f: impl Fn(&mut Engine, TxnId) -> Result<(u64, Vec<TxnId>), DbError>,
+    ) -> Result<(u64, Vec<TxnId>), DbError> {
+        let mut cost = 0u64;
+        let mut woken = Vec::new();
+        let mut err = None;
+        for s in 0..self.state.txns.len() {
+            if let Some(t) = self.state.txns[s].take() {
+                match f(&mut self.shards[s], t) {
+                    Ok((c, w)) => {
+                        cost += c;
+                        woken.extend(w);
+                    }
+                    Err(e) => err = Some(e),
+                }
+            }
+        }
+        self.state.read_only = false;
+        match err {
+            Some(e) => Err(e),
+            None => Ok((cost, woken)),
+        }
+    }
+}
+
+impl Database for LaneEngine<'_, '_> {
+    fn begin(&mut self) -> TxnId {
+        debug_assert!(
+            self.state.txns.iter().all(Option::is_none),
+            "one lane transaction at a time"
+        );
+        self.state.read_only = false;
+        self.state.next_virtual += 1;
+        // High bit marks a virtual (lane) id; shards allocate their own.
+        TxnId((1 << 63) | self.state.next_virtual)
+    }
+
+    fn begin_read_only(&mut self) -> TxnId {
+        let t = Database::begin(self);
+        self.state.read_only = true;
+        t
+    }
+
+    fn commit(&mut self, _txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        self.close_all(|e, t| e.commit(t))
+    }
+
+    fn abort(&mut self, _txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        self.close_all(|e, t| e.abort(t))
+    }
+
+    /// Prepare on every shard; the lane's own handle indexes its
+    /// statement table. The shard route resolves lazily on first
+    /// execution (tables may not exist yet at prepare time, exactly like
+    /// [`Engine::prepare`]'s lazy plans). Handles from this path are
+    /// durable — sessions cache them in their prepared-site tables.
+    fn prepare(&mut self, sql: &str) -> Result<PreparedId, DbError> {
+        self.prepare_inner(sql, false)
+    }
+
+    fn execute(
+        &mut self,
+        txn: TxnId,
+        sql: &str,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        // Dynamic SQL funnels through the prepared path — same resolver,
+        // same routing, identical results by construction — but its lane
+        // entries are FIFO-capped so computed SQL with inline literals
+        // cannot grow the lane tables without bound. (The shard engines'
+        // prepared registries still accumulate one entry per *distinct*
+        // statement text, as Engine::prepare always has.)
+        let id = self.prepare_inner(sql, true)?;
+        Database::execute_prepared(self, txn, id, params)
+    }
+
+    fn execute_prepared(
+        &mut self,
+        _txn: TxnId,
+        id: PreparedId,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        match self.route_of(id)? {
+            StmtRoute::ByParam { param } => {
+                let key = params
+                    .get(param)
+                    .ok_or_else(|| DbError::Schema(format!("routing parameter {param} missing")))?;
+                let s = shard_of(key, self.shards.len());
+                self.exec_on(s, id, params)
+            }
+            StmtRoute::ByLit(lit) => {
+                let s = shard_of(&lit, self.shards.len());
+                self.exec_on(s, id, params)
+            }
+            // Replicated reads may use any replica; shard 0 keeps runs
+            // deterministic. Replicated writes apply everywhere so the
+            // copies stay byte-identical (the result is the same on each).
+            StmtRoute::Replicated { write: false } => self.exec_on(0, id, params),
+            StmtRoute::Replicated { write: true } => {
+                let mut out = None;
+                for s in 0..self.shards.len() {
+                    out = Some(self.exec_on(s, id, params)?);
+                }
+                Ok(out.expect("at least one shard"))
+            }
+            StmtRoute::Scatter {
+                mergeable: false, ..
+            } => Err(DbError::Schema(
+                "cross-shard ordered/aggregate scan is not routable; \
+                 add a shard-key equality predicate"
+                    .into(),
+            )),
+            StmtRoute::Scatter { .. } => self.exec_scatter(id, params),
+            StmtRoute::Unroutable { reason } => Err(DbError::Schema(reason.into())),
+        }
+    }
+
+    fn db_stats(&self) -> EngineStats {
+        let mut m = EngineStats::default();
+        for e in self.shards.iter() {
+            m.merge(&e.stats);
+        }
+        m
+    }
+}

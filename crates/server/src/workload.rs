@@ -12,6 +12,18 @@ pub struct TxnRequest {
     /// Workload-defined label for per-class reporting (e.g. TPC-W
     /// interaction names).
     pub label: &'static str,
+    /// Shard routing key, derived by the workload from its arguments
+    /// (TPC-C: the home warehouse id; micro: the point-select key).
+    /// `Some(k)` promises the transaction touches only rows whose shard
+    /// key equals `k`, plus *reads* of replicated tables — a routed
+    /// transaction must never write a replicated table, since that would
+    /// update only its own shard's copy and silently diverge the
+    /// replicas. The sharded server sends it to `shard_of(k, W)`.
+    /// `None` means the transaction may span shards (or write a
+    /// replicated table, which fans out to every replica): it runs on
+    /// the serialized multi-partition lane. Ignored by the single-engine
+    /// [`crate::Dispatcher`].
+    pub route: Option<i64>,
 }
 
 /// A transaction generator. Implementations own their RNG so runs are

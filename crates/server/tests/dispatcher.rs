@@ -72,6 +72,7 @@ fn req(entry: pyx_lang::MethodId, k: i64) -> TxnRequest {
         entry,
         args: vec![ArgVal::Int(k)],
         label: "t",
+        route: None,
     }
 }
 

@@ -1,0 +1,508 @@
+//! Sharded-serving correctness: the shard-per-core tier must be
+//! observationally identical to one dispatcher over one engine.
+//!
+//! * **Differential**: the same TPC-C request stream through a
+//!   `ShardedServer` (W shards) and through a single `Dispatcher`, with
+//!   per-transaction results compared tag-for-tag and the shards' merged
+//!   final state compared row-for-row against the single engine — both
+//!   for a purely partitionable mix and for a mix with cross-shard
+//!   transactions riding the serialized multi-partition lane (including
+//!   writes to a replicated table, which must fan out to every replica).
+//! * **Partition property** (proptest): over random scales/shard counts,
+//!   the sharded loader places every row of a shard-keyed table on
+//!   exactly the shard `shard_of` names — no loss, no duplication — and
+//!   keeps replicated tables byte-identical across shards.
+//! * **Backpressure**: full worker channels reject instead of blocking.
+
+use proptest::prelude::*;
+use pyx_db::{shard_of, Engine, Scalar};
+use pyx_pyxil::CompiledPartition;
+use pyx_server::{
+    Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv, ShardedConfig, ShardedServer,
+    TxnDone, TxnRequest,
+};
+use pyx_workloads::tpcc;
+use std::sync::Arc;
+
+/// TPC-C new-order plus three cross-shard entry points: a warehouse-to-
+/// warehouse stock transfer, a replicated-table write, and a scatter
+/// count. `newOrder` is byte-for-byte the partitionable transaction the
+/// `tpcc` module ships.
+const MIXED_SRC: &str = r#"
+    class Mixed {
+        double newOrder(int wId, int dId, int cId, int[] itemIds, int[] qtys) {
+            row[] wr = dbQuery("SELECT w_tax FROM warehouse WHERE w_id = ?", wId);
+            double wTax = wr[0].getDouble(0);
+            dbUpdate("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?", wId, dId);
+            row[] dr = dbQuery("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?", wId, dId);
+            double dTax = dr[0].getDouble(0);
+            int oId = dr[0].getInt(1) - 1;
+            row[] cr = dbQuery("SELECT c_discount FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", wId, dId, cId);
+            double cDisc = cr[0].getDouble(0);
+            dbUpdate("INSERT INTO orders VALUES (?, ?, ?, ?, ?)", wId, dId, oId, cId, itemIds.length);
+            dbUpdate("INSERT INTO new_order VALUES (?, ?, ?)", wId, dId, oId);
+            double total = 0.0;
+            int ol = 0;
+            for (int iid : itemIds) {
+                if (iid < 0) {
+                    rollback();
+                    return 0.0 - 1.0;
+                }
+                row[] ir = dbQuery("SELECT i_price FROM item WHERE i_id = ?", iid);
+                double price = ir[0].getDouble(0);
+                row[] sr = dbQuery("SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_i_id = ?", wId, iid);
+                int sq = sr[0].getInt(0);
+                int qty = qtys[ol];
+                int newQ = sq - qty;
+                if (newQ < 10) { newQ = newQ + 91; }
+                dbUpdate("UPDATE stock SET s_quantity = ? WHERE s_w_id = ? AND s_i_id = ?", newQ, wId, iid);
+                double amount = price * toDouble(qty);
+                dbUpdate("INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?)", wId, dId, oId, ol, iid, qty, amount);
+                total = total + amount;
+                ol = ol + 1;
+            }
+            total = total * (1.0 + wTax + dTax) * (1.0 - cDisc);
+            return total;
+        }
+
+        int transfer(int fromW, int toW, int iid, int qty) {
+            row[] a = dbQuery("SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_i_id = ?", fromW, iid);
+            int have = a[0].getInt(0);
+            if (have < qty) { return 0 - 1; }
+            dbUpdate("UPDATE stock SET s_quantity = s_quantity - ? WHERE s_w_id = ? AND s_i_id = ?", qty, fromW, iid);
+            dbUpdate("UPDATE stock SET s_quantity = s_quantity + ? WHERE s_w_id = ? AND s_i_id = ?", qty, toW, iid);
+            return have - qty;
+        }
+
+        int reprice(int iid, double p) {
+            int n = dbUpdate("UPDATE item SET i_price = ? WHERE i_id = ?", p, iid);
+            return n;
+        }
+
+        int stockRows(int q) {
+            row[] rs = dbQuery("SELECT s_i_id FROM stock WHERE s_quantity = ?", q);
+            return rs.length;
+        }
+
+        int badScan() {
+            row[] rs = dbQuery("SELECT s_i_id FROM stock ORDER BY s_quantity LIMIT 1");
+            return rs.length;
+        }
+
+        int dynRead(int w) {
+            // Dynamically computed SQL: not a constant site, so the lane
+            // takes its ad-hoc (FIFO-capped) execute path.
+            row[] rs = dbQuery("SELECT d_id FROM district WHERE d_w_id = " + intToStr(w));
+            return rs.length;
+        }
+    }
+"#;
+
+fn compile_jdbc(src: &str) -> (pyx_core::Pyxis, CompiledPartition) {
+    let pyxis =
+        pyx_core::Pyxis::compile(src, pyx_core::PyxisConfig::default()).expect("source compiles");
+    let part = pyxis.deploy_jdbc();
+    (pyxis, part)
+}
+
+/// Run a request stream *serialized* (one transaction at a time) through
+/// one dispatcher over one engine.
+fn run_single(part: &CompiledPartition, engine: &mut Engine, reqs: &[TxnRequest]) -> Vec<TxnDone> {
+    let mut disp = Dispatcher::new(Deployment::Fixed(part), engine, DispatcherConfig::default());
+    let mut env = InstantEnv;
+    let mut out = Vec::new();
+    for (tag, req) in reqs.iter().enumerate() {
+        assert_eq!(
+            disp.submit(0, req.clone(), tag as u64),
+            Admit::Started,
+            "serialized submission always admits"
+        );
+        let done = disp.run_until_idle(engine, &mut env);
+        assert_eq!(done.len(), 1);
+        out.extend(done);
+    }
+    out
+}
+
+/// Run the same stream serialized through a `ShardedServer`.
+fn run_sharded(
+    part: &Arc<CompiledPartition>,
+    engines: Vec<Engine>,
+    shards: usize,
+    reqs: &[TxnRequest],
+) -> (Vec<TxnDone>, pyx_server::ShardedReport) {
+    let mut srv = ShardedServer::new(
+        Arc::clone(part),
+        engines,
+        ShardedConfig {
+            shards,
+            ..ShardedConfig::default()
+        },
+    );
+    let mut out = Vec::new();
+    for (tag, req) in reqs.iter().enumerate() {
+        assert_eq!(srv.submit(req.clone(), tag as u64), Admit::Started);
+        let d = srv.recv_done().expect("one in flight");
+        out.push(d);
+    }
+    let (rest, report) = srv.shutdown();
+    assert!(rest.is_empty());
+    (out, report)
+}
+
+fn sort_rows(mut rows: Vec<Vec<Scalar>>) -> Vec<Vec<Scalar>> {
+    rows.sort_by(|a, b| {
+        a.iter()
+            .zip(b.iter())
+            .map(|(x, y)| x.total_cmp(y))
+            .find(|o| o.is_ne())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    rows
+}
+
+/// Merged-state equality: for every table, the union of the shards' rows
+/// (replicated tables: each replica individually) must equal the single
+/// engine's rows; shard-keyed rows must sit on the shard `shard_of`
+/// names.
+fn assert_state_matches(single: &Engine, shards: &[Engine]) {
+    let w = shards.len();
+    for table in single.table_names() {
+        let expect = sort_rows(single.dump_table(&table));
+        let def = single.table_def(&table).expect("table exists");
+        match def.shard_key {
+            Some(sc) => {
+                let mut union = Vec::new();
+                for (s, e) in shards.iter().enumerate() {
+                    for row in e.dump_table(&table) {
+                        assert_eq!(
+                            shard_of(&row[sc], w),
+                            s,
+                            "row {row:?} of `{table}` landed on shard {s}"
+                        );
+                        union.push(row);
+                    }
+                }
+                assert_eq!(sort_rows(union), expect, "merged `{table}` state");
+            }
+            None => {
+                for (s, e) in shards.iter().enumerate() {
+                    assert_eq!(
+                        sort_rows(e.dump_table(&table)),
+                        expect,
+                        "replica `{table}` on shard {s}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+fn fresh_shards(scale: tpcc::TpccScale, seed: u64, w: usize) -> Vec<Engine> {
+    let mut engines: Vec<Engine> = (0..w)
+        .map(|_| {
+            let mut e = Engine::new();
+            tpcc::create_schema(&mut e);
+            e
+        })
+        .collect();
+    tpcc::load_sharded(&mut engines, scale, seed);
+    engines
+}
+
+fn fresh_single(scale: tpcc::TpccScale, seed: u64) -> Engine {
+    let mut e = Engine::new();
+    tpcc::create_schema(&mut e);
+    tpcc::load(&mut e, scale, seed);
+    e
+}
+
+fn scale8() -> tpcc::TpccScale {
+    tpcc::TpccScale {
+        warehouses: 8,
+        districts_per_wh: 3,
+        customers_per_district: 10,
+        items: 100,
+    }
+}
+
+#[test]
+fn sharded_matches_single_on_partitionable_tpcc() {
+    let (pyxis, part) = compile_jdbc(tpcc::SRC);
+    let entry = pyxis.entry("NewOrder", "run").expect("entry");
+    let scale = scale8();
+    let seed = 11;
+
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 42).with_lines(2, 5);
+    let reqs: Vec<TxnRequest> = (0..120)
+        .map(|i| pyx_server::Workload::next_txn(&mut gen, i))
+        .collect();
+    assert!(
+        reqs.iter().all(|r| r.route.is_some()),
+        "TPC-C new-order derives its home warehouse as the routing key"
+    );
+
+    let mut single = fresh_single(scale, seed);
+    let singles = run_single(&part, &mut single, &reqs);
+
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, seed, 4);
+    let (shardeds, report) = run_sharded(&part, engines, 4, &reqs);
+
+    assert_eq!(
+        report.multi_txns, 0,
+        "home-warehouse mix never uses the lane"
+    );
+    assert_eq!(singles.len(), shardeds.len());
+    for (a, b) in singles.iter().zip(&shardeds) {
+        assert_eq!(a.tag, b.tag, "serialized order preserved");
+        assert_eq!(a.result, b.result, "txn {} result", a.tag);
+        assert_eq!(a.rolled_back, b.rolled_back, "txn {} rollback", a.tag);
+        assert_eq!(a.error, b.error, "txn {} error", a.tag);
+    }
+    assert_state_matches(&single, &report.engines);
+    let completed: u64 = report.dispatchers.iter().map(|d| d.completed).sum();
+    assert_eq!(completed, 120, "every request retired on a shard worker");
+}
+
+#[test]
+fn cross_shard_lane_matches_single() {
+    let (pyxis, part) = compile_jdbc(MIXED_SRC);
+    let new_order = pyxis.entry("Mixed", "newOrder").expect("newOrder");
+    let transfer = pyxis.entry("Mixed", "transfer").expect("transfer");
+    let reprice = pyxis.entry("Mixed", "reprice").expect("reprice");
+    let stock_rows = pyxis.entry("Mixed", "stockRows").expect("stockRows");
+    let dyn_read = pyxis.entry("Mixed", "dynRead").expect("dynRead");
+    let scale = scale8();
+    let seed = 23;
+
+    let mut gen = tpcc::NewOrderGen::new(new_order, scale, 77).with_lines(2, 4);
+    let mut reqs = Vec::new();
+    let mut lane_expected = 0u64;
+    for i in 0..90usize {
+        match i % 5 {
+            // Cross-warehouse stock transfer: touches two shards.
+            2 => {
+                let (from, to) = ((i as i64 % 8) + 1, ((i as i64 + 3) % 8) + 1);
+                reqs.push(TxnRequest {
+                    entry: transfer,
+                    args: vec![
+                        pyx_runtime::ArgVal::Int(from),
+                        pyx_runtime::ArgVal::Int(to),
+                        pyx_runtime::ArgVal::Int((i as i64 % 100) + 1),
+                        pyx_runtime::ArgVal::Int(3),
+                    ],
+                    label: "transfer",
+                    route: None,
+                });
+                lane_expected += 1;
+            }
+            // Replicated-table write: must reach every replica.
+            4 => {
+                reqs.push(TxnRequest {
+                    entry: reprice,
+                    args: vec![
+                        pyx_runtime::ArgVal::Int((i as i64 % 100) + 1),
+                        pyx_runtime::ArgVal::Double(1.5 + i as f64),
+                    ],
+                    label: "reprice",
+                    route: None,
+                });
+                lane_expected += 1;
+            }
+            _ => reqs.push(pyx_server::Workload::next_txn(&mut gen, i)),
+        }
+    }
+    // A mergeable scatter read (equality on a non-shard column).
+    reqs.push(TxnRequest {
+        entry: stock_rows,
+        args: vec![pyx_runtime::ArgVal::Int(55)],
+        label: "stock-rows",
+        route: None,
+    });
+    lane_expected += 1;
+    // Dynamic SQL through the lane's ad-hoc path (distinct statement
+    // text per warehouse: exercises registration + routing of computed
+    // statements).
+    for w in 1..=8i64 {
+        reqs.push(TxnRequest {
+            entry: dyn_read,
+            args: vec![pyx_runtime::ArgVal::Int(w)],
+            label: "dyn-read",
+            route: None,
+        });
+        lane_expected += 1;
+    }
+
+    let mut single = fresh_single(scale, seed);
+    let singles = run_single(&part, &mut single, &reqs);
+
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, seed, 4);
+    let (shardeds, report) = run_sharded(&part, engines, 4, &reqs);
+
+    assert_eq!(report.multi_txns, lane_expected);
+    for (a, b) in singles.iter().zip(&shardeds) {
+        assert_eq!(a.result, b.result, "txn {} ({}) result", a.tag, a.label);
+        assert_eq!(a.rolled_back, b.rolled_back, "txn {} rollback", a.tag);
+        assert_eq!(a.error, b.error, "txn {} error", a.tag);
+    }
+    assert_state_matches(&single, &report.engines);
+}
+
+#[test]
+fn lane_rejects_unroutable_ordered_scan() {
+    let (pyxis, part) = compile_jdbc(MIXED_SRC);
+    let bad = pyxis.entry("Mixed", "badScan").expect("badScan");
+    let scale = scale8();
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, 5, 2);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: 2,
+            ..ShardedConfig::default()
+        },
+    );
+    srv.submit(
+        TxnRequest {
+            entry: bad,
+            args: vec![],
+            label: "bad-scan",
+            route: None,
+        },
+        0,
+    );
+    let d = srv.recv_done().expect("lane result");
+    let err = d.error.expect("ordered cross-shard scan must fail loudly");
+    assert!(err.contains("not routable"), "{err}");
+    srv.shutdown();
+}
+
+#[test]
+fn sharded_backpressure_rejects_when_saturated() {
+    let (pyxis, part) = compile_jdbc(tpcc::SRC);
+    let entry = pyxis.entry("NewOrder", "run").expect("entry");
+    let scale = scale8();
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, 3, 2);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: 2,
+            channel_cap: 4,
+            dispatcher: DispatcherConfig {
+                max_sessions: 1,
+                queue_cap: 2,
+                ..DispatcherConfig::default()
+            },
+        },
+    );
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 9).with_lines(2, 4);
+    let mut accepted = 0u64;
+    let mut rejected = 0u64;
+    for i in 0..5_000usize {
+        match srv.submit(pyx_server::Workload::next_txn(&mut gen, i), i as u64) {
+            Admit::Started | Admit::Queued { .. } => accepted += 1,
+            Admit::Rejected => rejected += 1,
+        }
+    }
+    assert!(rejected > 0, "tiny channels must push back under a burst");
+    let done = srv.drain();
+    assert_eq!(done.len() as u64, accepted, "accepted requests all retire");
+    srv.shutdown();
+}
+
+#[test]
+fn concurrent_disjoint_warehouses_deterministic() {
+    // Rounds of 8 requests, one per warehouse, all 8 in flight at once
+    // across the 4 shards: within a round write sets are disjoint (item
+    // is read-only), so genuinely parallel execution must still
+    // reproduce the serialized single-engine state exactly. A drain
+    // barrier between rounds keeps same-warehouse requests ordered.
+    let (pyxis, part) = compile_jdbc(tpcc::SRC);
+    let entry = pyxis.entry("NewOrder", "run").expect("entry");
+    let scale = scale8();
+    let seed = 31;
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 13)
+        .with_lines(2, 4)
+        .with_rollback_pct(0.0);
+    // Round-robin the home warehouse deterministically.
+    let mut reqs: Vec<TxnRequest> = Vec::new();
+    for i in 0..160usize {
+        let mut r = pyx_server::Workload::next_txn(&mut gen, i);
+        let w = (i as i64 % 8) + 1;
+        r.args[0] = pyx_runtime::ArgVal::Int(w);
+        r.route = Some(w);
+        reqs.push(r);
+    }
+
+    let mut single = fresh_single(scale, seed);
+    run_single(&part, &mut single, &reqs);
+
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, seed, 4);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: 4,
+            ..ShardedConfig::default()
+        },
+    );
+    for (round, chunk) in reqs.chunks(8).enumerate() {
+        for (i, req) in chunk.iter().enumerate() {
+            assert_eq!(
+                srv.submit(req.clone(), (round * 8 + i) as u64),
+                Admit::Started
+            );
+        }
+        let done = srv.drain();
+        assert_eq!(done.len(), chunk.len());
+        assert!(done.iter().all(|d| d.error.is_none()));
+    }
+    let (_, report) = srv.shutdown();
+    assert_state_matches(&single, &report.engines);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The sharded loader is a partition: every shard-keyed row lands on
+    /// exactly the shard `shard_of` names (checked inside
+    /// `assert_state_matches` via union equality + placement), and
+    /// replicated tables are byte-identical on every shard.
+    #[test]
+    fn routing_is_a_partition(
+        warehouses in 1i64..7,
+        shards in 1usize..6,
+        seed in 0i64..1000,
+    ) {
+        let scale = tpcc::TpccScale {
+            warehouses,
+            districts_per_wh: 2,
+            customers_per_district: 3,
+            items: 20,
+        };
+        let single = fresh_single(scale, seed as u64);
+        let sharded = fresh_shards(scale, seed as u64, shards);
+        assert_state_matches(&single, &sharded);
+    }
+
+    /// `shard_of` is total and in-range for every scalar type.
+    #[test]
+    fn shard_of_total_and_in_range(
+        shards in 1usize..10,
+        i in any::<i64>(),
+        d in any::<f64>(),
+        s in "[a-z0-9]{0,12}",
+        b in any::<bool>(),
+    ) {
+        for key in [Scalar::Int(i), Scalar::Double(d), Scalar::Str(s.as_str().into()),
+                    Scalar::Bool(b), Scalar::Null] {
+            prop_assert!(shard_of(&key, shards) < shards);
+        }
+    }
+}

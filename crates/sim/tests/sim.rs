@@ -91,6 +91,7 @@ impl pyx_sim::Workload for Rotating {
             entry: self.entry,
             args: vec![ArgVal::Int(self.n * 13 % 1000)],
             label: "rotating",
+            route: None,
         }
     }
 }
@@ -267,6 +268,7 @@ fn fixed_workload_type_runs() {
             entry: s.entry,
             args: vec![ArgVal::Int(5)],
             label: "fixed",
+            route: None,
         },
     };
     let cfg = SimConfig {

@@ -82,37 +82,46 @@ impl Default for TpccScale {
 
 /// Create the TPC-C tables.
 pub fn create_schema(db: &mut Engine) {
-    db.create_table(TableDef::new(
-        "warehouse",
-        vec![
-            ColumnDef::new("w_id", ColTy::Int),
-            ColumnDef::new("w_name", ColTy::Str),
-            ColumnDef::new("w_tax", ColTy::Double),
-        ],
-        &["w_id"],
-    ));
-    db.create_table(TableDef::new(
-        "district",
-        vec![
-            ColumnDef::new("d_w_id", ColTy::Int),
-            ColumnDef::new("d_id", ColTy::Int),
-            ColumnDef::new("d_tax", ColTy::Double),
-            ColumnDef::new("d_next_o_id", ColTy::Int),
-        ],
-        &["d_w_id", "d_id"],
-    ));
-    db.create_table(TableDef::new(
-        "customer",
-        vec![
-            ColumnDef::new("c_w_id", ColTy::Int),
-            ColumnDef::new("c_d_id", ColTy::Int),
-            ColumnDef::new("c_id", ColTy::Int),
-            ColumnDef::new("c_name", ColTy::Str),
-            ColumnDef::new("c_discount", ColTy::Double),
-            ColumnDef::new("c_balance", ColTy::Double),
-        ],
-        &["c_w_id", "c_d_id", "c_id"],
-    ));
+    db.create_table(
+        TableDef::new(
+            "warehouse",
+            vec![
+                ColumnDef::new("w_id", ColTy::Int),
+                ColumnDef::new("w_name", ColTy::Str),
+                ColumnDef::new("w_tax", ColTy::Double),
+            ],
+            &["w_id"],
+        )
+        .with_shard_key("w_id"),
+    );
+    db.create_table(
+        TableDef::new(
+            "district",
+            vec![
+                ColumnDef::new("d_w_id", ColTy::Int),
+                ColumnDef::new("d_id", ColTy::Int),
+                ColumnDef::new("d_tax", ColTy::Double),
+                ColumnDef::new("d_next_o_id", ColTy::Int),
+            ],
+            &["d_w_id", "d_id"],
+        )
+        .with_shard_key("d_w_id"),
+    );
+    db.create_table(
+        TableDef::new(
+            "customer",
+            vec![
+                ColumnDef::new("c_w_id", ColTy::Int),
+                ColumnDef::new("c_d_id", ColTy::Int),
+                ColumnDef::new("c_id", ColTy::Int),
+                ColumnDef::new("c_name", ColTy::Str),
+                ColumnDef::new("c_discount", ColTy::Double),
+                ColumnDef::new("c_balance", ColTy::Double),
+            ],
+            &["c_w_id", "c_d_id", "c_id"],
+        )
+        .with_shard_key("c_w_id"),
+    );
     db.create_table(TableDef::new(
         "item",
         vec![
@@ -122,55 +131,85 @@ pub fn create_schema(db: &mut Engine) {
         ],
         &["i_id"],
     ));
-    db.create_table(TableDef::new(
-        "stock",
-        vec![
-            ColumnDef::new("s_w_id", ColTy::Int),
-            ColumnDef::new("s_i_id", ColTy::Int),
-            ColumnDef::new("s_quantity", ColTy::Int),
-        ],
-        &["s_w_id", "s_i_id"],
-    ));
-    db.create_table(TableDef::new(
-        "orders",
-        vec![
-            ColumnDef::new("o_w_id", ColTy::Int),
-            ColumnDef::new("o_d_id", ColTy::Int),
-            ColumnDef::new("o_id", ColTy::Int),
-            ColumnDef::new("o_c_id", ColTy::Int),
-            ColumnDef::new("o_ol_cnt", ColTy::Int),
-        ],
-        &["o_w_id", "o_d_id", "o_id"],
-    ));
-    db.create_table(TableDef::new(
-        "new_order",
-        vec![
-            ColumnDef::new("no_w_id", ColTy::Int),
-            ColumnDef::new("no_d_id", ColTy::Int),
-            ColumnDef::new("no_o_id", ColTy::Int),
-        ],
-        &["no_w_id", "no_d_id", "no_o_id"],
-    ));
-    db.create_table(TableDef::new(
-        "order_line",
-        vec![
-            ColumnDef::new("ol_w_id", ColTy::Int),
-            ColumnDef::new("ol_d_id", ColTy::Int),
-            ColumnDef::new("ol_o_id", ColTy::Int),
-            ColumnDef::new("ol_number", ColTy::Int),
-            ColumnDef::new("ol_i_id", ColTy::Int),
-            ColumnDef::new("ol_quantity", ColTy::Int),
-            ColumnDef::new("ol_amount", ColTy::Double),
-        ],
-        &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
-    ));
+    db.create_table(
+        TableDef::new(
+            "stock",
+            vec![
+                ColumnDef::new("s_w_id", ColTy::Int),
+                ColumnDef::new("s_i_id", ColTy::Int),
+                ColumnDef::new("s_quantity", ColTy::Int),
+            ],
+            &["s_w_id", "s_i_id"],
+        )
+        .with_shard_key("s_w_id"),
+    );
+    db.create_table(
+        TableDef::new(
+            "orders",
+            vec![
+                ColumnDef::new("o_w_id", ColTy::Int),
+                ColumnDef::new("o_d_id", ColTy::Int),
+                ColumnDef::new("o_id", ColTy::Int),
+                ColumnDef::new("o_c_id", ColTy::Int),
+                ColumnDef::new("o_ol_cnt", ColTy::Int),
+            ],
+            &["o_w_id", "o_d_id", "o_id"],
+        )
+        .with_shard_key("o_w_id"),
+    );
+    db.create_table(
+        TableDef::new(
+            "new_order",
+            vec![
+                ColumnDef::new("no_w_id", ColTy::Int),
+                ColumnDef::new("no_d_id", ColTy::Int),
+                ColumnDef::new("no_o_id", ColTy::Int),
+            ],
+            &["no_w_id", "no_d_id", "no_o_id"],
+        )
+        .with_shard_key("no_w_id"),
+    );
+    db.create_table(
+        TableDef::new(
+            "order_line",
+            vec![
+                ColumnDef::new("ol_w_id", ColTy::Int),
+                ColumnDef::new("ol_d_id", ColTy::Int),
+                ColumnDef::new("ol_o_id", ColTy::Int),
+                ColumnDef::new("ol_number", ColTy::Int),
+                ColumnDef::new("ol_i_id", ColTy::Int),
+                ColumnDef::new("ol_quantity", ColTy::Int),
+                ColumnDef::new("ol_amount", ColTy::Double),
+            ],
+            &["ol_w_id", "ol_d_id", "ol_o_id", "ol_number"],
+        )
+        .with_shard_key("ol_w_id"),
+    );
 }
 
 /// Populate the tables.
 pub fn load(db: &mut Engine, scale: TpccScale, seed: u64) {
+    for_each_row(scale, seed, |table, row| db.load_row(table, row));
+}
+
+/// Populate W engine shards with exactly the row stream [`load`] produces
+/// (same seed ⇒ same rows), routed by each table's shard key: warehouse-
+/// keyed rows land on `shard_of(w_id, W)`, the `item` table (no shard
+/// key) is replicated read-only to every shard. A sharded deployment's
+/// merged state is therefore comparable row-for-row with a single
+/// engine's.
+pub fn load_sharded(engines: &mut [Engine], scale: TpccScale, seed: u64) {
+    for_each_row(scale, seed, |table, row| {
+        pyx_server::load_row_sharded(engines, table, row)
+    });
+}
+
+/// The canonical row stream both loaders share: one sink callback per
+/// generated row, in a fixed order driven by one seeded RNG.
+fn for_each_row(scale: TpccScale, seed: u64, mut sink: impl FnMut(&str, Vec<Scalar>)) {
     let mut rng = StdRng::seed_from_u64(seed);
     for w in 1..=scale.warehouses {
-        db.load_row(
+        sink(
             "warehouse",
             vec![
                 Scalar::Int(w),
@@ -179,7 +218,7 @@ pub fn load(db: &mut Engine, scale: TpccScale, seed: u64) {
             ],
         );
         for d in 1..=scale.districts_per_wh {
-            db.load_row(
+            sink(
                 "district",
                 vec![
                     Scalar::Int(w),
@@ -189,7 +228,7 @@ pub fn load(db: &mut Engine, scale: TpccScale, seed: u64) {
                 ],
             );
             for c in 1..=scale.customers_per_district {
-                db.load_row(
+                sink(
                     "customer",
                     vec![
                         Scalar::Int(w),
@@ -203,7 +242,7 @@ pub fn load(db: &mut Engine, scale: TpccScale, seed: u64) {
             }
         }
         for i in 1..=scale.items {
-            db.load_row(
+            sink(
                 "stock",
                 vec![
                     Scalar::Int(w),
@@ -214,7 +253,7 @@ pub fn load(db: &mut Engine, scale: TpccScale, seed: u64) {
         }
     }
     for i in 1..=scale.items {
-        db.load_row(
+        sink(
             "item",
             vec![
                 Scalar::Int(i),
@@ -296,6 +335,7 @@ impl Workload for NewOrderGen {
                 ArgVal::IntArray(qtys),
             ],
             label: "new-order",
+            route: Some(w),
         }
     }
 }

@@ -257,36 +257,42 @@ impl Workload for BrowsingMix {
                 entry: self.entries.home,
                 args: vec![ArgVal::Int(cid)],
                 label: "home",
+                route: None,
             }
         } else if roll < 50 {
             TxnRequest {
                 entry: self.entries.product_detail,
                 args: vec![ArgVal::Int(iid)],
                 label: "product-detail",
+                route: None,
             }
         } else if roll < 61 {
             TxnRequest {
                 entry: self.entries.new_products,
                 args: vec![ArgVal::Str(self.subject())],
                 label: "new-products",
+                route: None,
             }
         } else if roll < 72 {
             TxnRequest {
                 entry: self.entries.best_sellers,
                 args: vec![ArgVal::Str(self.subject())],
                 label: "best-sellers",
+                route: None,
             }
         } else if roll < 95 {
             TxnRequest {
                 entry: self.entries.search,
                 args: vec![ArgVal::Str(self.subject())],
                 label: "search",
+                route: None,
             }
         } else {
             TxnRequest {
                 entry: self.entries.order_inquiry,
                 args: vec![ArgVal::Int(cid)],
                 label: "order-inquiry",
+                route: None,
             }
         }
     }
@@ -377,6 +383,7 @@ impl Workload for ReadMostlyMix {
                 entry: self.entries.admin_update,
                 args: vec![ArgVal::Int(iid)],
                 label: "admin-update",
+                route: None,
             };
         }
         let cid = self.rng.random_range(1..=self.scale.customers);
@@ -388,6 +395,7 @@ impl Workload for ReadMostlyMix {
                 entry: self.entries.browse.home,
                 args: vec![ArgVal::Int(cid)],
                 label: "home",
+                route: None,
             }
         } else if roll < self.write_pct + 55 {
             let iid = self.item();
@@ -395,30 +403,35 @@ impl Workload for ReadMostlyMix {
                 entry: self.entries.browse.product_detail,
                 args: vec![ArgVal::Int(iid)],
                 label: "product-detail",
+                route: None,
             }
         } else if roll < self.write_pct + 65 {
             TxnRequest {
                 entry: self.entries.browse.new_products,
                 args: vec![ArgVal::Str(self.subject())],
                 label: "new-products",
+                route: None,
             }
         } else if roll < self.write_pct + 75 {
             TxnRequest {
                 entry: self.entries.browse.search,
                 args: vec![ArgVal::Str(self.subject())],
                 label: "search",
+                route: None,
             }
         } else if roll < self.write_pct + 85 {
             TxnRequest {
                 entry: self.entries.browse.best_sellers,
                 args: vec![ArgVal::Str(self.subject())],
                 label: "best-sellers",
+                route: None,
             }
         } else {
             TxnRequest {
                 entry: self.entries.browse.order_inquiry,
                 args: vec![ArgVal::Int(cid)],
                 label: "order-inquiry",
+                route: None,
             }
         }
     }

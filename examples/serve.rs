@@ -1,7 +1,7 @@
 //! Serve TPC-C through the `pyx-server` dispatcher — no simulation.
 //!
 //! ```sh
-//! cargo run --release --example serve [clients] [transactions] [interp|bytecode]
+//! cargo run --release --example serve [clients] [transactions] [interp|bytecode] [--shards N]
 //! ```
 //!
 //! Where `dynamic_switching` prices dispatcher events onto a virtual
@@ -12,23 +12,44 @@
 //! exactly how the `server_throughput` bench measures sessions/sec — and
 //! the run reports wall-clock throughput plus the dispatcher's own
 //! counters (admissions, queue peaks, wait-die restarts).
+//!
+//! `--shards N` serves the same home-warehouse mix through the
+//! shard-per-core [`pyxis::server::ShardedServer`] instead: N worker
+//! threads, each owning one engine shard and its own dispatcher, requests
+//! routed by home warehouse. Sharded runs fix the scale at 8 warehouses
+//! regardless of N so the 1/2/4/8-shard numbers are directly comparable
+//! (the EXPERIMENTS.md scaling table).
 
-use pyxis::server::{Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv, Polled, VmMode};
+use pyxis::server::{
+    Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv, Polled, ShardedConfig,
+    ShardedServer, VmMode,
+};
 use pyxis::workloads::tpcc;
 use std::time::Instant;
 
 fn main() {
     // Numeric args fill clients then transactions; `interp`/`bytecode`
-    // selects the VM tier and may appear in any position. Anything else
-    // is an error rather than a silently ignored knob.
+    // selects the VM tier and may appear in any position; `--shards N`
+    // switches to the sharded server. Anything else is an error rather
+    // than a silently ignored knob.
     let mut clients: usize = 200;
     let mut total: u64 = 20_000;
     let mut vm = VmMode::Bytecode;
+    let mut shards: Option<usize> = None;
     let mut nums = 0;
-    for a in std::env::args().skip(1) {
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
         match a.as_str() {
             "interp" => vm = VmMode::Interp,
             "bytecode" => vm = VmMode::Bytecode,
+            "--shards" => {
+                let n = args
+                    .next()
+                    .and_then(|v| v.parse::<usize>().ok())
+                    .expect("--shards needs a positive integer");
+                assert!(n > 0, "--shards needs a positive integer");
+                shards = Some(n);
+            }
             _ => match (nums, a.parse::<u64>()) {
                 (0, Ok(n)) => {
                     clients = n as usize;
@@ -39,10 +60,14 @@ fn main() {
                     nums = 2;
                 }
                 _ => panic!(
-                    "unexpected argument `{a}` (usage: serve [clients] [transactions] [interp|bytecode])"
+                    "unexpected argument `{a}` (usage: serve [clients] [transactions] [interp|bytecode] [--shards N])"
                 ),
             },
         }
+    }
+
+    if let Some(w) = shards {
+        return serve_sharded(w, clients, total, vm);
     }
 
     let scale = tpcc::TpccScale::default();
@@ -131,4 +156,117 @@ fn main() {
     println!("  bytecode txns        {:>10}", stats.bytecode_txns);
     println!("  vm blocks executed   {:>10}", stats.vm_blocks);
     println!("  vm instrs executed   {:>10}", stats.vm_instrs);
+}
+
+/// The sharded closed loop: same workload, same total client budget,
+/// spread over W shard workers (each worker's dispatcher gets
+/// `clients / W` session slots).
+fn serve_sharded(shards: usize, clients: usize, total: u64, vm: VmMode) {
+    let scale = tpcc::TpccScale {
+        warehouses: 8,
+        ..tpcc::TpccScale::default()
+    };
+    let seed = 7;
+    let (pyxis, mut scratch, entry) = tpcc::setup(scale, seed);
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, seed).with_lines(3, 8);
+    let profile = pyxis
+        .profile(
+            &mut scratch,
+            (0..200).map(|i| {
+                let r = pyxis::sim::Workload::next_txn(&mut gen, i);
+                (r.entry, r.args)
+            }),
+        )
+        .expect("profiling");
+    let set = pyxis.generate(&profile, &[2.0]);
+    let part = std::sync::Arc::new(set.pyxis.into_iter().next().expect("partition").2);
+
+    let mut engines: Vec<pyxis::db::Engine> = (0..shards)
+        .map(|_| {
+            let mut e = pyxis::db::Engine::new();
+            tpcc::create_schema(&mut e);
+            e
+        })
+        .collect();
+    tpcc::load_sharded(&mut engines, scale, seed);
+
+    let per_shard = (clients / shards).max(1);
+    let mut srv = ShardedServer::new(
+        part,
+        engines,
+        ShardedConfig {
+            shards,
+            channel_cap: (per_shard * 4).max(16),
+            dispatcher: DispatcherConfig {
+                max_sessions: per_shard,
+                queue_cap: per_shard * 4,
+                vm,
+                ..DispatcherConfig::default()
+            },
+        },
+    );
+    let mut wl = tpcc::NewOrderGen::new(entry, scale, 999).with_lines(3, 8);
+
+    println!(
+        "serving {total} TPC-C new-order transactions over {clients} clients on {shards} shard worker(s) ({} tier)…",
+        match vm {
+            VmMode::Interp => "interp",
+            VmMode::Bytecode => "bytecode",
+        }
+    );
+    let t0 = Instant::now();
+    let mut submitted = 0u64;
+    let mut completed = 0u64;
+    let mut rollbacks = 0u64;
+    let mut rejected = 0u64;
+    // Closed loop with a standing backlog: keep several batches of work
+    // buffered in the worker queues so a retirement always admits a
+    // staggered replacement immediately (a drained worker would otherwise
+    // admit refills in synchronized bursts, which inflates wait-die
+    // conflicts).
+    let depth = (clients * 4) as u64;
+    while completed < total {
+        while submitted < total && srv.in_flight() < depth {
+            let req = pyxis::sim::Workload::next_txn(&mut wl, submitted as usize);
+            match srv.submit(req, submitted) {
+                Admit::Started | Admit::Queued { .. } => submitted += 1,
+                Admit::Rejected => {
+                    rejected += 1;
+                    break;
+                }
+            }
+        }
+        let d = srv.recv_done().expect("work in flight");
+        if let Some(e) = d.error {
+            panic!("transaction {} failed: {e}", d.tag);
+        }
+        completed += 1;
+        if d.rolled_back {
+            rollbacks += 1;
+        }
+    }
+    let dt = t0.elapsed();
+    let (rest, report) = srv.shutdown();
+    assert!(rest.is_empty());
+
+    println!("\n  wall time            {:>10.2} s", dt.as_secs_f64());
+    println!(
+        "  throughput           {:>10.0} txn/s",
+        completed as f64 / dt.as_secs_f64()
+    );
+    println!("  completed            {completed:>10}");
+    println!("  programmed rollbacks {rollbacks:>10}");
+    println!("  submit backpressure  {rejected:>10}");
+    println!("  multi-partition txns {:>10}", report.multi_txns);
+    for (i, d) in report.dispatchers.iter().enumerate() {
+        println!(
+            "  shard {i}: completed {:>8}  restarts {:>6}  peak sessions {:>4}  peak queue {:>4}",
+            d.completed, d.deadlock_restarts, d.peak_sessions, d.peak_queue
+        );
+    }
+    let es = report.merged_engine_stats();
+    println!(
+        "  engine (merged): statements {} commits {} aborts {}",
+        es.statements, es.commits, es.aborts
+    );
 }
