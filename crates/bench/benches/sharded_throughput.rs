@@ -107,6 +107,7 @@ fn bench_sharded_throughput(c: &mut Criterion) {
                         match srv.submit(req, submitted as u64) {
                             Admit::Started | Admit::Queued { .. } => submitted += 1,
                             Admit::Rejected => break,
+                            Admit::Unavailable => panic!("shard worker died mid-bench"),
                         }
                     }
                     srv.recv_done().expect("in flight");

@@ -1,0 +1,169 @@
+//! WAL cost and crash-recovery measurements (EXPERIMENTS.md tables).
+//!
+//! 1. **Group-commit batch size vs commit latency** — the same TPC-C
+//!    new-order stream through one dispatcher over a [`FileSink`]-logged
+//!    engine, with the WAL flushing every 1/4/16/64 commits (a trailing
+//!    `wal_sync` acknowledges the final partial batch). Reports wall
+//!    time, per-transaction latency, and the fsync count actually paid.
+//! 2. **Recovery time vs log size** — run N transactions, drop the
+//!    engine (the crash), rebuild a fresh engine from schema + base load,
+//!    and replay the log. Verifies row counts and SUM/COUNT checksum
+//!    queries against the pre-crash engine before reporting.
+//!
+//! ```sh
+//! cargo run --release -p pyx-bench --bin recovery [txns]
+//! ```
+
+use pyx_db::{Engine, FileSink, Scalar, Wal};
+use pyx_server::{Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv};
+use pyx_workloads::tpcc;
+use std::time::Instant;
+
+fn scale() -> tpcc::TpccScale {
+    tpcc::TpccScale {
+        warehouses: 4,
+        ..tpcc::TpccScale::default()
+    }
+}
+
+fn fresh_engine(seed: u64) -> Engine {
+    let mut e = Engine::new();
+    tpcc::create_schema(&mut e);
+    tpcc::load(&mut e, scale(), seed);
+    e
+}
+
+/// Pre-crash fingerprint: per-table row counts plus aggregate checksums
+/// over the columns new-order mutates.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    rows: Vec<(String, usize)>,
+    stock_qty: Scalar,
+    next_o_ids: Scalar,
+    orders: Scalar,
+    order_lines: Scalar,
+}
+
+fn fingerprint(e: &mut Engine) -> Fingerprint {
+    let agg = |e: &mut Engine, sql: &str| {
+        e.exec_auto(sql, &[]).expect("checksum query").rows[0].as_ref()[0].clone()
+    };
+    Fingerprint {
+        rows: e
+            .table_names()
+            .iter()
+            .map(|t| (t.clone(), e.table_len(t)))
+            .collect(),
+        stock_qty: agg(e, "SELECT SUM(s_quantity) FROM stock"),
+        next_o_ids: agg(e, "SELECT SUM(d_next_o_id) FROM district"),
+        orders: agg(e, "SELECT COUNT(*) FROM orders"),
+        order_lines: agg(e, "SELECT SUM(ol_amount) FROM order_line"),
+    }
+}
+
+/// Run `txns` new-orders through one dispatcher over `engine`.
+fn run_new_orders(engine: &mut Engine, part: &pyx_pyxil::CompiledPartition, txns: u64, seed: u64) {
+    let entry_part = part;
+    let mut disp = Dispatcher::new(
+        Deployment::Fixed(entry_part),
+        engine,
+        DispatcherConfig {
+            max_sessions: 64,
+            queue_cap: usize::MAX,
+            ..DispatcherConfig::default()
+        },
+    );
+    let mut env = InstantEnv;
+    let pyxis = pyx_core::Pyxis::compile(tpcc::SRC, pyx_core::PyxisConfig::default())
+        .expect("TPC-C compiles");
+    let entry = pyxis.entry("NewOrder", "run").expect("entry");
+    let mut gen = tpcc::NewOrderGen::new(entry, scale(), seed).with_lines(3, 8);
+    let mut submitted = 0u64;
+    while submitted < txns {
+        let batch = 64.min(txns - submitted);
+        for _ in 0..batch {
+            let req = pyx_server::Workload::next_txn(&mut gen, submitted as usize);
+            match disp.submit(0, req, submitted) {
+                Admit::Started | Admit::Queued { .. } => submitted += 1,
+                Admit::Rejected => break,
+                Admit::Unavailable => unreachable!("single dispatcher"),
+            }
+        }
+        for d in disp.run_until_idle(engine, &mut env) {
+            if let Some(e) = d.error {
+                panic!("transaction {} failed: {e}", d.tag);
+            }
+        }
+    }
+    engine.wal_sync().expect("final acknowledgement flush");
+}
+
+fn main() {
+    let txns: u64 = std::env::args()
+        .nth(1)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000);
+    let seed = 7;
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+    let pyxis = pyx_core::Pyxis::compile(tpcc::SRC, pyx_core::PyxisConfig::default())
+        .expect("TPC-C compiles");
+    let part = pyxis.deploy_jdbc();
+
+    // ---- Table 1: group-commit batch size vs commit latency ----
+    println!("# Table 1: group-commit batch size vs commit latency");
+    println!("# {txns} TPC-C new-orders, FileSink WAL, one dispatcher");
+    println!("# group\twall_s\tus/txn\tfsyncs\tbatches>1\twal_MB");
+    for group in [1usize, 4, 16, 64] {
+        let path = dir.join(format!("pyx-recovery-{pid}-g{group}.wal"));
+        let mut e = fresh_engine(seed);
+        e.set_wal(
+            Wal::new(Box::new(FileSink::create(&path).expect("create log")))
+                .with_group_commit(group),
+        );
+        let t0 = Instant::now();
+        run_new_orders(&mut e, &part, txns, seed + group as u64);
+        let dt = t0.elapsed();
+        let s = e.stats.clone();
+        println!(
+            "{group}\t{:.2}\t{:.1}\t{}\t{}\t{:.2}",
+            dt.as_secs_f64(),
+            dt.as_secs_f64() * 1e6 / txns as f64,
+            s.wal_fsyncs,
+            s.wal_group_batches,
+            s.wal_bytes as f64 / (1024.0 * 1024.0),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    // ---- Table 2: recovery time vs log size ----
+    println!("\n# Table 2: recovery time vs log size (group commit 16)");
+    println!("# txns\twal_MB\trecords\trecover_ms\tMB/s\tverified");
+    for n in [txns / 4, txns, txns * 4] {
+        let path = dir.join(format!("pyx-recovery-{pid}-n{n}.wal"));
+        let mut e = fresh_engine(seed);
+        e.set_wal(
+            Wal::new(Box::new(FileSink::create(&path).expect("create log"))).with_group_commit(16),
+        );
+        run_new_orders(&mut e, &part, n, seed + n);
+        let want = fingerprint(&mut e);
+        drop(e); // the crash: all in-memory state gone
+
+        let log = FileSink::read_log(&path).expect("read log");
+        let mb = log.len() as f64 / (1024.0 * 1024.0);
+        let mut r = fresh_engine(seed);
+        let t0 = Instant::now();
+        let rep = r.recover(&log).expect("recovery");
+        let dt = t0.elapsed();
+        assert_eq!(rep.truncated_bytes, 0, "clean shutdown");
+        let got = fingerprint(&mut r);
+        assert_eq!(got, want, "recovered state must match the crashed engine");
+        println!(
+            "{n}\t{mb:.2}\t{}\t{:.1}\t{:.0}\tok",
+            rep.records_applied,
+            dt.as_secs_f64() * 1e3,
+            mb / dt.as_secs_f64(),
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -44,6 +44,7 @@ use crate::prepared::{self, Plan, PreparedId, PreparedStmt, ProjP, SetP};
 use crate::sqlparse::{self, AggFn, CmpOp, SqlStmt};
 use crate::table::Table;
 use crate::txn::{Txn, TxnId, UndoOp};
+use crate::wal::{self, RecoveryReport, RedoOp, Wal};
 use pyx_lang::Scalar;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -63,6 +64,11 @@ pub enum DbError {
     ReadOnly,
     /// Operation on an unknown or finished transaction.
     UnknownTxn,
+    /// The write-ahead log could not make a commit durable (sink I/O
+    /// failure). The transaction did **not** commit; the engine is in
+    /// degraded mode — snapshot reads keep serving, write statements are
+    /// rejected with this error until the log is replaced.
+    Durability(String),
 }
 
 impl std::fmt::Display for DbError {
@@ -74,6 +80,7 @@ impl std::fmt::Display for DbError {
             DbError::Deadlock => write!(f, "wait-die deadlock victim"),
             DbError::ReadOnly => write!(f, "write statement in a read-only (snapshot) transaction"),
             DbError::UnknownTxn => write!(f, "unknown transaction"),
+            DbError::Durability(m) => write!(f, "durability failure: {m}"),
         }
     }
 }
@@ -128,6 +135,15 @@ pub struct EngineStats {
     pub versions_created: u64,
     /// Versions (and vacated tombstoned slots) reclaimed by GC.
     pub versions_gced: u64,
+    /// Redo-log bytes appended (header + payload).
+    pub wal_bytes: u64,
+    /// Commit records appended to the redo log.
+    pub wal_records: u64,
+    /// Log flushes (fsync calls) that completed successfully.
+    pub wal_fsyncs: u64,
+    /// Flushes that covered more than one commit record — true group
+    /// commits, where one fsync amortized over a batch.
+    pub wal_group_batches: u64,
 }
 
 impl EngineStats {
@@ -150,6 +166,10 @@ impl EngineStats {
             snapshot_reads,
             versions_created,
             versions_gced,
+            wal_bytes,
+            wal_records,
+            wal_fsyncs,
+            wal_group_batches,
         } = o;
         self.statements += statements;
         self.commits += commits;
@@ -164,6 +184,10 @@ impl EngineStats {
         self.snapshot_reads += snapshot_reads;
         self.versions_created += versions_created;
         self.versions_gced += versions_gced;
+        self.wal_bytes += wal_bytes;
+        self.wal_records += wal_records;
+        self.wal_fsyncs += wal_fsyncs;
+        self.wal_group_batches += wal_group_batches;
     }
 }
 
@@ -204,6 +228,8 @@ pub struct Engine {
     snapshots: BTreeMap<u64, u32>,
     /// Slots stamped with prunable history, awaiting a GC pass.
     gc_pending: Vec<(usize, RowId)>,
+    /// Write-ahead log; `None` runs the engine volatile (tests, sim).
+    wal: Option<Wal>,
     pub stats: EngineStats,
 }
 
@@ -257,6 +283,12 @@ pub trait Database {
     ) -> Result<QueryResult, DbError>;
     /// Aggregate statement/transaction counters.
     fn db_stats(&self) -> EngineStats;
+    /// Flush the write-ahead log to durable storage — the commit
+    /// acknowledgement point under group commit. Engines without a log
+    /// (and implementations without durability) are a no-op.
+    fn wal_sync(&mut self) -> Result<(), DbError> {
+        Ok(())
+    }
 }
 
 impl Database for Engine {
@@ -305,6 +337,10 @@ impl Database for Engine {
     fn db_stats(&self) -> EngineStats {
         self.stats.clone()
     }
+
+    fn wal_sync(&mut self) -> Result<(), DbError> {
+        Engine::wal_sync(self)
+    }
 }
 
 // The sharded serving tier moves loaded engines into worker threads, so
@@ -349,8 +385,170 @@ impl Engine {
             commit_ts: 0,
             snapshots: BTreeMap::new(),
             gc_pending: Vec::new(),
+            wal: None,
             stats: EngineStats::default(),
         }
+    }
+
+    // ---- durability (see `crate::wal` for the full protocol) ----
+
+    /// Attach a write-ahead log: every commit appends a redo record (and,
+    /// per the log's group-commit policy, flushes) before the commit
+    /// becomes visible. Builder form of [`Engine::set_wal`].
+    pub fn with_wal(mut self, wal: Wal) -> Engine {
+        self.set_wal(wal);
+        self
+    }
+
+    /// Attach (or replace) the write-ahead log. Replacing a degraded log
+    /// with a healthy one brings the engine out of degraded mode.
+    pub fn set_wal(&mut self, wal: Wal) {
+        self.wal = Some(wal);
+    }
+
+    /// Shard id the attached log stamps into records.
+    pub fn wal_shard(&self) -> Option<u16> {
+        self.wal.as_ref().map(Wal::shard)
+    }
+
+    /// Highest commit timestamp the log knows is durable.
+    pub fn wal_durable_ts(&self) -> Option<u64> {
+        self.wal.as_ref().map(Wal::durable_ts)
+    }
+
+    /// The log's sticky failure, if the engine is running degraded.
+    pub fn wal_failure(&self) -> Option<String> {
+        self.wal
+            .as_ref()
+            .and_then(|w| w.failure().map(str::to_string))
+    }
+
+    /// Flush pending redo records to durable storage — the commit
+    /// **acknowledgement point** under group commit: a commit may return
+    /// `Ok` with its record only appended; nothing may be acknowledged to
+    /// a client until this succeeds. No-op without a log; keeps returning
+    /// [`DbError::Durability`] while the log is degraded (even with
+    /// nothing pending) so batch acknowledgers always learn of the
+    /// failure.
+    pub fn wal_sync(&mut self) -> Result<(), DbError> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        match wal.sync() {
+            Ok(Some(n)) => {
+                self.stats.wal_fsyncs += 1;
+                if n > 1 {
+                    self.stats.wal_group_batches += 1;
+                }
+                Ok(())
+            }
+            Ok(None) => Ok(()),
+            Err(m) => Err(DbError::Durability(m)),
+        }
+    }
+
+    /// Replay a redo-log byte stream onto this engine, reconstructing the
+    /// committed prefix that reached the log.
+    ///
+    /// The engine must hold the same schema (tables created in the same
+    /// order — table ids are positional) and the same bulk-loaded base
+    /// data as the crashed engine, with no transactions run yet. A torn
+    /// tail (crash mid-append) is truncated cleanly and reported; any
+    /// mid-stream corruption — checksum mismatch, bad framing,
+    /// non-monotone timestamps, a record from a different shard —
+    /// fails loudly with [`DbError::Durability`], leaving the engine in
+    /// an unspecified state that must be discarded.
+    pub fn recover(&mut self, log: &[u8]) -> Result<RecoveryReport, DbError> {
+        let dur = |m: String| DbError::Durability(m);
+        if !self.txns.is_empty() || self.commit_ts != 0 {
+            return Err(dur(
+                "recovery requires a fresh engine (schema + base load only)".into(),
+            ));
+        }
+        let scan = wal::scan(log);
+        if let Some(e) = scan.error {
+            return Err(dur(format!("corrupt log: {e}")));
+        }
+        let mut report = RecoveryReport {
+            valid_len: scan.valid_len as u64,
+            truncated_bytes: scan.torn_bytes as u64,
+            ..RecoveryReport::default()
+        };
+        for span in &scan.records {
+            let rec = wal::decode_record(&log[span.offset..span.offset + span.len])
+                .map_err(|e| dur(format!("corrupt record at byte {}: {e}", span.offset)))?;
+            if let Some(shard) = self.wal_shard() {
+                if rec.shard != shard {
+                    return Err(dur(format!(
+                        "record at byte {} belongs to shard {}, not {shard}",
+                        span.offset, rec.shard
+                    )));
+                }
+            }
+            let ts = rec.commit_ts;
+            for op in rec.ops {
+                self.replay_op(op, ts)
+                    .map_err(|e| dur(format!("replay of record ts {ts}: {e}")))?;
+                report.ops_applied += 1;
+            }
+            self.commit_ts = ts;
+            report.records_applied += 1;
+            report.last_ts = ts;
+        }
+        self.run_gc();
+        if let Some(wal) = self.wal.as_mut() {
+            wal.note_recovered(report.last_ts);
+        }
+        Ok(report)
+    }
+
+    /// Apply one redo op at commit timestamp `ts`. Redo is physical and
+    /// keyed: a put overwrites (or inserts/resurrects) the row image by
+    /// primary key; a delete tombstones it. Anything that does not line
+    /// up with the replayed state — unknown table, delete of an absent
+    /// row — is corruption.
+    fn replay_op(&mut self, op: RedoOp, ts: u64) -> Result<(), String> {
+        let (ti, rid) = match op {
+            RedoOp::Put { table, row } => {
+                let ti = table as usize;
+                let t = self
+                    .tables
+                    .get_mut(ti)
+                    .ok_or_else(|| format!("unknown table id {table}"))?;
+                let key = t.def.key_of(&row);
+                let rid = match t.pk_lookup(&key) {
+                    // Live row: overwrite. Absent or retained-deleted:
+                    // insert (which resurrects a retained slot).
+                    Some(rid) if t.get(rid).is_some() => {
+                        t.update_shared(rid, row)?;
+                        rid
+                    }
+                    _ => t.insert_shared(row)?,
+                };
+                (ti, rid)
+            }
+            RedoOp::Delete { table, key } => {
+                let ti = table as usize;
+                let t = self
+                    .tables
+                    .get_mut(ti)
+                    .ok_or_else(|| format!("unknown table id {table}"))?;
+                let rid = t
+                    .pk_lookup(&key)
+                    .filter(|&r| t.get(r).is_some())
+                    .ok_or_else(|| format!("delete of absent key {key:?}"))?;
+                t.delete(rid)?;
+                (ti, rid)
+            }
+        };
+        let (stamped, prunable) = self.tables[ti].stamp_version(rid, ts);
+        if stamped {
+            self.stats.versions_created += 1;
+        }
+        if prunable {
+            self.gc_pending.push((ti, rid));
+        }
+        Ok(())
     }
 
     pub fn create_table(&mut self, def: crate::schema::TableDef) {
@@ -483,9 +681,17 @@ impl Engine {
         self.snapshots.keys().next().copied()
     }
 
-    /// Commit: stamp touched rows with a fresh commit timestamp, release
-    /// locks, return (cost, woken waiters). Read-only transactions hold no
-    /// locks and stamp nothing; ending one may advance the GC horizon.
+    /// Commit: append the redo record to the write-ahead log (if one is
+    /// attached), stamp touched rows with a fresh commit timestamp,
+    /// release locks, return (cost, woken waiters). Read-only
+    /// transactions hold no locks and stamp nothing; ending one may
+    /// advance the GC horizon.
+    ///
+    /// A log-append failure returns [`DbError::Durability`] with the
+    /// transaction **still open** — undo log intact, locks held — so the
+    /// caller aborts it through the normal [`Engine::abort`] path (which
+    /// also delivers the lock wake-ups). Nothing of the failed commit is
+    /// visible to any snapshot.
     pub fn commit(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
         let t = self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
         if t.read_only {
@@ -494,9 +700,16 @@ impl Engine {
             return Ok((cost::TXN_END, Vec::new()));
         }
         if !t.undo.is_empty() {
-            self.commit_ts += 1;
-            let ts = self.commit_ts;
-            self.stamp_touched(&t.undo, ts);
+            let ts = self.commit_ts + 1;
+            let touched = self.touched_rows(&t.undo);
+            if self.wal.is_some() {
+                if let Err(msg) = self.wal_append(ts, &touched) {
+                    self.txns.insert(txn, t);
+                    return Err(DbError::Durability(msg));
+                }
+            }
+            self.commit_ts = ts;
+            self.stamp_touched(&touched, ts);
             self.run_gc();
         }
         let woken = self.locks.release_all(txn);
@@ -504,9 +717,10 @@ impl Engine {
         Ok((cost::TXN_END, woken))
     }
 
-    /// Stamp one committed version per row the undo log touched. A row
-    /// touched by several statements is stamped once with its final image.
-    fn stamp_touched(&mut self, undo: &[UndoOp], ts: u64) {
+    /// The distinct `(table, rid)` pairs a transaction's undo log
+    /// touched, each of which gets one committed version (and one redo
+    /// entry) carrying the row's final state.
+    fn touched_rows(&self, undo: &[UndoOp]) -> Vec<(usize, RowId)> {
         let mut touched: Vec<(usize, RowId)> = Vec::with_capacity(undo.len());
         for op in undo {
             let tr = match op {
@@ -529,7 +743,55 @@ impl Engine {
         }
         touched.sort_unstable();
         touched.dedup();
-        for (ti, rid) in touched {
+        touched
+    }
+
+    /// Append one redo record covering `touched` at timestamp `ts`,
+    /// flushing per the log's group-commit policy. Must run before
+    /// stamping: the record reads each row's *current* (about-to-commit)
+    /// image, and a failure must leave the version chains untouched.
+    fn wal_append(&mut self, ts: u64, touched: &[(usize, RowId)]) -> Result<(), String> {
+        let mut ops = self.wal.as_mut().expect("caller checked").take_ops();
+        for &(ti, rid) in touched {
+            let t = &self.tables[ti];
+            match t.get_shared(rid) {
+                Some(img) => ops.push(RedoOp::Put {
+                    table: ti as u32,
+                    row: Arc::clone(img),
+                }),
+                None => {
+                    // `None` when the latest committed state is already a
+                    // tombstone — the same no-op `stamp_version` skips, so
+                    // the record carries exactly the observable changes.
+                    if let Some(key) = t.deleted_key(rid) {
+                        ops.push(RedoOp::Delete {
+                            table: ti as u32,
+                            key,
+                        });
+                    }
+                }
+            }
+        }
+        let info = self
+            .wal
+            .as_mut()
+            .expect("caller checked")
+            .append_commit(ts, ops)?;
+        self.stats.wal_records += 1;
+        self.stats.wal_bytes += info.bytes;
+        if let Some(n) = info.flushed {
+            self.stats.wal_fsyncs += 1;
+            if n > 1 {
+                self.stats.wal_group_batches += 1;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stamp one committed version per touched row. A row touched by
+    /// several statements is stamped once with its final image.
+    fn stamp_touched(&mut self, touched: &[(usize, RowId)], ts: u64) {
+        for &(ti, rid) in touched {
             let (stamped, prunable) = self.tables[ti].stamp_version(rid, ts);
             if stamped {
                 self.stats.versions_created += 1;
@@ -765,6 +1027,12 @@ impl Engine {
                 self.recycle_exec(preds, path);
                 r
             }
+            // Degraded-mode policy: a failed log can no longer make
+            // commits durable, so write statements are rejected up front
+            // (reads — locking or snapshot — keep serving).
+            _ if self.wal.as_ref().is_some_and(|w| w.failure().is_some()) => Err(
+                DbError::Durability(self.wal_failure().expect("checked in guard")),
+            ),
             Plan::Insert(p) => {
                 let row: Vec<Scalar> = p.row.iter().map(|t| t.resolve(params).clone()).collect();
                 self.run_insert(txn, p.ti, row)
@@ -886,10 +1154,15 @@ impl Engine {
     pub fn exec_auto(&mut self, sql: &str, params: &[Scalar]) -> Result<QueryResult, DbError> {
         let t = self.begin();
         match self.execute(t, sql, params) {
-            Ok(r) => {
-                self.commit(t)?;
-                Ok(r)
-            }
+            Ok(r) => match self.commit(t) {
+                Ok(_) => Ok(r),
+                // A durability-failed commit leaves the txn open for the
+                // caller to abort — that's us here.
+                Err(e) => {
+                    let _ = self.abort(t);
+                    Err(e)
+                }
+            },
             Err(e) => {
                 let _ = self.abort(t);
                 Err(e)

@@ -57,6 +57,45 @@
 //! serializable. The randomized differential suite
 //! (`tests/mvcc_differential.rs`) checks exactly this property against a
 //! serial oracle.
+//!
+//! # Durability guarantees
+//!
+//! An engine with a write-ahead log attached ([`Engine::with_wal`])
+//! promises: **a transaction acknowledged as committed survives a crash;
+//! a transaction that does not reach the log never becomes visible.**
+//! Mechanically ([`wal`] has the full protocol and record format):
+//!
+//! * At [`Engine::commit`] the transaction's final row images are encoded
+//!   into one commit-timestamped redo record and appended to the log
+//!   *before* the commit stamps version chains. If the append fails, the
+//!   commit returns [`DbError::Durability`] and the transaction rolls
+//!   back — nothing of it is ever visible.
+//! * **Group commit**: the record may sit in the OS page cache until the
+//!   log's group-commit threshold or the explicit acknowledgement point
+//!   [`Engine::wal_sync`] forces an fsync. The contract is
+//!   acknowledge-after-flush: a commit may return `Ok` before its record
+//!   is durable, but no caller may *acknowledge* that commit externally
+//!   until `wal_sync` succeeds — one fsync then covers every commit in
+//!   the batch. The default group size of 1 flushes inside every commit.
+//! * **Recovery**: re-create the schema (same table order), re-run the
+//!   bulk loader (loads stamp at timestamp 0 and are not logged), then
+//!   [`Engine::recover`] replays the log's committed prefix in timestamp
+//!   order. A torn tail — a crash mid-append — is truncated cleanly and
+//!   reported; *any* mid-stream corruption (checksum mismatch, bad
+//!   framing, non-monotone timestamps, wrong shard) fails recovery
+//!   loudly rather than silently dropping records.
+//! * **Degraded mode**: once the log's sink reports an I/O failure the
+//!   failure is sticky — the engine rejects further write statements and
+//!   commits with [`DbError::Durability`] while reads (snapshot and
+//!   locking) keep serving, and [`Engine::wal_sync`] keeps reporting the
+//!   failure so acknowledgement points can surface it.
+//!
+//! The crash-recovery differential suite (`tests/wal_recovery.rs`) drives
+//! randomized workloads through a logging engine, crashes it at
+//! proptest-chosen byte offsets under every fault class
+//! ([`wal::FaultySink`]), recovers, and asserts the result equals a
+//! committed-prefix oracle; `tests/wal_faults.rs` pins each fault class
+//! to the exact detection path that must catch it.
 
 pub mod cost;
 pub mod engine;
@@ -68,6 +107,7 @@ pub mod schema;
 pub mod sqlparse;
 pub mod table;
 pub mod txn;
+pub mod wal;
 
 pub use engine::{Database, DbError, Engine, EngineStats, QueryResult};
 pub use lock::LockMode;
@@ -75,3 +115,4 @@ pub use prepared::{PreparedId, StmtRoute};
 pub use pyx_lang::Scalar;
 pub use schema::{shard_of, ColTy, ColumnDef, TableDef};
 pub use txn::TxnId;
+pub use wal::{FaultPlan, FaultySink, FileSink, LogSink, MemSink, RecoveryReport, Wal};

@@ -189,6 +189,21 @@ impl Table {
             .and_then(|(_, img)| img.as_ref())
     }
 
+    /// Primary key of a retained (currently deleted) slot, recovered from
+    /// its newest surviving image — the redo log's delete records carry
+    /// the key, and a deleted slot's `cur` is gone. `None` for live or
+    /// vacant slots, and when the latest *committed* state is already a
+    /// tombstone: re-deleting a resurrected key changes nothing
+    /// observable, mirroring the [`Table::stamp_version`] no-op rule.
+    pub fn deleted_key(&self, rid: RowId) -> Option<Vec<Scalar>> {
+        let slot = self.rows.get(rid.0 as usize)?;
+        if slot.cur.is_some() || matches!(slot.hist.last(), Some((_, None))) {
+            return None;
+        }
+        let img = slot.hist.iter().rev().find_map(|(_, img)| img.as_ref())?;
+        Some(self.def.key_of(img))
+    }
+
     /// Number of committed versions currently retained for `rid`
     /// (diagnostics and GC tests).
     pub fn version_count(&self, rid: RowId) -> usize {

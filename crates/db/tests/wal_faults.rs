@@ -1,0 +1,365 @@
+//! Fault-class detection: each injected WAL fault must be caught by
+//! exactly the intended path.
+//!
+//! | fault                    | intended detector                        |
+//! |--------------------------|------------------------------------------|
+//! | torn tail (crash cut)    | length framing — clean truncation, no err |
+//! | payload bit flip         | payload checksum — loud corruption error  |
+//! | header bit flip          | header checksum — loud corruption error   |
+//! | length-field flip        | header checksum (must NOT look torn)      |
+//! | short write (I/O error)  | commit-time `DbError::Durability`         |
+//! | fsync failure            | ack-point `wal_sync` error, sticky        |
+//!
+//! The discrimination matters: a torn tail is the expected shape of a
+//! crash and recovery must absorb it silently, while anything wrong
+//! *before* the tail means the medium lied and silently dropping records
+//! would corrupt the database. See `pyx_db::wal` module docs.
+
+use pyx_db::wal::{self, RedoOp};
+use pyx_db::{
+    ColTy, ColumnDef, DbError, Engine, FaultPlan, FaultySink, MemSink, Scalar, TableDef, Wal,
+};
+use std::sync::Arc;
+
+fn schema(e: &mut Engine) {
+    e.create_table(TableDef::new(
+        "kv",
+        vec![
+            ColumnDef::new("k", ColTy::Int),
+            ColumnDef::new("v", ColTy::Int),
+        ],
+        &["k"],
+    ));
+    for k in 0..4 {
+        e.load_row("kv", vec![Scalar::Int(k), Scalar::Int(0)]);
+    }
+}
+
+/// Engine with schema, base rows, and a `MemSink`-backed WAL. Returns the
+/// sink handle for crash-image inspection.
+fn walled_engine() -> (Engine, MemSink) {
+    let sink = MemSink::new();
+    let mut e = Engine::new();
+    schema(&mut e);
+    e.set_wal(Wal::new(Box::new(sink.clone())));
+    (e, sink)
+}
+
+/// One committed write transaction: `UPDATE kv SET v = val WHERE k = key`,
+/// plus an insert of a fresh row keyed `100 + val`.
+fn commit_txn(e: &mut Engine, key: i64, val: i64) {
+    let t = e.begin();
+    e.execute(
+        t,
+        "UPDATE kv SET v = ? WHERE k = ?",
+        &[Scalar::Int(val), Scalar::Int(key)],
+    )
+    .expect("update");
+    e.execute(
+        t,
+        "INSERT INTO kv VALUES (?, ?)",
+        &[Scalar::Int(100 + val), Scalar::Int(val)],
+    )
+    .expect("insert");
+    e.commit(t).expect("commit");
+}
+
+/// Oracle: fresh engine with the first `n` transactions of the canonical
+/// three-txn history applied.
+fn oracle_after(n: u64) -> Engine {
+    let mut e = Engine::new();
+    schema(&mut e);
+    for i in 0..n {
+        commit_txn(&mut e, (i as i64) % 4, i as i64 + 1);
+    }
+    e
+}
+
+fn three_txn_log() -> Vec<u8> {
+    let (mut e, sink) = walled_engine();
+    for i in 0..3u64 {
+        commit_txn(&mut e, (i as i64) % 4, i as i64 + 1);
+    }
+    sink.durable_bytes()
+}
+
+fn recover_fresh(log: &[u8]) -> Result<(Engine, wal::RecoveryReport), DbError> {
+    let mut e = Engine::new();
+    schema(&mut e);
+    let rep = e.recover(log)?;
+    Ok((e, rep))
+}
+
+/// Recovery of `log` must fail; returns the error message for path
+/// assertions.
+fn recover_err(log: &[u8], why: &str) -> String {
+    match recover_fresh(log) {
+        Err(DbError::Durability(m)) => m,
+        Err(e) => panic!("{why}: wrong error class {e}"),
+        Ok(_) => panic!("{why}: recovery must fail loudly"),
+    }
+}
+
+// ---- torn tail: length framing, silent truncation ----
+
+#[test]
+fn torn_tail_truncates_cleanly_at_every_cut_point() {
+    let log = three_txn_log();
+    let spans = wal::scan(&log).records;
+    assert_eq!(spans.len(), 3);
+    for cut in 0..=log.len() {
+        let (e, rep) = recover_fresh(&log[..cut]).unwrap_or_else(|err| {
+            panic!("cut at byte {cut} must be a clean truncation, got {err}")
+        });
+        let whole = spans.iter().filter(|s| s.offset + s.len <= cut).count() as u64;
+        assert_eq!(rep.records_applied, whole, "cut {cut}");
+        let boundary = spans
+            .iter()
+            .filter(|s| s.offset + s.len <= cut)
+            .map(|s| s.offset + s.len)
+            .max()
+            .unwrap_or(0);
+        assert_eq!(rep.valid_len as usize, boundary, "cut {cut}");
+        assert_eq!(rep.truncated_bytes as usize, cut - boundary, "cut {cut}");
+        assert_eq!(
+            e.dump_table("kv"),
+            oracle_after(whole).dump_table("kv"),
+            "recovered state at cut {cut} == committed prefix"
+        );
+        assert_eq!(e.current_commit_ts(), whole);
+    }
+}
+
+// ---- bit flips: checksum errors, never silent ----
+
+#[test]
+fn payload_bit_flip_is_a_payload_checksum_error() {
+    let log = three_txn_log();
+    let spans = wal::scan(&log).records;
+    // Flip one payload byte of the middle record: mid-stream corruption.
+    let mut bad = log.clone();
+    let off = spans[1].offset + wal::RECORD_HEADER_LEN + 2;
+    bad[off] ^= 0x10;
+    let m = recover_err(&bad, "payload flip");
+    assert!(m.contains("payload checksum mismatch"), "wrong path: {m}");
+}
+
+#[test]
+fn header_bit_flip_is_a_header_checksum_error() {
+    let log = three_txn_log();
+    let spans = wal::scan(&log).records;
+    // Every checked header byte (magic, version, kind, shard, ts, counts,
+    // lengths) of the first record must be caught by the header checksum —
+    // not misdiagnosed as bad framing or a torn tail.
+    for rel in 0..wal::CHECKED_HEADER_LEN {
+        let mut bad = log.clone();
+        bad[spans[0].offset + rel] ^= 0x40;
+        let m = recover_err(&bad, &format!("header byte {rel} flip"));
+        assert!(
+            m.contains("header checksum mismatch"),
+            "header byte {rel}: wrong path: {m}"
+        );
+    }
+}
+
+#[test]
+fn length_field_flip_on_final_record_cannot_masquerade_as_torn_tail() {
+    let log = three_txn_log();
+    let spans = wal::scan(&log).records;
+    // Inflate the payload-length field of the LAST record. Without the
+    // header checksum, the scanner would see "record extends past end of
+    // log" — a torn tail — and silently drop a fully committed, fully
+    // durable record. The header checksum must catch it first.
+    let mut bad = log.clone();
+    bad[spans[2].offset + 20] ^= 0x7f;
+    let m = recover_err(&bad, "length-field flip");
+    assert!(m.contains("header checksum mismatch"), "wrong path: {m}");
+}
+
+// ---- short write: commit-time I/O error, degraded mode ----
+
+#[test]
+fn short_write_fails_the_commit_and_degrades_the_shard() {
+    let sink = MemSink::new();
+    let first_len = three_txn_log().len() / 3; // all three records same shape
+    let plan = FaultPlan {
+        fail_append_at: Some(first_len as u64 + 10),
+        ..FaultPlan::default()
+    };
+    let mut e = Engine::new();
+    schema(&mut e);
+    e.set_wal(Wal::new(Box::new(FaultySink::new(sink.clone(), plan))));
+
+    commit_txn(&mut e, 0, 1); // record 1 lands whole and synced
+
+    // The second commit's append tears mid-record: the engine must refuse
+    // the commit and leave the transaction open for rollback.
+    let t = e.begin();
+    e.execute(
+        t,
+        "UPDATE kv SET v = ? WHERE k = ?",
+        &[Scalar::Int(99), Scalar::Int(1)],
+    )
+    .expect("update");
+    match e.commit(t) {
+        Err(DbError::Durability(m)) => assert!(m.contains("append failed"), "{m}"),
+        Err(e) => panic!("torn append: wrong error class {e}"),
+        Ok(_) => panic!("torn append must fail the commit"),
+    }
+    e.abort(t)
+        .expect("commit-failed txn is still open to abort");
+
+    // Degraded mode: writes rejected up front with the distinct error…
+    assert!(e.wal_failure().is_some());
+    let t = e.begin();
+    match e.execute(
+        t,
+        "INSERT INTO kv VALUES (?, ?)",
+        &[Scalar::Int(7), Scalar::Int(7)],
+    ) {
+        Err(DbError::Durability(_)) => {}
+        Err(e) => panic!("degraded shard: wrong error class {e}"),
+        Ok(_) => panic!("degraded shard must reject writes"),
+    }
+    e.abort(t).expect("abort rejected writer");
+
+    // …while snapshot reads keep serving the surviving state.
+    let t = e.begin_read_only();
+    let rows = e
+        .execute(t, "SELECT v FROM kv WHERE k = ?", &[Scalar::Int(0)])
+        .expect("snapshot reads serve in degraded mode");
+    assert_eq!(rows.rows[0].as_ref()[0], Scalar::Int(1));
+    e.commit(t).expect("read-only commit");
+
+    // The durable prefix (exactly the first commit) recovers cleanly; the
+    // torn second record never reached the durable image at all.
+    let (r, rep) = recover_fresh(&sink.durable_bytes()).expect("durable prefix recovers");
+    assert_eq!(rep.records_applied, 1);
+    assert_eq!(r.dump_table("kv"), oracle_after(1).dump_table("kv"));
+}
+
+// ---- fsync failure: ack-point error, sticky degradation ----
+
+#[test]
+fn fsync_failure_surfaces_at_the_acknowledgement_point() {
+    let sink = MemSink::new();
+    let plan = FaultPlan {
+        fail_sync_from: Some(0),
+        ..FaultPlan::default()
+    };
+    let mut e = Engine::new();
+    schema(&mut e);
+    e.set_wal(Wal::new(Box::new(FaultySink::new(sink.clone(), plan))).with_group_commit(8));
+
+    // Under group commit the append itself succeeds — the commit stands
+    // in memory — but nothing may be acknowledged until `wal_sync`.
+    commit_txn(&mut e, 0, 1);
+    assert_eq!(e.wal_durable_ts(), Some(0), "nothing durable yet");
+    match e.wal_sync() {
+        Err(DbError::Durability(m)) => assert!(m.contains("fsync failed"), "{m}"),
+        Err(e) => panic!("ack point: wrong error class {e}"),
+        Ok(()) => panic!("ack point must surface the fsync failure"),
+    }
+    // Sticky: the ack point keeps reporting even with nothing pending, so
+    // a batch acknowledger can never miss the degradation.
+    assert!(matches!(e.wal_sync(), Err(DbError::Durability(_))));
+    let t = e.begin();
+    assert!(matches!(
+        e.execute(t, "DELETE FROM kv WHERE k = ?", &[Scalar::Int(0)]),
+        Err(DbError::Durability(_))
+    ));
+    e.abort(t).expect("abort");
+    // Nothing ever reached the durable image.
+    assert!(sink.durable_bytes().is_empty());
+}
+
+// ---- group commit batching is visible in the stats ----
+
+#[test]
+fn group_commit_batches_and_fsyncs_are_counted() {
+    let sink = MemSink::new();
+    let mut e = Engine::new();
+    schema(&mut e);
+    e.set_wal(Wal::new(Box::new(sink.clone())).with_group_commit(4));
+    for i in 0..4u64 {
+        commit_txn(&mut e, (i as i64) % 4, i as i64 + 1);
+    }
+    let s = pyx_db::Database::db_stats(&e);
+    assert_eq!(s.wal_records, 4);
+    assert_eq!(s.wal_fsyncs, 1, "one flush covers the whole batch");
+    assert_eq!(s.wal_group_batches, 1);
+    assert!(s.wal_bytes > 0);
+    assert_eq!(e.wal_durable_ts(), Some(4));
+
+    // Partial batch: three more commits stay pending until the ack point.
+    for i in 4..7u64 {
+        commit_txn(&mut e, (i as i64) % 4, i as i64 + 1);
+    }
+    assert_eq!(e.wal_durable_ts(), Some(4));
+    e.wal_sync().expect("explicit ack-point flush");
+    assert_eq!(e.wal_durable_ts(), Some(7));
+    let s = pyx_db::Database::db_stats(&e);
+    assert_eq!(s.wal_fsyncs, 2);
+    assert_eq!(s.wal_group_batches, 2, "3-record flush is a batch too");
+
+    // And the full log round-trips.
+    let (r, rep) = recover_fresh(&sink.durable_bytes()).expect("recover");
+    assert_eq!(rep.records_applied, 7);
+    assert_eq!(r.dump_table("kv"), oracle_after(7).dump_table("kv"));
+}
+
+// ---- cross-cutting guards ----
+
+#[test]
+fn recovery_refuses_a_used_engine_and_foreign_shards() {
+    let log = three_txn_log();
+    // Used engine: commits already happened, replay would interleave.
+    let mut used = Engine::new();
+    schema(&mut used);
+    commit_txn(&mut used, 0, 5);
+    assert!(matches!(used.recover(&log), Err(DbError::Durability(_))));
+
+    // Foreign shard: the log was written by shard 0 (default); an engine
+    // whose WAL claims shard 2 must refuse it.
+    let mut other = Engine::new();
+    schema(&mut other);
+    other.set_wal(Wal::new(Box::new(MemSink::new())).with_shard(2));
+    match other.recover(&log) {
+        Err(DbError::Durability(m)) => assert!(m.contains("belongs to shard"), "{m}"),
+        Err(e) => panic!("shard mismatch: wrong error class {e}"),
+        Ok(_) => panic!("shard mismatch must fail loudly"),
+    }
+}
+
+#[test]
+fn replay_of_a_delete_for_an_absent_key_is_loud_corruption() {
+    // Hand-craft a record deleting a key that never existed: replay must
+    // error rather than shrug — a delete the engine never saw means the
+    // log and the base image disagree.
+    let mut log = Vec::new();
+    wal::encode_record(
+        &mut log,
+        0,
+        1,
+        &[RedoOp::Delete {
+            table: 0,
+            key: vec![Scalar::Int(12345)],
+        }],
+    );
+    let m = recover_err(&log, "absent-key delete");
+    assert!(m.contains("delete of absent key"), "{m}");
+    // While a put of a brand-new row is fine (insert path).
+    let mut log = Vec::new();
+    wal::encode_record(
+        &mut log,
+        0,
+        1,
+        &[RedoOp::Put {
+            table: 0,
+            row: Arc::new(vec![Scalar::Int(50), Scalar::Int(9)]),
+        }],
+    );
+    let (e, rep) = recover_fresh(&log).expect("put of new row replays as insert");
+    assert_eq!(rep.ops_applied, 1);
+    assert_eq!(e.table_len("kv"), 5);
+}

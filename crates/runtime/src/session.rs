@@ -557,7 +557,13 @@ impl<'a> Session<'a> {
                     self.pending_cpu += c;
                     self.last_woken = woken;
                 }
-                Err(e) => return self.fail(engine, RtError::new(e.to_string())),
+                // A failed commit (e.g. a durability failure) leaves the
+                // transaction open; hand it back so `fail` aborts it and
+                // delivers the lock wake-ups.
+                Err(e) => {
+                    self.txn = Some(t);
+                    return self.fail(engine, RtError::new(e.to_string()));
+                }
             }
         }
         self.state = State::Returning;

@@ -88,6 +88,11 @@ pub enum Admit {
     Queued { depth: usize },
     /// Queue full — backpressure. The caller should retry later.
     Rejected,
+    /// The target shard's worker has died; the request cannot run and
+    /// retrying will not help until the server is rebuilt. Only the
+    /// sharded tier emits this — a single dispatcher has no workers to
+    /// lose.
+    Unavailable,
 }
 
 /// One retired transaction.

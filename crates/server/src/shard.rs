@@ -51,15 +51,17 @@ use crate::dispatch::{
 };
 use crate::env::InstantEnv;
 use crate::workload::TxnRequest;
+use pyx_db::wal::{LogSink, Wal};
 use pyx_db::{
     shard_of, Database, DbError, Engine, EngineStats, PreparedId, QueryResult, Scalar, StmtRoute,
     TxnId,
 };
+use pyx_lang::MethodId;
 use pyx_pyxil::CompiledPartition;
 use pyx_runtime::session::{run_to_completion, PreparedSites, Session, VmMode, VmScratch};
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
-use std::sync::{mpsc, Arc, Mutex, MutexGuard};
+use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
 
 /// Sharded-server tuning.
@@ -106,20 +108,42 @@ impl ShardedReport {
 }
 
 enum Msg {
-    Submit { req: TxnRequest, tag: u64 },
+    Submit {
+        req: TxnRequest,
+        tag: u64,
+    },
     Shutdown,
+    /// Test hook: die abruptly after reporting `after_done` more results,
+    /// dropping everything else on the floor — the fault the graceful
+    /// worker-death path exists to absorb.
+    Crash {
+        after_done: usize,
+    },
 }
+
+/// Shard index the lane uses on the results channel (lane transactions
+/// run inline and can never be lost to a worker death).
+const LANE: usize = usize::MAX;
 
 /// The shard-per-core server. See module docs.
 pub struct ShardedServer {
     engines: Vec<Arc<Mutex<Engine>>>,
     txs: Vec<SyncSender<Msg>>,
-    done_rx: Receiver<TxnDone>,
-    done_tx: Sender<TxnDone>,
+    done_rx: Receiver<(usize, TxnDone)>,
+    done_tx: Sender<(usize, TxnDone)>,
     handles: Vec<JoinHandle<DispatcherStats>>,
     part: Arc<CompiledPartition>,
     cfg: ShardedConfig,
     in_flight: u64,
+    /// Per shard: tag → (entry, label) of every submitted-but-unretired
+    /// request, so a dead worker's losses can be surfaced as error
+    /// results instead of hanging the server.
+    outstanding: Vec<HashMap<u64, (MethodId, &'static str)>>,
+    /// Shards whose worker has died; submits to them are `Unavailable`.
+    dead: Vec<bool>,
+    /// Results ready to deliver ahead of the channel (drained while
+    /// reaping a dead worker, plus the synthesized error results).
+    ready: VecDeque<TxnDone>,
     lane: LaneState,
     lane_sites: Option<PreparedSites>,
     lane_scratch: Option<VmScratch>,
@@ -142,6 +166,22 @@ impl ShardedServer {
             .into_iter()
             .map(|e| Arc::new(Mutex::new(e)))
             .collect();
+        // Pre-warm the multi-partition lane's prepared sites before any
+        // worker exists: every engine lock is uncontended here, so the
+        // first cross-shard request pays no prepare storm (and no lane
+        // state is built lazily under quiesced shards).
+        let mut lane = LaneState::default();
+        let lane_sites = {
+            let mut guards: Vec<MutexGuard<'_, Engine>> = engines
+                .iter()
+                .map(|e| e.lock().expect("fresh engine mutex"))
+                .collect();
+            let mut le = LaneEngine {
+                shards: &mut guards,
+                state: &mut lane,
+            };
+            Some(Session::prepare_sites(&part.bp, &mut le))
+        };
         let (done_tx, done_rx) = mpsc::channel();
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
@@ -154,7 +194,7 @@ impl ShardedServer {
             let dcfg = cfg.dispatcher;
             let handle = std::thread::Builder::new()
                 .name(format!("pyx-shard-{i}"))
-                .spawn(move || worker(engine, part, dcfg, rx, done))
+                .spawn(move || worker(i, engine, part, dcfg, rx, done))
                 .expect("spawn shard worker");
             handles.push(handle);
         }
@@ -167,11 +207,51 @@ impl ShardedServer {
             part,
             cfg,
             in_flight: 0,
-            lane: LaneState::default(),
-            lane_sites: None,
+            outstanding: (0..cfg.shards).map(|_| HashMap::new()).collect(),
+            dead: vec![false; cfg.shards],
+            ready: VecDeque::new(),
+            lane,
+            lane_sites,
             lane_scratch: None,
             multi_txns: 0,
         }
+    }
+
+    /// Attach one write-ahead log per shard before serving: shard `i`
+    /// gets `make_sink(i)` wrapped in a [`Wal`] stamping shard id `i`
+    /// into every record, flushing every `group_commit` commits (workers
+    /// force a flush at their acknowledgement point regardless). The
+    /// canonical durability hookup for sharded deployments — recovery
+    /// then rebuilds each shard independently from its own log.
+    pub fn attach_shard_wals(
+        engines: &mut [Engine],
+        group_commit: usize,
+        mut make_sink: impl FnMut(usize) -> Box<dyn LogSink>,
+    ) {
+        for (i, e) in engines.iter_mut().enumerate() {
+            e.set_wal(
+                Wal::new(make_sink(i))
+                    .with_shard(i as u16)
+                    .with_group_commit(group_commit),
+            );
+        }
+    }
+
+    /// Shards whose worker has died (requests to them return
+    /// [`Admit::Unavailable`]).
+    pub fn dead_shards(&self) -> Vec<usize> {
+        self.dead
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &d)| d.then_some(i))
+            .collect()
+    }
+
+    /// Test hook: make shard `shard`'s worker die abruptly after
+    /// reporting `after_done` more results. See [`Msg::Crash`].
+    #[doc(hidden)]
+    pub fn inject_worker_crash(&mut self, shard: usize, after_done: usize) {
+        let _ = self.txs[shard].send(Msg::Crash { after_done });
     }
 
     pub fn shards(&self) -> usize {
@@ -185,26 +265,37 @@ impl ShardedServer {
 
     /// Submit a request. `route: Some(k)` goes to shard `shard_of(k, W)`
     /// over its bounded channel ([`Admit::Rejected`] on a full channel —
-    /// backpressure, retry after draining); `route: None` runs inline on
-    /// the serialized multi-partition lane, quiescing all shards first.
+    /// backpressure, retry after draining; [`Admit::Unavailable`] if that
+    /// shard's worker has died); `route: None` runs inline on the
+    /// serialized multi-partition lane, quiescing all shards first.
     pub fn submit(&mut self, req: TxnRequest, tag: u64) -> Admit {
         match req.route {
             Some(k) => {
                 let s = shard_of(&Scalar::Int(k), self.cfg.shards);
+                if self.dead[s] {
+                    return Admit::Unavailable;
+                }
+                let entry = req.entry;
+                let label = req.label;
                 match self.txs[s].try_send(Msg::Submit { req, tag }) {
                     Ok(()) => {
                         self.in_flight += 1;
+                        self.outstanding[s].insert(tag, (entry, label));
                         Admit::Started
                     }
                     Err(TrySendError::Full(_)) => Admit::Rejected,
                     Err(TrySendError::Disconnected(_)) => {
-                        panic!("shard {s} worker terminated early")
+                        // The worker died between our last liveness check
+                        // and now; reap it so its in-flight losses surface
+                        // as error results on the next `recv_done`.
+                        self.reap_dead_workers();
+                        Admit::Unavailable
                     }
                 }
             }
             None => {
                 let done = self.run_multi(req, tag);
-                self.done_tx.send(done).expect("done channel open");
+                self.done_tx.send((LANE, done)).expect("done channel open");
                 self.in_flight += 1;
                 Admit::Started
             }
@@ -214,32 +305,84 @@ impl ShardedServer {
     /// Block until the next transaction retires (`None` when nothing is
     /// in flight). The server itself holds a `done_tx` clone for the
     /// lane, so a crashed worker can never disconnect the channel — poll
-    /// worker liveness on a timeout and panic with a diagnostic instead
-    /// of hanging forever on results that will never arrive.
+    /// worker liveness on a timeout instead. A dead worker's lost
+    /// transactions come back as **error results** (outcome unknown: the
+    /// transaction may or may not have committed before the crash) and
+    /// its shard is marked unavailable; the server itself keeps serving.
     pub fn recv_done(&mut self) -> Option<TxnDone> {
         if self.in_flight == 0 {
             return None;
         }
         loop {
+            if let Some(d) = self.ready.pop_front() {
+                self.in_flight -= 1;
+                return Some(d);
+            }
             match self
                 .done_rx
                 .recv_timeout(std::time::Duration::from_millis(500))
             {
-                Ok(d) => {
+                Ok((s, d)) => {
+                    if s != LANE {
+                        self.outstanding[s].remove(&d.tag);
+                    }
                     self.in_flight -= 1;
                     return Some(d);
                 }
-                Err(mpsc::RecvTimeoutError::Timeout) => {
-                    if let Some(i) = self.handles.iter().position(|h| h.is_finished()) {
-                        panic!(
-                            "shard {i} worker terminated with {} transaction(s) in flight",
-                            self.in_flight
-                        );
-                    }
-                }
+                Err(mpsc::RecvTimeoutError::Timeout) => self.reap_dead_workers(),
                 Err(mpsc::RecvTimeoutError::Disconnected) => {
                     unreachable!("server holds a done_tx clone")
                 }
+            }
+        }
+    }
+
+    /// Detect newly dead workers: drain any results they shipped before
+    /// dying, then synthesize an error result for each transaction that
+    /// will never report, and mark the shard unavailable.
+    fn reap_dead_workers(&mut self) {
+        if !self
+            .handles
+            .iter()
+            .enumerate()
+            .any(|(i, h)| !self.dead[i] && h.is_finished())
+        {
+            return;
+        }
+        // Results sent before the death may still sit in the channel;
+        // deliver them ahead of the synthesized errors so nothing real
+        // is double-reported.
+        while let Ok((s, d)) = self.done_rx.try_recv() {
+            if s != LANE {
+                self.outstanding[s].remove(&d.tag);
+            }
+            self.ready.push_back(d);
+        }
+        for (i, h) in self.handles.iter().enumerate() {
+            if self.dead[i] || !h.is_finished() {
+                continue;
+            }
+            self.dead[i] = true;
+            let mut lost: Vec<(u64, (MethodId, &'static str))> =
+                self.outstanding[i].drain().collect();
+            lost.sort_unstable_by_key(|&(tag, _)| tag);
+            for (tag, (entry, label)) in lost {
+                self.ready.push_back(TxnDone {
+                    tag,
+                    entry,
+                    label,
+                    submitted_ns: 0,
+                    started_ns: 0,
+                    finished_ns: 0,
+                    low_budget: false,
+                    rolled_back: false,
+                    read_only: false,
+                    restarts: 0,
+                    result: None,
+                    error: Some(format!(
+                        "shard {i} worker died; transaction outcome unknown"
+                    )),
+                });
             }
         }
     }
@@ -254,7 +397,11 @@ impl ShardedServer {
     }
 
     /// Stop the workers and hand back the shard engines and counters.
-    /// Outstanding results are drained first.
+    /// Outstanding results are drained first. Tolerates dead workers: a
+    /// crashed worker contributes default dispatcher stats, and its
+    /// engine is recovered even from a poisoned mutex (the in-memory
+    /// state may hold uncommitted work — durable state lives in the
+    /// write-ahead log, which is exactly what recovery replays).
     pub fn shutdown(mut self) -> (Vec<TxnDone>, ShardedReport) {
         let rest = self.drain();
         for tx in &self.txs {
@@ -263,7 +410,7 @@ impl ShardedServer {
         let dispatchers: Vec<DispatcherStats> = self
             .handles
             .drain(..)
-            .map(|h| h.join().expect("shard worker panicked"))
+            .map(|h| h.join().unwrap_or_default())
             .collect();
         drop(self.txs);
         let engines = self
@@ -274,7 +421,7 @@ impl ShardedServer {
                     .map_err(|_| ())
                     .expect("worker dropped its engine handle")
                     .into_inner()
-                    .expect("engine mutex poisoned")
+                    .unwrap_or_else(PoisonError::into_inner)
             })
             .collect();
         (
@@ -292,10 +439,13 @@ impl ShardedServer {
     /// statement-routing [`LaneEngine`], release. See module docs.
     fn run_multi(&mut self, req: TxnRequest, tag: u64) -> TxnDone {
         self.multi_txns += 1;
+        // A dead worker's mutex may be poisoned; the lane still serves —
+        // recover the guard (commits on a wedged shard will surface as
+        // lock conflicts or durability errors, not a server panic).
         let mut guards: Vec<MutexGuard<'_, Engine>> = self
             .engines
             .iter()
-            .map(|e| e.lock().expect("engine mutex poisoned"))
+            .map(|e| e.lock().unwrap_or_else(PoisonError::into_inner))
             .collect();
         let mut lane = LaneEngine {
             shards: &mut guards,
@@ -345,6 +495,16 @@ impl ShardedServer {
             };
             let _ = lane.close_all(|e, t| e.abort(t));
         }
+        // Acknowledgement point: a cross-shard commit is durable only
+        // once every shard it may have written has flushed its log.
+        if !read_only && !rolled_back && error.is_none() {
+            for g in guards.iter_mut() {
+                if let Err(e) = g.wal_sync() {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+        }
         TxnDone {
             tag,
             entry: req.entry,
@@ -362,22 +522,64 @@ impl ShardedServer {
     }
 }
 
+/// Flush retired transactions to the results channel, syncing the
+/// write-ahead log first — the **acknowledgement point**: under group
+/// commit a transaction's redo record may still sit in the OS page cache
+/// when its session retires, and one fsync here covers the whole batch.
+/// If the sync fails, write commits in the batch are reported as
+/// durability errors (conservatively — some may have been flushed by an
+/// earlier sync; the log cannot say which without per-commit
+/// bookkeeping, and under-acknowledging is the safe direction). Returns
+/// `true` when an injected crash countdown expired mid-flush: the worker
+/// must die on the spot, dropping the rest of the batch.
+fn flush_dones(
+    shard: usize,
+    engine: &mut Engine,
+    batch: &mut Vec<TxnDone>,
+    done: &Sender<(usize, TxnDone)>,
+    crash_after: &mut Option<usize>,
+) -> bool {
+    if batch.is_empty() {
+        return false;
+    }
+    let sync_err = engine.wal_sync().err();
+    for mut d in batch.drain(..) {
+        if let Some(n) = crash_after {
+            if *n == 0 {
+                return true;
+            }
+            *n -= 1;
+        }
+        if let Some(e) = &sync_err {
+            if !d.read_only && !d.rolled_back && d.error.is_none() {
+                d.error = Some(e.to_string());
+            }
+        }
+        let _ = done.send((shard, d));
+    }
+    false
+}
+
 /// One shard worker: pull requests while the dispatcher has admission
-/// room, drive the event loop, ship retirements to the results channel.
-/// The engine lock is held exactly while the dispatcher has work and
-/// released when fully idle — that release is the quiesce point the
+/// room, drive the event loop, ship retirements to the results channel
+/// (batched through [`flush_dones`], the group-commit acknowledgement
+/// point). The engine lock is held exactly while the dispatcher has work
+/// and released when fully idle — that release is the quiesce point the
 /// multi-partition lane synchronizes on.
 fn worker(
+    shard: usize,
     engine: Arc<Mutex<Engine>>,
     part: Arc<CompiledPartition>,
     cfg: DispatcherConfig,
     rx: Receiver<Msg>,
-    done: Sender<TxnDone>,
+    done: Sender<(usize, TxnDone)>,
 ) -> DispatcherStats {
     let mut guard = engine.lock().expect("engine mutex poisoned");
     let mut disp = Dispatcher::new(Deployment::Fixed(&part), &mut *guard, cfg);
     let mut env = InstantEnv;
     let mut open = true;
+    let mut batch: Vec<TxnDone> = Vec::new();
+    let mut crash_after: Option<usize> = None;
     loop {
         // Admit as much queued work as the dispatcher will take.
         while open
@@ -387,16 +589,29 @@ fn worker(
                 Ok(Msg::Submit { req, tag }) => {
                     disp.submit(0, req, tag);
                 }
+                Ok(Msg::Crash { after_done }) => {
+                    crash_after = Some(after_done);
+                    if after_done == 0 {
+                        return disp.stats();
+                    }
+                }
                 Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => open = false,
                 Err(TryRecvError::Empty) => break,
             }
         }
         match disp.poll(&mut *guard, &mut env) {
-            Polled::Done(d) => {
-                let _ = done.send(d);
+            // Consecutive retirements batch up; the next non-Done poll
+            // flushes them behind one log sync.
+            Polled::Done(d) => batch.push(d),
+            Polled::Progress => {
+                if flush_dones(shard, &mut guard, &mut batch, &done, &mut crash_after) {
+                    return disp.stats();
+                }
             }
-            Polled::Progress => {}
             Polled::Idle => {
+                if flush_dones(shard, &mut guard, &mut batch, &done, &mut crash_after) {
+                    return disp.stats();
+                }
                 if !open {
                     break;
                 }
@@ -407,6 +622,13 @@ fn worker(
                     Ok(Msg::Submit { req, tag }) => {
                         guard = engine.lock().expect("engine mutex poisoned");
                         disp.submit(0, req, tag);
+                    }
+                    Ok(Msg::Crash { after_done }) => {
+                        crash_after = Some(after_done);
+                        guard = engine.lock().expect("engine mutex poisoned");
+                        if after_done == 0 {
+                            return disp.stats();
+                        }
                     }
                     Ok(Msg::Shutdown) | Err(_) => {
                         guard = engine.lock().expect("engine mutex poisoned");

@@ -15,7 +15,7 @@
 //! * **Backpressure**: full worker channels reject instead of blocking.
 
 use proptest::prelude::*;
-use pyx_db::{shard_of, Engine, Scalar};
+use pyx_db::{shard_of, DbError, Engine, MemSink, Scalar};
 use pyx_pyxil::CompiledPartition;
 use pyx_server::{
     Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv, ShardedConfig, ShardedServer,
@@ -407,6 +407,7 @@ fn sharded_backpressure_rejects_when_saturated() {
         match srv.submit(pyx_server::Workload::next_txn(&mut gen, i), i as u64) {
             Admit::Started | Admit::Queued { .. } => accepted += 1,
             Admit::Rejected => rejected += 1,
+            Admit::Unavailable => panic!("no worker died in this test"),
         }
     }
     assert!(rejected > 0, "tiny channels must push back under a burst");
@@ -465,6 +466,176 @@ fn concurrent_disjoint_warehouses_deterministic() {
     }
     let (_, report) = srv.shutdown();
     assert_state_matches(&single, &report.engines);
+}
+
+#[test]
+fn per_shard_wal_recovery_rebuilds_every_shard_independently() {
+    // Serve a mixed stream — partitionable new-orders plus cross-shard
+    // lane transactions (transfers touch two shards, reprices touch every
+    // replica) — with one WAL per shard under group commit, then treat
+    // the post-shutdown engines as the lost in-memory state and rebuild
+    // each shard from its own log alone.
+    let (pyxis, part) = compile_jdbc(MIXED_SRC);
+    let new_order = pyxis.entry("Mixed", "newOrder").expect("newOrder");
+    let transfer = pyxis.entry("Mixed", "transfer").expect("transfer");
+    let reprice = pyxis.entry("Mixed", "reprice").expect("reprice");
+    let scale = scale8();
+    let seed = 47;
+    let w = 4usize;
+
+    let mut gen = tpcc::NewOrderGen::new(new_order, scale, 19).with_lines(2, 4);
+    let mut reqs = Vec::new();
+    for i in 0..60usize {
+        match i % 6 {
+            3 => reqs.push(TxnRequest {
+                entry: transfer,
+                args: vec![
+                    pyx_runtime::ArgVal::Int((i as i64 % 8) + 1),
+                    pyx_runtime::ArgVal::Int(((i as i64 + 5) % 8) + 1),
+                    pyx_runtime::ArgVal::Int((i as i64 % 100) + 1),
+                    pyx_runtime::ArgVal::Int(2),
+                ],
+                label: "transfer",
+                route: None,
+            }),
+            5 => reqs.push(TxnRequest {
+                entry: reprice,
+                args: vec![
+                    pyx_runtime::ArgVal::Int((i as i64 % 100) + 1),
+                    pyx_runtime::ArgVal::Double(2.0 + i as f64),
+                ],
+                label: "reprice",
+                route: None,
+            }),
+            _ => reqs.push(pyx_server::Workload::next_txn(&mut gen, i)),
+        }
+    }
+
+    let sinks: Vec<MemSink> = (0..w).map(|_| MemSink::new()).collect();
+    let mut engines = fresh_shards(scale, seed, w);
+    ShardedServer::attach_shard_wals(&mut engines, 4, |i| Box::new(sinks[i].clone()));
+    let part = Arc::new(part);
+    let (dones, report) = run_sharded(&part, engines, w, &reqs);
+    assert!(
+        dones.iter().all(|d| d.error.is_none()),
+        "healthy run: no durability errors"
+    );
+    assert!(report.multi_txns > 0, "the mix exercises the lane");
+    let merged = report.merged_engine_stats();
+    assert!(merged.wal_records > 0, "commits were logged");
+    assert!(merged.wal_fsyncs > 0, "acknowledgement points flushed");
+    assert!(merged.wal_bytes > 0);
+
+    // Every acknowledged commit must be durable: rebuild each shard from
+    // its own log and compare against the crashed in-memory state.
+    let mut recovered = fresh_shards(scale, seed, w);
+    ShardedServer::attach_shard_wals(&mut recovered, 4, |_| Box::new(MemSink::new()));
+    for (i, r) in recovered.iter_mut().enumerate() {
+        let rep = r
+            .recover(&sinks[i].durable_bytes())
+            .unwrap_or_else(|e| panic!("shard {i} recovery failed: {e}"));
+        assert_eq!(rep.truncated_bytes, 0, "clean shutdown leaves no torn tail");
+    }
+    for (i, (r, crashed)) in recovered.iter().zip(&report.engines).enumerate() {
+        for table in crashed.table_names() {
+            assert_eq!(
+                sort_rows(r.dump_table(&table)),
+                sort_rows(crashed.dump_table(&table)),
+                "shard {i} table `{table}` after recovery"
+            );
+        }
+        assert_eq!(r.current_commit_ts(), crashed.current_commit_ts());
+    }
+
+    // Logs are shard-stamped: replaying shard 1's log into shard 0's
+    // engine must fail loudly, not silently cross-pollinate.
+    if !sinks[1].durable_bytes().is_empty() {
+        let mut wrong = fresh_shards(scale, seed, w);
+        ShardedServer::attach_shard_wals(&mut wrong, 4, |_| Box::new(MemSink::new()));
+        match wrong[0].recover(&sinks[1].durable_bytes()) {
+            Err(DbError::Durability(m)) => assert!(m.contains("belongs to shard"), "{m}"),
+            Err(e) => panic!("wrong error class: {e}"),
+            Ok(_) => panic!("shard-mismatched log must be refused"),
+        }
+    }
+}
+
+#[test]
+fn dead_worker_surfaces_errors_and_shard_goes_unavailable() {
+    let (pyxis, part) = compile_jdbc(tpcc::SRC);
+    let entry = pyxis.entry("NewOrder", "run").expect("entry");
+    let scale = scale8();
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, 3, 2);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: 2,
+            ..ShardedConfig::default()
+        },
+    );
+    // Warehouse ids that route to each shard.
+    let w_dead = (1..=8i64)
+        .find(|&k| shard_of(&Scalar::Int(k), 2) == 0)
+        .expect("some warehouse routes to shard 0");
+    let w_live = (1..=8i64)
+        .find(|&k| shard_of(&Scalar::Int(k), 2) == 1)
+        .expect("some warehouse routes to shard 1");
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 71).with_lines(2, 4);
+    let routed = |gen: &mut tpcc::NewOrderGen, i: usize, w: i64| {
+        let mut r = pyx_server::Workload::next_txn(gen, i);
+        r.args[0] = pyx_runtime::ArgVal::Int(w);
+        r.route = Some(w);
+        r
+    };
+
+    // Arm the kill pill first (the channel is ordered, so the countdown
+    // is in place before any work arrives), then submit four
+    // transactions: the worker reports exactly two results and dies with
+    // two still in flight.
+    srv.inject_worker_crash(0, 2);
+    for i in 0..4usize {
+        assert_eq!(
+            srv.submit(routed(&mut gen, i, w_dead), i as u64),
+            Admit::Started
+        );
+    }
+    let mut ok = 0;
+    let mut lost = Vec::new();
+    for _ in 0..4 {
+        let d = srv.recv_done().expect("all four must retire");
+        match d.error {
+            None => ok += 1,
+            Some(e) => {
+                assert!(e.contains("worker died"), "{e}");
+                lost.push(d.tag);
+            }
+        }
+    }
+    assert_eq!(ok, 2, "results shipped before the crash still count");
+    assert_eq!(lost.len(), 2, "in-flight losses surface as error results");
+    assert_eq!(srv.dead_shards(), vec![0]);
+
+    // The dead shard refuses new work up front…
+    assert_eq!(
+        srv.submit(routed(&mut gen, 100, w_dead), 100),
+        Admit::Unavailable
+    );
+    // …while the healthy shard keeps serving.
+    assert_eq!(
+        srv.submit(routed(&mut gen, 101, w_live), 101),
+        Admit::Started
+    );
+    let d = srv.recv_done().expect("healthy shard result");
+    assert_eq!(d.tag, 101);
+    assert!(d.error.is_none(), "{:?}", d.error);
+
+    // Shutdown is clean despite the death: the crashed worker contributes
+    // default stats and its engine comes back for inspection/recovery.
+    let (rest, report) = srv.shutdown();
+    assert!(rest.is_empty());
+    assert_eq!(report.engines.len(), 2);
 }
 
 proptest! {

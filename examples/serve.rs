@@ -122,6 +122,7 @@ fn main() {
             match disp.submit(0, req, submitted) {
                 Admit::Started | Admit::Queued { .. } => submitted += 1,
                 Admit::Rejected => break,
+                Admit::Unavailable => panic!("single-engine dispatcher has no workers to lose"),
             }
         }
         match disp.poll(&mut engine, &mut env) {
@@ -234,6 +235,7 @@ fn serve_sharded(shards: usize, clients: usize, total: u64, vm: VmMode) {
                     rejected += 1;
                     break;
                 }
+                Admit::Unavailable => panic!("shard worker died while serving"),
             }
         }
         let d = srv.recv_done().expect("work in flight");
