@@ -92,6 +92,7 @@ fn bench_sharded_throughput(c: &mut Criterion) {
                     queue_cap: BATCH,
                     ..DispatcherConfig::default()
                 },
+                ..ShardedConfig::default()
             },
         );
         let mut gen = tpcc::NewOrderGen::new(entry, scale(), 99)

@@ -1,0 +1,142 @@
+//! Multi-partition fraction vs throughput: 2PC vs the quiesce-all lane
+//! (EXPERIMENTS.md table).
+//!
+//! Sweeps the fraction of cross-shard transactions in a TPC-C
+//! remote-warehouse mix (remote-supplier new-orders + remote-customer
+//! payments) over {0, 5, 10, 15, 25}% and runs the identical request
+//! stream through a 4-shard [`ShardedServer`] twice: once with the
+//! serialized quiesce-all lane ([`CrossShardMode::Quiesce`]) and once
+//! with the per-statement 2PC coordinator pool
+//! ([`CrossShardMode::TwoPhase`]). Requests are submitted concurrently
+//! (a full admission window, refilled as transactions retire), so the
+//! quiesce lane pays its real cost: every cross-shard transaction stalls
+//! all four workers, while 2PC stalls only the participants.
+//!
+//! ```sh
+//! cargo run --release -p pyx-bench --bin multipart [txns]
+//! ```
+
+use pyx_server::{Admit, CrossShardMode, ShardedConfig, ShardedServer, TxnRequest, Workload};
+use pyx_workloads::tpcc;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SHARDS: usize = 4;
+
+fn scale() -> tpcc::TpccScale {
+    tpcc::TpccScale {
+        warehouses: 8,
+        ..tpcc::TpccScale::default()
+    }
+}
+
+fn fresh_shards(seed: u64) -> Vec<pyx_db::Engine> {
+    let mut engines: Vec<pyx_db::Engine> = (0..SHARDS)
+        .map(|_| {
+            let mut e = pyx_db::Engine::new();
+            tpcc::create_schema(&mut e);
+            e
+        })
+        .collect();
+    tpcc::load_sharded(&mut engines, scale(), seed);
+    engines
+}
+
+struct RunStats {
+    secs: f64,
+    multi: u64,
+    mean_participants: f64,
+    prepares: u64,
+    errors: u64,
+}
+
+fn run(
+    part: &Arc<pyx_pyxil::CompiledPartition>,
+    reqs: &[TxnRequest],
+    mode: CrossShardMode,
+) -> RunStats {
+    let engines = fresh_shards(5);
+    let mut srv = ShardedServer::new(
+        Arc::clone(part),
+        engines,
+        ShardedConfig {
+            shards: SHARDS,
+            cross_shard: mode,
+            ..ShardedConfig::default()
+        },
+    );
+    let mut errors = 0u64;
+    let start = Instant::now();
+    for (i, req) in reqs.iter().enumerate() {
+        loop {
+            match srv.submit(req.clone(), i as u64) {
+                Admit::Started | Admit::Queued { .. } => break,
+                // Window full: retire one transaction, then retry.
+                Admit::Rejected => {
+                    if let Some(d) = srv.recv_done() {
+                        errors += u64::from(d.error.is_some());
+                    }
+                }
+                Admit::Unavailable => panic!("no worker dies in this benchmark"),
+            }
+        }
+    }
+    for d in srv.drain() {
+        errors += u64::from(d.error.is_some());
+    }
+    let secs = start.elapsed().as_secs_f64();
+    let (_, report) = srv.shutdown();
+    let merged = report.merged_engine_stats();
+    RunStats {
+        secs,
+        multi: report.multi_txns,
+        mean_participants: if report.multi_txns > 0 {
+            report.multi_participants as f64 / report.multi_txns as f64
+        } else {
+            0.0
+        },
+        prepares: merged.prepares,
+        errors,
+    }
+}
+
+fn main() {
+    let txns: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(4000);
+    let pyxis = pyx_core::Pyxis::compile(tpcc::REMOTE_SRC, pyx_core::PyxisConfig::default())
+        .expect("remote TPC-C compiles");
+    let part = Arc::new(pyxis.deploy_jdbc());
+    let order = pyxis.entry("RemoteOrder", "remoteOrder").expect("order");
+    let pay = pyxis.entry("RemoteOrder", "pay").expect("pay");
+
+    println!("# multi-partition fraction sweep: {txns} txns, {SHARDS} shards");
+    println!("remote%\tmode\ttxn/s\tmulti\tmean_parts\tprepares\terrors\tspeedup");
+    for pct in [0.0, 0.05, 0.10, 0.15, 0.25] {
+        // The identical stream for both modes (same seed, same knobs).
+        let mk = || {
+            let mut g = tpcc::RemoteMixGen::new(order, pay, scale(), 17)
+                .with_remote_pct(pct)
+                .with_lines(2, 5);
+            (0..txns).map(|i| g.next_txn(i)).collect::<Vec<_>>()
+        };
+        let reqs = mk();
+        let quiesce = run(&part, &reqs, CrossShardMode::Quiesce);
+        let twopc = run(&part, &reqs, CrossShardMode::TwoPhase);
+        for (name, s) in [("quiesce", &quiesce), ("2pc", &twopc)] {
+            println!(
+                "{:.0}\t{name}\t{:.0}\t{}\t{:.2}\t{}\t{}\t{:.2}x",
+                pct * 100.0,
+                txns as f64 / s.secs,
+                s.multi,
+                s.mean_participants,
+                s.prepares,
+                s.errors,
+                quiesce.secs / s.secs,
+            );
+        }
+        assert_eq!(quiesce.multi, twopc.multi, "same stream, same lane count");
+        assert_eq!(quiesce.errors + twopc.errors, 0, "healthy sweep");
+    }
+}

@@ -144,6 +144,10 @@ pub struct EngineStats {
     /// Flushes that covered more than one commit record — true group
     /// commits, where one fsync amortized over a batch.
     pub wal_group_batches: u64,
+    /// Two-phase-commit prepares accepted ([`Engine::prepare_commit`]).
+    pub prepares: u64,
+    /// Prepared transactions subsequently aborted by their coordinator.
+    pub prepare_aborts: u64,
 }
 
 impl EngineStats {
@@ -170,6 +174,8 @@ impl EngineStats {
             wal_records,
             wal_fsyncs,
             wal_group_batches,
+            prepares,
+            prepare_aborts,
         } = o;
         self.statements += statements;
         self.commits += commits;
@@ -188,6 +194,8 @@ impl EngineStats {
         self.wal_records += wal_records;
         self.wal_fsyncs += wal_fsyncs;
         self.wal_group_batches += wal_group_batches;
+        self.prepares += prepares;
+        self.prepare_aborts += prepare_aborts;
     }
 }
 
@@ -717,6 +725,30 @@ impl Engine {
         Ok((cost::TXN_END, woken))
     }
 
+    /// Two-phase-commit **prepare**: promise that [`Engine::commit`] on
+    /// this transaction will succeed barring a durability failure. The
+    /// transaction's locks stay held and its undo log is retained, but no
+    /// further statements are accepted — the outcome now belongs to the
+    /// coordinator, which must call `commit` or [`Engine::abort`].
+    ///
+    /// Rejects read-only transactions (nothing to prepare — snapshot
+    /// branches commit trivially) and refuses to prepare while the WAL is
+    /// degraded: a shard that cannot make the commit durable must vote
+    /// *no* at prepare time, not discover it after the coordinator
+    /// decided.
+    pub fn prepare_commit(&mut self, txn: TxnId) -> Result<(), DbError> {
+        if let Some(msg) = self.wal_failure() {
+            return Err(DbError::Durability(msg));
+        }
+        let t = self.txns.get_mut(&txn).ok_or(DbError::UnknownTxn)?;
+        if t.read_only {
+            return Err(DbError::ReadOnly);
+        }
+        t.prepared = true;
+        self.stats.prepares += 1;
+        Ok(())
+    }
+
     /// The distinct `(table, rid)` pairs a transaction's undo log
     /// touched, each of which gets one committed version (and one redo
     /// entry) carrying the row's final state.
@@ -842,6 +874,10 @@ impl Engine {
             self.end_snapshot(t.snap_ts);
             self.stats.aborts += 1;
             return Ok((cost::TXN_END, Vec::new()));
+        }
+        if t.prepared {
+            // Coordinator-decided abort of a prepared participant branch.
+            self.stats.prepare_aborts += 1;
         }
         let mut c = cost::TXN_END;
         for op in t.undo.into_iter().rev() {
@@ -1005,6 +1041,11 @@ impl Engine {
         plan: &Plan,
         params: &[Scalar],
     ) -> Result<QueryResult, DbError> {
+        if self.txns.get(&txn).is_some_and(|t| t.prepared) {
+            return Err(DbError::Schema(
+                "statement on a prepared transaction (awaiting 2PC outcome)".into(),
+            ));
+        }
         let snap = self
             .txns
             .get(&txn)

@@ -16,6 +16,20 @@
 //! because the simulator models lock waits as suspended virtual-time
 //! sessions — a deadlock would hang the simulated workload exactly like a
 //! real one.
+//!
+//! **Distributed wait-die.** Cross-shard (2PC) transactions get a
+//! globally unique age from the coordinator pool's shared counter and
+//! carry it to every shard branch via [`crate::Engine::begin_aged`], so
+//! every shard's `(age, id)` order agrees on every pair of distributed
+//! transactions. The union of per-shard wait graphs therefore stays
+//! acyclic — the globally oldest distributed transaction always
+//! progresses — with no cross-shard coordination beyond the age itself.
+//!
+//! **Prepared (2PC) branches.** A branch that passed
+//! [`crate::Engine::prepare_commit`] keeps holding all its locks until
+//! the coordinator's commit/abort. That needs no special case here:
+//! wait-die only ever kills *requesters*, never holders, and a prepared
+//! branch issues no further lock requests.
 
 use crate::fxhash::FxHashMap;
 use crate::index::Key;

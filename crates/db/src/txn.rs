@@ -49,6 +49,11 @@ pub struct Txn {
     pub read_only: bool,
     /// Snapshot timestamp (meaningful only when `read_only`).
     pub snap_ts: u64,
+    /// Two-phase-commit participant state: the transaction passed
+    /// [`crate::Engine::prepare_commit`] — all its locks stay held and its
+    /// undo log is retained, but no further statements are accepted. The
+    /// outcome (commit or abort) belongs to the coordinator.
+    pub prepared: bool,
 }
 
 #[cfg(test)]

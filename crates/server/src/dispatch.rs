@@ -116,6 +116,10 @@ pub struct TxnDone {
     pub read_only: bool,
     /// Wait-die restarts this transaction went through.
     pub restarts: u32,
+    /// Shards that executed statements for this transaction: 0 for
+    /// single-shard (and single-engine) work, ≥1 for cross-shard
+    /// transactions run through the 2PC coordinator.
+    pub participants: u32,
     /// The entry point's return value (differential tests compare it
     /// across deployments).
     pub result: Option<pyx_lang::Value>,
@@ -220,6 +224,9 @@ pub struct Dispatcher<'a> {
     blocked: HashMap<TxnId, usize>,
     heap: BinaryHeap<std::cmp::Reverse<(u64, u64, Ev)>>,
     seq: u64,
+    /// Latest event time processed — the "now" for wake-ups injected from
+    /// outside the event loop ([`Dispatcher::wake_txns`]).
+    clock: u64,
     poll_scheduled: bool,
     switch_log: Vec<SwitchRecord>,
     stats: DispatcherStats,
@@ -257,6 +264,7 @@ impl<'a> Dispatcher<'a> {
             blocked: HashMap::new(),
             heap: BinaryHeap::new(),
             seq: 0,
+            clock: 0,
             poll_scheduled: false,
             switch_log: Vec::new(),
             stats: DispatcherStats::default(),
@@ -417,6 +425,7 @@ impl<'a> Dispatcher<'a> {
         let Some(std::cmp::Reverse((now, _, ev))) = self.heap.pop() else {
             return Polled::Idle;
         };
+        self.clock = self.clock.max(now);
         match ev {
             Ev::Poll => {
                 self.poll_scheduled = false;
@@ -450,6 +459,21 @@ impl<'a> Dispatcher<'a> {
                 Polled::Progress
             }
             Ev::Ready { sid } => self.step_session(now, sid, engine, env),
+        }
+    }
+
+    /// Wake local sessions blocked on locks a *remote* (cross-shard 2PC)
+    /// commit or abort just released. Wake-ups normally flow out of the
+    /// local session that released the lock (`last_woken`); a 2PC branch
+    /// releases locks outside any local session, so the shard worker
+    /// feeds that wake list in here. The periodic [`Ev::Poll`] retry of
+    /// all blocked sessions remains the safety net for anything missed.
+    pub fn wake_txns(&mut self, woken: &[TxnId]) {
+        for txn in woken {
+            if let Some(sid) = self.blocked.remove(txn) {
+                let t = self.clock + self.cfg.wake_delay_ns;
+                self.push(t, Ev::Ready { sid });
+            }
         }
     }
 
@@ -573,6 +597,7 @@ impl<'a> Dispatcher<'a> {
             rolled_back: live.sess.rolled_back,
             read_only: live.sess.is_read_only(),
             restarts: live.restarts,
+            participants: 0,
             result: live.sess.result.clone(),
             error,
         };

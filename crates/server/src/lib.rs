@@ -44,12 +44,16 @@
 //!   Each worker owns a full dispatcher, so the per-transaction hot path
 //!   is exactly the single-threaded one: no locks, no atomics beyond
 //!   `Arc` refcounts already present in engine row handles.
-//! * **Quiesce protocol:** each shard engine sits in a `Mutex` its
-//!   worker holds while it has admitted work and releases only when
-//!   fully idle. A cross-shard transaction (`route == None`) locks every
-//!   shard in index order — blocking until each worker drains — then
-//!   runs serially through [`shard`]'s statement-routing lane engine and
-//!   releases. See [`shard`] for details.
+//! * **Cross-shard transactions (2PC, the default):** a request with
+//!   `route == None` goes to a coordinator pool that enlists only the
+//!   shards its statements touch, executes on the workers over a
+//!   remote-op protocol concurrently with single-shard traffic, then
+//!   runs prepare/commit across just those participants. Coordinator
+//!   ages come from one shared counter, extending wait-die across
+//!   shards. The original quiesce-all lane (lock every shard in index
+//!   order, run serially) is kept behind
+//!   [`shard::CrossShardMode::Quiesce`] as the differential oracle. See
+//!   [`shard`] for the protocol.
 
 pub mod dispatch;
 pub mod env;
@@ -62,5 +66,5 @@ pub use dispatch::{
 };
 pub use env::{Env, InstantEnv};
 pub use pyx_runtime::{VmMode, VmScratch};
-pub use shard::{load_row_sharded, ShardedConfig, ShardedReport, ShardedServer};
+pub use shard::{load_row_sharded, CrossShardMode, ShardedConfig, ShardedReport, ShardedServer};
 pub use workload::{FixedWorkload, TxnRequest, Workload};

@@ -13,37 +13,89 @@
 //! * **What crosses threads:** loaded [`Engine`] shards (everything an
 //!   engine owns is `Send` — rows, undo logs, plans), the shared
 //!   [`CompiledPartition`] (immutable, behind an `Arc`), [`TxnRequest`]s,
-//!   and retired [`TxnDone`]s. Compile-time assertions in `pyx-db` /
-//!   `pyx-pyxil` keep these types `Send`.
+//!   retired [`TxnDone`]s, and the cross-shard [`RemoteOp`] protocol
+//!   messages (prepared handles, parameter vectors, `Arc`-backed result
+//!   rows). Compile-time assertions in `pyx-db` / `pyx-pyxil` keep these
+//!   types `Send`.
 //! * **What stays thread-local:** everything a running transaction
 //!   touches — `Session`s, their `Rc`-shared [`PreparedSites`], session
 //!   heaps, the dispatcher's scratch pools. No runtime `Rc` ever crosses
-//!   a thread boundary. (String/row *values* are `Arc`-backed since the
-//!   migration — sharing them would be sound — but sessions never leave
-//!   their worker regardless.)
+//!   a thread boundary. Coordinator threads build their *own*
+//!   `PreparedSites` at startup.
 //!
-//! # Quiesce protocol (multi-partition lane)
+//! # Cross-shard transactions: two-phase commit (the default lane)
 //!
-//! Each shard engine lives in a `Mutex` with a strict ownership
-//! discipline: a worker holds its shard's lock for as long as it has any
-//! admitted work and releases it **only when its dispatcher is fully
-//! idle** (no active sessions, no queued requests). A cross-shard request
-//! (`route == None`) therefore quiesces the cluster by simply locking
-//! every shard in index order — each acquisition blocks until that worker
-//! has drained, and no worker can start new work while the lane holds its
-//! engine. The lane then runs the transaction to completion through
-//! [`LaneEngine`], which routes each SQL statement to the shard(s) owning
-//! its rows and fans commit/abort out to every shard the transaction
-//! touched. Releasing the locks resumes the workers. One lane transaction
-//! runs at a time (the submitting thread executes it inline), so any mix
-//! of partitionable and cross-shard traffic stays serializable while the
-//! partitionable share scales.
+//! A cross-shard request (`route == None`) is handed to a small pool of
+//! **coordinator threads**. Each coordinator runs the session itself and
+//! speaks a remote-op protocol to the shard workers; shards the
+//! transaction never touches are never involved, so cross-shard
+//! transactions with disjoint shard sets overlap with each other *and*
+//! with single-shard traffic. The protocol, per transaction:
 //!
-//! Observational equivalence with a single engine holds per statement,
-//! with one SQL-sanctioned exception: an *unordered* cross-shard scatter
-//! read returns its rows in shard-concatenation order rather than a
-//! single engine's scan order (row order without ORDER BY is
-//! unspecified; ordered scans are never scattered — see
+//! * **Participant selection** — each statement's shard route
+//!   ([`StmtRoute`], computed by `Engine::prepared_route` from the
+//!   statement plan) names the shard(s) owning its rows. The first
+//!   statement to touch shard *s* lazily opens a *branch*: a plain
+//!   engine transaction on *s*, begun over the worker's remote-op
+//!   channel. The participant set is exactly the set of open branches.
+//! * **Statement execution** — the coordinator sends each statement to
+//!   its participant's worker, which executes it between local
+//!   dispatcher events while *holding its own engine lock* — single-shard
+//!   sessions on other shards never stall. A statement that would block
+//!   on a row lock is **parked** worker-side and retried until the lock
+//!   frees or wait-die kills it (the reply is then a deadlock, and the
+//!   coordinator restarts the whole transaction with its age retained).
+//! * **Prepare** — at commit, every participant is asked to
+//!   [`Engine::prepare_commit`]: a *prepared* branch keeps all its locks,
+//!   accepts no further statements, and has vetoed nothing — in
+//!   particular a shard whose WAL is degraded votes **no** here, before
+//!   the decision. Any veto (or worker death) aborts every branch and
+//!   the transaction reports the error. Single-participant transactions
+//!   skip straight to commit (no prepare round needed).
+//! * **Commit + WAL acknowledgement point** — the coordinator fans
+//!   commit to the participants; each worker commits the branch and
+//!   syncs **its own shard's log** before acknowledging, so only
+//!   *participating* shards pay an fsync. A post-prepare commit failure
+//!   (a durability fault between prepare and commit) can leave a
+//!   partial commit across shards — the same window the quiesce lane's
+//!   fan-out commit always had; in-memory presumed-abort 2PC without
+//!   durable prepare records cannot close it. The error is reported
+//!   loudly on the transaction.
+//! * **Distributed wait-die** — coordinators draw transaction ages from
+//!   one shared counter, so every shard's `(age, txn)` lock order agrees
+//!   on every pair of distributed transactions. Along any would-be wait
+//!   cycle, ages strictly increase through each distributed transaction
+//!   (a waiter must be strictly older than the holder) — two distinct
+//!   global ages cannot cycle, so the union of per-shard wait graphs
+//!   stays acyclic and the globally oldest distributed transaction
+//!   always progresses. Restarts retain their first age (the standard
+//!   no-starvation rule). A lock released by a remote commit/abort wakes
+//!   blocked *local* sessions through [`crate::Dispatcher::wake_txns`].
+//!
+//! Cross-shard transactions run with snapshot reads **disabled**:
+//! per-shard snapshots taken at different instants are not one
+//! consistent cut, so even statically read-only cross-shard entries take
+//! real locks (their [`TxnDone::read_only`] flag still reports the
+//! static property). Single-shard read-only traffic keeps its lock-free
+//! MVCC snapshots — each such transaction touches one engine only.
+//!
+//! # Quiesce protocol (the differential oracle, `CrossShardMode::Quiesce`)
+//!
+//! The original serialized lane is kept behind a flag as the correctness
+//! oracle for the 2PC path. Each shard engine lives in a `Mutex` with a
+//! strict ownership discipline: a worker holds its shard's lock while it
+//! has any admitted work and releases it **only when its dispatcher is
+//! fully idle**. A cross-shard request then quiesces the cluster by
+//! locking every shard in index order, runs the transaction inline
+//! through [`LaneEngine`] (same statement routing as the coordinator),
+//! and syncs the logs of the shards it actually touched. One lane
+//! transaction runs at a time.
+//!
+//! Observational equivalence with a single engine holds per statement
+//! on both lanes, with one SQL-sanctioned exception: an *unordered*
+//! cross-shard scatter read returns its rows in shard-concatenation
+//! order rather than a single engine's scan order (row order without
+//! ORDER BY is unspecified; ordered scans are never scattered — see
 //! `LaneEngine::exec_scatter`).
 
 use crate::dispatch::{
@@ -58,11 +110,25 @@ use pyx_db::{
 };
 use pyx_lang::MethodId;
 use pyx_pyxil::CompiledPartition;
-use pyx_runtime::session::{run_to_completion, PreparedSites, Session, VmMode, VmScratch};
+use pyx_runtime::session::{run_to_completion, Advance, PreparedSites, Session, VmMode, VmScratch};
 use std::collections::{HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+
+/// How cross-shard (`route == None`) transactions execute.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CrossShardMode {
+    /// Per-statement participant enlistment + two-phase commit through a
+    /// coordinator pool: cross-shard transactions overlap with each
+    /// other and with single-shard traffic. The default.
+    TwoPhase,
+    /// The serialized quiesce-all lane: lock every shard, run inline.
+    /// Kept as the differential oracle for the 2PC path.
+    Quiesce,
+}
 
 /// Sharded-server tuning.
 #[derive(Debug, Clone, Copy)]
@@ -74,6 +140,11 @@ pub struct ShardedConfig {
     /// Bound of each worker's request channel. A full channel rejects the
     /// submit (backpressure), mirroring the dispatcher's own queue cap.
     pub channel_cap: usize,
+    /// Cross-shard execution mode (see [`CrossShardMode`]).
+    pub cross_shard: CrossShardMode,
+    /// Coordinator threads for the 2PC lane — the number of cross-shard
+    /// transactions in flight at once. Ignored under `Quiesce`.
+    pub coordinators: usize,
 }
 
 impl Default for ShardedConfig {
@@ -82,18 +153,25 @@ impl Default for ShardedConfig {
             shards: 2,
             dispatcher: DispatcherConfig::default(),
             channel_cap: 4096,
+            cross_shard: CrossShardMode::TwoPhase,
+            coordinators: 2,
         }
     }
 }
 
 /// Everything a [`ShardedServer`] hands back at shutdown: the shard
 /// engines (with their statistics), per-shard dispatcher counters, and
-/// the multi-partition lane's transaction count.
+/// the cross-shard transaction counters.
 pub struct ShardedReport {
     pub engines: Vec<Engine>,
     pub dispatchers: Vec<DispatcherStats>,
-    /// Cross-shard transactions executed on the serialized lane.
+    /// Cross-shard transactions executed (either lane).
     pub multi_txns: u64,
+    /// Sum of participant-shard counts over *committed* cross-shard
+    /// transactions (`multi_participants / commits` = mean fan-out; the
+    /// per-shard prepare/prepare-abort counts live in the engines'
+    /// [`EngineStats`]).
+    pub multi_participants: u64,
 }
 
 impl ShardedReport {
@@ -112,6 +190,11 @@ enum Msg {
         req: TxnRequest,
         tag: u64,
     },
+    /// Nudge: a coordinator put an op on this worker's remote channel.
+    /// Sent *after* the op, so a worker that sees the nudge is
+    /// guaranteed to see the op on its next remote-channel drain. A
+    /// no-op when the worker is already awake.
+    Wake,
     Shutdown,
     /// Test hook: die abruptly after reporting `after_done` more results,
     /// dropping everything else on the floor — the fault the graceful
@@ -121,14 +204,106 @@ enum Msg {
     },
 }
 
-/// Shard index the lane uses on the results channel (lane transactions
-/// run inline and can never be lost to a worker death).
+/// Coordinator→worker remote operation. Every op carries its own reply
+/// channel; a worker that dies drops the op, which the coordinator
+/// observes as a closed reply channel (participant death).
+enum RemoteOp {
+    /// Register a statement on this shard ([`Engine::prepare`]).
+    PrepareSql {
+        sql: String,
+        reply: Sender<RemoteReply>,
+    },
+    /// Resolve a prepared statement's shard route (sent to shard 0;
+    /// every shard holds the same schema so any shard's answer is the
+    /// cluster's).
+    Route {
+        pid: PreparedId,
+        reply: Sender<RemoteReply>,
+    },
+    /// Open a branch: a local read-write transaction under the
+    /// coordinator's global wait-die age.
+    Begin {
+        age: u64,
+        reply: Sender<RemoteReply>,
+    },
+    /// Execute one statement on an open branch. A statement that would
+    /// block is parked worker-side (no reply yet) and retried until the
+    /// lock frees or wait-die kills it.
+    Exec {
+        txn: TxnId,
+        pid: PreparedId,
+        params: Vec<Scalar>,
+        reply: Sender<RemoteReply>,
+    },
+    /// Phase 1: vote on commit ([`Engine::prepare_commit`]).
+    PrepareCommit {
+        txn: TxnId,
+        reply: Sender<RemoteReply>,
+    },
+    /// Phase 2: commit the branch and sync this shard's WAL before
+    /// acknowledging — the participant-local acknowledgement point.
+    Commit {
+        txn: TxnId,
+        reply: Sender<RemoteReply>,
+    },
+    /// Roll the branch back (coordinator-side abort, wait-die restart,
+    /// or phase-1 veto cleanup).
+    Abort {
+        txn: TxnId,
+        reply: Sender<RemoteReply>,
+    },
+}
+
+type RemoteReply = Result<RemoteOk, DbError>;
+
+enum RemoteOk {
+    Began(TxnId),
+    Prepared(PreparedId),
+    Route(StmtRoute),
+    Rows(QueryResult),
+    Done,
+}
+
+/// Test hook plumbing: pause the next cross-shard transaction between
+/// its prepare and commit phases. `held_tx` fires when the transaction
+/// is parked there; it resumes when `release_rx` yields.
+struct HoldHook {
+    held_tx: Sender<()>,
+    release_rx: Receiver<()>,
+}
+
+/// One queued cross-shard transaction.
+struct CoordJob {
+    req: TxnRequest,
+    tag: u64,
+    hold: Option<HoldHook>,
+}
+
+/// Counters a coordinator thread reports at shutdown.
+#[derive(Debug, Default, Clone, Copy)]
+struct CoordStats {
+    jobs: u64,
+    participants: u64,
+}
+
+/// Shard index coordinators and the quiesce lane use on the results
+/// channel (their transactions are never lost to a *worker* death).
 const LANE: usize = usize::MAX;
+
+/// High bit marking a virtual (coordinator/lane) transaction id; shards
+/// allocate their own local ids for branches. A coordinator folds its
+/// global age into the low bits so a restarted session carries the age
+/// back through [`Database::begin_aged`].
+const VIRTUAL_BIT: u64 = 1 << 63;
 
 /// The shard-per-core server. See module docs.
 pub struct ShardedServer {
     engines: Vec<Arc<Mutex<Engine>>>,
     txs: Vec<SyncSender<Msg>>,
+    /// Remote-op channels to each worker; coordinators hold clones. The
+    /// server keeps the originals so the channel outlives any one
+    /// coordinator.
+    remote_txs: Vec<Sender<RemoteOp>>,
     done_rx: Receiver<(usize, TxnDone)>,
     done_tx: Sender<(usize, TxnDone)>,
     handles: Vec<JoinHandle<DispatcherStats>>,
@@ -144,17 +319,24 @@ pub struct ShardedServer {
     /// Results ready to deliver ahead of the channel (drained while
     /// reaping a dead worker, plus the synthesized error results).
     ready: VecDeque<TxnDone>,
+    // -- 2PC lane --
+    job_tx: Option<SyncSender<CoordJob>>,
+    coord_handles: Vec<JoinHandle<CoordStats>>,
+    hold_next: Option<HoldHook>,
+    // -- quiesce lane (oracle mode) --
     lane: LaneState,
     lane_sites: Option<PreparedSites>,
     lane_scratch: Option<VmScratch>,
     multi_txns: u64,
+    multi_participants: u64,
 }
 
 impl ShardedServer {
     /// Spawn W workers, each owning one pre-loaded engine shard plus its
     /// own dispatcher over the shared compiled partition. `engines` must
     /// all carry the same schema, with rows already routed by
-    /// [`pyx_db::TableDef::shard_key`] (see `load_row_sharded`).
+    /// [`pyx_db::TableDef::shard_key`] (see `load_row_sharded`). Under
+    /// [`CrossShardMode::TwoPhase`] a coordinator pool is spawned too.
     pub fn new(
         part: Arc<CompiledPartition>,
         engines: Vec<Engine>,
@@ -162,16 +344,20 @@ impl ShardedServer {
     ) -> ShardedServer {
         assert_eq!(engines.len(), cfg.shards, "one engine per shard");
         assert!(cfg.shards > 0, "at least one shard");
+        let two_phase = cfg.cross_shard == CrossShardMode::TwoPhase;
         let engines: Vec<Arc<Mutex<Engine>>> = engines
             .into_iter()
             .map(|e| Arc::new(Mutex::new(e)))
             .collect();
-        // Pre-warm the multi-partition lane's prepared sites before any
+        // Quiesce mode pre-warms the lane's prepared sites before any
         // worker exists: every engine lock is uncontended here, so the
-        // first cross-shard request pays no prepare storm (and no lane
-        // state is built lazily under quiesced shards).
+        // first cross-shard request pays no prepare storm. (2PC
+        // coordinators warm their own site tables over the remote-op
+        // protocol at startup instead.)
         let mut lane = LaneState::default();
-        let lane_sites = {
+        let lane_sites = if two_phase {
+            None
+        } else {
             let mut guards: Vec<MutexGuard<'_, Engine>> = engines
                 .iter()
                 .map(|e| e.lock().expect("fresh engine mutex"))
@@ -184,23 +370,51 @@ impl ShardedServer {
         };
         let (done_tx, done_rx) = mpsc::channel();
         let mut txs = Vec::with_capacity(cfg.shards);
+        let mut remote_txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
         for (i, engine) in engines.iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel(cfg.channel_cap);
+            let (rtx, rrx) = mpsc::channel();
             txs.push(tx);
+            remote_txs.push(rtx);
             let engine = Arc::clone(engine);
             let part = Arc::clone(&part);
             let done = done_tx.clone();
             let dcfg = cfg.dispatcher;
             let handle = std::thread::Builder::new()
                 .name(format!("pyx-shard-{i}"))
-                .spawn(move || worker(i, engine, part, dcfg, rx, done))
+                .spawn(move || worker(i, engine, part, dcfg, rx, rrx, done))
                 .expect("spawn shard worker");
             handles.push(handle);
         }
+        let (job_tx, coord_handles) = if two_phase {
+            let (jtx, jrx) = mpsc::sync_channel(cfg.channel_cap);
+            let jrx = Arc::new(Mutex::new(jrx));
+            let ages = Arc::new(AtomicU64::new(1));
+            let n = cfg.coordinators.max(1);
+            let mut coords = Vec::with_capacity(n);
+            for c in 0..n {
+                let part = Arc::clone(&part);
+                let dcfg = cfg.dispatcher;
+                let jobs = Arc::clone(&jrx);
+                let remote = remote_txs.clone();
+                let nudge = txs.clone();
+                let done = done_tx.clone();
+                let ages = Arc::clone(&ages);
+                let h = std::thread::Builder::new()
+                    .name(format!("pyx-coord-{c}"))
+                    .spawn(move || coordinator(part, dcfg, jobs, remote, nudge, done, ages))
+                    .expect("spawn coordinator");
+                coords.push(h);
+            }
+            (Some(jtx), coords)
+        } else {
+            (None, Vec::new())
+        };
         ShardedServer {
             engines,
             txs,
+            remote_txs,
             done_rx,
             done_tx,
             handles,
@@ -210,17 +424,22 @@ impl ShardedServer {
             outstanding: (0..cfg.shards).map(|_| HashMap::new()).collect(),
             dead: vec![false; cfg.shards],
             ready: VecDeque::new(),
+            job_tx,
+            coord_handles,
+            hold_next: None,
             lane,
             lane_sites,
             lane_scratch: None,
             multi_txns: 0,
+            multi_participants: 0,
         }
     }
 
     /// Attach one write-ahead log per shard before serving: shard `i`
     /// gets `make_sink(i)` wrapped in a [`Wal`] stamping shard id `i`
     /// into every record, flushing every `group_commit` commits (workers
-    /// force a flush at their acknowledgement point regardless). The
+    /// force a flush at their acknowledgement point regardless; a
+    /// cross-shard commit flushes only its participant shards). The
     /// canonical durability hookup for sharded deployments — recovery
     /// then rebuilds each shard independently from its own log.
     pub fn attach_shard_wals(
@@ -254,6 +473,24 @@ impl ShardedServer {
         let _ = self.txs[shard].send(Msg::Crash { after_done });
     }
 
+    /// Test hook (2PC lane): pause the *next* submitted cross-shard
+    /// transaction between its prepare and commit phases. The returned
+    /// receiver yields once the transaction is parked there — prepared
+    /// on every participant, locks held, outcome pending — and it
+    /// resumes when the returned sender fires (or drops). Used to prove
+    /// that cross-shard transactions with disjoint shard sets commit
+    /// concurrently.
+    #[doc(hidden)]
+    pub fn hold_next_multi_commit(&mut self) -> (Receiver<()>, Sender<()>) {
+        let (held_tx, held_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        self.hold_next = Some(HoldHook {
+            held_tx,
+            release_rx,
+        });
+        (held_rx, release_tx)
+    }
+
     pub fn shards(&self) -> usize {
         self.cfg.shards
     }
@@ -266,8 +503,10 @@ impl ShardedServer {
     /// Submit a request. `route: Some(k)` goes to shard `shard_of(k, W)`
     /// over its bounded channel ([`Admit::Rejected`] on a full channel —
     /// backpressure, retry after draining; [`Admit::Unavailable`] if that
-    /// shard's worker has died); `route: None` runs inline on the
-    /// serialized multi-partition lane, quiescing all shards first.
+    /// shard's worker has died). `route: None` is a cross-shard
+    /// transaction: under 2PC it queues to the coordinator pool; under
+    /// [`CrossShardMode::Quiesce`] it runs inline on the serialized
+    /// lane, quiescing all shards first.
     pub fn submit(&mut self, req: TxnRequest, tag: u64) -> Admit {
         match req.route {
             Some(k) => {
@@ -293,12 +532,26 @@ impl ShardedServer {
                     }
                 }
             }
-            None => {
-                let done = self.run_multi(req, tag);
-                self.done_tx.send((LANE, done)).expect("done channel open");
-                self.in_flight += 1;
-                Admit::Started
-            }
+            None => match &self.job_tx {
+                Some(jtx) => {
+                    let hold = self.hold_next.take();
+                    match jtx.try_send(CoordJob { req, tag, hold }) {
+                        Ok(()) => {
+                            self.in_flight += 1;
+                            Admit::Started
+                        }
+                        Err(TrySendError::Full(_)) => Admit::Rejected,
+                        Err(TrySendError::Disconnected(_)) => Admit::Unavailable,
+                    }
+                }
+                None => {
+                    self.hold_next = None; // hook is a 2PC-lane concept
+                    let done = self.run_multi(req, tag);
+                    self.done_tx.send((LANE, done)).expect("done channel open");
+                    self.in_flight += 1;
+                    Admit::Started
+                }
+            },
         }
     }
 
@@ -309,6 +562,8 @@ impl ShardedServer {
     /// transactions come back as **error results** (outcome unknown: the
     /// transaction may or may not have committed before the crash) and
     /// its shard is marked unavailable; the server itself keeps serving.
+    /// (A worker death mid-2PC is reported by the coordinator itself —
+    /// it observes the closed reply channel and aborts the survivors.)
     pub fn recv_done(&mut self) -> Option<TxnDone> {
         if self.in_flight == 0 {
             return None;
@@ -378,6 +633,7 @@ impl ShardedServer {
                     rolled_back: false,
                     read_only: false,
                     restarts: 0,
+                    participants: 0,
                     result: None,
                     error: Some(format!(
                         "shard {i} worker died; transaction outcome unknown"
@@ -397,13 +653,21 @@ impl ShardedServer {
     }
 
     /// Stop the workers and hand back the shard engines and counters.
-    /// Outstanding results are drained first. Tolerates dead workers: a
-    /// crashed worker contributes default dispatcher stats, and its
-    /// engine is recovered even from a poisoned mutex (the in-memory
-    /// state may hold uncommitted work — durable state lives in the
-    /// write-ahead log, which is exactly what recovery replays).
+    /// Outstanding results are drained first, then coordinators are
+    /// joined (they need live workers for any in-flight 2PC ops), then
+    /// the workers. Tolerates dead workers: a crashed worker contributes
+    /// default dispatcher stats, and its engine is recovered even from a
+    /// poisoned mutex (the in-memory state may hold uncommitted work —
+    /// durable state lives in the write-ahead log, which is exactly what
+    /// recovery replays).
     pub fn shutdown(mut self) -> (Vec<TxnDone>, ShardedReport) {
         let rest = self.drain();
+        self.job_tx = None; // coordinators drain their queue and exit
+        for h in self.coord_handles.drain(..) {
+            let s = h.join().unwrap_or_default();
+            self.multi_txns += s.jobs;
+            self.multi_participants += s.participants;
+        }
         for tx in &self.txs {
             let _ = tx.send(Msg::Shutdown);
         }
@@ -413,6 +677,7 @@ impl ShardedServer {
             .map(|h| h.join().unwrap_or_default())
             .collect();
         drop(self.txs);
+        drop(self.remote_txs);
         let engines = self
             .engines
             .drain(..)
@@ -430,6 +695,7 @@ impl ShardedServer {
                 engines,
                 dispatchers,
                 multi_txns: self.multi_txns,
+                multi_participants: self.multi_participants,
             },
         )
     }
@@ -495,14 +761,19 @@ impl ShardedServer {
             };
             let _ = lane.close_all(|e, t| e.abort(t));
         }
+        let participants = self.lane.last_closed.len() as u32;
         // Acknowledgement point: a cross-shard commit is durable only
-        // once every shard it may have written has flushed its log.
+        // once every shard it actually touched has flushed its log —
+        // untouched shards have nothing of this transaction to flush.
         if !read_only && !rolled_back && error.is_none() {
-            for g in guards.iter_mut() {
-                if let Err(e) = g.wal_sync() {
+            for &s in &self.lane.last_closed {
+                if let Err(e) = guards[s].wal_sync() {
                     error = Some(e.to_string());
                     break;
                 }
+            }
+            if error.is_none() {
+                self.multi_participants += participants as u64;
             }
         }
         TxnDone {
@@ -516,6 +787,7 @@ impl ShardedServer {
             rolled_back,
             read_only,
             restarts: 0,
+            participants,
             result,
             error,
         }
@@ -560,18 +832,136 @@ fn flush_dones(
     false
 }
 
+/// Serve one remote op against this worker's engine. `Exec` ops that
+/// would block on a row lock are parked (no reply) and retried by
+/// [`remote_pump`]; everything else replies immediately. Returns `true`
+/// when the op completed (replied), `false` when it parked.
+fn serve_remote(
+    engine: &mut Engine,
+    disp: &mut Dispatcher<'_>,
+    op: RemoteOp,
+    parked: &mut Vec<RemoteOp>,
+) -> bool {
+    match op {
+        RemoteOp::PrepareSql { sql, reply } => {
+            let _ = reply.send(engine.prepare(&sql).map(RemoteOk::Prepared));
+            true
+        }
+        RemoteOp::Route { pid, reply } => {
+            let _ = reply.send(engine.prepared_route(pid).map(RemoteOk::Route));
+            true
+        }
+        RemoteOp::Begin { age, reply } => {
+            let _ = reply.send(Ok(RemoteOk::Began(engine.begin_aged(age))));
+            true
+        }
+        RemoteOp::Exec {
+            txn,
+            pid,
+            params,
+            reply,
+        } => match engine.execute_prepared(txn, pid, &params) {
+            Ok(r) => {
+                let _ = reply.send(Ok(RemoteOk::Rows(r)));
+                true
+            }
+            // The branch is now a registered lock waiter; retry until
+            // the lock frees (the statement has mutated nothing yet) or
+            // a later wait-die check kills it.
+            Err(DbError::WouldBlock) => {
+                parked.push(RemoteOp::Exec {
+                    txn,
+                    pid,
+                    params,
+                    reply,
+                });
+                false
+            }
+            Err(e) => {
+                let _ = reply.send(Err(e));
+                true
+            }
+        },
+        RemoteOp::PrepareCommit { txn, reply } => {
+            let _ = reply.send(engine.prepare_commit(txn).map(|()| RemoteOk::Done));
+            true
+        }
+        RemoteOp::Commit { txn, reply } => {
+            let res = match engine.commit(txn) {
+                Ok((_, woken)) => {
+                    disp.wake_txns(&woken);
+                    // Participant-local acknowledgement point: this
+                    // shard's log is durable before the coordinator may
+                    // acknowledge the cross-shard commit.
+                    engine.wal_sync().map(|()| RemoteOk::Done)
+                }
+                Err(e) => {
+                    // A failed commit leaves the transaction open (locks
+                    // held); abort to release them before reporting.
+                    if let Ok((_, woken)) = engine.abort(txn) {
+                        disp.wake_txns(&woken);
+                    }
+                    Err(e)
+                }
+            };
+            let _ = reply.send(res);
+            true
+        }
+        RemoteOp::Abort { txn, reply } => {
+            let res = match engine.abort(txn) {
+                Ok((_, woken)) => {
+                    disp.wake_txns(&woken);
+                    Ok(RemoteOk::Done)
+                }
+                Err(e) => Err(e),
+            };
+            let _ = reply.send(res);
+            true
+        }
+    }
+}
+
+/// Drain and serve the worker's remote-op channel, then retry parked
+/// statements (a commit/abort drained just now may have freed their
+/// locks). Returns `true` if any op completed — the worker should loop
+/// again rather than sleep, since a completion can have knock-on
+/// effects (a freed lock, a wake-up).
+fn remote_pump(
+    engine: &mut Engine,
+    disp: &mut Dispatcher<'_>,
+    rrx: &Receiver<RemoteOp>,
+    parked: &mut Vec<RemoteOp>,
+) -> bool {
+    let mut progress = false;
+    // Empty and Disconnected (no coordinators — quiesce mode, or
+    // shutdown) both mean "nothing to serve".
+    while let Ok(op) = rrx.try_recv() {
+        progress |= serve_remote(engine, disp, op, parked);
+    }
+    if !parked.is_empty() {
+        let retry = std::mem::take(parked);
+        for op in retry {
+            progress |= serve_remote(engine, disp, op, parked);
+        }
+    }
+    progress
+}
+
 /// One shard worker: pull requests while the dispatcher has admission
-/// room, drive the event loop, ship retirements to the results channel
-/// (batched through [`flush_dones`], the group-commit acknowledgement
-/// point). The engine lock is held exactly while the dispatcher has work
-/// and released when fully idle — that release is the quiesce point the
-/// multi-partition lane synchronizes on.
+/// room, serve cross-shard remote ops between local events, drive the
+/// event loop, ship retirements to the results channel (batched through
+/// [`flush_dones`], the group-commit acknowledgement point). The engine
+/// lock is held exactly while the dispatcher has work and released when
+/// fully idle — that release is the quiesce point the serialized
+/// multi-partition lane synchronizes on (2PC coordinators never take
+/// engine locks; they go through the remote-op channel).
 fn worker(
     shard: usize,
     engine: Arc<Mutex<Engine>>,
     part: Arc<CompiledPartition>,
     cfg: DispatcherConfig,
     rx: Receiver<Msg>,
+    rrx: Receiver<RemoteOp>,
     done: Sender<(usize, TxnDone)>,
 ) -> DispatcherStats {
     let mut guard = engine.lock().expect("engine mutex poisoned");
@@ -580,7 +970,9 @@ fn worker(
     let mut open = true;
     let mut batch: Vec<TxnDone> = Vec::new();
     let mut crash_after: Option<usize> = None;
+    let mut parked: Vec<RemoteOp> = Vec::new();
     loop {
+        remote_pump(&mut guard, &mut disp, &rrx, &mut parked);
         // Admit as much queued work as the dispatcher will take.
         while open
             && (disp.active_sessions() < cfg.max_sessions || disp.queue_len() < cfg.queue_cap)
@@ -589,6 +981,7 @@ fn worker(
                 Ok(Msg::Submit { req, tag }) => {
                     disp.submit(0, req, tag);
                 }
+                Ok(Msg::Wake) => {} // remote ops are pumped every iteration
                 Ok(Msg::Crash { after_done }) => {
                     crash_after = Some(after_done);
                     if after_done == 0 {
@@ -615,13 +1008,27 @@ fn worker(
                 if !open {
                     break;
                 }
+                // Final remote check before sleeping: a Wake consumed by
+                // the drain loop above may stand for an op that arrived
+                // after this iteration's pump (ops are sent before their
+                // nudge, so seeing the nudge means the op is visible).
+                // Anything completed can have knock-on effects — loop.
+                if remote_pump(&mut guard, &mut disp, &rrx, &mut parked) {
+                    continue;
+                }
                 // Fully drained: release the shard (lane quiesce point)
-                // and sleep until the next request arrives.
+                // and sleep until the next message arrives. Parked ops
+                // are safe to sleep on: the dispatcher is idle, so their
+                // blocker is a remote branch whose coordinator will send
+                // the releasing commit/abort — with a Wake nudge.
                 drop(guard);
                 match rx.recv() {
                     Ok(Msg::Submit { req, tag }) => {
                         guard = engine.lock().expect("engine mutex poisoned");
                         disp.submit(0, req, tag);
+                    }
+                    Ok(Msg::Wake) => {
+                        guard = engine.lock().expect("engine mutex poisoned");
                     }
                     Ok(Msg::Crash { after_done }) => {
                         crash_after = Some(after_done);
@@ -659,52 +1066,61 @@ pub fn load_row_sharded(engines: &mut [Engine], table: &str, row: Vec<Scalar>) {
     }
 }
 
-// ---- the multi-partition lane engine ----
+// ---- shared statement-routing state (coordinator + quiesce lane) ----
 
-/// One lane statement: its prepared handle on every shard and the
+/// One cross-shard statement: its prepared handle on every shard and the
 /// (lazily resolved) shard route.
 struct LaneStmt {
     per_shard: Vec<PreparedId>,
     route: Option<StmtRoute>,
 }
 
-/// Cap on lane statements registered through the *ad-hoc*
+/// Cap on statements registered through the *ad-hoc*
 /// [`Database::execute`] path (dynamic SQL). Mirrors the engine's own
 /// ad-hoc parse-cache cap: a cross-shard transaction computing SQL with
-/// inline literals must not grow the lane's statement table without
-/// bound. Evicted slots are recycled; the shard engines dedup repeated
-/// text in their prepared registries, so re-encounters re-use the
-/// engine-side plans. (Constant-SQL sites registered by
-/// `Session::prepare_sites` via [`Database::prepare`] are never evicted
-/// — sessions hold their ids across transactions.)
+/// inline literals must not grow the statement table without bound.
+/// Evicted slots are recycled; the shard engines dedup repeated text in
+/// their prepared registries, so re-encounters re-use the engine-side
+/// plans. (Constant-SQL sites registered by `Session::prepare_sites`
+/// via [`Database::prepare`] are never evicted — sessions hold their
+/// ids across transactions.)
 const LANE_ADHOC_CAP: usize = 256;
 
-/// Persistent lane state: the statement table (lane [`PreparedId`]s index
-/// it) and the per-shard sub-transactions of the one in-flight lane
-/// transaction.
+/// The cross-shard statement table: statements indexed by lane/
+/// coordinator [`PreparedId`]s, deduped by SQL text, with FIFO eviction
+/// for the ad-hoc entries. Shared by the quiesce lane (one instance) and
+/// each 2PC coordinator (one instance per coordinator thread).
 #[derive(Default)]
-struct LaneState {
+struct StmtTable {
     stmts: Vec<Option<LaneStmt>>,
     by_sql: HashMap<String, PreparedId>,
     /// FIFO of ad-hoc (evictable) statements; see [`LANE_ADHOC_CAP`].
-    adhoc_order: std::collections::VecDeque<(String, PreparedId)>,
+    adhoc_order: VecDeque<(String, PreparedId)>,
     /// Evicted statement slots awaiting reuse.
     free_slots: Vec<PreparedId>,
-    /// Open sub-transaction per shard (one lane txn at a time).
-    txns: Vec<Option<TxnId>>,
-    read_only: bool,
-    next_virtual: u64,
 }
 
-impl LaneState {
+impl StmtTable {
+    fn lookup(&self, sql: &str) -> Option<PreparedId> {
+        self.by_sql.get(sql).copied()
+    }
+
     fn stmt(&self, id: PreparedId) -> &LaneStmt {
         self.stmts[id.0 as usize]
             .as_ref()
-            .expect("live lane statement")
+            .expect("live cross-shard statement")
+    }
+
+    fn set_route(&mut self, id: PreparedId, route: StmtRoute) {
+        self.stmts[id.0 as usize]
+            .as_mut()
+            .expect("live cross-shard statement")
+            .route = Some(route);
     }
 
     /// Register a statement, taking a recycled slot if one is free.
-    fn insert_stmt(&mut self, sql: &str, stmt: LaneStmt) -> PreparedId {
+    /// `adhoc` entries join the FIFO and are evicted over the cap.
+    fn insert(&mut self, sql: &str, stmt: LaneStmt, adhoc: bool) -> PreparedId {
         let id = match self.free_slots.pop() {
             Some(id) => {
                 self.stmts[id.0 as usize] = Some(stmt);
@@ -717,6 +1133,10 @@ impl LaneState {
             }
         };
         self.by_sql.insert(sql.to_string(), id);
+        if adhoc {
+            self.adhoc_order.push_back((sql.to_string(), id));
+            self.evict_adhoc();
+        }
         id
     }
 
@@ -731,6 +1151,543 @@ impl LaneState {
             self.free_slots.push(id);
         }
     }
+}
+
+// ---- the 2PC coordinator ----
+
+/// Coordinator-side engine façade: a [`Database`] whose statements fan
+/// out to shard workers over the remote-op protocol. One per coordinator
+/// thread; holds that coordinator's statement table, the open branches
+/// of its (single) in-flight transaction, and its 2PC counters. Route
+/// dispatch is identical to [`LaneEngine`]'s — same statements land on
+/// the same shards, same errors for unroutable shapes — which is what
+/// makes the quiesce lane a differential oracle for this path.
+struct Coord {
+    remote: Vec<Sender<RemoteOp>>,
+    nudge: Vec<SyncSender<Msg>>,
+    table: StmtTable,
+    /// Open branch (local transaction) per shard.
+    branches: Vec<Option<TxnId>>,
+    /// Current transaction's global wait-die age.
+    age: u64,
+    /// The shared age counter (globally unique distributed ages).
+    ages: Arc<AtomicU64>,
+    /// Shards that opened a branch this transaction (monotone within a
+    /// transaction; reset at begin).
+    touched: u32,
+    /// Participant count of the most recently closed transaction.
+    last_participants: u32,
+    hold: Option<HoldHook>,
+    scratch: Option<VmScratch>,
+    stats: CoordStats,
+}
+
+impl Coord {
+    fn new(
+        remote: Vec<Sender<RemoteOp>>,
+        nudge: Vec<SyncSender<Msg>>,
+        ages: Arc<AtomicU64>,
+    ) -> Coord {
+        let n = remote.len();
+        Coord {
+            remote,
+            nudge,
+            table: StmtTable::default(),
+            branches: vec![None; n],
+            age: 0,
+            ages,
+            touched: 0,
+            last_participants: 0,
+            hold: None,
+            scratch: None,
+            stats: CoordStats::default(),
+        }
+    }
+
+    fn shards(&self) -> usize {
+        self.remote.len()
+    }
+
+    /// One remote round trip: ship the op, nudge the worker awake, wait
+    /// for the reply. A closed channel on either leg is a participant
+    /// death — the transaction cannot know its branch's fate there.
+    fn rpc(
+        &self,
+        s: usize,
+        make: impl FnOnce(Sender<RemoteReply>) -> RemoteOp,
+    ) -> Result<RemoteOk, DbError> {
+        let dead = || {
+            DbError::Durability(format!(
+                "shard {s} worker died during a cross-shard transaction"
+            ))
+        };
+        let (tx, rx) = mpsc::channel();
+        self.remote[s].send(make(tx)).map_err(|_| dead())?;
+        // Sent after the op: a worker that consumes this nudge is
+        // guaranteed to see the op on its next remote-channel drain.
+        let _ = self.nudge[s].try_send(Msg::Wake);
+        match rx.recv() {
+            Ok(r) => r,
+            Err(_) => Err(dead()),
+        }
+    }
+
+    /// The branch on shard `s`, opened on first touch under the
+    /// transaction's global age — this lazy enlistment IS participant
+    /// selection.
+    fn branch(&mut self, s: usize) -> Result<TxnId, DbError> {
+        if let Some(t) = self.branches[s] {
+            return Ok(t);
+        }
+        let age = self.age;
+        match self.rpc(s, |reply| RemoteOp::Begin { age, reply })? {
+            RemoteOk::Began(t) => {
+                self.branches[s] = Some(t);
+                self.touched += 1;
+                Ok(t)
+            }
+            _ => unreachable!("Begin replies Began"),
+        }
+    }
+
+    fn exec_on(
+        &mut self,
+        s: usize,
+        id: PreparedId,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        let txn = self.branch(s)?;
+        let pid = self.table.stmt(id).per_shard[s];
+        match self.rpc(s, |reply| RemoteOp::Exec {
+            txn,
+            pid,
+            params: params.to_vec(),
+            reply,
+        })? {
+            RemoteOk::Rows(r) => Ok(r),
+            _ => unreachable!("Exec replies Rows"),
+        }
+    }
+
+    fn route_of(&mut self, id: PreparedId) -> Result<StmtRoute, DbError> {
+        if let Some(r) = &self.table.stmt(id).route {
+            return Ok(r.clone());
+        }
+        let pid0 = self.table.stmt(id).per_shard[0];
+        let r = match self.rpc(0, |reply| RemoteOp::Route { pid: pid0, reply })? {
+            RemoteOk::Route(r) => r,
+            _ => unreachable!("Route replies Route"),
+        };
+        self.table.set_route(id, r.clone());
+        Ok(r)
+    }
+
+    fn prepare_inner(&mut self, sql: &str, adhoc: bool) -> Result<PreparedId, DbError> {
+        if let Some(id) = self.table.lookup(sql) {
+            return Ok(id);
+        }
+        let mut per_shard = Vec::with_capacity(self.shards());
+        for s in 0..self.shards() {
+            match self.rpc(s, |reply| RemoteOp::PrepareSql {
+                sql: sql.to_string(),
+                reply,
+            })? {
+                RemoteOk::Prepared(pid) => per_shard.push(pid),
+                _ => unreachable!("PrepareSql replies Prepared"),
+            }
+        }
+        Ok(self.table.insert(
+            sql,
+            LaneStmt {
+                per_shard,
+                route: None,
+            },
+            adhoc,
+        ))
+    }
+
+    /// Run on every shard and merge (same contract as
+    /// `LaneEngine::exec_scatter`: shard-concatenation row order).
+    fn exec_scatter(&mut self, id: PreparedId, params: &[Scalar]) -> Result<QueryResult, DbError> {
+        let mut merged: Option<QueryResult> = None;
+        for s in 0..self.shards() {
+            let r = self.exec_on(s, id, params)?;
+            match &mut merged {
+                None => merged = Some(r),
+                Some(m) => {
+                    m.rows.extend(r.rows);
+                    m.affected += r.affected;
+                    m.cost += r.cost;
+                }
+            }
+        }
+        Ok(merged.expect("at least one shard"))
+    }
+
+    /// Pause here if a hold hook is armed (test instrumentation: the
+    /// point between the commit decision and the commit fan-out).
+    fn fire_hold(&mut self) {
+        if let Some(h) = self.hold.take() {
+            let _ = h.held_tx.send(());
+            let _ = h.release_rx.recv();
+        }
+    }
+
+    /// Abort every open branch, ignoring errors (used by panic cleanup
+    /// and the session leak-check; [`Database::abort`] reports them).
+    fn abort_open_branches(&mut self) {
+        for s in 0..self.branches.len() {
+            if let Some(t) = self.branches[s].take() {
+                let _ = self.rpc(s, |reply| RemoteOp::Abort { txn: t, reply });
+            }
+        }
+    }
+
+    /// The commit protocol. Participants = shards with an open branch.
+    /// 0 participants: trivially committed. 1: straight commit, no
+    /// prepare round (a single shard cannot partially commit). 2+: full
+    /// presumed-abort 2PC — prepare everywhere (any veto or death
+    /// aborts every branch), then commit everywhere (each participant
+    /// syncs its own WAL before acknowledging).
+    fn commit_2pc(&mut self) -> Result<(u64, Vec<TxnId>), DbError> {
+        let parts: Vec<(usize, TxnId)> = self
+            .branches
+            .iter()
+            .enumerate()
+            .filter_map(|(s, t)| t.map(|t| (s, t)))
+            .collect();
+        self.last_participants = parts.len() as u32;
+        if parts.is_empty() {
+            self.fire_hold();
+            return Ok((0, Vec::new()));
+        }
+        if parts.len() >= 2 {
+            for &(s, t) in &parts {
+                let vote = self
+                    .rpc(s, |reply| RemoteOp::PrepareCommit { txn: t, reply })
+                    .map(|_| ());
+                if let Err(e) = vote {
+                    // Presumed abort: one veto rolls back every branch
+                    // (prepared ones release their locks; the engines
+                    // count those as prepare-aborts).
+                    for &(s2, t2) in &parts {
+                        self.branches[s2] = None;
+                        let _ = self.rpc(s2, |reply| RemoteOp::Abort { txn: t2, reply });
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        self.fire_hold();
+        // Commit phase: past this point the transaction is decided; a
+        // participant failure here (durability fault, worker death) can
+        // leave a partial commit — reported loudly as the transaction's
+        // error, never silently (see module docs).
+        let mut first_err = None;
+        for &(s, t) in &parts {
+            self.branches[s] = None;
+            if let Err(e) = self.rpc(s, |reply| RemoteOp::Commit { txn: t, reply }) {
+                first_err = first_err.or(Some(e));
+            }
+        }
+        match first_err {
+            None => {
+                self.stats.participants += parts.len() as u64;
+                Ok((0, Vec::new()))
+            }
+            Some(e) => Err(e),
+        }
+    }
+}
+
+impl Database for Coord {
+    fn begin(&mut self) -> TxnId {
+        debug_assert!(
+            self.branches.iter().all(Option::is_none),
+            "one transaction per coordinator at a time"
+        );
+        self.age = self.ages.fetch_add(1, Ordering::Relaxed);
+        self.touched = 0;
+        // The virtual id folds the age into its low bits: the session
+        // records `id.0` as its wait-die age, so a restart hands the
+        // original age back through `begin_aged` below.
+        TxnId(VIRTUAL_BIT | self.age)
+    }
+
+    fn begin_aged(&mut self, age: u64) -> TxnId {
+        self.age = age & !VIRTUAL_BIT;
+        self.touched = 0;
+        TxnId(VIRTUAL_BIT | self.age)
+    }
+
+    fn begin_read_only(&mut self) -> TxnId {
+        // Never reached in practice: coordinator sessions run with
+        // snapshot reads disabled (per-shard snapshots at different
+        // instants are not one consistent cut). Defensive: run locking.
+        self.begin()
+    }
+
+    fn commit(&mut self, _txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        self.commit_2pc()
+    }
+
+    fn abort(&mut self, _txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
+        let mut err = None;
+        for s in 0..self.branches.len() {
+            if let Some(t) = self.branches[s].take() {
+                if let Err(e) = self.rpc(s, |reply| RemoteOp::Abort { txn: t, reply }) {
+                    err = err.or(Some(e));
+                }
+            }
+        }
+        self.last_participants = self.touched;
+        match err {
+            Some(e) => Err(e),
+            None => Ok((0, Vec::new())),
+        }
+    }
+
+    /// Register on every shard. Handles from this path are durable —
+    /// sessions cache them in their prepared-site tables.
+    fn prepare(&mut self, sql: &str) -> Result<PreparedId, DbError> {
+        self.prepare_inner(sql, false)
+    }
+
+    fn execute(
+        &mut self,
+        txn: TxnId,
+        sql: &str,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        // Dynamic SQL funnels through the prepared path — same resolver,
+        // same routing, identical results by construction — with its
+        // entries FIFO-capped (see [`LANE_ADHOC_CAP`]).
+        let id = self.prepare_inner(sql, true)?;
+        Database::execute_prepared(self, txn, id, params)
+    }
+
+    fn execute_prepared(
+        &mut self,
+        _txn: TxnId,
+        id: PreparedId,
+        params: &[Scalar],
+    ) -> Result<QueryResult, DbError> {
+        match self.route_of(id)? {
+            StmtRoute::ByParam { param } => {
+                let key = params
+                    .get(param)
+                    .ok_or_else(|| DbError::Schema(format!("routing parameter {param} missing")))?;
+                let s = shard_of(key, self.shards());
+                self.exec_on(s, id, params)
+            }
+            StmtRoute::ByLit(lit) => {
+                let s = shard_of(&lit, self.shards());
+                self.exec_on(s, id, params)
+            }
+            // Replicated reads may use any replica; shard 0 keeps runs
+            // deterministic. Replicated writes apply everywhere so the
+            // copies stay byte-identical (the result is the same on each).
+            StmtRoute::Replicated { write: false } => self.exec_on(0, id, params),
+            StmtRoute::Replicated { write: true } => {
+                let mut out = None;
+                for s in 0..self.shards() {
+                    out = Some(self.exec_on(s, id, params)?);
+                }
+                Ok(out.expect("at least one shard"))
+            }
+            StmtRoute::Scatter {
+                mergeable: false, ..
+            } => Err(DbError::Schema(
+                "cross-shard ordered/aggregate scan is not routable; \
+                 add a shard-key equality predicate"
+                    .into(),
+            )),
+            StmtRoute::Scatter { .. } => self.exec_scatter(id, params),
+            StmtRoute::Unroutable { reason } => Err(DbError::Schema(reason.into())),
+        }
+    }
+
+    /// Coordinators hold no engines; per-shard counters (including the
+    /// 2PC prepare/prepare-abort counts) are read off the engines at
+    /// shutdown instead.
+    fn db_stats(&self) -> EngineStats {
+        EngineStats::default()
+    }
+}
+
+/// Run one cross-shard transaction to completion on this coordinator:
+/// drive the session against the [`Coord`] façade, restarting on
+/// wait-die deadlocks with the original age retained. Mirrors the
+/// dispatcher's deadlock-restart policy for local sessions.
+fn run_job(
+    coord: &mut Coord,
+    part: &CompiledPartition,
+    dcfg: &DispatcherConfig,
+    sites: PreparedSites,
+    req: &TxnRequest,
+    tag: u64,
+) -> TxnDone {
+    let mut error = None;
+    let mut rolled_back = false;
+    let mut read_only = false;
+    let mut result = None;
+    let mut restarts = 0u32;
+    let mut age: Option<u64> = None;
+    loop {
+        let mut sess = match Session::with_prepared(
+            &part.il,
+            &part.bp,
+            req.entry,
+            &req.args,
+            dcfg.costs,
+            sites.clone(),
+        ) {
+            Ok(s) => s,
+            Err(e) => {
+                error = Some(e.to_string());
+                break;
+            }
+        };
+        // Cross-shard reads must lock — per-shard snapshots taken at
+        // different instants are not one consistent cut (module docs).
+        sess.set_snapshot_reads(false);
+        sess.set_txn_age(age);
+        if dcfg.vm == VmMode::Bytecode {
+            sess.set_bytecode(&part.bc, coord.scratch.take().unwrap_or_default());
+        }
+        let mut deadlocked = false;
+        let mut steps = 0u64;
+        loop {
+            match sess.advance(&mut *coord) {
+                Advance::Cpu { .. } | Advance::Net { .. } | Advance::DbOp { .. } => {}
+                Advance::Blocked { .. } => {
+                    unreachable!(
+                        "coordinator statements block inside the worker, never the session"
+                    )
+                }
+                Advance::Deadlocked => {
+                    // The session already aborted through Coord::abort —
+                    // every branch is rolled back and its locks released.
+                    deadlocked = true;
+                    break;
+                }
+                Advance::Finished => break,
+                Advance::Error(e) => {
+                    error = Some(e.to_string());
+                    break;
+                }
+            }
+            steps += 1;
+            if steps > 100_000_000 {
+                error = Some("cross-shard session exceeded its step budget".into());
+                break;
+            }
+        }
+        rolled_back = sess.rolled_back;
+        read_only = sess.is_read_only();
+        result = sess.result.clone();
+        age = sess.txn_age();
+        coord.scratch = sess.take_scratch();
+        if deadlocked {
+            restarts += 1;
+            // Brief real-time backoff: let the blocking transaction
+            // finish before re-running (the retained age guarantees
+            // eventual progress regardless).
+            std::thread::sleep(std::time::Duration::from_micros(50));
+            continue;
+        }
+        break;
+    }
+    // Leak-check: a session that died without reaching commit/abort
+    // (step-budget exhaustion, construction failure) must not leave
+    // branches holding row locks.
+    coord.abort_open_branches();
+    TxnDone {
+        tag,
+        entry: req.entry,
+        label: req.label,
+        submitted_ns: 0,
+        started_ns: 0,
+        finished_ns: 0,
+        low_budget: false,
+        rolled_back,
+        read_only,
+        restarts,
+        participants: coord.last_participants,
+        result,
+        error,
+    }
+}
+
+/// One coordinator thread: warm a private statement/site table over the
+/// remote-op protocol, then serve cross-shard jobs from the shared queue
+/// until the server drops it. A panic inside a job is contained: the
+/// job's branches are aborted and the transaction reports an error
+/// result instead of wedging the server.
+fn coordinator(
+    part: Arc<CompiledPartition>,
+    dcfg: DispatcherConfig,
+    jobs: Arc<Mutex<Receiver<CoordJob>>>,
+    remote: Vec<Sender<RemoteOp>>,
+    nudge: Vec<SyncSender<Msg>>,
+    done: Sender<(usize, TxnDone)>,
+    ages: Arc<AtomicU64>,
+) -> CoordStats {
+    let mut coord = Coord::new(remote, nudge, ages);
+    let sites = Session::prepare_sites(&part.bp, &mut coord);
+    loop {
+        // Holding the queue lock across `recv` serializes job *pickup*
+        // (one coordinator waits at a time); execution still overlaps.
+        let job = match jobs.lock().unwrap_or_else(PoisonError::into_inner).recv() {
+            Ok(j) => j,
+            Err(_) => break, // server dropped the sender: shutdown
+        };
+        coord.stats.jobs += 1;
+        coord.hold = job.hold;
+        coord.last_participants = 0;
+        let (req, tag) = (job.req, job.tag);
+        let d = catch_unwind(AssertUnwindSafe(|| {
+            run_job(&mut coord, &part, &dcfg, sites.clone(), &req, tag)
+        }))
+        .unwrap_or_else(|_| {
+            coord.abort_open_branches();
+            TxnDone {
+                tag,
+                entry: req.entry,
+                label: req.label,
+                submitted_ns: 0,
+                started_ns: 0,
+                finished_ns: 0,
+                low_budget: false,
+                rolled_back: false,
+                read_only: false,
+                restarts: 0,
+                participants: 0,
+                result: None,
+                error: Some("cross-shard coordinator panicked; transaction aborted".into()),
+            }
+        });
+        coord.hold = None;
+        let _ = done.send((LANE, d));
+    }
+    coord.stats
+}
+
+// ---- the serialized quiesce lane (differential oracle) ----
+
+/// Persistent lane state: the statement table and the per-shard
+/// sub-transactions of the one in-flight lane transaction.
+#[derive(Default)]
+struct LaneState {
+    table: StmtTable,
+    /// Open sub-transaction per shard (one lane txn at a time).
+    txns: Vec<Option<TxnId>>,
+    read_only: bool,
+    next_virtual: u64,
+    /// Shards the most recent `close_all` closed — the participant set
+    /// of the last lane transaction (drives the participant-only WAL
+    /// sync and the reported participant count).
+    last_closed: Vec<usize>,
 }
 
 /// [`Database`] over all quiesced shards: statements route to the shard
@@ -762,15 +1719,12 @@ impl LaneEngine<'_, '_> {
     }
 
     fn route_of(&mut self, id: PreparedId) -> Result<StmtRoute, DbError> {
-        if let Some(r) = &self.state.stmt(id).route {
+        if let Some(r) = &self.state.table.stmt(id).route {
             return Ok(r.clone());
         }
-        let pid0 = self.state.stmt(id).per_shard[0];
+        let pid0 = self.state.table.stmt(id).per_shard[0];
         let r = self.shards[0].prepared_route(pid0)?;
-        self.state.stmts[id.0 as usize]
-            .as_mut()
-            .expect("live lane statement")
-            .route = Some(r.clone());
+        self.state.table.set_route(id, r.clone());
         Ok(r)
     }
 
@@ -781,15 +1735,16 @@ impl LaneEngine<'_, '_> {
         params: &[Scalar],
     ) -> Result<QueryResult, DbError> {
         let txn = self.begin_sub(s);
-        let pid = self.state.stmt(id).per_shard[s];
+        let pid = self.state.table.stmt(id).per_shard[s];
         self.shards[s].execute_prepared(txn, pid, params)
     }
 
-    /// Shared prepare core: register `sql` on every shard and in the lane
-    /// table. `adhoc` entries are FIFO-capped ([`LANE_ADHOC_CAP`]);
-    /// durable entries (session prepared sites) are not.
+    /// Shared prepare core: register `sql` on every shard and in the
+    /// statement table. `adhoc` entries are FIFO-capped
+    /// ([`LANE_ADHOC_CAP`]); durable entries (session prepared sites)
+    /// are not.
     fn prepare_inner(&mut self, sql: &str, adhoc: bool) -> Result<PreparedId, DbError> {
-        if let Some(&id) = self.state.by_sql.get(sql) {
+        if let Some(id) = self.state.table.lookup(sql) {
             return Ok(id);
         }
         let per_shard = self
@@ -797,18 +1752,14 @@ impl LaneEngine<'_, '_> {
             .iter_mut()
             .map(|e| e.prepare(sql))
             .collect::<Result<Vec<_>, _>>()?;
-        let id = self.state.insert_stmt(
+        Ok(self.state.table.insert(
             sql,
             LaneStmt {
                 per_shard,
                 route: None,
             },
-        );
-        if adhoc {
-            self.state.adhoc_order.push_back((sql.to_string(), id));
-            self.state.evict_adhoc();
-        }
-        Ok(id)
+            adhoc,
+        ))
     }
 
     /// Run on every shard and merge: result rows concatenate in shard
@@ -843,7 +1794,8 @@ impl LaneEngine<'_, '_> {
     /// Close the lane transaction: apply `f` (commit or abort) on every
     /// shard that has an open sub-transaction, summing costs and
     /// concatenating woken waiters. The first error wins but every shard
-    /// is still closed out.
+    /// is still closed out. Records the closed set in
+    /// `LaneState::last_closed` (the participant set).
     fn close_all(
         &mut self,
         f: impl Fn(&mut Engine, TxnId) -> Result<(u64, Vec<TxnId>), DbError>,
@@ -851,8 +1803,10 @@ impl LaneEngine<'_, '_> {
         let mut cost = 0u64;
         let mut woken = Vec::new();
         let mut err = None;
+        self.state.last_closed.clear();
         for s in 0..self.state.txns.len() {
             if let Some(t) = self.state.txns[s].take() {
+                self.state.last_closed.push(s);
                 match f(&mut self.shards[s], t) {
                     Ok((c, w)) => {
                         cost += c;
@@ -878,8 +1832,7 @@ impl Database for LaneEngine<'_, '_> {
         );
         self.state.read_only = false;
         self.state.next_virtual += 1;
-        // High bit marks a virtual (lane) id; shards allocate their own.
-        TxnId((1 << 63) | self.state.next_virtual)
+        TxnId(VIRTUAL_BIT | self.state.next_virtual)
     }
 
     fn begin_read_only(&mut self) -> TxnId {

@@ -4,10 +4,17 @@
 //! * **Differential**: the same TPC-C request stream through a
 //!   `ShardedServer` (W shards) and through a single `Dispatcher`, with
 //!   per-transaction results compared tag-for-tag and the shards' merged
-//!   final state compared row-for-row against the single engine — both
-//!   for a purely partitionable mix and for a mix with cross-shard
-//!   transactions riding the serialized multi-partition lane (including
-//!   writes to a replicated table, which must fan out to every replica).
+//!   final state compared row-for-row against the single engine — for a
+//!   purely partitionable mix, for a mix with cross-shard transactions
+//!   (including writes to a replicated table, which must fan out to every
+//!   replica), and for a remote-warehouse TPC-C mix at ≥10%
+//!   multi-partition fraction. Cross-shard mixes run through **both**
+//!   lanes — the 2PC coordinator (default) and the serialized quiesce
+//!   oracle — and must agree with the single engine and each other.
+//! * **2PC concurrency**: two cross-shard transactions with disjoint
+//!   participant sets commit concurrently (one parked mid-commit while
+//!   the other completes), and a concurrent burst of conflicting
+//!   transfers conserves total stock exactly through wait-die restarts.
 //! * **Partition property** (proptest): over random scales/shard counts,
 //!   the sharded loader places every row of a shard-keyed table on
 //!   exactly the shard `shard_of` names — no loss, no duplication — and
@@ -18,8 +25,8 @@ use proptest::prelude::*;
 use pyx_db::{shard_of, DbError, Engine, MemSink, Scalar};
 use pyx_pyxil::CompiledPartition;
 use pyx_server::{
-    Admit, Deployment, Dispatcher, DispatcherConfig, InstantEnv, ShardedConfig, ShardedServer,
-    TxnDone, TxnRequest,
+    Admit, CrossShardMode, Deployment, Dispatcher, DispatcherConfig, InstantEnv, ShardedConfig,
+    ShardedServer, TxnDone, TxnRequest,
 };
 use pyx_workloads::tpcc;
 use std::sync::Arc;
@@ -131,11 +138,23 @@ fn run_sharded(
     shards: usize,
     reqs: &[TxnRequest],
 ) -> (Vec<TxnDone>, pyx_server::ShardedReport) {
+    run_sharded_mode(part, engines, shards, reqs, CrossShardMode::TwoPhase)
+}
+
+/// Same, with an explicit cross-shard mode (2PC vs the quiesce oracle).
+fn run_sharded_mode(
+    part: &Arc<CompiledPartition>,
+    engines: Vec<Engine>,
+    shards: usize,
+    reqs: &[TxnRequest],
+    cross_shard: CrossShardMode,
+) -> (Vec<TxnDone>, pyx_server::ShardedReport) {
     let mut srv = ShardedServer::new(
         Arc::clone(part),
         engines,
         ShardedConfig {
             shards,
+            cross_shard,
             ..ShardedConfig::default()
         },
     );
@@ -338,16 +357,26 @@ fn cross_shard_lane_matches_single() {
     let singles = run_single(&part, &mut single, &reqs);
 
     let part = Arc::new(part);
-    let engines = fresh_shards(scale, seed, 4);
-    let (shardeds, report) = run_sharded(&part, engines, 4, &reqs);
+    for mode in [CrossShardMode::TwoPhase, CrossShardMode::Quiesce] {
+        let engines = fresh_shards(scale, seed, 4);
+        let (shardeds, report) = run_sharded_mode(&part, engines, 4, &reqs, mode);
 
-    assert_eq!(report.multi_txns, lane_expected);
-    for (a, b) in singles.iter().zip(&shardeds) {
-        assert_eq!(a.result, b.result, "txn {} ({}) result", a.tag, a.label);
-        assert_eq!(a.rolled_back, b.rolled_back, "txn {} rollback", a.tag);
-        assert_eq!(a.error, b.error, "txn {} error", a.tag);
+        assert_eq!(report.multi_txns, lane_expected, "{mode:?}");
+        for (a, b) in singles.iter().zip(&shardeds) {
+            assert_eq!(a.result, b.result, "{mode:?} txn {} ({})", a.tag, a.label);
+            assert_eq!(a.rolled_back, b.rolled_back, "{mode:?} txn {}", a.tag);
+            assert_eq!(a.error, b.error, "{mode:?} txn {}", a.tag);
+        }
+        assert_state_matches(&single, &report.engines);
+        if mode == CrossShardMode::TwoPhase {
+            let merged = report.merged_engine_stats();
+            // Transfers between different-shard warehouses run real 2PC
+            // prepare rounds; single-shard and replicated work does not
+            // prepare spuriously.
+            assert!(merged.prepares > 0, "2PC mix runs prepare rounds");
+            assert!(report.multi_participants > 0);
+        }
     }
-    assert_state_matches(&single, &report.engines);
 }
 
 #[test]
@@ -356,28 +385,31 @@ fn lane_rejects_unroutable_ordered_scan() {
     let bad = pyxis.entry("Mixed", "badScan").expect("badScan");
     let scale = scale8();
     let part = Arc::new(part);
-    let engines = fresh_shards(scale, 5, 2);
-    let mut srv = ShardedServer::new(
-        Arc::clone(&part),
-        engines,
-        ShardedConfig {
-            shards: 2,
-            ..ShardedConfig::default()
-        },
-    );
-    srv.submit(
-        TxnRequest {
-            entry: bad,
-            args: vec![],
-            label: "bad-scan",
-            route: None,
-        },
-        0,
-    );
-    let d = srv.recv_done().expect("lane result");
-    let err = d.error.expect("ordered cross-shard scan must fail loudly");
-    assert!(err.contains("not routable"), "{err}");
-    srv.shutdown();
+    for mode in [CrossShardMode::TwoPhase, CrossShardMode::Quiesce] {
+        let engines = fresh_shards(scale, 5, 2);
+        let mut srv = ShardedServer::new(
+            Arc::clone(&part),
+            engines,
+            ShardedConfig {
+                shards: 2,
+                cross_shard: mode,
+                ..ShardedConfig::default()
+            },
+        );
+        srv.submit(
+            TxnRequest {
+                entry: bad,
+                args: vec![],
+                label: "bad-scan",
+                route: None,
+            },
+            0,
+        );
+        let d = srv.recv_done().expect("cross-shard result");
+        let err = d.error.expect("ordered cross-shard scan must fail loudly");
+        assert!(err.contains("not routable"), "{mode:?}: {err}");
+        srv.shutdown();
+    }
 }
 
 #[test]
@@ -398,6 +430,7 @@ fn sharded_backpressure_rejects_when_saturated() {
                 queue_cap: 2,
                 ..DispatcherConfig::default()
             },
+            ..ShardedConfig::default()
         },
     );
     let mut gen = tpcc::NewOrderGen::new(entry, scale, 9).with_lines(2, 4);
@@ -636,6 +669,185 @@ fn dead_worker_surfaces_errors_and_shard_goes_unavailable() {
     let (rest, report) = srv.shutdown();
     assert!(rest.is_empty());
     assert_eq!(report.engines.len(), 2);
+}
+
+/// TPC-C remote-warehouse mix at ~15% remote transactions (remote-supplier
+/// new-orders + remote-customer payments): serialized submission through
+/// the 2PC lane and through the quiesce oracle must both reproduce the
+/// single-engine run tag-for-tag and state row-for-row.
+#[test]
+fn remote_warehouse_mix_matches_single_under_2pc_and_quiesce() {
+    let (pyxis, part) = compile_jdbc(tpcc::REMOTE_SRC);
+    let order = pyxis.entry("RemoteOrder", "remoteOrder").expect("order");
+    let pay = pyxis.entry("RemoteOrder", "pay").expect("pay");
+    let scale = scale8();
+    let seed = 61;
+
+    let mut gen = tpcc::RemoteMixGen::new(order, pay, scale, 83)
+        .with_remote_pct(0.15)
+        .with_lines(2, 5);
+    let reqs: Vec<TxnRequest> = (0..150)
+        .map(|i| pyx_server::Workload::next_txn(&mut gen, i))
+        .collect();
+    let remote = reqs.iter().filter(|r| r.route.is_none()).count();
+    assert!(
+        remote * 10 >= reqs.len(),
+        "mix must be ≥10% multi-partition (got {remote}/{})",
+        reqs.len()
+    );
+
+    let mut single = fresh_single(scale, seed);
+    let singles = run_single(&part, &mut single, &reqs);
+
+    let part = Arc::new(part);
+    for mode in [CrossShardMode::TwoPhase, CrossShardMode::Quiesce] {
+        let engines = fresh_shards(scale, seed, 4);
+        let (shardeds, report) = run_sharded_mode(&part, engines, 4, &reqs, mode);
+        assert_eq!(report.multi_txns, remote as u64, "{mode:?}");
+        for (a, b) in singles.iter().zip(&shardeds) {
+            assert_eq!(a.result, b.result, "{mode:?} txn {} ({})", a.tag, a.label);
+            assert_eq!(a.rolled_back, b.rolled_back, "{mode:?} txn {}", a.tag);
+            assert_eq!(a.error, b.error, "{mode:?} txn {}", a.tag);
+        }
+        assert_state_matches(&single, &report.engines);
+        if mode == CrossShardMode::TwoPhase {
+            let merged = report.merged_engine_stats();
+            assert!(merged.prepares > 0, "remote mix runs prepare rounds");
+            assert_eq!(merged.prepare_aborts, 0, "healthy run: no vetoes");
+            // Committed cross-shard transactions average more than one
+            // participant (same-shard "remote" warehouses allow exactly
+            // one, but two-shard transfers dominate).
+            assert!(report.multi_participants > report.multi_txns / 2);
+        }
+    }
+}
+
+/// Cross-shard stress under *concurrent* submission: a burst of transfers
+/// over a handful of hot items forces lock conflicts, wait-die kills, and
+/// coordinator restarts across overlapping participant sets — and total
+/// stock must still be conserved exactly, with every transaction retiring
+/// cleanly.
+#[test]
+fn concurrent_cross_shard_transfers_conserve_stock() {
+    let (pyxis, part) = compile_jdbc(MIXED_SRC);
+    let transfer = pyxis.entry("Mixed", "transfer").expect("transfer");
+    let scale = scale8();
+    let engines = fresh_shards(scale, 67, 4);
+    let initial: i64 = engines
+        .iter()
+        .flat_map(|e| e.dump_table("stock"))
+        .map(|row| match row[2] {
+            Scalar::Int(q) => q,
+            ref other => panic!("{other:?}"),
+        })
+        .sum();
+
+    let part = Arc::new(part);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: 4,
+            coordinators: 3,
+            ..ShardedConfig::default()
+        },
+    );
+    let n = 80usize;
+    for i in 0..n {
+        // Five hot items shuffled between eight warehouses: plenty of
+        // write-write conflict between in-flight transfers.
+        let req = TxnRequest {
+            entry: transfer,
+            args: vec![
+                pyx_runtime::ArgVal::Int((i as i64 % 8) + 1),
+                pyx_runtime::ArgVal::Int(((i as i64 * 3 + 1) % 8) + 1),
+                pyx_runtime::ArgVal::Int((i as i64 % 5) + 1),
+                pyx_runtime::ArgVal::Int(1),
+            ],
+            label: "transfer",
+            route: None,
+        };
+        assert_eq!(srv.submit(req, i as u64), Admit::Started);
+    }
+    let done = srv.drain();
+    assert_eq!(done.len(), n);
+    for d in &done {
+        assert!(d.error.is_none(), "txn {}: {:?}", d.tag, d.error);
+    }
+    let (_, report) = srv.shutdown();
+    assert_eq!(report.multi_txns, n as u64);
+    let after: i64 = report
+        .engines
+        .iter()
+        .flat_map(|e| e.dump_table("stock"))
+        .map(|row| match row[2] {
+            Scalar::Int(q) => q,
+            ref other => panic!("{other:?}"),
+        })
+        .sum();
+    assert_eq!(after, initial, "transfers conserve total stock");
+    let merged = report.merged_engine_stats();
+    assert!(merged.prepares > 0);
+}
+
+/// The headline 2PC property: two cross-shard transactions with disjoint
+/// participant sets commit *concurrently*. T1 (shards {0,1}) is parked
+/// between its prepare and commit phases — locks held on both
+/// participants — while T2 (shards {2,3}) is submitted and runs to
+/// completion. Under the old quiesce-all lane T2 could not even start
+/// until T1 released every shard.
+#[test]
+fn disjoint_cross_shard_transactions_commit_concurrently() {
+    let (pyxis, part) = compile_jdbc(MIXED_SRC);
+    let transfer = pyxis.entry("Mixed", "transfer").expect("transfer");
+    let scale = scale8();
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, 73, 4);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: 4,
+            coordinators: 2,
+            ..ShardedConfig::default()
+        },
+    );
+    // One warehouse per shard.
+    let wh = |shard: usize| {
+        (1..=64i64)
+            .find(|&k| shard_of(&Scalar::Int(k), 4) == shard)
+            .expect("some warehouse routes to every shard")
+    };
+    let pair = |from: i64, to: i64| TxnRequest {
+        entry: transfer,
+        args: vec![
+            pyx_runtime::ArgVal::Int(from),
+            pyx_runtime::ArgVal::Int(to),
+            pyx_runtime::ArgVal::Int(1),
+            pyx_runtime::ArgVal::Int(1),
+        ],
+        label: "transfer",
+        route: None,
+    };
+
+    let (held, release) = srv.hold_next_multi_commit();
+    assert_eq!(srv.submit(pair(wh(0), wh(1)), 1), Admit::Started);
+    held.recv_timeout(std::time::Duration::from_secs(30))
+        .expect("T1 reaches its commit point (prepared on shards 0 and 1)");
+    // T1 is now parked mid-2PC with locks held on shards 0 and 1.
+    assert_eq!(srv.submit(pair(wh(2), wh(3)), 2), Admit::Started);
+    let d2 = srv.recv_done().expect("T2 retires while T1 is parked");
+    assert_eq!(d2.tag, 2, "disjoint transaction commits while T1 holds");
+    assert!(d2.error.is_none(), "{:?}", d2.error);
+    assert_eq!(d2.participants, 2);
+    release.send(()).expect("release T1");
+    let d1 = srv.recv_done().expect("T1 retires after release");
+    assert_eq!(d1.tag, 1);
+    assert!(d1.error.is_none(), "{:?}", d1.error);
+    assert_eq!(d1.participants, 2);
+    let (_, report) = srv.shutdown();
+    assert_eq!(report.multi_txns, 2);
+    assert_eq!(report.multi_participants, 4);
 }
 
 proptest! {

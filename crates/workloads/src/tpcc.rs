@@ -59,6 +59,62 @@ pub const SRC: &str = r#"
     }
 "#;
 
+/// New-order with per-line supply warehouses plus a payment transaction —
+/// the TPC-C *remote-warehouse* shapes. In `remoteOrder` each order line
+/// names its own supply warehouse (`supplyWs[ol]`): stock reads and
+/// updates go to that warehouse while district/customer/order rows stay
+/// home, so a line with a remote supplier makes the transaction
+/// cross-shard. `pay` reads the home warehouse and settles a (possibly
+/// remote) customer's balance — the spec's 15%-remote payment, reduced to
+/// the columns this schema carries.
+pub const REMOTE_SRC: &str = r#"
+    class RemoteOrder {
+        double remoteOrder(int wId, int dId, int cId, int[] itemIds, int[] supplyWs, int[] qtys) {
+            row[] wr = dbQuery("SELECT w_tax FROM warehouse WHERE w_id = ?", wId);
+            double wTax = wr[0].getDouble(0);
+            dbUpdate("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?", wId, dId);
+            row[] dr = dbQuery("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?", wId, dId);
+            double dTax = dr[0].getDouble(0);
+            int oId = dr[0].getInt(1) - 1;
+            row[] cr = dbQuery("SELECT c_discount FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", wId, dId, cId);
+            double cDisc = cr[0].getDouble(0);
+            dbUpdate("INSERT INTO orders VALUES (?, ?, ?, ?, ?)", wId, dId, oId, cId, itemIds.length);
+            dbUpdate("INSERT INTO new_order VALUES (?, ?, ?)", wId, dId, oId);
+            double total = 0.0;
+            int ol = 0;
+            for (int iid : itemIds) {
+                if (iid < 0) {
+                    rollback();
+                    return 0.0 - 1.0;
+                }
+                int sw = supplyWs[ol];
+                row[] ir = dbQuery("SELECT i_price FROM item WHERE i_id = ?", iid);
+                double price = ir[0].getDouble(0);
+                row[] sr = dbQuery("SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_i_id = ?", sw, iid);
+                int sq = sr[0].getInt(0);
+                int qty = qtys[ol];
+                int newQ = sq - qty;
+                if (newQ < 10) { newQ = newQ + 91; }
+                dbUpdate("UPDATE stock SET s_quantity = ? WHERE s_w_id = ? AND s_i_id = ?", newQ, sw, iid);
+                double amount = price * toDouble(qty);
+                dbUpdate("INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?)", wId, dId, oId, ol, iid, qty, amount);
+                total = total + amount;
+                ol = ol + 1;
+            }
+            total = total * (1.0 + wTax + dTax) * (1.0 - cDisc);
+            return total;
+        }
+
+        double pay(int wId, int cWId, int cDId, int cId, double amount) {
+            row[] wr = dbQuery("SELECT w_tax FROM warehouse WHERE w_id = ?", wId);
+            double wTax = wr[0].getDouble(0);
+            dbUpdate("UPDATE customer SET c_balance = c_balance + ? WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", amount, cWId, cDId, cId);
+            row[] cr = dbQuery("SELECT c_balance FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", cWId, cDId, cId);
+            return cr[0].getDouble(0) + wTax * 0.0;
+        }
+    }
+"#;
+
 /// Scale parameters (scaled down from the paper's 20-warehouse / 23 GB
 /// database to laptop size; the access *pattern* is unchanged).
 #[derive(Debug, Clone, Copy)]
@@ -340,6 +396,153 @@ impl Workload for NewOrderGen {
     }
 }
 
+/// Remote-warehouse mix generator over [`REMOTE_SRC`]: new-orders whose
+/// order lines may name a *remote* supply warehouse, interleaved with
+/// payments that may settle a *remote* customer. `remote_pct` is the
+/// fraction of transactions touching a second warehouse (the spec runs
+/// ~10% remote new-order lines and 15% remote payments; sweeping this
+/// knob is how the multi-partition benchmarks vary coordination load).
+/// Remote transactions carry `route: None` (cross-shard); home-only
+/// transactions route to their warehouse as usual.
+pub struct RemoteMixGen {
+    pub order_entry: MethodId,
+    pub pay_entry: MethodId,
+    scale: TpccScale,
+    remote_pct: f64,
+    payment_pct: f64,
+    rollback_pct: f64,
+    min_lines: usize,
+    max_lines: usize,
+    rng: StdRng,
+}
+
+impl RemoteMixGen {
+    pub fn new(order_entry: MethodId, pay_entry: MethodId, scale: TpccScale, seed: u64) -> Self {
+        RemoteMixGen {
+            order_entry,
+            pay_entry,
+            scale,
+            remote_pct: 0.10,
+            payment_pct: 0.30,
+            rollback_pct: 0.10,
+            min_lines: 5,
+            max_lines: 15,
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Fraction of transactions that touch a remote warehouse (0.0–1.0).
+    pub fn with_remote_pct(mut self, pct: f64) -> Self {
+        self.remote_pct = pct;
+        self
+    }
+
+    /// Fraction of transactions that are payments rather than new-orders.
+    pub fn with_payment_pct(mut self, pct: f64) -> Self {
+        self.payment_pct = pct;
+        self
+    }
+
+    pub fn with_lines(mut self, min: usize, max: usize) -> Self {
+        self.min_lines = min;
+        self.max_lines = max;
+        self
+    }
+
+    pub fn with_rollback_pct(mut self, pct: f64) -> Self {
+        self.rollback_pct = pct;
+        self
+    }
+
+    /// A warehouse other than `home` (uniform over the rest).
+    fn remote_warehouse(&mut self, home: i64) -> i64 {
+        let other = self.rng.random_range(1..self.scale.warehouses);
+        if other >= home {
+            other + 1
+        } else {
+            other
+        }
+    }
+}
+
+impl Workload for RemoteMixGen {
+    fn next_txn(&mut self, _client: usize) -> TxnRequest {
+        let w = self.rng.random_range(1..=self.scale.warehouses);
+        // Remote shapes need a second warehouse to exist.
+        let remote = self.scale.warehouses > 1 && self.rng.random_bool(self.remote_pct);
+        if self.rng.random_bool(self.payment_pct) {
+            // Payment: home warehouse read + (possibly remote) customer
+            // balance settlement.
+            let cw = if remote { self.remote_warehouse(w) } else { w };
+            let cd = self.rng.random_range(1..=self.scale.districts_per_wh);
+            let c = nurand(&mut self.rng, 255, 1, self.scale.customers_per_district);
+            let amount = (self.rng.random_range(100..500_000) as f64) / 100.0;
+            return TxnRequest {
+                entry: self.pay_entry,
+                args: vec![
+                    ArgVal::Int(w),
+                    ArgVal::Int(cw),
+                    ArgVal::Int(cd),
+                    ArgVal::Int(c),
+                    ArgVal::Double(amount),
+                ],
+                label: if remote { "pay-remote" } else { "pay-home" },
+                route: if remote { None } else { Some(w) },
+            };
+        }
+        // New-order with per-line supply warehouses.
+        let d = self.rng.random_range(1..=self.scale.districts_per_wh);
+        let c = nurand(&mut self.rng, 255, 1, self.scale.customers_per_district);
+        let n = self.rng.random_range(self.min_lines..=self.max_lines);
+        let mut items: Vec<i64> = (0..n)
+            .map(|_| nurand(&mut self.rng, 1023, 1, self.scale.items))
+            .collect();
+        items.sort_unstable();
+        items.dedup();
+        let supply: Vec<i64> = if remote {
+            // At least the first line ships from a remote warehouse; the
+            // rest flip a coin (the spec's per-line x=1-of-100 rule scaled
+            // up so a "remote" order reliably crosses shards).
+            (0..items.len())
+                .map(|i| {
+                    if i == 0 || self.rng.random_bool(0.25) {
+                        self.remote_warehouse(w)
+                    } else {
+                        w
+                    }
+                })
+                .collect()
+        } else {
+            vec![w; items.len()]
+        };
+        let qtys: Vec<i64> = items
+            .iter()
+            .map(|_| self.rng.random_range(1..=10))
+            .collect();
+        if self.rng.random_bool(self.rollback_pct) {
+            let k = items.len() - 1;
+            items[k] = -1; // unused item number → programmed rollback
+        }
+        TxnRequest {
+            entry: self.order_entry,
+            args: vec![
+                ArgVal::Int(w),
+                ArgVal::Int(d),
+                ArgVal::Int(c),
+                ArgVal::IntArray(items),
+                ArgVal::IntArray(supply),
+                ArgVal::IntArray(qtys),
+            ],
+            label: if remote {
+                "new-order-remote"
+            } else {
+                "new-order-home"
+            },
+            route: if remote { None } else { Some(w) },
+        }
+    }
+}
+
 /// Fully prepared TPC-C environment: compiled pipeline + loaded engine.
 pub fn setup(scale: TpccScale, seed: u64) -> (pyx_core::Pyxis, Engine, MethodId) {
     let pyxis = pyx_core::Pyxis::compile(SRC, pyx_core::PyxisConfig::default())
@@ -439,6 +642,104 @@ mod tests {
         }
         // 10% ± noise.
         assert!((30..=80).contains(&rollbacks), "rollbacks {rollbacks}");
+    }
+
+    #[test]
+    fn remote_order_and_payment_run_in_interpreter() {
+        let pyxis = pyx_core::Pyxis::compile(REMOTE_SRC, pyx_core::PyxisConfig::default())
+            .expect("remote TPC-C source compiles");
+        let order = pyxis.entry("RemoteOrder", "remoteOrder").expect("order");
+        let pay = pyxis.entry("RemoteOrder", "pay").expect("pay");
+        let mut db = Engine::new();
+        create_schema(&mut db);
+        load(&mut db, TpccScale::default(), 7);
+        let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+        let items = it.alloc_array(vec![Value::Int(1), Value::Int(2)]);
+        let supply = it.alloc_array(vec![Value::Int(2), Value::Int(1)]);
+        let qtys = it.alloc_array(vec![Value::Int(1), Value::Int(3)]);
+        let total = it
+            .call_entry(
+                order,
+                vec![
+                    Value::Int(1),
+                    Value::Int(1),
+                    Value::Int(5),
+                    items,
+                    supply,
+                    qtys,
+                ],
+            )
+            .expect("run")
+            .expect("total");
+        match total {
+            Value::Double(v) => assert!(v > 0.0, "total {v}"),
+            other => panic!("{other:?}"),
+        }
+        // Line 0's stock update landed on the *supply* warehouse (2).
+        let r = db
+            .exec_auto(
+                "SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_i_id = ?",
+                &[Scalar::Int(2), Scalar::Int(1)],
+            )
+            .unwrap();
+        assert_eq!(r.rows.len(), 1);
+        let mut it = Interp::new(&pyxis.prog, &mut db, NullTracer);
+        let bal = it
+            .call_entry(
+                pay,
+                vec![
+                    Value::Int(1),
+                    Value::Int(2),
+                    Value::Int(1),
+                    Value::Int(3),
+                    Value::Double(12.5),
+                ],
+            )
+            .expect("pay")
+            .expect("balance");
+        match bal {
+            // Customers load with a -10.0 balance.
+            Value::Double(v) => assert!((v - 2.5).abs() < 1e-9, "balance {v}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn remote_mix_generator_emits_cross_shard_fraction() {
+        let pyxis = pyx_core::Pyxis::compile(REMOTE_SRC, pyx_core::PyxisConfig::default())
+            .expect("remote TPC-C source compiles");
+        let order = pyxis.entry("RemoteOrder", "remoteOrder").expect("order");
+        let pay = pyxis.entry("RemoteOrder", "pay").expect("pay");
+        let mut g = RemoteMixGen::new(order, pay, TpccScale::default(), 3).with_remote_pct(0.15);
+        let mut remote = 0usize;
+        for i in 0..1000 {
+            let req = g.next_txn(i);
+            match req.route {
+                None => {
+                    remote += 1;
+                    assert!(req.label.ends_with("-remote"), "{}", req.label);
+                }
+                Some(w) => {
+                    assert!((1..=4).contains(&w));
+                    assert!(req.label.ends_with("-home"), "{}", req.label);
+                }
+            }
+            if req.entry == order {
+                let (items, supply) = match (&req.args[3], &req.args[4]) {
+                    (ArgVal::IntArray(i), ArgVal::IntArray(s)) => (i, s),
+                    other => panic!("{other:?}"),
+                };
+                assert_eq!(items.len(), supply.len(), "one supplier per line");
+                let home = match req.args[0] {
+                    ArgVal::Int(w) => w,
+                    _ => unreachable!(),
+                };
+                let crosses = supply.iter().any(|&s| s != home);
+                assert_eq!(crosses, req.route.is_none(), "route matches suppliers");
+            }
+        }
+        // 15% ± noise.
+        assert!((100..=220).contains(&remote), "remote {remote}");
     }
 
     #[test]

@@ -204,6 +204,7 @@ fn serve_sharded(shards: usize, clients: usize, total: u64, vm: VmMode) {
                 vm,
                 ..DispatcherConfig::default()
             },
+            ..ShardedConfig::default()
         },
     );
     let mut wl = tpcc::NewOrderGen::new(entry, scale, 999).with_lines(3, 8);
