@@ -148,6 +148,18 @@ pub struct EngineStats {
     pub prepares: u64,
     /// Prepared transactions subsequently aborted by their coordinator.
     pub prepare_aborts: u64,
+    /// Redo records applied incrementally ([`Engine::apply_redo`] — the
+    /// replica log-shipping path, not crash recovery).
+    pub redo_records: u64,
+    /// Row operations applied by [`Engine::apply_redo`].
+    pub redo_ops: u64,
+    /// Snapshot transactions opened at an explicitly lagged timestamp
+    /// ([`Engine::begin_read_only_at`] with `ts` behind the commit
+    /// horizon).
+    pub lagged_snapshots: u64,
+    /// [`Engine::begin_read_only_at`] requests refused: timestamp in the
+    /// future, or behind the GC floor (versions already pruned).
+    pub snapshot_rejects: u64,
 }
 
 impl EngineStats {
@@ -176,6 +188,10 @@ impl EngineStats {
             wal_group_batches,
             prepares,
             prepare_aborts,
+            redo_records,
+            redo_ops,
+            lagged_snapshots,
+            snapshot_rejects,
         } = o;
         self.statements += statements;
         self.commits += commits;
@@ -196,6 +212,10 @@ impl EngineStats {
         self.wal_group_batches += wal_group_batches;
         self.prepares += prepares;
         self.prepare_aborts += prepare_aborts;
+        self.redo_records += redo_records;
+        self.redo_ops += redo_ops;
+        self.lagged_snapshots += lagged_snapshots;
+        self.snapshot_rejects += snapshot_rejects;
     }
 }
 
@@ -236,6 +256,15 @@ pub struct Engine {
     snapshots: BTreeMap<u64, u32>,
     /// Slots stamped with prunable history, awaiting a GC pass.
     gc_pending: Vec<(usize, RowId)>,
+    /// Highest GC horizon ever applied: versions older than this may be
+    /// gone, so [`Engine::begin_read_only_at`] refuses timestamps below
+    /// it (conservative — exact per-slot tracking isn't kept).
+    gc_floor: u64,
+    /// Optional retention pin: GC never prunes past `min(horizon, pin)`,
+    /// so snapshots at any timestamp `>= pin` stay admissible. Used by
+    /// replica-differential tests to hold primary history at a lagged
+    /// replica's horizon.
+    gc_pin: Option<u64>,
     /// Write-ahead log; `None` runs the engine volatile (tests, sim).
     wal: Option<Wal>,
     pub stats: EngineStats,
@@ -393,6 +422,8 @@ impl Engine {
             commit_ts: 0,
             snapshots: BTreeMap::new(),
             gc_pending: Vec::new(),
+            gc_floor: 0,
+            gc_pin: None,
             wal: None,
             stats: EngineStats::default(),
         }
@@ -508,6 +539,47 @@ impl Engine {
             wal.note_recovered(report.last_ts);
         }
         Ok(report)
+    }
+
+    /// Apply one redo record *incrementally* — the log-shipping replica
+    /// path. Unlike [`Engine::recover`], which replays a whole log onto a
+    /// fresh engine, this applies a single record onto a live engine that
+    /// may be serving lagged snapshot reads concurrently (open snapshots
+    /// pin GC through the normal refcount path, so a reader at an older
+    /// horizon keeps its versions while new records stamp past it).
+    ///
+    /// The record's `commit_ts` must be strictly past this engine's
+    /// applied horizon (ship order = commit order), and its shard must
+    /// match the attached log's shard, if any. On success the engine's
+    /// commit horizon advances to `rec.commit_ts` — the timestamp
+    /// [`Engine::begin_read_only_at`] serves as the replica's applied
+    /// horizon.
+    pub fn apply_redo(&mut self, rec: wal::RedoRecord) -> Result<(), DbError> {
+        let dur = |m: String| DbError::Durability(m);
+        if rec.commit_ts <= self.commit_ts {
+            return Err(dur(format!(
+                "redo record ts {} is not past the applied horizon {}",
+                rec.commit_ts, self.commit_ts
+            )));
+        }
+        if let Some(shard) = self.wal_shard() {
+            if rec.shard != shard {
+                return Err(dur(format!(
+                    "redo record belongs to shard {}, not {shard}",
+                    rec.shard
+                )));
+            }
+        }
+        let ts = rec.commit_ts;
+        for op in rec.ops {
+            self.replay_op(op, ts)
+                .map_err(|e| dur(format!("redo apply at ts {ts}: {e}")))?;
+            self.stats.redo_ops += 1;
+        }
+        self.commit_ts = ts;
+        self.stats.redo_records += 1;
+        self.run_gc();
+        Ok(())
     }
 
     /// Apply one redo op at commit timestamp `ts`. Redo is physical and
@@ -662,20 +734,63 @@ impl Engine {
     /// committed prefix as of this instant, without locks. Write
     /// statements return [`DbError::ReadOnly`].
     pub fn begin_read_only(&mut self) -> TxnId {
+        let ts = self.commit_ts;
+        self.begin_read_only_at(ts)
+            .expect("a snapshot at the current commit timestamp is always admissible")
+    }
+
+    /// Begin a read-only snapshot transaction at an explicit timestamp —
+    /// the replica serving path, where `ts` is the replica's applied redo
+    /// horizon rather than a timestamp this engine's own writers
+    /// produced. `ts` may fall *between* local commit timestamps; the
+    /// snapshot refcount pins the GC horizon at `ts` exactly as a
+    /// current-instant snapshot would, so no version the snapshot can
+    /// observe is pruned while it is open.
+    ///
+    /// Refused (with [`DbError::Schema`]) when `ts` is in the future —
+    /// past the latest commit — or below the GC floor, where versions a
+    /// snapshot at `ts` could observe may already have been pruned.
+    pub fn begin_read_only_at(&mut self, ts: u64) -> Result<TxnId, DbError> {
+        if ts > self.commit_ts {
+            self.stats.snapshot_rejects += 1;
+            return Err(DbError::Schema(format!(
+                "snapshot timestamp {ts} is past the commit horizon {}",
+                self.commit_ts
+            )));
+        }
+        if ts < self.gc_floor {
+            self.stats.snapshot_rejects += 1;
+            return Err(DbError::Schema(format!(
+                "snapshot timestamp {ts} is below the GC floor {} (versions pruned)",
+                self.gc_floor
+            )));
+        }
         let id = TxnId(self.next_txn);
         self.next_txn += 1;
-        let snap_ts = self.commit_ts;
-        *self.snapshots.entry(snap_ts).or_insert(0) += 1;
+        *self.snapshots.entry(ts).or_insert(0) += 1;
         self.txns.insert(
             id,
             Txn {
                 read_only: true,
-                snap_ts,
+                snap_ts: ts,
                 ..Txn::default()
             },
         );
         self.stats.read_only_txns += 1;
-        id
+        if ts < self.commit_ts {
+            self.stats.lagged_snapshots += 1;
+        }
+        Ok(id)
+    }
+
+    /// Pin the GC horizon: versions at or after `pin` are retained even
+    /// when no snapshot holds them open, keeping
+    /// [`Engine::begin_read_only_at`]`(ts)` admissible for any
+    /// `ts >= pin`. `None` releases the pin. Used to hold primary
+    /// history at a lagged replica's applied horizon for differential
+    /// comparison.
+    pub fn set_gc_pin(&mut self, pin: Option<u64>) {
+        self.gc_pin = pin;
     }
 
     /// Latest commit timestamp (the snapshot a read-only transaction
@@ -848,13 +963,20 @@ impl Engine {
     }
 
     /// Drain the pending-GC queue against the current horizon (the oldest
-    /// active snapshot, or "now" when none is open). Slots still blocked
-    /// by an open snapshot re-queue for the next pass.
+    /// active snapshot, or "now" when none is open, capped by the
+    /// retention pin). Slots still blocked by an open snapshot re-queue
+    /// for the next pass. The floor only advances when a pass actually
+    /// runs — horizons never applied prune nothing, so lagged snapshots
+    /// behind them stay admissible.
     fn run_gc(&mut self) {
         if self.gc_pending.is_empty() {
             return;
         }
-        let horizon = self.oldest_snapshot().unwrap_or(self.commit_ts);
+        let mut horizon = self.oldest_snapshot().unwrap_or(self.commit_ts);
+        if let Some(pin) = self.gc_pin {
+            horizon = horizon.min(pin);
+        }
+        self.gc_floor = self.gc_floor.max(horizon);
         let pending = std::mem::take(&mut self.gc_pending);
         for (ti, rid) in pending {
             let (dropped, remains) = self.tables[ti].gc_versions(rid, horizon);

@@ -96,6 +96,44 @@
 //! ([`wal::FaultySink`]), recovers, and asserts the result equals a
 //! committed-prefix oracle; `tests/wal_faults.rs` pins each fault class
 //! to the exact detection path that must catch it.
+//!
+//! # Replication and staleness guarantees
+//!
+//! Log-shipping replicas ([`replica`]) extend the durability story into
+//! read scale-out: a replica engine replays the primary's redo stream
+//! and serves lock-free snapshot reads at its applied horizon.
+//!
+//! * **The ship point is the durability ack, never the raw append.** A
+//!   [`wal::FeedSink`] publishes log bytes to its [`wal::LogFeed`]
+//!   readers only after the inner sink's `sync` succeeds, so a replica
+//!   can only ever observe commits the primary has made durable —
+//!   replica state is always a committed durable prefix of the
+//!   primary, and a primary crash can never roll back something a
+//!   replica already served.
+//! * **Replica reads are real snapshots.** [`Engine::begin_read_only_at`]
+//!   opens a snapshot at the replica's applied horizon; answers are
+//!   byte-identical to what the primary would have answered at that
+//!   same commit timestamp (the differential suite
+//!   `tests/replica.rs` proves this per redo-stream prefix).
+//! * **Lagged snapshots pin GC.** A snapshot timestamp enters the same
+//!   refcounted horizon map whether or not a local writer produced it,
+//!   so versions observable at that timestamp are retained while the
+//!   snapshot is open. Conversely, the engine tracks the highest GC
+//!   horizon it ever pruned at (the *GC floor*) and refuses
+//!   `begin_read_only_at` below it rather than serving a half-pruned
+//!   cut; [`Engine::set_gc_pin`] holds the floor down when history
+//!   must stay readable.
+//! * **Bounded staleness.** Replicas are asynchronous; freshness is
+//!   monotone per replica but lags the primary by the unsynced +
+//!   unshipped window. The serving tier (`pyx-server`) admits a
+//!   read-only request to a replica only when `primary_durable_ts -
+//!   replica_applied_ts` is within a configured bound, falling back to
+//!   the primary otherwise.
+//! * **Crash-resumable tailing.** The [`replica::RedoTailer`] resumes
+//!   from its last applied byte offset and timestamp watermark; a
+//!   tailer restarted at any point ≥ the durable prefix converges to
+//!   the primary's committed-prefix state (`tests/replica.rs`
+//!   randomized catch-up differential).
 
 pub mod cost;
 pub mod engine;
@@ -103,6 +141,7 @@ pub mod fxhash;
 pub mod index;
 pub mod lock;
 pub mod prepared;
+pub mod replica;
 pub mod schema;
 pub mod sqlparse;
 pub mod table;
@@ -113,6 +152,9 @@ pub use engine::{Database, DbError, Engine, EngineStats, QueryResult};
 pub use lock::LockMode;
 pub use prepared::{PreparedId, StmtRoute};
 pub use pyx_lang::Scalar;
+pub use replica::{CatchUp, RedoTailer};
 pub use schema::{shard_of, ColTy, ColumnDef, TableDef};
 pub use txn::TxnId;
-pub use wal::{FaultPlan, FaultySink, FileSink, LogSink, MemSink, RecoveryReport, Wal};
+pub use wal::{
+    FaultPlan, FaultySink, FeedSink, FileSink, LogFeed, LogSink, MemSink, RecoveryReport, Wal,
+};

@@ -304,9 +304,19 @@ pub fn decode_record(buf: &[u8]) -> Result<RedoRecord, String> {
 /// non-monotone timestamps — are corruption: `error` is set and the scan
 /// stops at the last good record.
 pub fn scan(log: &[u8]) -> ScanOutcome {
+    scan_from(log, 0, 0)
+}
+
+/// [`scan`], resuming mid-stream: start at byte `start_offset` with the
+/// monotonicity watermark already at `last_ts`. This is what lets a
+/// replica tailer pick up where its last catch-up left off instead of
+/// re-walking the whole log — `valid_len` still reports an absolute
+/// offset into the full stream.
+pub fn scan_from(log: &[u8], start_offset: usize, last_ts: u64) -> ScanOutcome {
     let mut out = ScanOutcome::default();
-    let mut off = 0usize;
-    let mut last_ts = 0u64;
+    let mut off = start_offset;
+    let mut last_ts = last_ts;
+    out.valid_len = start_offset;
     while off < log.len() {
         let rest = &log[off..];
         if rest.len() < RECORD_HEADER_LEN {
@@ -372,6 +382,15 @@ pub fn scan(log: &[u8]) -> ScanOutcome {
 pub trait LogSink: Send {
     fn append(&mut self, buf: &[u8]) -> std::io::Result<()>;
     fn sync(&mut self) -> std::io::Result<()>;
+}
+
+impl LogSink for Box<dyn LogSink> {
+    fn append(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        (**self).append(buf)
+    }
+    fn sync(&mut self) -> std::io::Result<()> {
+        (**self).sync()
+    }
 }
 
 /// A real log file. `append` is `write_all` (page cache), `sync` is
@@ -476,6 +495,80 @@ impl LogSink for MemSink {
         let mut g = self.0.lock().unwrap();
         let v = std::mem::take(&mut g.volatile);
         g.durable.extend_from_slice(&v);
+        Ok(())
+    }
+}
+
+#[derive(Default)]
+struct FeedBuf {
+    /// Bytes covered by a successful `sync` — the only bytes a replica
+    /// may ever observe.
+    durable: Vec<u8>,
+}
+
+/// Reader handle onto a [`FeedSink`]'s durable prefix. Cloneable; each
+/// replica tailer holds one and reads from its own byte offset.
+#[derive(Clone, Default)]
+pub struct LogFeed(Arc<Mutex<FeedBuf>>);
+
+impl LogFeed {
+    /// Length of the durable prefix (monotone).
+    pub fn durable_len(&self) -> usize {
+        self.0.lock().unwrap().durable.len()
+    }
+
+    /// Append the durable bytes at `offset..` onto `out`, returning how
+    /// many were copied. Nothing past the last durability ack is ever
+    /// visible here.
+    pub fn read_from(&self, offset: usize, out: &mut Vec<u8>) -> usize {
+        let g = self.0.lock().unwrap();
+        if offset >= g.durable.len() {
+            return 0;
+        }
+        out.extend_from_slice(&g.durable[offset..]);
+        g.durable.len() - offset
+    }
+}
+
+/// A [`LogSink`] decorator that publishes the log's **durable prefix**
+/// to [`LogFeed`] readers. Appends are buffered privately and only
+/// become visible after the inner sink's `sync` succeeds — the ship
+/// point for replication is the durability acknowledgement, never the
+/// raw append, so a replica can never apply a commit the primary could
+/// still lose in a crash.
+pub struct FeedSink<S: LogSink> {
+    inner: S,
+    feed: Arc<Mutex<FeedBuf>>,
+    /// Appended since the last successful sync; not yet visible.
+    volatile: Vec<u8>,
+}
+
+impl<S: LogSink> FeedSink<S> {
+    pub fn new(inner: S) -> FeedSink<S> {
+        FeedSink {
+            inner,
+            feed: Arc::default(),
+            volatile: Vec::new(),
+        }
+    }
+
+    /// A reader handle for replica tailers.
+    pub fn feed(&self) -> LogFeed {
+        LogFeed(Arc::clone(&self.feed))
+    }
+}
+
+impl<S: LogSink> LogSink for FeedSink<S> {
+    fn append(&mut self, buf: &[u8]) -> std::io::Result<()> {
+        self.inner.append(buf)?;
+        self.volatile.extend_from_slice(buf);
+        Ok(())
+    }
+
+    fn sync(&mut self) -> std::io::Result<()> {
+        self.inner.sync()?;
+        let mut g = self.feed.lock().unwrap();
+        g.durable.append(&mut self.volatile);
         Ok(())
     }
 }
@@ -863,6 +956,70 @@ mod tests {
         log.extend_from_slice(&rec(5, 1));
         let s = scan(&log);
         assert!(s.error.expect("loud").contains("non-monotone"));
+    }
+
+    #[test]
+    fn scan_from_resumes_mid_stream() {
+        let mut log = Vec::new();
+        let mut spans = Vec::new();
+        for ts in 1..=4u64 {
+            let r = rec(ts, ts as usize);
+            spans.push((log.len(), r.len()));
+            log.extend_from_slice(&r);
+        }
+        // Resuming after record 2 sees exactly records 3 and 4, with
+        // absolute offsets and the full-stream valid_len.
+        let resume_at = spans[2].0;
+        let s = scan_from(&log, resume_at, 2);
+        assert!(s.error.is_none());
+        assert_eq!(
+            s.records.iter().map(|r| r.commit_ts).collect::<Vec<_>>(),
+            vec![3, 4]
+        );
+        assert_eq!(s.records[0].offset, resume_at);
+        assert_eq!(s.valid_len, log.len());
+        // The watermark still catches a replayed (non-monotone) record.
+        let s = scan_from(&log, resume_at, 7);
+        assert!(s.error.expect("loud").contains("non-monotone"));
+        // An empty tail is a clean no-op, valid_len stays put.
+        let s = scan_from(&log, log.len(), 4);
+        assert!(s.error.is_none());
+        assert!(s.records.is_empty());
+        assert_eq!(s.valid_len, log.len());
+    }
+
+    #[test]
+    fn feed_sink_publishes_only_on_sync() {
+        let mut sink = FeedSink::new(MemSink::new());
+        let feed = sink.feed();
+        sink.append(b"abc").unwrap();
+        assert_eq!(feed.durable_len(), 0, "raw appends are not shipped");
+        sink.sync().unwrap();
+        assert_eq!(feed.durable_len(), 3);
+        sink.append(b"de").unwrap();
+        let mut out = Vec::new();
+        assert_eq!(feed.read_from(1, &mut out), 2);
+        assert_eq!(out, b"bc");
+        sink.sync().unwrap();
+        out.clear();
+        assert_eq!(feed.read_from(3, &mut out), 2);
+        assert_eq!(out, b"de");
+        assert_eq!(feed.read_from(99, &mut out), 0);
+    }
+
+    #[test]
+    fn feed_sink_failed_sync_ships_nothing() {
+        let mut sink = FeedSink::new(FaultySink::new(
+            MemSink::new(),
+            FaultPlan {
+                fail_sync_from: Some(0),
+                ..FaultPlan::default()
+            },
+        ));
+        let feed = sink.feed();
+        sink.append(b"abc").unwrap();
+        assert!(sink.sync().is_err());
+        assert_eq!(feed.durable_len(), 0, "unacked bytes never ship");
     }
 
     #[test]

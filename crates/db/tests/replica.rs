@@ -1,0 +1,464 @@
+//! Log-shipping replica differential tests.
+//!
+//! * **Randomized catch-up differential** — proptest generates the same
+//!   serial transaction streams as `wal_recovery.rs`, runs them through a
+//!   logging primary, then tails the log into a replica with a tailer
+//!   that *crashes* at an arbitrary byte offset at or past the durable
+//!   prefix and resumes ([`RedoTailer::resume`]) from the replica's
+//!   applied state. Mid-crash and final replica states must equal a
+//!   committed-prefix oracle.
+//! * **Snapshot differential** — at every applied horizon, a replica
+//!   snapshot ([`Engine::begin_read_only_at`]) must answer exactly as a
+//!   primary snapshot at the same commit timestamp (history pinned via
+//!   [`Engine::set_gc_pin`]).
+//! * **GC under a lagged snapshot** (regression): a snapshot held at a
+//!   lagged timestamp pins version GC on a replica driven purely by
+//!   [`Engine::apply_redo`] — redo application between reads never
+//!   prunes a version the open snapshot can still observe.
+//! * **GC floor**: once versions below a horizon have been pruned, a
+//!   snapshot request below that horizon is rejected loudly instead of
+//!   serving a half-pruned cut.
+
+use proptest::prelude::*;
+use proptest::TestCaseError;
+use pyx_db::wal::{self};
+use pyx_db::{
+    ColTy, ColumnDef, DbError, Engine, FeedSink, MemSink, RedoTailer, Scalar, TableDef, TxnId, Wal,
+};
+
+const BASE_ROWS: i64 = 6;
+const GROUPS: i64 = 3;
+
+fn fresh_engine() -> Engine {
+    let mut e = Engine::new();
+    e.create_table(
+        TableDef::new(
+            "acct",
+            vec![
+                ColumnDef::new("id", ColTy::Int),
+                ColumnDef::new("grp", ColTy::Int),
+                ColumnDef::new("bal", ColTy::Int),
+            ],
+            &["id"],
+        )
+        .with_index("grp"),
+    );
+    for i in 0..BASE_ROWS {
+        e.load_row(
+            "acct",
+            vec![Scalar::Int(i), Scalar::Int(i % GROUPS), Scalar::Int(100)],
+        );
+    }
+    e
+}
+
+/// One statement inside a transaction (the `wal_recovery.rs` op set:
+/// point predicates only, so serial replay is deterministic).
+#[derive(Debug, Clone)]
+enum WOp {
+    Adjust { id: i64, amt: i64 },
+    Regroup { id: i64, grp: i64 },
+    Spawn { grp: i64, bal: i64 },
+    Retire { id: i64 },
+    Churn { id: i64, bal: i64 },
+}
+
+fn fresh_id(t: usize, pc: usize) -> i64 {
+    1000 + (t as i64) * 16 + pc as i64
+}
+
+fn apply_wop(e: &mut Engine, txn: TxnId, t: usize, pc: usize, op: &WOp) {
+    let i = Scalar::Int;
+    let r = match op {
+        WOp::Adjust { id, amt } => e.execute(
+            txn,
+            "UPDATE acct SET bal = bal + ? WHERE id = ?",
+            &[i(*amt), i(*id)],
+        ),
+        WOp::Regroup { id, grp } => e.execute(
+            txn,
+            "UPDATE acct SET grp = ? WHERE id = ?",
+            &[i(*grp), i(*id)],
+        ),
+        WOp::Spawn { grp, bal } => e.execute(
+            txn,
+            "INSERT INTO acct VALUES (?, ?, ?)",
+            &[i(fresh_id(t, pc)), i(*grp), i(*bal)],
+        ),
+        WOp::Retire { id } => e.execute(txn, "DELETE FROM acct WHERE id = ?", &[i(*id)]),
+        WOp::Churn { id, bal } => {
+            e.execute(txn, "DELETE FROM acct WHERE id = ?", &[i(*id)])
+                .expect("churn delete");
+            e.execute(
+                txn,
+                "INSERT INTO acct VALUES (?, ?, ?)",
+                &[i(*id), i(*id % GROUPS), i(*bal)],
+            )
+        }
+    };
+    r.expect("serial statement");
+}
+
+type TxnSpec = (Vec<WOp>, bool);
+
+/// Run the stream; stop once `limit` effective commits have stamped.
+fn run_stream(e: &mut Engine, txns: &[TxnSpec], limit: u64) {
+    for (ti, (ops, aborted)) in txns.iter().enumerate() {
+        if e.current_commit_ts() >= limit {
+            break;
+        }
+        let t = e.begin();
+        for (pc, op) in ops.iter().enumerate() {
+            apply_wop(e, t, ti, pc, op);
+        }
+        if *aborted {
+            e.abort(t).expect("abort");
+        } else {
+            e.commit(t).expect("serial commit");
+        }
+    }
+}
+
+fn wop_strategy() -> impl Strategy<Value = WOp> {
+    // Retire also targets the fresh-id range so streams delete rows
+    // spawned earlier; Churn stays on base ids so its re-insert can
+    // never collide with a later Spawn's fresh id.
+    let any_id = prop_oneof![0i64..BASE_ROWS, 1000i64..1000 + 64];
+    prop_oneof![
+        (0i64..BASE_ROWS, -30i64..30).prop_map(|(id, amt)| WOp::Adjust { id, amt }),
+        (0i64..BASE_ROWS, 0i64..GROUPS).prop_map(|(id, grp)| WOp::Regroup { id, grp }),
+        (0i64..GROUPS, 1i64..500).prop_map(|(grp, bal)| WOp::Spawn { grp, bal }),
+        any_id.prop_map(|id| WOp::Retire { id }),
+        (0i64..BASE_ROWS, 1i64..900).prop_map(|(id, bal)| WOp::Churn { id, bal }),
+    ]
+}
+
+fn stream_strategy() -> impl Strategy<Value = Vec<TxnSpec>> {
+    proptest::collection::vec(
+        (
+            proptest::collection::vec(wop_strategy(), 1..5),
+            (0usize..10).prop_map(|x| x < 2), // ~20% of txns abort
+        ),
+        2..10,
+    )
+}
+
+/// Unwrap result rows out of their storage-shared `Arc`s for comparison
+/// against plain literals.
+fn flat(rows: Vec<std::sync::Arc<Vec<Scalar>>>) -> Vec<Vec<Scalar>> {
+    rows.into_iter().map(|r| r.as_ref().clone()).collect()
+}
+
+/// Check `replica` equals a fresh oracle run to `limit` commits.
+fn assert_matches_oracle(
+    replica: &Engine,
+    txns: &[TxnSpec],
+    limit: u64,
+) -> Result<(), TestCaseError> {
+    let mut oracle = fresh_engine();
+    run_stream(&mut oracle, txns, limit);
+    prop_assert_eq!(replica.dump_table("acct"), oracle.dump_table("acct"));
+    prop_assert_eq!(replica.table_len("acct"), oracle.table_len("acct"));
+    prop_assert_eq!(replica.current_commit_ts(), limit);
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Satellite: randomized replica catch-up differential. The tailer
+    /// consumes an arbitrary (possibly record-tearing) prefix at or past
+    /// the durable watermark, "crashes", is rebuilt from the replica's
+    /// applied state, and finishes the stream. At both the crash point
+    /// and the end the replica must equal the committed-prefix oracle.
+    #[test]
+    fn crash_resumed_tailer_converges_on_the_primary(
+        txns in stream_strategy(),
+        group in 1usize..6,
+        cut_pick in 0usize..1_000_000,
+    ) {
+        let sink = MemSink::new();
+        let mut primary = fresh_engine();
+        primary.set_wal(Wal::new(Box::new(sink.clone())).with_group_commit(group));
+        run_stream(&mut primary, &txns, u64::MAX);
+        let all = sink.all_bytes();
+        let durable_len = sink.durable_bytes().len();
+
+        // Phase 1: tail a crash-cut prefix (durable bytes always survive;
+        // the cut may fall mid-record in the unsynced tail).
+        let cut = durable_len + cut_pick % (all.len() - durable_len + 1);
+        let mut replica = fresh_engine();
+        let mut tailer = RedoTailer::new();
+        let got = tailer
+            .catch_up(&all[..cut], &mut replica)
+            .expect("prefix catch-up");
+        let spans = wal::scan(&all).records;
+        let whole = spans.iter().filter(|s| s.offset + s.len <= cut).count() as u64;
+        prop_assert_eq!(got.records, whole);
+        assert_matches_oracle(&replica, &txns, whole)?;
+        prop_assert_eq!(tailer.last_ts(), replica.current_commit_ts());
+
+        // Phase 2: the tailer dies; rebuild it from the replica's applied
+        // state and feed it the full stream.
+        let mut resumed = RedoTailer::resume(tailer.offset(), replica.current_commit_ts());
+        resumed.catch_up(&all, &mut replica).expect("resumed catch-up");
+        let total = spans.len() as u64;
+        assert_matches_oracle(&replica, &txns, total)?;
+        prop_assert_eq!(resumed.offset(), all.len());
+
+        // Idempotence at the tail: another catch-up applies nothing.
+        let more = resumed.catch_up(&all, &mut replica).expect("tail catch-up");
+        prop_assert_eq!(more.records, 0);
+    }
+
+    /// Differential proof: a replica snapshot at its applied horizon
+    /// answers byte-identically to a primary snapshot at the same commit
+    /// timestamp, for every prefix of the redo stream.
+    #[test]
+    fn replica_snapshots_match_primary_at_every_horizon(
+        txns in stream_strategy(),
+    ) {
+        const Q: &str = "SELECT id, grp, bal FROM acct ORDER BY id";
+        let sink = MemSink::new();
+        let mut primary = fresh_engine();
+        primary.set_wal(Wal::new(Box::new(sink.clone())));
+        // Pin version GC at 0 so the primary can still serve snapshots
+        // at any lagged horizon for the comparison.
+        primary.set_gc_pin(Some(0));
+        run_stream(&mut primary, &txns, u64::MAX);
+        primary.wal_sync().expect("sync");
+
+        let all = sink.durable_bytes();
+        let spans = wal::scan(&all).records;
+        let mut replica = fresh_engine();
+        let mut tailer = RedoTailer::new();
+        for span in &spans {
+            let end = span.offset + span.len;
+            tailer.catch_up(&all[..end], &mut replica).expect("tail one record");
+            let ts = replica.current_commit_ts();
+            prop_assert_eq!(ts, span.commit_ts);
+
+            let rt = replica.begin_read_only();
+            let pt = primary
+                .begin_read_only_at(ts)
+                .expect("primary snapshot at lagged ts");
+            let rrows = replica.execute(rt, Q, &[]).expect("replica read").rows;
+            let prows = primary.execute(pt, Q, &[]).expect("primary read").rows;
+            prop_assert_eq!(rrows, prows);
+            replica.commit(rt).expect("close replica snapshot");
+            primary.commit(pt).expect("close primary snapshot");
+        }
+    }
+}
+
+/// A feed ships bytes only at the durability ack: under group commit,
+/// unsynced appends are invisible to the tailer, and a sync makes the
+/// whole batch appear at once.
+#[test]
+fn feed_ships_at_the_durability_ack() {
+    let sink = FeedSink::new(MemSink::new());
+    let feed = sink.feed();
+    let mut primary = fresh_engine();
+    primary.set_wal(Wal::new(Box::new(sink)).with_group_commit(100));
+
+    let mut replica = fresh_engine();
+    let mut tailer = RedoTailer::new();
+    let mut buf = Vec::new();
+
+    for n in 0..3 {
+        let t = primary.begin();
+        primary
+            .execute(
+                t,
+                "UPDATE acct SET bal = bal + ? WHERE id = ?",
+                &[Scalar::Int(1), Scalar::Int(n)],
+            )
+            .expect("update");
+        primary.commit(t).expect("commit");
+    }
+    // Appended but never synced: nothing ships.
+    let got = tailer
+        .catch_up_feed(&feed, &mut replica, &mut buf)
+        .expect("empty catch-up");
+    assert_eq!(got.records, 0);
+    assert_eq!(replica.current_commit_ts(), 0);
+
+    // The durability ack publishes the whole batch.
+    primary.wal_sync().expect("sync");
+    let got = tailer
+        .catch_up_feed(&feed, &mut replica, &mut buf)
+        .expect("catch-up");
+    assert_eq!(got.records, 3);
+    assert_eq!(replica.current_commit_ts(), 3);
+    assert_eq!(replica.dump_table("acct"), primary.dump_table("acct"));
+
+    // Incremental: the next sync ships only the new suffix.
+    let t = primary.begin();
+    primary
+        .execute(
+            t,
+            "UPDATE acct SET bal = bal + ? WHERE id = ?",
+            &[Scalar::Int(5), Scalar::Int(0)],
+        )
+        .expect("update");
+    primary.commit(t).expect("commit");
+    primary.wal_sync().expect("sync");
+    let got = tailer
+        .catch_up_feed(&feed, &mut replica, &mut buf)
+        .expect("incremental catch-up");
+    assert_eq!(got.records, 1);
+    assert_eq!(replica.dump_table("acct"), primary.dump_table("acct"));
+}
+
+/// Regression (satellite): on a replica driven purely by
+/// [`Engine::apply_redo`], an open lagged snapshot pins version GC — redo
+/// applied *while the snapshot is open* never prunes a version the
+/// snapshot can still observe. Closing the snapshot releases the pin.
+#[test]
+fn gc_under_lagged_snapshot_keeps_observable_versions() {
+    let sink = MemSink::new();
+    let mut primary = fresh_engine();
+    primary.set_wal(Wal::new(Box::new(sink.clone())));
+    // ts 1: bal(0) = 150; ts 2..=5: churn the same row.
+    for n in 0..5 {
+        let t = primary.begin();
+        primary
+            .execute(
+                t,
+                "UPDATE acct SET bal = ? WHERE id = ?",
+                &[Scalar::Int(150 + n), Scalar::Int(0)],
+            )
+            .expect("update");
+        primary.commit(t).expect("commit");
+    }
+    primary.wal_sync().expect("sync");
+    let all = sink.durable_bytes();
+    let spans = wal::scan(&all).records;
+    assert_eq!(spans.len(), 5);
+
+    // Replica applies the first record only, opens a snapshot there...
+    let mut replica = fresh_engine();
+    let mut tailer = RedoTailer::new();
+    let first_end = spans[0].offset + spans[0].len;
+    tailer
+        .catch_up(&all[..first_end], &mut replica)
+        .expect("first record");
+    let snap = replica.begin_read_only();
+    let before = replica
+        .execute(snap, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .expect("read at ts 1")
+        .rows;
+    assert_eq!(flat(before), vec![vec![Scalar::Int(150)]]);
+
+    // ...then the rest of the stream lands while the snapshot is open.
+    // Each apply_redo runs GC; the snapshot must keep pinning ts 1.
+    tailer.catch_up(&all, &mut replica).expect("rest of stream");
+    assert_eq!(replica.current_commit_ts(), 5);
+    let after = replica
+        .execute(snap, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .expect("re-read at ts 1")
+        .rows;
+    assert_eq!(
+        flat(after),
+        vec![vec![Scalar::Int(150)]],
+        "snapshot lost its version to GC"
+    );
+    assert!(
+        replica.table_versions("acct") > replica.table_len("acct"),
+        "superseded versions must be retained while the snapshot is open"
+    );
+    replica.commit(snap).expect("close snapshot");
+
+    // Snapshot closed: one more redo-driven GC pass prunes the history.
+    assert_eq!(
+        replica.stats.lagged_snapshots, 0,
+        "snapshot at horizon is not lagged"
+    );
+    let t = primary.begin();
+    primary
+        .execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(200), Scalar::Int(0)],
+        )
+        .expect("update");
+    primary.commit(t).expect("commit");
+    primary.wal_sync().expect("sync");
+    tailer
+        .catch_up(&sink.durable_bytes(), &mut replica)
+        .expect("final record");
+    assert_eq!(replica.table_versions("acct"), replica.table_len("acct"));
+}
+
+/// Once GC has pruned below a horizon, snapshot requests below it are
+/// rejected loudly (counted in `snapshot_rejects`) — never served from a
+/// half-pruned cut. Requests at or above the floor still serve, and
+/// future timestamps are rejected too.
+#[test]
+fn snapshot_below_gc_floor_is_rejected() {
+    let mut e = fresh_engine();
+    for n in 0..4 {
+        let t = e.begin();
+        e.execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(n), Scalar::Int(0)],
+        )
+        .expect("update");
+        e.commit(t).expect("commit");
+    }
+    // No snapshots were open, so each commit's GC pass advanced the
+    // floor to the commit horizon: old versions are gone.
+    let err = e.begin_read_only_at(2).expect_err("pruned horizon");
+    assert!(
+        matches!(err, DbError::Schema(_)),
+        "wrong error class: {err}"
+    );
+    let err = e.begin_read_only_at(5).expect_err("future horizon");
+    assert!(
+        matches!(err, DbError::Schema(_)),
+        "wrong error class: {err}"
+    );
+    assert_eq!(e.stats.snapshot_rejects, 2);
+
+    let t = e.begin_read_only_at(4).expect("current horizon serves");
+    let rows = e
+        .execute(t, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .expect("read")
+        .rows;
+    assert_eq!(flat(rows), vec![vec![Scalar::Int(3)]]);
+    e.commit(t).expect("close");
+}
+
+/// Double-apply protection: a tailer restarted from byte 0 against an
+/// already-caught-up replica fails loudly instead of re-applying
+/// records at non-monotone timestamps.
+#[test]
+fn rewound_tailer_fails_instead_of_double_applying() {
+    let sink = MemSink::new();
+    let mut primary = fresh_engine();
+    primary.set_wal(Wal::new(Box::new(sink.clone())));
+    let t = primary.begin();
+    primary
+        .execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(7), Scalar::Int(0)],
+        )
+        .expect("update");
+    primary.commit(t).expect("commit");
+    primary.wal_sync().expect("sync");
+    let all = sink.durable_bytes();
+
+    let mut replica = fresh_engine();
+    RedoTailer::new()
+        .catch_up(&all, &mut replica)
+        .expect("first pass");
+    let err = RedoTailer::new()
+        .catch_up(&all, &mut replica)
+        .expect_err("rewound tailer must not double-apply");
+    assert!(
+        matches!(err, DbError::Durability(_)),
+        "wrong error class: {err}"
+    );
+}

@@ -97,13 +97,34 @@
 //! order rather than a single engine's scan order (row order without
 //! ORDER BY is unspecified; ordered scans are never scattered — see
 //! `LaneEngine::exec_scatter`).
+//!
+//! # Log-shipping read replicas
+//!
+//! Each shard may carry N **replicas**: engines holding the same schema
+//! and base load, fed the shard's redo stream through a
+//! [`LogFeed`] published at the durability ack
+//! ([`ShardedServer::attach_shard_wals_with_feeds`] +
+//! [`ShardedServer::spawn_replicas`]). A replica thread tails the feed
+//! incrementally ([`RedoTailer`] → [`Engine::apply_redo`]) and serves
+//! **read-only routable** requests as lock-free MVCC snapshots at its
+//! applied horizon — a committed durable prefix of the primary, so a
+//! replica answer is always one the primary itself would have given at
+//! that commit timestamp. Admission is **bounded staleness**: a read is
+//! round-robined to a replica only when the replica trails the
+//! primary's durable horizon by at most
+//! [`ShardedConfig::replica_lag_limit`] commits; over-lagged or dead
+//! replicas are skipped and the read falls back to the primary (counted
+//! in [`ShardedReport::replica_fallbacks`]). Replica reads also keep
+//! serving when the primary worker has died — reads need no quorum.
+//! Writes never touch replicas.
 
 use crate::dispatch::{
     Admit, Deployment, Dispatcher, DispatcherConfig, DispatcherStats, Polled, TxnDone,
 };
 use crate::env::InstantEnv;
 use crate::workload::TxnRequest;
-use pyx_db::wal::{LogSink, Wal};
+use pyx_db::replica::RedoTailer;
+use pyx_db::wal::{FeedSink, LogFeed, LogSink, Wal};
 use pyx_db::{
     shard_of, Database, DbError, Engine, EngineStats, PreparedId, QueryResult, Scalar, StmtRoute,
     TxnId,
@@ -145,6 +166,14 @@ pub struct ShardedConfig {
     /// Coordinator threads for the 2PC lane — the number of cross-shard
     /// transactions in flight at once. Ignored under `Quiesce`.
     pub coordinators: usize,
+    /// Bounded-staleness admission for read replicas: a read-only
+    /// request routes to a replica only when the primary's durable
+    /// commit timestamp minus the replica's applied timestamp is within
+    /// this bound (commit timestamps advance by 1 per write
+    /// transaction, so the unit is "commits behind"). Requests over the
+    /// bound fall back to the primary. Advisory at admission time: the
+    /// primary keeps committing while the read runs.
+    pub replica_lag_limit: u64,
 }
 
 impl Default for ShardedConfig {
@@ -155,6 +184,7 @@ impl Default for ShardedConfig {
             channel_cap: 4096,
             cross_shard: CrossShardMode::TwoPhase,
             coordinators: 2,
+            replica_lag_limit: 1024,
         }
     }
 }
@@ -172,13 +202,34 @@ pub struct ShardedReport {
     /// per-shard prepare/prepare-abort counts live in the engines'
     /// [`EngineStats`]).
     pub multi_participants: u64,
+    /// Replica engines handed back at shutdown, tagged with the shard
+    /// they replicated (after a final catch-up, so a healthy replica's
+    /// state equals its primary's durable prefix).
+    pub replica_engines: Vec<(usize, Engine)>,
+    /// Per-replica dispatcher counters, aligned with `replica_engines`.
+    pub replica_dispatchers: Vec<DispatcherStats>,
+    /// Read-only requests served by a replica.
+    pub replica_reads: u64,
+    /// Read-only requests that fell back to the primary (replica lag
+    /// over the bound, replica channel full, or replica dead).
+    pub replica_fallbacks: u64,
 }
 
 impl ShardedReport {
-    /// Engine counters summed over all shards.
+    /// Engine counters summed over all primary shards (replicas are
+    /// reported separately — see [`ShardedReport::merged_replica_stats`]).
     pub fn merged_engine_stats(&self) -> EngineStats {
         let mut m = EngineStats::default();
         for e in &self.engines {
+            m.merge(&e.stats);
+        }
+        m
+    }
+
+    /// Engine counters summed over all replicas.
+    pub fn merged_replica_stats(&self) -> EngineStats {
+        let mut m = EngineStats::default();
+        for (_, e) in &self.replica_engines {
             m.merge(&e.stats);
         }
         m
@@ -290,6 +341,28 @@ struct CoordStats {
 /// channel (their transactions are never lost to a *worker* death).
 const LANE: usize = usize::MAX;
 
+/// Results-channel index base for replica workers: replica `i` reports
+/// as `REPLICA_BASE + i`, keeping replica outcomes distinguishable from
+/// primary-shard outcomes for outstanding-request bookkeeping.
+const REPLICA_BASE: usize = 1 << 32;
+
+/// One log-shipping read replica: a dedicated thread owning a replica
+/// engine, tailing its shard's durable redo feed and serving read-only
+/// snapshot traffic at the applied horizon.
+struct ReplicaSlot {
+    /// Primary shard this replica follows.
+    shard: usize,
+    tx: SyncSender<Msg>,
+    handle: JoinHandle<(Engine, DispatcherStats)>,
+    /// The replica's applied commit timestamp, published by its worker
+    /// after every catch-up (the staleness-admission input).
+    applied: Arc<AtomicU64>,
+    /// tag → (entry, label) of submitted-but-unretired reads, so a dead
+    /// replica's losses surface as error results.
+    outstanding: HashMap<u64, (MethodId, &'static str)>,
+    dead: bool,
+}
+
 /// High bit marking a virtual (coordinator/lane) transaction id; shards
 /// allocate their own local ids for branches. A coordinator folds its
 /// global age into the low bits so a restarted session carries the age
@@ -316,6 +389,17 @@ pub struct ShardedServer {
     outstanding: Vec<HashMap<u64, (MethodId, &'static str)>>,
     /// Shards whose worker has died; submits to them are `Unavailable`.
     dead: Vec<bool>,
+    // -- read replicas --
+    replicas: Vec<ReplicaSlot>,
+    /// Replica indices (into `replicas`) serving each shard.
+    replica_of_shard: Vec<Vec<usize>>,
+    /// Per-shard round-robin cursor over that shard's replicas.
+    replica_rr: Vec<usize>,
+    /// Per-shard primary durable commit timestamp, published by the
+    /// shard worker (the other staleness-admission input).
+    primary_durable: Vec<Arc<AtomicU64>>,
+    replica_reads: u64,
+    replica_fallbacks: u64,
     /// Results ready to deliver ahead of the channel (drained while
     /// reaping a dead worker, plus the synthesized error results).
     ready: VecDeque<TxnDone>,
@@ -372,6 +456,9 @@ impl ShardedServer {
         let mut txs = Vec::with_capacity(cfg.shards);
         let mut remote_txs = Vec::with_capacity(cfg.shards);
         let mut handles = Vec::with_capacity(cfg.shards);
+        let primary_durable: Vec<Arc<AtomicU64>> = (0..cfg.shards)
+            .map(|_| Arc::new(AtomicU64::new(0)))
+            .collect();
         for (i, engine) in engines.iter().enumerate() {
             let (tx, rx) = mpsc::sync_channel(cfg.channel_cap);
             let (rtx, rrx) = mpsc::channel();
@@ -381,9 +468,10 @@ impl ShardedServer {
             let part = Arc::clone(&part);
             let done = done_tx.clone();
             let dcfg = cfg.dispatcher;
+            let durable = Arc::clone(&primary_durable[i]);
             let handle = std::thread::Builder::new()
                 .name(format!("pyx-shard-{i}"))
-                .spawn(move || worker(i, engine, part, dcfg, rx, rrx, done))
+                .spawn(move || worker(i, engine, part, dcfg, rx, rrx, done, durable))
                 .expect("spawn shard worker");
             handles.push(handle);
         }
@@ -423,6 +511,12 @@ impl ShardedServer {
             in_flight: 0,
             outstanding: (0..cfg.shards).map(|_| HashMap::new()).collect(),
             dead: vec![false; cfg.shards],
+            replicas: Vec::new(),
+            replica_of_shard: vec![Vec::new(); cfg.shards],
+            replica_rr: vec![0; cfg.shards],
+            primary_durable,
+            replica_reads: 0,
+            replica_fallbacks: 0,
             ready: VecDeque::new(),
             job_tx,
             coord_handles,
@@ -454,6 +548,96 @@ impl ShardedServer {
                     .with_group_commit(group_commit),
             );
         }
+    }
+
+    /// [`ShardedServer::attach_shard_wals`], with each shard's sink
+    /// wrapped in a [`FeedSink`] so its durable prefix is shippable to
+    /// replicas. Returns one [`LogFeed`] per shard — pass them to
+    /// [`ShardedServer::spawn_replicas`]. The feed publishes bytes only
+    /// after a successful sync: the ship point is the durability ack,
+    /// never the raw append.
+    pub fn attach_shard_wals_with_feeds(
+        engines: &mut [Engine],
+        group_commit: usize,
+        mut make_sink: impl FnMut(usize) -> Box<dyn LogSink>,
+    ) -> Vec<LogFeed> {
+        let mut feeds = Vec::with_capacity(engines.len());
+        for (i, e) in engines.iter_mut().enumerate() {
+            let sink = FeedSink::new(make_sink(i));
+            feeds.push(sink.feed());
+            e.set_wal(
+                Wal::new(Box::new(sink))
+                    .with_shard(i as u16)
+                    .with_group_commit(group_commit),
+            );
+        }
+        feeds
+    }
+
+    /// Spawn log-shipping read replicas: `replicas[s]` is the list of
+    /// replica engines for shard `s` (each must hold shard `s`'s schema
+    /// and base load — a copy of the engine as handed to
+    /// [`ShardedServer::new`], *without* a WAL), and `feeds[s]` is that
+    /// shard's durable redo feed from
+    /// [`ShardedServer::attach_shard_wals_with_feeds`].
+    ///
+    /// Each replica runs on its own thread: it tails the feed
+    /// incrementally into its engine ([`Engine::apply_redo`]) and
+    /// serves read-only routable requests as lock-free MVCC snapshots
+    /// at its applied horizon. Admission is bounded-staleness
+    /// ([`ShardedConfig::replica_lag_limit`]); over-lagged or dead
+    /// replicas fall back to the primary. Requires snapshot reads to be
+    /// enabled — a locking read on a replica would race the redo
+    /// applier.
+    pub fn spawn_replicas(&mut self, feeds: &[LogFeed], replicas: Vec<Vec<Engine>>) {
+        assert_eq!(replicas.len(), self.cfg.shards, "one replica set per shard");
+        assert!(feeds.len() >= self.cfg.shards, "one feed per shard");
+        assert!(
+            self.cfg.dispatcher.snapshot_reads,
+            "replicas serve MVCC snapshots; enable dispatcher.snapshot_reads"
+        );
+        for (s, engines) in replicas.into_iter().enumerate() {
+            for engine in engines {
+                let idx = self.replicas.len();
+                let (tx, rx) = mpsc::sync_channel(self.cfg.channel_cap);
+                let feed = feeds[s].clone();
+                let part = Arc::clone(&self.part);
+                let done = self.done_tx.clone();
+                let dcfg = self.cfg.dispatcher;
+                let applied = Arc::new(AtomicU64::new(0));
+                let applied2 = Arc::clone(&applied);
+                let handle = std::thread::Builder::new()
+                    .name(format!("pyx-replica-{s}-{idx}"))
+                    .spawn(move || {
+                        replica_worker(idx, engine, feed, part, dcfg, rx, done, applied2)
+                    })
+                    .expect("spawn replica worker");
+                self.replicas.push(ReplicaSlot {
+                    shard: s,
+                    tx,
+                    handle,
+                    applied,
+                    outstanding: HashMap::new(),
+                    dead: false,
+                });
+                self.replica_of_shard[s].push(idx);
+            }
+        }
+    }
+
+    /// Per-replica staleness, in commits behind the primary's durable
+    /// horizon: `(shard, lag)` per live replica, in spawn order.
+    /// Diagnostics for tests and the lag benchmark.
+    pub fn replica_lags(&self) -> Vec<(usize, u64)> {
+        self.replicas
+            .iter()
+            .filter(|r| !r.dead)
+            .map(|r| {
+                let durable = self.primary_durable[r.shard].load(Ordering::Acquire);
+                let applied = r.applied.load(Ordering::Acquire);
+                (r.shard, durable.saturating_sub(applied))
+            })
+            .collect()
     }
 
     /// Shards whose worker has died (requests to them return
@@ -511,26 +695,19 @@ impl ShardedServer {
         match req.route {
             Some(k) => {
                 let s = shard_of(&Scalar::Int(k), self.cfg.shards);
-                if self.dead[s] {
-                    return Admit::Unavailable;
-                }
-                let entry = req.entry;
-                let label = req.label;
-                match self.txs[s].try_send(Msg::Submit { req, tag }) {
-                    Ok(()) => {
-                        self.in_flight += 1;
-                        self.outstanding[s].insert(tag, (entry, label));
-                        Admit::Started
-                    }
-                    Err(TrySendError::Full(_)) => Admit::Rejected,
-                    Err(TrySendError::Disconnected(_)) => {
-                        // The worker died between our last liveness check
-                        // and now; reap it so its in-flight losses surface
-                        // as error results on the next `recv_done`.
-                        self.reap_dead_workers();
-                        Admit::Unavailable
+                // Statically read-only routable requests may serve from a
+                // shard replica — tried *before* the primary-death check,
+                // so reads keep serving a shard whose primary died.
+                if !self.replica_of_shard[s].is_empty()
+                    && self.cfg.dispatcher.snapshot_reads
+                    && self.part.bp.entry_read_only(req.entry)
+                {
+                    match self.try_submit_replica(s, req, tag) {
+                        Ok(admit) => return admit,
+                        Err(back) => return self.submit_primary(s, back, tag),
                     }
                 }
+                self.submit_primary(s, req, tag)
             }
             None => match &self.job_tx {
                 Some(jtx) => {
@@ -553,6 +730,76 @@ impl ShardedServer {
                 }
             },
         }
+    }
+
+    /// Submit a routed request to shard `s`'s primary worker.
+    fn submit_primary(&mut self, s: usize, req: TxnRequest, tag: u64) -> Admit {
+        if self.dead[s] {
+            return Admit::Unavailable;
+        }
+        let entry = req.entry;
+        let label = req.label;
+        match self.txs[s].try_send(Msg::Submit { req, tag }) {
+            Ok(()) => {
+                self.in_flight += 1;
+                self.outstanding[s].insert(tag, (entry, label));
+                Admit::Started
+            }
+            Err(TrySendError::Full(_)) => Admit::Rejected,
+            Err(TrySendError::Disconnected(_)) => {
+                // The worker died between our last liveness check
+                // and now; reap it so its in-flight losses surface
+                // as error results on the next `recv_done`.
+                self.reap_dead_workers();
+                Admit::Unavailable
+            }
+        }
+    }
+
+    /// Try to admit a read-only request on one of shard `s`'s replicas,
+    /// round-robin, with bounded-staleness admission: a replica is
+    /// eligible only while `primary_durable_ts - applied_ts` is within
+    /// [`ShardedConfig::replica_lag_limit`]. `Err(req)` hands the
+    /// request back for the primary fallback (all replicas dead,
+    /// over-lagged, or full) and counts the fallback.
+    fn try_submit_replica(
+        &mut self,
+        s: usize,
+        req: TxnRequest,
+        tag: u64,
+    ) -> Result<Admit, TxnRequest> {
+        let n = self.replica_of_shard[s].len();
+        let durable = self.primary_durable[s].load(Ordering::Acquire);
+        let mut req = req;
+        for probe in 0..n {
+            let slot = self.replica_of_shard[s][(self.replica_rr[s] + probe) % n];
+            let r = &self.replicas[slot];
+            if r.dead {
+                continue;
+            }
+            let lag = durable.saturating_sub(r.applied.load(Ordering::Acquire));
+            if lag > self.cfg.replica_lag_limit {
+                continue;
+            }
+            let entry = req.entry;
+            let label = req.label;
+            match r.tx.try_send(Msg::Submit { req, tag }) {
+                Ok(()) => {
+                    self.replica_rr[s] = (self.replica_rr[s] + probe + 1) % n;
+                    self.in_flight += 1;
+                    self.replicas[slot].outstanding.insert(tag, (entry, label));
+                    self.replica_reads += 1;
+                    return Ok(Admit::Started);
+                }
+                Err(TrySendError::Full(Msg::Submit { req: back, .. }))
+                | Err(TrySendError::Disconnected(Msg::Submit { req: back, .. })) => {
+                    req = back;
+                }
+                Err(_) => unreachable!("submit sends Msg::Submit"),
+            }
+        }
+        self.replica_fallbacks += 1;
+        Err(req)
     }
 
     /// Block until the next transaction retires (`None` when nothing is
@@ -578,9 +825,7 @@ impl ShardedServer {
                 .recv_timeout(std::time::Duration::from_millis(500))
             {
                 Ok((s, d)) => {
-                    if s != LANE {
-                        self.outstanding[s].remove(&d.tag);
-                    }
+                    self.unregister(s, d.tag);
                     self.in_flight -= 1;
                     return Some(d);
                 }
@@ -592,25 +837,41 @@ impl ShardedServer {
         }
     }
 
-    /// Detect newly dead workers: drain any results they shipped before
-    /// dying, then synthesize an error result for each transaction that
-    /// will never report, and mark the shard unavailable.
+    /// Remove a retired result's outstanding-request entry, whichever
+    /// tier (`s`) reported it: primary shard, replica, or the lane.
+    fn unregister(&mut self, s: usize, tag: u64) {
+        if s == LANE {
+            return;
+        }
+        if s >= REPLICA_BASE {
+            self.replicas[s - REPLICA_BASE].outstanding.remove(&tag);
+        } else {
+            self.outstanding[s].remove(&tag);
+        }
+    }
+
+    /// Detect newly dead workers (primary or replica): drain any results
+    /// they shipped before dying, then synthesize an error result for
+    /// each transaction that will never report, and mark the shard (or
+    /// replica) unavailable.
     fn reap_dead_workers(&mut self) {
-        if !self
+        let any_primary = self
             .handles
             .iter()
             .enumerate()
-            .any(|(i, h)| !self.dead[i] && h.is_finished())
-        {
+            .any(|(i, h)| !self.dead[i] && h.is_finished());
+        let any_replica = self
+            .replicas
+            .iter()
+            .any(|r| !r.dead && r.handle.is_finished());
+        if !any_primary && !any_replica {
             return;
         }
         // Results sent before the death may still sit in the channel;
         // deliver them ahead of the synthesized errors so nothing real
         // is double-reported.
         while let Ok((s, d)) = self.done_rx.try_recv() {
-            if s != LANE {
-                self.outstanding[s].remove(&d.tag);
-            }
+            self.unregister(s, d.tag);
             self.ready.push_back(d);
         }
         for (i, h) in self.handles.iter().enumerate() {
@@ -638,6 +899,31 @@ impl ShardedServer {
                     error: Some(format!(
                         "shard {i} worker died; transaction outcome unknown"
                     )),
+                });
+            }
+        }
+        for r in self.replicas.iter_mut() {
+            if r.dead || !r.handle.is_finished() {
+                continue;
+            }
+            r.dead = true;
+            let mut lost: Vec<(u64, (MethodId, &'static str))> = r.outstanding.drain().collect();
+            lost.sort_unstable_by_key(|&(tag, _)| tag);
+            for (tag, (entry, label)) in lost {
+                self.ready.push_back(TxnDone {
+                    tag,
+                    entry,
+                    label,
+                    submitted_ns: 0,
+                    started_ns: 0,
+                    finished_ns: 0,
+                    low_budget: false,
+                    rolled_back: false,
+                    read_only: true,
+                    restarts: 0,
+                    participants: 0,
+                    result: None,
+                    error: Some(format!("shard {} replica died; read not served", r.shard)),
                 });
             }
         }
@@ -678,6 +964,19 @@ impl ShardedServer {
             .collect();
         drop(self.txs);
         drop(self.remote_txs);
+        // Replicas stop only after every primary has joined (all WAL
+        // syncs done, feeds final): each replica's shutdown-time final
+        // catch-up then lands exactly on the primary's durable prefix.
+        let mut replica_engines = Vec::with_capacity(self.replicas.len());
+        let mut replica_dispatchers = Vec::with_capacity(self.replicas.len());
+        for r in self.replicas.drain(..) {
+            let _ = r.tx.send(Msg::Shutdown);
+            drop(r.tx);
+            if let Ok((engine, stats)) = r.handle.join() {
+                replica_engines.push((r.shard, engine));
+                replica_dispatchers.push(stats);
+            }
+        }
         let engines = self
             .engines
             .drain(..)
@@ -696,6 +995,10 @@ impl ShardedServer {
                 dispatchers,
                 multi_txns: self.multi_txns,
                 multi_participants: self.multi_participants,
+                replica_engines,
+                replica_dispatchers,
+                replica_reads: self.replica_reads,
+                replica_fallbacks: self.replica_fallbacks,
             },
         )
     }
@@ -955,6 +1258,7 @@ fn remote_pump(
 /// fully idle — that release is the quiesce point the serialized
 /// multi-partition lane synchronizes on (2PC coordinators never take
 /// engine locks; they go through the remote-op channel).
+#[allow(clippy::too_many_arguments)]
 fn worker(
     shard: usize,
     engine: Arc<Mutex<Engine>>,
@@ -963,7 +1267,18 @@ fn worker(
     rx: Receiver<Msg>,
     rrx: Receiver<RemoteOp>,
     done: Sender<(usize, TxnDone)>,
+    durable: Arc<AtomicU64>,
 ) -> DispatcherStats {
+    // Publish the shard's durable commit timestamp for replica
+    // staleness admission. Volatile engines (no WAL) publish the commit
+    // counter itself — every in-memory commit is as "durable" as this
+    // deployment gets.
+    let publish = |g: &MutexGuard<'_, Engine>, durable: &AtomicU64| {
+        durable.store(
+            g.wal_durable_ts().unwrap_or_else(|| g.current_commit_ts()),
+            Ordering::Release,
+        );
+    };
     let mut guard = engine.lock().expect("engine mutex poisoned");
     let mut disp = Dispatcher::new(Deployment::Fixed(&part), &mut *guard, cfg);
     let mut env = InstantEnv;
@@ -972,6 +1287,7 @@ fn worker(
     let mut crash_after: Option<usize> = None;
     let mut parked: Vec<RemoteOp> = Vec::new();
     loop {
+        publish(&guard, &durable);
         remote_pump(&mut guard, &mut disp, &rrx, &mut parked);
         // Admit as much queued work as the dispatcher will take.
         while open
@@ -1046,6 +1362,115 @@ fn worker(
         }
     }
     disp.stats()
+}
+
+/// Replica serving loop: tail the shard's durable redo feed into the
+/// *owned* engine (no mutex — nothing else touches a replica's engine)
+/// and serve read-only snapshot requests at the applied horizon.
+/// Returns the engine so shutdown can fingerprint it against the
+/// primary. Returns early — which the reaper observes as replica death
+/// — if the ship stream is corrupt: a replica that cannot converge must
+/// stop serving rather than answer from a frozen horizon forever.
+#[allow(clippy::too_many_arguments)]
+fn replica_worker(
+    idx: usize,
+    mut engine: Engine,
+    feed: LogFeed,
+    part: Arc<CompiledPartition>,
+    cfg: DispatcherConfig,
+    rx: Receiver<Msg>,
+    done: Sender<(usize, TxnDone)>,
+    applied: Arc<AtomicU64>,
+) -> (Engine, DispatcherStats) {
+    let mut disp = Dispatcher::new(Deployment::Fixed(&part), &mut engine, cfg);
+    let mut env = InstantEnv;
+    let mut tailer = RedoTailer::new();
+    let mut buf: Vec<u8> = Vec::new();
+    let mut open = true;
+    let mut batch: Vec<TxnDone> = Vec::new();
+    let mut crash_after: Option<usize> = None;
+    loop {
+        // Apply whatever the primary has made durable since last look.
+        // Open snapshots pin GC through the ordinary refcount horizon,
+        // so applying redo between polls never prunes a version an
+        // in-flight read can still observe.
+        if tailer.catch_up_feed(&feed, &mut engine, &mut buf).is_err() {
+            return (engine, disp.stats());
+        }
+        applied.store(engine.current_commit_ts(), Ordering::Release);
+        while open
+            && (disp.active_sessions() < cfg.max_sessions || disp.queue_len() < cfg.queue_cap)
+        {
+            match rx.try_recv() {
+                Ok(Msg::Submit { req, tag }) => {
+                    disp.submit(0, req, tag);
+                }
+                Ok(Msg::Wake) => {}
+                Ok(Msg::Crash { after_done }) => {
+                    crash_after = Some(after_done);
+                    if after_done == 0 {
+                        return (engine, disp.stats());
+                    }
+                }
+                Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => open = false,
+                Err(TryRecvError::Empty) => break,
+            }
+        }
+        match disp.poll(&mut engine, &mut env) {
+            Polled::Done(d) => batch.push(d),
+            Polled::Progress => {
+                // `flush_dones` syncs the WAL before acknowledging;
+                // replicas have none, so wal_sync is a no-op and this
+                // just reports the batch under the replica's id.
+                if flush_dones(
+                    REPLICA_BASE + idx,
+                    &mut engine,
+                    &mut batch,
+                    &done,
+                    &mut crash_after,
+                ) {
+                    return (engine, disp.stats());
+                }
+            }
+            Polled::Idle => {
+                if flush_dones(
+                    REPLICA_BASE + idx,
+                    &mut engine,
+                    &mut batch,
+                    &done,
+                    &mut crash_after,
+                ) {
+                    return (engine, disp.stats());
+                }
+                if !open {
+                    break;
+                }
+                // Unlike a primary, a replica may not block forever on
+                // its request channel: redo arrives out of band through
+                // the feed, so sleep briefly and tail again.
+                match rx.recv_timeout(std::time::Duration::from_micros(200)) {
+                    Ok(Msg::Submit { req, tag }) => {
+                        disp.submit(0, req, tag);
+                    }
+                    Ok(Msg::Wake) => {}
+                    Ok(Msg::Crash { after_done }) => {
+                        crash_after = Some(after_done);
+                        if after_done == 0 {
+                            return (engine, disp.stats());
+                        }
+                    }
+                    Ok(Msg::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => open = false,
+                    Err(mpsc::RecvTimeoutError::Timeout) => {}
+                }
+            }
+        }
+    }
+    // Final drain: the primary has shut down (feed complete), so this
+    // brings the replica to the full durable prefix before the engine is
+    // returned for fingerprinting.
+    let _ = tailer.catch_up_feed(&feed, &mut engine, &mut buf);
+    applied.store(engine.current_commit_ts(), Ordering::Release);
+    (engine, disp.stats())
 }
 
 /// Route one row image to its owning shard, or replicate it to every

@@ -1,0 +1,217 @@
+//! Log-shipping replica serving through the [`ShardedServer`].
+//!
+//! * **End-to-end ship + fingerprint**: the read-mostly TPC-W mix (reads
+//!   routed, admin writes cross-shard) runs against one shard with two
+//!   replicas; every transaction must retire cleanly, a healthy share of
+//!   the reads must be served by replicas, and at shutdown each replica
+//!   engine must be row-for-row identical to the primary (the feed's
+//!   final catch-up lands exactly on the primary's durable prefix).
+//! * **Degraded shard serves reads** (regression): a shard whose log
+//!   sink fails keeps serving read-only routed requests through the
+//!   server — admission must stay `Started`, never `Unavailable`, and
+//!   the reads retire without errors while writes surface the
+//!   durability failure.
+//! * **Reads survive primary death**: after the primary worker dies,
+//!   routed read-only requests still admit to replicas and retire.
+
+use pyx_db::wal::LogFeed;
+use pyx_db::{Engine, FaultPlan, FaultySink, MemSink};
+use pyx_server::{Admit, ShardedConfig, ShardedServer, TxnDone, Workload};
+use pyx_workloads::tpcw;
+use std::sync::Arc;
+
+// The browsing interactions walk a hardcoded 10 000-item catalogue
+// (`% 10000 + 1` promo/related links), so the item count must stay at
+// the default scale.
+fn scale() -> tpcw::TpcwScale {
+    tpcw::TpcwScale::default()
+}
+
+fn fresh_tpcw(seed: u64) -> Engine {
+    let mut e = Engine::new();
+    tpcw::create_schema(&mut e);
+    tpcw::load(&mut e, scale(), seed);
+    e
+}
+
+struct Cluster {
+    srv: ShardedServer,
+    entries: tpcw::ReadMostlyEntries,
+    feeds: Vec<LogFeed>,
+}
+
+/// One-shard read-mostly TPC-W server with a WAL whose feeds are ready
+/// for [`ShardedServer::spawn_replicas`].
+fn cluster(mut make_sink: impl FnMut(usize) -> Box<dyn pyx_db::LogSink>) -> Cluster {
+    let pyxis = pyx_core::Pyxis::compile(tpcw::SRC_READ_MOSTLY, pyx_core::PyxisConfig::default())
+        .expect("read-mostly TPC-W compiles");
+    let entries = tpcw::ReadMostlyEntries::find(&pyxis.prog);
+    let part = Arc::new(pyxis.deploy_jdbc());
+    let mut engines = vec![fresh_tpcw(7)];
+    let feeds = ShardedServer::attach_shard_wals_with_feeds(&mut engines, 1, &mut make_sink);
+    let srv = ShardedServer::new(
+        part,
+        engines,
+        ShardedConfig {
+            shards: 1,
+            ..ShardedConfig::default()
+        },
+    );
+    Cluster {
+        srv,
+        entries,
+        feeds,
+    }
+}
+
+/// Drive `n` transactions of the routed read-mostly mix, serialized.
+/// Returns the retired results in submission order.
+fn drive(srv: &mut ShardedServer, entries: tpcw::ReadMostlyEntries, n: usize) -> Vec<TxnDone> {
+    let mut mix = tpcw::ReadMostlyMix::new(entries, scale(), 10, 42).routed();
+    let mut out = Vec::new();
+    for tag in 0..n {
+        let req = mix.next_txn(0);
+        assert_eq!(
+            srv.submit(req, tag as u64),
+            Admit::Started,
+            "serialized submission always admits"
+        );
+        out.push(srv.recv_done().expect("one in flight"));
+    }
+    out
+}
+
+#[test]
+fn replicas_serve_reads_and_converge_on_the_primary() {
+    let mut c = cluster(|_| Box::new(MemSink::new()));
+    c.srv
+        .spawn_replicas(&c.feeds, vec![vec![fresh_tpcw(7), fresh_tpcw(7)]]);
+
+    let dones = drive(&mut c.srv, c.entries, 300);
+    for d in &dones {
+        assert!(
+            d.error.is_none(),
+            "txn {} ({}) failed: {:?}",
+            d.tag,
+            d.label,
+            d.error
+        );
+    }
+    let lags = c.srv.replica_lags();
+    assert_eq!(lags.len(), 2, "both replicas alive");
+
+    let (rest, report) = c.srv.shutdown();
+    assert!(rest.is_empty());
+    assert!(
+        report.replica_reads > 0,
+        "routed read-only requests must reach the replicas"
+    );
+    assert_eq!(report.replica_engines.len(), 2);
+    let replica_stats = report.merged_replica_stats();
+    assert!(replica_stats.redo_records > 0, "redo stream was applied");
+    assert_eq!(replica_stats.snapshot_rejects, 0);
+
+    // Fingerprint: after the final catch-up each replica is row-for-row
+    // the primary (which synced everything — group commit of 1).
+    let primary = &report.engines[0];
+    for (s, replica) in &report.replica_engines {
+        assert_eq!(*s, 0);
+        assert_eq!(
+            replica.current_commit_ts(),
+            primary.current_commit_ts(),
+            "replica horizon"
+        );
+        for table in primary.table_names() {
+            assert_eq!(
+                replica.dump_table(&table),
+                primary.dump_table(&table),
+                "table `{table}` diverged on a replica"
+            );
+        }
+    }
+}
+
+/// Regression: a degraded shard (failed log sink) keeps serving
+/// read-only routed requests — `Admit::Started`, clean retirement — while
+/// writes report the durability failure. The shard must never go
+/// `Unavailable`: degraded is not dead.
+#[test]
+fn degraded_shard_keeps_serving_read_only() {
+    let mut c = cluster(|_| {
+        Box::new(FaultySink::new(
+            MemSink::new(),
+            FaultPlan {
+                fail_sync_from: Some(0),
+                ..FaultPlan::default()
+            },
+        ))
+    });
+
+    let dones = drive(&mut c.srv, c.entries, 200);
+    let mut reads = 0;
+    let mut failed_writes = 0;
+    for d in &dones {
+        if d.label == "admin-update" {
+            assert!(
+                d.error.is_some(),
+                "write {} must surface the sink failure",
+                d.tag
+            );
+            failed_writes += 1;
+        } else {
+            assert!(
+                d.error.is_none(),
+                "read {} ({}) failed on a degraded shard: {:?}",
+                d.tag,
+                d.label,
+                d.error
+            );
+            reads += 1;
+        }
+    }
+    assert!(reads > 0 && failed_writes > 0, "mix exercised both paths");
+    assert!(
+        c.srv.dead_shards().is_empty(),
+        "degraded shard must not be marked dead"
+    );
+    let (rest, report) = c.srv.shutdown();
+    assert!(rest.is_empty());
+    assert_eq!(report.replica_reads, 0, "no replicas were spawned");
+}
+
+/// Reads survive primary death: routed read-only requests are admitted
+/// to replicas *before* the primary-death check, so a shard whose
+/// primary worker died keeps answering reads from its replicas.
+#[test]
+fn reads_survive_primary_death() {
+    let mut c = cluster(|_| Box::new(MemSink::new()));
+    c.srv.spawn_replicas(&c.feeds, vec![vec![fresh_tpcw(7)]]);
+
+    // Warm up (writes reach the replica), then kill the primary and
+    // give its thread a moment to exit. The replica admission path runs
+    // *before* the primary-death check, so reads keep serving whether or
+    // not the reaper has marked the shard dead yet.
+    let dones = drive(&mut c.srv, c.entries, 50);
+    assert!(dones.iter().all(|d| d.error.is_none()));
+    c.srv.inject_worker_crash(0, 0);
+    std::thread::sleep(std::time::Duration::from_millis(50));
+
+    // Primary is gone; routed reads still serve from the replica.
+    let mut mix = tpcw::ReadMostlyMix::new(c.entries, scale(), 0, 77).routed();
+    for tag in 0..40u64 {
+        let req = mix.next_txn(0);
+        assert_eq!(
+            c.srv.submit(req, 10_000 + tag),
+            Admit::Started,
+            "reads must admit to the replica after primary death"
+        );
+        let d = c.srv.recv_done().expect("one in flight");
+        assert!(
+            d.error.is_none(),
+            "read failed after primary death: {:?}",
+            d.error
+        );
+    }
+    let (_, report) = c.srv.shutdown();
+    assert!(report.replica_reads >= 40);
+}

@@ -342,6 +342,8 @@ pub struct ReadMostlyMix {
     scale: TpcwScale,
     /// Percent of transactions that are admin writes.
     write_pct: u32,
+    /// Give read interactions a shard route (see [`ReadMostlyMix::routed`]).
+    routed: bool,
     rng: StdRng,
 }
 
@@ -355,8 +357,25 @@ impl ReadMostlyMix {
             entries,
             scale,
             write_pct,
+            routed: false,
             rng: StdRng::seed_from_u64(seed),
         }
+    }
+
+    /// Route every *read* interaction with its own id as the shard key.
+    /// The browsing tables (item/author/customer/orders) carry no shard
+    /// key, so a sharded loader replicates them to every shard and any
+    /// route is valid for a read — this is what lets a sharded server
+    /// treat the reads as single-shard (and serve them from log-shipping
+    /// replicas). The admin write stays unrouted: a routed write on a
+    /// replicated table would update one shard's copy only.
+    pub fn routed(mut self) -> Self {
+        self.routed = true;
+        self
+    }
+
+    fn route_key(&self, k: i64) -> Option<i64> {
+        self.routed.then_some(k)
     }
 
     fn subject(&mut self) -> String {
@@ -395,7 +414,7 @@ impl Workload for ReadMostlyMix {
                 entry: self.entries.browse.home,
                 args: vec![ArgVal::Int(cid)],
                 label: "home",
-                route: None,
+                route: self.route_key(cid),
             }
         } else if roll < self.write_pct + 55 {
             let iid = self.item();
@@ -403,35 +422,41 @@ impl Workload for ReadMostlyMix {
                 entry: self.entries.browse.product_detail,
                 args: vec![ArgVal::Int(iid)],
                 label: "product-detail",
-                route: None,
+                route: self.route_key(iid),
             }
         } else if roll < self.write_pct + 65 {
+            let subj = self.subject();
+            let route = self.route_key(cid);
             TxnRequest {
                 entry: self.entries.browse.new_products,
-                args: vec![ArgVal::Str(self.subject())],
+                args: vec![ArgVal::Str(subj)],
                 label: "new-products",
-                route: None,
+                route,
             }
         } else if roll < self.write_pct + 75 {
+            let subj = self.subject();
+            let route = self.route_key(cid);
             TxnRequest {
                 entry: self.entries.browse.search,
-                args: vec![ArgVal::Str(self.subject())],
+                args: vec![ArgVal::Str(subj)],
                 label: "search",
-                route: None,
+                route,
             }
         } else if roll < self.write_pct + 85 {
+            let subj = self.subject();
+            let route = self.route_key(cid);
             TxnRequest {
                 entry: self.entries.browse.best_sellers,
-                args: vec![ArgVal::Str(self.subject())],
+                args: vec![ArgVal::Str(subj)],
                 label: "best-sellers",
-                route: None,
+                route,
             }
         } else {
             TxnRequest {
                 entry: self.entries.browse.order_inquiry,
                 args: vec![ArgVal::Int(cid)],
                 label: "order-inquiry",
-                route: None,
+                route: self.route_key(cid),
             }
         }
     }
