@@ -88,7 +88,13 @@ fn run_server(
                         errors += u64::from(d.error.is_some());
                     }
                 }
-                Admit::Unavailable => panic!("no worker dies in this benchmark"),
+                // A worker death surfaces here; the bounded-retry
+                // path reaps the corpse and, when healing is
+                // configured, rides out the failover window.
+                Admit::Unavailable => match srv.submit_with_retry(req.clone(), i as u64, 8) {
+                    Admit::Started | Admit::Queued { .. } => break,
+                    other => panic!("shard stayed unavailable after retries: {other:?}"),
+                },
             }
         }
         if i % 64 == 0 {

@@ -44,7 +44,7 @@ use crate::prepared::{self, Plan, PreparedId, PreparedStmt, ProjP, SetP};
 use crate::sqlparse::{self, AggFn, CmpOp, SqlStmt};
 use crate::table::Table;
 use crate::txn::{Txn, TxnId, UndoOp};
-use crate::wal::{self, RecoveryReport, RedoOp, Wal};
+use crate::wal::{self, RecoveryReport, RedoOp, Wal, WalRecord};
 use pyx_lang::Scalar;
 use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::sync::Arc;
@@ -160,6 +160,18 @@ pub struct EngineStats {
     /// [`Engine::begin_read_only_at`] requests refused: timestamp in the
     /// future, or behind the GC floor (versions already pruned).
     pub snapshot_rejects: u64,
+    /// Durable 2PC yes-votes appended to the log (`Prepare` records).
+    pub wal_prepare_records: u64,
+    /// 2PC outcomes appended to the log (`Decide` records).
+    pub wal_decide_records: u64,
+    /// In-doubt branches reconstructed (recovery or
+    /// [`Engine::adopt_in_doubt`]), locks re-held awaiting resolution.
+    pub in_doubt_recovered: u64,
+    /// In-doubt branches resolved as committed
+    /// ([`Engine::resolve_prepared`]).
+    pub in_doubt_commits: u64,
+    /// In-doubt branches resolved as aborted (presumed abort included).
+    pub in_doubt_aborts: u64,
 }
 
 impl EngineStats {
@@ -192,6 +204,11 @@ impl EngineStats {
             redo_ops,
             lagged_snapshots,
             snapshot_rejects,
+            wal_prepare_records,
+            wal_decide_records,
+            in_doubt_recovered,
+            in_doubt_commits,
+            in_doubt_aborts,
         } = o;
         self.statements += statements;
         self.commits += commits;
@@ -216,6 +233,11 @@ impl EngineStats {
         self.redo_ops += redo_ops;
         self.lagged_snapshots += lagged_snapshots;
         self.snapshot_rejects += snapshot_rejects;
+        self.wal_prepare_records += wal_prepare_records;
+        self.wal_decide_records += wal_decide_records;
+        self.in_doubt_recovered += in_doubt_recovered;
+        self.in_doubt_commits += in_doubt_commits;
+        self.in_doubt_aborts += in_doubt_aborts;
     }
 }
 
@@ -267,7 +289,19 @@ pub struct Engine {
     gc_pin: Option<u64>,
     /// Write-ahead log; `None` runs the engine volatile (tests, sim).
     wal: Option<Wal>,
+    /// In-doubt 2PC branches by gtid: prepared (yes-vote durable), no
+    /// decide on record. Locks are held by the branch's `TxnId`; the
+    /// final images wait in `ops` for [`Engine::resolve_prepared`].
+    in_doubt: FxHashMap<u64, InDoubtBranch>,
     pub stats: EngineStats,
+}
+
+/// One reconstructed in-doubt 2PC branch (see [`Engine::recover`]).
+struct InDoubtBranch {
+    /// Local transaction id holding the branch's re-acquired locks.
+    txn: TxnId,
+    /// The prepared final row images, applied only on a commit decision.
+    ops: Vec<RedoOp>,
 }
 
 impl Default for Engine {
@@ -425,6 +459,7 @@ impl Engine {
             gc_floor: 0,
             gc_pin: None,
             wal: None,
+            in_doubt: FxHashMap::default(),
             stats: EngineStats::default(),
         }
     }
@@ -443,6 +478,14 @@ impl Engine {
     /// with a healthy one brings the engine out of degraded mode.
     pub fn set_wal(&mut self, wal: Wal) {
         self.wal = Some(wal);
+    }
+
+    /// Detach and return the write-ahead log. Failover uses this to move
+    /// a dead primary's log — sink, feed, and durability watermarks —
+    /// onto its successor (see [`Wal::resume_at`]); the engine left
+    /// behind runs volatile and is expected to be discarded.
+    pub fn take_wal(&mut self) -> Option<Wal> {
+        self.wal.take()
     }
 
     /// Shard id the attached log stamps into records.
@@ -497,6 +540,15 @@ impl Engine {
     /// non-monotone timestamps, a record from a different shard —
     /// fails loudly with [`DbError::Durability`], leaving the engine in
     /// an unspecified state that must be discarded.
+    ///
+    /// Two-phase-commit records replay by protocol: a `Prepare` stashes
+    /// the branch's images under its gtid, a commit-`Decide` applies them
+    /// at its commit timestamp, an abort-`Decide` drops them. A prepare
+    /// still undecided at the end of the log becomes an **in-doubt**
+    /// branch: its row locks are re-acquired (no new statement can touch
+    /// those rows), nothing is applied, and the outcome waits for
+    /// [`Engine::resolve_prepared`] — presumed abort when the
+    /// coordinator, interrogated, does not know the gtid.
     pub fn recover(&mut self, log: &[u8]) -> Result<RecoveryReport, DbError> {
         let dur = |m: String| DbError::Durability(m);
         if !self.txns.is_empty() || self.commit_ts != 0 {
@@ -513,32 +565,182 @@ impl Engine {
             truncated_bytes: scan.torn_bytes as u64,
             ..RecoveryReport::default()
         };
+        let mut pending: FxHashMap<u64, Vec<RedoOp>> = FxHashMap::default();
         for span in &scan.records {
-            let rec = wal::decode_record(&log[span.offset..span.offset + span.len])
+            let rec = wal::decode_any(&log[span.offset..span.offset + span.len])
                 .map_err(|e| dur(format!("corrupt record at byte {}: {e}", span.offset)))?;
+            let rec_shard = match &rec {
+                WalRecord::Commit(r) => r.shard,
+                WalRecord::Prepare { shard, .. } | WalRecord::Decide { shard, .. } => *shard,
+            };
             if let Some(shard) = self.wal_shard() {
-                if rec.shard != shard {
+                if rec_shard != shard {
                     return Err(dur(format!(
                         "record at byte {} belongs to shard {}, not {shard}",
-                        span.offset, rec.shard
+                        span.offset, rec_shard
                     )));
                 }
             }
-            let ts = rec.commit_ts;
-            for op in rec.ops {
-                self.replay_op(op, ts)
-                    .map_err(|e| dur(format!("replay of record ts {ts}: {e}")))?;
-                report.ops_applied += 1;
+            match rec {
+                WalRecord::Commit(rec) => {
+                    let ts = rec.commit_ts;
+                    for op in rec.ops {
+                        self.replay_op(op, ts)
+                            .map_err(|e| dur(format!("replay of record ts {ts}: {e}")))?;
+                        report.ops_applied += 1;
+                    }
+                    self.commit_ts = ts;
+                    report.records_applied += 1;
+                    report.last_ts = ts;
+                }
+                WalRecord::Prepare { gtid, ops, .. } => {
+                    if pending.insert(gtid, ops).is_some() {
+                        return Err(dur(format!(
+                            "record at byte {}: duplicate prepare for gtid {gtid}",
+                            span.offset
+                        )));
+                    }
+                }
+                WalRecord::Decide {
+                    gtid,
+                    commit,
+                    commit_ts,
+                    ..
+                } => {
+                    let Some(ops) = pending.remove(&gtid) else {
+                        return Err(dur(format!(
+                            "record at byte {}: decide for unknown gtid {gtid}",
+                            span.offset
+                        )));
+                    };
+                    if commit {
+                        for op in ops {
+                            self.replay_op(op, commit_ts)
+                                .map_err(|e| dur(format!("replay of decided gtid {gtid}: {e}")))?;
+                            report.ops_applied += 1;
+                        }
+                        self.commit_ts = commit_ts;
+                        report.records_applied += 1;
+                        report.last_ts = commit_ts;
+                    }
+                }
             }
-            self.commit_ts = ts;
-            report.records_applied += 1;
-            report.last_ts = ts;
+        }
+        // Whatever prepared but never decided is in-doubt: re-hold its
+        // locks and wait for the coordinator's (or presumed-abort's)
+        // verdict.
+        let mut undecided: Vec<(u64, Vec<RedoOp>)> = pending.into_iter().collect();
+        undecided.sort_unstable_by_key(|(gtid, _)| *gtid);
+        for (gtid, ops) in undecided {
+            self.adopt_in_doubt(gtid, ops)?;
         }
         self.run_gc();
         if let Some(wal) = self.wal.as_mut() {
             wal.note_recovered(report.last_ts);
         }
         Ok(report)
+    }
+
+    /// Register one in-doubt 2PC branch: re-acquire exclusive locks on
+    /// every row the prepared images touch (recovery has no competing
+    /// writers, so a conflict means the log is inconsistent) and hold the
+    /// images for [`Engine::resolve_prepared`]. Called by
+    /// [`Engine::recover`] for undecided prepares, and by failover when a
+    /// promoted replica inherits its dead primary's pending prepares.
+    pub fn adopt_in_doubt(&mut self, gtid: u64, ops: Vec<RedoOp>) -> Result<(), DbError> {
+        let dur = |m: String| DbError::Durability(m);
+        if self.in_doubt.contains_key(&gtid) {
+            return Err(dur(format!("duplicate in-doubt gtid {gtid}")));
+        }
+        let txn = TxnId(self.next_txn);
+        self.next_txn += 1;
+        for op in &ops {
+            let (ti, key) = match op {
+                RedoOp::Put { table, row } => {
+                    let ti = *table as usize;
+                    let t = self
+                        .tables
+                        .get(ti)
+                        .ok_or_else(|| dur(format!("in-doubt gtid {gtid}: unknown table {ti}")))?;
+                    (ti, t.def.key_of(row))
+                }
+                RedoOp::Delete { table, key } => {
+                    let ti = *table as usize;
+                    if self.tables.get(ti).is_none() {
+                        return Err(dur(format!("in-doubt gtid {gtid}: unknown table {ti}")));
+                    }
+                    (ti, key.clone())
+                }
+            };
+            if !matches!(
+                self.locks.acquire(txn, ti, &key, LockMode::Exclusive),
+                Acquire::Granted
+            ) {
+                self.locks.release_all(txn);
+                return Err(dur(format!(
+                    "in-doubt gtid {gtid} conflicts with already-held locks"
+                )));
+            }
+        }
+        self.txns.insert(
+            txn,
+            Txn {
+                prepared: true,
+                gtid: Some(gtid),
+                ..Txn::default()
+            },
+        );
+        self.in_doubt.insert(gtid, InDoubtBranch { txn, ops });
+        self.stats.in_doubt_recovered += 1;
+        Ok(())
+    }
+
+    /// Gtids of in-doubt branches awaiting [`Engine::resolve_prepared`],
+    /// ascending.
+    pub fn in_doubt_gtids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.in_doubt.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Resolve one in-doubt branch with the coordinator's verdict. A
+    /// commit applies the prepared images at a fresh commit timestamp
+    /// (logging the decide record first — same write-ahead discipline as
+    /// [`Engine::commit`]); an abort simply drops them (the decide record
+    /// is best-effort: presumed abort makes a lost abort-decide safe).
+    /// Either way the branch's locks are released.
+    pub fn resolve_prepared(&mut self, gtid: u64, commit: bool) -> Result<(), DbError> {
+        let branch = self
+            .in_doubt
+            .remove(&gtid)
+            .ok_or_else(|| DbError::Schema(format!("unknown in-doubt gtid {gtid}")))?;
+        if commit {
+            let ts = self.commit_ts + 1;
+            if self.wal.is_some() {
+                if let Err(msg) = self.wal_append_decide(gtid, true, ts) {
+                    self.in_doubt.insert(gtid, branch);
+                    return Err(DbError::Durability(msg));
+                }
+            }
+            for op in branch.ops {
+                self.replay_op(op, ts)
+                    .map_err(|e| DbError::Durability(format!("in-doubt commit of {gtid}: {e}")))?;
+            }
+            self.commit_ts = ts;
+            self.run_gc();
+            self.stats.in_doubt_commits += 1;
+            self.stats.commits += 1;
+        } else {
+            if self.wal.is_some() && self.wal_failure().is_none() {
+                let _ = self.wal_append_decide(gtid, false, 0);
+            }
+            self.stats.in_doubt_aborts += 1;
+            self.stats.prepare_aborts += 1;
+            self.stats.aborts += 1;
+        }
+        self.locks.release_all(branch.txn);
+        self.txns.remove(&branch.txn);
+        Ok(())
     }
 
     /// Apply one redo record *incrementally* — the log-shipping replica
@@ -804,6 +1006,22 @@ impl Engine {
         self.snapshots.keys().next().copied()
     }
 
+    /// Next transaction id this engine would assign. A failover
+    /// supervisor reads this off the dead engine and feeds it to the
+    /// successor's [`Engine::reserve_txn_ids`].
+    pub fn txn_id_floor(&self) -> u64 {
+        self.next_txn
+    }
+
+    /// Never assign a transaction id below `floor`. A respawned shard
+    /// must not reuse ids the dead incarnation handed to coordinators:
+    /// a stale cleanup `abort(t)` arriving after failover would
+    /// otherwise kill an unrelated new transaction that drew the same
+    /// id.
+    pub fn reserve_txn_ids(&mut self, floor: u64) {
+        self.next_txn = self.next_txn.max(floor);
+    }
+
     /// Commit: append the redo record to the write-ahead log (if one is
     /// attached), stamp touched rows with a fresh commit timestamp,
     /// release locks, return (cost, woken waiters). Read-only
@@ -817,6 +1035,14 @@ impl Engine {
     /// visible to any snapshot.
     pub fn commit(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
         let t = self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
+        if t.gtid.is_some_and(|g| self.in_doubt.contains_key(&g)) {
+            // A recovered in-doubt branch has no undo log to commit from;
+            // its images apply through `resolve_prepared` only.
+            self.txns.insert(txn, t);
+            return Err(DbError::Schema(
+                "in-doubt branch must be resolved via resolve_prepared".into(),
+            ));
+        }
         if t.read_only {
             self.end_snapshot(t.snap_ts);
             self.stats.commits += 1;
@@ -826,7 +1052,13 @@ impl Engine {
             let ts = self.commit_ts + 1;
             let touched = self.touched_rows(&t.undo);
             if self.wal.is_some() {
-                if let Err(msg) = self.wal_append(ts, &touched) {
+                // A branch whose yes-vote is already durable (prepare
+                // record carries the images) logs only the outcome.
+                let res = match t.gtid {
+                    Some(gtid) => self.wal_append_decide(gtid, true, ts),
+                    None => self.wal_append(ts, &touched),
+                };
+                if let Err(msg) = res {
                     self.txns.insert(txn, t);
                     return Err(DbError::Durability(msg));
                 }
@@ -846,20 +1078,38 @@ impl Engine {
     /// further statements are accepted — the outcome now belongs to the
     /// coordinator, which must call `commit` or [`Engine::abort`].
     ///
+    /// With a write-ahead log attached, the yes-vote is **durable before
+    /// it is returned**: the branch's final row images go to the log as a
+    /// `Prepare` record under `gtid` (the coordinator's global
+    /// transaction id) and are flushed — group commit does not apply to
+    /// votes. A crash after this point recovers the branch as in-doubt
+    /// with its locks held; the commit record itself is then just a
+    /// `Decide`.
+    ///
     /// Rejects read-only transactions (nothing to prepare — snapshot
     /// branches commit trivially) and refuses to prepare while the WAL is
     /// degraded: a shard that cannot make the commit durable must vote
     /// *no* at prepare time, not discover it after the coordinator
     /// decided.
-    pub fn prepare_commit(&mut self, txn: TxnId) -> Result<(), DbError> {
+    pub fn prepare_commit(&mut self, txn: TxnId, gtid: u64) -> Result<(), DbError> {
         if let Some(msg) = self.wal_failure() {
             return Err(DbError::Durability(msg));
         }
-        let t = self.txns.get_mut(&txn).ok_or(DbError::UnknownTxn)?;
+        let t = self.txns.get(&txn).ok_or(DbError::UnknownTxn)?;
         if t.read_only {
             return Err(DbError::ReadOnly);
         }
+        let durable = if self.wal.is_some() && !t.undo.is_empty() {
+            let touched = self.touched_rows(&t.undo);
+            self.wal_append_prepare(gtid, &touched)
+                .map_err(DbError::Durability)?;
+            true
+        } else {
+            false
+        };
+        let t = self.txns.get_mut(&txn).expect("checked above");
         t.prepared = true;
+        t.gtid = durable.then_some(gtid);
         self.stats.prepares += 1;
         Ok(())
     }
@@ -925,6 +1175,12 @@ impl Engine {
             .expect("caller checked")
             .append_commit(ts, ops)?;
         self.stats.wal_records += 1;
+        self.note_append(info);
+        Ok(())
+    }
+
+    /// Stats bookkeeping shared by every WAL append path.
+    fn note_append(&mut self, info: wal::AppendInfo) {
         self.stats.wal_bytes += info.bytes;
         if let Some(n) = info.flushed {
             self.stats.wal_fsyncs += 1;
@@ -932,6 +1188,49 @@ impl Engine {
                 self.stats.wal_group_batches += 1;
             }
         }
+    }
+
+    /// Append (and flush) one `Prepare` record carrying `touched`'s
+    /// final images under `gtid` — the durable yes-vote. Same
+    /// final-image extraction as [`Engine::wal_append`].
+    fn wal_append_prepare(&mut self, gtid: u64, touched: &[(usize, RowId)]) -> Result<(), String> {
+        let mut ops = self.wal.as_mut().expect("caller checked").take_ops();
+        for &(ti, rid) in touched {
+            let t = &self.tables[ti];
+            match t.get_shared(rid) {
+                Some(img) => ops.push(RedoOp::Put {
+                    table: ti as u32,
+                    row: Arc::clone(img),
+                }),
+                None => {
+                    if let Some(key) = t.deleted_key(rid) {
+                        ops.push(RedoOp::Delete {
+                            table: ti as u32,
+                            key,
+                        });
+                    }
+                }
+            }
+        }
+        let info = self
+            .wal
+            .as_mut()
+            .expect("caller checked")
+            .append_prepare(gtid, ops)?;
+        self.stats.wal_prepare_records += 1;
+        self.note_append(info);
+        Ok(())
+    }
+
+    /// Append one `Decide` record for `gtid` (flushed per the log's
+    /// group-commit policy, like a commit record).
+    fn wal_append_decide(&mut self, gtid: u64, commit: bool, ts: u64) -> Result<(), String> {
+        let Some(wal) = self.wal.as_mut() else {
+            return Ok(());
+        };
+        let info = wal.append_decide(gtid, commit, ts)?;
+        self.stats.wal_decide_records += 1;
+        self.note_append(info);
         Ok(())
     }
 
@@ -992,6 +1291,14 @@ impl Engine {
     /// to any snapshot.
     pub fn abort(&mut self, txn: TxnId) -> Result<(u64, Vec<TxnId>), DbError> {
         let t = self.txns.remove(&txn).ok_or(DbError::UnknownTxn)?;
+        if t.gtid.is_some_and(|g| self.in_doubt.contains_key(&g)) {
+            // Recovered in-doubt branches resolve through
+            // `resolve_prepared`, never the plain abort path.
+            self.txns.insert(txn, t);
+            return Err(DbError::Schema(
+                "in-doubt branch must be resolved via resolve_prepared".into(),
+            ));
+        }
         if t.read_only {
             self.end_snapshot(t.snap_ts);
             self.stats.aborts += 1;
@@ -999,7 +1306,13 @@ impl Engine {
         }
         if t.prepared {
             // Coordinator-decided abort of a prepared participant branch.
+            // If the yes-vote reached the log, record the outcome so
+            // recovery does not resurrect the branch as in-doubt. Best
+            // effort: presumed abort makes a lost abort-decide safe.
             self.stats.prepare_aborts += 1;
+            if let Some(gtid) = t.gtid {
+                let _ = self.wal_append_decide(gtid, false, 0);
+            }
         }
         let mut c = cost::TXN_END;
         for op in t.undo.into_iter().rev() {

@@ -134,6 +134,41 @@
 //!   tailer restarted at any point ≥ the durable prefix converges to
 //!   the primary's committed-prefix state (`tests/replica.rs`
 //!   randomized catch-up differential).
+//!
+//! # Failure model and recovery guarantees
+//!
+//! The engine assumes **crash-stop** failures: a process dies at an
+//! arbitrary instruction and loses everything except what its log sink
+//! had durably synced. Within that model:
+//!
+//! * **What survives a crash.** Every transaction whose commit record
+//!   (or commit-`Decide` record) reached a synced log prefix; every
+//!   two-phase-commit yes-vote, because [`Engine::prepare_commit`]
+//!   force-flushes a `Prepare` record *before* the participant reports
+//!   "prepared" ([`wal`] § *Two-phase-commit records*). Nothing else: an
+//!   unlogged or unsynced transaction simply never happened.
+//! * **In-doubt resolution protocol.** [`Engine::recover`] replays
+//!   decided work and re-materializes each prepare-without-decide as an
+//!   *in-doubt branch*: its exclusive locks are re-held so no reader or
+//!   writer can observe or overwrite the undecided rows, but the branch
+//!   accepts no statements. The caller (the serving tier's supervisor)
+//!   interrogates the coordinator and settles each branch with
+//!   [`Engine::resolve_prepared`]; a branch whose coordinator has no
+//!   recorded commit decision is **presumed aborted** — safe because a
+//!   coordinator only acknowledges success after every participant
+//!   decided commit.
+//! * **Replica promotion ordering rule.** A replica may replace its
+//!   primary only once it has applied the primary's *entire durable
+//!   prefix* ([`Wal::resume_at`] enforces `applied_ts ==
+//!   durable_ts` and refuses otherwise), so promotion never serves a
+//!   state behind what the dead primary acknowledged. Prepares parked in
+//!   the promoted replica's tailer become in-doubt branches via
+//!   [`Engine::adopt_in_doubt`] and follow the same resolution protocol.
+//! * **Staleness during failover.** While a shard has no live primary,
+//!   bounded-staleness reads keep serving from surviving replicas at
+//!   their applied horizons (monotone, but frozen at the durable
+//!   watermark until a new primary resumes writes); writes surface
+//!   retryable unavailability rather than blocking.
 
 pub mod cost;
 pub mod engine;
@@ -157,4 +192,5 @@ pub use schema::{shard_of, ColTy, ColumnDef, TableDef};
 pub use txn::TxnId;
 pub use wal::{
     FaultPlan, FaultySink, FeedSink, FileSink, LogFeed, LogSink, MemSink, RecoveryReport, Wal,
+    WalRecord, KIND_COMMIT, KIND_DECIDE, KIND_PREPARE,
 };

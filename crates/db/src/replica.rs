@@ -26,9 +26,20 @@
 //! rebuilt with [`RedoTailer::resume`] from its replica's applied
 //! state; a torn byte suffix (reading a crash image of the stream) is
 //! simply not consumed — the next catch-up picks it up once complete.
+//!
+//! # Two-phase-commit records in the stream
+//!
+//! Replicas apply only *decided* work. A `Prepare` record parks its
+//! images in the tailer (nothing touches the replica engine — the
+//! branch may still abort); the matching commit-`Decide` applies them at
+//! its commit timestamp, an abort-`Decide` drops them. Prepares still
+//! parked when a primary dies are exactly the in-doubt set a promoted
+//! replica must adopt ([`RedoTailer::take_pending`] →
+//! [`Engine::adopt_in_doubt`]).
 
 use crate::engine::{DbError, Engine};
-use crate::wal::{self, LogFeed};
+use crate::fxhash::FxHashMap;
+use crate::wal::{self, LogFeed, RedoOp, RedoRecord, WalRecord, KIND_COMMIT};
 
 /// What one [`RedoTailer::catch_up`] pass applied.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
@@ -42,13 +53,15 @@ pub struct CatchUp {
 }
 
 /// Incremental redo-stream reader feeding one replica engine.
-#[derive(Debug, Clone, Copy, Default)]
+#[derive(Debug, Clone, Default)]
 pub struct RedoTailer {
     /// Absolute byte offset of the next unapplied record.
     offset: usize,
     /// Commit timestamp of the last applied record (monotonicity
     /// watermark for the resumed scan).
     last_ts: u64,
+    /// Prepared-but-undecided 2PC branches seen in the stream, by gtid.
+    pending: FxHashMap<u64, Vec<RedoOp>>,
 }
 
 impl RedoTailer {
@@ -60,9 +73,16 @@ impl RedoTailer {
 
     /// Resume after a tailer crash: `offset` is the byte position of
     /// the next unapplied record, `last_ts` the replica's applied
-    /// horizon ([`Engine::current_commit_ts`]).
+    /// horizon ([`Engine::current_commit_ts`]). The resume point must
+    /// not have prepares outstanding (a decide for a gtid the resumed
+    /// tailer never saw prepared fails loudly) — in practice replicas
+    /// resume from offset 0 or from a continuously-tailed position.
     pub fn resume(offset: usize, last_ts: u64) -> RedoTailer {
-        RedoTailer { offset, last_ts }
+        RedoTailer {
+            offset,
+            last_ts,
+            pending: FxHashMap::default(),
+        }
     }
 
     /// Byte offset of the next unapplied record.
@@ -73,6 +93,22 @@ impl RedoTailer {
     /// Commit timestamp of the last applied record.
     pub fn last_ts(&self) -> u64 {
         self.last_ts
+    }
+
+    /// Gtids of prepares seen with no decide yet (ascending) — a
+    /// promoted replica's in-doubt set.
+    pub fn pending_gtids(&self) -> Vec<u64> {
+        let mut v: Vec<u64> = self.pending.keys().copied().collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Drain the parked prepares (gtid → final images), ascending by
+    /// gtid. On promotion these feed [`Engine::adopt_in_doubt`].
+    pub fn take_pending(&mut self) -> Vec<(u64, Vec<RedoOp>)> {
+        let mut v: Vec<(u64, Vec<RedoOp>)> = self.pending.drain().collect();
+        v.sort_unstable_by_key(|(gtid, _)| *gtid);
+        v
     }
 
     /// Apply every complete record in `log` (the full stream from byte
@@ -120,18 +156,57 @@ impl RedoTailer {
         let mut out = CatchUp::default();
         for span in &scan.records {
             let rec =
-                wal::decode_record(&bytes[span.offset..span.offset + span.len]).map_err(|e| {
+                wal::decode_any(&bytes[span.offset..span.offset + span.len]).map_err(|e| {
                     DbError::Durability(format!(
                         "corrupt record at byte {}: {e}",
                         abs_base + span.offset
                     ))
                 })?;
-            out.ops += rec.ops.len() as u64;
-            replica.apply_redo(rec)?;
-            out.records += 1;
-            self.last_ts = span.commit_ts;
+            match rec {
+                WalRecord::Commit(rec) => {
+                    out.ops += rec.ops.len() as u64;
+                    replica.apply_redo(rec)?;
+                    out.records += 1;
+                    self.last_ts = span.commit_ts;
+                }
+                WalRecord::Prepare { gtid, ops, .. } => {
+                    if self.pending.insert(gtid, ops).is_some() {
+                        return Err(DbError::Durability(format!(
+                            "corrupt ship stream at byte {}: duplicate prepare for gtid {gtid}",
+                            abs_base + span.offset
+                        )));
+                    }
+                }
+                WalRecord::Decide {
+                    shard,
+                    gtid,
+                    commit,
+                    commit_ts,
+                } => {
+                    let Some(ops) = self.pending.remove(&gtid) else {
+                        return Err(DbError::Durability(format!(
+                            "corrupt ship stream at byte {}: decide for unknown gtid {gtid}",
+                            abs_base + span.offset
+                        )));
+                    };
+                    if commit {
+                        out.ops += ops.len() as u64;
+                        replica.apply_redo(RedoRecord {
+                            shard,
+                            commit_ts,
+                            ops,
+                        })?;
+                        out.records += 1;
+                        self.last_ts = commit_ts;
+                    }
+                }
+            }
             self.offset = abs_base + span.offset + span.len;
             out.bytes += span.len as u64;
+            debug_assert!(
+                span.kind != KIND_COMMIT || span.commit_ts == self.last_ts,
+                "commit span watermark drift"
+            );
         }
         Ok(out)
     }

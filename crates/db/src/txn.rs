@@ -54,6 +54,10 @@ pub struct Txn {
     /// undo log is retained, but no further statements are accepted. The
     /// outcome (commit or abort) belongs to the coordinator.
     pub prepared: bool,
+    /// Global transaction id under which this branch's yes-vote was made
+    /// durable (a `Prepare` record reached the log). The outcome is
+    /// logged as a `Decide` record instead of a full commit record.
+    pub gtid: Option<u64>,
 }
 
 #[cfg(test)]

@@ -22,21 +22,39 @@
 //! |--------|------|------------------------------------------------|
 //! | 0      | 4    | magic `b"PYXW"`                                |
 //! | 4      | 1    | version (currently `1`)                        |
-//! | 5      | 1    | kind: 0 commit                                 |
+//! | 5      | 1    | kind: 0 commit, 1 prepare, 2 decide            |
 //! | 6      | 2    | shard id                                       |
-//! | 8      | 8    | commit timestamp                               |
+//! | 8      | 8    | commit timestamp (gtid for prepare/decide)     |
 //! | 16     | 4    | number of row operations                       |
 //! | 20     | 4    | payload length in bytes                        |
 //! | 24     | 8    | FNV-1a checksum of header[0..24]               |
 //! | 32     | 8    | FNV-1a checksum of the payload                 |
 //!
-//! The payload is one entry per touched row: a tag byte (`0` put, `1`
-//! delete), a `u32` table id, then a `u32` scalar count and that many
-//! scalars (the full final image for a put, the primary key for a
-//! delete). A record carries the transaction's **final** image per row —
-//! redo is physical and idempotent per `(table, key)`, so replay order
-//! within a record is irrelevant and a row touched by several statements
-//! costs one entry.
+//! A **commit** payload is one entry per touched row: a tag byte (`0`
+//! put, `1` delete), a `u32` table id, then a `u32` scalar count and
+//! that many scalars (the full final image for a put, the primary key
+//! for a delete). A record carries the transaction's **final** image per
+//! row — redo is physical and idempotent per `(table, key)`, so replay
+//! order within a record is irrelevant and a row touched by several
+//! statements costs one entry.
+//!
+//! # Two-phase-commit records
+//!
+//! A cross-shard participant's yes-vote is made durable *before* it is
+//! acknowledged to the coordinator: a **prepare** record (kind `1`)
+//! carries the branch's final row images — the same op encoding as a
+//! commit — with the cross-shard transaction's **gtid** in the timestamp
+//! header field (a gtid is not a commit timestamp, so prepare records do
+//! not participate in the monotonicity watermark). The branch's outcome
+//! is a **decide** record (kind `2`): gtid in the header, and a 9-byte
+//! payload `[commit: u8][commit_ts: u64 LE]`. A commit-decide applies
+//! the prepared images at `commit_ts` (which *does* advance the
+//! watermark); an abort-decide (flag `0`, ts `0`) drops them. A prepare
+//! that reaches the durable log with no decide is an **in-doubt** branch:
+//! recovery reconstructs it with its locks held (see
+//! [`crate::Engine::recover`]) and leaves the outcome to
+//! [`crate::Engine::resolve_prepared`] — presumed abort if the
+//! coordinator does not know the gtid.
 //!
 //! # Torn tails vs corruption
 //!
@@ -81,7 +99,14 @@ pub const RECORD_HEADER_LEN: usize = 40;
 pub const CHECKED_HEADER_LEN: usize = 24;
 const MAGIC: [u8; 4] = *b"PYXW";
 const VERSION: u8 = 1;
-const KIND_COMMIT: u8 = 0;
+/// Record kind: a committed transaction's final row images.
+pub const KIND_COMMIT: u8 = 0;
+/// Record kind: a durable 2PC yes-vote (gtid + final row images).
+pub const KIND_PREPARE: u8 = 1;
+/// Record kind: a 2PC outcome (gtid + commit flag + commit timestamp).
+pub const KIND_DECIDE: u8 = 2;
+/// Byte length of a decide record's payload: `[commit: u8][ts: u64]`.
+const DECIDE_PAYLOAD_LEN: usize = 9;
 
 // Scalar tags (same values as the control-transfer wire protocol).
 const T_NULL: u8 = 0;
@@ -111,6 +136,30 @@ pub struct RedoRecord {
     pub ops: Vec<RedoOp>,
 }
 
+/// Any decoded log record (see [`decode_any`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum WalRecord {
+    /// A committed transaction's final row images.
+    Commit(RedoRecord),
+    /// A durable 2PC yes-vote: the branch's final images, keyed by the
+    /// cross-shard transaction's gtid. Nothing is applied until a
+    /// decide arrives.
+    Prepare {
+        shard: u16,
+        gtid: u64,
+        ops: Vec<RedoOp>,
+    },
+    /// A 2PC outcome for `gtid`: apply the prepared images at
+    /// `commit_ts` when `commit`, drop them otherwise (`commit_ts` is 0
+    /// for aborts).
+    Decide {
+        shard: u16,
+        gtid: u64,
+        commit: bool,
+        commit_ts: u64,
+    },
+}
+
 /// Where one record sits in the stream (diagnostics and the
 /// crash-recovery test harness).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -119,8 +168,12 @@ pub struct RecordSpan {
     pub offset: usize,
     /// Total encoded length (header + payload).
     pub len: usize,
+    /// The header's timestamp field: the commit timestamp for
+    /// [`KIND_COMMIT`], the gtid for [`KIND_PREPARE`]/[`KIND_DECIDE`].
     pub commit_ts: u64,
     pub shard: u16,
+    /// Record kind ([`KIND_COMMIT`], [`KIND_PREPARE`], [`KIND_DECIDE`]).
+    pub kind: u8,
 }
 
 /// Outcome of scanning a log byte stream. `error` is set for corruption
@@ -219,11 +272,7 @@ fn decode_scalars(r: &mut Reader) -> Result<Vec<Scalar>, String> {
     Ok(out)
 }
 
-/// Encode one commit record into `out` (cleared first; the buffer is
-/// reusable across commits, allocation-free once warm).
-pub fn encode_record(out: &mut Vec<u8>, shard: u16, commit_ts: u64, ops: &[RedoOp]) {
-    out.clear();
-    out.resize(RECORD_HEADER_LEN, 0);
+fn encode_ops(out: &mut Vec<u8>, ops: &[RedoOp]) {
     for op in ops {
         match op {
             RedoOp::Put { table, row } => {
@@ -244,13 +293,18 @@ pub fn encode_record(out: &mut Vec<u8>, shard: u16, commit_ts: u64, ops: &[RedoO
             }
         }
     }
+}
+
+/// Stamp the header (magic, version, kind, ids, lengths, checksums) onto
+/// a buffer whose payload is already in place past `RECORD_HEADER_LEN`.
+fn seal_record(out: &mut [u8], kind: u8, shard: u16, ts: u64, n_ops: u32) {
     let payload_len = out.len() - RECORD_HEADER_LEN;
     out[0..4].copy_from_slice(&MAGIC);
     out[4] = VERSION;
-    out[5] = KIND_COMMIT;
+    out[5] = kind;
     out[6..8].copy_from_slice(&shard.to_le_bytes());
-    out[8..16].copy_from_slice(&commit_ts.to_le_bytes());
-    out[16..20].copy_from_slice(&(ops.len() as u32).to_le_bytes());
+    out[8..16].copy_from_slice(&ts.to_le_bytes());
+    out[16..20].copy_from_slice(&n_ops.to_le_bytes());
     out[20..24].copy_from_slice(&(payload_len as u32).to_le_bytes());
     let hsum = fnv1a(&out[..CHECKED_HEADER_LEN]);
     out[24..32].copy_from_slice(&hsum.to_le_bytes());
@@ -258,16 +312,41 @@ pub fn encode_record(out: &mut Vec<u8>, shard: u16, commit_ts: u64, ops: &[RedoO
     out[32..40].copy_from_slice(&psum.to_le_bytes());
 }
 
-/// Decode the record starting at `buf[0]`, which the caller has already
-/// scanned as complete and checksum-valid.
-pub fn decode_record(buf: &[u8]) -> Result<RedoRecord, String> {
-    let shard = u16::from_le_bytes(buf[6..8].try_into().unwrap());
-    let commit_ts = u64::from_le_bytes(buf[8..16].try_into().unwrap());
-    let n_ops = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
-    let payload_len = u32::from_le_bytes(buf[20..24].try_into().unwrap()) as usize;
-    let mut r = Reader {
-        buf: &buf[RECORD_HEADER_LEN..RECORD_HEADER_LEN + payload_len],
-    };
+/// Encode one commit record into `out` (cleared first; the buffer is
+/// reusable across commits, allocation-free once warm).
+pub fn encode_record(out: &mut Vec<u8>, shard: u16, commit_ts: u64, ops: &[RedoOp]) {
+    out.clear();
+    out.resize(RECORD_HEADER_LEN, 0);
+    encode_ops(out, ops);
+    seal_record(out, KIND_COMMIT, shard, commit_ts, ops.len() as u32);
+}
+
+/// Encode one 2PC prepare record (the durable yes-vote for `gtid`).
+pub fn encode_prepare_record(out: &mut Vec<u8>, shard: u16, gtid: u64, ops: &[RedoOp]) {
+    out.clear();
+    out.resize(RECORD_HEADER_LEN, 0);
+    encode_ops(out, ops);
+    seal_record(out, KIND_PREPARE, shard, gtid, ops.len() as u32);
+}
+
+/// Encode one 2PC decide record for `gtid` (`commit_ts` is ignored and
+/// written as 0 for aborts).
+pub fn encode_decide_record(
+    out: &mut Vec<u8>,
+    shard: u16,
+    gtid: u64,
+    commit: bool,
+    commit_ts: u64,
+) {
+    out.clear();
+    out.resize(RECORD_HEADER_LEN, 0);
+    out.push(u8::from(commit));
+    out.extend_from_slice(&if commit { commit_ts } else { 0 }.to_le_bytes());
+    seal_record(out, KIND_DECIDE, shard, gtid, 0);
+}
+
+fn decode_ops(buf: &[u8], n_ops: usize) -> Result<Vec<RedoOp>, String> {
+    let mut r = Reader { buf };
     let mut ops = Vec::with_capacity(n_ops.min(1 << 16));
     for _ in 0..n_ops {
         let tag = r.u8()?;
@@ -288,10 +367,54 @@ pub fn decode_record(buf: &[u8]) -> Result<RedoRecord, String> {
     if !r.buf.is_empty() {
         return Err("trailing bytes after ops".into());
     }
-    Ok(RedoRecord {
-        shard,
-        commit_ts,
-        ops,
+    Ok(ops)
+}
+
+/// Decode the commit record starting at `buf[0]`, which the caller has
+/// already scanned as complete and checksum-valid. Errors on a
+/// prepare/decide record — callers dispatching on [`RecordSpan::kind`]
+/// use [`decode_any`] for those.
+pub fn decode_record(buf: &[u8]) -> Result<RedoRecord, String> {
+    match decode_any(buf)? {
+        WalRecord::Commit(rec) => Ok(rec),
+        WalRecord::Prepare { .. } | WalRecord::Decide { .. } => {
+            Err(format!("not a commit record (kind {})", buf[5]))
+        }
+    }
+}
+
+/// Decode any record kind starting at `buf[0]`, which the caller has
+/// already scanned as complete and checksum-valid.
+pub fn decode_any(buf: &[u8]) -> Result<WalRecord, String> {
+    let kind = buf[5];
+    let shard = u16::from_le_bytes(buf[6..8].try_into().unwrap());
+    let ts = u64::from_le_bytes(buf[8..16].try_into().unwrap());
+    let n_ops = u32::from_le_bytes(buf[16..20].try_into().unwrap()) as usize;
+    let payload_len = u32::from_le_bytes(buf[20..24].try_into().unwrap()) as usize;
+    let payload = &buf[RECORD_HEADER_LEN..RECORD_HEADER_LEN + payload_len];
+    Ok(match kind {
+        KIND_COMMIT => WalRecord::Commit(RedoRecord {
+            shard,
+            commit_ts: ts,
+            ops: decode_ops(payload, n_ops)?,
+        }),
+        KIND_PREPARE => WalRecord::Prepare {
+            shard,
+            gtid: ts,
+            ops: decode_ops(payload, n_ops)?,
+        },
+        KIND_DECIDE => {
+            if payload_len != DECIDE_PAYLOAD_LEN || n_ops != 0 {
+                return Err("malformed decide record".into());
+            }
+            WalRecord::Decide {
+                shard,
+                gtid: ts,
+                commit: payload[0] != 0,
+                commit_ts: u64::from_le_bytes(payload[1..9].try_into().unwrap()),
+            }
+        }
+        k => return Err(format!("unknown kind {k}")),
     })
 }
 
@@ -338,8 +461,9 @@ pub fn scan_from(log: &[u8], start_offset: usize, last_ts: u64) -> ScanOutcome {
             out.error = Some(format!("record at byte {off}: unknown version {}", rest[4]));
             break;
         }
-        if rest[5] != KIND_COMMIT {
-            out.error = Some(format!("record at byte {off}: unknown kind {}", rest[5]));
+        let kind = rest[5];
+        if kind != KIND_COMMIT && kind != KIND_PREPARE && kind != KIND_DECIDE {
+            out.error = Some(format!("record at byte {off}: unknown kind {kind}"));
             break;
         }
         let payload_len = u32::from_le_bytes(rest[20..24].try_into().unwrap()) as usize;
@@ -354,19 +478,38 @@ pub fn scan_from(log: &[u8], start_offset: usize, last_ts: u64) -> ScanOutcome {
             out.error = Some(format!("record at byte {off}: payload checksum mismatch"));
             break;
         }
-        let commit_ts = u64::from_le_bytes(rest[8..16].try_into().unwrap());
-        if commit_ts <= last_ts {
-            out.error = Some(format!(
-                "record at byte {off}: non-monotone commit timestamp {commit_ts} after {last_ts}"
-            ));
-            break;
+        let ts = u64::from_le_bytes(rest[8..16].try_into().unwrap());
+        // Commit timestamps must be strictly monotone across the stream.
+        // Prepare records carry a gtid (not a timestamp) and are exempt;
+        // a decide record advances the watermark only when it commits
+        // (its effective timestamp lives in the checksummed payload).
+        let effective_ts = match kind {
+            KIND_COMMIT => Some(ts),
+            KIND_DECIDE => {
+                if payload_len != DECIDE_PAYLOAD_LEN {
+                    out.error = Some(format!("record at byte {off}: malformed decide record"));
+                    break;
+                }
+                let p = &rest[RECORD_HEADER_LEN..total];
+                (p[0] != 0).then(|| u64::from_le_bytes(p[1..9].try_into().unwrap()))
+            }
+            _ => None,
+        };
+        if let Some(cts) = effective_ts {
+            if cts <= last_ts {
+                out.error = Some(format!(
+                    "record at byte {off}: non-monotone commit timestamp {cts} after {last_ts}"
+                ));
+                break;
+            }
+            last_ts = cts;
         }
-        last_ts = commit_ts;
         out.records.push(RecordSpan {
             offset: off,
             len: total,
-            commit_ts,
+            commit_ts: ts,
             shard: u16::from_le_bytes(rest[6..8].try_into().unwrap()),
+            kind,
         });
         off += total;
         out.valid_len = off;
@@ -382,6 +525,16 @@ pub fn scan_from(log: &[u8], start_offset: usize, last_ts: u64) -> ScanOutcome {
 pub trait LogSink: Send {
     fn append(&mut self, buf: &[u8]) -> std::io::Result<()>;
     fn sync(&mut self) -> std::io::Result<()>;
+    /// Drop every byte appended since the last successful `sync`, so the
+    /// medium ends exactly at the durable prefix. Failover uses this
+    /// before a promoted or respawned primary resumes appending: a dead
+    /// worker may have buffered records past the durable watermark that
+    /// the successor never applied, and a later `sync` must not make
+    /// them durable behind its back. Sinks that buffer nothing (appends
+    /// reach the medium only through `sync`) may keep the default no-op.
+    fn discard_unsynced(&mut self) -> std::io::Result<()> {
+        Ok(())
+    }
 }
 
 impl LogSink for Box<dyn LogSink> {
@@ -391,19 +544,30 @@ impl LogSink for Box<dyn LogSink> {
     fn sync(&mut self) -> std::io::Result<()> {
         (**self).sync()
     }
+    fn discard_unsynced(&mut self) -> std::io::Result<()> {
+        (**self).discard_unsynced()
+    }
 }
 
 /// A real log file. `append` is `write_all` (page cache), `sync` is
 /// `sync_data`.
 pub struct FileSink {
     file: std::fs::File,
+    /// Bytes written so far (append offset).
+    len: u64,
+    /// Bytes covered by the last successful `sync`.
+    synced: u64,
 }
 
 impl FileSink {
     /// Create (truncating any previous log) at `path`.
     pub fn create(path: impl AsRef<std::path::Path>) -> std::io::Result<FileSink> {
         let file = std::fs::File::create(path)?;
-        Ok(FileSink { file })
+        Ok(FileSink {
+            file,
+            len: 0,
+            synced: 0,
+        })
     }
 
     /// Reopen an existing log for appending after recovery, truncating it
@@ -419,7 +583,11 @@ impl FileSink {
             .open(path)?;
         file.set_len(valid_len)?;
         file.seek(std::io::SeekFrom::End(0))?;
-        Ok(FileSink { file })
+        Ok(FileSink {
+            file,
+            len: valid_len,
+            synced: valid_len,
+        })
     }
 
     /// Read a log file fully into memory (the input to
@@ -433,11 +601,22 @@ impl FileSink {
 
 impl LogSink for FileSink {
     fn append(&mut self, buf: &[u8]) -> std::io::Result<()> {
-        self.file.write_all(buf)
+        self.file.write_all(buf)?;
+        self.len += buf.len() as u64;
+        Ok(())
     }
 
     fn sync(&mut self) -> std::io::Result<()> {
-        self.file.sync_data()
+        self.file.sync_data()?;
+        self.synced = self.len;
+        Ok(())
+    }
+
+    fn discard_unsynced(&mut self) -> std::io::Result<()> {
+        self.file.set_len(self.synced)?;
+        self.file.seek(std::io::SeekFrom::End(0))?;
+        self.len = self.synced;
+        Ok(())
     }
 }
 
@@ -495,6 +674,11 @@ impl LogSink for MemSink {
         let mut g = self.0.lock().unwrap();
         let v = std::mem::take(&mut g.volatile);
         g.durable.extend_from_slice(&v);
+        Ok(())
+    }
+
+    fn discard_unsynced(&mut self) -> std::io::Result<()> {
+        self.0.lock().unwrap().volatile.clear();
         Ok(())
     }
 }
@@ -569,6 +753,12 @@ impl<S: LogSink> LogSink for FeedSink<S> {
         self.inner.sync()?;
         let mut g = self.feed.lock().unwrap();
         g.durable.append(&mut self.volatile);
+        Ok(())
+    }
+
+    fn discard_unsynced(&mut self) -> std::io::Result<()> {
+        self.inner.discard_unsynced()?;
+        self.volatile.clear();
         Ok(())
     }
 }
@@ -661,6 +851,10 @@ impl<S: LogSink> LogSink for FaultySink<S> {
             return Err(std::io::Error::other("injected fsync failure"));
         }
         self.inner.sync()
+    }
+
+    fn discard_unsynced(&mut self) -> std::io::Result<()> {
+        self.inner.discard_unsynced()
     }
 }
 
@@ -789,6 +983,104 @@ impl Wal {
             }
         }
         Ok(info)
+    }
+
+    /// Append one 2PC prepare record and **force a flush**: the record
+    /// is the participant's yes-vote, and the vote may not be
+    /// acknowledged until it is durable (group-commit batching does not
+    /// apply — any pending commit records flush along with it). Errors
+    /// degrade the log; the caller votes no.
+    pub(crate) fn append_prepare(
+        &mut self,
+        gtid: u64,
+        ops: Vec<RedoOp>,
+    ) -> Result<AppendInfo, String> {
+        if let Some(e) = &self.failed {
+            self.ops = ops;
+            return Err(e.clone());
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        encode_prepare_record(&mut buf, self.shard, gtid, &ops);
+        let res = self.sink.append(&buf);
+        let len = buf.len();
+        self.buf = buf;
+        self.ops = ops;
+        if let Err(e) = res {
+            let msg = format!("wal append failed: {e}");
+            self.failed = Some(msg.clone());
+            return Err(msg);
+        }
+        self.pending += 1;
+        let flushed = self.sync()?;
+        Ok(AppendInfo {
+            bytes: len as u64,
+            flushed,
+        })
+    }
+
+    /// Append one 2PC decide record for `gtid`. A commit-decide advances
+    /// the appended watermark to `commit_ts` (the prepared images become
+    /// part of the committed stream at that timestamp); an abort-decide
+    /// is bookkeeping only. Group-commit batching applies as for
+    /// [`Wal::append_commit`].
+    pub(crate) fn append_decide(
+        &mut self,
+        gtid: u64,
+        commit: bool,
+        commit_ts: u64,
+    ) -> Result<AppendInfo, String> {
+        if let Some(e) = &self.failed {
+            return Err(e.clone());
+        }
+        let mut buf = std::mem::take(&mut self.buf);
+        encode_decide_record(&mut buf, self.shard, gtid, commit, commit_ts);
+        let res = self.sink.append(&buf);
+        let len = buf.len();
+        self.buf = buf;
+        if let Err(e) = res {
+            let msg = format!("wal append failed: {e}");
+            self.failed = Some(msg.clone());
+            return Err(msg);
+        }
+        if commit {
+            self.appended_ts = commit_ts;
+        }
+        self.pending += 1;
+        let mut info = AppendInfo {
+            bytes: len as u64,
+            flushed: None,
+        };
+        if self.pending >= self.group_max {
+            if let Ok(n) = self.sync() {
+                info.flushed = n;
+            }
+        }
+        Ok(info)
+    }
+
+    /// Re-anchor this log for a failover successor: drop every unsynced
+    /// byte (records the dead primary appended but never made durable —
+    /// the successor does not have them applied) and reset the
+    /// watermarks at the durable prefix. Refuses a degraded log, and
+    /// refuses a successor whose applied horizon is not exactly the
+    /// durable watermark — promoting a lagging replica would serve a
+    /// state behind what clients were acknowledged.
+    pub fn resume_at(&mut self, applied_ts: u64) -> Result<(), String> {
+        if let Some(e) = &self.failed {
+            return Err(format!("cannot resume a degraded log: {e}"));
+        }
+        if applied_ts != self.durable_ts {
+            return Err(format!(
+                "successor applied horizon {applied_ts} is not at the durable watermark {}",
+                self.durable_ts
+            ));
+        }
+        self.sink
+            .discard_unsynced()
+            .map_err(|e| format!("wal discard failed: {e}"))?;
+        self.pending = 0;
+        self.appended_ts = self.durable_ts;
+        Ok(())
     }
 
     /// Flush pending records (the acknowledgement point). `Ok(Some(n))` —

@@ -462,3 +462,152 @@ fn rewound_tailer_fails_instead_of_double_applying() {
         "wrong error class: {err}"
     );
 }
+
+// ---- 2PC records in the ship stream ----
+
+/// Replicas apply only decided 2PC work: a prepare parks its images in
+/// the tailer, the commit-decide applies them at its commit timestamp,
+/// and an abort-decide drops them without touching the replica.
+#[test]
+fn tailer_applies_only_decided_2pc_work() {
+    let sink = MemSink::new();
+    let mut primary = fresh_engine();
+    primary.set_wal(Wal::new(Box::new(sink.clone())));
+    let mut replica = fresh_engine();
+    let mut tailer = RedoTailer::new();
+
+    // ts 1: a plain single-shard commit.
+    let t = primary.begin();
+    primary
+        .execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(111), Scalar::Int(0)],
+        )
+        .expect("update");
+    primary.commit(t).expect("commit");
+
+    // A branch votes yes (prepare is force-flushed) but has no decide
+    // yet: the tailer parks it, nothing reaches the replica engine.
+    let t = primary.begin();
+    primary
+        .execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(222), Scalar::Int(1)],
+        )
+        .expect("update");
+    primary.prepare_commit(t, 9).expect("durable yes-vote");
+    let got = tailer
+        .catch_up(&sink.durable_bytes(), &mut replica)
+        .expect("tail prepare");
+    assert_eq!(got.records, 1, "only the plain commit applies");
+    assert_eq!(replica.current_commit_ts(), 1);
+    assert_eq!(tailer.pending_gtids(), vec![9]);
+
+    // The commit-decide applies the parked images at its timestamp.
+    primary.commit(t).expect("decided commit");
+    let got = tailer
+        .catch_up(&sink.durable_bytes(), &mut replica)
+        .expect("tail decide");
+    assert_eq!(got.records, 1);
+    assert!(tailer.pending_gtids().is_empty());
+    assert_eq!(replica.current_commit_ts(), primary.current_commit_ts());
+    assert_eq!(replica.dump_table("acct"), primary.dump_table("acct"));
+
+    // An abort-decide drops the parked branch: replica unchanged.
+    let t = primary.begin();
+    primary
+        .execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(333), Scalar::Int(2)],
+        )
+        .expect("update");
+    primary.prepare_commit(t, 11).expect("durable yes-vote");
+    primary.abort(t).expect("decided abort");
+    primary.wal_sync().expect("sync");
+    let got = tailer
+        .catch_up(&sink.durable_bytes(), &mut replica)
+        .expect("tail abort-decide");
+    assert_eq!(got.records, 0);
+    assert!(tailer.pending_gtids().is_empty());
+    assert_eq!(replica.dump_table("acct"), primary.dump_table("acct"));
+    assert_eq!(replica.current_commit_ts(), primary.current_commit_ts());
+}
+
+/// Failover path: prepares still parked when the primary dies are the
+/// promoted replica's in-doubt set — [`RedoTailer::take_pending`] feeds
+/// [`Engine::adopt_in_doubt`], and the branch then resolves exactly as
+/// a primary-side recovery would.
+#[test]
+fn promoted_replica_adopts_parked_prepares_as_in_doubt() {
+    let sink = MemSink::new();
+    let mut primary = fresh_engine();
+    primary.set_wal(Wal::new(Box::new(sink.clone())));
+    let t = primary.begin();
+    primary
+        .execute(
+            t,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(555), Scalar::Int(0)],
+        )
+        .expect("update");
+    primary.prepare_commit(t, 5).expect("durable yes-vote");
+    drop(primary); // crash between the yes-vote and the decision
+
+    let mut replica = fresh_engine();
+    let mut tailer = RedoTailer::new();
+    tailer
+        .catch_up(&sink.durable_bytes(), &mut replica)
+        .expect("tail to the durable watermark");
+    assert_eq!(tailer.pending_gtids(), vec![5]);
+
+    // Promotion: adopt the parked branch, locks re-held.
+    for (gtid, ops) in tailer.take_pending() {
+        replica.adopt_in_doubt(gtid, ops).expect("adopt");
+    }
+    assert!(tailer.pending_gtids().is_empty());
+    assert_eq!(replica.in_doubt_gtids(), vec![5]);
+    let probe = replica.begin();
+    assert!(matches!(
+        replica.execute(
+            probe,
+            "UPDATE acct SET bal = ? WHERE id = ?",
+            &[Scalar::Int(1), Scalar::Int(0)],
+        ),
+        Err(DbError::Deadlock)
+    ));
+    replica.abort(probe).expect("abort probe");
+
+    // Coordinator says commit: the images become visible.
+    replica.resolve_prepared(5, true).expect("resolve");
+    let t = replica.begin_read_only();
+    let rows = replica
+        .execute(t, "SELECT bal FROM acct WHERE id = ?", &[Scalar::Int(0)])
+        .expect("read")
+        .rows;
+    assert_eq!(flat(rows), vec![vec![Scalar::Int(555)]]);
+    replica.commit(t).expect("close");
+}
+
+/// Stream-integrity: a decide for a gtid the tailer never saw prepared,
+/// or a second prepare for a parked gtid, is loud corruption — never a
+/// silent drop or double-park.
+#[test]
+fn malformed_2pc_stream_fails_loudly() {
+    let mut rec = Vec::new();
+    wal::encode_decide_record(&mut rec, 0, 42, true, 1);
+    let err = RedoTailer::new()
+        .catch_up(&rec, &mut fresh_engine())
+        .expect_err("orphan decide");
+    assert!(err.to_string().contains("unknown gtid"), "{err}");
+
+    wal::encode_prepare_record(&mut rec, 0, 7, &[]);
+    let mut log = rec.clone();
+    log.extend_from_slice(&rec);
+    let err = RedoTailer::new()
+        .catch_up(&log, &mut fresh_engine())
+        .expect_err("duplicate prepare");
+    assert!(err.to_string().contains("duplicate prepare"), "{err}");
+}

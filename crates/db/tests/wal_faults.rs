@@ -363,3 +363,175 @@ fn replay_of_a_delete_for_an_absent_key_is_loud_corruption() {
     assert_eq!(rep.ops_applied, 1);
     assert_eq!(e.table_len("kv"), 5);
 }
+
+// ---- 2PC prepare/decide records under the same fault classes ----
+
+/// Prepare a one-update branch under `gtid` and return (engine, sink).
+/// The prepare record is durable when this returns (force-flushed).
+fn prepared_engine(gtid: u64) -> (Engine, pyx_db::TxnId, MemSink) {
+    let (mut e, sink) = walled_engine();
+    commit_txn(&mut e, 0, 1); // one plain commit ahead of the prepare
+    let t = e.begin();
+    e.execute(
+        t,
+        "UPDATE kv SET v = ? WHERE k = ?",
+        &[Scalar::Int(77), Scalar::Int(1)],
+    )
+    .expect("update");
+    e.prepare_commit(t, gtid).expect("durable yes-vote");
+    (e, t, sink)
+}
+
+#[test]
+fn prepare_then_commit_decide_roundtrips() {
+    let (mut e, t, sink) = prepared_engine(7);
+    e.commit(t).expect("decided commit");
+    let (r, rep) = recover_fresh(&sink.durable_bytes()).expect("recover");
+    // Two commit-effective records: the plain commit and the
+    // commit-decide (whose images rode in the prepare record).
+    assert_eq!(rep.records_applied, 2);
+    assert!(r.in_doubt_gtids().is_empty());
+    assert_eq!(r.dump_table("kv"), e.dump_table("kv"));
+    assert_eq!(r.current_commit_ts(), e.current_commit_ts());
+}
+
+#[test]
+fn prepare_then_abort_decide_drops_the_branch() {
+    let (mut e, t, sink) = prepared_engine(7);
+    e.abort(t).expect("decided abort");
+    let (r, rep) = recover_fresh(&sink.durable_bytes()).expect("recover");
+    assert_eq!(rep.records_applied, 1, "only the plain commit applies");
+    assert!(r.in_doubt_gtids().is_empty());
+    assert_eq!(r.dump_table("kv"), oracle_after(1).dump_table("kv"));
+}
+
+#[test]
+fn prepare_without_decide_recovers_in_doubt_with_locks_held() {
+    // Crash between the prepare-ack and the decision: capture the
+    // durable image before the outcome is logged.
+    let (e, _t, sink) = prepared_engine(7);
+    drop(e);
+    let (mut r, rep) = recover_fresh(&sink.durable_bytes()).expect("recover");
+    assert_eq!(rep.records_applied, 1);
+    assert_eq!(r.in_doubt_gtids(), vec![7]);
+    // Nothing of the branch is visible…
+    assert_eq!(r.dump_table("kv"), oracle_after(1).dump_table("kv"));
+    // …but its exclusive locks are re-held: a fresh (younger) txn
+    // touching the undecided row dies under wait-die instead of
+    // observing or overwriting it.
+    let t2 = r.begin();
+    assert!(matches!(
+        r.execute(
+            t2,
+            "UPDATE kv SET v = ? WHERE k = ?",
+            &[Scalar::Int(5), Scalar::Int(1)],
+        ),
+        Err(DbError::Deadlock)
+    ));
+    r.abort(t2).expect("abort probe");
+    // No new statements on the branch itself: it is not a normal txn.
+    assert!(matches!(
+        r.resolve_prepared(99, false),
+        Err(DbError::Schema(_))
+    ));
+
+    // Presumed abort: the verdict drops the images and frees the locks.
+    r.resolve_prepared(7, false).expect("presumed abort");
+    assert!(r.in_doubt_gtids().is_empty());
+    assert_eq!(r.dump_table("kv"), oracle_after(1).dump_table("kv"));
+    let t3 = r.begin();
+    r.execute(
+        t3,
+        "UPDATE kv SET v = ? WHERE k = ?",
+        &[Scalar::Int(5), Scalar::Int(1)],
+    )
+    .expect("lock freed after resolution");
+    r.abort(t3).expect("abort probe");
+}
+
+#[test]
+fn in_doubt_resolved_commit_applies_the_prepared_images() {
+    let (e, _t, sink) = prepared_engine(7);
+    // Oracle: what the state looks like when the branch commits.
+    let mut oracle = oracle_after(1);
+    let t = oracle.begin();
+    oracle
+        .execute(
+            t,
+            "UPDATE kv SET v = ? WHERE k = ?",
+            &[Scalar::Int(77), Scalar::Int(1)],
+        )
+        .expect("update");
+    oracle.commit(t).expect("commit");
+    drop(e);
+    let (mut r, _rep) = recover_fresh(&sink.durable_bytes()).expect("recover");
+    r.resolve_prepared(7, true)
+        .expect("coordinator said commit");
+    assert!(r.in_doubt_gtids().is_empty());
+    assert_eq!(r.dump_table("kv"), oracle.dump_table("kv"));
+    assert_eq!(r.current_commit_ts(), oracle.current_commit_ts());
+}
+
+#[test]
+fn torn_tail_inside_a_prepare_record_truncates_cleanly() {
+    let (e, _t, sink) = prepared_engine(7);
+    drop(e);
+    let log = sink.durable_bytes();
+    let spans = wal::scan(&log).records;
+    assert_eq!(spans.len(), 2, "commit + prepare");
+    let prep = &spans[1];
+    assert_eq!(prep.kind, wal::KIND_PREPARE);
+    // Every cut inside the prepare record is the crash shape: silent
+    // truncation back to the commit, no in-doubt branch (the vote never
+    // became durable, so the participant never acked it).
+    for cut in prep.offset + 1..prep.offset + prep.len {
+        let (r, rep) = recover_fresh(&log[..cut])
+            .unwrap_or_else(|err| panic!("cut {cut} must truncate cleanly, got {err}"));
+        assert_eq!(rep.records_applied, 1, "cut {cut}");
+        assert_eq!(rep.valid_len as usize, prep.offset, "cut {cut}");
+        assert!(r.in_doubt_gtids().is_empty(), "cut {cut}");
+    }
+}
+
+#[test]
+fn bit_flip_in_a_decide_record_is_loud_corruption() {
+    let (mut e, t, sink) = prepared_engine(7);
+    e.commit(t).expect("decided commit");
+    let log = sink.durable_bytes();
+    let spans = wal::scan(&log).records;
+    let dec = spans.last().expect("decide span");
+    assert_eq!(dec.kind, wal::KIND_DECIDE);
+    // Payload flip (the commit flag / commit-ts bytes).
+    let mut bad = log.clone();
+    bad[dec.offset + wal::RECORD_HEADER_LEN] ^= 0x01;
+    let m = recover_err(&bad, "decide payload flip");
+    assert!(m.contains("payload checksum mismatch"), "{m}");
+    // Header flip (e.g. the gtid field).
+    let mut bad = log.clone();
+    bad[dec.offset + 9] ^= 0x20;
+    let m = recover_err(&bad, "decide header flip");
+    assert!(m.contains("header checksum mismatch"), "{m}");
+}
+
+#[test]
+fn decide_for_an_unknown_gtid_is_loud_corruption() {
+    let mut log = Vec::new();
+    wal::encode_decide_record(&mut log, 0, 42, true, 1);
+    let m = recover_err(&log, "orphan decide");
+    assert!(m.contains("unknown gtid"), "{m}");
+}
+
+#[test]
+fn duplicate_prepare_for_one_gtid_is_loud_corruption() {
+    let ops = vec![RedoOp::Put {
+        table: 0,
+        row: Arc::new(vec![Scalar::Int(50), Scalar::Int(9)]),
+    }];
+    // The encoders clear their buffer, so build each record separately.
+    let mut rec = Vec::new();
+    wal::encode_prepare_record(&mut rec, 0, 42, &ops);
+    let mut log = rec.clone();
+    log.extend_from_slice(&rec);
+    let m = recover_err(&log, "duplicate prepare");
+    assert!(m.contains("duplicate prepare"), "{m}");
+}

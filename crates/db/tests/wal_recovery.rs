@@ -337,3 +337,221 @@ proptest! {
         }
     }
 }
+
+// ---- randomized 2PC crash differential ----
+
+/// How a transaction in the 2PC stream ends.
+#[derive(Debug, Clone, Copy)]
+enum Fate {
+    /// Plain single-shard commit.
+    Commit,
+    /// Client abort, never prepared.
+    Abort,
+    /// Prepared (durable yes-vote) then decided commit.
+    TwoPcCommit,
+    /// Prepared then decided abort.
+    TwoPcAbort,
+}
+
+type Txn2Spec = (Vec<WOp>, Fate);
+
+/// Gtid for the stream's `ti`-th transaction when it runs as a branch.
+fn gtid_of(ti: usize) -> u64 {
+    10_000 + ti as u64
+}
+
+/// Like [`apply_wop`] but tolerant of fresh-id collisions (a `Churn`
+/// onto the 1000.. range can create the id a later `Spawn`/`Blip`
+/// picks). The duplicate-key rejection is deterministic, so primary and
+/// oracle replay identically whether the statement lands or not.
+fn apply_wop2(e: &mut Engine, txn: pyx_db::TxnId, t: usize, pc: usize, op: &WOp) {
+    let i = Scalar::Int;
+    match op {
+        WOp::Spawn { grp, bal } => {
+            let _ = e.execute(
+                txn,
+                "INSERT INTO acct VALUES (?, ?, ?)",
+                &[i(fresh_id(t, pc)), i(*grp), i(*bal)],
+            );
+        }
+        WOp::Blip => {
+            let id = fresh_id(t, pc);
+            let _ = e.execute(
+                txn,
+                "INSERT INTO acct VALUES (?, ?, ?)",
+                &[i(id), i(0), i(1)],
+            );
+            e.execute(txn, "DELETE FROM acct WHERE id = ?", &[i(id)])
+                .expect("blip delete");
+        }
+        _ => apply_wop(e, txn, t, pc, op),
+    }
+}
+
+/// Run the 2PC stream serially; `limit` as in [`run_stream`]. The
+/// committed-prefix oracle runs the same function with no WAL attached:
+/// `prepare_commit` without a log is a vote that never becomes durable,
+/// so the commit-timestamp sequence is identical either way.
+fn run_stream_2pc(e: &mut Engine, txns: &[Txn2Spec], limit: u64) {
+    for (ti, (ops, fate)) in txns.iter().enumerate() {
+        if e.current_commit_ts() >= limit {
+            break;
+        }
+        let t = e.begin();
+        for (pc, op) in ops.iter().enumerate() {
+            apply_wop2(e, t, ti, pc, op);
+        }
+        match fate {
+            Fate::Commit => {
+                e.commit(t).expect("commit");
+            }
+            Fate::Abort => {
+                e.abort(t).expect("abort");
+            }
+            Fate::TwoPcCommit => {
+                e.prepare_commit(t, gtid_of(ti)).expect("prepare");
+                e.commit(t).expect("decided commit");
+            }
+            Fate::TwoPcAbort => {
+                e.prepare_commit(t, gtid_of(ti)).expect("prepare");
+                e.abort(t).expect("decided abort");
+            }
+        }
+    }
+}
+
+fn stream2_strategy() -> impl Strategy<Value = Vec<Txn2Spec>> {
+    let fate = prop_oneof![
+        Just(Fate::Commit),
+        Just(Fate::Abort),
+        Just(Fate::TwoPcCommit),
+        Just(Fate::TwoPcCommit), // weight toward the interesting path
+        Just(Fate::TwoPcAbort),
+    ];
+    proptest::collection::vec(
+        (proptest::collection::vec(wop_strategy(), 1..5), fate),
+        2..10,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// 2PC crash differential: a stream mixing plain, prepared-commit,
+    /// and prepared-abort transactions — optionally crashing with one
+    /// branch still prepared-but-undecided — cut at an arbitrary offset
+    /// at or past the durable watermark. Recovery must apply exactly the
+    /// decided prefix, reconstruct exactly the surviving undecided
+    /// prepares as in-doubt, and resolve them to the oracle state under
+    /// either verdict.
+    #[test]
+    fn two_phase_crash_cut_recovers_decided_prefix_and_in_doubt(
+        txns in stream2_strategy(),
+        tail_ops in proptest::collection::vec(wop_strategy(), 0..4),
+        group in 1usize..6,
+        cut_pick in 0usize..1_000_000,
+    ) {
+        const TAIL_GTID: u64 = 99_999;
+        // Empty vec ⇒ no undecided tail branch (the shimmed proptest has
+        // no Option strategy).
+        let tail = (!tail_ops.is_empty()).then_some(tail_ops);
+        let sink = MemSink::new();
+        let mut e = fresh_engine();
+        e.set_wal(Wal::new(Box::new(sink.clone())).with_group_commit(group));
+        run_stream_2pc(&mut e, &txns, u64::MAX);
+        // Optionally crash with one branch holding a durable yes-vote
+        // and no decision (the window between prepare-ack and decide).
+        if let Some(ops) = &tail {
+            let t = e.begin();
+            for (pc, op) in ops.iter().enumerate() {
+                apply_wop2(&mut e, t, txns.len(), pc, op);
+            }
+            e.prepare_commit(t, TAIL_GTID).expect("tail prepare");
+        }
+        let all = sink.all_bytes();
+        let durable_len = sink.durable_bytes().len();
+        let durable_ts = e.wal_durable_ts().unwrap_or(0);
+        drop(e); // crash
+
+        let cut = durable_len + cut_pick % (all.len() - durable_len + 1);
+        let log = &all[..cut];
+
+        // Expected outcome, derived from the surviving records alone.
+        let mut whole = 0u64;
+        let mut pending: Vec<u64> = Vec::new();
+        for span in &wal::scan(log).records {
+            match wal::decode_any(&log[span.offset..span.offset + span.len])
+                .expect("scanned record decodes")
+            {
+                wal::WalRecord::Commit(_) => whole += 1,
+                wal::WalRecord::Prepare { gtid, .. } => pending.push(gtid),
+                wal::WalRecord::Decide { gtid, commit, .. } => {
+                    pending.retain(|&g| g != gtid);
+                    if commit {
+                        whole += 1;
+                    }
+                }
+            }
+        }
+        // Serial stream + prefix cut: at most one branch can be in doubt.
+        prop_assert!(pending.len() <= 1, "in-doubt set {:?}", pending);
+
+        let mut r = fresh_engine();
+        r.set_wal(Wal::new(Box::new(MemSink::new())));
+        let rep = match r.recover(log) {
+            Ok(rep) => rep,
+            Err(e) => return Err(TestCaseError::fail(format!("recovery failed: {e}"))),
+        };
+        prop_assert_eq!(rep.records_applied, whole);
+        prop_assert!(whole >= durable_ts, "lost durable commits");
+        prop_assert_eq!(r.current_commit_ts(), whole);
+        prop_assert_eq!(r.in_doubt_gtids(), pending.clone());
+
+        // Committed state equals the decided-prefix oracle; the in-doubt
+        // branch (if any) is invisible.
+        let mut oracle = fresh_engine();
+        run_stream_2pc(&mut oracle, &txns, whole);
+        prop_assert_eq!(r.dump_table("acct"), oracle.dump_table("acct"));
+        prop_assert_eq!(r.table_len("acct"), oracle.table_len("acct"));
+
+        if let Some(&g) = pending.first() {
+            // Verdict "abort" (the presumed-abort default): exactly the
+            // oracle state, branch gone.
+            r.resolve_prepared(g, false).expect("presumed abort");
+            prop_assert!(r.in_doubt_gtids().is_empty());
+            prop_assert_eq!(r.dump_table("acct"), oracle.dump_table("acct"));
+            prop_assert_eq!(r.current_commit_ts(), whole);
+
+            // Verdict "commit" (second recovery of the same log): the
+            // oracle state plus that branch, stamped at the next ts.
+            let mut r2 = fresh_engine();
+            r2.set_wal(Wal::new(Box::new(MemSink::new())));
+            r2.recover(log).expect("recover again");
+            r2.resolve_prepared(g, true).expect("decided commit");
+            let (k, ops) = if g == TAIL_GTID {
+                (txns.len(), tail.clone().expect("tail branch exists"))
+            } else {
+                let k = (g - 10_000) as usize;
+                (k, txns[k].0.clone())
+            };
+            let t = oracle.begin();
+            for (pc, op) in ops.iter().enumerate() {
+                apply_wop2(&mut oracle, t, k, pc, op);
+            }
+            oracle.commit(t).expect("oracle branch commit");
+            prop_assert_eq!(r2.dump_table("acct"), oracle.dump_table("acct"));
+            prop_assert_eq!(r2.current_commit_ts(), oracle.current_commit_ts());
+        } else {
+            // No branch in doubt: the recovered engine is immediately live.
+            let t = r.begin();
+            r.execute(
+                t,
+                "INSERT INTO acct VALUES (?, ?, ?)",
+                &[Scalar::Int(9999), Scalar::Int(0), Scalar::Int(1)],
+            )
+            .expect("post-recovery insert");
+            r.commit(t).expect("post-recovery commit");
+            prop_assert_eq!(r.current_commit_ts(), whole + 1);
+        }
+    }
+}

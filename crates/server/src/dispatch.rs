@@ -88,10 +88,12 @@ pub enum Admit {
     Queued { depth: usize },
     /// Queue full — backpressure. The caller should retry later.
     Rejected,
-    /// The target shard's worker has died; the request cannot run and
-    /// retrying will not help until the server is rebuilt. Only the
-    /// sharded tier emits this — a single dispatcher has no workers to
-    /// lose.
+    /// The target shard's worker has died; the request cannot run
+    /// until the shard heals (replica promotion or WAL respawn —
+    /// `ShardedServer::submit_with_retry` reaps and retries across
+    /// that failover window) or the server is rebuilt. Only the
+    /// sharded tier emits this — a single dispatcher has no workers
+    /// to lose.
     Unavailable,
 }
 

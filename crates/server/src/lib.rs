@@ -66,5 +66,7 @@ pub use dispatch::{
 };
 pub use env::{Env, InstantEnv};
 pub use pyx_runtime::{VmMode, VmScratch};
-pub use shard::{load_row_sharded, CrossShardMode, ShardedConfig, ShardedReport, ShardedServer};
+pub use shard::{
+    load_row_sharded, CrossShardMode, ShardRecovery, ShardedConfig, ShardedReport, ShardedServer,
+};
 pub use workload::{FixedWorkload, TxnRequest, Workload};

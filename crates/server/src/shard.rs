@@ -117,6 +117,58 @@
 //! in [`ShardedReport::replica_fallbacks`]). Replica reads also keep
 //! serving when the primary worker has died — reads need no quorum.
 //! Writes never touch replicas.
+//!
+//! # Failure model and recovery guarantees
+//!
+//! Workers fail **crash-stop**: a shard (or replica) thread dies at an
+//! arbitrary point and loses everything except its durably synced log.
+//! The reap path detects the death, drains what the worker shipped
+//! before dying, synthesizes "outcome unknown" error results for its
+//! in-flight transactions, and marks the shard unavailable. What
+//! *survives* is exactly the shard log's durable prefix: every locally
+//! acknowledged commit, every cross-shard commit decision, and — because
+//! [`Engine::prepare_commit`] force-flushes a `Prepare` record before
+//! the participant acks its yes-vote — every vote a coordinator may
+//! have acted on.
+//!
+//! ## Self-healing (opt-in supervision)
+//!
+//! With [`ShardedServer::enable_self_healing`] and/or a
+//! [`ShardedServer::set_respawn_factory`] configured, the reap path
+//! becomes a supervisor: a dead shard is repaired *online*, while the
+//! other shards keep serving.
+//!
+//! * **Replica promotion** (preferred): the most-caught-up live replica
+//!   is shut down, drained to the primary's durable watermark, and
+//!   handed the dead primary's log ([`pyx_db::Wal::resume_at`] — it
+//!   *refuses* a successor not exactly at the durable watermark, so a
+//!   promoted replica can never serve behind what the dead primary
+//!   acknowledged). Prepares parked in its redo tailer become in-doubt
+//!   branches ([`Engine::adopt_in_doubt`]).
+//! * **Respawn from the log**: with no promotable replica, the factory
+//!   rebuilds the shard (schema + base load + [`Engine::recover`] over
+//!   the durable bytes) and the supervisor re-anchors the stolen log
+//!   the same way.
+//! * **In-doubt resolution**: recovered prepared branches re-hold their
+//!   exclusive locks; the supervisor settles each against the
+//!   coordinator pool's decision registry — a globally-unique gtid (the
+//!   transaction's wait-die age) maps to a commit decision recorded
+//!   *before* the commit fan-out begins. Absent gtid ⇒ **presumed
+//!   abort**, safe because a cross-shard transaction is only ever
+//!   acknowledged after every participant committed and synced.
+//! * **Availability**: the healed shard swaps in under the same engine
+//!   slot and fresh channels (coordinators reach it through the shared
+//!   link table), and the shard flips back to accepting writes. Callers
+//!   ride through the window with [`ShardedServer::submit_with_retry`];
+//!   per-shard MTTR and in-doubt counts land in
+//!   [`ShardedReport::recoveries`].
+//!
+//! During failover, reads: bounded-staleness replica reads keep serving
+//! at their applied horizons (monotone, frozen at the durable watermark
+//! until the successor resumes writes); writes to the dead shard report
+//! [`Admit::Unavailable`] until healed. Without healing configured the
+//! PR-8 behavior is unchanged — the shard stays dead and only its
+//! replicas keep answering reads.
 
 use crate::dispatch::{
     Admit, Deployment, Dispatcher, DispatcherConfig, DispatcherStats, Polled, TxnDone,
@@ -138,6 +190,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, Sender, SyncSender, TryRecvError, TrySendError};
 use std::sync::{mpsc, Arc, Mutex, MutexGuard, PoisonError};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// How cross-shard (`route == None`) transactions execute.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +266,33 @@ pub struct ShardedReport {
     /// Read-only requests that fell back to the primary (replica lag
     /// over the bound, replica channel full, or replica dead).
     pub replica_fallbacks: u64,
+    /// One entry per shard failover the supervisor performed (empty
+    /// unless self-healing was configured), in recovery order.
+    pub recoveries: Vec<ShardRecovery>,
+    /// Coordinator rpc legs that observed a dead participant worker
+    /// (counted per observation: a transaction whose cleanup also hits
+    /// the dead shard counts more than once).
+    pub participant_deaths: u64,
+}
+
+/// One completed shard failover ([`ShardedReport::recoveries`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRecovery {
+    /// The shard that was healed.
+    pub shard: usize,
+    /// `true`: a replica was promoted; `false`: the respawn factory
+    /// rebuilt the shard from its log.
+    pub promoted: bool,
+    /// Wall-clock nanoseconds from supervision start (death already
+    /// detected) to the shard accepting writes again.
+    pub mttr_ns: u64,
+    /// In-doubt prepared branches reconstructed from the log.
+    pub in_doubt: u64,
+    /// In-doubt branches resolved as commits (coordinator decision
+    /// registry said commit).
+    pub resolved_commit: u64,
+    /// In-doubt branches resolved as aborts (presumed abort).
+    pub resolved_abort: u64,
 }
 
 impl ShardedReport {
@@ -286,9 +366,13 @@ enum RemoteOp {
         params: Vec<Scalar>,
         reply: Sender<RemoteReply>,
     },
-    /// Phase 1: vote on commit ([`Engine::prepare_commit`]).
+    /// Phase 1: vote on commit ([`Engine::prepare_commit`]). `gtid` is
+    /// the transaction's globally-unique wait-die age; the participant's
+    /// yes-vote is durable (a `Prepare` record under this gtid) before
+    /// the reply is sent.
     PrepareCommit {
         txn: TxnId,
+        gtid: u64,
         reply: Sender<RemoteReply>,
     },
     /// Phase 2: commit the branch and sync this shard's WAL before
@@ -335,6 +419,10 @@ struct CoordJob {
 struct CoordStats {
     jobs: u64,
     participants: u64,
+    /// Rpc legs that observed a dead participant worker (closed
+    /// channel) — one count per observation, so a transaction whose
+    /// cleanup also touches the dead shard counts more than once.
+    participant_deaths: u64,
 }
 
 /// Shard index coordinators and the quiesce lane use on the results
@@ -346,6 +434,28 @@ const LANE: usize = usize::MAX;
 /// primary-shard outcomes for outstanding-request bookkeeping.
 const REPLICA_BASE: usize = 1 << 32;
 
+/// Live channel endpoints for one shard worker. Coordinators (and the
+/// supervisor's own submits) read the *current* endpoints through the
+/// shared link table on every rpc, so a worker respawned after a death
+/// is reachable without restarting the coordinator pool — a dead
+/// incarnation's endpoints just error (closed channel), which is the
+/// participant-death signal.
+struct ShardLink {
+    msg: SyncSender<Msg>,
+    remote: Sender<RemoteOp>,
+}
+
+type ShardLinks = Arc<Vec<Mutex<ShardLink>>>;
+
+/// The coordinator pool's commit-decision registry: gtid (global
+/// wait-die age) → `true` once the transaction is *decided commit*
+/// (all yes-votes in, before the commit fan-out begins). Entries are
+/// removed once every participant acknowledged its commit — so an
+/// entry present at recovery time means "commit", and an absent gtid
+/// is **presumed abort** (safe: success is only acknowledged after
+/// every participant committed and synced).
+type Decisions = Arc<Mutex<HashMap<u64, bool>>>;
+
 /// One log-shipping read replica: a dedicated thread owning a replica
 /// engine, tailing its shard's durable redo feed and serving read-only
 /// snapshot traffic at the applied horizon.
@@ -353,7 +463,11 @@ struct ReplicaSlot {
     /// Primary shard this replica follows.
     shard: usize,
     tx: SyncSender<Msg>,
-    handle: JoinHandle<(Engine, DispatcherStats)>,
+    /// `None` once the replica was consumed by a promotion.
+    handle: Option<JoinHandle<(Engine, RedoTailer, DispatcherStats)>>,
+    /// The shard's durable redo feed (kept for the promotion-time final
+    /// catch-up).
+    feed: LogFeed,
     /// The replica's applied commit timestamp, published by its worker
     /// after every catch-up (the staleness-admission input).
     applied: Arc<AtomicU64>,
@@ -373,10 +487,16 @@ const VIRTUAL_BIT: u64 = 1 << 63;
 pub struct ShardedServer {
     engines: Vec<Arc<Mutex<Engine>>>,
     txs: Vec<SyncSender<Msg>>,
-    /// Remote-op channels to each worker; coordinators hold clones. The
-    /// server keeps the originals so the channel outlives any one
-    /// coordinator.
+    /// Remote-op channels to each worker; coordinators read the current
+    /// endpoints through `links`. The server keeps the originals so the
+    /// channel outlives any one coordinator.
     remote_txs: Vec<Sender<RemoteOp>>,
+    /// Shared link table: the live channel endpoints per shard,
+    /// rewritten by the supervisor when it respawns a worker.
+    links: ShardLinks,
+    /// Commit-decision registry shared with the coordinator pool (see
+    /// [`Decisions`]) — the in-doubt resolution source at failover.
+    decisions: Decisions,
     done_rx: Receiver<(usize, TxnDone)>,
     done_tx: Sender<(usize, TxnDone)>,
     handles: Vec<JoinHandle<DispatcherStats>>,
@@ -389,6 +509,16 @@ pub struct ShardedServer {
     outstanding: Vec<HashMap<u64, (MethodId, &'static str)>>,
     /// Shards whose worker has died; submits to them are `Unavailable`.
     dead: Vec<bool>,
+    // -- self-healing supervision (opt-in) --
+    /// Promote a replica when a primary dies (see module docs).
+    self_heal: bool,
+    /// Rebuild a dead shard's engine from its durable log (schema +
+    /// base load + [`Engine::recover`]); the supervisor re-anchors the
+    /// stolen [`Wal`] onto the returned engine. `None` from the factory
+    /// leaves the shard dead.
+    respawn: Option<Box<dyn FnMut(usize) -> Option<Engine> + Send>>,
+    /// Completed failovers, in order.
+    recoveries: Vec<ShardRecovery>,
     // -- read replicas --
     replicas: Vec<ReplicaSlot>,
     /// Replica indices (into `replicas`) serving each shard.
@@ -475,6 +605,18 @@ impl ShardedServer {
                 .expect("spawn shard worker");
             handles.push(handle);
         }
+        let links: ShardLinks = Arc::new(
+            txs.iter()
+                .zip(&remote_txs)
+                .map(|(t, r)| {
+                    Mutex::new(ShardLink {
+                        msg: t.clone(),
+                        remote: r.clone(),
+                    })
+                })
+                .collect(),
+        );
+        let decisions: Decisions = Arc::new(Mutex::new(HashMap::new()));
         let (job_tx, coord_handles) = if two_phase {
             let (jtx, jrx) = mpsc::sync_channel(cfg.channel_cap);
             let jrx = Arc::new(Mutex::new(jrx));
@@ -485,13 +627,13 @@ impl ShardedServer {
                 let part = Arc::clone(&part);
                 let dcfg = cfg.dispatcher;
                 let jobs = Arc::clone(&jrx);
-                let remote = remote_txs.clone();
-                let nudge = txs.clone();
+                let links = Arc::clone(&links);
                 let done = done_tx.clone();
                 let ages = Arc::clone(&ages);
+                let decisions = Arc::clone(&decisions);
                 let h = std::thread::Builder::new()
                     .name(format!("pyx-coord-{c}"))
-                    .spawn(move || coordinator(part, dcfg, jobs, remote, nudge, done, ages))
+                    .spawn(move || coordinator(part, dcfg, jobs, links, done, ages, decisions))
                     .expect("spawn coordinator");
                 coords.push(h);
             }
@@ -503,6 +645,8 @@ impl ShardedServer {
             engines,
             txs,
             remote_txs,
+            links,
+            decisions,
             done_rx,
             done_tx,
             handles,
@@ -511,6 +655,9 @@ impl ShardedServer {
             in_flight: 0,
             outstanding: (0..cfg.shards).map(|_| HashMap::new()).collect(),
             dead: vec![false; cfg.shards],
+            self_heal: false,
+            respawn: None,
+            recoveries: Vec::new(),
             replicas: Vec::new(),
             replica_of_shard: vec![Vec::new(); cfg.shards],
             replica_rr: vec![0; cfg.shards],
@@ -615,7 +762,8 @@ impl ShardedServer {
                 self.replicas.push(ReplicaSlot {
                     shard: s,
                     tx,
-                    handle,
+                    handle: Some(handle),
+                    feed: feeds[s].clone(),
                     applied,
                     outstanding: HashMap::new(),
                     dead: false,
@@ -655,6 +803,66 @@ impl ShardedServer {
     #[doc(hidden)]
     pub fn inject_worker_crash(&mut self, shard: usize, after_done: usize) {
         let _ = self.txs[shard].send(Msg::Crash { after_done });
+    }
+
+    /// Opt in to replica promotion: when a primary worker dies and the
+    /// shard has a live replica, the supervisor promotes the
+    /// most-caught-up one instead of leaving the shard dead (module
+    /// docs, *Self-healing*). Off by default — without it a primary
+    /// death permanently marks the shard unavailable (the PR-8
+    /// behavior).
+    pub fn enable_self_healing(&mut self) {
+        self.self_heal = true;
+    }
+
+    /// Opt in to respawn-from-log: when a dead shard has no promotable
+    /// replica, `factory(shard)` must rebuild its engine — same schema
+    /// and base load, then [`Engine::recover`] over the shard's durable
+    /// log bytes — *without* a WAL attached; the supervisor re-anchors
+    /// the dead primary's own log onto it ([`pyx_db::Wal::resume_at`])
+    /// and resolves in-doubt branches. Returning `None` leaves the
+    /// shard dead.
+    pub fn set_respawn_factory(
+        &mut self,
+        factory: impl FnMut(usize) -> Option<Engine> + Send + 'static,
+    ) {
+        self.respawn = Some(Box::new(factory));
+    }
+
+    /// Failovers completed so far (also in [`ShardedReport::recoveries`]
+    /// at shutdown).
+    pub fn recoveries(&self) -> &[ShardRecovery] {
+        &self.recoveries
+    }
+
+    /// Detect and (if configured) heal dead workers now, instead of
+    /// waiting for the next `recv_done` liveness poll. Chaos drivers
+    /// call this to bound detection latency.
+    pub fn reap_now(&mut self) {
+        self.reap_dead_workers();
+    }
+
+    /// [`ShardedServer::submit`] with bounded retries on
+    /// [`Admit::Rejected`] (backpressure: the worker drains its channel
+    /// as capacity frees) and [`Admit::Unavailable`] (a failover window:
+    /// each retry first runs the reap/heal pass). Backoff is
+    /// deterministic — exponential from 50µs, capped at 50ms, no jitter
+    /// — so test schedules are reproducible. Returns the final
+    /// admission (the last failure after `max_retries` exhausted).
+    pub fn submit_with_retry(&mut self, req: TxnRequest, tag: u64, max_retries: u32) -> Admit {
+        let mut backoff = std::time::Duration::from_micros(50);
+        let mut attempt = 0;
+        loop {
+            match self.submit(req.clone(), tag) {
+                Admit::Rejected | Admit::Unavailable if attempt < max_retries => {
+                    attempt += 1;
+                    self.reap_dead_workers();
+                    std::thread::sleep(backoff);
+                    backoff = (backoff * 2).min(std::time::Duration::from_millis(50));
+                }
+                admit => return admit,
+            }
+        }
     }
 
     /// Test hook (2PC lane): pause the *next* submitted cross-shard
@@ -853,7 +1061,8 @@ impl ShardedServer {
     /// Detect newly dead workers (primary or replica): drain any results
     /// they shipped before dying, then synthesize an error result for
     /// each transaction that will never report, and mark the shard (or
-    /// replica) unavailable.
+    /// replica) unavailable. With self-healing configured, newly dead
+    /// primaries are then repaired in place (see [`ShardedServer::heal_shard`]).
     fn reap_dead_workers(&mut self) {
         let any_primary = self
             .handles
@@ -863,7 +1072,7 @@ impl ShardedServer {
         let any_replica = self
             .replicas
             .iter()
-            .any(|r| !r.dead && r.handle.is_finished());
+            .any(|r| !r.dead && r.handle.as_ref().is_some_and(JoinHandle::is_finished));
         if !any_primary && !any_replica {
             return;
         }
@@ -874,11 +1083,13 @@ impl ShardedServer {
             self.unregister(s, d.tag);
             self.ready.push_back(d);
         }
+        let mut newly_dead: Vec<usize> = Vec::new();
         for (i, h) in self.handles.iter().enumerate() {
             if self.dead[i] || !h.is_finished() {
                 continue;
             }
             self.dead[i] = true;
+            newly_dead.push(i);
             let mut lost: Vec<(u64, (MethodId, &'static str))> =
                 self.outstanding[i].drain().collect();
             lost.sort_unstable_by_key(|&(tag, _)| tag);
@@ -903,7 +1114,7 @@ impl ShardedServer {
             }
         }
         for r in self.replicas.iter_mut() {
-            if r.dead || !r.handle.is_finished() {
+            if r.dead || !r.handle.as_ref().is_some_and(JoinHandle::is_finished) {
                 continue;
             }
             r.dead = true;
@@ -927,6 +1138,161 @@ impl ShardedServer {
                 });
             }
         }
+        for s in newly_dead {
+            self.heal_shard(s);
+        }
+    }
+
+    /// The most-caught-up live replica of shard `s` (highest applied
+    /// commit timestamp), if any.
+    fn best_replica(&self, s: usize) -> Option<usize> {
+        self.replica_of_shard[s]
+            .iter()
+            .copied()
+            .filter(|&i| !self.replicas[i].dead)
+            .max_by_key(|&i| self.replicas[i].applied.load(Ordering::Acquire))
+    }
+
+    /// Supervise one newly dead shard: steal its log, build a successor
+    /// (replica promotion, else the respawn factory), re-anchor the log
+    /// at the durable watermark, resolve in-doubt branches against the
+    /// coordinator decision registry, and swap the healed shard in under
+    /// fresh channels. Any failure leaves the shard dead (submits keep
+    /// reporting [`Admit::Unavailable`]) — healing never trades
+    /// correctness for availability.
+    fn heal_shard(&mut self, s: usize) {
+        let promotable = self.self_heal && self.best_replica(s).is_some();
+        if !promotable && self.respawn.is_none() {
+            return;
+        }
+        let start = Instant::now();
+        // Steal the dead primary's log: sink, replica feed, and
+        // durability watermarks move to the successor; the dead engine
+        // is discarded with the old Arc slot below.
+        let (mut wal, txn_floor) = {
+            let old = Arc::clone(&self.engines[s]);
+            let mut g = old.lock().unwrap_or_else(PoisonError::into_inner);
+            let Some(wal) = g.take_wal() else {
+                return; // volatile shard: nothing durable to recover from
+            };
+            (wal, g.txn_id_floor())
+        };
+        let healed = if promotable {
+            self.promote_replica(s)
+        } else {
+            let factory = self.respawn.as_mut().expect("checked above");
+            factory(s)
+        };
+        let Some(mut engine) = healed else {
+            return;
+        };
+        // The successor must not reuse transaction ids the dead
+        // incarnation handed to coordinators (stale cleanup aborts).
+        engine.reserve_txn_ids(txn_floor);
+        // Promotion-at-durable-watermark rule: refuse a successor whose
+        // applied horizon is not exactly the durable prefix.
+        if wal.resume_at(engine.current_commit_ts()).is_err() {
+            return;
+        }
+        engine.set_wal(wal);
+        // Settle in-doubt branches with the coordinator pool's decision
+        // registry: present gtid ⇒ commit was decided; absent ⇒
+        // presumed abort.
+        let gtids = engine.in_doubt_gtids();
+        let in_doubt = gtids.len() as u64;
+        let (mut resolved_commit, mut resolved_abort) = (0u64, 0u64);
+        {
+            let dec = self
+                .decisions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            for gtid in gtids {
+                let commit = dec.get(&gtid).copied().unwrap_or(false);
+                if engine.resolve_prepared(gtid, commit).is_ok() {
+                    if commit {
+                        resolved_commit += 1;
+                    } else {
+                        resolved_abort += 1;
+                    }
+                }
+            }
+        }
+        // Swap the healed shard in: fresh engine slot, fresh channels
+        // (rewired into the shared link table), same durable-ts cell so
+        // replica staleness admission carries over.
+        let arc = Arc::new(Mutex::new(engine));
+        self.engines[s] = Arc::clone(&arc);
+        let (tx, rx) = mpsc::sync_channel(self.cfg.channel_cap);
+        let (rtx, rrx) = mpsc::channel();
+        let part = Arc::clone(&self.part);
+        let done = self.done_tx.clone();
+        let dcfg = self.cfg.dispatcher;
+        let durable = Arc::clone(&self.primary_durable[s]);
+        let handle = std::thread::Builder::new()
+            .name(format!("pyx-shard-{s}"))
+            .spawn(move || worker(s, arc, part, dcfg, rx, rrx, done, durable))
+            .expect("spawn shard worker");
+        self.handles[s] = handle; // the dead handle has already finished
+        self.txs[s] = tx.clone();
+        self.remote_txs[s] = rtx.clone();
+        *self.links[s].lock().unwrap_or_else(PoisonError::into_inner) = ShardLink {
+            msg: tx,
+            remote: rtx,
+        };
+        self.dead[s] = false;
+        self.recoveries.push(ShardRecovery {
+            shard: s,
+            promoted: promotable,
+            mttr_ns: start.elapsed().as_nanos() as u64,
+            in_doubt,
+            resolved_commit,
+            resolved_abort,
+        });
+    }
+
+    /// Consume shard `s`'s most-caught-up replica as the failover
+    /// successor: drain it to the durable watermark and adopt its
+    /// parked prepares as in-doubt branches. `None` on any stream error
+    /// (the shard then stays dead).
+    fn promote_replica(&mut self, s: usize) -> Option<Engine> {
+        let slot = self.best_replica(s)?;
+        let r = &mut self.replicas[slot];
+        let _ = r.tx.send(Msg::Shutdown);
+        let handle = r.handle.take()?;
+        r.dead = true; // consumed: never serves reads again
+        let (mut engine, mut tailer, _stats) = handle.join().ok()?;
+        // Reads queued behind the shutdown were dropped by the worker;
+        // surface them as errors like any replica death.
+        let mut lost: Vec<(u64, (MethodId, &'static str))> = r.outstanding.drain().collect();
+        lost.sort_unstable_by_key(|&(tag, _)| tag);
+        let feed = r.feed.clone();
+        for (tag, (entry, label)) in lost {
+            self.ready.push_back(TxnDone {
+                tag,
+                entry,
+                label,
+                submitted_ns: 0,
+                started_ns: 0,
+                finished_ns: 0,
+                low_budget: false,
+                rolled_back: false,
+                read_only: true,
+                restarts: 0,
+                participants: 0,
+                error: Some(format!("shard {s} replica promoted; read not served")),
+                result: None,
+            });
+        }
+        self.replica_of_shard[s].retain(|&i| i != slot);
+        // Final catch-up: the feed is complete (the primary is dead and
+        // its unsynced tail will be discarded), so this lands the
+        // replica exactly on the durable watermark.
+        let mut buf = Vec::new();
+        tailer.catch_up_feed(&feed, &mut engine, &mut buf).ok()?;
+        for (gtid, ops) in tailer.take_pending() {
+            engine.adopt_in_doubt(gtid, ops).ok()?;
+        }
+        Some(engine)
     }
 
     /// Collect every outstanding transaction.
@@ -949,10 +1315,12 @@ impl ShardedServer {
     pub fn shutdown(mut self) -> (Vec<TxnDone>, ShardedReport) {
         let rest = self.drain();
         self.job_tx = None; // coordinators drain their queue and exit
+        let mut participant_deaths = 0u64;
         for h in self.coord_handles.drain(..) {
             let s = h.join().unwrap_or_default();
             self.multi_txns += s.jobs;
             self.multi_participants += s.participants;
+            participant_deaths += s.participant_deaths;
         }
         for tx in &self.txs {
             let _ = tx.send(Msg::Shutdown);
@@ -972,9 +1340,11 @@ impl ShardedServer {
         for r in self.replicas.drain(..) {
             let _ = r.tx.send(Msg::Shutdown);
             drop(r.tx);
-            if let Ok((engine, stats)) = r.handle.join() {
-                replica_engines.push((r.shard, engine));
-                replica_dispatchers.push(stats);
+            if let Some(h) = r.handle {
+                if let Ok((engine, _tailer, stats)) = h.join() {
+                    replica_engines.push((r.shard, engine));
+                    replica_dispatchers.push(stats);
+                }
             }
         }
         let engines = self
@@ -999,6 +1369,8 @@ impl ShardedServer {
                 replica_dispatchers,
                 replica_reads: self.replica_reads,
                 replica_fallbacks: self.replica_fallbacks,
+                recoveries: std::mem::take(&mut self.recoveries),
+                participant_deaths,
             },
         )
     }
@@ -1185,8 +1557,12 @@ fn serve_remote(
                 true
             }
         },
-        RemoteOp::PrepareCommit { txn, reply } => {
-            let _ = reply.send(engine.prepare_commit(txn).map(|()| RemoteOk::Done));
+        RemoteOp::PrepareCommit { txn, gtid, reply } => {
+            // The yes-vote is durable before the reply: prepare_commit
+            // force-flushes a `Prepare` record under `gtid`, so a crash
+            // after this ack recovers the branch as in-doubt instead of
+            // losing a vote the coordinator acted on.
+            let _ = reply.send(engine.prepare_commit(txn, gtid).map(|()| RemoteOk::Done));
             true
         }
         RemoteOp::Commit { txn, reply } => {
@@ -1367,10 +1743,12 @@ fn worker(
 /// Replica serving loop: tail the shard's durable redo feed into the
 /// *owned* engine (no mutex — nothing else touches a replica's engine)
 /// and serve read-only snapshot requests at the applied horizon.
-/// Returns the engine so shutdown can fingerprint it against the
-/// primary. Returns early — which the reaper observes as replica death
-/// — if the ship stream is corrupt: a replica that cannot converge must
-/// stop serving rather than answer from a frozen horizon forever.
+/// Returns the engine (so shutdown can fingerprint it against the
+/// primary) and the tailer (whose parked prepares are a promoted
+/// replica's in-doubt set). Returns early — which the reaper observes
+/// as replica death — if the ship stream is corrupt: a replica that
+/// cannot converge must stop serving rather than answer from a frozen
+/// horizon forever.
 #[allow(clippy::too_many_arguments)]
 fn replica_worker(
     idx: usize,
@@ -1381,7 +1759,7 @@ fn replica_worker(
     rx: Receiver<Msg>,
     done: Sender<(usize, TxnDone)>,
     applied: Arc<AtomicU64>,
-) -> (Engine, DispatcherStats) {
+) -> (Engine, RedoTailer, DispatcherStats) {
     let mut disp = Dispatcher::new(Deployment::Fixed(&part), &mut engine, cfg);
     let mut env = InstantEnv;
     let mut tailer = RedoTailer::new();
@@ -1395,7 +1773,7 @@ fn replica_worker(
         // so applying redo between polls never prunes a version an
         // in-flight read can still observe.
         if tailer.catch_up_feed(&feed, &mut engine, &mut buf).is_err() {
-            return (engine, disp.stats());
+            return (engine, tailer, disp.stats());
         }
         applied.store(engine.current_commit_ts(), Ordering::Release);
         while open
@@ -1409,7 +1787,7 @@ fn replica_worker(
                 Ok(Msg::Crash { after_done }) => {
                     crash_after = Some(after_done);
                     if after_done == 0 {
-                        return (engine, disp.stats());
+                        return (engine, tailer, disp.stats());
                     }
                 }
                 Ok(Msg::Shutdown) | Err(TryRecvError::Disconnected) => open = false,
@@ -1429,7 +1807,7 @@ fn replica_worker(
                     &done,
                     &mut crash_after,
                 ) {
-                    return (engine, disp.stats());
+                    return (engine, tailer, disp.stats());
                 }
             }
             Polled::Idle => {
@@ -1440,7 +1818,7 @@ fn replica_worker(
                     &done,
                     &mut crash_after,
                 ) {
-                    return (engine, disp.stats());
+                    return (engine, tailer, disp.stats());
                 }
                 if !open {
                     break;
@@ -1456,7 +1834,7 @@ fn replica_worker(
                     Ok(Msg::Crash { after_done }) => {
                         crash_after = Some(after_done);
                         if after_done == 0 {
-                            return (engine, disp.stats());
+                            return (engine, tailer, disp.stats());
                         }
                     }
                     Ok(Msg::Shutdown) | Err(mpsc::RecvTimeoutError::Disconnected) => open = false,
@@ -1470,7 +1848,7 @@ fn replica_worker(
     // returned for fingerprinting.
     let _ = tailer.catch_up_feed(&feed, &mut engine, &mut buf);
     applied.store(engine.current_commit_ts(), Ordering::Release);
-    (engine, disp.stats())
+    (engine, tailer, disp.stats())
 }
 
 /// Route one row image to its owning shard, or replicate it to every
@@ -1588,8 +1966,12 @@ impl StmtTable {
 /// the same shards, same errors for unroutable shapes — which is what
 /// makes the quiesce lane a differential oracle for this path.
 struct Coord {
-    remote: Vec<Sender<RemoteOp>>,
-    nudge: Vec<SyncSender<Msg>>,
+    /// Shared link table: the *current* channel endpoints per shard
+    /// (rewritten by the supervisor on failover — see [`ShardLink`]).
+    links: ShardLinks,
+    /// Commit-decision registry shared with the supervisor (see
+    /// [`Decisions`]).
+    decisions: Decisions,
     table: StmtTable,
     /// Open branch (local transaction) per shard.
     branches: Vec<Option<TxnId>>,
@@ -1608,15 +1990,11 @@ struct Coord {
 }
 
 impl Coord {
-    fn new(
-        remote: Vec<Sender<RemoteOp>>,
-        nudge: Vec<SyncSender<Msg>>,
-        ages: Arc<AtomicU64>,
-    ) -> Coord {
-        let n = remote.len();
+    fn new(links: ShardLinks, ages: Arc<AtomicU64>, decisions: Decisions) -> Coord {
+        let n = links.len();
         Coord {
-            remote,
-            nudge,
+            links,
+            decisions,
             table: StmtTable::default(),
             branches: vec![None; n],
             age: 0,
@@ -1630,14 +2008,17 @@ impl Coord {
     }
 
     fn shards(&self) -> usize {
-        self.remote.len()
+        self.links.len()
     }
 
     /// One remote round trip: ship the op, nudge the worker awake, wait
     /// for the reply. A closed channel on either leg is a participant
-    /// death — the transaction cannot know its branch's fate there.
+    /// death — the transaction cannot know its branch's fate there
+    /// (counted in [`CoordStats::participant_deaths`]). Endpoints are
+    /// re-read from the link table per call, so rpcs reach a respawned
+    /// worker without restarting this coordinator.
     fn rpc(
-        &self,
+        &mut self,
         s: usize,
         make: impl FnOnce(Sender<RemoteReply>) -> RemoteOp,
     ) -> Result<RemoteOk, DbError> {
@@ -1646,14 +2027,24 @@ impl Coord {
                 "shard {s} worker died during a cross-shard transaction"
             ))
         };
+        let (remote, msg) = {
+            let l = self.links[s].lock().unwrap_or_else(PoisonError::into_inner);
+            (l.remote.clone(), l.msg.clone())
+        };
         let (tx, rx) = mpsc::channel();
-        self.remote[s].send(make(tx)).map_err(|_| dead())?;
+        if remote.send(make(tx)).is_err() {
+            self.stats.participant_deaths += 1;
+            return Err(dead());
+        }
         // Sent after the op: a worker that consumes this nudge is
         // guaranteed to see the op on its next remote-channel drain.
-        let _ = self.nudge[s].try_send(Msg::Wake);
+        let _ = msg.try_send(Msg::Wake);
         match rx.recv() {
             Ok(r) => r,
-            Err(_) => Err(dead()),
+            Err(_) => {
+                self.stats.participant_deaths += 1;
+                Err(dead())
+            }
         }
     }
 
@@ -1786,15 +2177,24 @@ impl Coord {
             self.fire_hold();
             return Ok((0, Vec::new()));
         }
-        if parts.len() >= 2 {
+        let multi = parts.len() >= 2;
+        if multi {
+            let gtid = self.age;
             for &(s, t) in &parts {
                 let vote = self
-                    .rpc(s, |reply| RemoteOp::PrepareCommit { txn: t, reply })
+                    .rpc(s, |reply| RemoteOp::PrepareCommit {
+                        txn: t,
+                        gtid,
+                        reply,
+                    })
                     .map(|_| ());
                 if let Err(e) = vote {
                     // Presumed abort: one veto rolls back every branch
                     // (prepared ones release their locks; the engines
-                    // count those as prepare-aborts).
+                    // count those as prepare-aborts). The decision
+                    // registry never saw this gtid, so a participant
+                    // that crashed with its prepare durable recovers
+                    // the branch in-doubt and presumed-aborts it too.
                     for &(s2, t2) in &parts {
                         self.branches[s2] = None;
                         let _ = self.rpc(s2, |reply| RemoteOp::Abort { txn: t2, reply });
@@ -1802,18 +2202,36 @@ impl Coord {
                     return Err(e);
                 }
             }
+            // All yes-votes are durable: record the commit decision
+            // *before* any participant can learn it (the fan-out
+            // below), so a participant killed between its prepare-ack
+            // and the decision recovers this gtid as a commit.
+            self.decisions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(gtid, true);
         }
         self.fire_hold();
         // Commit phase: past this point the transaction is decided; a
-        // participant failure here (durability fault, worker death) can
-        // leave a partial commit — reported loudly as the transaction's
-        // error, never silently (see module docs).
+        // participant failure here (durability fault, worker death) is
+        // reported loudly as the transaction's error — and with
+        // self-healing, the decision registry entry retained below lets
+        // the dead participant's recovery complete the commit instead
+        // of leaving a partial one.
         let mut first_err = None;
         for &(s, t) in &parts {
             self.branches[s] = None;
             if let Err(e) = self.rpc(s, |reply| RemoteOp::Commit { txn: t, reply }) {
                 first_err = first_err.or(Some(e));
             }
+        }
+        if multi && first_err.is_none() {
+            // Every participant committed and synced: the gtid can no
+            // longer be in doubt anywhere; drop the registry entry.
+            self.decisions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .remove(&self.age);
         }
         match first_err {
             None => {
@@ -2053,12 +2471,12 @@ fn coordinator(
     part: Arc<CompiledPartition>,
     dcfg: DispatcherConfig,
     jobs: Arc<Mutex<Receiver<CoordJob>>>,
-    remote: Vec<Sender<RemoteOp>>,
-    nudge: Vec<SyncSender<Msg>>,
+    links: ShardLinks,
     done: Sender<(usize, TxnDone)>,
     ages: Arc<AtomicU64>,
+    decisions: Decisions,
 ) -> CoordStats {
-    let mut coord = Coord::new(remote, nudge, ages);
+    let mut coord = Coord::new(links, ages, decisions);
     let sites = Session::prepare_sites(&part.bp, &mut coord);
     loop {
         // Holding the queue lock across `recv` serializes job *pickup*

@@ -889,3 +889,269 @@ proptest! {
         }
     }
 }
+
+/// Satellite: a participant worker dying mid-2PC must not wedge the
+/// coordinator. T1 is parked between its prepare and commit phases on
+/// shards {0,1}; shard 0's worker is killed while the outcome is
+/// pending. The transaction must retire with an error (outcome
+/// unknown), the survivor's branch must abort cleanly (its locks
+/// free), the death is counted, and the coordinator pool keeps serving
+/// cross-shard work.
+#[test]
+fn participant_death_mid_2pc_aborts_cleanly_and_coordinator_survives() {
+    let (pyxis, part) = compile_jdbc(MIXED_SRC);
+    let transfer = pyxis.entry("Mixed", "transfer").expect("transfer");
+    let scale = scale8();
+    let part = Arc::new(part);
+    let engines = fresh_shards(scale, 67, 4);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: 4,
+            coordinators: 2,
+            ..ShardedConfig::default()
+        },
+    );
+    let wh = |shard: usize| {
+        (1..=64i64)
+            .find(|&k| shard_of(&Scalar::Int(k), 4) == shard)
+            .expect("some warehouse routes to every shard")
+    };
+    let pair = |from: i64, to: i64| TxnRequest {
+        entry: transfer,
+        args: vec![
+            pyx_runtime::ArgVal::Int(from),
+            pyx_runtime::ArgVal::Int(to),
+            pyx_runtime::ArgVal::Int(1),
+            pyx_runtime::ArgVal::Int(1),
+        ],
+        label: "transfer",
+        route: None,
+    };
+
+    // Coordinators discover uncached statement routes via an rpc to
+    // shard 0, and replicated reads pin there too — so shard 1 is the
+    // victim, keeping shard 0 free to serve later transfers.
+    let (held, release) = srv.hold_next_multi_commit();
+    assert_eq!(srv.submit(pair(wh(0), wh(1)), 1), Admit::Started);
+    held.recv_timeout(std::time::Duration::from_secs(30))
+        .expect("T1 parked between prepare and commit");
+    // Kill shard 1's worker while T1's outcome is pending there.
+    srv.inject_worker_crash(1, 0);
+    let t0 = std::time::Instant::now();
+    while srv.dead_shards() != vec![1] {
+        assert!(t0.elapsed().as_secs() < 30, "worker death undetected");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        srv.reap_now();
+    }
+    release.send(()).expect("release T1");
+    let d1 = srv.recv_done().expect("T1 retires despite the death");
+    assert_eq!(d1.tag, 1);
+    let err = d1.error.expect("unknown outcome must surface as an error");
+    assert!(err.contains("worker died"), "{err}");
+
+    // The coordinator pool keeps serving cross-shard work that avoids
+    // the dead shard…
+    assert_eq!(srv.submit(pair(wh(2), wh(3)), 2), Admit::Started);
+    let d2 = srv.recv_done().expect("T2 retires");
+    assert!(d2.error.is_none(), "{:?}", d2.error);
+    // …and the survivor shard 0, whose branch was aborted — its stock
+    // row is unlocked, so a new transaction through it commits.
+    assert_eq!(srv.submit(pair(wh(0), wh(0)), 3), Admit::Started);
+    let d3 = srv.recv_done().expect("T3 retires");
+    assert!(d3.error.is_none(), "survivor locks freed: {:?}", d3.error);
+
+    assert_eq!(srv.dead_shards(), vec![1], "no healing configured");
+    let (_, report) = srv.shutdown();
+    assert!(
+        report.participant_deaths > 0,
+        "the death was observed and counted"
+    );
+    assert!(report.recoveries.is_empty());
+}
+
+/// Tentpole: with self-healing enabled and a log-shipping replica per
+/// shard, a primary death promotes the replica — drained to the dead
+/// primary's durable watermark — and the shard resumes accepting
+/// writes. Because every acked commit was durable (group size 1) and
+/// nothing was in flight at the kill, the full serialized run must
+/// match a single-engine oracle tag-for-tag and row-for-row.
+#[test]
+fn self_healing_promotes_a_replica_and_resumes_writes() {
+    let (pyxis, part) = compile_jdbc(tpcc::SRC);
+    let entry = pyxis.entry("NewOrder", "run").expect("entry");
+    let scale = scale8();
+    let seed = 29;
+    let w = 2usize;
+
+    let w_dead = (1..=8i64)
+        .find(|&k| shard_of(&Scalar::Int(k), 2) == 0)
+        .expect("warehouse on shard 0");
+    let w_live = (1..=8i64)
+        .find(|&k| shard_of(&Scalar::Int(k), 2) == 1)
+        .expect("warehouse on shard 1");
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 55).with_lines(2, 4);
+    let reqs: Vec<TxnRequest> = (0..24usize)
+        .map(|i| {
+            let mut r = pyx_server::Workload::next_txn(&mut gen, i);
+            let wid = if i % 2 == 0 { w_dead } else { w_live };
+            r.args[0] = pyx_runtime::ArgVal::Int(wid);
+            r.route = Some(wid);
+            r
+        })
+        .collect();
+
+    let mut single = fresh_single(scale, seed);
+    let singles = run_single(&part, &mut single, &reqs);
+
+    let sinks: Vec<MemSink> = (0..w).map(|_| MemSink::new()).collect();
+    let mut engines = fresh_shards(scale, seed, w);
+    let feeds = ShardedServer::attach_shard_wals_with_feeds(&mut engines, 1, |i| {
+        Box::new(sinks[i].clone())
+    });
+    let part = Arc::new(part);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: w,
+            ..ShardedConfig::default()
+        },
+    );
+    let replicas = fresh_shards(scale, seed, w)
+        .into_iter()
+        .map(|e| vec![e])
+        .collect();
+    srv.spawn_replicas(&feeds, replicas);
+    srv.enable_self_healing();
+
+    let mut shardeds = Vec::new();
+    for (tag, req) in reqs.iter().take(12).enumerate() {
+        assert_eq!(srv.submit(req.clone(), tag as u64), Admit::Started);
+        shardeds.push(srv.recv_done().expect("pre-kill result"));
+    }
+
+    // Kill shard 0's primary; the supervisor must promote its replica.
+    srv.inject_worker_crash(0, 0);
+    let t0 = std::time::Instant::now();
+    while srv.recoveries().is_empty() {
+        assert!(t0.elapsed().as_secs() < 30, "failover never completed");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        srv.reap_now();
+    }
+    let rec = srv.recoveries()[0];
+    assert_eq!(rec.shard, 0);
+    assert!(
+        rec.promoted,
+        "a live replica must be preferred over respawn"
+    );
+    assert_eq!(rec.in_doubt, 0, "nothing was mid-2PC at the kill");
+    assert!(rec.mttr_ns > 0);
+    assert!(srv.dead_shards().is_empty(), "shard 0 accepts writes again");
+
+    // The remaining requests — including to the healed shard — serve
+    // and must answer exactly as the never-killed oracle.
+    for (tag, req) in reqs.iter().enumerate().skip(12) {
+        assert_eq!(
+            srv.submit_with_retry(req.clone(), tag as u64, 10),
+            Admit::Started
+        );
+        shardeds.push(srv.recv_done().expect("post-failover result"));
+    }
+    let (rest, report) = srv.shutdown();
+    assert!(rest.is_empty());
+    assert_eq!(singles.len(), shardeds.len());
+    for (a, b) in singles.iter().zip(&shardeds) {
+        assert_eq!(a.tag, b.tag);
+        assert_eq!(a.result, b.result, "txn {} result", a.tag);
+        assert_eq!(a.error, b.error, "txn {} error", a.tag);
+    }
+    assert_state_matches(&single, &report.engines);
+    assert_eq!(report.recoveries.len(), 1);
+}
+
+/// Tentpole (no-replica path): a dead shard with a respawn factory is
+/// rebuilt from its own write-ahead log — schema + base load, replay of
+/// the durable prefix, log re-anchored — and resumes serving with every
+/// acked commit intact.
+#[test]
+fn respawn_factory_rebuilds_a_dead_shard_from_its_log() {
+    let (pyxis, part) = compile_jdbc(tpcc::SRC);
+    let entry = pyxis.entry("NewOrder", "run").expect("entry");
+    let scale = scale8();
+    let seed = 37;
+    let w = 2usize;
+
+    let w_dead = (1..=8i64)
+        .find(|&k| shard_of(&Scalar::Int(k), 2) == 0)
+        .expect("warehouse on shard 0");
+    let w_live = (1..=8i64)
+        .find(|&k| shard_of(&Scalar::Int(k), 2) == 1)
+        .expect("warehouse on shard 1");
+    let mut gen = tpcc::NewOrderGen::new(entry, scale, 21).with_lines(2, 4);
+    let reqs: Vec<TxnRequest> = (0..24usize)
+        .map(|i| {
+            let mut r = pyx_server::Workload::next_txn(&mut gen, i);
+            let wid = if i % 2 == 0 { w_dead } else { w_live };
+            r.args[0] = pyx_runtime::ArgVal::Int(wid);
+            r.route = Some(wid);
+            r
+        })
+        .collect();
+
+    let mut single = fresh_single(scale, seed);
+    let singles = run_single(&part, &mut single, &reqs);
+
+    let sinks: Vec<MemSink> = (0..w).map(|_| MemSink::new()).collect();
+    let mut engines = fresh_shards(scale, seed, w);
+    ShardedServer::attach_shard_wals(&mut engines, 1, |i| Box::new(sinks[i].clone()));
+    let part = Arc::new(part);
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: w,
+            ..ShardedConfig::default()
+        },
+    );
+    let factory_sinks = sinks.clone();
+    srv.set_respawn_factory(move |s| {
+        let mut e = fresh_shards(scale, seed, w).swap_remove(s);
+        e.recover(&factory_sinks[s].durable_bytes()).ok()?;
+        Some(e)
+    });
+
+    let mut shardeds = Vec::new();
+    for (tag, req) in reqs.iter().take(12).enumerate() {
+        assert_eq!(srv.submit(req.clone(), tag as u64), Admit::Started);
+        shardeds.push(srv.recv_done().expect("pre-kill result"));
+    }
+    srv.inject_worker_crash(0, 0);
+    let t0 = std::time::Instant::now();
+    while srv.recoveries().is_empty() {
+        assert!(t0.elapsed().as_secs() < 30, "respawn never completed");
+        std::thread::sleep(std::time::Duration::from_millis(1));
+        srv.reap_now();
+    }
+    let rec = srv.recoveries()[0];
+    assert_eq!(rec.shard, 0);
+    assert!(!rec.promoted, "no replicas: this is the respawn path");
+    assert!(srv.dead_shards().is_empty());
+
+    for (tag, req) in reqs.iter().enumerate().skip(12) {
+        assert_eq!(
+            srv.submit_with_retry(req.clone(), tag as u64, 10),
+            Admit::Started
+        );
+        shardeds.push(srv.recv_done().expect("post-respawn result"));
+    }
+    let (rest, report) = srv.shutdown();
+    assert!(rest.is_empty());
+    for (a, b) in singles.iter().zip(&shardeds) {
+        assert_eq!(a.tag, b.tag);
+        assert_eq!(a.result, b.result, "txn {} result", a.tag);
+        assert_eq!(a.error, b.error, "txn {} error", a.tag);
+    }
+    assert_state_matches(&single, &report.engines);
+}

@@ -230,13 +230,20 @@ fn serve_sharded(shards: usize, clients: usize, total: u64, vm: VmMode) {
     while completed < total {
         while submitted < total && srv.in_flight() < depth {
             let req = pyxis::sim::Workload::next_txn(&mut wl, submitted as usize);
-            match srv.submit(req, submitted) {
+            // Bounded-retry submission rides out transient unavailability
+            // (a worker death mid-failover) instead of crashing the
+            // serving loop; persistent backpressure falls through to the
+            // drain below, and a shard that stays dead past the retry
+            // budget is a real outage worth dying over.
+            match srv.submit_with_retry(req, submitted, 8) {
                 Admit::Started | Admit::Queued { .. } => submitted += 1,
                 Admit::Rejected => {
                     rejected += 1;
                     break;
                 }
-                Admit::Unavailable => panic!("shard worker died while serving"),
+                Admit::Unavailable => {
+                    panic!("shard worker died and no replica or respawn source healed it")
+                }
             }
         }
         let d = srv.recv_done().expect("work in flight");
