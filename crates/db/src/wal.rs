@@ -1058,6 +1058,26 @@ impl Wal {
         Ok(info)
     }
 
+    /// Drop every byte appended past the durable prefix (records the
+    /// dead primary buffered but never made durable) and reset the
+    /// append watermark to the durable one. Failover calls this on a
+    /// stolen log *before* a respawn factory reads the log medium: with
+    /// a [`FileSink`], unsynced appends are already visible to a file
+    /// reader (`write_all` reaches the OS page cache), and a factory
+    /// that recovered them would sit past the durable watermark that
+    /// [`Wal::resume_at`] demands. Refuses a degraded log.
+    pub fn discard_unsynced(&mut self) -> Result<(), String> {
+        if let Some(e) = &self.failed {
+            return Err(format!("cannot re-anchor a degraded log: {e}"));
+        }
+        self.sink
+            .discard_unsynced()
+            .map_err(|e| format!("wal discard failed: {e}"))?;
+        self.pending = 0;
+        self.appended_ts = self.durable_ts;
+        Ok(())
+    }
+
     /// Re-anchor this log for a failover successor: drop every unsynced
     /// byte (records the dead primary appended but never made durable —
     /// the successor does not have them applied) and reset the
@@ -1075,12 +1095,7 @@ impl Wal {
                 self.durable_ts
             ));
         }
-        self.sink
-            .discard_unsynced()
-            .map_err(|e| format!("wal discard failed: {e}"))?;
-        self.pending = 0;
-        self.appended_ts = self.durable_ts;
-        Ok(())
+        self.discard_unsynced()
     }
 
     /// Flush pending records (the acknowledgement point). `Ok(Some(n))` —

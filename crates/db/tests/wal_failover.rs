@@ -1,0 +1,170 @@
+//! Failover re-anchoring must not let a successor observe the dead
+//! primary's unsynced log tail.
+//!
+//! Under group commit a primary appends redo records long before it
+//! fsyncs them. With a file sink those appended bytes are *visible to
+//! any reader of the file* (they sit in the OS page cache even though
+//! they are not durable), so a respawn factory that reads the log file
+//! before the tail is discarded recovers **past** the durable
+//! watermark — and [`Wal::resume_at`] then rightly refuses the
+//! successor, leaving the shard dead. Failover therefore truncates the
+//! medium to the durable prefix *first* ([`Wal::discard_unsynced`]),
+//! and `resume_at` repeats the discard as a belt-and-braces re-anchor.
+
+use pyx_db::{ColTy, ColumnDef, Engine, FileSink, MemSink, Scalar, TableDef, Wal};
+
+fn fresh_engine() -> Engine {
+    let mut e = Engine::new();
+    e.create_table(TableDef::new(
+        "acct",
+        vec![
+            ColumnDef::new("id", ColTy::Int),
+            ColumnDef::new("bal", ColTy::Int),
+        ],
+        &["id"],
+    ));
+    for i in 0..4 {
+        e.load_row("acct", vec![Scalar::Int(i), Scalar::Int(100)]);
+    }
+    e
+}
+
+fn bump(e: &mut Engine, id: i64, amt: i64) {
+    let t = e.begin();
+    e.execute(
+        t,
+        "UPDATE acct SET bal = bal + ? WHERE id = ?",
+        &[Scalar::Int(amt), Scalar::Int(id)],
+    )
+    .expect("update");
+    e.commit(t).expect("commit");
+}
+
+fn sorted_dump(e: &Engine) -> Vec<Vec<Scalar>> {
+    let mut rows = e.dump_table("acct");
+    rows.sort_by(|a, b| format!("{a:?}").cmp(&format!("{b:?}")));
+    rows
+}
+
+/// The respawn-from-file scenario end to end: discard the dead
+/// primary's tail, *then* let the factory read the file, and the
+/// successor lands exactly on the durable watermark and re-anchors.
+#[test]
+fn discard_unsynced_truncates_the_file_before_the_factory_reads_it() {
+    let path = std::env::temp_dir().join(format!(
+        "pyx-wal-failover-{}-discard.wal",
+        std::process::id()
+    ));
+    let mut primary = fresh_engine();
+    primary.set_wal(
+        Wal::new(Box::new(FileSink::create(&path).expect("wal file"))).with_group_commit(8),
+    );
+    // Three commits made durable at an acknowledgement point...
+    for id in 0..3 {
+        bump(&mut primary, id, 10);
+    }
+    primary.wal_sync().expect("acknowledgement point");
+    let durable = primary.wal_durable_ts().expect("wal attached");
+    assert_eq!(durable, primary.current_commit_ts());
+    // ...then five more appended but never synced: visible in the file,
+    // not durable. This is the tail a crash loses.
+    for i in 0..5 {
+        bump(&mut primary, i % 4, 1000);
+    }
+    assert!(primary.current_commit_ts() > durable);
+    let len_with_tail = std::fs::metadata(&path).expect("log file").len();
+
+    // The primary dies; failover steals its log. A factory reading the
+    // file at this instant would recover all eight commits — past the
+    // watermark — so the tail is discarded from the medium first.
+    let mut wal = primary.take_wal().expect("steal the log");
+    drop(primary);
+    wal.discard_unsynced().expect("drop the unsynced tail");
+    let len_durable = std::fs::metadata(&path).expect("log file").len();
+    assert!(
+        len_durable < len_with_tail,
+        "the unsynced tail must be physically removed from the file"
+    );
+
+    // The factory's read now sees exactly the durable prefix: the
+    // successor lands on the watermark and the log re-anchors.
+    let mut successor = fresh_engine();
+    successor
+        .recover(&std::fs::read(&path).expect("read log"))
+        .expect("durable prefix replays cleanly");
+    assert_eq!(successor.current_commit_ts(), durable);
+    let mut oracle = fresh_engine();
+    for id in 0..3 {
+        bump(&mut oracle, id, 10);
+    }
+    assert_eq!(
+        sorted_dump(&successor),
+        sorted_dump(&oracle),
+        "the successor holds the acknowledged commits and nothing else"
+    );
+    wal.resume_at(successor.current_commit_ts())
+        .expect("successor at the durable watermark resumes the log");
+    successor.set_wal(wal);
+
+    // Post-failover commits extend the same file and replay cleanly.
+    bump(&mut successor, 0, 7);
+    successor.wal_sync().expect("post-failover acknowledgement");
+    let mut reread = fresh_engine();
+    reread
+        .recover(&std::fs::read(&path).expect("read log"))
+        .expect("re-anchored log replays cleanly");
+    assert_eq!(reread.current_commit_ts(), successor.current_commit_ts());
+    assert_eq!(sorted_dump(&reread), sorted_dump(&successor));
+    let _ = std::fs::remove_file(&path);
+}
+
+/// `resume_at` itself discards the unsynced tail: after a successful
+/// re-anchor the medium ends exactly at the durable prefix, so a later
+/// sync can never make the dead incarnation's bytes durable behind the
+/// successor's back.
+#[test]
+fn resume_at_discards_the_unsynced_tail_from_the_medium() {
+    let sink = MemSink::new();
+    let mut primary = fresh_engine();
+    primary.set_wal(Wal::new(Box::new(sink.clone())).with_group_commit(8));
+    for id in 0..3 {
+        bump(&mut primary, id, 10);
+    }
+    primary.wal_sync().expect("acknowledgement point");
+    let durable = primary.wal_durable_ts().expect("wal attached");
+    for i in 0..5 {
+        bump(&mut primary, i % 4, 1000);
+    }
+    assert!(
+        sink.all_bytes().len() > sink.durable_bytes().len(),
+        "an unsynced tail exists at the kill point"
+    );
+
+    let mut wal = primary.take_wal().expect("steal the log");
+    drop(primary);
+    // A memory sink exposes the durable prefix directly, so the
+    // successor can be built without touching the tail.
+    let mut successor = fresh_engine();
+    successor
+        .recover(&sink.durable_bytes())
+        .expect("durable prefix replays cleanly");
+    assert_eq!(successor.current_commit_ts(), durable);
+    wal.resume_at(successor.current_commit_ts())
+        .expect("successor at the durable watermark resumes the log");
+    assert_eq!(
+        sink.all_bytes(),
+        sink.durable_bytes(),
+        "resume_at leaves the medium ending exactly at the durable prefix"
+    );
+
+    // The re-anchored log keeps extending the durable prefix correctly.
+    successor.set_wal(wal);
+    bump(&mut successor, 1, 7);
+    successor.wal_sync().expect("post-failover acknowledgement");
+    let mut reread = fresh_engine();
+    reread
+        .recover(&sink.durable_bytes())
+        .expect("re-anchored log replays cleanly");
+    assert_eq!(reread.current_commit_ts(), successor.current_commit_ts());
+    assert_eq!(sorted_dump(&reread), sorted_dump(&successor));
+}

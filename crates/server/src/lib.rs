@@ -67,6 +67,7 @@ pub use dispatch::{
 pub use env::{Env, InstantEnv};
 pub use pyx_runtime::{VmMode, VmScratch};
 pub use shard::{
-    load_row_sharded, CrossShardMode, ShardRecovery, ShardedConfig, ShardedReport, ShardedServer,
+    load_row_sharded, CrossShardMode, HealFailure, ShardRecovery, ShardedConfig, ShardedReport,
+    ShardedServer,
 };
 pub use workload::{FixedWorkload, TxnRequest, Workload};

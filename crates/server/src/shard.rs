@@ -152,16 +152,26 @@
 //! * **In-doubt resolution**: recovered prepared branches re-hold their
 //!   exclusive locks; the supervisor settles each against the
 //!   coordinator pool's decision registry — a globally-unique gtid (the
-//!   transaction's wait-die age) maps to a commit decision recorded
-//!   *before* the commit fan-out begins. Absent gtid ⇒ **presumed
-//!   abort**, safe because a cross-shard transaction is only ever
-//!   acknowledged after every participant committed and synced.
+//!   transaction's wait-die age) maps to a [`GtidState`]: *voting* from
+//!   before the prepare fan-out, *commit* once all yes-votes are in
+//!   (recorded before the commit fan-out begins). Absent gtid ⇒
+//!   **presumed abort**, safe because a cross-shard transaction is only
+//!   ever acknowledged after every participant committed and synced.
+//!   The registry lock makes resolution atomic with the coordinator's
+//!   decision point: a branch recovered while its gtid is still
+//!   *voting* is presumed abort and the verdict is written into the
+//!   entry, so the coordinator — which may still collect the remaining
+//!   yes-votes — finds the veto and aborts the surviving branches
+//!   rather than committing a transaction one shard already aborted.
 //! * **Availability**: the healed shard swaps in under the same engine
 //!   slot and fresh channels (coordinators reach it through the shared
 //!   link table), and the shard flips back to accepting writes. Callers
 //!   ride through the window with [`ShardedServer::submit_with_retry`];
 //!   per-shard MTTR and in-doubt counts land in
-//!   [`ShardedReport::recoveries`].
+//!   [`ShardedReport::recoveries`]. A heal attempt that fails stashes
+//!   the stolen log back on the dead engine slot (the durable handle is
+//!   never silently dropped), records a [`HealFailure`], and is retried
+//!   by later reap passes up to [`HEAL_RETRY_CAP`] attempts.
 //!
 //! During failover, reads: bounded-staleness replica reads keep serving
 //! at their applied horizons (monotone, frozen at the durable watermark
@@ -184,6 +194,7 @@ use pyx_db::{
 use pyx_lang::MethodId;
 use pyx_pyxil::CompiledPartition;
 use pyx_runtime::session::{run_to_completion, Advance, PreparedSites, Session, VmMode, VmScratch};
+use std::collections::hash_map::Entry as HashEntry;
 use std::collections::{HashMap, VecDeque};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -269,6 +280,10 @@ pub struct ShardedReport {
     /// One entry per shard failover the supervisor performed (empty
     /// unless self-healing was configured), in recovery order.
     pub recoveries: Vec<ShardRecovery>,
+    /// One entry per *failed* heal attempt, in order. A shard may
+    /// appear several times (each retry that fails records again) and
+    /// may later succeed (also appearing in `recoveries`).
+    pub heal_failures: Vec<HealFailure>,
     /// Coordinator rpc legs that observed a dead participant worker
     /// (counted per observation: a transaction whose cleanup also hits
     /// the dead shard counts more than once).
@@ -294,6 +309,27 @@ pub struct ShardRecovery {
     /// In-doubt branches resolved as aborts (presumed abort).
     pub resolved_abort: u64,
 }
+
+/// One failed heal attempt ([`ShardedReport::heal_failures`]). The
+/// stolen durable log was stashed back on the dead engine slot, so the
+/// log handle (and replica feed) survive the failure; recoverable
+/// failures are retried by later reap passes up to [`HEAL_RETRY_CAP`]
+/// attempts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HealFailure {
+    /// The shard whose heal attempt failed.
+    pub shard: usize,
+    /// 1-based attempt number for this shard.
+    pub attempt: u32,
+    /// Why the attempt failed.
+    pub reason: String,
+}
+
+/// Maximum heal attempts per dead shard. A failed promotion consumes
+/// the replica it tried, so retries walk the remaining replicas and
+/// then the respawn factory; the cap keeps a deterministic failure
+/// (degraded log, factory that always refuses) from looping forever.
+const HEAL_RETRY_CAP: u32 = 3;
 
 impl ShardedReport {
     /// Engine counters summed over all primary shards (replicas are
@@ -399,19 +435,22 @@ enum RemoteOk {
     Done,
 }
 
-/// Test hook plumbing: pause the next cross-shard transaction between
-/// its prepare and commit phases. `held_tx` fires when the transaction
-/// is parked there; it resumes when `release_rx` yields.
+/// Test hook plumbing: pause the next cross-shard transaction at an
+/// instrumented point of the commit protocol. `held_tx` fires when the
+/// transaction is parked there; it resumes when `release_rx` yields.
 struct HoldHook {
     held_tx: Sender<()>,
     release_rx: Receiver<()>,
 }
 
-/// One queued cross-shard transaction.
+/// One queued cross-shard transaction. `hold` parks it between the
+/// commit decision and the commit fan-out; `hold_prepare` parks it
+/// mid-vote, right after the first participant's prepare ack.
 struct CoordJob {
     req: TxnRequest,
     tag: u64,
     hold: Option<HoldHook>,
+    hold_prepare: Option<HoldHook>,
 }
 
 /// Counters a coordinator thread reports at shutdown.
@@ -447,14 +486,45 @@ struct ShardLink {
 
 type ShardLinks = Arc<Vec<Mutex<ShardLink>>>;
 
+/// Decision state of one cross-shard transaction in the coordinator
+/// pool's registry ([`Decisions`]). The registry lock is the atomicity
+/// point between a coordinator deciding commit and the supervisor
+/// presumed-aborting a recovered in-doubt branch of the same gtid:
+/// whichever takes the lock first wins, and the other observes it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GtidState {
+    /// Prepare fan-out in progress: inserted *before* the first
+    /// `PrepareCommit` rpc, so any participant whose durable yes-vote
+    /// outlives its worker is guaranteed a registry entry while the
+    /// outcome is still open. The supervisor resolves an in-doubt
+    /// branch in this state as abort and flips the entry to
+    /// [`GtidState::Abort`] — vetoing the still-voting coordinator.
+    Voting,
+    /// Decided commit (all yes-votes in, recorded before any
+    /// participant can learn the outcome). `outstanding` counts
+    /// participant legs that have not yet settled — decremented by the
+    /// coordinator per acknowledged commit rpc and by the supervisor
+    /// per in-doubt branch resolved at heal time; the entry is removed
+    /// at zero, when no shard can still be in doubt for this gtid.
+    Commit { outstanding: u32 },
+    /// The supervisor presumed-aborted a recovered branch while the
+    /// coordinator was still collecting votes. The coordinator must
+    /// abort the surviving branches and report an error; it removes
+    /// the entry, after which absence means the same thing.
+    Abort,
+}
+
 /// The coordinator pool's commit-decision registry: gtid (global
-/// wait-die age) → `true` once the transaction is *decided commit*
-/// (all yes-votes in, before the commit fan-out begins). Entries are
-/// removed once every participant acknowledged its commit — so an
-/// entry present at recovery time means "commit", and an absent gtid
-/// is **presumed abort** (safe: success is only acknowledged after
-/// every participant committed and synced).
-type Decisions = Arc<Mutex<HashMap<u64, bool>>>;
+/// wait-die age) → [`GtidState`]. An absent gtid is **presumed abort**
+/// (safe: success is only acknowledged after every participant
+/// committed and synced). Entries exist only from prepare fan-out to
+/// the last participant's settlement, so the map stays bounded by the
+/// in-flight cross-shard transaction count plus any legs awaiting a
+/// heal. (One documented residue: a commit leg that fails on a *live*
+/// worker — a durability fault, not a death — never settles its
+/// count; such entries are retained deliberately, since dropping them
+/// could turn a later recovery of that shard into a lost commit.)
+type Decisions = Arc<Mutex<HashMap<u64, GtidState>>>;
 
 /// One log-shipping read replica: a dedicated thread owning a replica
 /// engine, tailing its shard's durable redo feed and serving read-only
@@ -519,6 +589,14 @@ pub struct ShardedServer {
     respawn: Option<Box<dyn FnMut(usize) -> Option<Engine> + Send>>,
     /// Completed failovers, in order.
     recoveries: Vec<ShardRecovery>,
+    /// Failed heal attempts, in order (diagnostics; the stolen log is
+    /// stashed back on the dead engine so a later attempt can retry).
+    heal_failures: Vec<HealFailure>,
+    /// Heal attempts per shard, capping [`HEAL_RETRY_CAP`] retries.
+    heal_attempts: Vec<u32>,
+    /// Shards whose last heal attempt failed recoverably; the reap
+    /// pass retries them until the attempt cap.
+    heal_retry: Vec<usize>,
     // -- read replicas --
     replicas: Vec<ReplicaSlot>,
     /// Replica indices (into `replicas`) serving each shard.
@@ -537,6 +615,7 @@ pub struct ShardedServer {
     job_tx: Option<SyncSender<CoordJob>>,
     coord_handles: Vec<JoinHandle<CoordStats>>,
     hold_next: Option<HoldHook>,
+    hold_next_prepare: Option<HoldHook>,
     // -- quiesce lane (oracle mode) --
     lane: LaneState,
     lane_sites: Option<PreparedSites>,
@@ -658,6 +737,9 @@ impl ShardedServer {
             self_heal: false,
             respawn: None,
             recoveries: Vec::new(),
+            heal_failures: Vec::new(),
+            heal_attempts: vec![0; cfg.shards],
+            heal_retry: Vec::new(),
             replicas: Vec::new(),
             replica_of_shard: vec![Vec::new(); cfg.shards],
             replica_rr: vec![0; cfg.shards],
@@ -668,6 +750,7 @@ impl ShardedServer {
             job_tx,
             coord_handles,
             hold_next: None,
+            hold_next_prepare: None,
             lane,
             lane_sites,
             lane_scratch: None,
@@ -883,6 +966,42 @@ impl ShardedServer {
         (held_rx, release_tx)
     }
 
+    /// Test hook (2PC lane): pause the *next* submitted cross-shard
+    /// transaction **mid-vote** — right after its first participant
+    /// acknowledged a durable prepare, before the remaining prepare
+    /// rpcs. This is the window where a prepared participant's death
+    /// races the coordinator's decision: the supervisor must presume
+    /// abort and veto the still-voting coordinator (see
+    /// [`GtidState::Voting`]). Same park/release contract as
+    /// [`ShardedServer::hold_next_multi_commit`].
+    #[doc(hidden)]
+    pub fn hold_next_multi_prepare(&mut self) -> (Receiver<()>, Sender<()>) {
+        let (held_tx, held_rx) = mpsc::channel();
+        let (release_tx, release_rx) = mpsc::channel();
+        self.hold_next_prepare = Some(HoldHook {
+            held_tx,
+            release_rx,
+        });
+        (held_rx, release_tx)
+    }
+
+    /// Cross-shard transactions with a live decision-registry entry
+    /// (voting, or committed with unsettled participant legs). Zero
+    /// once every transaction has settled — the registry-leak probe.
+    #[doc(hidden)]
+    pub fn pending_decisions(&self) -> usize {
+        self.decisions
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// Failed heal attempts so far (also in
+    /// [`ShardedReport::heal_failures`] at shutdown).
+    pub fn heal_failures(&self) -> &[HealFailure] {
+        &self.heal_failures
+    }
+
     pub fn shards(&self) -> usize {
         self.cfg.shards
     }
@@ -920,7 +1039,13 @@ impl ShardedServer {
             None => match &self.job_tx {
                 Some(jtx) => {
                     let hold = self.hold_next.take();
-                    match jtx.try_send(CoordJob { req, tag, hold }) {
+                    let hold_prepare = self.hold_next_prepare.take();
+                    match jtx.try_send(CoordJob {
+                        req,
+                        tag,
+                        hold,
+                        hold_prepare,
+                    }) {
                         Ok(()) => {
                             self.in_flight += 1;
                             Admit::Started
@@ -930,7 +1055,8 @@ impl ShardedServer {
                     }
                 }
                 None => {
-                    self.hold_next = None; // hook is a 2PC-lane concept
+                    self.hold_next = None; // hooks are a 2PC-lane concept
+                    self.hold_next_prepare = None;
                     let done = self.run_multi(req, tag);
                     self.done_tx.send((LANE, done)).expect("done channel open");
                     self.in_flight += 1;
@@ -1064,6 +1190,12 @@ impl ShardedServer {
     /// replica) unavailable. With self-healing configured, newly dead
     /// primaries are then repaired in place (see [`ShardedServer::heal_shard`]).
     fn reap_dead_workers(&mut self) {
+        // Retry heals that failed recoverably on an earlier pass (the
+        // stolen log was stashed back on the dead engine slot; another
+        // replica or a recovered factory may succeed now).
+        for s in std::mem::take(&mut self.heal_retry) {
+            self.heal_shard(s);
+        }
         let any_primary = self
             .handles
             .iter()
@@ -1159,58 +1291,99 @@ impl ShardedServer {
     /// coordinator decision registry, and swap the healed shard in under
     /// fresh channels. Any failure leaves the shard dead (submits keep
     /// reporting [`Admit::Unavailable`]) — healing never trades
-    /// correctness for availability.
+    /// correctness for availability — but is recorded in
+    /// [`ShardedServer::heal_failures`] with the stolen log stashed
+    /// back, and retried on later reap passes up to [`HEAL_RETRY_CAP`]
+    /// attempts.
     fn heal_shard(&mut self, s: usize) {
-        let promotable = self.self_heal && self.best_replica(s).is_some();
-        if !promotable && self.respawn.is_none() {
-            return;
+        if !self.self_heal && self.respawn.is_none() {
+            return; // supervision not configured: the shard stays dead
         }
+        let attempt = self.heal_attempts[s] + 1;
+        self.heal_attempts[s] = attempt;
         let start = Instant::now();
         // Steal the dead primary's log: sink, replica feed, and
         // durability watermarks move to the successor; the dead engine
         // is discarded with the old Arc slot below.
-        let (mut wal, txn_floor) = {
-            let old = Arc::clone(&self.engines[s]);
+        let old = Arc::clone(&self.engines[s]);
+        let (wal, txn_floor) = {
             let mut g = old.lock().unwrap_or_else(PoisonError::into_inner);
             let Some(wal) = g.take_wal() else {
-                return; // volatile shard: nothing durable to recover from
+                // Volatile shard: nothing durable to recover from, and
+                // nothing a retry could find — terminal.
+                self.heal_failures.push(HealFailure {
+                    shard: s,
+                    attempt,
+                    reason: format!("shard {s} has no durable log to recover from"),
+                });
+                return;
             };
             (wal, g.txn_id_floor())
         };
-        let healed = if promotable {
-            self.promote_replica(s)
-        } else {
-            let factory = self.respawn.as_mut().expect("checked above");
-            factory(s)
+        let (mut engine, promoted) = match self.build_successor(s, wal, txn_floor) {
+            Ok(built) => built,
+            Err(boxed) => {
+                let (wal, reason) = *boxed;
+                // Stash the stolen log back on the dead engine slot —
+                // the durable handle (and its replica feed) must
+                // survive a failed attempt — record why, and queue a
+                // bounded retry.
+                old.lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .set_wal(wal);
+                self.heal_failures.push(HealFailure {
+                    shard: s,
+                    attempt,
+                    reason,
+                });
+                if attempt < HEAL_RETRY_CAP {
+                    self.heal_retry.push(s);
+                }
+                return;
+            }
         };
-        let Some(mut engine) = healed else {
-            return;
-        };
-        // The successor must not reuse transaction ids the dead
-        // incarnation handed to coordinators (stale cleanup aborts).
-        engine.reserve_txn_ids(txn_floor);
-        // Promotion-at-durable-watermark rule: refuse a successor whose
-        // applied horizon is not exactly the durable prefix.
-        if wal.resume_at(engine.current_commit_ts()).is_err() {
-            return;
-        }
-        engine.set_wal(wal);
         // Settle in-doubt branches with the coordinator pool's decision
-        // registry: present gtid ⇒ commit was decided; absent ⇒
-        // presumed abort.
+        // registry. The verdict for each branch is taken under the
+        // registry lock, making it atomic with a coordinator's decision
+        // point: a gtid still *voting* is presumed abort AND the abort
+        // is written into its entry, so the coordinator finds the veto
+        // when its votes complete and aborts the survivors instead of
+        // committing (see [`GtidState`]).
         let gtids = engine.in_doubt_gtids();
         let in_doubt = gtids.len() as u64;
         let (mut resolved_commit, mut resolved_abort) = (0u64, 0u64);
         {
-            let dec = self
+            let mut dec = self
                 .decisions
                 .lock()
                 .unwrap_or_else(PoisonError::into_inner);
             for gtid in gtids {
-                let commit = dec.get(&gtid).copied().unwrap_or(false);
+                let commit = match dec.get(&gtid).copied() {
+                    Some(GtidState::Commit { .. }) => true,
+                    Some(GtidState::Voting) => {
+                        dec.insert(gtid, GtidState::Abort);
+                        false
+                    }
+                    Some(GtidState::Abort) | None => false,
+                };
                 if engine.resolve_prepared(gtid, commit).is_ok() {
                     if commit {
                         resolved_commit += 1;
+                        // One participant leg settled; the entry goes
+                        // once every leg has (coordinator-acknowledged
+                        // or heal-resolved).
+                        if let HashEntry::Occupied(mut e) = dec.entry(gtid) {
+                            let settled = match e.get_mut() {
+                                GtidState::Commit { outstanding } => {
+                                    *outstanding = outstanding.saturating_sub(1);
+                                    *outstanding == 0
+                                }
+                                _ => false,
+                            };
+                            if settled {
+                                e.remove();
+                            }
+                        }
                     } else {
                         resolved_abort += 1;
                     }
@@ -1242,12 +1415,64 @@ impl ShardedServer {
         self.dead[s] = false;
         self.recoveries.push(ShardRecovery {
             shard: s,
-            promoted: promotable,
+            promoted,
             mttr_ns: start.elapsed().as_nanos() as u64,
             in_doubt,
             resolved_commit,
             resolved_abort,
         });
+    }
+
+    /// Build shard `s`'s successor engine around the stolen log:
+    /// truncate the log medium to its durable prefix, promote a replica
+    /// (else run the respawn factory), and re-anchor the log at the
+    /// durable watermark. Returns the successor (with the log attached)
+    /// and whether it came from a promotion; on failure the log is
+    /// handed back to the caller for stashing, with the reason.
+    fn build_successor(
+        &mut self,
+        s: usize,
+        mut wal: Wal,
+        txn_floor: u64,
+    ) -> Result<(Engine, bool), Box<(Wal, String)>> {
+        // Drop the dead incarnation's unsynced tail from the medium
+        // BEFORE any successor reads it: with a file sink, appended-
+        // but-unsynced bytes are already visible to a file reader
+        // (they sit in the OS page cache), so a respawn factory that
+        // recovered them would land past the durable watermark that
+        // `resume_at` demands — and the shard would stay dead exactly
+        // in the group-commit case failover exists for.
+        if let Err(e) = wal.discard_unsynced() {
+            return Err(Box::new((wal, e)));
+        }
+        let promoted = self.self_heal && self.best_replica(s).is_some();
+        let healed = if promoted {
+            self.promote_replica(s)
+        } else if let Some(factory) = self.respawn.as_mut() {
+            factory(s)
+        } else {
+            None
+        };
+        let Some(mut engine) = healed else {
+            let reason = if promoted {
+                format!("shard {s}: replica promotion failed (stream error or replica panic)")
+            } else if self.respawn.is_some() {
+                format!("shard {s}: respawn factory declined to rebuild the engine")
+            } else {
+                format!("shard {s}: no live replica and no respawn factory")
+            };
+            return Err(Box::new((wal, reason)));
+        };
+        // The successor must not reuse transaction ids the dead
+        // incarnation handed to coordinators (stale cleanup aborts).
+        engine.reserve_txn_ids(txn_floor);
+        // Promotion-at-durable-watermark rule: refuse a successor whose
+        // applied horizon is not exactly the durable prefix.
+        if let Err(e) = wal.resume_at(engine.current_commit_ts()) {
+            return Err(Box::new((wal, e)));
+        }
+        engine.set_wal(wal);
+        Ok((engine, promoted))
     }
 
     /// Consume shard `s`'s most-caught-up replica as the failover
@@ -1258,14 +1483,16 @@ impl ShardedServer {
         let slot = self.best_replica(s)?;
         let r = &mut self.replicas[slot];
         let _ = r.tx.send(Msg::Shutdown);
-        let handle = r.handle.take()?;
         r.dead = true; // consumed: never serves reads again
-        let (mut engine, mut tailer, _stats) = handle.join().ok()?;
-        // Reads queued behind the shutdown were dropped by the worker;
-        // surface them as errors like any replica death.
+        let handle = r.handle.take();
+        let feed = r.feed.clone();
+        // Surface reads queued behind the shutdown as errors BEFORE any
+        // early return below: the reaper skips dead slots, so losses
+        // synthesized here are the only results those callers ever get
+        // — skipping them (e.g. on a panicked replica's failed join)
+        // would leave a `recv_done` caller waiting forever.
         let mut lost: Vec<(u64, (MethodId, &'static str))> = r.outstanding.drain().collect();
         lost.sort_unstable_by_key(|&(tag, _)| tag);
-        let feed = r.feed.clone();
         for (tag, (entry, label)) in lost {
             self.ready.push_back(TxnDone {
                 tag,
@@ -1284,6 +1511,7 @@ impl ShardedServer {
             });
         }
         self.replica_of_shard[s].retain(|&i| i != slot);
+        let (mut engine, mut tailer, _stats) = handle?.join().ok()?;
         // Final catch-up: the feed is complete (the primary is dead and
         // its unsynced tail will be discarded), so this lands the
         // replica exactly on the durable watermark.
@@ -1370,6 +1598,7 @@ impl ShardedServer {
                 replica_reads: self.replica_reads,
                 replica_fallbacks: self.replica_fallbacks,
                 recoveries: std::mem::take(&mut self.recoveries),
+                heal_failures: std::mem::take(&mut self.heal_failures),
                 participant_deaths,
             },
         )
@@ -1985,6 +2214,7 @@ struct Coord {
     /// Participant count of the most recently closed transaction.
     last_participants: u32,
     hold: Option<HoldHook>,
+    hold_prepare: Option<HoldHook>,
     scratch: Option<VmScratch>,
     stats: CoordStats,
 }
@@ -2002,6 +2232,7 @@ impl Coord {
             touched: 0,
             last_participants: 0,
             hold: None,
+            hold_prepare: None,
             scratch: None,
             stats: CoordStats::default(),
         }
@@ -2149,6 +2380,18 @@ impl Coord {
         }
     }
 
+    /// Pause here if a mid-vote hold hook is armed (test
+    /// instrumentation: the point right after the first participant's
+    /// durable prepare ack, while the remaining votes are still being
+    /// collected — the window where a prepared participant's death
+    /// races the commit decision).
+    fn fire_hold_prepare(&mut self) {
+        if let Some(h) = self.hold_prepare.take() {
+            let _ = h.held_tx.send(());
+            let _ = h.release_rx.recv();
+        }
+    }
+
     /// Abort every open branch, ignoring errors (used by panic cleanup
     /// and the session leak-check; [`Database::abort`] reports them).
     fn abort_open_branches(&mut self) {
@@ -2180,7 +2423,19 @@ impl Coord {
         let multi = parts.len() >= 2;
         if multi {
             let gtid = self.age;
-            for &(s, t) in &parts {
+            // Open the voting window in the registry BEFORE the first
+            // participant can durably prepare. A participant that acks
+            // its prepare and dies while the remaining votes are still
+            // out is then guaranteed to find this entry: the
+            // supervisor's heal pass resolves the branch as presumed
+            // abort and flips it to [`GtidState::Abort`] — and the
+            // decision point below, taken under the same lock, sees
+            // the veto instead of committing the survivors.
+            self.decisions
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .insert(gtid, GtidState::Voting);
+            for (i, &(s, t)) in parts.iter().enumerate() {
                 let vote = self
                     .rpc(s, |reply| RemoteOp::PrepareCommit {
                         txn: t,
@@ -2188,13 +2443,22 @@ impl Coord {
                         reply,
                     })
                     .map(|_| ());
+                if i == 0 && vote.is_ok() {
+                    self.fire_hold_prepare();
+                }
                 if let Err(e) = vote {
                     // Presumed abort: one veto rolls back every branch
                     // (prepared ones release their locks; the engines
-                    // count those as prepare-aborts). The decision
-                    // registry never saw this gtid, so a participant
-                    // that crashed with its prepare durable recovers
-                    // the branch in-doubt and presumed-aborts it too.
+                    // count those as prepare-aborts). Removing the
+                    // entry restores "absent gtid = abort": a
+                    // participant that crashed with its prepare
+                    // durable recovers the branch in-doubt and
+                    // presumed-aborts it too. (Heal may already have
+                    // flipped the entry to Abort — same verdict.)
+                    self.decisions
+                        .lock()
+                        .unwrap_or_else(PoisonError::into_inner)
+                        .remove(&gtid);
                     for &(s2, t2) in &parts {
                         self.branches[s2] = None;
                         let _ = self.rpc(s2, |reply| RemoteOp::Abort { txn: t2, reply });
@@ -2202,36 +2466,82 @@ impl Coord {
                     return Err(e);
                 }
             }
-            // All yes-votes are durable: record the commit decision
-            // *before* any participant can learn it (the fan-out
-            // below), so a participant killed between its prepare-ack
-            // and the decision recovers this gtid as a commit.
-            self.decisions
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .insert(gtid, true);
+            // All yes-votes are durable. The decision point: under the
+            // registry lock, either the gtid is still voting — record
+            // commit *before* any participant can learn the outcome
+            // (the fan-out below), so a participant killed between its
+            // prepare-ack and the decision recovers this gtid as a
+            // commit — or the supervisor presumed-aborted a recovered
+            // branch of it mid-vote, in which case that branch is gone
+            // and commit is no longer possible: honor the veto.
+            let vetoed = {
+                let mut dec = self
+                    .decisions
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if dec.get(&gtid) == Some(&GtidState::Abort) {
+                    dec.remove(&gtid);
+                    true
+                } else {
+                    dec.insert(
+                        gtid,
+                        GtidState::Commit {
+                            outstanding: parts.len() as u32,
+                        },
+                    );
+                    false
+                }
+            };
+            if vetoed {
+                for &(s2, t2) in &parts {
+                    self.branches[s2] = None;
+                    let _ = self.rpc(s2, |reply| RemoteOp::Abort { txn: t2, reply });
+                }
+                return Err(DbError::Durability(
+                    "a prepared participant failed over during voting; \
+                     transaction presumed aborted"
+                        .into(),
+                ));
+            }
         }
         self.fire_hold();
         // Commit phase: past this point the transaction is decided; a
         // participant failure here (durability fault, worker death) is
         // reported loudly as the transaction's error — and with
-        // self-healing, the decision registry entry retained below lets
-        // the dead participant's recovery complete the commit instead
-        // of leaving a partial one.
+        // self-healing, the decision registry entry retained for the
+        // unsettled legs lets the dead participant's recovery complete
+        // the commit instead of leaving a partial one.
         let mut first_err = None;
+        let mut acked = 0u32;
         for &(s, t) in &parts {
             self.branches[s] = None;
-            if let Err(e) = self.rpc(s, |reply| RemoteOp::Commit { txn: t, reply }) {
-                first_err = first_err.or(Some(e));
+            match self.rpc(s, |reply| RemoteOp::Commit { txn: t, reply }) {
+                Ok(_) => acked += 1,
+                Err(e) => first_err = first_err.or(Some(e)),
             }
         }
-        if multi && first_err.is_none() {
-            // Every participant committed and synced: the gtid can no
-            // longer be in doubt anywhere; drop the registry entry.
-            self.decisions
+        if multi {
+            // Settle the acknowledged legs; the entry goes once every
+            // leg has settled (here, or in a heal pass resolving the
+            // leg's in-doubt branch) — so the registry cannot grow
+            // without bound under worker churn, while a leg that may
+            // still be in doubt somewhere keeps its commit entry.
+            let mut dec = self
+                .decisions
                 .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .remove(&self.age);
+                .unwrap_or_else(PoisonError::into_inner);
+            if let HashEntry::Occupied(mut e) = dec.entry(self.age) {
+                let settled = match e.get_mut() {
+                    GtidState::Commit { outstanding } => {
+                        *outstanding = outstanding.saturating_sub(acked);
+                        *outstanding == 0
+                    }
+                    _ => false,
+                };
+                if settled {
+                    e.remove();
+                }
+            }
         }
         match first_err {
             None => {
@@ -2487,6 +2797,7 @@ fn coordinator(
         };
         coord.stats.jobs += 1;
         coord.hold = job.hold;
+        coord.hold_prepare = job.hold_prepare;
         coord.last_participants = 0;
         let (req, tag) = (job.req, job.tag);
         let d = catch_unwind(AssertUnwindSafe(|| {
@@ -2511,6 +2822,7 @@ fn coordinator(
             }
         });
         coord.hold = None;
+        coord.hold_prepare = None;
         let _ = done.send((LANE, d));
     }
     coord.stats

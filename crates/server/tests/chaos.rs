@@ -21,7 +21,7 @@
 //!   timestamp-identical to the survivor — every acked commit is
 //!   present exactly once (no lost acks, no double apply).
 
-use pyx_db::{shard_of, Engine, MemSink, Scalar};
+use pyx_db::{shard_of, Engine, FileSink, MemSink, Scalar};
 use pyx_pyxil::CompiledPartition;
 use pyx_server::{Admit, ShardedConfig, ShardedServer, TxnRequest, Workload};
 use pyx_workloads::tpcc;
@@ -273,9 +273,20 @@ fn kill_anywhere_chaos_preserves_every_acked_commit() {
         assert!(done.error.is_none(), "shard {s}: {:?}", done.error);
     }
     assert_eq!(accepted, retired);
+    assert_eq!(
+        srv.pending_decisions(),
+        0,
+        "every cross-shard decision settled: the registry does not leak \
+         entries under worker churn"
+    );
 
     let (rest, report) = srv.shutdown();
     assert!(rest.is_empty(), "drain retired everything before shutdown");
+    assert!(
+        report.heal_failures.is_empty(),
+        "no heal attempt failed: {:?}",
+        report.heal_failures
+    );
     let recs = &report.recoveries;
     assert_eq!(recs.len(), 7, "six round kills plus the targeted kill");
     assert!(recs.iter().all(|r| r.mttr_ns > 0));
@@ -306,5 +317,252 @@ fn kill_anywhere_chaos_preserves_every_acked_commit() {
             b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
             assert_eq!(a, b, "shard {s} `{table}` state after chaos");
         }
+    }
+}
+
+/// A prepared participant dies while the coordinator is still
+/// collecting the remaining votes. The registry entry is still
+/// *voting*, so the supervisor's heal pass must presume abort, write
+/// the veto into the entry, and the coordinator — whose remaining
+/// votes all succeed — must honor it and abort the survivors instead
+/// of committing a transaction one shard already rolled back.
+#[test]
+fn mid_vote_participant_death_presumed_aborts_atomically() {
+    let (pyxis, part) = compile();
+    let transfer = pyxis.entry("Chaos", "transfer").expect("transfer");
+    let part = Arc::new(part);
+    let seed = 131;
+
+    let sinks: Vec<MemSink> = (0..W).map(|_| MemSink::new()).collect();
+    let mut engines = build_shards(seed);
+    let feeds = ShardedServer::attach_shard_wals_with_feeds(&mut engines, 2, |i| {
+        Box::new(sinks[i].clone())
+    });
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: W,
+            coordinators: 2,
+            ..ShardedConfig::default()
+        },
+    );
+    let replicas = build_shards(seed).into_iter().map(|e| vec![e]).collect();
+    srv.spawn_replicas(&feeds, replicas);
+    srv.enable_self_healing();
+
+    // Park the transfer right after shard 0 acknowledged its durable
+    // prepare, with shard 1's vote still out...
+    let (held, release) = srv.hold_next_multi_prepare();
+    let mut tag = 0u64;
+    let parked = TxnRequest {
+        entry: transfer,
+        args: vec![
+            pyx_runtime::ArgVal::Int(wh(0)),
+            pyx_runtime::ArgVal::Int(wh(1)),
+            pyx_runtime::ArgVal::Int(7),
+            pyx_runtime::ArgVal::Int(1),
+        ],
+        label: "transfer",
+        route: None,
+    };
+    assert_eq!(srv.submit(parked, tag), Admit::Started);
+    tag += 1;
+    held.recv_timeout(Duration::from_secs(30))
+        .expect("transfer parked mid-vote");
+
+    // ...and kill the prepared participant. Its successor adopts the
+    // branch in-doubt; the gtid is still voting, so the heal pass
+    // presumed-aborts it and records the veto.
+    srv.inject_worker_crash(0, 0);
+    wait_heal(&mut srv, 1);
+    let rec = *srv.recoveries().last().expect("shard 0 healed");
+    assert_eq!(rec.shard, 0);
+    assert_eq!(rec.in_doubt, 1, "the durable prepare came back in-doubt");
+    assert_eq!(
+        rec.resolved_abort, 1,
+        "a still-voting gtid is presumed abort"
+    );
+    assert_eq!(rec.resolved_commit, 0);
+
+    // Release the coordinator: its remaining vote succeeds, but the
+    // decision point must find the veto — the transfer fails, and the
+    // settled registry entry is reclaimed.
+    release.send(()).expect("release the parked coordinator");
+    let done = srv.recv_done().expect("the vetoed transfer retires");
+    assert!(
+        done.error.is_some(),
+        "a transaction with a presumed-aborted branch must not ack success"
+    );
+    assert_eq!(srv.pending_decisions(), 0, "the vetoed entry is reclaimed");
+    assert!(srv.dead_shards().is_empty(), "shard 0 healed");
+    assert!(srv.heal_failures().is_empty());
+
+    // Full availability, through the healed participant: a qty-0
+    // transfer per shard pair runs the whole 2PC path but perturbs no
+    // stock value, keeping the atomicity differential below exact.
+    let mut accepted = 1u64;
+    let mut retired = 1u64;
+    for s in 0..W {
+        let probe = TxnRequest {
+            entry: transfer,
+            args: vec![
+                pyx_runtime::ArgVal::Int(wh(s)),
+                pyx_runtime::ArgVal::Int(wh((s + 1) % W)),
+                pyx_runtime::ArgVal::Int(50),
+                pyx_runtime::ArgVal::Int(0),
+            ],
+            label: "transfer",
+            route: None,
+        };
+        assert_eq!(srv.submit_with_retry(probe, tag, 20), Admit::Started);
+        tag += 1;
+        accepted += 1;
+        let done = srv.recv_done().expect("post-heal transfer retires");
+        retired += 1;
+        assert!(done.error.is_none(), "shard {s}: {:?}", done.error);
+    }
+    assert_eq!(accepted, retired);
+    assert_eq!(srv.pending_decisions(), 0);
+
+    // Atomicity differential: every shard is row-for-row identical to
+    // an untouched copy of the initial load — neither the debit branch
+    // nor the credit branch of the vetoed transfer survived anywhere.
+    let (rest, report) = srv.shutdown();
+    assert!(rest.is_empty());
+    let pristine = build_shards(seed);
+    for (s, live) in report.engines.iter().enumerate() {
+        for table in live.table_names() {
+            let mut a = pristine[s].dump_table(&table);
+            let mut b = live.dump_table(&table);
+            a.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            assert_eq!(a, b, "shard {s} `{table}` must show no transfer effect");
+        }
+    }
+}
+
+/// Respawn-from-log over a *real file* sink: the factory's only source
+/// of truth is what it reads back from the shard's log file, so the
+/// dead incarnation's appended-but-unsynced tail (visible to any file
+/// reader via the page cache) must be discarded from the medium before
+/// the factory runs — otherwise the factory recovers past the durable
+/// watermark, `resume_at` refuses the successor, and the shard stays
+/// dead. (The tail mechanics are pinned deterministically in
+/// `pyx-db`'s `wal_failover` tests; this exercises the full failover
+/// path end to end over a file.)
+#[test]
+fn respawn_from_a_file_log_reanchors_at_the_durable_prefix() {
+    let (pyxis, part) = compile();
+    let new_order = pyxis.entry("Chaos", "newOrder").expect("newOrder");
+    let part = Arc::new(part);
+    let seed = 53;
+
+    let dir = std::env::temp_dir();
+    let paths: Vec<std::path::PathBuf> = (0..W)
+        .map(|s| dir.join(format!("pyx-chaos-{}-shard{s}.wal", std::process::id())))
+        .collect();
+    let mut engines = build_shards(seed);
+    {
+        let paths = &paths;
+        ShardedServer::attach_shard_wals(&mut engines, 4, |i| {
+            Box::new(FileSink::create(&paths[i]).expect("wal file"))
+        });
+    }
+    let mut srv = ShardedServer::new(
+        Arc::clone(&part),
+        engines,
+        ShardedConfig {
+            shards: W,
+            coordinators: 2,
+            ..ShardedConfig::default()
+        },
+    );
+    // No replicas: every heal must go through the respawn factory.
+    let factory_paths = paths.clone();
+    srv.set_respawn_factory(move |s| {
+        let mut e = build_shards(seed).swap_remove(s);
+        e.recover(&std::fs::read(&factory_paths[s]).ok()?).ok()?;
+        Some(e)
+    });
+
+    // Keep the victim busy with routed new-orders and kill it with the
+    // batch in flight.
+    let victim = 1usize;
+    let mut gen = tpcc::NewOrderGen::new(new_order, scale(), 7).with_lines(2, 4);
+    let mut tag = 0u64;
+    let mut accepted = 0u64;
+    for slot in 0..12usize {
+        let mut r = Workload::next_txn(&mut gen, slot);
+        r.args[0] = pyx_runtime::ArgVal::Int(wh(victim));
+        r.route = Some(wh(victim));
+        if srv.submit_with_retry(r, tag, 20) == Admit::Started {
+            accepted += 1;
+        }
+        tag += 1;
+        if slot == 3 {
+            srv.inject_worker_crash(victim, 2);
+        }
+    }
+    let mut retired = srv.drain().len() as u64;
+    wait_heal(&mut srv, 1);
+    let rec = *srv.recoveries().last().expect("respawn recovery");
+    assert_eq!(rec.shard, victim);
+    assert!(
+        !rec.promoted,
+        "no replicas exist: the factory rebuilt the shard from its file"
+    );
+    assert!(
+        srv.heal_failures().is_empty(),
+        "the respawn succeeded on the first attempt: {:?}",
+        srv.heal_failures()
+    );
+    assert!(srv.dead_shards().is_empty());
+
+    // The healed shard serves writes again and the re-anchored file
+    // keeps extending the durable prefix.
+    for s in 0..W {
+        let mut r = Workload::next_txn(&mut gen, 100 + s);
+        r.args[0] = pyx_runtime::ArgVal::Int(wh(s));
+        r.route = Some(wh(s));
+        assert_eq!(
+            srv.submit_with_retry(r, tag, 20),
+            Admit::Started,
+            "healed shard {s} accepts writes"
+        );
+        tag += 1;
+        accepted += 1;
+        let done = srv.recv_done().expect("post-heal write retires");
+        retired += 1;
+        assert!(done.error.is_none(), "shard {s}: {:?}", done.error);
+    }
+    assert_eq!(accepted, retired, "every admitted transaction retires");
+    let (rest, report) = srv.shutdown();
+    assert!(rest.is_empty());
+
+    // Durability differential over the real files: replaying each
+    // shard's log file into a fresh engine reproduces the survivor
+    // exactly — nothing acked was lost in the kill, nothing the dead
+    // incarnation buffered leaked past the watermark.
+    for (s, live) in report.engines.iter().enumerate() {
+        let mut oracle = build_shards(seed).swap_remove(s);
+        oracle
+            .recover(&std::fs::read(&paths[s]).expect("log file"))
+            .unwrap_or_else(|e| panic!("shard {s} file log must replay cleanly: {e}"));
+        assert_eq!(
+            oracle.current_commit_ts(),
+            live.current_commit_ts(),
+            "shard {s} commit-timestamp horizon"
+        );
+        for table in live.table_names() {
+            let mut a = oracle.dump_table(&table);
+            let mut b = live.dump_table(&table);
+            a.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            b.sort_by(|x, y| format!("{x:?}").cmp(&format!("{y:?}")));
+            assert_eq!(a, b, "shard {s} `{table}` state after file failover");
+        }
+    }
+    for p in &paths {
+        let _ = std::fs::remove_file(p);
     }
 }
