@@ -1,0 +1,85 @@
+//! Network latency: measured socket round trips vs the simulated link.
+//!
+//! The virtual testbed prices every APP↔DB hop with `NetModel`
+//! (2 ms RTT + 1 Gb/s, the paper's testbed link). This bench measures
+//! what the *real* transport layer costs on this machine — a padded
+//! echo frame through `NetServer` over a Unix-domain socket and TCP
+//! loopback — at several payload sizes, and prints both side by side.
+//! The absolute numbers differ (loopback is not a datacenter link);
+//! what must hold is the shape: latency-dominated small frames, then
+//! a bandwidth-proportional ramp.  Feeds the EXPERIMENTS.md table.
+
+use pyx_runtime::net::NetModel;
+use pyx_server::net::{Listener, NetAddr, NetServer, NetServerCfg, SocketEnv};
+use pyx_server::{ShardedConfig, ShardedServer};
+use std::sync::Arc;
+use std::time::Duration;
+
+const SRC: &str = "class Ping { int ping(int x) { return x; } }";
+const TRIALS: usize = 25;
+const SIZES: [usize; 5] = [128, 1024, 8 * 1024, 64 * 1024, 1024 * 1024];
+
+fn serve(addr: &NetAddr) -> pyx_server::net::NetServerHandle {
+    let pyxis = pyx_core::Pyxis::compile(SRC, pyx_core::PyxisConfig::default())
+        .expect("ping program compiles");
+    let part = Arc::new(pyxis.deploy_jdbc());
+    let listener = Listener::bind(addr).expect("bind");
+    NetServer::serve(
+        listener,
+        move || {
+            ShardedServer::new(
+                part,
+                vec![pyx_db::Engine::new()],
+                ShardedConfig {
+                    shards: 1,
+                    ..ShardedConfig::default()
+                },
+            )
+        },
+        NetServerCfg::default(),
+    )
+}
+
+/// Median of `TRIALS` echo round trips carrying `bytes` out and back.
+fn measure(env: &mut SocketEnv, bytes: usize) -> u64 {
+    // One warm-up trip so connection setup and first-touch buffers do
+    // not land in the smallest size's median.
+    env.round_trip_ns(bytes, bytes);
+    let mut ns: Vec<u64> = (0..TRIALS)
+        .map(|_| env.round_trip_ns(bytes, bytes))
+        .collect();
+    ns.sort_unstable();
+    ns[ns.len() / 2]
+}
+
+fn main() {
+    let dir = std::env::temp_dir().join(format!("pyx-netlat-{}", std::process::id()));
+    let _ = std::fs::create_dir_all(&dir);
+    let uds_handle = serve(&NetAddr::Uds(dir.join("netlat.sock")));
+    let tcp_handle = serve(&NetAddr::parse("tcp:127.0.0.1:0").unwrap());
+
+    let mut uds = SocketEnv::connect(uds_handle.addr(), Duration::from_secs(5)).expect("uds env");
+    let mut tcp = SocketEnv::connect(tcp_handle.addr(), Duration::from_secs(5)).expect("tcp env");
+    let model = NetModel::default();
+
+    println!("# Socket round trips (median of {TRIALS}) vs the simulated link");
+    println!("# payload bytes each way; times in microseconds");
+    println!("# payload\tuds_us\ttcp_us\tsim_us");
+    for bytes in SIZES {
+        let u = measure(&mut uds, bytes);
+        let t = measure(&mut tcp, bytes);
+        let s = model.round_trip_ns(bytes as u64, bytes as u64);
+        println!(
+            "{bytes}\t{:.1}\t{:.1}\t{:.1}",
+            u as f64 / 1_000.0,
+            t as f64 / 1_000.0,
+            s as f64 / 1_000.0
+        );
+    }
+
+    drop(uds);
+    drop(tcp);
+    uds_handle.shutdown();
+    tcp_handle.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,5 +1,6 @@
 //! Table schemas: column definitions, primary keys, secondary indexes.
 
+use pyx_lang::fnv::fnv1a;
 use pyx_lang::Scalar;
 
 /// Column value type.
@@ -154,15 +155,6 @@ pub fn shard_of(key: &Scalar, shards: usize) -> usize {
         Scalar::Str(s) => fnv1a(s.as_bytes()),
     };
     (h % n) as usize
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
 }
 
 #[cfg(test)]

@@ -89,6 +89,7 @@
 //! [`crate::DbError::Durability`], and [`crate::Engine::wal_sync`] keeps
 //! reporting the failure so an acknowledgement point can surface it.
 
+use pyx_lang::fnv::fnv1a;
 use pyx_lang::Scalar;
 use std::io::{Read, Seek, Write};
 use std::sync::{Arc, Mutex};
@@ -188,15 +189,6 @@ pub struct ScanOutcome {
     pub torn_bytes: usize,
     /// Mid-stream corruption diagnostic; recovery refuses the log.
     pub error: Option<String>,
-}
-
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
-    }
-    h
 }
 
 fn encode_scalar(out: &mut Vec<u8>, s: &Scalar) {

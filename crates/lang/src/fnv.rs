@@ -1,0 +1,69 @@
+//! FNV-1a, the one checksum shared by the WAL record format
+//! (`pyx-db`), the control-transfer wire protocol (`pyx-runtime`), and
+//! shard routing of string/double keys (`pyx-db`). Keeping a single
+//! implementation in the bottom crate means the checksum can never
+//! drift between the durable log and the wire — a frame checksummed on
+//! one host verifies against a WAL record checksummed on another.
+//!
+//! Each byte's step (`xor` then multiply by an odd prime) is a
+//! bijection on the `u64` state, so two equal-length buffers differing
+//! in any single byte always hash differently. The WAL fault-class
+//! tests and the wire bit-flip robustness suite both rely on exactly
+//! this property.
+
+/// FNV-1a 64-bit offset basis.
+pub const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+/// FNV-1a 64-bit prime.
+pub const FNV_PRIME: u64 = 0x0000_0100_0000_01B3;
+
+/// Hash a whole buffer from the standard offset basis.
+#[inline]
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    fnv1a_cont(FNV_OFFSET, bytes)
+}
+
+/// Streaming continuation: fold `bytes` into an existing hash state.
+/// `fnv1a(a ++ b) == fnv1a_cont(fnv1a(a), b)` — the wire checksum uses
+/// this to cover a header prefix and a payload without concatenating.
+#[inline]
+pub fn fnv1a_cont(mut h: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_vectors() {
+        // Standard FNV-1a 64 test vectors.
+        assert_eq!(fnv1a(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a(b"foobar"), 0x85944171f73967e8);
+    }
+
+    #[test]
+    fn continuation_matches_concatenation() {
+        let (a, b) = (&b"hello "[..], &b"world"[..]);
+        let whole = [a, b].concat();
+        assert_eq!(fnv1a_cont(fnv1a(a), b), fnv1a(&whole));
+    }
+
+    #[test]
+    fn single_byte_flip_always_changes_hash() {
+        let base = b"The quick brown fox jumps over the lazy dog";
+        let h = fnv1a(base);
+        let mut buf = base.to_vec();
+        for i in 0..buf.len() {
+            for bit in 0..8 {
+                buf[i] ^= 1 << bit;
+                assert_ne!(fnv1a(&buf), h, "flip byte {i} bit {bit}");
+                buf[i] ^= 1 << bit;
+            }
+        }
+    }
+}

@@ -22,6 +22,7 @@
 //! "normalized source" the paper's instrumentor emits (Fig. 1).
 
 pub mod ast;
+pub mod fnv;
 pub mod ids;
 pub mod lexer;
 pub mod lower;

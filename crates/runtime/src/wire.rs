@@ -46,6 +46,7 @@
 //!   size of every value equals [`pyx_lang::Value::wire_size`], which keeps
 //!   the §4.2 cost model and the wire format in exact agreement.
 
+use pyx_lang::fnv::{fnv1a, fnv1a_cont};
 use pyx_lang::{Oid, RtError, Scalar, Value};
 use pyx_partition::Side;
 use std::sync::Arc;
@@ -59,6 +60,14 @@ pub const HEADER_LEN: usize = 32;
 const CHECKED_HEADER_LEN: usize = 24;
 const MAGIC: [u8; 4] = *b"PYXF";
 const VERSION: u8 = 2;
+
+/// Length-bomb guard: the largest payload a decoder will accept. A
+/// corrupted or hostile `payload_len` field is rejected from the 32-byte
+/// header alone — *before* any payload is buffered or allocated — so a
+/// flipped length bit on a socket can cost at most one header read, never
+/// an OOM. 64 MiB is ~500× the largest frame any workload in this repo
+/// produces; honest senders never get near it.
+pub const MAX_PAYLOAD_LEN: usize = 1 << 26;
 
 /// What a frame carries besides the heap/stack payload.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -218,7 +227,11 @@ impl Frame {
         };
         let n_sync = u32::from_le_bytes(buf[8..12].try_into().unwrap()) as usize;
         let n_stack = u32::from_le_bytes(buf[12..16].try_into().unwrap()) as usize;
-        let payload_len = u64::from_le_bytes(buf[16..24].try_into().unwrap()) as usize;
+        let payload_len64 = u64::from_le_bytes(buf[16..24].try_into().unwrap());
+        if payload_len64 > MAX_PAYLOAD_LEN as u64 {
+            return Err(err("payload length exceeds cap"));
+        }
+        let payload_len = payload_len64 as usize;
         let checksum = u64::from_le_bytes(buf[24..32].try_into().unwrap());
         let payload = &buf[HEADER_LEN..];
         if payload.len() != payload_len {
@@ -275,20 +288,102 @@ impl Frame {
     }
 }
 
-fn fnv1a(bytes: &[u8]) -> u64 {
-    fnv1a_cont(0xcbf2_9ce4_8422_2325, bytes)
+/// Validate a frame header's fixed prefix and return the payload length
+/// it announces. This is the streaming reader's pre-allocation gate: it
+/// needs only the first [`HEADER_LEN`] bytes, checks magic/version and
+/// the [`MAX_PAYLOAD_LEN`] length-bomb cap, and never touches (or
+/// requires) the payload. Checksum and structural validation still
+/// happen in [`Frame::decode`] once the whole frame has arrived.
+pub fn frame_payload_len(header: &[u8]) -> Result<usize, RtError> {
+    let err = |m: &str| RtError::new(format!("wire: {m}"));
+    if header.len() < HEADER_LEN {
+        return Err(err("frame header truncated"));
+    }
+    if header[0..4] != MAGIC {
+        return Err(err("bad magic"));
+    }
+    if header[4] != VERSION {
+        return Err(err("unknown version"));
+    }
+    let payload_len = u64::from_le_bytes(header[16..24].try_into().unwrap());
+    if payload_len > MAX_PAYLOAD_LEN as u64 {
+        return Err(err("payload length exceeds cap"));
+    }
+    Ok(payload_len as usize)
 }
 
-/// Streaming FNV-1a continuation. Each byte's step (`xor` then multiply
-/// by an odd prime) is a bijection on the hash state, so two buffers of
-/// equal length differing in any single byte always hash differently —
-/// the guarantee the bit-flip robustness tests rely on.
-fn fnv1a_cont(mut h: u64, bytes: &[u8]) -> u64 {
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+/// Incremental frame reassembly for byte streams (sockets). Feed it
+/// arbitrarily fragmented reads; it yields complete decoded frames in
+/// order. The header is validated (magic, version, length cap) as soon
+/// as 32 bytes are available, so a corrupt stream fails fast instead of
+/// buffering garbage, and the internal buffer never grows past
+/// `HEADER_LEN + MAX_PAYLOAD_LEN` plus one read's worth of slack.
+///
+/// Errors are sticky: a stream that produced a bad header or a frame
+/// that failed [`Frame::decode`] has lost framing (there is no
+/// resynchronization marker), so every subsequent [`FrameAssembler::next_frame`]
+/// returns the same error and the connection must be torn down.
+#[derive(Default)]
+pub struct FrameAssembler {
+    buf: Vec<u8>,
+    /// Bytes of `buf` already consumed by yielded frames.
+    off: usize,
+    poisoned: Option<RtError>,
+}
+
+impl FrameAssembler {
+    pub fn new() -> FrameAssembler {
+        FrameAssembler::default()
     }
-    h
+
+    /// Append raw bytes read from the stream.
+    pub fn feed(&mut self, bytes: &[u8]) {
+        // Compact lazily: reclaim consumed prefix once it dominates the
+        // buffer, keeping feed() amortized O(bytes).
+        if self.off > 4096 && self.off * 2 > self.buf.len() {
+            self.buf.drain(..self.off);
+            self.off = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet yielded as a frame (diagnostics).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.off
+    }
+
+    /// Try to extract the next complete frame. `Ok(None)` means more
+    /// bytes are needed; errors poison the assembler (see type docs).
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, RtError> {
+        if let Some(e) = &self.poisoned {
+            return Err(e.clone());
+        }
+        let avail = &self.buf[self.off..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let payload_len = match frame_payload_len(&avail[..HEADER_LEN]) {
+            Ok(n) => n,
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                return Err(e);
+            }
+        };
+        let total = HEADER_LEN + payload_len;
+        if avail.len() < total {
+            return Ok(None);
+        }
+        match Frame::decode(&avail[..total]) {
+            Ok(f) => {
+                self.off += total;
+                Ok(Some(f))
+            }
+            Err(e) => {
+                self.poisoned = Some(e.clone());
+                Err(e)
+            }
+        }
+    }
 }
 
 // Value tags. Scalars reuse the same tags as values (a row cell can never
@@ -526,6 +621,119 @@ mod tests {
         empty.encode_into(&mut buf);
         assert_eq!(buf, empty.encode());
         assert_eq!(buf.len(), HEADER_LEN);
+    }
+
+    /// Hand-build a raw frame whose payload is one Native sync entry
+    /// padded with nulls to exactly `payload_len` bytes, with a valid
+    /// checksum — so cap-boundary behavior is tested on otherwise
+    /// well-formed input.
+    fn raw_frame_with_payload_len(payload_len: usize) -> Vec<u8> {
+        assert!(payload_len >= 13); // tag + oid + count
+        let mut buf = vec![0u8; HEADER_LEN];
+        buf.push(1u8); // native sync entry
+        buf.extend_from_slice(&7u64.to_le_bytes()); // oid
+        let nulls = payload_len - 13;
+        buf.extend_from_slice(&(nulls as u32).to_le_bytes());
+        buf.resize(HEADER_LEN + payload_len, T_NULL);
+        buf[0..4].copy_from_slice(&MAGIC);
+        buf[4] = VERSION;
+        buf[5] = 0; // transfer
+        buf[6] = 0; // app
+        buf[7] = 0; // no result
+        buf[8..12].copy_from_slice(&1u32.to_le_bytes()); // n_sync
+        buf[12..16].copy_from_slice(&0u32.to_le_bytes()); // n_stack
+        buf[16..24].copy_from_slice(&(payload_len as u64).to_le_bytes());
+        let sum = fnv1a_cont(fnv1a(&buf[..CHECKED_HEADER_LEN]), &buf[HEADER_LEN..]);
+        buf[24..32].copy_from_slice(&sum.to_le_bytes());
+        buf
+    }
+
+    #[test]
+    fn payload_cap_boundary() {
+        // Exactly at the cap: decodes fine.
+        let at_cap = raw_frame_with_payload_len(MAX_PAYLOAD_LEN);
+        let f = Frame::decode(&at_cap).expect("frame at cap decodes");
+        assert_eq!(f.sync.len(), 1);
+        // One past the cap: rejected, with the cap error — not a
+        // checksum or truncation error — even though the buffer is
+        // fully present and self-consistent.
+        let mut over = raw_frame_with_payload_len(MAX_PAYLOAD_LEN + 1);
+        let e = Frame::decode(&over).unwrap_err();
+        assert!(e.msg.contains("cap"), "{e}");
+        // The streaming gate rejects it from the header alone.
+        let e = frame_payload_len(&over[..HEADER_LEN]).unwrap_err();
+        assert!(e.msg.contains("cap"), "{e}");
+        // And the assembler refuses before buffering the payload: feed
+        // only the header.
+        let mut asm = FrameAssembler::new();
+        over.truncate(HEADER_LEN);
+        asm.feed(&over);
+        assert!(asm.next_frame().is_err());
+        // Poisoned: the error is sticky.
+        assert!(asm.next_frame().is_err());
+    }
+
+    #[test]
+    fn assembler_reassembles_fragmented_stream() {
+        let mut f1 = Frame::new(FrameKind::Entry, Side::App);
+        f1.stack.push(StackSlot {
+            depth: 0,
+            slot: 0,
+            value: Value::Str("first".into()),
+        });
+        let mut f2 = Frame::new(FrameKind::Return, Side::Db);
+        f2.result = Some(Value::Int(99));
+        let f3 = Frame::new(FrameKind::Transfer, Side::App);
+        let mut stream = f1.encode();
+        stream.extend_from_slice(&f2.encode());
+        stream.extend_from_slice(&f3.encode());
+
+        // Byte-at-a-time: every frame comes out whole, in order.
+        let mut asm = FrameAssembler::new();
+        let mut out = Vec::new();
+        for b in &stream {
+            asm.feed(std::slice::from_ref(b));
+            while let Some(f) = asm.next_frame().expect("clean stream") {
+                out.push(f);
+            }
+        }
+        assert_eq!(out, vec![f1.clone(), f2.clone(), f3.clone()]);
+        assert_eq!(asm.pending(), 0);
+
+        // One big feed: same result.
+        let mut asm = FrameAssembler::new();
+        asm.feed(&stream);
+        let mut out2 = Vec::new();
+        while let Some(f) = asm.next_frame().expect("clean stream") {
+            out2.push(f);
+        }
+        assert_eq!(out2, out);
+    }
+
+    #[test]
+    fn assembler_poisons_on_corrupt_stream() {
+        let mut f = Frame::new(FrameKind::Transfer, Side::App);
+        f.stack.push(StackSlot {
+            depth: 0,
+            slot: 1,
+            value: Value::Int(5),
+        });
+        let mut bytes = f.encode();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x01; // payload corruption → checksum mismatch
+        let mut asm = FrameAssembler::new();
+        asm.feed(&bytes);
+        assert!(asm.next_frame().is_err());
+        // Framing is lost for good: feeding a pristine frame afterwards
+        // still errors (the connection must be torn down).
+        asm.feed(&f.encode());
+        assert!(asm.next_frame().is_err());
+        // Bad magic poisons straight from the header.
+        let mut asm = FrameAssembler::new();
+        let mut b2 = f.encode();
+        b2[0] = b'Z';
+        asm.feed(&b2[..HEADER_LEN]);
+        assert!(asm.next_frame().is_err());
     }
 
     #[test]

@@ -54,9 +54,50 @@
 //!   order, run serially) is kept behind
 //!   [`shard::CrossShardMode::Quiesce`] as the differential oracle. See
 //!   [`shard`] for the protocol.
+//!
+//! # Network failure model (socket serving)
+//!
+//! The [`net`] module puts the dispatcher behind real TCP/UDS sockets:
+//! a [`net::NetServer`] DB host serves [`net::NetClient`] APP-host
+//! processes over the checksummed `pyx_runtime::wire` frame protocol.
+//! The failure model is explicit and total — every fault class either
+//! heals transparently or is reported loudly; there is no silent wrong
+//! answer and no hung client:
+//!
+//! * **Corruption** (any flipped byte, truncated frame, or garbage
+//!   prefix) is caught by the per-frame FNV-1a checksum / header
+//!   validation during streaming reassembly. Framing cannot resync
+//!   after corruption, so the connection is torn down and the client
+//!   reconnects.
+//! * **Loss, duplication, reordering, delay** are absorbed by
+//!   client-assigned monotone tags plus a per-client server-side dedup
+//!   table: a lost request or reply times out and is re-submitted on a
+//!   fresh connection; a duplicate of a *completed* tag is answered
+//!   from the cached outcome and **never re-executed** (a retried
+//!   commit is applied exactly once); a duplicate of a still-running
+//!   tag only rebinds the reply path. The client's `acked_below`
+//!   watermark bounds the dedup table's memory.
+//! * **Connection death / partition / stalled peer** triggers bounded
+//!   reconnect with jittered exponential backoff (the
+//!   `submit_with_retry` shape). While the partition lasts, requests
+//!   stay in flight; once it heals, re-submits converge to
+//!   exactly-once outcomes. If the reconnect budget is exhausted, every
+//!   in-flight request is retired with an explicit
+//!   *transaction outcome unknown* error — the network analogue of the
+//!   dead-worker retirement in [`shard`] — because a client that
+//!   cannot reach the server genuinely cannot know whether its commit
+//!   landed.
+//! * **Server-side admission failure** (overload, dead shard) is a
+//!   final, cached, per-tag outcome: deterministic under re-submit.
+//!
+//! Faults are injected for tests via [`net::FaultScript`] — scripted
+//! drops, delays, duplications, reorders, mid-frame cuts, byte
+//! corruption, stalls, and full partitions on a client's link — the
+//! network analogue of the WAL's `FaultySink`.
 
 pub mod dispatch;
 pub mod env;
+pub mod net;
 pub mod shard;
 pub mod workload;
 
@@ -65,6 +106,10 @@ pub use dispatch::{
     SwitchRecord, TxnDone,
 };
 pub use env::{Env, InstantEnv};
+pub use net::{
+    Fault, FaultScript, FrameConn, Listener, NetAddr, NetClient, NetClientCfg, NetServer,
+    NetServerCfg, NetServerHandle, SocketEnv, Stream,
+};
 pub use pyx_runtime::{VmMode, VmScratch};
 pub use shard::{
     load_row_sharded, CrossShardMode, HealFailure, ShardRecovery, ShardedConfig, ShardedReport,

@@ -573,6 +573,11 @@ pub struct ShardedServer {
     part: Arc<CompiledPartition>,
     cfg: ShardedConfig,
     in_flight: u64,
+    /// xorshift64* state for retry-backoff jitter. Seeded from a fixed
+    /// constant, so a given submission schedule is still reproducible,
+    /// while concurrent retriers inside one run decorrelate instead of
+    /// hammering a recovering shard in lockstep.
+    retry_rng: u64,
     /// Per shard: tag → (entry, label) of every submitted-but-unretired
     /// request, so a dead worker's losses can be surfaced as error
     /// results instead of hanging the server.
@@ -732,6 +737,7 @@ impl ShardedServer {
             part,
             cfg,
             in_flight: 0,
+            retry_rng: 0x9E37_79B9_7F4A_7C15,
             outstanding: (0..cfg.shards).map(|_| HashMap::new()).collect(),
             dead: vec![false; cfg.shards],
             self_heal: false,
@@ -929,9 +935,17 @@ impl ShardedServer {
     /// [`Admit::Rejected`] (backpressure: the worker drains its channel
     /// as capacity frees) and [`Admit::Unavailable`] (a failover window:
     /// each retry first runs the reap/heal pass). Backoff is
-    /// deterministic — exponential from 50µs, capped at 50ms, no jitter
-    /// — so test schedules are reproducible. Returns the final
-    /// admission (the last failure after `max_retries` exhausted).
+    /// exponential from 50µs, capped at 50ms, with deterministic
+    /// multiplicative jitter in `[0.5, 1.0)` drawn from a seeded
+    /// xorshift — reproducible schedules, but concurrent retriers fan
+    /// out instead of stampeding a recovering shard in phase. Returns
+    /// the final admission (the last failure after `max_retries`
+    /// exhausted).
+    ///
+    /// This variant **sleeps the calling thread** between attempts —
+    /// fine for closed-loop drivers, wrong for an event loop that must
+    /// keep servicing retirements; those use
+    /// [`ShardedServer::submit_by_deadline`].
     pub fn submit_with_retry(&mut self, req: TxnRequest, tag: u64, max_retries: u32) -> Admit {
         let mut backoff = std::time::Duration::from_micros(50);
         let mut attempt = 0;
@@ -940,10 +954,95 @@ impl ShardedServer {
                 Admit::Rejected | Admit::Unavailable if attempt < max_retries => {
                     attempt += 1;
                     self.reap_dead_workers();
-                    std::thread::sleep(backoff);
+                    std::thread::sleep(self.jittered(backoff));
                     backoff = (backoff * 2).min(std::time::Duration::from_millis(50));
                 }
                 admit => return admit,
+            }
+        }
+    }
+
+    /// Deadline-based admission for event loops: like
+    /// [`ShardedServer::submit_with_retry`], but the time between
+    /// attempts is spent *working*, not sleeping — each backoff window
+    /// blocks on the done channel and hands any retired transactions to
+    /// `retired` (draining is precisely what frees worker-channel
+    /// capacity under backpressure), runs the reap/heal pass, and then
+    /// retries, until admission succeeds or `deadline` passes. The
+    /// caller must deliver everything pushed into `retired` exactly as
+    /// if it came from [`ShardedServer::recv_done`]. Only when nothing
+    /// is in flight (so there is provably nothing to service) does the
+    /// wait degrade to a plain bounded sleep.
+    pub fn submit_by_deadline(
+        &mut self,
+        req: TxnRequest,
+        tag: u64,
+        deadline: Instant,
+        retired: &mut Vec<TxnDone>,
+    ) -> Admit {
+        let mut backoff = std::time::Duration::from_micros(50);
+        loop {
+            match self.submit(req.clone(), tag) {
+                admit @ (Admit::Rejected | Admit::Unavailable) => {
+                    let now = Instant::now();
+                    if now >= deadline {
+                        return admit;
+                    }
+                    self.reap_dead_workers();
+                    while let Some(d) = self.try_recv_done() {
+                        retired.push(d);
+                    }
+                    let wait = self.jittered(backoff).min(deadline - now);
+                    if self.in_flight > 0 {
+                        if let Ok((s, d)) = self.done_rx.recv_timeout(wait) {
+                            self.unregister(s, d.tag);
+                            self.in_flight -= 1;
+                            retired.push(d);
+                        }
+                    } else {
+                        std::thread::sleep(wait);
+                    }
+                    backoff = (backoff * 2).min(std::time::Duration::from_millis(50));
+                }
+                admit => return admit,
+            }
+        }
+    }
+
+    /// Scale `d` by a deterministic pseudo-random fraction in
+    /// `[0.5, 1.0)` (xorshift64*).
+    fn jittered(&mut self, d: std::time::Duration) -> std::time::Duration {
+        let mut x = self.retry_rng;
+        x ^= x >> 12;
+        x ^= x << 25;
+        x ^= x >> 27;
+        self.retry_rng = x;
+        let r = x.wrapping_mul(0x2545_F491_4F6C_DD1D);
+        let frac = 0.5 + (r >> 11) as f64 / (1u64 << 54) as f64;
+        d.mul_f64(frac)
+    }
+
+    /// Non-blocking [`ShardedServer::recv_done`]: deliver one retired
+    /// transaction if one is ready, else return immediately. Event
+    /// loops (the socket server) interleave this with connection I/O
+    /// instead of parking on the done channel.
+    pub fn try_recv_done(&mut self) -> Option<TxnDone> {
+        if self.in_flight == 0 {
+            return None;
+        }
+        if let Some(d) = self.ready.pop_front() {
+            self.in_flight -= 1;
+            return Some(d);
+        }
+        match self.done_rx.try_recv() {
+            Ok((s, d)) => {
+                self.unregister(s, d.tag);
+                self.in_flight -= 1;
+                Some(d)
+            }
+            Err(mpsc::TryRecvError::Empty) => None,
+            Err(mpsc::TryRecvError::Disconnected) => {
+                unreachable!("server holds a done_tx clone")
             }
         }
     }

@@ -1,0 +1,213 @@
+//! Serve TPC-C over a real socket — the APP host and the DB host talk
+//! through `NetServer`/`NetClient` instead of an in-process channel.
+//!
+//! ```sh
+//! cargo run --release --example socket_serve [clients] [transactions] [--shards N] [--addr tcp:host:port|uds:/path]
+//! ```
+//!
+//! Where `serve` drives the `ShardedServer` directly, this example
+//! binds it behind a [`pyxis::server::NetServer`] and drives it with
+//! closed-loop [`pyxis::server::NetClient`] threads: every entry
+//! invocation is encoded as a checksummed [`pyxis::runtime::Frame`],
+//! streamed over TCP or a Unix-domain socket, executed on the DB host,
+//! and the `TxnDone` streamed back. The run reports wall-clock
+//! throughput through the wire plus the server's own counters, so the
+//! socket tax relative to `serve --shards N` is directly visible.
+
+use pyxis::db::Engine;
+use pyxis::server::net::{Listener, NetAddr, NetClient, NetClientCfg, NetServer, NetServerCfg};
+use pyxis::server::{ShardedConfig, ShardedServer, TxnRequest};
+use pyxis::workloads::tpcc;
+use std::sync::Arc;
+use std::time::Instant;
+
+const SRC: &str = r#"
+    class Serve {
+        double newOrder(int wId, int dId, int cId, int[] itemIds, int[] qtys) {
+            row[] wr = dbQuery("SELECT w_tax FROM warehouse WHERE w_id = ?", wId);
+            double wTax = wr[0].getDouble(0);
+            dbUpdate("UPDATE district SET d_next_o_id = d_next_o_id + 1 WHERE d_w_id = ? AND d_id = ?", wId, dId);
+            row[] dr = dbQuery("SELECT d_tax, d_next_o_id FROM district WHERE d_w_id = ? AND d_id = ?", wId, dId);
+            double dTax = dr[0].getDouble(0);
+            int oId = dr[0].getInt(1) - 1;
+            row[] cr = dbQuery("SELECT c_discount FROM customer WHERE c_w_id = ? AND c_d_id = ? AND c_id = ?", wId, dId, cId);
+            double cDisc = cr[0].getDouble(0);
+            dbUpdate("INSERT INTO orders VALUES (?, ?, ?, ?, ?)", wId, dId, oId, cId, itemIds.length);
+            dbUpdate("INSERT INTO new_order VALUES (?, ?, ?)", wId, dId, oId);
+            double total = 0.0;
+            int ol = 0;
+            for (int iid : itemIds) {
+                if (iid < 0) {
+                    rollback();
+                    return 0.0 - 1.0;
+                }
+                row[] ir = dbQuery("SELECT i_price FROM item WHERE i_id = ?", iid);
+                double price = ir[0].getDouble(0);
+                row[] sr = dbQuery("SELECT s_quantity FROM stock WHERE s_w_id = ? AND s_i_id = ?", wId, iid);
+                int sq = sr[0].getInt(0);
+                int qty = qtys[ol];
+                int newQ = sq - qty;
+                if (newQ < 10) { newQ = newQ + 91; }
+                dbUpdate("UPDATE stock SET s_quantity = ? WHERE s_w_id = ? AND s_i_id = ?", newQ, wId, iid);
+                double amount = price * toDouble(qty);
+                dbUpdate("INSERT INTO order_line VALUES (?, ?, ?, ?, ?, ?, ?)", wId, dId, oId, ol, iid, qty, amount);
+                total = total + amount;
+                ol = ol + 1;
+            }
+            total = total * (1.0 + wTax + dTax) * (1.0 - cDisc);
+            return total;
+        }
+    }
+"#;
+
+fn main() {
+    let mut clients: usize = 4;
+    let mut total: u64 = 4_000;
+    let mut shards: usize = 4;
+    let mut addr = NetAddr::parse("tcp:127.0.0.1:0").unwrap();
+    let mut nums = 0;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--shards" => {
+                shards = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .expect("--shards needs a positive integer");
+            }
+            "--addr" => {
+                let spec = args.next().expect("--addr needs tcp:host:port or uds:/path");
+                addr = NetAddr::parse(&spec).expect("valid --addr");
+            }
+            _ => match (nums, a.parse::<u64>()) {
+                (0, Ok(n)) => {
+                    clients = n as usize;
+                    nums = 1;
+                }
+                (1, Ok(n)) => {
+                    total = n;
+                    nums = 2;
+                }
+                _ => panic!(
+                    "unexpected argument `{a}` (usage: socket_serve [clients] [transactions] [--shards N] [--addr tcp:host:port|uds:/path])"
+                ),
+            },
+        }
+    }
+    assert!(clients > 0, "need at least one client");
+
+    let scale = tpcc::TpccScale {
+        warehouses: 8,
+        districts_per_wh: 3,
+        customers_per_district: 30,
+        items: 1000,
+    };
+    let seed = 7;
+    let pyxis = pyxis::core::Pyxis::compile(SRC, pyxis::core::PyxisConfig::default())
+        .expect("source compiles");
+    let entry = pyxis.entry("Serve", "newOrder").expect("newOrder");
+    let part = Arc::new(pyxis.deploy_jdbc());
+
+    let listener = Listener::bind(&addr).expect("bind serving socket");
+    let handle = NetServer::serve(
+        listener,
+        move || {
+            let mut engines: Vec<Engine> = (0..shards)
+                .map(|_| {
+                    let mut e = Engine::new();
+                    tpcc::create_schema(&mut e);
+                    e
+                })
+                .collect();
+            tpcc::load_sharded(&mut engines, scale, seed);
+            ShardedServer::new(
+                part,
+                engines,
+                ShardedConfig {
+                    shards,
+                    coordinators: 2,
+                    ..ShardedConfig::default()
+                },
+            )
+        },
+        NetServerCfg::default(),
+    );
+    let bound = handle.addr().clone();
+
+    println!(
+        "serving {total} TPC-C new-order transactions over {clients} socket client(s) \
+         against {shards} shard worker(s) at {bound}…"
+    );
+    let t0 = Instant::now();
+    let per_client = total / clients as u64;
+    let mut joins = Vec::new();
+    for c in 0..clients as u64 {
+        let bound = bound.clone();
+        // Each client owns a disjoint warehouse stream so routing spreads
+        // over every shard; its client id keys the server's dedup table.
+        let mut gen = tpcc::NewOrderGen::new(entry, scale, 1000 + c).with_lines(3, 8);
+        joins.push(std::thread::spawn(move || {
+            let cfg = NetClientCfg {
+                client_id: 1 + c,
+                ..NetClientCfg::default()
+            };
+            let mut client = NetClient::connect(&bound, cfg).expect("client connects");
+            let mut ok = 0u64;
+            let mut rollbacks = 0u64;
+            let mut unknown = 0u64;
+            for tag in 0..per_client {
+                let mut r: TxnRequest = pyxis::sim::Workload::next_txn(&mut gen, tag as usize);
+                if let pyxis::runtime::ArgVal::Int(w) = r.args[0] {
+                    r.route = Some(w);
+                }
+                client.submit(r, tag);
+                let d = client.recv_done().expect("closed loop retires");
+                match d.error {
+                    None => {
+                        ok += 1;
+                        if d.rolled_back {
+                            rollbacks += 1;
+                        }
+                    }
+                    Some(e) if e.contains("outcome unknown") => unknown += 1,
+                    Some(e) => panic!("transaction {} failed: {e}", d.tag),
+                }
+            }
+            client.close();
+            (ok, rollbacks, unknown)
+        }));
+    }
+    let mut ok = 0u64;
+    let mut rollbacks = 0u64;
+    let mut unknown = 0u64;
+    for j in joins {
+        let (o, r, u) = j.join().expect("client thread");
+        ok += o;
+        rollbacks += r;
+        unknown += u;
+    }
+    let dt = t0.elapsed();
+    let report = handle.shutdown();
+
+    println!("\n  wall time            {:>10.2} s", dt.as_secs_f64());
+    println!(
+        "  throughput           {:>10.0} txn/s (through the wire)",
+        ok as f64 / dt.as_secs_f64()
+    );
+    println!("  retired ok           {ok:>10}");
+    println!("  programmed rollbacks {rollbacks:>10}");
+    println!("  outcome unknown      {unknown:>10}");
+    println!("  multi-partition txns {:>10}", report.multi_txns);
+    for (i, d) in report.dispatchers.iter().enumerate() {
+        println!(
+            "  shard {i}: completed {:>8}  restarts {:>6}  peak sessions {:>4}  peak queue {:>4}",
+            d.completed, d.deadlock_restarts, d.peak_sessions, d.peak_queue
+        );
+    }
+    let es = report.merged_engine_stats();
+    println!(
+        "  engine (merged): statements {} commits {} aborts {}",
+        es.statements, es.commits, es.aborts
+    );
+}
